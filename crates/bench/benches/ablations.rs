@@ -1,0 +1,111 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! contraction-order strategy, variable order, the shared computed table,
+//! and the §IV-C local optimisations (which the paper's own evaluation
+//! excluded and left as future work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qaec::{fidelity_alg1, fidelity_alg2, CheckOptions, TermOrder, VarOrderStyle};
+use qaec_circuit::generators::{qft, QftStyle};
+use qaec_circuit::noise_insertion::insert_random_noise;
+use qaec_circuit::NoiseChannel;
+use qaec_tensornet::Strategy;
+
+fn bench_planner_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/planner");
+    group.sample_size(10);
+    let ideal = qft(5, QftStyle::DecomposedNoSwaps);
+    let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, 3, 11);
+    for (name, strategy) in [
+        ("sequential", Strategy::Sequential),
+        ("greedy_size", Strategy::GreedySize),
+        ("min_degree", Strategy::MinDegree),
+        ("min_fill", Strategy::MinFill),
+    ] {
+        let opts = CheckOptions {
+            strategy,
+            ..CheckOptions::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(fidelity_alg2(&ideal, &noisy, &opts).expect("alg2")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_var_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/var_order");
+    group.sample_size(10);
+    let ideal = qft(5, QftStyle::DecomposedNoSwaps);
+    let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, 3, 11);
+    for (name, var_order) in [
+        ("qubit_major", VarOrderStyle::QubitMajor),
+        ("time_major", VarOrderStyle::TimeMajor),
+    ] {
+        let opts = CheckOptions {
+            var_order,
+            ..CheckOptions::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(fidelity_alg2(&ideal, &noisy, &opts).expect("alg2")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_computed_table_reuse(c: &mut Criterion) {
+    // The Table II effect as a micro-bench.
+    let mut group = c.benchmark_group("ablation/computed_table");
+    group.sample_size(10);
+    let ideal = qft(3, QftStyle::DecomposedNoSwaps);
+    let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, 4, 11);
+    for (name, reuse) in [("shared(Opt)", true), ("fresh(Ori)", false)] {
+        let opts = CheckOptions {
+            reuse_tables: reuse,
+            term_order: TermOrder::Lexicographic,
+            ..CheckOptions::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(fidelity_alg1(&ideal, &noisy, None, &opts).expect("alg1"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_optimisations(c: &mut Criterion) {
+    // §IV-C: cancellation + SWAP elimination pay off most when the noisy
+    // circuit shares almost all gates with the ideal one — exactly the
+    // miter structure. QFT with textbook swaps stresses both passes.
+    let mut group = c.benchmark_group("ablation/local_opt");
+    group.sample_size(10);
+    let ideal = qft(5, QftStyle::Textbook);
+    let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, 2, 13);
+    for (name, local, swap) in [
+        ("off", false, false),
+        ("cancel_only", true, false),
+        ("swap_only", false, true),
+        ("both", true, true),
+    ] {
+        let opts = CheckOptions {
+            local_optimization: local,
+            swap_elimination: swap,
+            ..CheckOptions::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(fidelity_alg1(&ideal, &noisy, None, &opts).expect("alg1"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_planner_strategies,
+    bench_var_orders,
+    bench_computed_table_reuse,
+    bench_local_optimisations
+);
+criterion_main!(benches);

@@ -1,0 +1,389 @@
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation (§V).
+//!
+//! Three binaries regenerate the artifacts:
+//!
+//! * `table1` — Table I: Qiskit-baseline vs Algorithm II vs Algorithm I
+//!   across the 21 benchmark circuits (time, TDD node counts, TO/MO);
+//! * `fig7` — Fig. 7: `log10(t1/t2)` as the number of noise sites grows;
+//! * `table2` — Table II: Algorithm I with a shared computed table
+//!   ("Opt.") vs fresh tables per term ("Ori.").
+//!
+//! Criterion micro-benches live under `benches/`.
+
+use qaec::{fidelity_alg1, fidelity_alg2, CheckOptions, QaecError, TermOrder};
+use qaec_circuit::generators::{
+    bernstein_vazirani_all_ones, grover_dac21, mod_mul_7x1_mod15, qft, quantum_volume,
+    randomized_benchmarking, QftStyle,
+};
+use qaec_circuit::noise_insertion::insert_random_noise;
+use qaec_circuit::{Circuit, NoiseChannel};
+use std::time::{Duration, Instant};
+
+/// Seed namespace for noise placement, fixed so every run of the harness
+/// sees the same noisy circuits.
+pub const NOISE_SEED: u64 = 0xDAC2021;
+
+/// One row of Table I.
+#[derive(Clone)]
+pub struct BenchCase {
+    /// Row label (the paper's `Circuit` column).
+    pub name: &'static str,
+    /// The ideal benchmark circuit.
+    pub ideal: Circuit,
+    /// Number of depolarizing noise sites (the paper's `k` column).
+    pub noises: usize,
+}
+
+impl BenchCase {
+    fn new(name: &'static str, ideal: Circuit, noises: usize) -> Self {
+        BenchCase {
+            name,
+            ideal,
+            noises,
+        }
+    }
+
+    /// The noisy implementation: `noises` depolarizing sites with
+    /// `p = 0.999` at seeded-random positions (§V-A).
+    pub fn noisy(&self) -> Circuit {
+        insert_random_noise(
+            &self.ideal,
+            &NoiseChannel::Depolarizing { p: 0.999 },
+            self.noises,
+            NOISE_SEED ^ self.name.len() as u64,
+        )
+    }
+}
+
+/// The 21 rows of Table I, with the paper's qubit/gate/noise counts.
+pub fn table1_suite() -> Vec<BenchCase> {
+    vec![
+        BenchCase::new("rb", randomized_benchmarking(2, 7, NOISE_SEED), 6),
+        BenchCase::new("qft2", qft(2, QftStyle::DecomposedNoSwaps), 2),
+        BenchCase::new("grover", grover_dac21(), 4),
+        BenchCase::new("qft3", qft(3, QftStyle::DecomposedNoSwaps), 7),
+        BenchCase::new("qv_n3d5", quantum_volume(3, 5, NOISE_SEED), 2),
+        BenchCase::new("bv4", bernstein_vazirani_all_ones(4), 7),
+        BenchCase::new("7x1mod15", mod_mul_7x1_mod15(), 3),
+        BenchCase::new("bv5", bernstein_vazirani_all_ones(5), 6),
+        BenchCase::new("qft5", qft(5, QftStyle::DecomposedNoSwaps), 3),
+        BenchCase::new("qv_n5d5", quantum_volume(5, 5, NOISE_SEED), 3),
+        BenchCase::new("bv6", bernstein_vazirani_all_ones(6), 14),
+        BenchCase::new("qv_n6d5", quantum_volume(6, 5, NOISE_SEED), 1),
+        BenchCase::new("qft7", qft(7, QftStyle::DecomposedNoSwaps), 6),
+        BenchCase::new("qv_n7d5", quantum_volume(7, 5, NOISE_SEED), 2),
+        BenchCase::new("bv9", bernstein_vazirani_all_ones(9), 6),
+        BenchCase::new("qv_n9d5", quantum_volume(9, 5, NOISE_SEED), 3),
+        BenchCase::new("qft9", qft(9, QftStyle::DecomposedNoSwaps), 2),
+        BenchCase::new("qft10", qft(10, QftStyle::DecomposedNoSwaps), 2),
+        BenchCase::new("bv13", bernstein_vazirani_all_ones(13), 4),
+        BenchCase::new("bv14", bernstein_vazirani_all_ones(14), 4),
+        BenchCase::new("bv16", bernstein_vazirani_all_ones(16), 9),
+    ]
+}
+
+/// The outcome of one measured run.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Succeeded with fidelity value, wall time and max TDD nodes
+    /// (0 for the dense baseline).
+    Done {
+        /// Fidelity computed.
+        fidelity: f64,
+        /// Wall-clock time.
+        time: Duration,
+        /// Max intermediate TDD nodes (0 for the baseline).
+        nodes: usize,
+    },
+    /// Timed out (the paper's "TO").
+    TimedOut,
+    /// Out of memory bound (the paper's "MO").
+    OutOfMemory,
+}
+
+impl Outcome {
+    /// Renders the paper's `time (s)` cell.
+    pub fn time_cell(&self) -> String {
+        match self {
+            Outcome::Done { time, .. } => format!("{:.2}", time.as_secs_f64()),
+            Outcome::TimedOut => "TO".into(),
+            Outcome::OutOfMemory => "MO".into(),
+        }
+    }
+
+    /// Renders the paper's `nodes` cell.
+    pub fn nodes_cell(&self) -> String {
+        match self {
+            Outcome::Done { nodes, .. } if *nodes > 0 => nodes.to_string(),
+            Outcome::Done { .. } => "-".into(),
+            Outcome::TimedOut => "TO".into(),
+            Outcome::OutOfMemory => "MO".into(),
+        }
+    }
+
+    /// The fidelity, if the run finished.
+    pub fn fidelity(&self) -> Option<f64> {
+        match self {
+            Outcome::Done { fidelity, .. } => Some(*fidelity),
+            _ => None,
+        }
+    }
+}
+
+/// Runs the dense superoperator baseline (the Qiskit
+/// `process_fidelity` substitute) under the paper's 8 GB bound, with an
+/// in-flight deadline.
+pub fn run_baseline(ideal: &Circuit, noisy: &Circuit, timeout: Duration) -> Outcome {
+    let start = Instant::now();
+    let deadline = Some(start + timeout);
+    // The memory estimate rejects before allocation, mirroring Qiskit's MO.
+    let operator = match qaec_dmsim::Operator::from_circuit(ideal) {
+        Ok(op) => op,
+        Err(qaec_dmsim::SimError::MemoryExceeded { .. }) => return Outcome::OutOfMemory,
+        Err(_) => return Outcome::OutOfMemory,
+    };
+    match qaec_dmsim::SuperOp::from_circuit_opts(
+        noisy,
+        qaec_dmsim::memory::PAPER_MEMORY_BOUND,
+        deadline,
+    ) {
+        Ok(superop) => {
+            let fidelity = qaec_dmsim::process_fidelity::process_fidelity(&superop, &operator);
+            let time = start.elapsed();
+            if time > timeout {
+                Outcome::TimedOut
+            } else {
+                Outcome::Done {
+                    fidelity,
+                    time,
+                    nodes: 0,
+                }
+            }
+        }
+        Err(qaec_dmsim::SimError::DeadlineExceeded) => Outcome::TimedOut,
+        Err(qaec_dmsim::SimError::MemoryExceeded { .. }) => Outcome::OutOfMemory,
+        Err(_) => Outcome::OutOfMemory,
+    }
+}
+
+/// Runs Algorithm II with a deadline.
+pub fn run_alg2(ideal: &Circuit, noisy: &Circuit, timeout: Duration) -> Outcome {
+    let opts = CheckOptions {
+        deadline: Some(Instant::now() + timeout),
+        ..CheckOptions::default()
+    };
+    let start = Instant::now();
+    match fidelity_alg2(ideal, noisy, &opts) {
+        Ok(report) => Outcome::Done {
+            fidelity: report.fidelity,
+            time: start.elapsed(),
+            nodes: report.max_nodes,
+        },
+        Err(QaecError::Timeout) => Outcome::TimedOut,
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+/// Runs Algorithm I exactly (all terms) with a deadline.
+pub fn run_alg1(ideal: &Circuit, noisy: &Circuit, timeout: Duration) -> Outcome {
+    run_alg1_with(ideal, noisy, timeout, true)
+}
+
+/// Runs Algorithm I with the shared computed table on or off — the
+/// "Opt." / "Ori." configurations of Table II.
+pub fn run_alg1_with(
+    ideal: &Circuit,
+    noisy: &Circuit,
+    timeout: Duration,
+    reuse_tables: bool,
+) -> Outcome {
+    let opts = CheckOptions {
+        deadline: Some(Instant::now() + timeout),
+        reuse_tables,
+        term_order: TermOrder::Lexicographic,
+        ..CheckOptions::default()
+    };
+    let start = Instant::now();
+    match fidelity_alg1(ideal, noisy, None, &opts) {
+        Ok(report) => Outcome::Done {
+            fidelity: report.fidelity_lower,
+            time: start.elapsed(),
+            nodes: report.max_nodes,
+        },
+        Err(QaecError::Timeout) => Outcome::TimedOut,
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+/// Re-measures fast cells for stability: runs `f` up to `max_repeats`
+/// times (stopping once the accumulated time exceeds one second) and
+/// returns the best (minimum-time) successful outcome, or the first
+/// non-success. Timing noise on sub-millisecond cells otherwise dominates
+/// ratio plots like Fig. 7 / Table II.
+pub fn measure_best(max_repeats: usize, mut f: impl FnMut() -> Outcome) -> Outcome {
+    let mut best: Option<Outcome> = None;
+    let mut spent = Duration::ZERO;
+    for _ in 0..max_repeats.max(1) {
+        let outcome = f();
+        match &outcome {
+            Outcome::Done { time, .. } => {
+                spent += *time;
+                let better = match &best {
+                    Some(Outcome::Done { time: bt, .. }) => time < bt,
+                    _ => true,
+                };
+                if better {
+                    best = Some(outcome);
+                }
+                if spent > Duration::from_secs(1) {
+                    break;
+                }
+            }
+            other => return other.clone(),
+        }
+    }
+    best.expect("at least one run")
+}
+
+/// Parses `--flag value` style arguments shared by the harness binaries.
+pub struct HarnessArgs {
+    /// Per-run timeout (default 120 s; the paper used 3600 s).
+    pub timeout: Duration,
+    /// Optional row-name filter (comma separated).
+    pub only: Option<Vec<String>>,
+    /// Maximum noise count for the sweep binaries.
+    pub max_noises: usize,
+    /// Skip the dense baseline column.
+    pub skip_baseline: bool,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, ignoring unknown flags.
+    pub fn parse() -> Self {
+        let mut args = HarnessArgs {
+            timeout: Duration::from_secs(120),
+            only: None,
+            max_noises: 8,
+            skip_baseline: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--timeout" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) {
+                        args.timeout = Duration::from_secs(v);
+                    }
+                }
+                "--only" => {
+                    if let Some(v) = it.next() {
+                        args.only = Some(v.split(',').map(str::to_string).collect());
+                    }
+                }
+                "--max-noises" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse::<usize>().ok()) {
+                        args.max_noises = v;
+                    }
+                }
+                "--skip-baseline" => args.skip_baseline = true,
+                other => eprintln!("ignoring unknown flag `{other}`"),
+            }
+        }
+        args
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_paper_inventory() {
+        let suite = table1_suite();
+        assert_eq!(suite.len(), 21);
+        // Spot-check the paper's (n, |G|, k) columns.
+        let find = |name: &str| {
+            suite
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        for (name, n, g, k) in [
+            ("rb", 2, 7, 6),
+            ("qft2", 2, 7, 2),
+            ("grover", 3, 96, 4),
+            ("bv6", 6, 17, 14),
+            ("qft10", 10, 235, 2),
+            ("bv16", 16, 47, 9),
+        ] {
+            let case = find(name);
+            assert_eq!(case.ideal.n_qubits(), n, "{name} qubits");
+            assert_eq!(case.ideal.gate_count(), g, "{name} gates");
+            assert_eq!(case.noises, k, "{name} noises");
+            assert_eq!(case.noisy().noise_count(), k, "{name} inserted noises");
+        }
+    }
+
+    #[test]
+    fn runners_agree_on_a_small_case() {
+        let case = &table1_suite()[1]; // qft2, k = 2
+        let noisy = case.noisy();
+        let timeout = Duration::from_secs(60);
+        let baseline = run_baseline(&case.ideal, &noisy, timeout);
+        let alg2 = run_alg2(&case.ideal, &noisy, timeout);
+        let alg1 = run_alg1(&case.ideal, &noisy, timeout);
+        let (Some(fb), Some(f2), Some(f1)) =
+            (baseline.fidelity(), alg2.fidelity(), alg1.fidelity())
+        else {
+            panic!("small case must not TO/MO");
+        };
+        assert!((fb - f2).abs() < 1e-7);
+        assert!((fb - f1).abs() < 1e-7);
+    }
+
+    #[test]
+    fn baseline_mo_at_seven_qubits() {
+        let case = table1_suite()
+            .into_iter()
+            .find(|c| c.name == "qft7")
+            .expect("qft7");
+        let noisy = case.noisy();
+        assert!(matches!(
+            run_baseline(&case.ideal, &noisy, Duration::from_secs(5)),
+            Outcome::OutOfMemory
+        ));
+    }
+
+    #[test]
+    fn expired_timeouts_surface_as_to() {
+        let case = &table1_suite()[3]; // qft3, k = 7 → enough terms to trip
+        let noisy = case.noisy();
+        let zero = Duration::from_secs(0);
+        assert!(matches!(
+            run_alg1(&case.ideal, &noisy, zero),
+            Outcome::TimedOut
+        ));
+        assert!(matches!(
+            run_alg2(&case.ideal, &noisy, zero),
+            Outcome::TimedOut
+        ));
+        assert!(matches!(
+            run_baseline(&case.ideal, &noisy, zero),
+            Outcome::TimedOut
+        ));
+    }
+
+    #[test]
+    fn outcome_cells() {
+        assert_eq!(Outcome::TimedOut.time_cell(), "TO");
+        assert_eq!(Outcome::OutOfMemory.nodes_cell(), "MO");
+        let done = Outcome::Done {
+            fidelity: 0.5,
+            time: Duration::from_millis(1500),
+            nodes: 7,
+        };
+        assert_eq!(done.time_cell(), "1.50");
+        assert_eq!(done.nodes_cell(), "7");
+        assert_eq!(done.fidelity(), Some(0.5));
+    }
+}

@@ -1,0 +1,582 @@
+//! The circuit container.
+
+use crate::{
+    error::CircuitError,
+    gate::Gate,
+    instruction::{Instruction, Operation},
+    noise::NoiseChannel,
+};
+use std::fmt;
+
+/// A (possibly noisy) quantum circuit: a fixed number of qubits and an
+/// ordered list of [`Instruction`]s.
+///
+/// A circuit with no noise instructions represents a unitary; one with
+/// noise instructions represents a super-operator whose Kraus decomposition
+/// is the product set of the per-site Kraus choices (the paper's §IV-A).
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::{Circuit, Gate};
+///
+/// // Bell-pair preparation.
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// assert_eq!(bell.gate_count(), 2);
+/// assert!(bell.is_unitary());
+/// let inverse = bell.adjoint().unwrap();
+/// assert_eq!(inverse.instructions()[0].as_gate(), Some(&Gate::Cx));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Circuit {
+    n_qubits: usize,
+    instructions: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `n_qubits` qubits.
+    pub fn new(n_qubits: usize) -> Self {
+        Circuit {
+            n_qubits,
+            instructions: Vec::new(),
+        }
+    }
+
+    /// The number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The Hilbert-space dimension `d = 2^n`.
+    pub fn dim(&self) -> usize {
+        1usize << self.n_qubits
+    }
+
+    /// The instruction list.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Iterates over the instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instructions.iter()
+    }
+
+    /// Total number of instructions (gates + noise).
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the circuit has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Number of unitary-gate instructions (the paper's `|G|`).
+    pub fn gate_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.is_gate()).count()
+    }
+
+    /// Number of noise instructions (the paper's `k`).
+    pub fn noise_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.is_noise()).count()
+    }
+
+    /// Whether the circuit contains no noise (represents a unitary).
+    pub fn is_unitary(&self) -> bool {
+        self.noise_count() == 0
+    }
+
+    /// The total number of Kraus selections
+    /// `Π_k n_k` Algorithm I would enumerate. Saturates at `usize::MAX`.
+    pub fn kraus_term_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter_map(Instruction::as_noise)
+            .fold(1usize, |acc, n| acc.saturating_mul(n.kraus_len()))
+    }
+
+    fn check_qubits(&self, qubits: &[usize], arity: usize) -> Result<(), CircuitError> {
+        if qubits.len() != arity {
+            return Err(CircuitError::ArityMismatch {
+                expected: arity,
+                actual: qubits.len(),
+            });
+        }
+        for (i, &q) in qubits.iter().enumerate() {
+            if q >= self.n_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    n_qubits: self.n_qubits,
+                });
+            }
+            if qubits[..i].contains(&q) {
+                return Err(CircuitError::DuplicateQubit { qubit: q });
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a gate, validating qubit indices.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::ArityMismatch`], [`CircuitError::QubitOutOfRange`] or
+    /// [`CircuitError::DuplicateQubit`] on invalid arguments.
+    pub fn try_gate(&mut self, gate: Gate, qubits: &[usize]) -> Result<&mut Self, CircuitError> {
+        self.check_qubits(qubits, gate.arity())?;
+        self.instructions.push(Instruction::gate(gate, qubits));
+        Ok(self)
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch, out-of-range or duplicate qubits; use
+    /// [`Circuit::try_gate`] for a fallible version.
+    pub fn gate(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
+        self.try_gate(gate, qubits)
+            .unwrap_or_else(|e| panic!("invalid gate application: {e}"))
+    }
+
+    /// Appends a noise channel, validating parameters and qubit indices.
+    ///
+    /// # Errors
+    ///
+    /// As [`Circuit::try_gate`], plus
+    /// [`CircuitError::InvalidProbability`] for bad channel parameters.
+    pub fn try_noise(
+        &mut self,
+        channel: NoiseChannel,
+        qubits: &[usize],
+    ) -> Result<&mut Self, CircuitError> {
+        channel.validate()?;
+        self.check_qubits(qubits, channel.arity())?;
+        self.instructions.push(Instruction::noise(channel, qubits));
+        Ok(self)
+    }
+
+    /// Appends a noise channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid channel parameters or qubit lists; use
+    /// [`Circuit::try_noise`] for a fallible version.
+    pub fn noise(&mut self, channel: NoiseChannel, qubits: &[usize]) -> &mut Self {
+        self.try_noise(channel, qubits)
+            .unwrap_or_else(|e| panic!("invalid noise application: {e}"))
+    }
+
+    /// Appends a raw instruction (already validated by the caller).
+    pub(crate) fn push_unchecked(&mut self, instruction: Instruction) {
+        self.instructions.push(instruction);
+    }
+
+    // Convenience builders for common gates. Each panics like
+    // [`Circuit::gate`] on invalid qubit indices.
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::H, &[q])
+    }
+    /// Pauli X on `q`.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::X, &[q])
+    }
+    /// Pauli Y on `q`.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Y, &[q])
+    }
+    /// Pauli Z on `q`.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Z, &[q])
+    }
+    /// Phase gate S on `q`.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::S, &[q])
+    }
+    /// T gate on `q`.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::T, &[q])
+    }
+    /// `u1(λ)` phase on `q`.
+    pub fn u1(&mut self, lambda: f64, q: usize) -> &mut Self {
+        self.gate(Gate::Phase(lambda), &[q])
+    }
+    /// CNOT with control `c` and target `t`.
+    pub fn cx(&mut self, c: usize, t: usize) -> &mut Self {
+        self.gate(Gate::Cx, &[c, t])
+    }
+    /// Controlled-Z between `c` and `t`.
+    pub fn cz(&mut self, c: usize, t: usize) -> &mut Self {
+        self.gate(Gate::Cz, &[c, t])
+    }
+    /// Controlled-phase `cp(λ)` with control `c` and target `t`.
+    pub fn cp(&mut self, lambda: f64, c: usize, t: usize) -> &mut Self {
+        self.gate(Gate::Cp(lambda), &[c, t])
+    }
+    /// SWAP between `a` and `b`.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.gate(Gate::Swap, &[a, b])
+    }
+    /// Toffoli with controls `c1`, `c2` and target `t`.
+    pub fn ccx(&mut self, c1: usize, c2: usize, t: usize) -> &mut Self {
+        self.gate(Gate::Ccx, &[c1, c2, t])
+    }
+
+    /// Appends all instructions of `other` to `self`.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::WidthMismatch`] if the widths differ.
+    pub fn append(&mut self, other: &Circuit) -> Result<&mut Self, CircuitError> {
+        if self.n_qubits != other.n_qubits {
+            return Err(CircuitError::WidthMismatch {
+                left: self.n_qubits,
+                right: other.n_qubits,
+            });
+        }
+        self.instructions.extend(other.instructions.iter().cloned());
+        Ok(self)
+    }
+
+    /// The concatenation `other ∘ self` (run `self` first) as a new circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::WidthMismatch`] if the widths differ.
+    pub fn compose(&self, other: &Circuit) -> Result<Circuit, CircuitError> {
+        let mut out = self.clone();
+        out.append(other)?;
+        Ok(out)
+    }
+
+    /// The adjoint circuit `C†`: every gate replaced by its adjoint, in
+    /// reverse order.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::NotUnitary`] if the circuit contains noise (the
+    /// adjoint of a generic channel is not a channel).
+    pub fn adjoint(&self) -> Result<Circuit, CircuitError> {
+        if !self.is_unitary() {
+            return Err(CircuitError::NotUnitary);
+        }
+        let mut out = Circuit::new(self.n_qubits);
+        for instr in self.instructions.iter().rev() {
+            let gate = instr.as_gate().expect("unitary circuit");
+            out.push_unchecked(Instruction::gate(gate.adjoint(), instr.qubits.clone()));
+        }
+        Ok(out)
+    }
+
+    /// The circuit with qubits relabelled through `map` (qubit `q` of
+    /// `self` becomes `map[q]`) on a target register of `new_width`
+    /// qubits — the transformation a layout/mapping pass applies.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::QubitOutOfRange`] if `map` is shorter than the
+    /// circuit width or maps outside `new_width`;
+    /// [`CircuitError::DuplicateQubit`] if `map` is not injective on the
+    /// used qubits.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qaec_circuit::Circuit;
+    /// let mut bell = Circuit::new(2);
+    /// bell.h(0).cx(0, 1);
+    /// let moved = bell.remap_qubits(&[2, 0], 3).unwrap();
+    /// assert_eq!(moved.instructions()[1].qubits, vec![2, 0]);
+    /// ```
+    pub fn remap_qubits(&self, map: &[usize], new_width: usize) -> Result<Circuit, CircuitError> {
+        if map.len() < self.n_qubits {
+            return Err(CircuitError::QubitOutOfRange {
+                qubit: map.len(),
+                n_qubits: self.n_qubits,
+            });
+        }
+        for (i, &m) in map.iter().enumerate() {
+            if m >= new_width {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: m,
+                    n_qubits: new_width,
+                });
+            }
+            if map[..i].contains(&m) {
+                return Err(CircuitError::DuplicateQubit { qubit: m });
+            }
+        }
+        let mut out = Circuit::new(new_width);
+        for instr in &self.instructions {
+            let qubits: Vec<usize> = instr.qubits.iter().map(|&q| map[q]).collect();
+            out.push_unchecked(Instruction {
+                op: instr.op.clone(),
+                qubits,
+            });
+        }
+        Ok(out)
+    }
+
+    /// The ideal part: the same circuit with all noise removed.
+    pub fn ideal(&self) -> Circuit {
+        Circuit {
+            n_qubits: self.n_qubits,
+            instructions: self
+                .instructions
+                .iter()
+                .filter(|i| i.is_gate())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Circuit depth: the longest chain of instructions over any qubit,
+    /// where instructions on disjoint qubits may run in parallel.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.n_qubits];
+        for instr in &self.instructions {
+            let next = instr.qubits.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
+            for &q in &instr.qubits {
+                level[q] = next;
+            }
+        }
+        level.into_iter().max().unwrap_or(0)
+    }
+
+    /// An ASCII rendering of the circuit, one row per qubit.
+    ///
+    /// ```
+    /// use qaec_circuit::Circuit;
+    /// let mut c = Circuit::new(2);
+    /// c.h(0).cx(0, 1);
+    /// let art = c.draw();
+    /// assert!(art.contains("[h]"));
+    /// ```
+    pub fn draw(&self) -> String {
+        let mut rows: Vec<String> = (0..self.n_qubits).map(|q| format!("q{q}: ")).collect();
+        let mut widths: Vec<usize> = rows.iter().map(|r| r.chars().count()).collect();
+        let pad_to = |rows: &mut [String], widths: &mut [usize], target: usize, fill: char| {
+            for (row, width) in rows.iter_mut().zip(widths.iter_mut()) {
+                while *width < target {
+                    row.push(fill);
+                    *width += 1;
+                }
+            }
+        };
+        let base = widths.iter().copied().max().unwrap_or(0);
+        pad_to(&mut rows, &mut widths, base, ' ');
+
+        for instr in &self.instructions {
+            let labels: Vec<String> = match &instr.op {
+                Operation::Gate(Gate::Cx) => vec!["●".into(), "⊕".into()],
+                Operation::Gate(Gate::Cz) => vec!["●".into(), "●".into()],
+                Operation::Gate(Gate::Cp(l)) => vec!["●".into(), format!("P({l:.2})")],
+                Operation::Gate(Gate::Swap) => vec!["x".into(), "x".into()],
+                Operation::Gate(Gate::Ccx) => vec!["●".into(), "●".into(), "⊕".into()],
+                Operation::Gate(Gate::Cswap) => vec!["●".into(), "x".into(), "x".into()],
+                Operation::Gate(g) => instr.qubits.iter().map(|_| format!("[{g}]")).collect(),
+                Operation::Noise(n) => instr
+                    .qubits
+                    .iter()
+                    .map(|_| format!("{{{}}}", n.name()))
+                    .collect(),
+            };
+            let column = labels.iter().map(|l| l.chars().count()).max().unwrap_or(1) + 1;
+            let base = widths.iter().copied().max().unwrap_or(0);
+            pad_to(&mut rows, &mut widths, base, '─');
+            for (slot, &q) in instr.qubits.iter().enumerate() {
+                rows[q].push_str(&labels[slot]);
+                widths[q] += labels[slot].chars().count();
+            }
+            pad_to(&mut rows, &mut widths, base + column, '─');
+        }
+        rows.join("\n")
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit: {} qubit(s), {} gate(s), {} noise site(s)",
+            self.n_qubits,
+            self.gate_count(),
+            self.noise_count()
+        )?;
+        for instr in &self.instructions {
+            writeln!(f, "  {instr}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.instructions.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    /// The paper's Fig. 2: noisy 2-qubit QFT.
+    fn noisy_qft2(p: f64) -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0)
+            .noise(NoiseChannel::BitFlip { p }, &[1])
+            .cp(FRAC_PI_2, 1, 0)
+            .noise(NoiseChannel::PhaseFlip { p }, &[0])
+            .h(1)
+            .swap(0, 1);
+        c
+    }
+
+    #[test]
+    fn counting() {
+        let c = noisy_qft2(0.99);
+        assert_eq!(c.n_qubits(), 2);
+        assert_eq!(c.dim(), 4);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.gate_count(), 4);
+        assert_eq!(c.noise_count(), 2);
+        assert_eq!(c.kraus_term_count(), 4);
+        assert!(!c.is_unitary());
+        assert!(c.ideal().is_unitary());
+        assert_eq!(c.ideal().len(), 4);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut c = Circuit::new(2);
+        assert!(matches!(
+            c.try_gate(Gate::H, &[5]),
+            Err(CircuitError::QubitOutOfRange { qubit: 5, .. })
+        ));
+        assert!(matches!(
+            c.try_gate(Gate::Cx, &[0]),
+            Err(CircuitError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            c.try_gate(Gate::Cx, &[1, 1]),
+            Err(CircuitError::DuplicateQubit { qubit: 1 })
+        ));
+        assert!(matches!(
+            c.try_noise(NoiseChannel::BitFlip { p: 2.0 }, &[0]),
+            Err(CircuitError::InvalidProbability { .. })
+        ));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid gate application")]
+    fn panicking_builder() {
+        Circuit::new(1).cx(0, 1);
+    }
+
+    #[test]
+    fn adjoint_reverses_and_inverts() {
+        let mut c = Circuit::new(2);
+        c.h(0).s(1).cx(0, 1);
+        let adj = c.adjoint().unwrap();
+        assert_eq!(adj.len(), 3);
+        assert_eq!(adj.instructions()[0].as_gate(), Some(&Gate::Cx));
+        assert_eq!(adj.instructions()[1].as_gate(), Some(&Gate::Sdg));
+        assert_eq!(adj.instructions()[2].as_gate(), Some(&Gate::H));
+    }
+
+    #[test]
+    fn adjoint_of_noisy_circuit_fails() {
+        let c = noisy_qft2(0.9);
+        assert_eq!(c.adjoint(), Err(CircuitError::NotUnitary));
+        assert!(c.ideal().adjoint().is_ok());
+    }
+
+    #[test]
+    fn compose_and_append() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1);
+        let ab = a.compose(&b).unwrap();
+        assert_eq!(ab.len(), 2);
+        assert_eq!(ab.instructions()[1].as_gate(), Some(&Gate::Cx));
+
+        let c3 = Circuit::new(3);
+        assert!(matches!(
+            a.compose(&c3),
+            Err(CircuitError::WidthMismatch { left: 2, right: 3 })
+        ));
+    }
+
+    #[test]
+    fn depth_accounts_for_parallelism() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2); // all parallel → depth 1
+        assert_eq!(c.depth(), 1);
+        c.cx(0, 1); // depends on both → depth 2
+        assert_eq!(c.depth(), 2);
+        c.cx(1, 2); // chains → depth 3
+        assert_eq!(c.depth(), 3);
+        assert_eq!(Circuit::new(4).depth(), 0);
+    }
+
+    #[test]
+    fn draw_contains_wires_and_gates() {
+        let art = noisy_qft2(0.999).draw();
+        assert!(art.contains("q0:"));
+        assert!(art.contains("q1:"));
+        assert!(art.contains("[h]"));
+        assert!(art.contains("{bit_flip}"));
+    }
+
+    #[test]
+    fn remap_qubits_relabels_and_validates() {
+        let mut c = Circuit::new(2);
+        c.h(0)
+            .cx(0, 1)
+            .noise(NoiseChannel::BitFlip { p: 0.9 }, &[1]);
+        let moved = c.remap_qubits(&[3, 1], 4).unwrap();
+        assert_eq!(moved.n_qubits(), 4);
+        assert_eq!(moved.instructions()[0].qubits, vec![3]);
+        assert_eq!(moved.instructions()[1].qubits, vec![3, 1]);
+        assert_eq!(moved.instructions()[2].qubits, vec![1]);
+        assert_eq!(moved.noise_count(), 1);
+
+        assert!(matches!(
+            c.remap_qubits(&[0], 2),
+            Err(CircuitError::QubitOutOfRange { .. })
+        ));
+        assert!(matches!(
+            c.remap_qubits(&[0, 5], 3),
+            Err(CircuitError::QubitOutOfRange { qubit: 5, .. })
+        ));
+        assert!(matches!(
+            c.remap_qubits(&[1, 1], 3),
+            Err(CircuitError::DuplicateQubit { qubit: 1 })
+        ));
+    }
+
+    #[test]
+    fn kraus_term_count_multiplies() {
+        let mut c = Circuit::new(1);
+        for _ in 0..3 {
+            c.noise(NoiseChannel::Depolarizing { p: 0.999 }, &[0]);
+        }
+        assert_eq!(c.kraus_term_count(), 64); // 4³
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let text = noisy_qft2(0.9).to_string();
+        assert!(text.contains("2 qubit(s), 4 gate(s), 2 noise site(s)"));
+        assert!(text.contains("cp"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Error types for circuit construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building, transforming or parsing circuits.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CircuitError {
+    /// A qubit index was at least the circuit width.
+    QubitOutOfRange {
+        /// The offending index.
+        qubit: usize,
+        /// The circuit width.
+        n_qubits: usize,
+    },
+    /// The same qubit appeared twice in one instruction.
+    DuplicateQubit {
+        /// The repeated index.
+        qubit: usize,
+    },
+    /// An operation was applied to the wrong number of qubits.
+    ArityMismatch {
+        /// What the operation expects.
+        expected: usize,
+        /// What was supplied.
+        actual: usize,
+    },
+    /// Two circuits of different widths were combined.
+    WidthMismatch {
+        /// Width of the left circuit.
+        left: usize,
+        /// Width of the right circuit.
+        right: usize,
+    },
+    /// An operation requiring a unitary circuit was applied to a noisy one.
+    NotUnitary,
+    /// A probability parameter was outside `[0, 1]`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// A custom Kraus set failed the completeness check `Σ K†K = I`.
+    NotTracePreserving {
+        /// The largest deviation from the identity.
+        deviation: f64,
+    },
+    /// A Kraus set was empty or had inconsistently shaped operators.
+    MalformedKrausSet {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// OpenQASM parsing failed.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit circuit")
+            }
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "qubit {qubit} appears more than once in one instruction")
+            }
+            CircuitError::ArityMismatch { expected, actual } => {
+                write!(f, "operation expects {expected} qubit(s), got {actual}")
+            }
+            CircuitError::WidthMismatch { left, right } => {
+                write!(f, "circuit widths differ: {left} vs {right}")
+            }
+            CircuitError::NotUnitary => {
+                write!(f, "operation requires a noiseless (unitary) circuit")
+            }
+            CircuitError::InvalidProbability { value } => {
+                write!(f, "probability {value} outside [0, 1]")
+            }
+            CircuitError::NotTracePreserving { deviation } => {
+                write!(
+                    f,
+                    "kraus operators violate completeness by {deviation:.3e}"
+                )
+            }
+            CircuitError::MalformedKrausSet { reason } => {
+                write!(f, "malformed kraus set: {reason}")
+            }
+            CircuitError::Parse { line, message } => {
+                write!(f, "qasm parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CircuitError::QubitOutOfRange {
+            qubit: 5,
+            n_qubits: 3,
+        };
+        assert!(e.to_string().contains("qubit 5"));
+        let e = CircuitError::Parse {
+            line: 7,
+            message: "unexpected token".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(CircuitError::NotUnitary);
+        assert!(!e.to_string().is_empty());
+    }
+}

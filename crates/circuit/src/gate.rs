@@ -1,0 +1,548 @@
+//! The unitary gate set.
+
+use qaec_math::{C64, Matrix};
+use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_2, FRAC_PI_4};
+use std::fmt;
+
+/// A unitary quantum gate.
+///
+/// The set covers everything the paper's benchmark circuits need: Pauli and
+/// Clifford gates, the T gate, the OpenQASM rotation family
+/// (`u1`/`u2`/`u3`, `rx`/`ry`/`rz`), and the two- and three-qubit gates
+/// `cx`, `cz`, controlled-phase, `swap`, Toffoli and Fredkin.
+///
+/// # Qubit-ordering convention
+///
+/// A gate on qubits `[q₀, q₁, …]` uses *big-endian* indexing: `q₀` is the
+/// most significant bit of the matrix row/column index. For [`Gate::Cx`] on
+/// `[c, t]`, the matrix is `|0⟩⟨0| ⊗ I + |1⟩⟨1| ⊗ X`.
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::Gate;
+///
+/// assert!(Gate::H.matrix().is_unitary(1e-12));
+/// // S† · S = I
+/// let prod = Gate::Sdg.matrix().mul(&Gate::S.matrix());
+/// assert!(prod.is_identity(1e-12));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Gate {
+    /// Identity.
+    I,
+    /// Pauli X (bit flip).
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z (phase flip).
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate `S = √Z = diag(1, i)`.
+    S,
+    /// Inverse phase gate `S† = diag(1, -i)`.
+    Sdg,
+    /// `T = diag(1, e^{iπ/4})`.
+    T,
+    /// `T† = diag(1, e^{-iπ/4})`.
+    Tdg,
+    /// `√X = ½[[1+i, 1−i], [1−i, 1+i]]` — a native gate on many devices.
+    Sx,
+    /// `√X†`.
+    Sxdg,
+    /// `u1(λ) = diag(1, e^{iλ})` — arbitrary phase.
+    Phase(f64),
+    /// Rotation about X: `Rx(θ) = e^{-iθX/2}`.
+    Rx(f64),
+    /// Rotation about Y: `Ry(θ) = e^{-iθY/2}`.
+    Ry(f64),
+    /// Rotation about Z: `Rz(θ) = e^{-iθZ/2}`.
+    Rz(f64),
+    /// `u2(φ, λ) = u3(π/2, φ, λ)`.
+    U2(f64, f64),
+    /// The generic single-qubit gate
+    /// `u3(θ, φ, λ) = [[cos(θ/2), -e^{iλ}sin(θ/2)],
+    ///                 [e^{iφ}sin(θ/2), e^{i(φ+λ)}cos(θ/2)]]`.
+    U3(f64, f64, f64),
+    /// Controlled-X on `[control, target]`.
+    Cx,
+    /// Controlled-Z.
+    Cz,
+    /// Controlled-phase `diag(1, 1, 1, e^{iλ})` on `[control, target]`.
+    Cp(f64),
+    /// Ising ZZ interaction `Rzz(θ) = e^{-iθ(Z⊗Z)/2}`.
+    Rzz(f64),
+    /// Ising XX interaction `Rxx(θ) = e^{-iθ(X⊗X)/2}`.
+    Rxx(f64),
+    /// Qubit exchange.
+    Swap,
+    /// Toffoli (CCX) on `[control, control, target]`.
+    Ccx,
+    /// Fredkin (CSWAP) on `[control, target, target]`.
+    Cswap,
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on.
+    pub fn arity(&self) -> usize {
+        use Gate::*;
+        match self {
+            I | X | Y | Z | H | S | Sdg | T | Tdg | Sx | Sxdg | Phase(_) | Rx(_) | Ry(_)
+            | Rz(_) | U2(..) | U3(..) => 1,
+            Cx | Cz | Cp(_) | Rzz(_) | Rxx(_) | Swap => 2,
+            Ccx | Cswap => 3,
+        }
+    }
+
+    /// The `2^arity × 2^arity` unitary matrix of the gate, in the big-endian
+    /// qubit ordering described on [`Gate`].
+    pub fn matrix(&self) -> Matrix {
+        use Gate::*;
+        let o = C64::ONE;
+        let z = C64::ZERO;
+        let i = C64::I;
+        match *self {
+            I => Matrix::identity(2),
+            X => Matrix::from_rows(&[vec![z, o], vec![o, z]]),
+            Y => Matrix::from_rows(&[vec![z, -i], vec![i, z]]),
+            Z => Matrix::from_diagonal(&[o, -o]),
+            H => {
+                let s = C64::real(FRAC_1_SQRT_2);
+                Matrix::from_rows(&[vec![s, s], vec![s, -s]])
+            }
+            S => Matrix::from_diagonal(&[o, i]),
+            Sdg => Matrix::from_diagonal(&[o, -i]),
+            T => Matrix::from_diagonal(&[o, C64::cis(FRAC_PI_4)]),
+            Tdg => Matrix::from_diagonal(&[o, C64::cis(-FRAC_PI_4)]),
+            Sx => {
+                let a = C64::new(0.5, 0.5);
+                let b = C64::new(0.5, -0.5);
+                Matrix::from_rows(&[vec![a, b], vec![b, a]])
+            }
+            Sxdg => {
+                let a = C64::new(0.5, -0.5);
+                let b = C64::new(0.5, 0.5);
+                Matrix::from_rows(&[vec![a, b], vec![b, a]])
+            }
+            Phase(lambda) => Matrix::from_diagonal(&[o, C64::cis(lambda)]),
+            Rx(theta) => {
+                let c = C64::real((theta / 2.0).cos());
+                let s = C64::new(0.0, -(theta / 2.0).sin());
+                Matrix::from_rows(&[vec![c, s], vec![s, c]])
+            }
+            Ry(theta) => {
+                let c = C64::real((theta / 2.0).cos());
+                let s = C64::real((theta / 2.0).sin());
+                Matrix::from_rows(&[vec![c, -s], vec![s, c]])
+            }
+            Rz(theta) => {
+                Matrix::from_diagonal(&[C64::cis(-theta / 2.0), C64::cis(theta / 2.0)])
+            }
+            U2(phi, lambda) => U3(FRAC_PI_2, phi, lambda).matrix(),
+            U3(theta, phi, lambda) => {
+                let c = C64::real((theta / 2.0).cos());
+                let s = C64::real((theta / 2.0).sin());
+                Matrix::from_rows(&[
+                    vec![c, -(C64::cis(lambda) * s)],
+                    vec![C64::cis(phi) * s, C64::cis(phi + lambda) * c],
+                ])
+            }
+            Cx => Matrix::from_rows(&[
+                vec![o, z, z, z],
+                vec![z, o, z, z],
+                vec![z, z, z, o],
+                vec![z, z, o, z],
+            ]),
+            Cz => Matrix::from_diagonal(&[o, o, o, -o]),
+            Cp(lambda) => Matrix::from_diagonal(&[o, o, o, C64::cis(lambda)]),
+            Rzz(theta) => {
+                let m = C64::cis(-theta / 2.0);
+                let p = C64::cis(theta / 2.0);
+                Matrix::from_diagonal(&[m, p, p, m])
+            }
+            Rxx(theta) => {
+                let c = C64::real((theta / 2.0).cos());
+                let s = C64::new(0.0, -(theta / 2.0).sin());
+                Matrix::from_rows(&[
+                    vec![c, z, z, s],
+                    vec![z, c, s, z],
+                    vec![z, s, c, z],
+                    vec![s, z, z, c],
+                ])
+            }
+            Swap => Matrix::from_rows(&[
+                vec![o, z, z, z],
+                vec![z, z, o, z],
+                vec![z, o, z, z],
+                vec![z, z, z, o],
+            ]),
+            Ccx => {
+                let mut m = Matrix::identity(8);
+                m[(6, 6)] = z;
+                m[(7, 7)] = z;
+                m[(6, 7)] = o;
+                m[(7, 6)] = o;
+                m
+            }
+            Cswap => {
+                let mut m = Matrix::identity(8);
+                m[(5, 5)] = z;
+                m[(6, 6)] = z;
+                m[(5, 6)] = o;
+                m[(6, 5)] = o;
+                m
+            }
+        }
+    }
+
+    /// The inverse gate, satisfying
+    /// `g.adjoint().matrix() == g.matrix().adjoint()`.
+    ///
+    /// ```
+    /// use qaec_circuit::Gate;
+    /// let g = Gate::U3(0.3, 1.1, -0.4);
+    /// assert!(g.adjoint().matrix().approx_eq(&g.matrix().adjoint(), 1e-12));
+    /// ```
+    pub fn adjoint(&self) -> Gate {
+        use Gate::*;
+        match *self {
+            I | X | Y | Z | H | Cx | Cz | Swap | Ccx | Cswap => *self,
+            S => Sdg,
+            Sdg => S,
+            T => Tdg,
+            Tdg => T,
+            Sx => Sxdg,
+            Sxdg => Sx,
+            Rzz(t) => Rzz(-t),
+            Rxx(t) => Rxx(-t),
+            Phase(l) => Phase(-l),
+            Rx(t) => Rx(-t),
+            Ry(t) => Ry(-t),
+            Rz(t) => Rz(-t),
+            U2(phi, lambda) => U3(-FRAC_PI_2, -lambda, -phi),
+            U3(theta, phi, lambda) => U3(-theta, -lambda, -phi),
+            Cp(l) => Cp(-l),
+        }
+    }
+
+    /// The OpenQASM 2 mnemonic of the gate.
+    pub fn name(&self) -> &'static str {
+        use Gate::*;
+        match self {
+            I => "id",
+            X => "x",
+            Y => "y",
+            Z => "z",
+            H => "h",
+            S => "s",
+            Sdg => "sdg",
+            T => "t",
+            Tdg => "tdg",
+            Sx => "sx",
+            Sxdg => "sxdg",
+            Phase(_) => "u1",
+            Rx(_) => "rx",
+            Ry(_) => "ry",
+            Rz(_) => "rz",
+            U2(..) => "u2",
+            U3(..) => "u3",
+            Cx => "cx",
+            Cz => "cz",
+            Cp(_) => "cp",
+            Rzz(_) => "rzz",
+            Rxx(_) => "rxx",
+            Swap => "swap",
+            Ccx => "ccx",
+            Cswap => "cswap",
+        }
+    }
+
+    /// The gate's real parameters (rotation angles / phases), if any.
+    pub fn params(&self) -> Vec<f64> {
+        use Gate::*;
+        match *self {
+            Phase(l) | Rx(l) | Ry(l) | Rz(l) | Cp(l) | Rzz(l) | Rxx(l) => vec![l],
+            U2(a, b) => vec![a, b],
+            U3(a, b, c) => vec![a, b, c],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Constructs a gate from its OpenQASM mnemonic and parameter list.
+    ///
+    /// Returns `None` for unknown names or wrong parameter counts.
+    /// `cu1` is accepted as an alias for `cp`, and `p` for `u1`.
+    pub fn from_name(name: &str, params: &[f64]) -> Option<Gate> {
+        use Gate::*;
+        let gate = match (name, params) {
+            ("id" | "i", []) => I,
+            ("x", []) => X,
+            ("y", []) => Y,
+            ("z", []) => Z,
+            ("h", []) => H,
+            ("s", []) => S,
+            ("sdg", []) => Sdg,
+            ("t", []) => T,
+            ("tdg", []) => Tdg,
+            ("sx", []) => Sx,
+            ("sxdg", []) => Sxdg,
+            ("u1" | "p" | "phase", [l]) => Phase(*l),
+            ("rx", [t]) => Rx(*t),
+            ("ry", [t]) => Ry(*t),
+            ("rz", [t]) => Rz(*t),
+            ("u2", [a, b]) => U2(*a, *b),
+            ("u3" | "u", [a, b, c]) => U3(*a, *b, *c),
+            ("cx" | "cnot", []) => Cx,
+            ("cz", []) => Cz,
+            ("cp" | "cu1", [l]) => Cp(*l),
+            ("rzz", [t]) => Rzz(*t),
+            ("rxx", [t]) => Rxx(*t),
+            ("swap", []) => Swap,
+            ("ccx" | "toffoli", []) => Ccx,
+            ("cswap" | "fredkin", []) => Cswap,
+            _ => return None,
+        };
+        Some(gate)
+    }
+
+    /// Whether this gate and `other` have the same kind and parameters
+    /// within `tol` (absolute, per parameter).
+    pub fn approx_eq(&self, other: &Gate, tol: f64) -> bool {
+        std::mem::discriminant(self) == std::mem::discriminant(other)
+            && self
+                .params()
+                .iter()
+                .zip(other.params())
+                .all(|(&a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Whether applying `other` directly after `self` (on the same qubits)
+    /// yields the identity — the local-cancellation test of the paper's
+    /// §IV-C.
+    pub fn cancels_with(&self, other: &Gate, tol: f64) -> bool {
+        self.adjoint().approx_eq(other, tol)
+            || self.matrix().mul(&other.matrix()).is_identity_up_to_phase(tol)
+    }
+
+    /// Whether the gate's matrix is diagonal (useful to contraction
+    /// heuristics).
+    pub fn is_diagonal(&self) -> bool {
+        use Gate::*;
+        matches!(
+            self,
+            I | Z | S | Sdg | T | Tdg | Phase(_) | Rz(_) | Cz | Cp(_) | Rzz(_)
+        )
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params = self.params();
+        if params.is_empty() {
+            write!(f, "{}", self.name())
+        } else {
+            let rendered: Vec<String> = params.iter().map(|p| format!("{p:.6}")).collect();
+            write!(f, "{}({})", self.name(), rendered.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_FIXED: &[Gate] = &[
+        Gate::I,
+        Gate::X,
+        Gate::Y,
+        Gate::Z,
+        Gate::H,
+        Gate::S,
+        Gate::Sdg,
+        Gate::T,
+        Gate::Tdg,
+        Gate::Cx,
+        Gate::Cz,
+        Gate::Swap,
+        Gate::Ccx,
+        Gate::Cswap,
+    ];
+
+    fn parameterized_samples() -> Vec<Gate> {
+        vec![
+            Gate::Sx,
+            Gate::Sxdg,
+            Gate::Phase(0.37),
+            Gate::Rx(1.2),
+            Gate::Ry(-0.8),
+            Gate::Rz(2.5),
+            Gate::U2(0.4, -1.3),
+            Gate::U3(0.9, 0.2, -0.6),
+            Gate::Cp(1.7),
+            Gate::Rzz(0.55),
+            Gate::Rxx(-1.2),
+        ]
+    }
+
+    #[test]
+    fn all_gates_are_unitary() {
+        for g in ALL_FIXED.iter().copied().chain(parameterized_samples()) {
+            assert!(g.matrix().is_unitary(1e-12), "{g} is not unitary");
+            assert_eq!(g.matrix().rows(), 1 << g.arity(), "{g} has wrong size");
+        }
+    }
+
+    #[test]
+    fn adjoint_matches_matrix_adjoint() {
+        for g in ALL_FIXED.iter().copied().chain(parameterized_samples()) {
+            assert!(
+                g.adjoint().matrix().approx_eq(&g.matrix().adjoint(), 1e-12),
+                "adjoint mismatch for {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn adjoint_cancels() {
+        for g in ALL_FIXED.iter().copied().chain(parameterized_samples()) {
+            let prod = g.matrix().mul(&g.adjoint().matrix());
+            assert!(prod.is_identity(1e-12), "{g}·{g}† ≠ I");
+            assert!(g.cancels_with(&g.adjoint(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn s_is_sqrt_z_and_t_is_sqrt_s() {
+        let s2 = Gate::S.matrix().mul(&Gate::S.matrix());
+        assert!(s2.approx_eq(&Gate::Z.matrix(), 1e-12));
+        let t2 = Gate::T.matrix().mul(&Gate::T.matrix());
+        assert!(t2.approx_eq(&Gate::S.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn h_equals_x_plus_z_over_sqrt2() {
+        let sum = Gate::X
+            .matrix()
+            .add(&Gate::Z.matrix())
+            .scale(C64::real(FRAC_1_SQRT_2));
+        assert!(sum.approx_eq(&Gate::H.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn cx_truth_table() {
+        let m = Gate::Cx.matrix();
+        // |10⟩ → |11⟩ (control = MSB)
+        assert_eq!(m[(3, 2)], C64::ONE);
+        assert_eq!(m[(2, 3)], C64::ONE);
+        assert_eq!(m[(0, 0)], C64::ONE);
+        assert_eq!(m[(1, 1)], C64::ONE);
+    }
+
+    #[test]
+    fn swap_matches_paper_matrix() {
+        let m = Gate::Swap.matrix();
+        assert_eq!(m[(1, 2)], C64::ONE);
+        assert_eq!(m[(2, 1)], C64::ONE);
+        assert_eq!(m[(0, 0)], C64::ONE);
+        assert_eq!(m[(3, 3)], C64::ONE);
+        assert_eq!(m[(1, 1)], C64::ZERO);
+    }
+
+    #[test]
+    fn controlled_s_matches_paper() {
+        // The paper's Fig. 1 controlled-S matrix: diag(1,1,1,i).
+        let m = Gate::Cp(FRAC_PI_2).matrix();
+        assert!((m[(3, 3)] - C64::I).abs() < 1e-12);
+        assert!(m.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn u2_equals_u3_half_pi() {
+        let a = Gate::U2(0.3, 0.7).matrix();
+        let b = Gate::U3(FRAC_PI_2, 0.3, 0.7).matrix();
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn rz_vs_phase_differ_by_global_phase() {
+        let theta = 0.93;
+        let rz = Gate::Rz(theta).matrix();
+        let u1 = Gate::Phase(theta).matrix();
+        let ratio = u1.scale(C64::cis(-theta / 2.0));
+        assert!(rz.approx_eq(&ratio, 1e-12));
+    }
+
+    #[test]
+    fn ccx_flips_target_only_when_both_controls_set() {
+        let m = Gate::Ccx.matrix();
+        for input in 0..8usize {
+            let expected = if input >> 1 == 0b11 { input ^ 1 } else { input };
+            assert_eq!(m[(expected, input)], C64::ONE, "input {input}");
+        }
+    }
+
+    #[test]
+    fn cswap_swaps_targets_when_control_set() {
+        let m = Gate::Cswap.matrix();
+        assert_eq!(m[(0b110, 0b101)], C64::ONE);
+        assert_eq!(m[(0b101, 0b110)], C64::ONE);
+        assert_eq!(m[(0b001, 0b001)], C64::ONE);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for g in ALL_FIXED.iter().copied().chain(parameterized_samples()) {
+            let back = Gate::from_name(g.name(), &g.params()).expect("known name");
+            assert!(back.approx_eq(&g, 0.0), "roundtrip failed for {g}");
+        }
+        assert_eq!(Gate::from_name("cu1", &[0.5]), Some(Gate::Cp(0.5)));
+        assert_eq!(Gate::from_name("nonsense", &[]), None);
+        assert_eq!(Gate::from_name("u3", &[0.1]), None);
+    }
+
+    #[test]
+    fn sx_squares_to_x() {
+        let sx2 = Gate::Sx.matrix().mul(&Gate::Sx.matrix());
+        assert!(sx2.approx_eq(&Gate::X.matrix(), 1e-12));
+        let id = Gate::Sx.matrix().mul(&Gate::Sxdg.matrix());
+        assert!(id.is_identity(1e-12));
+    }
+
+    #[test]
+    fn rzz_matches_cx_rz_cx() {
+        // Rzz(θ) = CX · (I ⊗ Rz(θ)) · CX.
+        let theta = 0.73;
+        let cx = Gate::Cx.matrix();
+        let rz = Matrix::identity(2).kron(&Gate::Rz(theta).matrix());
+        let expected = cx.mul(&rz).mul(&cx);
+        assert!(Gate::Rzz(theta).matrix().approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn rxx_is_hadamard_conjugated_rzz() {
+        // Rxx(θ) = (H⊗H) · Rzz(θ) · (H⊗H).
+        let theta = -0.41;
+        let hh = Gate::H.matrix().kron(&Gate::H.matrix());
+        let expected = hh.mul(&Gate::Rzz(theta).matrix()).mul(&hh);
+        assert!(Gate::Rxx(theta).matrix().approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn cancellation_detects_inverse_pairs() {
+        assert!(Gate::S.cancels_with(&Gate::Sdg, 1e-12));
+        assert!(Gate::H.cancels_with(&Gate::H, 1e-12));
+        assert!(!Gate::H.cancels_with(&Gate::X, 1e-12));
+        assert!(Gate::Phase(0.4).cancels_with(&Gate::Phase(-0.4), 1e-12));
+        // Z·S·S = Z·Z = I up to nothing — S cancels with S·Z? Not a pair.
+        assert!(!Gate::S.cancels_with(&Gate::S, 1e-12));
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(Gate::Cz.is_diagonal());
+        assert!(Gate::Phase(0.2).is_diagonal());
+        assert!(!Gate::H.is_diagonal());
+        assert!(!Gate::Cx.is_diagonal());
+    }
+}

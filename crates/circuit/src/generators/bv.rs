@@ -1,0 +1,91 @@
+//! Bernstein–Vazirani circuits.
+
+use crate::Circuit;
+
+/// The Bernstein–Vazirani circuit for a given hidden bit string.
+///
+/// Uses `hidden.len() + 1` qubits: data qubits `0..m` and one ancilla `m`.
+/// Layout: `H` on every data qubit, `X·H` on the ancilla, one `CX(i, anc)`
+/// per set bit of `hidden`, then `H` on every data qubit. Measuring the
+/// data register of the ideal circuit yields `hidden` with certainty.
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::generators::bernstein_vazirani;
+/// let c = bernstein_vazirani(&[true, false, true]);
+/// assert_eq!(c.n_qubits(), 4);
+/// assert_eq!(c.gate_count(), 3 + 2 + 2 + 3);
+/// ```
+pub fn bernstein_vazirani(hidden: &[bool]) -> Circuit {
+    let m = hidden.len();
+    let anc = m;
+    let mut c = Circuit::new(m + 1);
+    for q in 0..m {
+        c.h(q);
+    }
+    c.x(anc).h(anc);
+    for (q, &bit) in hidden.iter().enumerate() {
+        if bit {
+            c.cx(q, anc);
+        }
+    }
+    for q in 0..m {
+        c.h(q);
+    }
+    c
+}
+
+/// The paper's `bv_n` benchmark: Bernstein–Vazirani on `n` qubits with the
+/// all-ones hidden string (so `n − 1` data qubits), giving `3n − 1` gates —
+/// matching the `|G|` column of Table I.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn bernstein_vazirani_all_ones(n: usize) -> Circuit {
+    assert!(n >= 2, "bv needs at least one data qubit plus the ancilla");
+    bernstein_vazirani(&vec![true; n - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gate;
+
+    #[test]
+    fn structure() {
+        let c = bernstein_vazirani(&[true, true]);
+        assert_eq!(c.n_qubits(), 3);
+        // H H | X H | CX CX | H H
+        assert_eq!(c.gate_count(), 8);
+        assert_eq!(
+            c.iter().filter(|i| i.as_gate() == Some(&Gate::Cx)).count(),
+            2
+        );
+        assert!(c.is_unitary());
+    }
+
+    #[test]
+    fn zero_string_has_no_cx() {
+        let c = bernstein_vazirani(&[false, false, false]);
+        assert_eq!(
+            c.iter().filter(|i| i.as_gate() == Some(&Gate::Cx)).count(),
+            0
+        );
+        assert_eq!(c.gate_count(), 8); // 3 + 2 + 0 + 3
+    }
+
+    #[test]
+    fn gate_count_formula() {
+        for n in 2..20 {
+            assert_eq!(bernstein_vazirani_all_ones(n).gate_count(), 3 * n - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one data qubit")]
+    fn too_small_panics() {
+        bernstein_vazirani_all_ones(1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Entangled-state preparation circuits: GHZ and W states.
+
+use crate::Circuit;
+use std::f64::consts::PI;
+
+/// The `n`-qubit GHZ preparation: `H` on qubit 0 followed by a CX chain,
+/// producing `(|0…0⟩ + |1…1⟩)/√2`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::generators::ghz;
+/// let c = ghz(4);
+/// assert_eq!(c.gate_count(), 4); // H + 3 CX
+/// ```
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n > 0, "ghz needs at least one qubit");
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+    c
+}
+
+/// The `n`-qubit W-state preparation
+/// `(|10…0⟩ + |01…0⟩ + … + |0…01⟩)/√n` using the cascade of
+/// `Ry`-rotations + CX construction.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::generators::w_state;
+/// let c = w_state(3);
+/// assert!(c.gate_count() >= 5);
+/// ```
+pub fn w_state(n: usize) -> Circuit {
+    assert!(n > 0, "w state needs at least one qubit");
+    let mut c = Circuit::new(n);
+    c.x(0);
+    // Distribute the excitation: at step k the amplitude remaining on
+    // qubit k is split so that qubit k keeps 1/(n-k) of the probability.
+    for k in 0..n - 1 {
+        // Controlled-Ry(θ) with control k, target k+1, where
+        // cos²(θ/2) = 1/(n−k); decomposed as Ry(θ/2)·CX·Ry(−θ/2)·CX on
+        // the target (standard two-CX decomposition, exact for Ry).
+        let p = 1.0 / (n - k) as f64;
+        let theta = 2.0 * p.sqrt().acos();
+        c.gate(crate::Gate::Ry(theta / 2.0), &[k + 1])
+            .cx(k, k + 1)
+            .gate(crate::Gate::Ry(-theta / 2.0), &[k + 1])
+            .cx(k, k + 1);
+        // Transfer: excitation moves down iff the split took it.
+        c.cx(k + 1, k);
+    }
+    c
+}
+
+/// A QAOA MaxCut ansatz on the ring graph `0−1−…−(n−1)−0`: `p` layers of
+/// cost (`ZZ` interactions as `CX·Rz·CX`) and mixer (`Rx`) unitaries with
+/// the supplied angles.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `gammas.len() != betas.len()`.
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::generators::qaoa_ring;
+/// let c = qaoa_ring(4, &[0.4], &[0.7]);
+/// // H layer + 4 edges × 3 gates + 4 mixers
+/// assert_eq!(c.gate_count(), 4 + 12 + 4);
+/// ```
+pub fn qaoa_ring(n: usize, gammas: &[f64], betas: &[f64]) -> Circuit {
+    assert!(n >= 3, "ring graph needs at least 3 vertices");
+    assert_eq!(gammas.len(), betas.len(), "layer angle counts must match");
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for (&gamma, &beta) in gammas.iter().zip(betas) {
+        for q in 0..n {
+            let a = q;
+            let b = (q + 1) % n;
+            // e^{-iγ Z⊗Z/2}: CX · Rz(γ) · CX.
+            c.cx(a, b).gate(crate::Gate::Rz(gamma), &[b]).cx(a, b);
+        }
+        for q in 0..n {
+            c.gate(crate::Gate::Rx(2.0 * beta), &[q]);
+        }
+    }
+    c
+}
+
+/// A hardware-efficient variational ansatz: `layers` repetitions of
+/// per-qubit `Ry`/`Rz` rotations followed by a linear CX entangling
+/// chain, with deterministic pseudo-random angles derived from `seed`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn hardware_efficient_ansatz(n: usize, layers: usize, seed: u64) -> Circuit {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!(n > 0, "ansatz needs at least one qubit");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..layers {
+        for q in 0..n {
+            c.gate(crate::Gate::Ry(rng.gen_range(-PI..PI)), &[q]);
+            c.gate(crate::Gate::Rz(rng.gen_range(-PI..PI)), &[q]);
+        }
+        for q in 0..n.saturating_sub(1) {
+            c.cx(q, q + 1);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::unitary_of;
+
+    #[test]
+    fn ghz_amplitudes() {
+        for n in 1..=4usize {
+            let u = unitary_of(&ghz(n));
+            let s = std::f64::consts::FRAC_1_SQRT_2;
+            let d = 1usize << n;
+            // Column 0 = state from |0…0⟩.
+            if n == 1 {
+                assert!((u[(0, 0)].re - s).abs() < 1e-12);
+            } else {
+                assert!((u[(0, 0)].re - s).abs() < 1e-12, "n={n}");
+                assert!((u[(d - 1, 0)].re - s).abs() < 1e-12, "n={n}");
+                for row in 1..d - 1 {
+                    assert!(u[(row, 0)].abs() < 1e-12, "n={n} row {row}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn w_state_amplitudes() {
+        for n in 2..=4usize {
+            let u = unitary_of(&w_state(n));
+            let expected = 1.0 / (n as f64).sqrt();
+            let d = 1usize << n;
+            let mut support = 0;
+            for row in 0..d {
+                let amp = u[(row, 0)];
+                if row.count_ones() == 1 {
+                    assert!(
+                        (amp.abs() - expected).abs() < 1e-10,
+                        "n={n} row {row:b}: {amp}"
+                    );
+                    support += 1;
+                } else {
+                    assert!(amp.abs() < 1e-10, "n={n} row {row:b}: {amp}");
+                }
+            }
+            assert_eq!(support, n);
+        }
+    }
+
+    #[test]
+    fn qaoa_structure() {
+        let c = qaoa_ring(5, &[0.1, 0.2], &[0.3, 0.4]);
+        assert_eq!(c.n_qubits(), 5);
+        // 5 H + 2 layers × (5 edges × 3 + 5 mixers)
+        assert_eq!(c.gate_count(), 5 + 2 * (15 + 5));
+        assert!(c.is_unitary());
+    }
+
+    #[test]
+    fn ansatz_deterministic() {
+        assert_eq!(
+            hardware_efficient_ansatz(4, 3, 9),
+            hardware_efficient_ansatz(4, 3, 9)
+        );
+        assert_ne!(
+            hardware_efficient_ansatz(4, 3, 9),
+            hardware_efficient_ansatz(4, 3, 10)
+        );
+        let c = hardware_efficient_ansatz(4, 3, 9);
+        assert_eq!(c.gate_count(), 3 * (8 + 3));
+    }
+}

@@ -1,0 +1,220 @@
+//! Grover search circuits.
+
+use crate::{Circuit, Gate};
+
+/// Emits the standard 15-gate Clifford+T decomposition of a Toffoli gate.
+fn toffoli_decomposed(c: &mut Circuit, a: usize, b: usize, t: usize) {
+    c.h(t)
+        .cx(b, t)
+        .gate(Gate::Tdg, &[t])
+        .cx(a, t)
+        .t(t)
+        .cx(b, t)
+        .gate(Gate::Tdg, &[t])
+        .cx(a, t)
+        .t(b)
+        .t(t)
+        .h(t)
+        .cx(a, b)
+        .t(a)
+        .gate(Gate::Tdg, &[b])
+        .cx(a, b);
+}
+
+/// Applies X to every data qubit whose bit in `marked` is 0, mapping
+/// `|marked⟩ ↦ |1…1⟩` (and back, since X is self-inverse).
+fn mark_pattern(c: &mut Circuit, n_data: usize, marked: usize) {
+    for q in 0..n_data {
+        if (marked >> (n_data - 1 - q)) & 1 == 0 {
+            c.x(q);
+        }
+    }
+}
+
+/// How Grover sub-circuits are emitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroverOptions {
+    /// Number of Grover iterations.
+    pub iterations: usize,
+    /// The marked computational-basis element (`0 ≤ marked < 2^n_data`).
+    pub marked: usize,
+    /// Decompose Toffoli gates into the 15-gate Clifford+T network.
+    pub decompose_toffoli: bool,
+    /// Restore the oracle ancilla to |0⟩ at the end (`H`, `X`).
+    pub uncompute_ancilla: bool,
+}
+
+impl Default for GroverOptions {
+    fn default() -> Self {
+        GroverOptions {
+            iterations: 1,
+            marked: 0,
+            decompose_toffoli: false,
+            uncompute_ancilla: false,
+        }
+    }
+}
+
+/// A Grover search circuit over `n_data` data qubits (currently `n_data ==
+/// 2`, the size used by the paper's benchmark) plus one oracle ancilla.
+///
+/// Structure: `H^⊗n · (X·H) anc`, then per iteration an oracle (phase
+/// kickback through the ancilla via a Toffoli conjugated by the marked-
+/// element pattern) and the diffusion operator
+/// `H^⊗n · X^⊗n · CZ · X^⊗n · H^⊗n`.
+///
+/// With `iterations = 3`, `marked = 0`, decomposed Toffolis and ancilla
+/// uncomputation this yields the 96-gate, 3-qubit `grover` row of the
+/// paper's Table I; see [`grover_dac21`].
+///
+/// # Panics
+///
+/// Panics if `n_data != 2` or `marked >= 2^n_data`.
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::generators::grover;
+/// let c = grover(2, Default::default());
+/// assert_eq!(c.n_qubits(), 3);
+/// assert!(c.is_unitary());
+/// ```
+pub fn grover(n_data: usize, options: GroverOptions) -> Circuit {
+    assert_eq!(n_data, 2, "only the 2-data-qubit instance is supported");
+    assert!(
+        options.marked < (1 << n_data),
+        "marked element out of range"
+    );
+    let anc = n_data;
+    let mut c = Circuit::new(n_data + 1);
+
+    // Initialisation: uniform superposition, ancilla in |−⟩.
+    for q in 0..n_data {
+        c.h(q);
+    }
+    c.x(anc).h(anc);
+
+    for _ in 0..options.iterations {
+        // Oracle: flip phase of |marked⟩ via kickback.
+        mark_pattern(&mut c, n_data, options.marked);
+        if options.decompose_toffoli {
+            toffoli_decomposed(&mut c, 0, 1, anc);
+        } else {
+            c.ccx(0, 1, anc);
+        }
+        mark_pattern(&mut c, n_data, options.marked);
+
+        // Diffusion about the mean on the data qubits.
+        c.h(0).h(1).x(0).x(1);
+        // CZ decomposed as H·CX·H on the target.
+        c.h(1).cx(0, 1).h(1);
+        c.x(0).x(1).h(0).h(1);
+    }
+
+    if options.uncompute_ancilla {
+        c.h(anc).x(anc);
+    }
+    c
+}
+
+/// The exact `grover` instance of the paper's Table I: 3 qubits, 96 gates.
+pub fn grover_dac21() -> Circuit {
+    grover(
+        2,
+        GroverOptions {
+            iterations: 3,
+            marked: 0,
+            decompose_toffoli: true,
+            uncompute_ancilla: true,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::unitary_of;
+
+    #[test]
+    fn toffoli_decomposition_is_exact() {
+        let mut c = Circuit::new(3);
+        toffoli_decomposed(&mut c, 0, 1, 2);
+        assert_eq!(c.gate_count(), 15);
+        let u = unitary_of(&c);
+        assert!(
+            u.approx_eq(&Gate::Ccx.matrix(), 1e-10),
+            "decomposed toffoli != ccx:\n{u:?}"
+        );
+    }
+
+    #[test]
+    fn dac21_instance_has_96_gates_on_3_qubits() {
+        let c = grover_dac21();
+        assert_eq!(c.n_qubits(), 3);
+        assert_eq!(c.gate_count(), 96);
+    }
+
+    #[test]
+    fn decomposed_matches_native() {
+        for marked in 0..4 {
+            let native = grover(
+                2,
+                GroverOptions {
+                    iterations: 1,
+                    marked,
+                    ..Default::default()
+                },
+            );
+            let decomposed = grover(
+                2,
+                GroverOptions {
+                    iterations: 1,
+                    marked,
+                    decompose_toffoli: true,
+                    ..Default::default()
+                },
+            );
+            let a = unitary_of(&native);
+            let b = unitary_of(&decomposed);
+            assert!(a.approx_eq(&b, 1e-10), "mismatch for marked={marked}");
+        }
+    }
+
+    #[test]
+    fn single_iteration_amplifies_marked_element() {
+        // After one iteration on N=4, the marked element has amplitude 1.
+        let marked = 2usize;
+        let c = grover(
+            2,
+            GroverOptions {
+                iterations: 1,
+                marked,
+                ..Default::default()
+            },
+        );
+        let u = unitary_of(&c);
+        // Input |000⟩ → column 0; ancilla ends in (|0⟩−|1⟩)/√2.
+        // Probability of reading `marked` on the data qubits:
+        let mut prob = 0.0;
+        for anc_bit in 0..2usize {
+            let row = (marked << 1) | anc_bit;
+            prob += u[(row, 0)].norm_sqr();
+        }
+        assert!(
+            (prob - 1.0).abs() < 1e-10,
+            "marked element probability {prob}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "marked element out of range")]
+    fn bad_marked_element_panics() {
+        grover(
+            2,
+            GroverOptions {
+                marked: 4,
+                ..Default::default()
+            },
+        );
+    }
+}

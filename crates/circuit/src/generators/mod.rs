@@ -1,0 +1,65 @@
+//! Benchmark circuit families used in the paper's evaluation (Table I,
+//! Table II, Fig. 7).
+//!
+//! All generators are deterministic: the randomized families (`qv`, `rb`,
+//! random circuits) take an explicit seed. Gate counts are calibrated to
+//! the `|G|` column of the paper's Table I, which uses the benchmark suite
+//! of Li et al. (DAC'20):
+//!
+//! | family | gates |
+//! |--------|-------|
+//! | `bv_n` | `3n − 1` (hidden string all ones) |
+//! | `qft_n` | `n + 5·n(n−1)/2` (controlled-phase decomposed, no final swaps) |
+//! | `qv nXd5` | `5 · ⌊X/2⌋ · 10` |
+//! | `7x1mod15` | 14 on 5 qubits |
+
+mod arith;
+mod bv;
+mod entangle;
+mod grover;
+mod modmul;
+mod qft;
+mod qv;
+mod random;
+mod rb;
+
+pub use arith::cuccaro_adder;
+pub use bv::{bernstein_vazirani, bernstein_vazirani_all_ones};
+pub use entangle::{ghz, hardware_efficient_ansatz, qaoa_ring, w_state};
+pub use grover::{grover, grover_dac21, GroverOptions};
+pub use modmul::mod_mul_7x1_mod15;
+pub use qft::{qft, QftStyle};
+pub use qv::quantum_volume;
+pub use random::random_circuit;
+pub use rb::randomized_benchmarking;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_gate_counts() {
+        // The |G| column of the paper's Table I.
+        for (n, expected) in [(4, 11), (5, 14), (6, 17), (9, 26), (13, 38), (14, 41), (16, 47)]
+        {
+            assert_eq!(
+                bernstein_vazirani_all_ones(n).gate_count(),
+                expected,
+                "bv{n}"
+            );
+        }
+        for (n, expected) in [(2, 7), (3, 18), (5, 55), (7, 112), (9, 189), (10, 235)] {
+            assert_eq!(
+                qft(n, QftStyle::DecomposedNoSwaps).gate_count(),
+                expected,
+                "qft{n}"
+            );
+        }
+        for (n, expected) in [(3, 50), (5, 100), (6, 150), (7, 150), (9, 200)] {
+            assert_eq!(quantum_volume(n, 5, 0xDAC2021).gate_count(), expected, "qv n{n}d5");
+        }
+        assert_eq!(mod_mul_7x1_mod15().gate_count(), 14);
+        assert_eq!(mod_mul_7x1_mod15().n_qubits(), 5);
+        assert_eq!(randomized_benchmarking(2, 7, 1).gate_count(), 7);
+    }
+}

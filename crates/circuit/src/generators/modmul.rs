@@ -1,0 +1,107 @@
+//! The `7x1mod15` modular-multiplication benchmark.
+
+use crate::Circuit;
+
+/// The `7x1mod15` circuit of the paper's Table I: a controlled modular
+/// multiplier `|c⟩|x⟩ ↦ |c⟩|7·x mod 15⟩` (for `c = 1`) over a 4-bit
+/// register, as it appears in Shor's algorithm for factoring 15.
+///
+/// Layout (5 qubits, 14 gates):
+///
+/// * qubit 0 — control;
+/// * qubits 1–4 — the register, big-endian (`q1` = bit 3 = MSB);
+/// * `X q4` prepares the register in `|0001⟩ = |1⟩`;
+/// * multiplication by 7 mod 15 as the permutation
+///   `swap(3,4)·swap(2,3)·swap(1,2)` (bit rotation = ×2... composed twice
+///   with the final complement), each swap controlled on `q0` and emitted
+///   as the 3-gate network `cx(b,a)·ccx(c,a,b)·cx(b,a)`;
+/// * four `cx(q0, qᵢ)` implementing the controlled complement
+///   (×(−1) mod 15).
+///
+/// Gate count: 1 + 3·3 + 4 = 14, matching the paper.
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::generators::mod_mul_7x1_mod15;
+/// let c = mod_mul_7x1_mod15();
+/// assert_eq!((c.n_qubits(), c.gate_count()), (5, 14));
+/// ```
+pub fn mod_mul_7x1_mod15() -> Circuit {
+    let mut c = Circuit::new(5);
+    // |x⟩ = |1⟩.
+    c.x(4);
+    // Controlled swaps: (q3,q4), (q2,q3), (q1,q2), each as cx·ccx·cx.
+    for (a, b) in [(3usize, 4usize), (2, 3), (1, 2)] {
+        c.cx(b, a);
+        c.ccx(0, a, b);
+        c.cx(b, a);
+    }
+    // Controlled complement of the register.
+    for q in 1..=4 {
+        c.cx(0, q);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::unitary_of;
+    use qaec_math::C64;
+
+    #[test]
+    fn size() {
+        let c = mod_mul_7x1_mod15();
+        assert_eq!(c.n_qubits(), 5);
+        assert_eq!(c.gate_count(), 14);
+        assert!(c.is_unitary());
+    }
+
+    /// With the control ON, the circuit must send register value `x` to
+    /// `7·x mod 15` for all x in 0..15 (the permutation branch), starting
+    /// from the prepared |1⟩ it must produce |7⟩.
+    #[test]
+    fn maps_one_to_seven_when_controlled() {
+        let c = mod_mul_7x1_mod15();
+        let u = unitary_of(&c);
+        // Input: control=1, register=0 → basis index 0b10000 = 16.
+        // The initial X q4 prepares register |0001⟩, then ×7 → |0111⟩.
+        let input = 0b1_0000usize;
+        let expected = 0b1_0111usize; // control=1, register=7
+        assert!(
+            (u[(expected, input)].abs() - 1.0).abs() < 1e-10,
+            "|c=1,x=0⟩ should map to |c=1, 7⟩"
+        );
+    }
+
+    /// With the control OFF the register is only prepared, not multiplied.
+    #[test]
+    fn control_off_only_prepares() {
+        let c = mod_mul_7x1_mod15();
+        let u = unitary_of(&c);
+        let input = 0b0_0000usize;
+        let expected = 0b0_0001usize; // register |1⟩ untouched by the multiplier
+        assert_eq!(u[(expected, input)], C64::ONE);
+    }
+
+    /// The controlled-swap network (gates 1..10, skipping the X prep and
+    /// complement) must permute register bits: with control on, x ↦ rot(x).
+    #[test]
+    fn unitary_is_permutation() {
+        let u = unitary_of(&mod_mul_7x1_mod15());
+        // Every column must have exactly one unit entry (classical
+        // reversible circuit).
+        for col in 0..32 {
+            let mut count = 0;
+            for row in 0..32 {
+                let a = u[(row, col)].abs();
+                assert!(a < 1e-10 || (a - 1.0).abs() < 1e-10);
+                if a > 0.5 {
+                    count += 1;
+                }
+            }
+            assert_eq!(count, 1, "column {col} not a permutation column");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Quantum Fourier transform circuits.
+
+use crate::Circuit;
+use std::f64::consts::PI;
+
+/// How to emit the QFT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QftStyle {
+    /// Textbook form: native controlled-phase gates and final SWAPs
+    /// (the paper's Fig. 1 for `n = 2`).
+    Textbook,
+    /// Native controlled-phase gates, final SWAPs omitted (output in
+    /// bit-reversed order).
+    NoSwaps,
+    /// Controlled-phase gates decomposed into
+    /// `u1(λ/2) c; cx; u1(−λ/2) t; cx; u1(λ/2) t` and final SWAPs omitted.
+    /// This matches the gate counts of the benchmark suite used in the
+    /// paper's Table I (`|qft_n| = n + 5·n(n−1)/2`).
+    DecomposedNoSwaps,
+}
+
+/// The `n`-qubit quantum Fourier transform.
+///
+/// Qubit 0 holds the most significant bit. For each qubit `q` (top to
+/// bottom): a Hadamard followed by controlled-phase rotations
+/// `cp(π/2^{j−q})` with control `j` for `j = q+1 .. n`.
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::generators::{qft, QftStyle};
+/// assert_eq!(qft(2, QftStyle::Textbook).gate_count(), 4);   // H, CS, H, SWAP
+/// assert_eq!(qft(2, QftStyle::DecomposedNoSwaps).gate_count(), 7);
+/// assert_eq!(qft(5, QftStyle::DecomposedNoSwaps).gate_count(), 55);
+/// ```
+pub fn qft(n: usize, style: QftStyle) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+        for j in (q + 1)..n {
+            let lambda = PI / (1u64 << (j - q)) as f64;
+            match style {
+                QftStyle::Textbook | QftStyle::NoSwaps => {
+                    c.cp(lambda, j, q);
+                }
+                QftStyle::DecomposedNoSwaps => {
+                    // cp(λ) c=j, t=q  ≡  u1(λ/2) j; cx j,q; u1(−λ/2) q; cx j,q; u1(λ/2) q
+                    c.u1(lambda / 2.0, j)
+                        .cx(j, q)
+                        .u1(-lambda / 2.0, q)
+                        .cx(j, q)
+                        .u1(lambda / 2.0, q);
+                }
+            }
+        }
+    }
+    if style == QftStyle::Textbook {
+        for q in 0..n / 2 {
+            c.swap(q, n - 1 - q);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::unitary_of;
+    use qaec_math::{C64, Matrix};
+
+    /// The exact QFT matrix `F[j,k] = ω^{jk}/√d`.
+    fn qft_matrix(n: usize) -> Matrix {
+        let d = 1usize << n;
+        Matrix::from_fn(d, d, |j, k| {
+            C64::cis(2.0 * std::f64::consts::PI * (j * k) as f64 / d as f64)
+                * (1.0 / (d as f64).sqrt())
+        })
+    }
+
+    #[test]
+    fn textbook_qft_matches_dft_matrix() {
+        for n in 1..=4 {
+            let u = unitary_of(&qft(n, QftStyle::Textbook));
+            assert!(
+                u.approx_eq(&qft_matrix(n), 1e-10),
+                "qft{n} does not equal the DFT matrix"
+            );
+        }
+    }
+
+    #[test]
+    fn decomposed_equals_native_up_to_swaps() {
+        for n in 1..=4 {
+            let a = unitary_of(&qft(n, QftStyle::NoSwaps));
+            let b = unitary_of(&qft(n, QftStyle::DecomposedNoSwaps));
+            assert!(a.approx_eq(&b, 1e-10), "qft{n} decomposition mismatch");
+        }
+    }
+
+    #[test]
+    fn gate_count_formula() {
+        for n in 1..12 {
+            let pairs = n * (n - 1) / 2;
+            assert_eq!(
+                qft(n, QftStyle::DecomposedNoSwaps).gate_count(),
+                n + 5 * pairs
+            );
+            assert_eq!(qft(n, QftStyle::Textbook).gate_count(), n + pairs + n / 2);
+            assert_eq!(qft(n, QftStyle::NoSwaps).gate_count(), n + pairs);
+        }
+    }
+
+    #[test]
+    fn fig1_structure_for_two_qubits() {
+        // H on q0, controlled-S (control q1), H on q1, SWAP — the paper's Fig. 1.
+        let c = qft(2, QftStyle::Textbook);
+        let gates: Vec<_> = c.iter().map(|i| i.as_gate().unwrap().name()).collect();
+        assert_eq!(gates, vec!["h", "cp", "h", "swap"]);
+        let cp = c.instructions()[1].as_gate().unwrap();
+        assert!((cp.params()[0] - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+}

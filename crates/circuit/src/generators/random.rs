@@ -1,0 +1,94 @@
+//! Random circuit generation for tests and fuzzing.
+
+use crate::{Circuit, Gate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// A uniformly random circuit: `gates` gates drawn from a mixed pool of
+/// single-qubit (Clifford+T and rotations) and two-qubit gates, on random
+/// qubits. Deterministic in `seed`.
+///
+/// Used by property-based tests throughout the workspace to cross-validate
+/// the decision-diagram and dense backends.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::generators::random_circuit;
+/// let c = random_circuit(4, 30, 123);
+/// assert_eq!(c.gate_count(), 30);
+/// ```
+pub fn random_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
+    assert!(n > 0, "random circuit needs at least one qubit");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        let use_two = n >= 2 && rng.gen_bool(0.4);
+        if use_two {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n - 1);
+            if b >= a {
+                b += 1;
+            }
+            let g = match rng.gen_range(0..4) {
+                0 => Gate::Cx,
+                1 => Gate::Cz,
+                2 => Gate::Swap,
+                _ => Gate::Cp(rng.gen_range(-PI..PI)),
+            };
+            c.gate(g, &[a, b]);
+        } else {
+            let q = rng.gen_range(0..n);
+            let g = match rng.gen_range(0..10) {
+                0 => Gate::H,
+                1 => Gate::X,
+                2 => Gate::Y,
+                3 => Gate::Z,
+                4 => Gate::S,
+                5 => Gate::T,
+                6 => Gate::Phase(rng.gen_range(-PI..PI)),
+                7 => Gate::Rx(rng.gen_range(-PI..PI)),
+                8 => Gate::Ry(rng.gen_range(-PI..PI)),
+                _ => Gate::Rz(rng.gen_range(-PI..PI)),
+            };
+            c.gate(g, &[q]);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_determinism() {
+        let c = random_circuit(3, 25, 5);
+        assert_eq!(c.gate_count(), 25);
+        assert_eq!(c, random_circuit(3, 25, 5));
+        assert_ne!(c, random_circuit(3, 25, 6));
+    }
+
+    #[test]
+    fn single_qubit_circuits_avoid_two_qubit_gates() {
+        let c = random_circuit(1, 40, 8);
+        assert!(c.iter().all(|i| i.qubits.len() == 1));
+    }
+
+    #[test]
+    fn all_instructions_valid() {
+        // Construction would have panicked on invalid qubits; spot-check
+        // qubit ranges anyway.
+        let c = random_circuit(5, 100, 99);
+        for instr in c.iter() {
+            for &q in &instr.qubits {
+                assert!(q < 5);
+            }
+        }
+    }
+}

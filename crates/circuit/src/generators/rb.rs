@@ -1,0 +1,88 @@
+//! Randomized-benchmarking style circuits.
+
+use crate::{Circuit, Gate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A randomized-benchmarking style sequence (Knill et al. 2008): `length`
+/// uniformly random Clifford gates over `n` qubits, drawn from
+/// `{H, S, S†, X, Y, Z}` on single qubits and `{CX, CZ, SWAP}` on pairs.
+///
+/// The `rb` row of the paper's Table I uses `n = 2`, `length = 7`.
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, or if `n == 1` and the sequence would need a
+/// two-qubit gate (two-qubit gates are only drawn when `n ≥ 2`).
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::generators::randomized_benchmarking;
+/// let c = randomized_benchmarking(2, 7, 0xDAC);
+/// assert_eq!(c.gate_count(), 7);
+/// ```
+pub fn randomized_benchmarking(n: usize, length: usize, seed: u64) -> Circuit {
+    assert!(n > 0, "rb needs at least one qubit");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    const ONE_QUBIT: [Gate; 6] = [Gate::H, Gate::S, Gate::Sdg, Gate::X, Gate::Y, Gate::Z];
+    const TWO_QUBIT: [Gate; 3] = [Gate::Cx, Gate::Cz, Gate::Swap];
+    for _ in 0..length {
+        let two = n >= 2 && rng.gen_bool(0.5);
+        if two {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n - 1);
+            if b >= a {
+                b += 1;
+            }
+            c.gate(TWO_QUBIT[rng.gen_range(0..TWO_QUBIT.len())], &[a, b]);
+        } else {
+            let q = rng.gen_range(0..n);
+            c.gate(ONE_QUBIT[rng.gen_range(0..ONE_QUBIT.len())], &[q]);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_and_width() {
+        let c = randomized_benchmarking(2, 7, 1);
+        assert_eq!(c.gate_count(), 7);
+        assert_eq!(c.n_qubits(), 2);
+        assert!(c.is_unitary());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            randomized_benchmarking(3, 20, 9),
+            randomized_benchmarking(3, 20, 9)
+        );
+        assert_ne!(
+            randomized_benchmarking(3, 20, 9),
+            randomized_benchmarking(3, 20, 10)
+        );
+    }
+
+    #[test]
+    fn single_qubit_sequences_use_only_one_qubit_gates() {
+        let c = randomized_benchmarking(1, 50, 4);
+        assert!(c.iter().all(|i| i.qubits.len() == 1));
+    }
+
+    #[test]
+    fn two_qubit_gates_use_distinct_qubits() {
+        let c = randomized_benchmarking(4, 200, 11);
+        for instr in c.iter() {
+            if instr.qubits.len() == 2 {
+                assert_ne!(instr.qubits[0], instr.qubits[1]);
+            }
+        }
+    }
+}

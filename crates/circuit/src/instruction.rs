@@ -1,0 +1,148 @@
+//! Circuit instructions: an operation applied to specific qubits.
+
+use crate::{gate::Gate, noise::NoiseChannel};
+use qaec_math::Matrix;
+use std::fmt;
+
+/// The payload of an instruction: either a unitary gate or a noise channel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operation {
+    /// A unitary gate.
+    Gate(Gate),
+    /// A CPTP noise channel.
+    Noise(NoiseChannel),
+}
+
+impl Operation {
+    /// Number of qubits the operation acts on.
+    pub fn arity(&self) -> usize {
+        match self {
+            Operation::Gate(g) => g.arity(),
+            Operation::Noise(n) => n.arity(),
+        }
+    }
+
+    /// Whether this is a unitary gate.
+    pub fn is_gate(&self) -> bool {
+        matches!(self, Operation::Gate(_))
+    }
+
+    /// Whether this is a noise channel.
+    pub fn is_noise(&self) -> bool {
+        matches!(self, Operation::Noise(_))
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operation::Gate(g) => write!(f, "{g}"),
+            Operation::Noise(n) => write!(f, "noise:{n}"),
+        }
+    }
+}
+
+/// One step of a circuit: an [`Operation`] applied to an ordered list of
+/// qubits.
+///
+/// The qubit order matters for non-symmetric gates: for [`Gate::Cx`] the
+/// first listed qubit is the control.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instruction {
+    /// What is applied.
+    pub op: Operation,
+    /// Which qubits it is applied to, in gate-matrix (big-endian) order.
+    pub qubits: Vec<usize>,
+}
+
+impl Instruction {
+    /// Creates a gate instruction.
+    pub fn gate(gate: Gate, qubits: impl Into<Vec<usize>>) -> Self {
+        Instruction {
+            op: Operation::Gate(gate),
+            qubits: qubits.into(),
+        }
+    }
+
+    /// Creates a noise instruction.
+    pub fn noise(channel: NoiseChannel, qubits: impl Into<Vec<usize>>) -> Self {
+        Instruction {
+            op: Operation::Noise(channel),
+            qubits: qubits.into(),
+        }
+    }
+
+    /// Whether this instruction is a unitary gate.
+    pub fn is_gate(&self) -> bool {
+        self.op.is_gate()
+    }
+
+    /// Whether this instruction is a noise channel.
+    pub fn is_noise(&self) -> bool {
+        self.op.is_noise()
+    }
+
+    /// The gate, if this is a gate instruction.
+    pub fn as_gate(&self) -> Option<&Gate> {
+        match &self.op {
+            Operation::Gate(g) => Some(g),
+            Operation::Noise(_) => None,
+        }
+    }
+
+    /// The channel, if this is a noise instruction.
+    pub fn as_noise(&self) -> Option<&NoiseChannel> {
+        match &self.op {
+            Operation::Gate(_) => None,
+            Operation::Noise(n) => Some(n),
+        }
+    }
+
+    /// The unitary matrix, if this is a gate instruction.
+    pub fn gate_matrix(&self) -> Option<Matrix> {
+        self.as_gate().map(Gate::matrix)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let qs: Vec<String> = self.qubits.iter().map(|q| format!("q[{q}]")).collect();
+        write!(f, "{} {}", self.op, qs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let g = Instruction::gate(Gate::H, vec![0]);
+        assert!(g.is_gate() && !g.is_noise());
+        assert_eq!(g.as_gate(), Some(&Gate::H));
+        assert!(g.as_noise().is_none());
+        assert!(g.gate_matrix().unwrap().is_unitary(1e-12));
+
+        let n = Instruction::noise(NoiseChannel::BitFlip { p: 0.9 }, vec![1]);
+        assert!(n.is_noise() && !n.is_gate());
+        assert!(n.as_gate().is_none());
+        assert!(n.gate_matrix().is_none());
+    }
+
+    #[test]
+    fn display() {
+        let g = Instruction::gate(Gate::Cx, vec![0, 2]);
+        assert_eq!(g.to_string(), "cx q[0], q[2]");
+        let n = Instruction::noise(NoiseChannel::Depolarizing { p: 0.999 }, vec![1]);
+        assert!(n.to_string().contains("depolarizing"));
+    }
+
+    #[test]
+    fn arity_passthrough() {
+        assert_eq!(Operation::Gate(Gate::Ccx).arity(), 3);
+        assert_eq!(
+            Operation::Noise(NoiseChannel::PhaseFlip { p: 0.5 }).arity(),
+            1
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Quantum circuit intermediate representation for the QAEC workspace.
+//!
+//! This crate models both *ideal* circuits (sequences of unitary [`Gate`]s)
+//! and *noisy* circuits (where [`NoiseChannel`]s — completely-positive
+//! trace-preserving maps given in Kraus form — may appear between gates), as
+//! required by the DAC'21 paper "Approximate Equivalence Checking of Noisy
+//! Quantum Circuits".
+//!
+//! Contents:
+//!
+//! * [`Gate`] — the unitary gate set (Paulis, Clifford+T, rotations, `u1`
+//!   / `u2` / `u3`, `cx` / `cz` / controlled-phase, `swap`, Toffoli,
+//!   Fredkin) with exact matrices and adjoints;
+//! * [`NoiseChannel`] — bit flip, phase flip, bit-phase flip, depolarizing
+//!   (the paper's Example 2), plus amplitude/phase damping, Pauli channels
+//!   and validated custom Kraus sets;
+//! * [`Circuit`] — the instruction list with builders, composition,
+//!   adjoints and ASCII rendering;
+//! * [`generators`] — the benchmark families of the paper's evaluation
+//!   (`bv`, `qft`, `grover`, `qv`, `rb`, `7x1mod15`, random circuits);
+//! * [`noise_insertion`] — seeded random noise injection used to produce
+//!   the paper's noisy implementations;
+//! * [`qasm`] — an OpenQASM 2 subset reader/writer with a noise directive
+//!   extension.
+//!
+//! # Example
+//!
+//! ```
+//! use qaec_circuit::{Circuit, Gate, NoiseChannel};
+//!
+//! // The noisy 2-qubit QFT of the paper's Fig. 2.
+//! let mut qft = Circuit::new(2);
+//! qft.gate(Gate::H, &[0])
+//!     .noise(NoiseChannel::BitFlip { p: 0.999 }, &[1])
+//!     .gate(Gate::Cp(std::f64::consts::FRAC_PI_2), &[1, 0])
+//!     .noise(NoiseChannel::PhaseFlip { p: 0.999 }, &[0])
+//!     .gate(Gate::H, &[1])
+//!     .gate(Gate::Swap, &[0, 1]);
+//! assert_eq!(qft.gate_count(), 4);
+//! assert_eq!(qft.noise_count(), 2);
+//! ```
+
+pub mod circuit;
+pub mod error;
+pub mod gate;
+pub mod generators;
+pub mod instruction;
+pub mod noise;
+pub mod noise_insertion;
+pub mod qasm;
+
+#[cfg(test)]
+pub(crate) mod test_util;
+
+pub use circuit::Circuit;
+pub use error::CircuitError;
+pub use gate::Gate;
+pub use instruction::{Instruction, Operation};
+pub use noise::{KrausSet, NoiseChannel};

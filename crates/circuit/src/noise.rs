@@ -1,0 +1,552 @@
+//! Noise channels in Kraus operator-sum form.
+//!
+//! A noise channel is a completely-positive trace-preserving (CPTP)
+//! super-operator `E(ρ) = Σᵢ KᵢρKᵢ†` with `Σᵢ Kᵢ†Kᵢ = I`. The built-in
+//! channels follow the paper's Example 2 convention: the parameter `p` is
+//! the probability that *no* error occurs (e.g. the paper's experiments use
+//! depolarizing noise with `p = 0.999`).
+
+use crate::error::CircuitError;
+use qaec_math::{C64, Matrix};
+use std::fmt;
+
+/// A validated set of Kraus operators for a custom channel.
+///
+/// Construct through [`KrausSet::new`], which checks shape consistency and
+/// the CPTP completeness relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KrausSet {
+    label: String,
+    arity: usize,
+    ops: Vec<Matrix>,
+}
+
+impl KrausSet {
+    /// Validates and wraps a set of Kraus operators.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::MalformedKrausSet`] if the set is empty, the
+    ///   matrices are not square, not all the same size, or not a power of
+    ///   two in dimension;
+    /// * [`CircuitError::NotTracePreserving`] if `Σ K†K` deviates from the
+    ///   identity by more than `1e-8`.
+    pub fn new(label: impl Into<String>, ops: Vec<Matrix>) -> Result<Self, CircuitError> {
+        if ops.is_empty() {
+            return Err(CircuitError::MalformedKrausSet {
+                reason: "empty operator list".into(),
+            });
+        }
+        let dim = ops[0].rows();
+        if !dim.is_power_of_two() || dim < 2 {
+            return Err(CircuitError::MalformedKrausSet {
+                reason: format!("dimension {dim} is not a power of two ≥ 2"),
+            });
+        }
+        for k in &ops {
+            if k.shape() != (dim, dim) {
+                return Err(CircuitError::MalformedKrausSet {
+                    reason: "inconsistent operator shapes".into(),
+                });
+            }
+        }
+        let mut sum = Matrix::zeros(dim, dim);
+        for k in &ops {
+            sum = sum.add(&k.adjoint().mul(k));
+        }
+        let deviation = sum.max_abs_diff(&Matrix::identity(dim));
+        if deviation > 1e-8 {
+            return Err(CircuitError::NotTracePreserving { deviation });
+        }
+        Ok(KrausSet {
+            label: label.into(),
+            arity: dim.trailing_zeros() as usize,
+            ops,
+        })
+    }
+
+    /// The channel's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of qubits the channel acts on.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The Kraus operators.
+    pub fn ops(&self) -> &[Matrix] {
+        &self.ops
+    }
+}
+
+/// A noise channel attached to a noisy circuit.
+///
+/// For the built-in single-qubit channels, `p` is the probability of **no
+/// error** (the paper's convention): e.g.
+/// `BitFlip{p}: ρ ↦ p·ρ + (1−p)·XρX`.
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::NoiseChannel;
+///
+/// let dep = NoiseChannel::Depolarizing { p: 0.999 };
+/// assert_eq!(dep.kraus().len(), 4);
+/// assert!(dep.is_trace_preserving(1e-10));
+/// // Kraus probability masses sum to 1 for any CPTP channel.
+/// let total: f64 = dep.kraus_masses().iter().sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum NoiseChannel {
+    /// `ρ ↦ p·ρ + (1−p)·XρX`.
+    BitFlip {
+        /// Probability of no error.
+        p: f64,
+    },
+    /// `ρ ↦ p·ρ + (1−p)·ZρZ`.
+    PhaseFlip {
+        /// Probability of no error.
+        p: f64,
+    },
+    /// `ρ ↦ p·ρ + (1−p)·YρY`.
+    BitPhaseFlip {
+        /// Probability of no error.
+        p: f64,
+    },
+    /// `ρ ↦ p·ρ + (1−p)/3·(XρX + YρY + ZρZ)`.
+    Depolarizing {
+        /// Probability of no error.
+        p: f64,
+    },
+    /// Amplitude damping with decay probability `gamma`.
+    AmplitudeDamping {
+        /// Probability of |1⟩ → |0⟩ decay.
+        gamma: f64,
+    },
+    /// Phase damping with scattering probability `gamma`.
+    PhaseDamping {
+        /// Probability of phase scattering.
+        gamma: f64,
+    },
+    /// General Pauli channel `ρ ↦ pᵢρ + pₓXρX + p_yYρY + p_zZρZ`.
+    Pauli {
+        /// Identity probability.
+        pi: f64,
+        /// X-error probability.
+        px: f64,
+        /// Y-error probability.
+        py: f64,
+        /// Z-error probability.
+        pz: f64,
+    },
+    /// Two-qubit depolarizing noise:
+    /// `ρ ↦ p·ρ + (1−p)/15 · Σ_{P ≠ I⊗I} PρP` over the 15 non-identity
+    /// two-qubit Paulis — the dominant error of entangling gates on real
+    /// devices.
+    TwoQubitDepolarizing {
+        /// Probability of no error.
+        p: f64,
+    },
+    /// An arbitrary validated Kraus set (possibly multi-qubit).
+    Custom(KrausSet),
+}
+
+impl NoiseChannel {
+    /// A custom channel from raw Kraus operators.
+    ///
+    /// # Errors
+    ///
+    /// See [`KrausSet::new`].
+    pub fn custom(label: impl Into<String>, ops: Vec<Matrix>) -> Result<Self, CircuitError> {
+        Ok(NoiseChannel::Custom(KrausSet::new(label, ops)?))
+    }
+
+    /// Number of qubits the channel acts on.
+    pub fn arity(&self) -> usize {
+        match self {
+            NoiseChannel::Custom(k) => k.arity(),
+            NoiseChannel::TwoQubitDepolarizing { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Validates the channel parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidProbability`] if a probability parameter is
+    /// outside `[0, 1]`, or if the Pauli probabilities do not sum to 1.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        let check = |value: f64| {
+            if (0.0..=1.0).contains(&value) {
+                Ok(())
+            } else {
+                Err(CircuitError::InvalidProbability { value })
+            }
+        };
+        match *self {
+            NoiseChannel::BitFlip { p }
+            | NoiseChannel::PhaseFlip { p }
+            | NoiseChannel::BitPhaseFlip { p }
+            | NoiseChannel::Depolarizing { p }
+            | NoiseChannel::TwoQubitDepolarizing { p } => check(p),
+            NoiseChannel::AmplitudeDamping { gamma } | NoiseChannel::PhaseDamping { gamma } => {
+                check(gamma)
+            }
+            NoiseChannel::Pauli { pi, px, py, pz } => {
+                check(pi)?;
+                check(px)?;
+                check(py)?;
+                check(pz)?;
+                let total = pi + px + py + pz;
+                if (total - 1.0).abs() > 1e-9 {
+                    return Err(CircuitError::InvalidProbability { value: total });
+                }
+                Ok(())
+            }
+            NoiseChannel::Custom(_) => Ok(()), // validated at construction
+        }
+    }
+
+    /// The Kraus operators `{Kᵢ}` of the channel.
+    pub fn kraus(&self) -> Vec<Matrix> {
+        use crate::gate::Gate;
+        let id = Matrix::identity(2);
+        let x = Gate::X.matrix();
+        let y = Gate::Y.matrix();
+        let z = Gate::Z.matrix();
+        let scaled = |m: &Matrix, w: f64| m.scale(C64::real(w.max(0.0).sqrt()));
+        match *self {
+            NoiseChannel::BitFlip { p } => vec![scaled(&id, p), scaled(&x, 1.0 - p)],
+            NoiseChannel::PhaseFlip { p } => vec![scaled(&id, p), scaled(&z, 1.0 - p)],
+            NoiseChannel::BitPhaseFlip { p } => vec![scaled(&id, p), scaled(&y, 1.0 - p)],
+            NoiseChannel::Depolarizing { p } => {
+                let q = (1.0 - p) / 3.0;
+                vec![scaled(&id, p), scaled(&x, q), scaled(&y, q), scaled(&z, q)]
+            }
+            NoiseChannel::AmplitudeDamping { gamma } => {
+                let k0 = Matrix::from_diagonal(&[C64::ONE, C64::real((1.0 - gamma).sqrt())]);
+                let mut k1 = Matrix::zeros(2, 2);
+                k1[(0, 1)] = C64::real(gamma.sqrt());
+                vec![k0, k1]
+            }
+            NoiseChannel::PhaseDamping { gamma } => {
+                let k0 = Matrix::from_diagonal(&[C64::ONE, C64::real((1.0 - gamma).sqrt())]);
+                let mut k1 = Matrix::zeros(2, 2);
+                k1[(1, 1)] = C64::real(gamma.sqrt());
+                vec![k0, k1]
+            }
+            NoiseChannel::Pauli { pi, px, py, pz } => vec![
+                scaled(&id, pi),
+                scaled(&x, px),
+                scaled(&y, py),
+                scaled(&z, pz),
+            ],
+            NoiseChannel::TwoQubitDepolarizing { p } => {
+                let singles = [&id, &x, &y, &z];
+                let q = (1.0 - p) / 15.0;
+                let mut ops = Vec::with_capacity(16);
+                for (i, a) in singles.iter().enumerate() {
+                    for (j, b) in singles.iter().enumerate() {
+                        let weight = if i == 0 && j == 0 { p } else { q };
+                        ops.push(scaled(&a.kron(b), weight));
+                    }
+                }
+                ops
+            }
+            NoiseChannel::Custom(ref k) => k.ops().to_vec(),
+        }
+    }
+
+    /// The number of Kraus operators.
+    pub fn kraus_len(&self) -> usize {
+        match self {
+            NoiseChannel::BitFlip { .. }
+            | NoiseChannel::PhaseFlip { .. }
+            | NoiseChannel::BitPhaseFlip { .. }
+            | NoiseChannel::AmplitudeDamping { .. }
+            | NoiseChannel::PhaseDamping { .. } => 2,
+            NoiseChannel::Depolarizing { .. } | NoiseChannel::Pauli { .. } => 4,
+            NoiseChannel::TwoQubitDepolarizing { .. } => 16,
+            NoiseChannel::Custom(k) => k.ops().len(),
+        }
+    }
+
+    /// The probability mass `tr(Kᵢ†Kᵢ)/2^ℓ` of each Kraus operator.
+    ///
+    /// For a CPTP channel these sum to 1; they drive the best-first term
+    /// enumeration of Algorithm I and its early-termination bounds.
+    pub fn kraus_masses(&self) -> Vec<f64> {
+        let d = (1usize << self.arity()) as f64;
+        self.kraus()
+            .iter()
+            .map(|k| k.adjoint().mul(k).trace().re / d)
+            .collect()
+    }
+
+    /// The superoperator matrix `M_E = Σᵢ Kᵢ ⊗ Kᵢ*` used by Algorithm II.
+    ///
+    /// For an ℓ-qubit channel the result is `4^ℓ × 4^ℓ`, acting on the
+    /// doubled system `(q, q′)`.
+    pub fn superop_matrix(&self) -> Matrix {
+        let dim = 1usize << self.arity();
+        let mut m = Matrix::zeros(dim * dim, dim * dim);
+        for k in self.kraus() {
+            m = m.add(&k.kron(&k.conj()));
+        }
+        m
+    }
+
+    /// Whether `Σ K†K = I` within `tol`.
+    pub fn is_trace_preserving(&self, tol: f64) -> bool {
+        let dim = 1usize << self.arity();
+        let mut sum = Matrix::zeros(dim, dim);
+        for k in self.kraus() {
+            sum = sum.add(&k.adjoint().mul(&k));
+        }
+        sum.is_identity(tol)
+    }
+
+    /// A short channel name for display and QASM noise directives.
+    pub fn name(&self) -> &str {
+        match self {
+            NoiseChannel::BitFlip { .. } => "bit_flip",
+            NoiseChannel::PhaseFlip { .. } => "phase_flip",
+            NoiseChannel::BitPhaseFlip { .. } => "bit_phase_flip",
+            NoiseChannel::Depolarizing { .. } => "depolarizing",
+            NoiseChannel::AmplitudeDamping { .. } => "amplitude_damping",
+            NoiseChannel::PhaseDamping { .. } => "phase_damping",
+            NoiseChannel::Pauli { .. } => "pauli",
+            NoiseChannel::TwoQubitDepolarizing { .. } => "two_qubit_depolarizing",
+            NoiseChannel::Custom(k) => k.label(),
+        }
+    }
+
+    /// The channel's scalar parameters, for serialization.
+    pub fn params(&self) -> Vec<f64> {
+        match *self {
+            NoiseChannel::BitFlip { p }
+            | NoiseChannel::PhaseFlip { p }
+            | NoiseChannel::BitPhaseFlip { p }
+            | NoiseChannel::Depolarizing { p } => vec![p],
+            NoiseChannel::AmplitudeDamping { gamma } | NoiseChannel::PhaseDamping { gamma } => {
+                vec![gamma]
+            }
+            NoiseChannel::Pauli { pi, px, py, pz } => vec![pi, px, py, pz],
+            NoiseChannel::TwoQubitDepolarizing { p } => vec![p],
+            NoiseChannel::Custom(_) => Vec::new(),
+        }
+    }
+
+    /// Constructs a built-in channel from its [`NoiseChannel::name`] and
+    /// parameters. Returns `None` for unknown names or arity mismatches.
+    pub fn from_name(name: &str, params: &[f64]) -> Option<NoiseChannel> {
+        let ch = match (name, params) {
+            ("bit_flip", [p]) => NoiseChannel::BitFlip { p: *p },
+            ("phase_flip", [p]) => NoiseChannel::PhaseFlip { p: *p },
+            ("bit_phase_flip", [p]) => NoiseChannel::BitPhaseFlip { p: *p },
+            ("depolarizing", [p]) => NoiseChannel::Depolarizing { p: *p },
+            ("amplitude_damping", [g]) => NoiseChannel::AmplitudeDamping { gamma: *g },
+            ("phase_damping", [g]) => NoiseChannel::PhaseDamping { gamma: *g },
+            ("pauli", [pi, px, py, pz]) => NoiseChannel::Pauli {
+                pi: *pi,
+                px: *px,
+                py: *py,
+                pz: *pz,
+            },
+            ("two_qubit_depolarizing", [p]) => NoiseChannel::TwoQubitDepolarizing { p: *p },
+            _ => return None,
+        };
+        Some(ch)
+    }
+}
+
+impl fmt::Display for NoiseChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params = self.params();
+        if params.is_empty() {
+            write!(f, "{}", self.name())
+        } else {
+            let rendered: Vec<String> = params.iter().map(|p| format!("{p}")).collect();
+            write!(f, "{}({})", self.name(), rendered.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builtin_samples() -> Vec<NoiseChannel> {
+        vec![
+            NoiseChannel::BitFlip { p: 0.9 },
+            NoiseChannel::PhaseFlip { p: 0.95 },
+            NoiseChannel::BitPhaseFlip { p: 0.8 },
+            NoiseChannel::Depolarizing { p: 0.999 },
+            NoiseChannel::AmplitudeDamping { gamma: 0.1 },
+            NoiseChannel::PhaseDamping { gamma: 0.05 },
+            NoiseChannel::Pauli {
+                pi: 0.85,
+                px: 0.05,
+                py: 0.04,
+                pz: 0.06,
+            },
+            NoiseChannel::TwoQubitDepolarizing { p: 0.99 },
+        ]
+    }
+
+    #[test]
+    fn all_builtin_channels_are_cptp() {
+        for ch in builtin_samples() {
+            assert!(ch.validate().is_ok(), "{ch} invalid");
+            assert!(ch.is_trace_preserving(1e-10), "{ch} not trace preserving");
+            assert_eq!(ch.kraus().len(), ch.kraus_len());
+        }
+    }
+
+    #[test]
+    fn kraus_masses_sum_to_one() {
+        for ch in builtin_samples() {
+            let total: f64 = ch.kraus_masses().iter().sum();
+            assert!((total - 1.0).abs() < 1e-10, "{ch} masses sum to {total}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_matches_paper_example() {
+        // Example 3: N₁ = √p·I, N₂ = √(1−p)·X.
+        let p = 0.95;
+        let ks = NoiseChannel::BitFlip { p }.kraus();
+        assert!(ks[0].approx_eq(&Matrix::identity(2).scale(C64::real(p.sqrt())), 1e-12));
+        let x = crate::gate::Gate::X.matrix().scale(C64::real((1.0 - p).sqrt()));
+        assert!(ks[1].approx_eq(&x, 1e-12));
+    }
+
+    #[test]
+    fn superop_matrix_of_bit_flip() {
+        // Example 4: M_N = p·I⊗I + (1−p)·X⊗X.
+        let p = 0.7;
+        let m = NoiseChannel::BitFlip { p }.superop_matrix();
+        let expected = Matrix::identity(4).scale(C64::real(p)).add(
+            &crate::gate::Gate::X
+                .matrix()
+                .kron(&crate::gate::Gate::X.matrix())
+                .scale(C64::real(1.0 - p)),
+        );
+        assert!(m.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn superop_preserves_trace_vector() {
+        // For any CPTP channel, the superoperator must fix the vectorized
+        // identity from the left: Σₖ ⟨⟨I| K⊗K* = ⟨⟨I| (trace preservation).
+        for ch in builtin_samples() {
+            let m = ch.superop_matrix();
+            let dim = 1usize << ch.arity();
+            // Row vector v[(i·dim)+j] = δᵢⱼ (vectorized identity).
+            let mut acc = vec![C64::ZERO; dim * dim];
+            for r in 0..dim * dim {
+                let (i, j) = (r / dim, r % dim);
+                if i == j {
+                    for (c, a) in acc.iter_mut().enumerate() {
+                        *a += m[(r, c)];
+                    }
+                }
+            }
+            for (c, a) in acc.iter().enumerate() {
+                let (i, j) = (c / dim, c % dim);
+                let expected = if i == j { C64::ONE } else { C64::ZERO };
+                assert!((*a - expected).abs() < 1e-10, "{ch} column {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        assert!(NoiseChannel::BitFlip { p: 1.5 }.validate().is_err());
+        assert!(NoiseChannel::Depolarizing { p: -0.1 }.validate().is_err());
+        assert!(NoiseChannel::Pauli {
+            pi: 0.5,
+            px: 0.2,
+            py: 0.2,
+            pz: 0.2
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn custom_kraus_validation() {
+        let ok = NoiseChannel::custom(
+            "my_channel",
+            NoiseChannel::BitFlip { p: 0.5 }.kraus(),
+        );
+        assert!(ok.is_ok());
+
+        // X alone is not trace preserving at weight 0.5.
+        let bad = NoiseChannel::custom(
+            "broken",
+            vec![crate::gate::Gate::X.matrix().scale(C64::real(0.5))],
+        );
+        assert!(matches!(
+            bad,
+            Err(CircuitError::NotTracePreserving { .. })
+        ));
+
+        let empty = NoiseChannel::custom("empty", vec![]);
+        assert!(matches!(empty, Err(CircuitError::MalformedKrausSet { .. })));
+    }
+
+    #[test]
+    fn two_qubit_custom_channel() {
+        // Two-qubit depolarizing-like channel from CX conjugation.
+        let cx = crate::gate::Gate::Cx.matrix();
+        let id4 = Matrix::identity(4);
+        let ch = NoiseChannel::custom(
+            "two_qubit_flip",
+            vec![
+                id4.scale(C64::real(0.9f64.sqrt())),
+                cx.scale(C64::real(0.1f64.sqrt())),
+            ],
+        )
+        .unwrap();
+        assert_eq!(ch.arity(), 2);
+        assert!(ch.is_trace_preserving(1e-10));
+        assert_eq!(ch.superop_matrix().rows(), 16);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for ch in builtin_samples() {
+            let back = NoiseChannel::from_name(ch.name(), &ch.params()).expect("builtin");
+            assert_eq!(back, ch);
+        }
+        assert_eq!(NoiseChannel::from_name("nonsense", &[]), None);
+    }
+
+    #[test]
+    fn two_qubit_depolarizing_structure() {
+        let ch = NoiseChannel::TwoQubitDepolarizing { p: 0.97 };
+        assert_eq!(ch.arity(), 2);
+        assert_eq!(ch.kraus().len(), 16);
+        assert!(ch.is_trace_preserving(1e-10));
+        let masses = ch.kraus_masses();
+        assert!((masses[0] - 0.97).abs() < 1e-12);
+        for m in &masses[1..] {
+            assert!((m - 0.03 / 15.0).abs() < 1e-12);
+        }
+        assert_eq!(ch.superop_matrix().rows(), 16);
+    }
+
+    #[test]
+    fn depolarizing_masses_match_convention() {
+        let m = NoiseChannel::Depolarizing { p: 0.999 }.kraus_masses();
+        assert!((m[0] - 0.999).abs() < 1e-12);
+        for v in &m[1..] {
+            assert!((v - 0.001 / 3.0).abs() < 1e-12);
+        }
+    }
+}

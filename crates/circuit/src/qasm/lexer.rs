@@ -1,0 +1,233 @@
+//! Tokenizer for the OpenQASM 2 subset.
+
+use crate::error::CircuitError;
+
+/// A lexical token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum TokenKind {
+    /// Identifier or keyword (`qreg`, `h`, `pi`, ...).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (without quotes), e.g. include paths.
+    Str(String),
+    /// Single-character punctuation: `; , ( ) [ ] + - * / { }`.
+    Sym(char),
+    /// `->` in measure statements.
+    Arrow,
+    /// Body of a `// qaec.noise:` directive (raw text, re-lexed by the
+    /// parser).
+    NoiseDirective(String),
+}
+
+/// Splits source text into tokens, turning `// qaec.noise:` comments into
+/// [`TokenKind::NoiseDirective`] and dropping all other comments.
+pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, CircuitError> {
+    let mut tokens = Vec::new();
+    for (line_no, raw_line) in src.lines().enumerate() {
+        let line = line_no + 1;
+        let mut rest = raw_line;
+        // Handle a trailing comment (one per line is enough for QASM 2).
+        if let Some(pos) = rest.find("//") {
+            let comment = rest[pos + 2..].trim();
+            rest = &rest[..pos];
+            if let Some(body) = comment.strip_prefix("qaec.noise:") {
+                tokens.push(Token {
+                    kind: TokenKind::NoiseDirective(body.trim().to_string()),
+                    line,
+                });
+            }
+        }
+        tokenize_line(rest, line, &mut tokens)?;
+    }
+    Ok(tokens)
+}
+
+fn tokenize_line(text: &str, line: usize, out: &mut Vec<Token>) -> Result<(), CircuitError> {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            ';' | ',' | '(' | ')' | '[' | ']' | '{' | '}' | '+' | '*' | '/' => {
+                out.push(Token {
+                    kind: TokenKind::Sym(c),
+                    line,
+                });
+                i += 1;
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token {
+                        kind: TokenKind::Arrow,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Sym('-'),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(CircuitError::Parse {
+                        line,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                out.push(Token {
+                    kind: TokenKind::Str(text[start..j].to_string()),
+                    line,
+                });
+                i = j + 1;
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                let mut j = i;
+                let mut seen_exp = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_digit() || d == '.' {
+                        j += 1;
+                    } else if (d == 'e' || d == 'E') && !seen_exp {
+                        seen_exp = true;
+                        j += 1;
+                        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                            j += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let lit = &text[start..j];
+                let value = lit.parse::<f64>().map_err(|_| CircuitError::Parse {
+                    line,
+                    message: format!("bad numeric literal `{lit}`"),
+                })?;
+                out.push(Token {
+                    kind: TokenKind::Number(value),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '.' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(text[start..j].to_string()),
+                    line,
+                });
+                i = j;
+            }
+            other => {
+                return Err(CircuitError::Parse {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("h q[0];").unwrap();
+        let kinds: Vec<_> = toks.into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Ident("h".into()),
+                TokenKind::Ident("q".into()),
+                TokenKind::Sym('['),
+                TokenKind::Number(0.0),
+                TokenKind::Sym(']'),
+                TokenKind::Sym(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_exponents() {
+        let toks = tokenize("1.5 2e-3 0.25").unwrap();
+        let nums: Vec<f64> = toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Number(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec![1.5, 2e-3, 0.25]);
+    }
+
+    #[test]
+    fn comments_are_dropped_but_directives_kept() {
+        let toks = tokenize("x q[0]; // plain comment\n// qaec.noise: bit_flip(0.9) q[0];")
+            .unwrap();
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::NoiseDirective(s) if s.contains("bit_flip"))));
+        // The plain comment produced nothing.
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t.kind, TokenKind::NoiseDirective(_)))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn arrow_and_string() {
+        let toks = tokenize("measure q[0] -> c[0]; include \"qelib1.inc\";").unwrap();
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Arrow));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Str("qelib1.inc".into())));
+    }
+
+    #[test]
+    fn line_numbers_track_source() {
+        let toks = tokenize("h q[0];\nx q[1];").unwrap();
+        assert_eq!(toks.first().unwrap().line, 1);
+        assert_eq!(toks.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn bad_character_reports_line() {
+        let err = tokenize("h q[0];\n$").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("include \"oops;").is_err());
+    }
+}

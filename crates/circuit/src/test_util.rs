@@ -1,0 +1,44 @@
+//! Test-only helpers shared across the crate's unit tests.
+
+use crate::Circuit;
+use qaec_math::Matrix;
+
+/// Brute-force `2^n × 2^n` unitary of an ideal circuit. Test-only: meant
+/// for small `n`.
+///
+/// # Panics
+///
+/// Panics if the circuit contains noise instructions.
+pub(crate) fn unitary_of(c: &Circuit) -> Matrix {
+    let d = c.dim();
+    let n = c.n_qubits();
+    let mut u = Matrix::identity(d);
+    for instr in c.iter() {
+        let g = instr.gate_matrix().expect("unitary circuit");
+        let qs = &instr.qubits;
+        let mut full = Matrix::zeros(d, d);
+        for col in 0..d {
+            // Local column index: the bits of `col` at the gate's qubits.
+            let mut col_local = 0usize;
+            for (slot, &q) in qs.iter().enumerate() {
+                let bit = (col >> (n - 1 - q)) & 1;
+                col_local |= bit << (qs.len() - 1 - slot);
+            }
+            for row_local in 0..g.rows() {
+                let amp = g[(row_local, col_local)];
+                if amp.is_zero() {
+                    continue;
+                }
+                let mut row = col;
+                for (slot, &q) in qs.iter().enumerate() {
+                    let bit = (row_local >> (qs.len() - 1 - slot)) & 1;
+                    let mask = 1usize << (n - 1 - q);
+                    row = (row & !mask) | (bit * mask);
+                }
+                full[(row, col)] += amp;
+            }
+        }
+        u = full.mul(&u);
+    }
+    u
+}

@@ -1,0 +1,551 @@
+//! Implementation of the `qaec` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `qaec info <circuit.qasm>` — statistics and an ASCII rendering;
+//! * `qaec fidelity <ideal.qasm> <noisy.qasm>` — the Jamiolkowski
+//!   fidelity (algorithm selectable);
+//! * `qaec check <ideal.qasm> <noisy.qasm> --epsilon ε` — the
+//!   ε-equivalence decision; process exit code 0 = equivalent,
+//!   1 = not equivalent, 2 = usage/runtime error.
+//!
+//! Noisy circuits are OpenQASM 2 files with `// qaec.noise:` directives
+//! (see `qaec_circuit::qasm`).
+
+use qaec::{
+    check_equivalence, fidelity_alg1, fidelity_alg2, fidelity_monte_carlo, AlgorithmChoice,
+    CheckOptions, Verdict,
+};
+use qaec_circuit::{qasm, Circuit};
+use qaec_tensornet::Strategy;
+use std::time::{Duration, Instant};
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `qaec info <file>`
+    Info {
+        /// Circuit file.
+        file: String,
+    },
+    /// `qaec fidelity <ideal> <noisy> [options]`
+    Fidelity {
+        /// Ideal circuit file.
+        ideal: String,
+        /// Noisy circuit file.
+        noisy: String,
+        /// Shared options.
+        options: CliOptions,
+    },
+    /// `qaec check <ideal> <noisy> --epsilon ε [options]`
+    Check {
+        /// Ideal circuit file.
+        ideal: String,
+        /// Noisy circuit file.
+        noisy: String,
+        /// The error threshold.
+        epsilon: f64,
+        /// Shared options.
+        options: CliOptions,
+    },
+    /// `qaec help`
+    Help,
+}
+
+/// Options shared by `fidelity` and `check`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliOptions {
+    /// Algorithm selection.
+    pub algorithm: AlgorithmChoice,
+    /// Monte Carlo sample count (`fidelity --algorithm mc`).
+    pub mc_samples: Option<usize>,
+    /// Monte Carlo seed.
+    pub mc_seed: u64,
+    /// Contraction strategy.
+    pub strategy: Strategy,
+    /// Per-run timeout.
+    pub timeout: Option<Duration>,
+    /// Worker threads for Algorithm I.
+    pub threads: usize,
+    /// Enable §IV-C local optimisations.
+    pub optimize: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            algorithm: AlgorithmChoice::Auto,
+            mc_samples: None,
+            mc_seed: 0,
+            strategy: Strategy::MinFill,
+            timeout: None,
+            threads: 1,
+            optimize: false,
+        }
+    }
+}
+
+impl CliOptions {
+    fn to_check_options(&self) -> CheckOptions {
+        CheckOptions {
+            algorithm: self.algorithm,
+            strategy: self.strategy,
+            threads: self.threads,
+            local_optimization: self.optimize,
+            swap_elimination: self.optimize,
+            deadline: self.timeout.map(|t| Instant::now() + t),
+            ..CheckOptions::default()
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+qaec — approximate equivalence checking of noisy quantum circuits
+
+USAGE:
+    qaec info <circuit.qasm>
+    qaec fidelity <ideal.qasm> <noisy.qasm> [OPTIONS]
+    qaec check <ideal.qasm> <noisy.qasm> --epsilon <ε> [OPTIONS]
+
+OPTIONS:
+    --algorithm <auto|1|2|mc>  checking algorithm (default: auto)
+    --samples <n>              Monte Carlo samples (mc only, default 2000)
+    --seed <n>                 Monte Carlo seed (default 0)
+    --strategy <sequential|greedy|min-degree|min-fill>
+                               contraction order (default: min-fill)
+    --timeout <seconds>        abort after this long (default: none)
+    --threads <n>              Algorithm I workers (default: 1)
+    --optimize                 enable local cancellation + SWAP elimination
+
+EXIT CODES (check):
+    0 = equivalent, 1 = not equivalent, 2 = error
+";
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// A human-readable message on malformed input.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "info" => {
+            let file = it
+                .next()
+                .ok_or_else(|| "info: missing circuit file".to_string())?;
+            Ok(Command::Info { file: file.clone() })
+        }
+        "fidelity" | "check" => {
+            let ideal = it
+                .next()
+                .ok_or_else(|| format!("{sub}: missing ideal circuit file"))?
+                .clone();
+            let noisy = it
+                .next()
+                .ok_or_else(|| format!("{sub}: missing noisy circuit file"))?
+                .clone();
+            let mut options = CliOptions::default();
+            let mut epsilon: Option<f64> = None;
+            let rest: Vec<&String> = it.collect();
+            let mut k = 0;
+            while k < rest.len() {
+                let flag = rest[k].as_str();
+                let value = |k: &mut usize| -> Result<&String, String> {
+                    *k += 1;
+                    rest.get(*k)
+                        .copied()
+                        .ok_or_else(|| format!("missing value for {flag}"))
+                };
+                match flag {
+                    "--epsilon" => {
+                        epsilon = Some(
+                            value(&mut k)?
+                                .parse::<f64>()
+                                .map_err(|_| "bad --epsilon value".to_string())?,
+                        );
+                    }
+                    "--algorithm" => {
+                        match value(&mut k)?.as_str() {
+                            "auto" => options.algorithm = AlgorithmChoice::Auto,
+                            "1" | "I" | "i" => options.algorithm = AlgorithmChoice::AlgorithmI,
+                            "2" | "II" | "ii" => {
+                                options.algorithm = AlgorithmChoice::AlgorithmII
+                            }
+                            "mc" => {
+                                options.mc_samples = Some(options.mc_samples.unwrap_or(2000))
+                            }
+                            other => return Err(format!("unknown algorithm `{other}`")),
+                        };
+                    }
+                    "--samples" => {
+                        options.mc_samples = Some(
+                            value(&mut k)?
+                                .parse::<usize>()
+                                .map_err(|_| "bad --samples value".to_string())?,
+                        );
+                    }
+                    "--seed" => {
+                        options.mc_seed = value(&mut k)?
+                            .parse::<u64>()
+                            .map_err(|_| "bad --seed value".to_string())?;
+                    }
+                    "--strategy" => {
+                        options.strategy = match value(&mut k)?.as_str() {
+                            "sequential" => Strategy::Sequential,
+                            "greedy" => Strategy::GreedySize,
+                            "min-degree" => Strategy::MinDegree,
+                            "min-fill" => Strategy::MinFill,
+                            other => return Err(format!("unknown strategy `{other}`")),
+                        };
+                    }
+                    "--timeout" => {
+                        let secs = value(&mut k)?
+                            .parse::<u64>()
+                            .map_err(|_| "bad --timeout value".to_string())?;
+                        options.timeout = Some(Duration::from_secs(secs));
+                    }
+                    "--threads" => {
+                        options.threads = value(&mut k)?
+                            .parse::<usize>()
+                            .map_err(|_| "bad --threads value".to_string())?;
+                    }
+                    "--optimize" => options.optimize = true,
+                    other => return Err(format!("unknown flag `{other}`")),
+                }
+                k += 1;
+            }
+            if sub == "check" {
+                let epsilon =
+                    epsilon.ok_or_else(|| "check: --epsilon is required".to_string())?;
+                Ok(Command::Check {
+                    ideal,
+                    noisy,
+                    epsilon,
+                    options,
+                })
+            } else {
+                Ok(Command::Fidelity {
+                    ideal,
+                    noisy,
+                    options,
+                })
+            }
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn load(path: &str) -> Result<Circuit, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    qasm::parse(&text).map_err(|e| format!("`{path}`: {e}"))
+}
+
+/// Executes a parsed command, writing to `out`. Returns the process exit
+/// code.
+pub fn run(command: Command, out: &mut impl std::io::Write) -> i32 {
+    match run_inner(command, out) {
+        Ok(code) => code,
+        Err(message) => {
+            let _ = writeln!(out, "error: {message}");
+            2
+        }
+    }
+}
+
+fn run_inner(command: Command, out: &mut impl std::io::Write) -> Result<i32, String> {
+    let w = |out: &mut dyn std::io::Write, s: String| {
+        writeln!(out, "{s}").map_err(|e| e.to_string())
+    };
+    match command {
+        Command::Help => {
+            w(out, USAGE.to_string())?;
+            Ok(0)
+        }
+        Command::Info { file } => {
+            let circuit = load(&file)?;
+            w(out, format!("{circuit}"))?;
+            w(
+                out,
+                format!(
+                    "depth: {}   kraus terms (Alg I): {}",
+                    circuit.depth(),
+                    circuit.kraus_term_count()
+                ),
+            )?;
+            w(out, circuit.draw())?;
+            Ok(0)
+        }
+        Command::Fidelity {
+            ideal,
+            noisy,
+            options,
+        } => {
+            let ideal = load(&ideal)?;
+            let noisy = load(&noisy)?;
+            let opts = options.to_check_options();
+            let start = Instant::now();
+            if let Some(samples) = options.mc_samples {
+                let r = fidelity_monte_carlo(&ideal, &noisy, samples, options.mc_seed, &opts)
+                    .map_err(|e| e.to_string())?;
+                w(out, format!("F_J ≈ {:.9} ± {:.1e}", r.estimate, r.std_error))?;
+                w(
+                    out,
+                    format!(
+                        "(monte carlo, {} samples, {} distinct strings, {:.3?})",
+                        r.samples,
+                        r.distinct_strings,
+                        start.elapsed()
+                    ),
+                )?;
+                return Ok(0);
+            }
+            let (fidelity, detail) = match opts.algorithm {
+                AlgorithmChoice::AlgorithmI => {
+                    let r = fidelity_alg1(&ideal, &noisy, None, &opts)
+                        .map_err(|e| e.to_string())?;
+                    (
+                        r.fidelity_lower,
+                        format!("algorithm I, {} terms, {} nodes", r.terms_computed, r.max_nodes),
+                    )
+                }
+                AlgorithmChoice::AlgorithmII => {
+                    let r = fidelity_alg2(&ideal, &noisy, &opts).map_err(|e| e.to_string())?;
+                    (r.fidelity, format!("algorithm II, {} nodes", r.max_nodes))
+                }
+                AlgorithmChoice::Auto => {
+                    let f = qaec::jamiolkowski_fidelity(&ideal, &noisy, &opts)
+                        .map_err(|e| e.to_string())?;
+                    (f, format!("auto ({})", qaec::auto_choice(&noisy)))
+                }
+            };
+            w(out, format!("F_J = {fidelity:.12}"))?;
+            w(out, format!("({detail}, {:.3?})", start.elapsed()))?;
+            Ok(0)
+        }
+        Command::Check {
+            ideal,
+            noisy,
+            epsilon,
+            options,
+        } => {
+            let ideal = load(&ideal)?;
+            let noisy = load(&noisy)?;
+            let opts = options.to_check_options();
+            let report =
+                check_equivalence(&ideal, &noisy, epsilon, &opts).map_err(|e| e.to_string())?;
+            w(out, format!("{report}"))?;
+            Ok(match report.verdict {
+                Verdict::Equivalent => 0,
+                Verdict::NotEquivalent => 1,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_help_and_empty() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&strings(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&strings(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_info() {
+        assert_eq!(
+            parse_args(&strings(&["info", "a.qasm"])).unwrap(),
+            Command::Info {
+                file: "a.qasm".into()
+            }
+        );
+        assert!(parse_args(&strings(&["info"])).is_err());
+    }
+
+    #[test]
+    fn parse_fidelity_with_options() {
+        let cmd = parse_args(&strings(&[
+            "fidelity",
+            "i.qasm",
+            "n.qasm",
+            "--algorithm",
+            "2",
+            "--strategy",
+            "greedy",
+            "--threads",
+            "4",
+            "--optimize",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Fidelity { options, .. } => {
+                assert_eq!(options.algorithm, AlgorithmChoice::AlgorithmII);
+                assert_eq!(options.strategy, Strategy::GreedySize);
+                assert_eq!(options.threads, 4);
+                assert!(options.optimize);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_check_requires_epsilon() {
+        assert!(parse_args(&strings(&["check", "i.qasm", "n.qasm"])).is_err());
+        let cmd = parse_args(&strings(&[
+            "check", "i.qasm", "n.qasm", "--epsilon", "0.01",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Check { epsilon, .. } => assert!((epsilon - 0.01).abs() < 1e-12),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_args(&strings(&["frobnicate"])).is_err());
+        assert!(parse_args(&strings(&["check", "a", "b", "--epsilon", "x"])).is_err());
+        assert!(parse_args(&strings(&["fidelity", "a", "b", "--bogus"])).is_err());
+        assert!(parse_args(&strings(&["fidelity", "a", "b", "--algorithm", "7"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_check_on_temp_files() {
+        let dir = std::env::temp_dir().join("qaec_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ideal_path = dir.join("ideal.qasm");
+        let noisy_path = dir.join("noisy.qasm");
+        std::fs::write(
+            &ideal_path,
+            "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &noisy_path,
+            "OPENQASM 2.0;\nqreg q[2];\nh q[0];\n// qaec.noise: depolarizing(0.999) q[0];\ncx q[0], q[1];\n",
+        )
+        .unwrap();
+
+        let mut out = Vec::new();
+        let code = run(
+            parse_args(&strings(&[
+                "check",
+                ideal_path.to_str().unwrap(),
+                noisy_path.to_str().unwrap(),
+                "--epsilon",
+                "0.01",
+            ]))
+            .unwrap(),
+            &mut out,
+        );
+        assert_eq!(code, 0, "{}", String::from_utf8_lossy(&out));
+        assert!(String::from_utf8_lossy(&out).contains("equivalent"));
+
+        let mut out = Vec::new();
+        let code = run(
+            parse_args(&strings(&[
+                "check",
+                ideal_path.to_str().unwrap(),
+                noisy_path.to_str().unwrap(),
+                "--epsilon",
+                "0.0001",
+            ]))
+            .unwrap(),
+            &mut out,
+        );
+        assert_eq!(code, 1, "{}", String::from_utf8_lossy(&out));
+
+        let mut out = Vec::new();
+        let code = run(
+            parse_args(&strings(&["info", noisy_path.to_str().unwrap()])).unwrap(),
+            &mut out,
+        );
+        assert_eq!(code, 0);
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("noise site"));
+
+        let mut out = Vec::new();
+        let code = run(
+            parse_args(&strings(&[
+                "fidelity",
+                ideal_path.to_str().unwrap(),
+                noisy_path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut out,
+        );
+        assert_eq!(code, 0);
+        assert!(String::from_utf8_lossy(&out).contains("F_J ="));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_and_run_monte_carlo() {
+        let cmd = parse_args(&strings(&[
+            "fidelity", "i.qasm", "n.qasm", "--algorithm", "mc", "--samples", "300", "--seed",
+            "7",
+        ]))
+        .unwrap();
+        match &cmd {
+            Command::Fidelity { options, .. } => {
+                assert_eq!(options.mc_samples, Some(300));
+                assert_eq!(options.mc_seed, 7);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+
+        let dir = std::env::temp_dir().join("qaec_cli_mc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ideal_path = dir.join("ideal.qasm");
+        let noisy_path = dir.join("noisy.qasm");
+        std::fs::write(&ideal_path, "qreg q[1];\nh q[0];\n").unwrap();
+        std::fs::write(
+            &noisy_path,
+            "qreg q[1];\nh q[0];\n// qaec.noise: bit_flip(0.9) q[0];\n",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let code = run(
+            parse_args(&strings(&[
+                "fidelity",
+                ideal_path.to_str().unwrap(),
+                noisy_path.to_str().unwrap(),
+                "--algorithm",
+                "mc",
+                "--samples",
+                "500",
+            ]))
+            .unwrap(),
+            &mut out,
+        );
+        assert_eq!(code, 0, "{}", String::from_utf8_lossy(&out));
+        assert!(String::from_utf8_lossy(&out).contains("monte carlo"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_runtime_error() {
+        let mut out = Vec::new();
+        let code = run(
+            Command::Info {
+                file: "/nonexistent/file.qasm".into(),
+            },
+            &mut out,
+        );
+        assert_eq!(code, 2);
+        assert!(String::from_utf8_lossy(&out).contains("error"));
+    }
+}

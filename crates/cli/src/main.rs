@@ -1,0 +1,14 @@
+//! The `qaec` binary. See [`qaec_cli::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    let code = match qaec_cli::parse_args(&args) {
+        Ok(command) => qaec_cli::run(command, &mut stdout),
+        Err(message) => {
+            eprintln!("error: {message}\n\n{}", qaec_cli::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

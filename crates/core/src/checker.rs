@@ -1,0 +1,154 @@
+//! The top-level ε-equivalence checker.
+
+use crate::alg1::fidelity_alg1;
+use crate::alg2::fidelity_alg2;
+use crate::error::QaecError;
+use crate::options::{AlgorithmChoice, CheckOptions};
+use crate::report::{AlgorithmUsed, EquivalenceReport, Verdict};
+use qaec_circuit::Circuit;
+
+/// Kraus-term count at or below which the automatic algorithm choice
+/// prefers Algorithm I (the paper's Fig. 7 crossover sits around one to
+/// two noise sites, i.e. 4–16 depolarizing terms).
+pub const AUTO_TERM_THRESHOLD: usize = 16;
+
+/// Picks the algorithm for a noisy circuit under [`AlgorithmChoice::Auto`].
+pub fn auto_choice(noisy: &Circuit) -> AlgorithmUsed {
+    if noisy.kraus_term_count() <= AUTO_TERM_THRESHOLD {
+        AlgorithmUsed::AlgorithmI
+    } else {
+        AlgorithmUsed::AlgorithmII
+    }
+}
+
+/// Computes the Jamiolkowski fidelity `F_J(E, U)` between an ideal
+/// circuit and its noisy implementation.
+///
+/// # Errors
+///
+/// See [`fidelity_alg1`] / [`fidelity_alg2`].
+///
+/// # Example
+///
+/// ```
+/// use qaec::{jamiolkowski_fidelity, CheckOptions};
+/// use qaec_circuit::{Circuit, NoiseChannel};
+///
+/// // The paper's Example 3: F_J = p².
+/// let p = 0.95;
+/// let mut noisy = Circuit::new(2);
+/// noisy.h(0)
+///     .noise(NoiseChannel::BitFlip { p }, &[1])
+///     .cp(std::f64::consts::FRAC_PI_2, 1, 0)
+///     .noise(NoiseChannel::PhaseFlip { p }, &[0])
+///     .h(1)
+///     .swap(0, 1);
+/// let f = jamiolkowski_fidelity(&noisy.ideal(), &noisy, &CheckOptions::default())?;
+/// assert!((f - p * p).abs() < 1e-9);
+/// # Ok::<(), qaec::QaecError>(())
+/// ```
+pub fn jamiolkowski_fidelity(
+    ideal: &Circuit,
+    noisy: &Circuit,
+    options: &CheckOptions,
+) -> Result<f64, QaecError> {
+    let algorithm = match options.algorithm {
+        AlgorithmChoice::Auto => auto_choice(noisy),
+        AlgorithmChoice::AlgorithmI => AlgorithmUsed::AlgorithmI,
+        AlgorithmChoice::AlgorithmII => AlgorithmUsed::AlgorithmII,
+    };
+    match algorithm {
+        AlgorithmUsed::AlgorithmI => {
+            let report = fidelity_alg1(ideal, noisy, None, options)?;
+            Ok(report.fidelity_lower)
+        }
+        AlgorithmUsed::AlgorithmII => Ok(fidelity_alg2(ideal, noisy, options)?.fidelity),
+    }
+}
+
+/// Decides the paper's Problem 1: is the noisy circuit ε-equivalent to
+/// the ideal one, i.e. `F_J(E, U) > 1 − ε`?
+///
+/// # Errors
+///
+/// * [`QaecError::InvalidEpsilon`] if `epsilon ∉ [0, 1]`;
+/// * plus everything [`jamiolkowski_fidelity`] can return.
+///
+/// # Example
+///
+/// ```
+/// use qaec::{check_equivalence, CheckOptions, Verdict};
+/// use qaec_circuit::{Circuit, NoiseChannel};
+///
+/// let p = 0.95; // F_J = p² = 0.9025
+/// let mut noisy = Circuit::new(2);
+/// noisy.h(0)
+///     .noise(NoiseChannel::BitFlip { p }, &[1])
+///     .cp(std::f64::consts::FRAC_PI_2, 1, 0)
+///     .noise(NoiseChannel::PhaseFlip { p }, &[0])
+///     .h(1)
+///     .swap(0, 1);
+/// let ideal = noisy.ideal();
+/// // ε = 0.1: 0.9025 > 0.9 → equivalent (the paper's example decision).
+/// let report = check_equivalence(&ideal, &noisy, 0.1, &CheckOptions::default())?;
+/// assert_eq!(report.verdict, Verdict::Equivalent);
+/// // ε = 0.05: 0.9025 ≤ 0.95 → not equivalent.
+/// let report = check_equivalence(&ideal, &noisy, 0.05, &CheckOptions::default())?;
+/// assert_eq!(report.verdict, Verdict::NotEquivalent);
+/// # Ok::<(), qaec::QaecError>(())
+/// ```
+pub fn check_equivalence(
+    ideal: &Circuit,
+    noisy: &Circuit,
+    epsilon: f64,
+    options: &CheckOptions,
+) -> Result<EquivalenceReport, QaecError> {
+    let algorithm = match options.algorithm {
+        AlgorithmChoice::Auto => auto_choice(noisy),
+        AlgorithmChoice::AlgorithmI => AlgorithmUsed::AlgorithmI,
+        AlgorithmChoice::AlgorithmII => AlgorithmUsed::AlgorithmII,
+    };
+    match algorithm {
+        AlgorithmUsed::AlgorithmI => {
+            let report = fidelity_alg1(ideal, noisy, Some(epsilon), options)?;
+            let verdict = report.verdict.unwrap_or({
+                // All terms evaluated without an early decision: compare
+                // the exact value.
+                if report.fidelity_lower > 1.0 - epsilon {
+                    Verdict::Equivalent
+                } else {
+                    Verdict::NotEquivalent
+                }
+            });
+            Ok(EquivalenceReport {
+                verdict,
+                fidelity_bounds: (report.fidelity_lower, report.fidelity_upper),
+                epsilon,
+                algorithm: AlgorithmUsed::AlgorithmI,
+                terms_computed: report.terms_computed,
+                total_terms: report.total_terms,
+                max_nodes: report.max_nodes,
+                elapsed: report.elapsed,
+            })
+        }
+        AlgorithmUsed::AlgorithmII => {
+            crate::validate(ideal, noisy, Some(epsilon))?;
+            let report = fidelity_alg2(ideal, noisy, options)?;
+            let verdict = if report.fidelity > 1.0 - epsilon {
+                Verdict::Equivalent
+            } else {
+                Verdict::NotEquivalent
+            };
+            Ok(EquivalenceReport {
+                verdict,
+                fidelity_bounds: (report.fidelity, report.fidelity),
+                epsilon,
+                algorithm: AlgorithmUsed::AlgorithmII,
+                terms_computed: 1,
+                total_terms: 1,
+                max_nodes: report.max_nodes,
+                elapsed: report.elapsed,
+            })
+        }
+    }
+}

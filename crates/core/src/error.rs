@@ -1,0 +1,60 @@
+//! Errors of the equivalence checker.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the checking algorithms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QaecError {
+    /// Ideal and noisy circuits have different qubit counts.
+    WidthMismatch {
+        /// Ideal width.
+        ideal: usize,
+        /// Noisy width.
+        noisy: usize,
+    },
+    /// The ideal circuit contains noise instructions.
+    IdealNotUnitary,
+    /// The error threshold was outside `[0, 1]`.
+    InvalidEpsilon {
+        /// The offending value.
+        value: f64,
+    },
+    /// The configured deadline expired (the paper's "TO" outcome).
+    Timeout,
+}
+
+impl fmt::Display for QaecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QaecError::WidthMismatch { ideal, noisy } => {
+                write!(f, "circuit widths differ: ideal {ideal}, noisy {noisy}")
+            }
+            QaecError::IdealNotUnitary => {
+                write!(f, "the ideal circuit must be noiseless")
+            }
+            QaecError::InvalidEpsilon { value } => {
+                write!(f, "epsilon {value} outside [0, 1]")
+            }
+            QaecError::Timeout => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+impl Error for QaecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(QaecError::WidthMismatch { ideal: 2, noisy: 3 }
+            .to_string()
+            .contains("2"));
+        assert!(!QaecError::Timeout.to_string().is_empty());
+        assert!(QaecError::InvalidEpsilon { value: 2.0 }
+            .to_string()
+            .contains("2"));
+    }
+}

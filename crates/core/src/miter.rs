@@ -1,0 +1,434 @@
+//! Trace-miter construction.
+//!
+//! Both algorithms reduce to traces of "miter-like" networks (the paper's
+//! Fig. 3–5): the noisy circuit's tensors followed by the adjoint ideal
+//! circuit's, with each qubit's final wire connected back to its initial
+//! wire. This module builds those networks:
+//!
+//! * `Alg1Template` — the per-Kraus-selection network of Algorithm I,
+//!   with noise sites left as substitutable holes;
+//! * `alg2_elements` — the doubled network of Algorithm II
+//!   (`V ⊗ V*` for gates, `M_N = Σ K ⊗ K*` for noise);
+//! * `build_trace_network` — wire bookkeeping, trace closure (through
+//!   explicit delta tensors), and the decision-diagram variable order.
+
+use crate::options::VarOrderStyle;
+use qaec_circuit::{Circuit, Gate, Operation};
+use qaec_math::Matrix;
+use qaec_tensornet::{IndexId, Tensor, TensorNetwork, VarOrder};
+use std::collections::HashMap;
+
+/// One element of a miter sequence.
+#[derive(Clone, Debug)]
+pub(crate) enum MiterElement {
+    /// A concrete tensor: matrix on wires, with gate provenance for the
+    /// §IV-C optimisations (`bool` = mirror/conjugated copy).
+    Fixed {
+        matrix: Matrix,
+        qubits: Vec<usize>,
+        tag: Option<(Gate, bool)>,
+    },
+    /// A substitutable noise site of Algorithm I.
+    NoiseSite { site: usize, qubits: Vec<usize> },
+}
+
+impl MiterElement {
+    pub(crate) fn qubits(&self) -> &[usize] {
+        match self {
+            MiterElement::Fixed { qubits, .. } | MiterElement::NoiseSite { qubits, .. } => qubits,
+        }
+    }
+
+    pub(crate) fn qubits_mut(&mut self) -> &mut Vec<usize> {
+        match self {
+            MiterElement::Fixed { qubits, .. } | MiterElement::NoiseSite { qubits, .. } => qubits,
+        }
+    }
+
+    pub(crate) fn tag(&self) -> Option<(Gate, bool)> {
+        match self {
+            MiterElement::Fixed { tag, .. } => *tag,
+            MiterElement::NoiseSite { .. } => None,
+        }
+    }
+}
+
+/// A noise site of the Algorithm I template.
+#[derive(Clone, Debug)]
+pub(crate) struct NoiseSite {
+    /// The site's Kraus operators.
+    pub kraus: Vec<Matrix>,
+    /// Probability mass `tr(K†K)/2^ℓ` per operator.
+    pub masses: Vec<f64>,
+}
+
+/// The Algorithm I miter with substitutable noise sites.
+#[derive(Clone, Debug)]
+pub(crate) struct Alg1Template {
+    pub elements: Vec<MiterElement>,
+    pub sites: Vec<NoiseSite>,
+    pub n_wires: usize,
+}
+
+impl Alg1Template {
+    /// Builds the template: the noisy circuit followed by the adjoint of
+    /// the ideal circuit.
+    ///
+    /// Callers must have validated that `ideal` is unitary and the widths
+    /// match.
+    pub fn build(ideal: &Circuit, noisy: &Circuit) -> Alg1Template {
+        let mut elements = Vec::new();
+        let mut sites = Vec::new();
+        for instr in noisy.iter() {
+            match &instr.op {
+                Operation::Gate(g) => elements.push(MiterElement::Fixed {
+                    matrix: g.matrix(),
+                    qubits: instr.qubits.clone(),
+                    tag: Some((*g, false)),
+                }),
+                Operation::Noise(ch) => {
+                    elements.push(MiterElement::NoiseSite {
+                        site: sites.len(),
+                        qubits: instr.qubits.clone(),
+                    });
+                    sites.push(NoiseSite {
+                        kraus: ch.kraus(),
+                        masses: ch.kraus_masses(),
+                    });
+                }
+            }
+        }
+        let adjoint = ideal.adjoint().expect("ideal circuit validated unitary");
+        for instr in adjoint.iter() {
+            let g = *instr.as_gate().expect("unitary circuit");
+            elements.push(MiterElement::Fixed {
+                matrix: g.matrix(),
+                qubits: instr.qubits.clone(),
+                tag: Some((g, false)),
+            });
+        }
+        Alg1Template {
+            elements,
+            sites,
+            n_wires: noisy.n_qubits(),
+        }
+    }
+
+    /// Total number of Kraus selections (saturating).
+    pub fn total_terms(&self) -> usize {
+        self.sites
+            .iter()
+            .fold(1usize, |acc, s| acc.saturating_mul(s.kraus.len()))
+    }
+
+    /// Concrete miter for one Kraus selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choice` has the wrong length or an index is out of
+    /// range.
+    pub fn instantiate(&self, choice: &[usize]) -> Vec<MiterElement> {
+        assert_eq!(choice.len(), self.sites.len(), "choice length mismatch");
+        self.elements
+            .iter()
+            .map(|el| match el {
+                MiterElement::Fixed { .. } => el.clone(),
+                MiterElement::NoiseSite { site, qubits } => MiterElement::Fixed {
+                    matrix: self.sites[*site].kraus[choice[*site]].clone(),
+                    qubits: qubits.clone(),
+                    tag: None,
+                },
+            })
+            .collect()
+    }
+}
+
+/// Builds the Algorithm II doubled miter: every gate `V` of the noisy
+/// circuit is emitted on the primal wires plus `V*` on the mirror wires
+/// (`q + n`), every noise channel becomes its superoperator matrix
+/// `M_N = Σ K ⊗ K*` spanning both, and the adjoint ideal circuit is
+/// doubled the same way (`U† ⊗ Uᵀ`).
+pub(crate) fn alg2_elements(ideal: &Circuit, noisy: &Circuit) -> (Vec<MiterElement>, usize) {
+    let n = noisy.n_qubits();
+    let mut elements = Vec::new();
+    fn emit_doubled(elements: &mut Vec<MiterElement>, n: usize, g: &Gate, qubits: &[usize]) {
+        elements.push(MiterElement::Fixed {
+            matrix: g.matrix(),
+            qubits: qubits.to_vec(),
+            tag: Some((*g, false)),
+        });
+        elements.push(MiterElement::Fixed {
+            matrix: g.matrix().conj(),
+            qubits: qubits.iter().map(|&q| q + n).collect(),
+            tag: Some((*g, true)),
+        });
+    }
+    for instr in noisy.iter() {
+        match &instr.op {
+            Operation::Gate(g) => emit_doubled(&mut elements, n, g, &instr.qubits),
+            Operation::Noise(ch) => {
+                let mut qubits: Vec<usize> = instr.qubits.clone();
+                qubits.extend(instr.qubits.iter().map(|&q| q + n));
+                elements.push(MiterElement::Fixed {
+                    matrix: ch.superop_matrix(),
+                    qubits,
+                    tag: None,
+                });
+            }
+        }
+    }
+    let adjoint = ideal.adjoint().expect("ideal circuit validated unitary");
+    for instr in adjoint.iter() {
+        let g = instr.as_gate().expect("unitary circuit");
+        emit_doubled(&mut elements, n, g, &instr.qubits);
+    }
+    (elements, 2 * n)
+}
+
+/// A trace network ready for contraction.
+#[derive(Clone, Debug)]
+pub(crate) struct BuiltNetwork {
+    pub network: TensorNetwork,
+    pub order: VarOrder,
+}
+
+/// Lays the miter elements onto wires, closes the trace, and derives the
+/// variable order.
+///
+/// `final_map[q]` is the physical wire carrying logical qubit `q` at the
+/// end of the sequence (identity unless SWAP elimination rerouted wires):
+/// the closure connects the final index of wire `final_map[q]` to the
+/// initial index of wire `q`, through an explicit [`Tensor::delta`] (or a
+/// bare loop worth a factor 2 when the wire is untouched).
+///
+/// # Panics
+///
+/// Panics if any element is still an unsubstituted noise site.
+pub(crate) fn build_trace_network(
+    elements: &[MiterElement],
+    n_wires: usize,
+    final_map: &[usize],
+    style: VarOrderStyle,
+) -> BuiltNetwork {
+    let mut tags: HashMap<IndexId, (u32, u32)> = HashMap::new();
+    let mut next_id = 0u32;
+    let mut fresh = |q: usize, col: u32, tags: &mut HashMap<IndexId, (u32, u32)>| {
+        let id = IndexId(next_id);
+        next_id += 1;
+        tags.insert(id, (q as u32, col));
+        id
+    };
+
+    let input: Vec<IndexId> = (0..n_wires).map(|q| fresh(q, 0, &mut tags)).collect();
+    let mut current = input.clone();
+    let mut network = TensorNetwork::new();
+
+    for (pos, el) in elements.iter().enumerate() {
+        let MiterElement::Fixed { matrix, qubits, .. } = el else {
+            panic!("noise site not substituted before network construction");
+        };
+        let ins: Vec<IndexId> = qubits.iter().map(|&q| current[q]).collect();
+        let outs: Vec<IndexId> = qubits
+            .iter()
+            .map(|&q| fresh(q, pos as u32 + 1, &mut tags))
+            .collect();
+        network.add(Tensor::from_matrix(matrix, &outs, &ins));
+        for (slot, &q) in qubits.iter().enumerate() {
+            current[q] = outs[slot];
+        }
+    }
+
+    // Trace closure.
+    let closure_col = elements.len() as u32 + 1;
+    for q in 0..n_wires {
+        let f = current[final_map[q]];
+        let s = input[q];
+        if f == s {
+            network.close_index(s);
+        } else {
+            // Tag the delta at the boundary column so the variable order
+            // keeps it near its wire.
+            tags.entry(f).or_insert((q as u32, closure_col));
+            network.add(Tensor::delta(f, s));
+        }
+    }
+
+    // Variable order over every allocated index.
+    let mut ids: Vec<IndexId> = (0..next_id).map(IndexId).collect();
+    match style {
+        VarOrderStyle::QubitMajor => ids.sort_by_key(|i| (tags[i].0, tags[i].1)),
+        VarOrderStyle::TimeMajor => ids.sort_by_key(|i| (tags[i].1, tags[i].0)),
+    }
+    let order = VarOrder::from_sequence(ids);
+
+    BuiltNetwork { network, order }
+}
+
+/// Identity wire map (no SWAP elimination).
+pub(crate) fn identity_map(n_wires: usize) -> Vec<usize> {
+    (0..n_wires).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaec_circuit::NoiseChannel;
+    use qaec_math::C64;
+    use qaec_tensornet::Strategy;
+
+    fn trace_value(built: &BuiltNetwork) -> C64 {
+        let plan = built.network.plan(Strategy::MinFill);
+        built
+            .network
+            .contract_dense(&plan)
+            .as_scalar()
+            .expect("closed trace network")
+    }
+
+    /// The paper's Fig. 2 noisy QFT2.
+    fn noisy_qft2(p: f64) -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0)
+            .noise(NoiseChannel::BitFlip { p }, &[1])
+            .cp(std::f64::consts::FRAC_PI_2, 1, 0)
+            .noise(NoiseChannel::PhaseFlip { p }, &[0])
+            .h(1)
+            .swap(0, 1);
+        c
+    }
+
+    #[test]
+    fn example_3_trace_terms() {
+        // tr(U†E₁,₁) = 4p; the other three terms vanish.
+        let p = 0.95;
+        let noisy = noisy_qft2(p);
+        let ideal = noisy.ideal();
+        let template = Alg1Template::build(&ideal, &noisy);
+        assert_eq!(template.total_terms(), 4);
+        let expectations = [(vec![0, 0], 4.0 * p), (vec![1, 0], 0.0), (vec![0, 1], 0.0), (vec![1, 1], 0.0)];
+        for (choice, expected) in expectations {
+            let elements = template.instantiate(&choice);
+            let built = build_trace_network(
+                &elements,
+                template.n_wires,
+                &identity_map(template.n_wires),
+                VarOrderStyle::QubitMajor,
+            );
+            let t = trace_value(&built);
+            assert!(
+                (t - C64::real(expected)).abs() < 1e-10,
+                "choice {choice:?}: got {t}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn example_4_collective_trace() {
+        // The doubled network contracts to 16p² in one shot.
+        let p = 0.95;
+        let noisy = noisy_qft2(p);
+        let ideal = noisy.ideal();
+        let (elements, width) = alg2_elements(&ideal, &noisy);
+        let built = build_trace_network(
+            &elements,
+            width,
+            &identity_map(width),
+            VarOrderStyle::QubitMajor,
+        );
+        let t = trace_value(&built);
+        assert!(
+            (t - C64::real(16.0 * p * p)).abs() < 1e-9,
+            "got {t}, expected {}",
+            16.0 * p * p
+        );
+    }
+
+    #[test]
+    fn noiseless_identity_miter_traces_to_dimension_squared() {
+        // U†U = I: Alg II trace = Σ|tr(I)|² = d², here d = 4.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).s(1);
+        let (elements, width) = alg2_elements(&c, &c);
+        let built = build_trace_network(
+            &elements,
+            width,
+            &identity_map(width),
+            VarOrderStyle::QubitMajor,
+        );
+        let t = trace_value(&built);
+        assert!((t - C64::real(16.0)).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn untouched_wires_contribute_loops() {
+        // Empty circuits on 3 qubits: tr(I₈) = 8 (Alg I form).
+        let c = Circuit::new(3);
+        let template = Alg1Template::build(&c, &c);
+        let built = build_trace_network(
+            &template.instantiate(&[]),
+            3,
+            &identity_map(3),
+            VarOrderStyle::QubitMajor,
+        );
+        let t = trace_value(&built);
+        assert!((t - C64::real(8.0)).abs() < 1e-12, "{t}");
+    }
+
+    #[test]
+    fn permuted_closure_counts_cycles() {
+        // No ops, final_map = cycle (0→1→0): tr(SWAP) = 2 on two wires.
+        let built = build_trace_network(&[], 2, &[1, 0], VarOrderStyle::QubitMajor);
+        let t = trace_value(&built);
+        assert!((t - C64::real(2.0)).abs() < 1e-12, "{t}");
+        // Identity map on 2 untouched wires: tr(I₄) = 4.
+        let built = build_trace_network(&[], 2, &[0, 1], VarOrderStyle::QubitMajor);
+        assert!((trace_value(&built) - C64::real(4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_gate_wire_uses_delta_closure() {
+        // One H on one qubit, traced: tr(H) = 0.
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let noisy = c.clone();
+        let ideal = Circuit::new(1); // empty ideal: miter is just H
+        let template = Alg1Template::build(&ideal, &noisy);
+        let built = build_trace_network(
+            &template.instantiate(&[]),
+            1,
+            &identity_map(1),
+            VarOrderStyle::QubitMajor,
+        );
+        let t = trace_value(&built);
+        assert!(t.abs() < 1e-12, "tr(H) should vanish, got {t}");
+    }
+
+    #[test]
+    fn var_order_styles_cover_all_indices() {
+        let noisy = noisy_qft2(0.9);
+        let ideal = noisy.ideal();
+        let template = Alg1Template::build(&ideal, &noisy);
+        for style in [VarOrderStyle::QubitMajor, VarOrderStyle::TimeMajor] {
+            let built = build_trace_network(
+                &template.instantiate(&[0, 0]),
+                2,
+                &identity_map(2),
+                style,
+            );
+            for idx in built.network.all_indices() {
+                assert!(built.order.contains(idx), "{style:?} missing {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn masses_recorded_per_site() {
+        let noisy = noisy_qft2(0.9);
+        let template = Alg1Template::build(&noisy.ideal(), &noisy);
+        assert_eq!(template.sites.len(), 2);
+        for site in &template.sites {
+            let total: f64 = site.masses.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! The §IV-C miter optimisations: SWAP elimination and (cyclic) local
+//! gate cancellation.
+//!
+//! Both transformations preserve the trace value of the miter network:
+//!
+//! * **SWAP elimination** drops every SWAP gate and instead reroutes the
+//!   wires, returning the final logical→physical map that the trace
+//!   closure uses to reconnect inputs and outputs;
+//! * **local cancellation** removes adjacent mutually-inverse gate pairs
+//!   acting on identical wire tuples, and — because `tr(AB) = tr(BA)` —
+//!   also pairs wrapping around the trace boundary, exactly the paper's
+//!   Fig. 6 simplification.
+
+use crate::miter::MiterElement;
+use qaec_circuit::Gate;
+
+/// Removes SWAP gates, rewriting subsequent operations onto the swapped
+/// wires. Returns the final logical→physical wire map for the closure.
+pub(crate) fn eliminate_swaps(
+    elements: &mut Vec<MiterElement>,
+    n_wires: usize,
+) -> Vec<usize> {
+    let mut map: Vec<usize> = (0..n_wires).collect();
+    let mut out = Vec::with_capacity(elements.len());
+    for mut el in elements.drain(..) {
+        if let Some((Gate::Swap, _)) = el.tag() {
+            let qs = el.qubits().to_vec();
+            map.swap(qs[0], qs[1]);
+            continue;
+        }
+        for q in el.qubits_mut() {
+            *q = map[*q];
+        }
+        out.push(el);
+    }
+    *elements = out;
+    map
+}
+
+/// Cancels adjacent mutually-inverse gate pairs (same wires, no
+/// intervening operation on any of those wires), cascading as pairs are
+/// removed; then repeats the check cyclically across the trace boundary.
+pub(crate) fn cancel_inverse_pairs(elements: &mut Vec<MiterElement>, n_wires: usize) {
+    const TOL: f64 = 1e-12;
+    let mut live: Vec<Option<MiterElement>> = elements.drain(..).map(Some).collect();
+
+    // Linear pass with per-wire predecessor links so cancellations cascade.
+    let mut last_on_wire: Vec<Option<usize>> = vec![None; n_wires];
+    let mut prev_link: Vec<Vec<Option<usize>>> = vec![Vec::new(); live.len()];
+    for idx in 0..live.len() {
+        let el = live[idx].as_ref().expect("unprocessed element");
+        let qubits = el.qubits().to_vec();
+        prev_link[idx] = qubits.iter().map(|&q| last_on_wire[q]).collect();
+
+        // Candidate: the same immediate predecessor on every wire.
+        let candidate = {
+            let first = prev_link[idx][0];
+            if first.is_some() && prev_link[idx].iter().all(|&p| p == first) {
+                first
+            } else {
+                None
+            }
+        };
+        let cancels = candidate.is_some_and(|c| {
+            let prev = live[c].as_ref().expect("linked element is live");
+            match (prev.tag(), live[idx].as_ref().expect("current").tag()) {
+                (Some((g1, conj1)), Some((g2, conj2))) => {
+                    conj1 == conj2
+                        && prev.qubits() == live[idx].as_ref().expect("current").qubits()
+                        && g1.cancels_with(&g2, TOL)
+                }
+                _ => false,
+            }
+        });
+        if let Some(c) = candidate.filter(|_| cancels) {
+            // Remove both; restore wire heads to the pair's predecessors.
+            live[idx] = None;
+            live[c] = None;
+            for (slot, &q) in qubits.iter().enumerate() {
+                last_on_wire[q] = prev_link[c][slot];
+            }
+        } else {
+            for &q in &qubits {
+                last_on_wire[q] = Some(idx);
+            }
+        }
+    }
+
+    // Cyclic pass: tr(o_k ⋯ o_1) = tr(o_1 · o_k ⋯ o_2), so the first and
+    // last live operations can cancel if each is the first/last on all of
+    // its wires.
+    loop {
+        let order: Vec<usize> = (0..live.len()).filter(|&i| live[i].is_some()).collect();
+        if order.len() < 2 {
+            break;
+        }
+        let first = order[0];
+        let last = *order.last().expect("len >= 2");
+        let (Some(f), Some(l)) = (&live[first], &live[last]) else {
+            break;
+        };
+        let boundary_ok = {
+            let f_qubits = f.qubits();
+            let l_qubits = l.qubits();
+            f_qubits == l_qubits
+                && f_qubits.iter().all(|&q| {
+                    // f is the earliest live op on q, l the latest.
+                    let on_wire: Vec<usize> = order
+                        .iter()
+                        .copied()
+                        .filter(|&i| live[i].as_ref().expect("live").qubits().contains(&q))
+                        .collect();
+                    on_wire.first() == Some(&first) && on_wire.last() == Some(&last)
+                })
+        };
+        let cancels = boundary_ok
+            && match (l.tag(), f.tag()) {
+                (Some((g1, c1)), Some((g2, c2))) => c1 == c2 && g1.cancels_with(&g2, TOL),
+                _ => false,
+            };
+        if cancels {
+            live[first] = None;
+            live[last] = None;
+        } else {
+            break;
+        }
+    }
+
+    *elements = live.into_iter().flatten().collect();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miter::{build_trace_network, identity_map, Alg1Template};
+    use crate::options::VarOrderStyle;
+    use qaec_circuit::{Circuit, NoiseChannel};
+    use qaec_math::C64;
+    use qaec_tensornet::Strategy;
+
+    fn noisy_qft2(p: f64) -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0)
+            .noise(NoiseChannel::BitFlip { p }, &[1])
+            .cp(std::f64::consts::FRAC_PI_2, 1, 0)
+            .noise(NoiseChannel::PhaseFlip { p }, &[0])
+            .h(1)
+            .swap(0, 1);
+        c
+    }
+
+    fn trace_of(elements: &[MiterElement], n_wires: usize, map: &[usize]) -> C64 {
+        let built = build_trace_network(elements, n_wires, map, VarOrderStyle::QubitMajor);
+        let plan = built.network.plan(Strategy::MinFill);
+        built
+            .network
+            .contract_dense(&plan)
+            .as_scalar()
+            .expect("closed network")
+    }
+
+    #[test]
+    fn example_5_simplification() {
+        // Fig. 6: the two SWAPs vanish, the four H's cancel (two locally,
+        // two cyclically), leaving 4 elements: N, CS, N', CS†.
+        let p = 0.95;
+        let noisy = noisy_qft2(p);
+        let ideal = noisy.ideal();
+        let template = Alg1Template::build(&ideal, &noisy);
+        let mut elements = template.instantiate(&[0, 0]);
+        let before = trace_of(&elements, 2, &identity_map(2));
+
+        let map = eliminate_swaps(&mut elements, 2);
+        cancel_inverse_pairs(&mut elements, 2);
+        assert_eq!(
+            elements.len(),
+            4,
+            "expected N, CS, N', CS† after optimisation"
+        );
+        let after = trace_of(&elements, 2, &map);
+        assert!((before - after).abs() < 1e-10, "{before} vs {after}");
+        assert!((after - C64::real(4.0 * p)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn swap_elimination_preserves_all_kraus_terms() {
+        let noisy = noisy_qft2(0.9);
+        let ideal = noisy.ideal();
+        let template = Alg1Template::build(&ideal, &noisy);
+        for choice in [[0, 0], [0, 1], [1, 0], [1, 1]] {
+            let mut elements = template.instantiate(&choice);
+            let before = trace_of(&elements, 2, &identity_map(2));
+            let map = eliminate_swaps(&mut elements, 2);
+            let after = trace_of(&elements, 2, &map);
+            assert!(
+                (before - after).abs() < 1e-10,
+                "choice {choice:?}: {before} vs {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn cascading_cancellation() {
+        // H X X H on one wire cancels completely: the miter of C against
+        // itself where C = H·X ends empty (tr = 2).
+        let mut c = Circuit::new(1);
+        c.h(0).x(0);
+        let template = Alg1Template::build(&c, &c);
+        let mut elements = template.instantiate(&[]);
+        assert_eq!(elements.len(), 4);
+        cancel_inverse_pairs(&mut elements, 1);
+        assert!(elements.is_empty(), "all four gates must cancel");
+        let t = trace_of(&elements, 1, &identity_map(1));
+        assert!((t - C64::real(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intervening_gate_only_cancels_cyclically() {
+        // S then X then S†: not adjacent linearly, but the trace is
+        // cyclic — tr(S†·X·S) = tr(X) — so the boundary pass removes the
+        // S/S† pair and must preserve the trace.
+        let mut elements = vec![
+            fixed(Gate::S, vec![0]),
+            fixed(Gate::X, vec![0]),
+            fixed(Gate::Sdg, vec![0]),
+        ];
+        let before = trace_of(&elements, 1, &identity_map(1));
+        cancel_inverse_pairs(&mut elements, 1);
+        assert_eq!(elements.len(), 1, "only X should remain");
+        let after = trace_of(&elements, 1, &identity_map(1));
+        assert!((before - after).abs() < 1e-12);
+        assert!(after.abs() < 1e-12); // tr(X) = 0
+
+        // A second op on the wire *between* the pair and not itself
+        // cancellable blocks the linear pass; with two middle ops the
+        // boundary pair still goes, nothing else.
+        let mut elements = vec![
+            fixed(Gate::S, vec![0]),
+            fixed(Gate::X, vec![0]),
+            fixed(Gate::T, vec![0]),
+            fixed(Gate::Sdg, vec![0]),
+        ];
+        let before = trace_of(&elements, 1, &identity_map(1));
+        cancel_inverse_pairs(&mut elements, 1);
+        assert_eq!(elements.len(), 2);
+        let after = trace_of(&elements, 1, &identity_map(1));
+        assert!((before - after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_qubit_cancellation_requires_same_wire_order() {
+        let mut elements = vec![fixed(Gate::Cx, vec![0, 1]), fixed(Gate::Cx, vec![0, 1])];
+        cancel_inverse_pairs(&mut elements, 2);
+        assert!(elements.is_empty());
+
+        // Reversed wires: CX(0,1) then CX(1,0) must not cancel.
+        let mut elements = vec![fixed(Gate::Cx, vec![0, 1]), fixed(Gate::Cx, vec![1, 0])];
+        cancel_inverse_pairs(&mut elements, 2);
+        assert_eq!(elements.len(), 2);
+    }
+
+    #[test]
+    fn partial_wire_overlap_blocks_pairing() {
+        // CX(0,1), then H(1): the predecessor of H(1) is CX but H only
+        // covers one of CX's wires; nothing cancels.
+        let mut elements = vec![fixed(Gate::Cx, vec![0, 1]), fixed(Gate::H, vec![1])];
+        cancel_inverse_pairs(&mut elements, 2);
+        assert_eq!(elements.len(), 2);
+    }
+
+    #[test]
+    fn noise_sites_block_linear_but_not_cyclic_cancellation() {
+        // H ∘ noise ∘ H: the noise site blocks the linear pass, but
+        // tr(H·N·H) = tr(N·H·H) = tr(N), so the cyclic pass removes the
+        // H pair — with the noise site (tag-less) itself never cancelling.
+        let mut noisy = Circuit::new(1);
+        noisy
+            .h(0)
+            .noise(NoiseChannel::BitFlip { p: 0.9 }, &[0])
+            .h(0);
+        let ideal = Circuit::new(1);
+        let template = Alg1Template::build(&ideal, &noisy);
+        let mut elements = template.elements.clone();
+        cancel_inverse_pairs(&mut elements, 1);
+        assert_eq!(elements.len(), 1, "only the noise site should remain");
+        assert!(elements[0].tag().is_none());
+
+        // Two different noise sites never cancel with each other.
+        let mut noisy = Circuit::new(1);
+        noisy
+            .noise(NoiseChannel::BitFlip { p: 0.9 }, &[0])
+            .noise(NoiseChannel::BitFlip { p: 0.9 }, &[0]);
+        let template = Alg1Template::build(&ideal, &noisy);
+        let mut elements = template.instantiate(&[0, 0]);
+        cancel_inverse_pairs(&mut elements, 1);
+        assert_eq!(elements.len(), 2);
+    }
+
+    #[test]
+    fn pure_swap_circuit_reduces_to_permutation_loops() {
+        // C = SWAP on 2 qubits, miter C·C† = two SWAPs; after elimination
+        // no elements remain and the map is the identity: tr(I₄) = 4.
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let template = Alg1Template::build(&c, &c);
+        let mut elements = template.instantiate(&[]);
+        let map = eliminate_swaps(&mut elements, 2);
+        assert!(elements.is_empty());
+        assert_eq!(map, vec![0, 1]);
+        assert!((trace_of(&elements, 2, &map) - C64::real(4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lone_swap_gives_cycle_trace() {
+        // Miter of SWAP against the ideal identity: tr(SWAP) = 2.
+        let mut noisy = Circuit::new(2);
+        noisy.swap(0, 1);
+        let ideal = Circuit::new(2);
+        let template = Alg1Template::build(&ideal, &noisy);
+        let mut elements = template.instantiate(&[]);
+        let before = trace_of(&elements, 2, &identity_map(2));
+        let map = eliminate_swaps(&mut elements, 2);
+        let after = trace_of(&elements, 2, &map);
+        assert!((before - C64::real(2.0)).abs() < 1e-12);
+        assert!((after - C64::real(2.0)).abs() < 1e-12);
+        assert_eq!(map, vec![1, 0]);
+    }
+
+    fn fixed(g: Gate, qubits: Vec<usize>) -> MiterElement {
+        MiterElement::Fixed {
+            matrix: g.matrix(),
+            qubits,
+            tag: Some((g, false)),
+        }
+    }
+}

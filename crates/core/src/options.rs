@@ -1,0 +1,125 @@
+//! Configuration of the equivalence checker.
+
+use qaec_tensornet::Strategy;
+use std::time::Instant;
+
+/// Which checking algorithm to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AlgorithmChoice {
+    /// Pick automatically from the number of Kraus terms: few noise sites
+    /// → Algorithm I, many → Algorithm II (the paper's observed
+    /// crossover).
+    #[default]
+    Auto,
+    /// Algorithm I: one trace network per Kraus selection.
+    AlgorithmI,
+    /// Algorithm II: a single doubled network.
+    AlgorithmII,
+}
+
+/// Global variable orders for the decision diagrams.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VarOrderStyle {
+    /// Indices sorted by `(qubit, circuit column)` — wires stay together.
+    #[default]
+    QubitMajor,
+    /// Indices sorted by `(circuit column, qubit)` — time slices stay
+    /// together.
+    TimeMajor,
+}
+
+/// Order in which Algorithm I enumerates Kraus selections.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TermOrder {
+    /// Descending probability mass (best-first): high-mass terms
+    /// accumulate fidelity fastest, enabling early accept/reject — the
+    /// paper's "calculate only a small part of these trace terms".
+    #[default]
+    BestFirst,
+    /// Plain mixed-radix order (the paper's baseline behaviour).
+    Lexicographic,
+}
+
+/// Tunables shared by both algorithms.
+///
+/// The defaults mirror the paper's experimental configuration: tree
+/// decomposition (min-fill) contraction ordering and a shared computed
+/// table, with the §IV-C local optimisations *disabled* (the paper
+/// excludes them for fairness against Qiskit).
+///
+/// # Example
+///
+/// ```
+/// use qaec::CheckOptions;
+///
+/// let opts = CheckOptions {
+///     local_optimization: true,
+///     swap_elimination: true,
+///     ..CheckOptions::default()
+/// };
+/// assert!(opts.reuse_tables);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CheckOptions {
+    /// Which algorithm to run.
+    pub algorithm: AlgorithmChoice,
+    /// Contraction-order strategy (default: min-fill tree decomposition).
+    pub strategy: Strategy,
+    /// Decision-diagram variable order.
+    pub var_order: VarOrderStyle,
+    /// Keep one shared computed table across Algorithm I trace terms
+    /// (the paper's "Opt." configuration of Table II).
+    pub reuse_tables: bool,
+    /// Cancel adjacent mutually-inverse gates in the miter, including
+    /// cyclically across the trace boundary (§IV-C).
+    pub local_optimization: bool,
+    /// Remove SWAP gates by rewiring the trace closure (§IV-C).
+    pub swap_elimination: bool,
+    /// Kraus-term enumeration order for Algorithm I.
+    pub term_order: TermOrder,
+    /// Abort with [`crate::QaecError::Timeout`] past this instant.
+    pub deadline: Option<Instant>,
+    /// Arena size that triggers decision-diagram garbage collection.
+    pub gc_threshold: Option<usize>,
+    /// Worker threads for Algorithm I's exact mode (terms are
+    /// independent; the paper notes they parallelize trivially).
+    pub threads: usize,
+    /// Cap on Algorithm I terms (None = all); bounds stay correct, they
+    /// just stop tightening.
+    pub max_terms: Option<usize>,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            algorithm: AlgorithmChoice::Auto,
+            strategy: Strategy::MinFill,
+            var_order: VarOrderStyle::QubitMajor,
+            reuse_tables: true,
+            local_optimization: false,
+            swap_elimination: false,
+            term_order: TermOrder::BestFirst,
+            deadline: None,
+            gc_threshold: Some(2_000_000),
+            threads: 1,
+            max_terms: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_configuration() {
+        let o = CheckOptions::default();
+        assert_eq!(o.algorithm, AlgorithmChoice::Auto);
+        assert_eq!(o.strategy, Strategy::MinFill);
+        assert!(o.reuse_tables);
+        assert!(!o.local_optimization);
+        assert!(!o.swap_elimination);
+        assert_eq!(o.threads, 1);
+        assert!(o.deadline.is_none());
+    }
+}

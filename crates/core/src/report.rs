@@ -1,0 +1,105 @@
+//! Check verdicts and the unified equivalence report.
+
+use std::fmt;
+use std::time::Duration;
+
+/// The ε-equivalence decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// `F_J(E, U) > 1 − ε` — the circuits are ε-equivalent.
+    Equivalent,
+    /// `F_J(E, U) ≤ 1 − ε`.
+    NotEquivalent,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Equivalent => write!(f, "equivalent"),
+            Verdict::NotEquivalent => write!(f, "not equivalent"),
+        }
+    }
+}
+
+/// Which algorithm actually ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgorithmUsed {
+    /// Per-term trace calculation (§IV-A).
+    AlgorithmI,
+    /// Collective doubled-network calculation (§IV-B).
+    AlgorithmII,
+}
+
+impl fmt::Display for AlgorithmUsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgorithmUsed::AlgorithmI => write!(f, "Algorithm I"),
+            AlgorithmUsed::AlgorithmII => write!(f, "Algorithm II"),
+        }
+    }
+}
+
+/// The result of an ε-equivalence check.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EquivalenceReport {
+    /// The decision.
+    pub verdict: Verdict,
+    /// Proven fidelity interval at the moment of decision (a point for
+    /// Algorithm II).
+    pub fidelity_bounds: (f64, f64),
+    /// The threshold that was checked.
+    pub epsilon: f64,
+    /// Which algorithm ran.
+    pub algorithm: AlgorithmUsed,
+    /// Trace terms contracted (1 for Algorithm II).
+    pub terms_computed: usize,
+    /// Total trace terms available (1 for Algorithm II).
+    pub total_terms: usize,
+    /// Largest intermediate diagram in nodes.
+    pub max_nodes: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for EquivalenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (ε = {}): F_J ∈ [{:.6}, {:.6}] via {} ({}/{} terms, {} nodes, {:.3?})",
+            self.verdict,
+            self.epsilon,
+            self.fidelity_bounds.0,
+            self.fidelity_bounds.1,
+            self.algorithm,
+            self.terms_computed,
+            self.total_terms,
+            self.max_nodes,
+            self.elapsed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Verdict::Equivalent.to_string(), "equivalent");
+        assert_eq!(AlgorithmUsed::AlgorithmII.to_string(), "Algorithm II");
+        let report = EquivalenceReport {
+            verdict: Verdict::Equivalent,
+            fidelity_bounds: (0.9, 0.95),
+            epsilon: 0.2,
+            algorithm: AlgorithmUsed::AlgorithmI,
+            terms_computed: 3,
+            total_terms: 16,
+            max_nodes: 42,
+            elapsed: Duration::from_millis(12),
+        };
+        let text = report.to_string();
+        assert!(text.contains("equivalent"));
+        assert!(text.contains("3/16"));
+        assert!(text.contains("42"));
+    }
+}

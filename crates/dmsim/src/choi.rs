@@ -1,0 +1,149 @@
+//! Choi-state construction and the definitional Jamiolkowski fidelity.
+//!
+//! The Jamiolkowski isomorphism maps a channel `E` on `n` qubits to the
+//! `2n`-qubit state `ρ_E = (I ⊗ E)(|Ψ⟩⟨Ψ|)` with
+//! `|Ψ⟩ = (1/√d)·Σᵢ |ii⟩`. The fidelity with a unitary `U` is then
+//! `F_J(E, U) = ⟨Ψ_U| ρ_E |Ψ_U⟩` where `|Ψ_U⟩ = (I ⊗ U)|Ψ⟩` — the
+//! textbook definition, used here as an independent oracle against the
+//! trace-based algorithms.
+
+use crate::density::DensityMatrix;
+use crate::kernel::apply_gate;
+use crate::memory;
+use crate::SimError;
+use qaec_circuit::{Circuit, Operation};
+use qaec_math::C64;
+
+/// The maximally entangled state `|Ψ⟩ = (1/√d)·Σᵢ |i⟩_A |i⟩_B` on `2n`
+/// qubits (reference system A = qubits `0..n`, system B = qubits `n..2n`).
+pub fn maximally_entangled(n: usize) -> Vec<C64> {
+    let d = 1usize << n;
+    let amp = C64::real(1.0 / (d as f64).sqrt());
+    let mut amps = vec![C64::ZERO; d * d];
+    for i in 0..d {
+        amps[i * d + i] = amp;
+    }
+    amps
+}
+
+/// The Choi state `ρ_E` of a noisy circuit, built by density-matrix
+/// evolution on `2n` qubits.
+///
+/// # Errors
+///
+/// [`SimError::MemoryExceeded`] if the `16^n`-entry density matrix would
+/// exceed the paper's 8 GB bound.
+pub fn choi_state(circuit: &Circuit) -> Result<DensityMatrix, SimError> {
+    let n = circuit.n_qubits();
+    memory::check(
+        memory::superop_peak_bytes(n),
+        memory::PAPER_MEMORY_BOUND,
+    )?;
+    let mut rho = DensityMatrix::from_pure(&maximally_entangled(n));
+    // Apply the circuit on the B half (qubit q → 2n-qubit position q+n).
+    for instr in circuit.iter() {
+        let shifted: Vec<usize> = instr.qubits.iter().map(|&q| q + n).collect();
+        match &instr.op {
+            Operation::Gate(g) => rho.apply_gate(g, &shifted),
+            Operation::Noise(ch) => rho.apply_channel(ch, &shifted),
+        }
+    }
+    Ok(rho)
+}
+
+/// The Jamiolkowski fidelity `F_J(E, U)` by the definition: Choi state of
+/// the noisy circuit against the Choi vector of the ideal one.
+///
+/// # Errors
+///
+/// [`SimError::NotUnitary`] if `ideal` contains noise, or
+/// [`SimError::MemoryExceeded`] for circuits too large for the dense
+/// representation.
+pub fn choi_fidelity(ideal: &Circuit, noisy: &Circuit) -> Result<f64, SimError> {
+    if !ideal.is_unitary() {
+        return Err(SimError::NotUnitary);
+    }
+    let n = ideal.n_qubits();
+    let rho = choi_state(noisy)?;
+    // |Ψ_U⟩ = (I ⊗ U)|Ψ⟩.
+    let mut psi_u = maximally_entangled(n);
+    for instr in ideal.iter() {
+        let gate = instr.as_gate().expect("unitary circuit");
+        let shifted: Vec<usize> = instr.qubits.iter().map(|&q| q + n).collect();
+        apply_gate(&mut psi_u, 2 * n, &gate.matrix(), &shifted);
+    }
+    Ok(rho.fidelity_with_pure(&psi_u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaec_circuit::generators::{qft, random_circuit, QftStyle};
+    use qaec_circuit::NoiseChannel;
+
+    #[test]
+    fn maximally_entangled_is_normalized() {
+        for n in 1..=3 {
+            let amps = maximally_entangled(n);
+            let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noiseless_circuit_has_unit_fidelity_with_itself() {
+        for seed in 0..3u64 {
+            let c = random_circuit(2, 15, seed);
+            let f = choi_fidelity(&c, &c).unwrap();
+            assert!((f - 1.0).abs() < 1e-9, "seed {seed}: {f}");
+        }
+    }
+
+    #[test]
+    fn paper_example_fidelity_is_p_squared() {
+        // Fig. 2 noisy QFT2 vs ideal QFT2: F_J = p².
+        let p = 0.95;
+        let mut noisy = Circuit::new(2);
+        noisy
+            .h(0)
+            .noise(NoiseChannel::BitFlip { p }, &[1])
+            .cp(std::f64::consts::FRAC_PI_2, 1, 0)
+            .noise(NoiseChannel::PhaseFlip { p }, &[0])
+            .h(1)
+            .swap(0, 1);
+        let ideal = noisy.ideal();
+        let f = choi_fidelity(&ideal, &noisy).unwrap();
+        assert!((f - p * p).abs() < 1e-10, "F = {f}, expected {}", p * p);
+    }
+
+    #[test]
+    fn distinct_unitaries_have_low_fidelity() {
+        let mut a = Circuit::new(1);
+        a.h(0);
+        let mut b = Circuit::new(1);
+        b.x(0);
+        // F = |tr(H†X)|²/d² = |tr(HX)|²/4 = (√2)²/4 = 1/2.
+        let f = choi_fidelity(&a, &b).unwrap();
+        assert!((f - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn depolarizing_noise_on_qft() {
+        let ideal = qft(2, QftStyle::Textbook);
+        let mut noisy = ideal.clone();
+        noisy.noise(NoiseChannel::Depolarizing { p: 0.999 }, &[0]);
+        let f = choi_fidelity(&ideal, &noisy).unwrap();
+        // Depolarizing keeps fidelity just below 1: the identity Kraus
+        // term contributes p, the X/Y/Z terms are traceless against U†U.
+        assert!(f < 1.0 && f > 0.99, "{f}");
+    }
+
+    #[test]
+    fn memory_bound_applies() {
+        let c = Circuit::new(7);
+        assert!(matches!(
+            choi_state(&c),
+            Err(SimError::MemoryExceeded { .. })
+        ));
+    }
+}

@@ -1,0 +1,258 @@
+//! Density-matrix evolution of noisy circuits.
+
+use crate::kernel::apply_gate;
+use crate::memory;
+use crate::SimError;
+use qaec_circuit::{Circuit, Operation};
+use qaec_math::{C64, Matrix};
+
+/// An `n`-qubit mixed state as a dense `2^n × 2^n` density matrix.
+///
+/// Gates apply as `ρ ↦ UρU†`, noise channels as `ρ ↦ Σ KρK†`.
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::{Circuit, NoiseChannel};
+/// use qaec_dmsim::density::DensityMatrix;
+///
+/// // Full depolarizing-ish noise damps purity.
+/// let mut c = Circuit::new(1);
+/// c.h(0).noise(NoiseChannel::Depolarizing { p: 0.5 }, &[0]);
+/// let rho = DensityMatrix::from_circuit(&c)?;
+/// assert!((rho.trace().re - 1.0).abs() < 1e-12);
+/// assert!(rho.purity() < 1.0);
+/// # Ok::<(), qaec_dmsim::SimError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DensityMatrix {
+    n: usize,
+    mat: Matrix,
+}
+
+impl DensityMatrix {
+    /// The pure state `|0…0⟩⟨0…0|`.
+    pub fn zero(n: usize) -> Self {
+        let d = 1usize << n;
+        let mut mat = Matrix::zeros(d, d);
+        mat[(0, 0)] = C64::ONE;
+        DensityMatrix { n, mat }
+    }
+
+    /// A density matrix from a pure-state amplitude vector `|ψ⟩⟨ψ|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two.
+    pub fn from_pure(amps: &[C64]) -> Self {
+        assert!(amps.len().is_power_of_two() && !amps.is_empty());
+        let n = amps.len().trailing_zeros() as usize;
+        let d = amps.len();
+        let mat = Matrix::from_fn(d, d, |i, j| amps[i] * amps[j].conj());
+        DensityMatrix { n, mat }
+    }
+
+    /// Builds a density matrix from raw storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square with power-of-two dimension.
+    pub fn from_matrix(mat: Matrix) -> Self {
+        assert!(mat.is_square(), "density matrix must be square");
+        assert!(mat.rows().is_power_of_two(), "dimension must be 2^n");
+        DensityMatrix {
+            n: mat.rows().trailing_zeros() as usize,
+            mat,
+        }
+    }
+
+    /// Evolves `|0…0⟩⟨0…0|` through a (possibly noisy) circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoryExceeded`] if the density matrix would not fit
+    /// the paper's 8 GB bound.
+    pub fn from_circuit(circuit: &Circuit) -> Result<Self, SimError> {
+        let n = circuit.n_qubits();
+        memory::check(
+            memory::operator_bytes(n).saturating_mul(2),
+            memory::PAPER_MEMORY_BOUND,
+        )?;
+        let mut rho = DensityMatrix::zero(n);
+        rho.apply_circuit(circuit);
+        Ok(rho)
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The dense matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.mat
+    }
+
+    /// `tr(ρ)` — 1 for a valid state.
+    pub fn trace(&self) -> C64 {
+        self.mat.trace()
+    }
+
+    /// `tr(ρ²)` — 1 for pure states, `< 1` for mixed ones.
+    pub fn purity(&self) -> f64 {
+        self.mat.mul_trace(&self.mat).re
+    }
+
+    /// Applies `ρ ← AρA†` for an arbitrary (not necessarily unitary)
+    /// ℓ-qubit operator `A` on `qubits`, *accumulating* nothing — used as
+    /// the building block for both gates and Kraus terms.
+    fn conjugate_in_place(&mut self, a: &Matrix, qubits: &[usize]) {
+        let d = 1usize << self.n;
+        // Left multiply: apply A to every column.
+        let mut column = vec![C64::ZERO; d];
+        for j in 0..d {
+            for (i, c) in column.iter_mut().enumerate() {
+                *c = self.mat[(i, j)];
+            }
+            apply_gate(&mut column, self.n, a, qubits);
+            for (i, &c) in column.iter().enumerate() {
+                self.mat[(i, j)] = c;
+            }
+        }
+        // Right multiply by A†: apply A* to every row.
+        let a_conj = a.conj();
+        let mut row = vec![C64::ZERO; d];
+        for i in 0..d {
+            for (j, r) in row.iter_mut().enumerate() {
+                *r = self.mat[(i, j)];
+            }
+            apply_gate(&mut row, self.n, &a_conj, qubits);
+            for (j, &r) in row.iter().enumerate() {
+                self.mat[(i, j)] = r;
+            }
+        }
+    }
+
+    /// Applies a unitary gate `ρ ← UρU†`.
+    pub fn apply_gate(&mut self, gate: &qaec_circuit::Gate, qubits: &[usize]) {
+        self.conjugate_in_place(&gate.matrix(), qubits);
+    }
+
+    /// Applies a channel `ρ ← Σ KρK†`.
+    pub fn apply_channel(&mut self, channel: &qaec_circuit::NoiseChannel, qubits: &[usize]) {
+        let d = 1usize << self.n;
+        let mut acc = Matrix::zeros(d, d);
+        let original = self.mat.clone();
+        for k in channel.kraus() {
+            self.mat = original.clone();
+            self.conjugate_in_place(&k, qubits);
+            acc = acc.add(&self.mat);
+        }
+        self.mat = acc;
+    }
+
+    /// Applies every instruction of a circuit.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        for instr in circuit.iter() {
+            match &instr.op {
+                Operation::Gate(g) => self.apply_gate(g, &instr.qubits),
+                Operation::Noise(ch) => self.apply_channel(ch, &instr.qubits),
+            }
+        }
+    }
+
+    /// `⟨ψ|ρ|ψ⟩` — fidelity with a pure state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn fidelity_with_pure(&self, amps: &[C64]) -> f64 {
+        assert_eq!(amps.len(), 1usize << self.n, "dimension mismatch");
+        let mut acc = C64::ZERO;
+        for i in 0..amps.len() {
+            for j in 0..amps.len() {
+                acc += amps[i].conj() * self.mat[(i, j)] * amps[j];
+            }
+        }
+        acc.re
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Statevector;
+    use qaec_circuit::generators::random_circuit;
+    use qaec_circuit::NoiseChannel;
+
+    #[test]
+    fn pure_evolution_matches_statevector() {
+        for seed in 0..5u64 {
+            let c = random_circuit(3, 20, seed);
+            let rho = DensityMatrix::from_circuit(&c).unwrap();
+            let psi = Statevector::from_circuit(&c).unwrap();
+            let expected = DensityMatrix::from_pure(psi.amplitudes());
+            assert!(
+                rho.matrix().approx_eq(expected.matrix(), 1e-9),
+                "seed {seed}"
+            );
+            assert!((rho.purity() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trace_preserved_under_noise() {
+        let mut c = qaec_circuit::Circuit::new(2);
+        c.h(0)
+            .cx(0, 1)
+            .noise(NoiseChannel::Depolarizing { p: 0.9 }, &[0])
+            .noise(NoiseChannel::AmplitudeDamping { gamma: 0.3 }, &[1]);
+        let rho = DensityMatrix::from_circuit(&c).unwrap();
+        assert!((rho.trace() - C64::ONE).abs() < 1e-10);
+        assert!(rho.matrix().is_hermitian(1e-10));
+    }
+
+    #[test]
+    fn bit_flip_mixes_computational_basis() {
+        // X with prob 1-p on |0⟩: ρ = diag(p, 1-p).
+        let p = 0.7;
+        let mut c = qaec_circuit::Circuit::new(1);
+        c.noise(NoiseChannel::BitFlip { p }, &[0]);
+        let rho = DensityMatrix::from_circuit(&c).unwrap();
+        assert!((rho.matrix()[(0, 0)] - C64::real(p)).abs() < 1e-12);
+        assert!((rho.matrix()[(1, 1)] - C64::real(1.0 - p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_flip_kills_coherence() {
+        // |+⟩ under full phase flip (p = 0.5): off-diagonals vanish.
+        let mut c = qaec_circuit::Circuit::new(1);
+        c.h(0).noise(NoiseChannel::PhaseFlip { p: 0.5 }, &[0]);
+        let rho = DensityMatrix::from_circuit(&c).unwrap();
+        assert!(rho.matrix()[(0, 1)].abs() < 1e-12);
+        assert!((rho.matrix()[(0, 0)] - C64::real(0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_with_pure_state() {
+        let mut bell = qaec_circuit::Circuit::new(2);
+        bell.h(0).cx(0, 1);
+        let rho = DensityMatrix::from_circuit(&bell).unwrap();
+        let psi = Statevector::from_circuit(&bell).unwrap();
+        assert!((rho.fidelity_with_pure(psi.amplitudes()) - 1.0).abs() < 1e-10);
+        let orthogonal = Statevector::zero(2);
+        let f = rho.fidelity_with_pure(orthogonal.amplitudes());
+        assert!((f - 0.5).abs() < 1e-10); // |⟨00|Bell⟩|² = 1/2
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let gamma = 0.25;
+        let mut c = qaec_circuit::Circuit::new(1);
+        c.x(0)
+            .noise(NoiseChannel::AmplitudeDamping { gamma }, &[0]);
+        let rho = DensityMatrix::from_circuit(&c).unwrap();
+        assert!((rho.matrix()[(1, 1)] - C64::real(1.0 - gamma)).abs() < 1e-12);
+        assert!((rho.matrix()[(0, 0)] - C64::real(gamma)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,51 @@
+//! Simulator errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the dense simulation layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// An object would exceed the configured memory bound (the paper's
+    /// "MO" outcome).
+    MemoryExceeded {
+        /// Bytes the object would need.
+        required: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A unitary-only operation was applied to a noisy circuit.
+    NotUnitary,
+    /// A configured deadline expired mid-computation (the paper's "TO").
+    DeadlineExceeded,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MemoryExceeded { required, limit } => write!(
+                f,
+                "memory bound exceeded: need {required} bytes, limit {limit}"
+            ),
+            SimError::NotUnitary => write!(f, "operation requires a noiseless circuit"),
+            SimError::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::MemoryExceeded {
+            required: 100,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(!SimError::NotUnitary.to_string().is_empty());
+    }
+}

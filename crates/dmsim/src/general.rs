@@ -1,0 +1,140 @@
+//! The fully general Definition 1: ε-equivalence between **two noisy**
+//! circuits.
+//!
+//! The paper's algorithms cover the ideal-vs-noisy case, where
+//! `F_J(E, U) = ⟨Ψ_U|ρ_E|Ψ_U⟩` reduces to traces. When *both* circuits
+//! are noisy, `F_J(E₁, E₂) = F(ρ_{E₁}, ρ_{E₂})` is a genuine Uhlmann
+//! fidelity between two mixed Choi states and needs matrix square roots;
+//! this module computes it densely via the Jacobi eigensolver in
+//! `qaec-math` — small-`n` territory, same as the rest of the dense
+//! baseline.
+
+use crate::choi::choi_state;
+use crate::SimError;
+use qaec_circuit::Circuit;
+use qaec_math::eigen::state_fidelity;
+
+/// The Jamiolkowski fidelity between two arbitrary (noisy or ideal)
+/// circuits: `F_J(E₁, E₂) = F(ρ_{E₁}, ρ_{E₂})`.
+///
+/// # Errors
+///
+/// [`SimError::MemoryExceeded`] when the `16^n` Choi matrices exceed the
+/// 8 GB bound (and note the `O(16^{1.5n})`-ish eigensolver cost bounds
+/// practical use well below that).
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::{Circuit, NoiseChannel};
+/// use qaec_dmsim::general::jamiolkowski_fidelity_pair;
+///
+/// // Two differently-noised implementations of the same Bell circuit.
+/// let mut a = Circuit::new(2);
+/// a.h(0).cx(0, 1).noise(NoiseChannel::BitFlip { p: 0.95 }, &[0]);
+/// let mut b = Circuit::new(2);
+/// b.h(0).cx(0, 1).noise(NoiseChannel::PhaseFlip { p: 0.95 }, &[1]);
+/// let f = jamiolkowski_fidelity_pair(&a, &b)?;
+/// assert!(f > 0.8 && f < 1.0);
+/// # Ok::<(), qaec_dmsim::SimError>(())
+/// ```
+pub fn jamiolkowski_fidelity_pair(c1: &Circuit, c2: &Circuit) -> Result<f64, SimError> {
+    let rho1 = choi_state(c1)?;
+    let rho2 = choi_state(c2)?;
+    Ok(state_fidelity(rho1.matrix(), rho2.matrix()))
+}
+
+/// Decides the general Definition 1: `C₁ ≈_ε C₂` iff
+/// `F_J(E₁, E₂) > 1 − ε`.
+///
+/// # Errors
+///
+/// As [`jamiolkowski_fidelity_pair`].
+pub fn epsilon_equivalent_pair(
+    c1: &Circuit,
+    c2: &Circuit,
+    epsilon: f64,
+) -> Result<bool, SimError> {
+    Ok(jamiolkowski_fidelity_pair(c1, c2)? > 1.0 - epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choi::choi_fidelity;
+    use qaec_circuit::generators::random_circuit;
+    use qaec_circuit::noise_insertion::insert_random_noise;
+    use qaec_circuit::NoiseChannel;
+
+    #[test]
+    fn reduces_to_unitary_case_when_one_side_is_ideal() {
+        for seed in 0..4u64 {
+            let ideal = random_circuit(2, 10, seed);
+            let noisy = insert_random_noise(
+                &ideal,
+                &NoiseChannel::Depolarizing { p: 0.93 },
+                2,
+                seed + 5,
+            );
+            let general = jamiolkowski_fidelity_pair(&ideal, &noisy).unwrap();
+            let special = choi_fidelity(&ideal, &noisy).unwrap();
+            assert!(
+                (general - special).abs() < 1e-7,
+                "seed {seed}: {general} vs {special}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_noisy_circuits_have_unit_fidelity() {
+        let ideal = random_circuit(2, 8, 3);
+        let noisy =
+            insert_random_noise(&ideal, &NoiseChannel::AmplitudeDamping { gamma: 0.2 }, 2, 4);
+        let f = jamiolkowski_fidelity_pair(&noisy, &noisy).unwrap();
+        assert!((f - 1.0).abs() < 1e-7, "{f}");
+    }
+
+    #[test]
+    fn symmetry() {
+        let ideal = random_circuit(2, 8, 7);
+        let a = insert_random_noise(&ideal, &NoiseChannel::BitFlip { p: 0.9 }, 2, 8);
+        let b = insert_random_noise(&ideal, &NoiseChannel::PhaseFlip { p: 0.85 }, 2, 9);
+        let fab = jamiolkowski_fidelity_pair(&a, &b).unwrap();
+        let fba = jamiolkowski_fidelity_pair(&b, &a).unwrap();
+        assert!((fab - fba).abs() < 1e-7);
+        assert!((0.0..=1.0 + 1e-9).contains(&fab));
+    }
+
+    #[test]
+    fn noisy_pair_exceeds_product_bound() {
+        // Two noisy variants of the same ideal circuit are closer to each
+        // other than the product of their distances to the ideal
+        // suggests (sanity ordering, not a theorem — both share U).
+        let ideal = random_circuit(2, 8, 11);
+        let ch = NoiseChannel::Depolarizing { p: 0.98 };
+        let a = insert_random_noise(&ideal, &ch, 1, 12);
+        let b = insert_random_noise(&ideal, &ch, 1, 13);
+        let f_ab = jamiolkowski_fidelity_pair(&a, &b).unwrap();
+        let f_a = choi_fidelity(&ideal, &a).unwrap();
+        let f_b = choi_fidelity(&ideal, &b).unwrap();
+        assert!(f_ab >= f_a * f_b - 1e-7, "{f_ab} vs {}", f_a * f_b);
+    }
+
+    #[test]
+    fn epsilon_decision() {
+        let ideal = random_circuit(2, 8, 15);
+        let noisy = insert_random_noise(&ideal, &NoiseChannel::BitFlip { p: 0.7 }, 2, 16);
+        let f = jamiolkowski_fidelity_pair(&ideal, &noisy).unwrap();
+        assert!(epsilon_equivalent_pair(&ideal, &noisy, 1.0 - f + 0.01).unwrap());
+        assert!(!epsilon_equivalent_pair(&ideal, &noisy, (1.0 - f - 0.01).max(0.0)).unwrap());
+    }
+
+    #[test]
+    fn memory_bound() {
+        let c = Circuit::new(7);
+        assert!(matches!(
+            jamiolkowski_fidelity_pair(&c, &c),
+            Err(SimError::MemoryExceeded { .. })
+        ));
+    }
+}

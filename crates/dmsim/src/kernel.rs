@@ -1,0 +1,176 @@
+//! The gate-application kernel shared by every dense representation.
+
+use qaec_math::{C64, Matrix};
+
+/// Applies an ℓ-qubit gate matrix to an `n`-qubit state vector in place.
+///
+/// Convention (matching `qaec-circuit`): qubit `q` is bit `n−1−q` of the
+/// basis index (qubit 0 = most significant). `qubits[0]` is the gate's
+/// most significant qubit.
+///
+/// # Panics
+///
+/// Panics if `amps.len() != 2^n`, the gate dimension does not match
+/// `qubits.len()`, or a qubit index is out of range / repeated.
+pub fn apply_gate(amps: &mut [C64], n: usize, gate: &Matrix, qubits: &[usize]) {
+    let l = qubits.len();
+    assert_eq!(amps.len(), 1usize << n, "state length must be 2^n");
+    assert_eq!(gate.rows(), 1usize << l, "gate dimension mismatch");
+    assert!(gate.is_square(), "gate matrix must be square");
+    for (i, &q) in qubits.iter().enumerate() {
+        assert!(q < n, "qubit {q} out of range");
+        assert!(!qubits[..i].contains(&q), "repeated qubit {q}");
+    }
+
+    // Bit positions of the gate's qubits within a basis index.
+    let bits: Vec<usize> = qubits.iter().map(|&q| n - 1 - q).collect();
+    let rest_bits: Vec<usize> = (0..n).filter(|b| !bits.contains(b)).collect();
+    let dim = 1usize << l;
+    let mut gathered = vec![C64::ZERO; dim];
+    let mut positions = vec![0usize; dim];
+
+    for k in 0..(1usize << rest_bits.len()) {
+        // Expand k into a basis index with all gate bits cleared.
+        let mut base = 0usize;
+        for (j, &b) in rest_bits.iter().enumerate() {
+            if (k >> j) & 1 == 1 {
+                base |= 1 << b;
+            }
+        }
+        // Gather the 2^ℓ amplitudes of this block.
+        for (local, (g, pos)) in gathered.iter_mut().zip(&mut positions).enumerate() {
+            let mut idx = base;
+            for (slot, &b) in bits.iter().enumerate() {
+                if (local >> (l - 1 - slot)) & 1 == 1 {
+                    idx |= 1 << b;
+                }
+            }
+            *pos = idx;
+            *g = amps[idx];
+        }
+        // Apply and scatter.
+        for row in 0..dim {
+            let mut acc = C64::ZERO;
+            for (col, &v) in gathered.iter().enumerate() {
+                let a = gate[(row, col)];
+                if !a.is_zero() {
+                    acc = acc.mul_add(a, v);
+                }
+            }
+            amps[positions[row]] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaec_circuit::Gate;
+
+    fn zero_state(n: usize) -> Vec<C64> {
+        let mut v = vec![C64::ZERO; 1 << n];
+        v[0] = C64::ONE;
+        v
+    }
+
+    #[test]
+    fn x_flips_qubit_zero() {
+        let mut v = zero_state(2);
+        apply_gate(&mut v, 2, &Gate::X.matrix(), &[0]);
+        // qubit 0 is the MSB: |00⟩ → |10⟩ = index 2.
+        assert_eq!(v[2], C64::ONE);
+        assert_eq!(v[0], C64::ZERO);
+    }
+
+    #[test]
+    fn x_flips_qubit_one() {
+        let mut v = zero_state(2);
+        apply_gate(&mut v, 2, &Gate::X.matrix(), &[1]);
+        assert_eq!(v[1], C64::ONE);
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut v = zero_state(2);
+        apply_gate(&mut v, 2, &Gate::H.matrix(), &[0]);
+        apply_gate(&mut v, 2, &Gate::Cx.matrix(), &[0, 1]);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((v[0] - C64::real(s)).abs() < 1e-12);
+        assert!((v[3] - C64::real(s)).abs() < 1e-12);
+        assert!(v[1].abs() < 1e-12 && v[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn cx_with_reversed_qubit_order() {
+        // control = qubit 1, target = qubit 0.
+        let mut v = zero_state(2);
+        apply_gate(&mut v, 2, &Gate::X.matrix(), &[1]); // |01⟩
+        apply_gate(&mut v, 2, &Gate::Cx.matrix(), &[1, 0]); // → |11⟩
+        assert_eq!(v[3], C64::ONE);
+    }
+
+    #[test]
+    fn toffoli_on_three_of_four_qubits() {
+        let mut v = zero_state(4);
+        // Set qubits 1 and 3: index bits (n-1-q): q1 → bit2, q3 → bit0 → idx 0b0101.
+        apply_gate(&mut v, 4, &Gate::X.matrix(), &[1]);
+        apply_gate(&mut v, 4, &Gate::X.matrix(), &[3]);
+        // CCX with controls q1, q3, target q2.
+        apply_gate(&mut v, 4, &Gate::Ccx.matrix(), &[1, 3, 2]);
+        // Expect q2 flipped: bits q1(bit2) q2(bit1) q3(bit0) → 0b0111 = 7.
+        assert_eq!(v[0b0111], C64::ONE);
+    }
+
+    #[test]
+    fn matches_matrix_multiplication_on_random_states() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 3;
+        for gate in [Gate::H, Gate::S, Gate::Cx, Gate::Swap, Gate::Cz] {
+            let mut amps: Vec<C64> = (0..1 << n)
+                .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let qubits: Vec<usize> = match gate.arity() {
+                1 => vec![1],
+                2 => vec![2, 0],
+                _ => vec![0, 1, 2],
+            };
+            // Reference: build the full 2^n matrix by embedding.
+            let full = embed(&gate.matrix(), &qubits, n);
+            let expected = full.apply(&amps);
+            apply_gate(&mut amps, n, &gate.matrix(), &qubits);
+            for (a, e) in amps.iter().zip(&expected) {
+                assert!((*a - *e).abs() < 1e-10, "{gate} mismatch");
+            }
+        }
+    }
+
+    /// Test-only dense embedding of a gate into the full space.
+    fn embed(gate: &Matrix, qubits: &[usize], n: usize) -> Matrix {
+        let d = 1usize << n;
+        let l = qubits.len();
+        let mut full = Matrix::zeros(d, d);
+        for col in 0..d {
+            let mut col_local = 0usize;
+            for (slot, &q) in qubits.iter().enumerate() {
+                let bit = (col >> (n - 1 - q)) & 1;
+                col_local |= bit << (l - 1 - slot);
+            }
+            for row_local in 0..1usize << l {
+                let amp = gate[(row_local, col_local)];
+                if amp.is_zero() {
+                    continue;
+                }
+                let mut row = col;
+                for (slot, &q) in qubits.iter().enumerate() {
+                    let bit = (row_local >> (l - 1 - slot)) & 1;
+                    let mask = 1usize << (n - 1 - q);
+                    row = (row & !mask) | (bit * mask);
+                }
+                full[(row, col)] = amp;
+            }
+        }
+        full
+    }
+}

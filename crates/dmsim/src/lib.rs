@@ -1,0 +1,62 @@
+//! Dense state-vector / density-matrix / superoperator simulation.
+//!
+//! This crate is the workspace's substitute for the Qiskit baseline the
+//! paper compares against (`Operator`, `SuperOp`,
+//! `quantum_info.process_fidelity`): it builds the same dense objects with
+//! the same `16^n`-entry superoperator representation, and therefore
+//! reproduces the baseline's qualitative scaling — competitive for five or
+//! fewer qubits, out-of-memory at seven under the paper's 8 GB bound
+//! (see [`memory`]).
+//!
+//! It also provides two further *independent* implementations of the
+//! Jamiolkowski fidelity used to cross-validate the decision-diagram
+//! algorithms in tests:
+//!
+//! * [`choi::choi_fidelity`] — builds the Choi state
+//!   `ρ_E = (I ⊗ E)(|Ψ⟩⟨Ψ|)` by density-matrix evolution and evaluates
+//!   `⟨Ψ_U| ρ_E |Ψ_U⟩` directly (the definition);
+//! * [`process_fidelity::jamiolkowski_fidelity_kraus`] — enumerates Kraus
+//!   strings and sums `|tr(U†E_i)|²/d²` with dense operators (the
+//!   formula Algorithm I evaluates on diagrams).
+//!
+//! # Example
+//!
+//! ```
+//! use qaec_circuit::{Circuit, NoiseChannel};
+//! use qaec_dmsim::{operator::Operator, superop::SuperOp, process_fidelity};
+//!
+//! // The paper's Example 3/4: F_J = p² for the noisy QFT2.
+//! let p = 0.95;
+//! let mut noisy = Circuit::new(2);
+//! noisy.h(0)
+//!     .noise(NoiseChannel::BitFlip { p }, &[1])
+//!     .cp(std::f64::consts::FRAC_PI_2, 1, 0)
+//!     .noise(NoiseChannel::PhaseFlip { p }, &[0])
+//!     .h(1)
+//!     .swap(0, 1);
+//! let ideal = noisy.ideal();
+//!
+//! let u = Operator::from_circuit(&ideal)?;
+//! let m = SuperOp::from_circuit(&noisy)?;
+//! let f = process_fidelity::process_fidelity(&m, &u);
+//! assert!((f - p * p).abs() < 1e-10);
+//! # Ok::<(), qaec_dmsim::SimError>(())
+//! ```
+
+pub mod choi;
+pub mod density;
+pub mod error;
+pub mod general;
+pub mod kernel;
+pub mod memory;
+pub mod operator;
+pub mod process_fidelity;
+pub mod statevector;
+pub mod superop;
+pub mod trajectory;
+
+pub use error::SimError;
+pub use operator::Operator;
+pub use process_fidelity::process_fidelity as compute_process_fidelity;
+pub use statevector::Statevector;
+pub use superop::SuperOp;

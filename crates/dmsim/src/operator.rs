@@ -1,0 +1,156 @@
+//! Dense unitary operators of ideal circuits.
+
+use crate::kernel::apply_gate;
+use crate::memory;
+use crate::SimError;
+use qaec_circuit::Circuit;
+use qaec_math::{C64, Matrix};
+
+/// The dense `2^n × 2^n` unitary of an ideal circuit (the analogue of
+/// Qiskit's `Operator`).
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::Circuit;
+/// use qaec_dmsim::Operator;
+///
+/// let mut c = Circuit::new(1);
+/// c.h(0).h(0);
+/// let u = Operator::from_circuit(&c)?;
+/// assert!(u.matrix().is_identity(1e-12));
+/// # Ok::<(), qaec_dmsim::SimError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Operator {
+    n: usize,
+    matrix: Matrix,
+}
+
+impl Operator {
+    /// Builds the unitary by applying each gate to every basis column.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::NotUnitary`] if the circuit contains noise;
+    /// * [`SimError::MemoryExceeded`] if two `4^n`-entry matrices exceed
+    ///   [`memory::PAPER_MEMORY_BOUND`].
+    pub fn from_circuit(circuit: &Circuit) -> Result<Self, SimError> {
+        Self::from_circuit_bounded(circuit, memory::PAPER_MEMORY_BOUND)
+    }
+
+    /// [`Operator::from_circuit`] with an explicit memory bound in bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Operator::from_circuit`].
+    pub fn from_circuit_bounded(circuit: &Circuit, limit: u64) -> Result<Self, SimError> {
+        if !circuit.is_unitary() {
+            return Err(SimError::NotUnitary);
+        }
+        let n = circuit.n_qubits();
+        memory::check(memory::operator_bytes(n).saturating_mul(2), limit)?;
+        let d = 1usize << n;
+        // Column-major scratch: column j starts as e_j and is evolved
+        // through the whole circuit, which is cache-friendlier than
+        // row-major strided access per gate.
+        let mut matrix = Matrix::zeros(d, d);
+        let mut column = vec![C64::ZERO; d];
+        for j in 0..d {
+            column.fill(C64::ZERO);
+            column[j] = C64::ONE;
+            for instr in circuit.iter() {
+                let gate = instr.as_gate().expect("unitary circuit");
+                apply_gate(&mut column, n, &gate.matrix(), &instr.qubits);
+            }
+            for (i, &v) in column.iter().enumerate() {
+                matrix[(i, j)] = v;
+            }
+        }
+        Ok(Operator { n, matrix })
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The Hilbert-space dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        1usize << self.n
+    }
+
+    /// The dense matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Consumes the operator, returning the matrix.
+    pub fn into_matrix(self) -> Matrix {
+        self.matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaec_circuit::generators::{qft, QftStyle};
+    use qaec_circuit::NoiseChannel;
+
+    #[test]
+    fn qft_operator_is_the_dft_matrix() {
+        for n in 1..=4usize {
+            let u = Operator::from_circuit(&qft(n, QftStyle::Textbook)).unwrap();
+            let d = 1usize << n;
+            for j in 0..d {
+                for k in 0..d {
+                    let expected = C64::cis(
+                        2.0 * std::f64::consts::PI * (j * k) as f64 / d as f64,
+                    ) * (1.0 / (d as f64).sqrt());
+                    assert!(
+                        (u.matrix()[(j, k)] - expected).abs() < 1e-10,
+                        "qft{n} [{j},{k}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn operators_compose() {
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1).h(0);
+        let ab = a.compose(&b).unwrap();
+        let u_ab = Operator::from_circuit(&ab).unwrap();
+        // b ∘ a as matrices: U_b · U_a.
+        let u = Operator::from_circuit(&b)
+            .unwrap()
+            .into_matrix()
+            .mul(Operator::from_circuit(&a).unwrap().matrix());
+        assert!(u_ab.matrix().approx_eq(&u, 1e-10));
+        // And h·cx·cx·h = I.
+        assert!(u_ab.matrix().is_identity(1e-10));
+    }
+
+    #[test]
+    fn unitarity() {
+        let u = Operator::from_circuit(&qft(3, QftStyle::DecomposedNoSwaps)).unwrap();
+        assert!(u.matrix().is_unitary(1e-10));
+    }
+
+    #[test]
+    fn noise_rejected() {
+        let mut c = Circuit::new(1);
+        c.noise(NoiseChannel::PhaseFlip { p: 0.9 }, &[0]);
+        assert_eq!(Operator::from_circuit(&c), Err(SimError::NotUnitary));
+    }
+
+    #[test]
+    fn memory_bound_respected() {
+        let c = Circuit::new(20);
+        let err = Operator::from_circuit_bounded(&c, 1024).unwrap_err();
+        assert!(matches!(err, SimError::MemoryExceeded { .. }));
+    }
+}

@@ -1,0 +1,243 @@
+//! Process fidelity — the baseline computation the paper benchmarks
+//! against (Qiskit's `quantum_info.process_fidelity`).
+
+use crate::operator::Operator;
+use crate::superop::SuperOp;
+use crate::SimError;
+use qaec_circuit::{Circuit, Operation};
+use qaec_math::{C64, Matrix};
+
+/// The Jamiolkowski (process) fidelity from the dense superoperator and
+/// the dense ideal unitary:
+///
+/// ```text
+/// F_J(E, U) = tr((U† ⊗ Uᵀ) · M_E) / d²
+/// ```
+///
+/// evaluated without materializing `U† ⊗ Uᵀ` (the `A[r,c]` entries are
+/// products of two `U` entries, read on the fly). `O(16^n)` time, no extra
+/// memory beyond `M_E` itself.
+///
+/// # Panics
+///
+/// Panics if the operator and superoperator have different qubit counts.
+pub fn process_fidelity(superop: &SuperOp, ideal: &Operator) -> f64 {
+    assert_eq!(
+        superop.n_qubits(),
+        ideal.n_qubits(),
+        "qubit count mismatch"
+    );
+    let n = superop.n_qubits();
+    let d = 1usize << n;
+    let u = ideal.matrix();
+    let m = superop.matrix();
+    // tr(A·M) = Σ_{r,c} A[r,c]·M[c,r] with A = U†⊗Uᵀ:
+    // A[(r1,r2),(c1,c2)] = conj(U[c1,r1]) · U[c2,r2].
+    let mut acc = C64::ZERO;
+    for r1 in 0..d {
+        for r2 in 0..d {
+            let r = r1 * d + r2;
+            for c1 in 0..d {
+                let left = u[(c1, r1)].conj();
+                if left.is_zero() {
+                    continue;
+                }
+                for c2 in 0..d {
+                    let a = left * u[(c2, r2)];
+                    if a.is_zero() {
+                        continue;
+                    }
+                    acc = acc.mul_add(a, m[(c1 * d + c2, r)]);
+                }
+            }
+        }
+    }
+    acc.re / (d * d) as f64
+}
+
+/// End-to-end baseline: build `Operator` + `SuperOp` densely and compute
+/// the fidelity, under the paper's 8 GB bound.
+///
+/// # Errors
+///
+/// [`SimError::NotUnitary`] if `ideal` is noisy;
+/// [`SimError::MemoryExceeded`] per the dense representations.
+pub fn process_fidelity_baseline(ideal: &Circuit, noisy: &Circuit) -> Result<f64, SimError> {
+    let u = Operator::from_circuit(ideal)?;
+    let m = SuperOp::from_circuit(noisy)?;
+    Ok(process_fidelity(&m, &u))
+}
+
+/// Reference implementation of Algorithm I's formula with dense algebra:
+/// enumerates every Kraus string `E_i`, builds it as a `2^n` matrix, and
+/// sums `|tr(U†E_i)|² / d²`. Exponential in the number of noise sites —
+/// for tests and small instances only.
+///
+/// # Errors
+///
+/// [`SimError::NotUnitary`] if `ideal` is noisy;
+/// [`SimError::MemoryExceeded`] for operators over the 8 GB bound.
+pub fn jamiolkowski_fidelity_kraus(ideal: &Circuit, noisy: &Circuit) -> Result<f64, SimError> {
+    let u = Operator::from_circuit(ideal)?;
+    let n = noisy.n_qubits();
+    let d = 1usize << n;
+    let u_dag = u.matrix().adjoint();
+
+    // Collect the Kraus choices per noise site.
+    let noise_sites: Vec<(Vec<Matrix>, Vec<usize>)> = noisy
+        .iter()
+        .filter(|i| i.is_noise())
+        .map(|i| {
+            let ch = i.as_noise().expect("noise instruction");
+            (ch.kraus(), i.qubits.clone())
+        })
+        .collect();
+    let counts: Vec<usize> = noise_sites.iter().map(|(k, _)| k.len()).collect();
+    let total: usize = counts.iter().product();
+
+    let mut fidelity = 0.0;
+    let mut choice = vec![0usize; noise_sites.len()];
+    for term in 0..total.max(1) {
+        // Decode the mixed-radix term index.
+        let mut t = term;
+        for (slot, &c) in counts.iter().enumerate() {
+            choice[slot] = t % c;
+            t /= c;
+        }
+        // Build E_i column by column through the circuit.
+        let mut e = Matrix::identity(d);
+        let mut site = 0usize;
+        let mut columns: Vec<Vec<C64>> = (0..d)
+            .map(|j| {
+                let mut col = vec![C64::ZERO; d];
+                col[j] = C64::ONE;
+                col
+            })
+            .collect();
+        for instr in noisy.iter() {
+            match &instr.op {
+                Operation::Gate(g) => {
+                    let m = g.matrix();
+                    for col in columns.iter_mut() {
+                        crate::kernel::apply_gate(col, n, &m, &instr.qubits);
+                    }
+                }
+                Operation::Noise(_) => {
+                    let (kraus, qubits) = &noise_sites[site];
+                    let k = &kraus[choice[site]];
+                    for col in columns.iter_mut() {
+                        crate::kernel::apply_gate(col, n, k, qubits);
+                    }
+                    site += 1;
+                }
+            }
+        }
+        for (j, col) in columns.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                e[(i, j)] = v;
+            }
+        }
+        let tr = u_dag.mul_trace(&e);
+        fidelity += tr.norm_sqr();
+    }
+    Ok(fidelity / (d * d) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choi::choi_fidelity;
+    use qaec_circuit::generators::random_circuit;
+    use qaec_circuit::noise_insertion::insert_random_noise;
+    use qaec_circuit::NoiseChannel;
+
+    fn paper_noisy_qft2(p: f64) -> (Circuit, Circuit) {
+        let mut noisy = Circuit::new(2);
+        noisy
+            .h(0)
+            .noise(NoiseChannel::BitFlip { p }, &[1])
+            .cp(std::f64::consts::FRAC_PI_2, 1, 0)
+            .noise(NoiseChannel::PhaseFlip { p }, &[0])
+            .h(1)
+            .swap(0, 1);
+        let ideal = noisy.ideal();
+        (ideal, noisy)
+    }
+
+    #[test]
+    fn example_3_trace_terms() {
+        // The paper computes tr(U†E₁,₁) = 4p and zero for the other three
+        // terms, so F_J = (4p)²/16 = p².
+        let p = 0.95;
+        let (ideal, noisy) = paper_noisy_qft2(p);
+        let f = jamiolkowski_fidelity_kraus(&ideal, &noisy).unwrap();
+        assert!((f - p * p).abs() < 1e-10, "{f}");
+    }
+
+    #[test]
+    fn example_4_collective_form() {
+        let p = 0.95;
+        let (ideal, noisy) = paper_noisy_qft2(p);
+        let f = process_fidelity_baseline(&ideal, &noisy).unwrap();
+        assert!((f - p * p).abs() < 1e-10, "{f}");
+    }
+
+    #[test]
+    fn three_oracles_agree_on_random_noisy_circuits() {
+        for seed in 0..6u64 {
+            let ideal = random_circuit(3, 18, seed);
+            let noisy = insert_random_noise(
+                &ideal,
+                &NoiseChannel::Depolarizing { p: 0.99 },
+                2,
+                seed * 7 + 1,
+            );
+            let f_kraus = jamiolkowski_fidelity_kraus(&ideal, &noisy).unwrap();
+            let f_superop = process_fidelity_baseline(&ideal, &noisy).unwrap();
+            let f_choi = choi_fidelity(&ideal, &noisy).unwrap();
+            assert!(
+                (f_kraus - f_superop).abs() < 1e-9,
+                "seed {seed}: kraus {f_kraus} vs superop {f_superop}"
+            );
+            assert!(
+                (f_kraus - f_choi).abs() < 1e-9,
+                "seed {seed}: kraus {f_kraus} vs choi {f_choi}"
+            );
+            assert!((0.0..=1.0 + 1e-9).contains(&f_kraus), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn noiseless_equal_circuits_have_unit_fidelity() {
+        let c = random_circuit(2, 10, 3);
+        let f = process_fidelity_baseline(&c, &c).unwrap();
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_phase_is_ignored() {
+        // U vs e^{iφ}U must have fidelity 1 (|tr| is phase-invariant).
+        let mut a = Circuit::new(1);
+        a.h(0);
+        let mut b = Circuit::new(1);
+        // H with a global phase: Rz(2π) = −I adds phase π.
+        b.h(0).gate(qaec_circuit::Gate::Rz(2.0 * std::f64::consts::PI), &[0]);
+        b.gate(qaec_circuit::Gate::Rz(-2.0 * std::f64::consts::PI), &[0]);
+        let f = process_fidelity_baseline(&a, &b).unwrap();
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amplitude_damping_fidelity_formula() {
+        // For amplitude damping on an idle wire vs identity:
+        // tr(K₀) = 1 + √(1−γ), tr(K₁) = 0 →
+        // F = (1+√(1−γ))²/4.
+        let gamma = 0.3;
+        let ideal = Circuit::new(1);
+        let mut noisy = Circuit::new(1);
+        noisy.noise(NoiseChannel::AmplitudeDamping { gamma }, &[0]);
+        let f = jamiolkowski_fidelity_kraus(&ideal, &noisy).unwrap();
+        let expected = (1.0 + (1.0 - gamma).sqrt()).powi(2) / 4.0;
+        assert!((f - expected).abs() < 1e-10);
+    }
+}

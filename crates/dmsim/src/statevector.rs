@@ -1,0 +1,221 @@
+//! Pure-state simulation of ideal circuits.
+
+use crate::kernel::apply_gate;
+use crate::SimError;
+use qaec_circuit::Circuit;
+use qaec_math::C64;
+
+/// An `n`-qubit pure state.
+///
+/// Qubit 0 is the most significant bit of the basis index, matching the
+/// gate-matrix convention of `qaec-circuit`.
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::Circuit;
+/// use qaec_dmsim::Statevector;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let psi = Statevector::from_circuit(&bell)?;
+/// let probs = psi.probabilities();
+/// assert!((probs[0] - 0.5).abs() < 1e-12);
+/// assert!((probs[3] - 0.5).abs() < 1e-12);
+/// # Ok::<(), qaec_dmsim::SimError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Statevector {
+    n: usize,
+    amps: Vec<C64>,
+}
+
+impl Statevector {
+    /// The all-zeros state `|0…0⟩`.
+    pub fn zero(n: usize) -> Self {
+        let mut amps = vec![C64::ZERO; 1usize << n];
+        amps[0] = C64::ONE;
+        Statevector { n, amps }
+    }
+
+    /// A state from raw amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        assert!(
+            amps.len().is_power_of_two() && !amps.is_empty(),
+            "length must be a power of two"
+        );
+        Statevector {
+            n: amps.len().trailing_zeros() as usize,
+            amps,
+        }
+    }
+
+    /// Runs an ideal circuit on `|0…0⟩`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotUnitary`] if the circuit contains noise.
+    pub fn from_circuit(circuit: &Circuit) -> Result<Self, SimError> {
+        let mut state = Statevector::zero(circuit.n_qubits());
+        state.apply_circuit(circuit)?;
+        Ok(state)
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The amplitudes (length `2^n`).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Applies one gate.
+    pub fn apply_gate(&mut self, gate: &qaec_circuit::Gate, qubits: &[usize]) {
+        apply_gate(&mut self.amps, self.n, &gate.matrix(), qubits);
+    }
+
+    /// Applies every gate of an ideal circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotUnitary`] if the circuit contains noise (state
+    /// partially applied up to the first noise site is rolled back — the
+    /// check happens before any application).
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), SimError> {
+        if !circuit.is_unitary() {
+            return Err(SimError::NotUnitary);
+        }
+        for instr in circuit.iter() {
+            let gate = instr.as_gate().expect("unitary circuit");
+            apply_gate(&mut self.amps, self.n, &gate.matrix(), &instr.qubits);
+        }
+        Ok(())
+    }
+
+    /// Measurement probabilities in the computational basis.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// `⟨self|other⟩`.
+    pub fn inner(&self, other: &Statevector) -> C64 {
+        assert_eq!(self.n, other.n, "qubit count mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(&a, &b)| a.conj() * b)
+            .sum()
+    }
+
+    /// The squared norm (1 for a valid state).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaec_circuit::generators::{
+        bernstein_vazirani, grover, mod_mul_7x1_mod15, qft, GroverOptions, QftStyle,
+    };
+    use qaec_circuit::NoiseChannel;
+
+    #[test]
+    fn norm_is_preserved_by_circuits() {
+        let c = qft(4, QftStyle::DecomposedNoSwaps);
+        let psi = Statevector::from_circuit(&c).unwrap();
+        assert!((psi.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bernstein_vazirani_recovers_hidden_string() {
+        let hidden = [true, false, true, true];
+        let c = bernstein_vazirani(&hidden);
+        let psi = Statevector::from_circuit(&c).unwrap();
+        let probs = psi.probabilities();
+        // Data register must read the hidden string with certainty
+        // (ancilla in |−⟩ superposition). Index bits: q0..q3 data, q4 anc.
+        let mut data_index = 0usize;
+        for (q, &bit) in hidden.iter().enumerate() {
+            if bit {
+                data_index |= 1 << (4 - q); // qubit q is bit n-1-q with n=5
+            }
+        }
+        let p: f64 = probs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & !1 == data_index)
+            .map(|(_, &p)| p)
+            .sum();
+        assert!((p - 1.0).abs() < 1e-10, "hidden string probability {p}");
+    }
+
+    #[test]
+    fn grover_first_iteration_is_exact_for_two_qubits() {
+        for marked in 0..4usize {
+            let c = grover(
+                2,
+                GroverOptions {
+                    iterations: 1,
+                    marked,
+                    ..Default::default()
+                },
+            );
+            let psi = Statevector::from_circuit(&c).unwrap();
+            let probs = psi.probabilities();
+            let p: f64 = (0..2)
+                .map(|anc| probs[(marked << 1) | anc])
+                .sum();
+            assert!((p - 1.0).abs() < 1e-10, "marked {marked}: {p}");
+        }
+    }
+
+    #[test]
+    fn mod_mul_produces_seven() {
+        // Control off: register prepared to |1⟩.
+        let psi = Statevector::from_circuit(&mod_mul_7x1_mod15()).unwrap();
+        assert!((psi.probabilities()[0b0_0001] - 1.0).abs() < 1e-10);
+        // Control on: 7·1 mod 15 = 7.
+        let mut with_control = qaec_circuit::Circuit::new(5);
+        with_control.x(0);
+        with_control.append(&mod_mul_7x1_mod15()).unwrap();
+        let psi = Statevector::from_circuit(&with_control).unwrap();
+        assert!((psi.probabilities()[0b1_0111] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn qft_of_zero_is_uniform() {
+        let c = qft(3, QftStyle::Textbook);
+        let psi = Statevector::from_circuit(&c).unwrap();
+        for p in psi.probabilities() {
+            assert!((p - 1.0 / 8.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn noisy_circuit_rejected() {
+        let mut c = qaec_circuit::Circuit::new(1);
+        c.noise(NoiseChannel::BitFlip { p: 0.9 }, &[0]);
+        assert_eq!(
+            Statevector::from_circuit(&c),
+            Err(SimError::NotUnitary)
+        );
+    }
+
+    #[test]
+    fn inner_product() {
+        let zero = Statevector::zero(1);
+        let mut one = qaec_circuit::Circuit::new(1);
+        one.x(0);
+        let one = Statevector::from_circuit(&one).unwrap();
+        assert!(zero.inner(&one).abs() < 1e-12);
+        assert!((zero.inner(&zero) - C64::ONE).abs() < 1e-12);
+    }
+}

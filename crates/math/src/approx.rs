@@ -1,0 +1,72 @@
+//! Tolerance-based approximate comparison helpers.
+//!
+//! Floating-point round-off accumulates through long chains of tensor
+//! contractions, so all structural comparisons in the workspace (unitarity
+//! checks, decision-diagram canonicalization, test assertions) go through
+//! these helpers rather than `==`.
+
+use crate::C64;
+
+/// The default absolute tolerance used throughout the workspace.
+///
+/// Chosen so that `2^16`-dimensional traces accumulated in `f64` still
+/// compare reliably, while genuinely distinct gate-matrix entries (which
+/// differ at the `1e-1` scale or, for fine rotation angles, the `1e-6`
+/// scale) never collide.
+pub const DEFAULT_TOLERANCE: f64 = 1e-10;
+
+/// Whether two `f64` values differ by at most `tol` (absolute).
+///
+/// ```
+/// use qaec_math::approx::approx_eq_f64;
+/// assert!(approx_eq_f64(1.0, 1.0 + 1e-13, 1e-12));
+/// assert!(!approx_eq_f64(1.0, 1.1, 1e-12));
+/// ```
+#[inline]
+pub fn approx_eq_f64(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Whether two complex values differ by at most `tol` in modulus.
+#[inline]
+pub fn approx_eq_c64(a: C64, b: C64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Whether a complex value is within `tol` of zero.
+#[inline]
+pub fn approx_zero(z: C64, tol: f64) -> bool {
+    z.abs() <= tol
+}
+
+/// Whether every corresponding pair of entries differs by at most `tol`.
+pub fn approx_eq_slice(a: &[C64], b: &[C64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| approx_eq_c64(x, y, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_comparisons() {
+        assert!(approx_eq_f64(0.1 + 0.2, 0.3, 1e-12));
+        assert!(!approx_eq_f64(0.1, 0.2, 1e-12));
+        assert!(approx_eq_c64(
+            C64::new(1.0, 1.0),
+            C64::new(1.0 + 1e-12, 1.0 - 1e-12),
+            1e-10
+        ));
+        assert!(approx_zero(C64::new(1e-14, -1e-14), 1e-10));
+    }
+
+    #[test]
+    fn slice_comparison() {
+        let a = [C64::ONE, C64::I];
+        let b = [C64::new(1.0, 1e-13), C64::new(-1e-13, 1.0)];
+        assert!(approx_eq_slice(&a, &b, 1e-10));
+        assert!(!approx_eq_slice(&a, &b[..1], 1e-10));
+        let c = [C64::ONE, C64::ONE];
+        assert!(!approx_eq_slice(&a, &c, 1e-10));
+    }
+}

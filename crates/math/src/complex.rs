@@ -1,0 +1,366 @@
+//! Double-precision complex numbers.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// The type is `Copy` and implements the usual arithmetic operators, both
+/// between two `C64` values and between a `C64` and an `f64` scalar.
+///
+/// # Example
+///
+/// ```
+/// use qaec_math::C64;
+///
+/// let z = C64::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!((z * z.conj()).re, 25.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity `0`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    ///
+    /// ```
+    /// use qaec_math::C64;
+    /// let z = C64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z - C64::new(0.0, 2.0)).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        C64 {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// `e^{iθ}` — a unit-modulus phase factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// The complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// The squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// The argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// The multiplicative inverse `1/z`.
+    ///
+    /// Returns `C64::ZERO` divided components (i.e. NaN/inf components) when
+    /// `z == 0`; callers that may divide by zero should check
+    /// [`C64::is_zero`] first.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        C64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Whether both components are exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.re == 0.0 && self.im == 0.0
+    }
+
+    /// Whether both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// The principal square root.
+    ///
+    /// ```
+    /// use qaec_math::C64;
+    /// let z = C64::new(0.0, 2.0).sqrt();
+    /// assert!((z * z - C64::new(0.0, 2.0)).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Fused multiply-accumulate: `self + a * b`.
+    #[inline]
+    pub fn mul_add(self, a: C64, b: C64) -> Self {
+        C64 {
+            re: self.re + a.re * b.re - a.im * b.im,
+            im: self.im + a.re * b.im + a.im * b.re,
+        }
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    // Division by reciprocal multiplication is the intended algorithm.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        C64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im == 0.0 {
+            write!(f, "{}", self.re)
+        } else if self.re == 0.0 {
+            write!(f, "{}i", self.im)
+        } else if self.im < 0.0 {
+            write!(f, "{}-{}i", self.re, -self.im)
+        } else {
+            write!(f, "{}+{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        assert!(close(a / b * b, a));
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(C64::ONE * C64::I, C64::I);
+        assert_eq!(C64::I * C64::I, -C64::ONE);
+        assert_eq!(C64::ZERO + C64::ONE, C64::ONE);
+    }
+
+    #[test]
+    fn conjugate_and_modulus() {
+        let z = C64::new(3.0, 4.0);
+        assert_eq!(z.conj(), C64::new(3.0, -4.0));
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!(close(z * z.conj(), C64::real(25.0)));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = C64::new(-1.5, 0.7);
+        let back = C64::from_polar(z.abs(), z.arg());
+        assert!(close(z, back));
+    }
+
+    #[test]
+    fn cis_is_unit_modulus() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::FRAC_PI_8;
+            assert!((C64::cis(theta).abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn recip_and_division() {
+        let z = C64::new(2.0, -3.0);
+        assert!(close(z * z.recip(), C64::ONE));
+        assert!(close(z / z, C64::ONE));
+    }
+
+    #[test]
+    fn sqrt_of_negative_real() {
+        let z = C64::real(-4.0).sqrt();
+        assert!(close(z, C64::new(0.0, 2.0)));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let z = C64::new(1.0, 1.0);
+        assert_eq!(z * 2.0, C64::new(2.0, 2.0));
+        assert_eq!(2.0 * z, C64::new(2.0, 2.0));
+        assert_eq!(z / 2.0, C64::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: C64 = (0..4).map(|k| C64::new(k as f64, 1.0)).sum();
+        assert_eq!(total, C64::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn mul_add_matches_expanded_form() {
+        let acc = C64::new(0.5, -0.5);
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-3.0, 0.25);
+        assert!(close(acc.mul_add(a, b), acc + a * b));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(C64::real(1.5).to_string(), "1.5");
+        assert_eq!(C64::new(0.0, -2.0).to_string(), "-2i");
+        assert_eq!(C64::new(1.0, 1.0).to_string(), "1+1i");
+        assert_eq!(C64::new(1.0, -1.0).to_string(), "1-1i");
+    }
+}

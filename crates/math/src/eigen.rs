@@ -1,0 +1,279 @@
+//! Hermitian eigendecomposition (complex Jacobi method) and PSD matrix
+//! functions.
+//!
+//! The general Jamiolkowski fidelity between two *noisy* circuits needs
+//! `F(ρ, σ) = (tr √(√ρ·σ·√ρ))²`, i.e. matrix square roots of positive
+//! semi-definite matrices. The cyclic complex Jacobi iteration below is
+//! exact enough (off-diagonal Frobenius norm below `1e-12`) and has no
+//! external dependencies; it is meant for the dense small-`n` regime, the
+//! same envelope as the rest of the dense baseline.
+
+use crate::{C64, Matrix};
+
+/// Result of a Hermitian eigendecomposition: `a = V · diag(λ) · V†`.
+#[derive(Clone, Debug)]
+pub struct Eigh {
+    /// Eigenvalues in ascending order (real, since the input is
+    /// Hermitian).
+    pub values: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub vectors: Matrix,
+}
+
+/// Eigendecomposition of a Hermitian matrix by the cyclic complex Jacobi
+/// method.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or deviates from Hermitian symmetry
+/// by more than `1e-8`.
+///
+/// # Example
+///
+/// ```
+/// use qaec_math::{C64, Matrix};
+/// use qaec_math::eigen::eigh;
+///
+/// // Pauli Y has eigenvalues ±1.
+/// let y = Matrix::from_rows(&[
+///     vec![C64::ZERO, -C64::I],
+///     vec![C64::I, C64::ZERO],
+/// ]);
+/// let e = eigh(&y);
+/// assert!((e.values[0] + 1.0).abs() < 1e-10);
+/// assert!((e.values[1] - 1.0).abs() < 1e-10);
+/// ```
+pub fn eigh(a: &Matrix) -> Eigh {
+    assert!(a.is_square(), "eigh needs a square matrix");
+    assert!(
+        a.is_hermitian(1e-8),
+        "eigh needs a Hermitian matrix (deviation too large)"
+    );
+    let n = a.rows();
+    let mut work = a.clone();
+    let mut vectors = Matrix::identity(n);
+
+    // Cyclic sweeps until convergence.
+    for _sweep in 0..100 {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += work[(p, q)].norm_sqr();
+            }
+        }
+        if off.sqrt() < 1e-13 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = work[(p, q)];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = work[(p, p)].re;
+                let aqq = work[(q, q)].re;
+                // Phase to make the pivot real: apq = |apq|·e^{iφ}.
+                let phi = apq.arg();
+                let abs_apq = apq.abs();
+                // Real Jacobi angle for [[app, |apq|], [|apq|, aqq]].
+                let theta = if (app - aqq).abs() < 1e-300 {
+                    std::f64::consts::FRAC_PI_4
+                } else {
+                    0.5 * (2.0 * abs_apq / (app - aqq)).atan()
+                };
+                let c = theta.cos();
+                let s = theta.sin();
+                // J: identity except J[p,p]=c, J[p,q]=−s·e^{iφ},
+                //    J[q,p]=s·e^{−iφ}, J[q,q]=c.
+                let e_pos = C64::cis(phi);
+                let e_neg = C64::cis(-phi);
+                // work ← J† · work · J; vectors ← vectors · J.
+                // Column update (right-multiply by J).
+                for r in 0..n {
+                    let wp = work[(r, p)];
+                    let wq = work[(r, q)];
+                    work[(r, p)] = wp * c + wq * (e_neg * s);
+                    work[(r, q)] = wq * c - wp * (e_pos * s);
+                    let vp = vectors[(r, p)];
+                    let vq = vectors[(r, q)];
+                    vectors[(r, p)] = vp * c + vq * (e_neg * s);
+                    vectors[(r, q)] = vq * c - vp * (e_pos * s);
+                }
+                // Row update (left-multiply by J†).
+                for col in 0..n {
+                    let wp = work[(p, col)];
+                    let wq = work[(q, col)];
+                    work[(p, col)] = wp * c + wq * (e_pos * s);
+                    work[(q, col)] = wq * c - wp * (e_neg * s);
+                }
+            }
+        }
+    }
+
+    // Extract and sort.
+    let mut order: Vec<usize> = (0..n).collect();
+    let values_raw: Vec<f64> = (0..n).map(|i| work[(i, i)].re).collect();
+    order.sort_by(|&i, &j| values_raw[i].total_cmp(&values_raw[j]));
+    let values: Vec<f64> = order.iter().map(|&i| values_raw[i]).collect();
+    let sorted_vectors = Matrix::from_fn(n, n, |r, c| vectors[(r, order[c])]);
+    Eigh {
+        values,
+        vectors: sorted_vectors,
+    }
+}
+
+/// The eigenvalues of a Hermitian matrix, ascending.
+///
+/// # Panics
+///
+/// As [`eigh`].
+pub fn eigvalsh(a: &Matrix) -> Vec<f64> {
+    eigh(a).values
+}
+
+/// The principal square root of a positive semi-definite Hermitian
+/// matrix (small negative eigenvalues from round-off are clamped to 0).
+///
+/// # Panics
+///
+/// As [`eigh`], plus if an eigenvalue is more negative than `-1e-8`.
+pub fn sqrtm_psd(a: &Matrix) -> Matrix {
+    let e = eigh(a);
+    for &v in &e.values {
+        assert!(v > -1e-8, "matrix is not PSD: eigenvalue {v}");
+    }
+    let sqrt_diag =
+        Matrix::from_diagonal(&e.values.iter().map(|&v| C64::real(v.max(0.0).sqrt())).collect::<Vec<_>>());
+    e.vectors.mul(&sqrt_diag).mul(&e.vectors.adjoint())
+}
+
+/// Uhlmann fidelity between two density matrices:
+/// `F(ρ, σ) = (tr √(√ρ·σ·√ρ))²`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or non-PSD inputs (beyond round-off).
+pub fn state_fidelity(rho: &Matrix, sigma: &Matrix) -> f64 {
+    assert_eq!(rho.shape(), sigma.shape(), "dimension mismatch");
+    let sr = sqrtm_psd(rho);
+    let inner = sr.mul(sigma).mul(&sr);
+    // inner is PSD; F = (Σ √λᵢ)².
+    let values = eigvalsh(&inner);
+    let trace_sqrt: f64 = values.iter().map(|&v| v.max(0.0).sqrt()).sum();
+    (trace_sqrt * trace_sqrt).min(1.0 + 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &Eigh) -> Matrix {
+        let diag =
+            Matrix::from_diagonal(&e.values.iter().map(|&v| C64::real(v)).collect::<Vec<_>>());
+        e.vectors.mul(&diag).mul(&e.vectors.adjoint())
+    }
+
+    fn random_hermitian(n: usize, seed: u64) -> Matrix {
+        // Deterministic pseudo-random Hermitian via a simple LCG (no rand
+        // dependency in this crate).
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let a = Matrix::from_fn(n, n, |_, _| C64::new(next(), next()));
+        a.add(&a.adjoint()).scale(C64::real(0.5))
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let d = Matrix::from_diagonal(&[C64::real(3.0), C64::real(-1.0), C64::real(0.5)]);
+        let e = eigh(&d);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 0.5).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_unitarity() {
+        for n in [2usize, 3, 5, 8] {
+            let a = random_hermitian(n, n as u64);
+            let e = eigh(&a);
+            assert!(e.vectors.is_unitary(1e-9), "n={n} eigenvectors not unitary");
+            let back = reconstruct(&e);
+            assert!(
+                back.approx_eq(&a, 1e-9),
+                "n={n} reconstruction error {}",
+                back.max_abs_diff(&a)
+            );
+        }
+    }
+
+    #[test]
+    fn trace_and_determinant_invariants() {
+        let a = random_hermitian(4, 9);
+        let e = eigh(&a);
+        let trace: f64 = e.values.iter().sum();
+        assert!((trace - a.trace().re).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sqrtm_squares_back() {
+        // Build a PSD matrix B = A†A.
+        let a = random_hermitian(4, 17);
+        let b = a.adjoint().mul(&a);
+        let s = sqrtm_psd(&b);
+        assert!(s.mul(&s).approx_eq(&b, 1e-8));
+        assert!(s.is_hermitian(1e-9));
+    }
+
+    #[test]
+    fn fidelity_of_identical_states_is_one() {
+        let a = random_hermitian(4, 23);
+        let b = a.adjoint().mul(&a);
+        let rho = b.scale(C64::real(1.0 / b.trace().re));
+        assert!((state_fidelity(&rho, &rho) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_pure_states_is_zero() {
+        let rho = Matrix::from_diagonal(&[C64::ONE, C64::ZERO]);
+        let sigma = Matrix::from_diagonal(&[C64::ZERO, C64::ONE]);
+        assert!(state_fidelity(&rho, &sigma).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fidelity_pure_vs_mixed_matches_formula() {
+        // F(|0⟩⟨0|, σ) = ⟨0|σ|0⟩.
+        let sigma = Matrix::from_diagonal(&[C64::real(0.7), C64::real(0.3)]);
+        let rho = Matrix::from_diagonal(&[C64::ONE, C64::ZERO]);
+        assert!((state_fidelity(&rho, &sigma) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fidelity_is_symmetric() {
+        let a = random_hermitian(3, 31);
+        let b = random_hermitian(3, 37);
+        let rho = {
+            let m = a.adjoint().mul(&a);
+            m.scale(C64::real(1.0 / m.trace().re))
+        };
+        let sigma = {
+            let m = b.adjoint().mul(&b);
+            m.scale(C64::real(1.0 / m.trace().re))
+        };
+        let f1 = state_fidelity(&rho, &sigma);
+        let f2 = state_fidelity(&sigma, &rho);
+        assert!((f1 - f2).abs() < 1e-8, "{f1} vs {f2}");
+        assert!((0.0..=1.0 + 1e-9).contains(&f1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not PSD")]
+    fn sqrtm_rejects_indefinite() {
+        let z = Matrix::from_diagonal(&[C64::ONE, -C64::ONE]);
+        sqrtm_psd(&z);
+    }
+}

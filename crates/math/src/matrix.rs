@@ -1,0 +1,532 @@
+//! Dense, row-major complex matrices.
+
+use crate::{approx::approx_eq_c64, C64};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense complex matrix stored in row-major order.
+///
+/// Sized for the quantum-circuit domain: gate matrices are `2^ℓ × 2^ℓ` for
+/// small `ℓ`, and the dense baseline simulator builds matrices up to
+/// `4^n × 4^n`. All operations are straightforward `O(n³)`/`O(n²)` dense
+/// kernels.
+///
+/// # Example
+///
+/// ```
+/// use qaec_math::{C64, Matrix};
+///
+/// let x = Matrix::from_rows(&[
+///     vec![C64::ZERO, C64::ONE],
+///     vec![C64::ONE, C64::ZERO],
+/// ]);
+/// let xx = x.mul(&x);
+/// assert!(xx.is_identity(1e-12));
+/// assert_eq!(x.kron(&x).shape(), (4, 4));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from a slice of equal-length rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    pub fn from_rows(rows: &[Vec<C64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(
+            rows.iter().all(|row| row.len() == c),
+            "all rows must have equal length"
+        );
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Creates a matrix whose `(i, j)` entry is `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must be rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a square diagonal matrix from its diagonal entries.
+    pub fn from_diagonal(diag: &[C64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// A view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// A mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major buffer.
+    pub fn into_vec(self) -> Vec<C64> {
+        self.data
+    }
+
+    /// Matrix sum `self + rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "shape mismatch in add");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Matrix difference `self - rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "shape mismatch in sub");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// Scalar multiple `c · self`.
+    pub fn scale(&self, c: C64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| a * c).collect(),
+        }
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimension mismatch in matrix product"
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a.is_zero() {
+                    continue;
+                }
+                let row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let dst = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (d, &b) in dst.iter_mut().zip(row) {
+                    *d = d.mul_add(a, b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn apply(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch in apply");
+        let mut out = vec![C64::ZERO; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = C64::ZERO;
+            for (&a, &x) in row.iter().zip(v) {
+                acc = acc.mul_add(a, x);
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    ///
+    /// ```
+    /// use qaec_math::Matrix;
+    /// let i2 = Matrix::identity(2);
+    /// assert!(i2.kron(&i2).is_identity(0.0));
+    /// ```
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i1 in 0..self.rows {
+            for j1 in 0..self.cols {
+                let a = self.data[i1 * self.cols + j1];
+                if a.is_zero() {
+                    continue;
+                }
+                for i2 in 0..rhs.rows {
+                    for j2 in 0..rhs.cols {
+                        let b = rhs.data[i2 * rhs.cols + j2];
+                        out[(i1 * rhs.rows + i2, j1 * rhs.cols + j2)] = a * b;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose `selfᵀ`.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Entry-wise complex conjugate `self*`.
+    pub fn conj(&self) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Conjugate transpose (adjoint) `self†`.
+    pub fn adjoint(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// The trace `Σᵢ self[i,i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> C64 {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// `tr(self · rhs)` computed without forming the product:
+    /// `Σ_{i,k} self[i,k] · rhs[k,i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product would not be square.
+    pub fn mul_trace(&self, rhs: &Matrix) -> C64 {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch in mul_trace");
+        assert_eq!(self.rows, rhs.cols, "product must be square in mul_trace");
+        let mut acc = C64::ZERO;
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                acc = acc.mul_add(self.data[i * self.cols + k], rhs.data[k * rhs.cols + i]);
+            }
+        }
+        acc
+    }
+
+    /// Frobenius norm `√(Σ |aᵢⱼ|²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|z| z.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// The largest entry-wise modulus difference `max |self - rhs|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> f64 {
+        assert_eq!(self.shape(), rhs.shape(), "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every entry matches `rhs` within `tol`.
+    pub fn approx_eq(&self, rhs: &Matrix, tol: f64) -> bool {
+        self.shape() == rhs.shape() && self.max_abs_diff(rhs) <= tol
+    }
+
+    /// Whether the matrix is the identity within `tol`.
+    pub fn is_identity(&self, tol: f64) -> bool {
+        self.is_square()
+            && self
+                .data
+                .iter()
+                .enumerate()
+                .all(|(idx, &z)| {
+                    let expected = if idx / self.cols == idx % self.cols {
+                        C64::ONE
+                    } else {
+                        C64::ZERO
+                    };
+                    approx_eq_c64(z, expected, tol)
+                })
+    }
+
+    /// Whether the matrix equals `e^{iφ}·I` for some global phase `φ`,
+    /// within `tol`.
+    pub fn is_identity_up_to_phase(&self, tol: f64) -> bool {
+        if !self.is_square() || self.rows == 0 {
+            return false;
+        }
+        let phase = self[(0, 0)];
+        if (phase.abs() - 1.0).abs() > tol {
+            return false;
+        }
+        self.scale(phase.recip()).is_identity(tol)
+    }
+
+    /// Whether `self† · self = I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.is_square() && self.adjoint().mul(self).is_identity(tol)
+    }
+
+    /// Whether the matrix equals its own adjoint within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.approx_eq(&self.adjoint(), tol)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:>14}", format!("{}", self[(i, j)]))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli_x() -> Matrix {
+        Matrix::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::ONE, C64::ZERO]])
+    }
+
+    fn pauli_y() -> Matrix {
+        Matrix::from_rows(&[vec![C64::ZERO, -C64::I], vec![C64::I, C64::ZERO]])
+    }
+
+    fn pauli_z() -> Matrix {
+        Matrix::from_diagonal(&[C64::ONE, -C64::ONE])
+    }
+
+    fn hadamard() -> Matrix {
+        let s = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+        Matrix::from_rows(&[vec![s, s], vec![s, -s]])
+    }
+
+    #[test]
+    fn identity_properties() {
+        let i4 = Matrix::identity(4);
+        assert!(i4.is_identity(0.0));
+        assert!(i4.is_unitary(1e-12));
+        assert_eq!(i4.trace(), C64::real(4.0));
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        let (x, y, z) = (pauli_x(), pauli_y(), pauli_z());
+        // XY = iZ
+        assert!(x.mul(&y).approx_eq(&z.scale(C64::I), 1e-12));
+        // X² = Y² = Z² = I
+        for p in [&x, &y, &z] {
+            assert!(p.mul(p).is_identity(1e-12));
+            assert!(p.is_unitary(1e-12));
+            assert!(p.is_hermitian(1e-12));
+        }
+        // Paulis are traceless
+        assert!(x.trace().abs() < 1e-12);
+        assert!(y.trace().abs() < 1e-12);
+        assert!(z.trace().abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_conjugates_x_to_z() {
+        let h = hadamard();
+        let hxh = h.mul(&pauli_x()).mul(&h);
+        assert!(hxh.approx_eq(&pauli_z(), 1e-12));
+    }
+
+    #[test]
+    fn kron_shapes_and_values() {
+        let x = pauli_x();
+        let xz = x.kron(&pauli_z());
+        assert_eq!(xz.shape(), (4, 4));
+        assert_eq!(xz[(0, 2)], C64::ONE);
+        assert_eq!(xz[(1, 3)], -C64::ONE);
+        assert_eq!(xz[(0, 0)], C64::ZERO);
+        // (A⊗B)(C⊗D) = AC ⊗ BD
+        let h = hadamard();
+        let lhs = x.kron(&h).mul(&h.kron(&x));
+        let rhs = x.mul(&h).kron(&h.mul(&x));
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn adjoint_transpose_conj_consistency() {
+        let y = pauli_y();
+        assert!(y.adjoint().approx_eq(&y.transpose().conj(), 1e-15));
+        assert!(y.adjoint().approx_eq(&y.conj().transpose(), 1e-15));
+    }
+
+    #[test]
+    fn mul_trace_matches_explicit_product() {
+        let a = Matrix::from_fn(3, 3, |i, j| C64::new(i as f64, j as f64));
+        let b = Matrix::from_fn(3, 3, |i, j| C64::new((i * j) as f64, 1.0));
+        let expected = a.mul(&b).trace();
+        assert!((a.mul_trace(&b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_matches_mul() {
+        let h = hadamard();
+        let v = vec![C64::ONE, C64::ZERO];
+        let out = h.apply(&v);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((out[0] - C64::real(s)).abs() < 1e-12);
+        assert!((out[1] - C64::real(s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_up_to_phase() {
+        let phased = Matrix::identity(2).scale(C64::cis(0.7));
+        assert!(phased.is_identity_up_to_phase(1e-12));
+        assert!(!phased.is_identity(1e-12));
+        assert!(!pauli_x().is_identity_up_to_phase(1e-12));
+    }
+
+    #[test]
+    fn frobenius_and_diff() {
+        let x = pauli_x();
+        assert!((x.frobenius_norm() - 2f64.sqrt()).abs() < 1e-12);
+        assert!((x.max_abs_diff(&pauli_z()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.mul(&b);
+    }
+
+    #[test]
+    fn from_diagonal_and_flat() {
+        let d = Matrix::from_diagonal(&[C64::ONE, C64::I]);
+        assert_eq!(d[(1, 1)], C64::I);
+        assert_eq!(d[(0, 1)], C64::ZERO);
+        let f = Matrix::from_flat(1, 2, vec![C64::ONE, C64::I]);
+        assert_eq!(f.shape(), (1, 2));
+    }
+}

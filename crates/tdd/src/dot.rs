@@ -1,0 +1,160 @@
+//! Graphviz DOT export of decision diagrams, for debugging and
+//! documentation figures.
+
+use crate::manager::{Edge, NodeId, TddManager};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Renders the diagram rooted at `root` as Graphviz DOT.
+///
+/// Nodes are labelled with their variable level; solid edges are the
+/// high (1) branch, dashed edges the low (0) branch; edge labels show
+/// non-unit weights. The root's incoming weight appears on a phantom
+/// entry edge.
+///
+/// # Example
+///
+/// ```
+/// use qaec_math::{C64, Matrix};
+/// use qaec_tensornet::{IndexId, Tensor, VarOrder};
+/// use qaec_tdd::{convert, dot, TddManager};
+///
+/// let t = Tensor::from_matrix(&Matrix::identity(2), &[IndexId(0)], &[IndexId(1)]);
+/// let order = VarOrder::from_sequence([IndexId(0), IndexId(1)]);
+/// let mut m = TddManager::new();
+/// let e = convert::from_tensor(&mut m, &t, &order);
+/// let text = dot::to_dot(&m, e, "identity");
+/// assert!(text.starts_with("digraph"));
+/// assert!(text.contains("x0"));
+/// ```
+pub fn to_dot(m: &TddManager, root: Edge, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  entry [shape=point];");
+    let _ = writeln!(out, "  t [label=\"1\", shape=box];");
+
+    // Stable ids for reachable nodes.
+    let mut ids: HashMap<NodeId, usize> = HashMap::new();
+    let mut order_visit: Vec<NodeId> = Vec::new();
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut stack = vec![root.node];
+    while let Some(n) = stack.pop() {
+        if n.is_terminal() || !seen.insert(n) {
+            continue;
+        }
+        ids.insert(n, order_visit.len());
+        order_visit.push(n);
+        let node = m.node(n);
+        stack.push(node.low.node);
+        stack.push(node.high.node);
+    }
+
+    let node_name = |n: NodeId, ids: &HashMap<NodeId, usize>| -> String {
+        if n.is_terminal() {
+            "t".to_string()
+        } else {
+            format!("n{}", ids[&n])
+        }
+    };
+
+    for &n in &order_visit {
+        let node = m.node(n);
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"x{}\", shape=circle];",
+            ids[&n], node.var
+        );
+    }
+
+    let weight_label = |m: &TddManager, w: crate::weight::WeightId| -> String {
+        if w.is_one() {
+            String::new()
+        } else {
+            format!(" [label=\"{}\"]", m.weight_value(w))
+        }
+    };
+
+    let _ = writeln!(
+        out,
+        "  entry -> {}{};",
+        node_name(root.node, &ids),
+        weight_label(m, root.weight)
+    );
+    for &n in &order_visit {
+        let node = m.node(n);
+        let low_attrs = {
+            let wl = weight_label(m, node.low.weight);
+            if wl.is_empty() {
+                " [style=dashed]".to_string()
+            } else {
+                wl.replace(']', ", style=dashed]")
+            }
+        };
+        if !node.low.weight.is_zero() {
+            let _ = writeln!(
+                out,
+                "  n{} -> {}{};",
+                ids[&n],
+                node_name(node.low.node, &ids),
+                low_attrs
+            );
+        }
+        if !node.high.weight.is_zero() {
+            let _ = writeln!(
+                out,
+                "  n{} -> {}{};",
+                ids[&n],
+                node_name(node.high.node, &ids),
+                weight_label(m, node.high.weight)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::from_tensor;
+    use qaec_math::{C64, Matrix};
+    use qaec_tensornet::{IndexId, Tensor, VarOrder};
+
+    #[test]
+    fn identity_diagram_renders() {
+        let t = Tensor::from_matrix(&Matrix::identity(2), &[IndexId(0)], &[IndexId(1)]);
+        let order = VarOrder::from_sequence([IndexId(0), IndexId(1)]);
+        let mut m = TddManager::new();
+        let e = from_tensor(&mut m, &t, &order);
+        let dot = to_dot(&m, e, "id");
+        assert!(dot.contains("digraph \"id\""));
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x1"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.ends_with("}\n"));
+        // 3 internal nodes for δ: root + two x1 nodes.
+        assert_eq!(dot.matches("shape=circle").count(), 3);
+    }
+
+    #[test]
+    fn zero_branches_are_omitted() {
+        // T[x] = (0, 2): low branch weight 0 must not be drawn.
+        let t = Tensor::from_flat(vec![IndexId(0)], vec![C64::ZERO, C64::real(2.0)]);
+        let order = VarOrder::from_sequence([IndexId(0)]);
+        let mut m = TddManager::new();
+        let e = from_tensor(&mut m, &t, &order);
+        let dot = to_dot(&m, e, "sparse");
+        // One internal node, one edge to terminal (high), plus entry.
+        assert_eq!(dot.matches("-> t").count(), 1);
+    }
+
+    #[test]
+    fn scalar_diagram() {
+        let mut m = TddManager::new();
+        let e = m.terminal(C64::real(0.5));
+        let dot = to_dot(&m, e, "scalar");
+        assert!(dot.contains("entry -> t"));
+        assert!(dot.contains("0.5"));
+    }
+}

@@ -1,0 +1,520 @@
+//! The TDD node arena, normalization rules and unique table.
+
+use crate::weight::{WeightId, WeightTable};
+use qaec_math::C64;
+use std::collections::HashMap;
+
+/// Handle to a node in the manager's arena. `NodeId::TERMINAL` (id 0) is
+/// the unique terminal node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The terminal node.
+    pub const TERMINAL: NodeId = NodeId(0);
+
+    /// Whether this is the terminal node.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self == NodeId::TERMINAL
+    }
+}
+
+/// A weighted edge: the fundamental TDD value. A whole diagram is named by
+/// its root edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Target node.
+    pub node: NodeId,
+    /// Interned complex weight multiplying the whole sub-diagram.
+    pub weight: WeightId,
+}
+
+impl Edge {
+    /// The constant-zero edge.
+    pub const ZERO: Edge = Edge {
+        node: NodeId::TERMINAL,
+        weight: WeightId::ZERO,
+    };
+    /// The constant-one edge.
+    pub const ONE: Edge = Edge {
+        node: NodeId::TERMINAL,
+        weight: WeightId::ONE,
+    };
+
+    /// Whether this edge denotes the zero tensor.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.weight.is_zero()
+    }
+}
+
+/// Internal node: branches on variable `var` (a level in the global
+/// [`qaec_tensornet::VarOrder`]; smaller = closer to the root).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    pub var: u32,
+    pub low: Edge,
+    pub high: Edge,
+}
+
+/// The variable level reported for the terminal (below every real level).
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+/// Operation counters and size statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TddStats {
+    /// Nodes ever allocated (monotone; survives GC).
+    pub nodes_created: u64,
+    /// Unique-table hits (structure sharing events).
+    pub unique_hits: u64,
+    /// `add` invocations / computed-table hits.
+    pub add_calls: u64,
+    /// `add` computed-table hits.
+    pub add_hits: u64,
+    /// `cont` invocations.
+    pub cont_calls: u64,
+    /// `cont` computed-table hits.
+    pub cont_hits: u64,
+    /// Garbage collections performed.
+    pub gc_runs: u64,
+    /// Largest arena size observed (live + dead nodes, excluding terminal).
+    pub peak_nodes: usize,
+}
+
+impl std::fmt::Display for TddStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rate = |hits: u64, calls: u64| {
+            if calls == 0 {
+                0.0
+            } else {
+                hits as f64 / calls as f64
+            }
+        };
+        write!(
+            f,
+            "nodes created {} (peak {}), unique hits {}, add {} ({:.0}% hit), cont {} ({:.0}% hit), gc runs {}",
+            self.nodes_created,
+            self.peak_nodes,
+            self.unique_hits,
+            self.add_calls,
+            100.0 * rate(self.add_hits, self.add_calls),
+            self.cont_calls,
+            100.0 * rate(self.cont_hits, self.cont_calls),
+            self.gc_runs,
+        )
+    }
+}
+
+/// The decision-diagram engine: arena, unique table, computed tables and
+/// weight interning, shared by every diagram it creates.
+///
+/// # Example
+///
+/// ```
+/// use qaec_math::C64;
+/// use qaec_tdd::TddManager;
+///
+/// let mut m = TddManager::new();
+/// // A one-variable tensor T[x] = (3, 4i) built from raw cofactors.
+/// let low = m.terminal(C64::real(3.0));
+/// let high = m.terminal(C64::new(0.0, 4.0));
+/// let t = m.make_node(0, low, high);
+/// assert_eq!(m.eval(t, &[0]), C64::real(3.0));
+/// assert_eq!(m.eval(t, &[1]), C64::new(0.0, 4.0));
+/// assert_eq!(m.node_count(t), 2); // one internal node + terminal
+/// ```
+#[derive(Debug)]
+pub struct TddManager {
+    pub(crate) weights: WeightTable,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: HashMap<Node, NodeId>,
+    pub(crate) add_cache: HashMap<(Edge, Edge), Edge>,
+    pub(crate) cont_cache: HashMap<(NodeId, NodeId, u32, u32), Edge>,
+    pub(crate) elim_sets: Vec<Vec<u32>>,
+    pub(crate) elim_set_ids: HashMap<Vec<u32>, u32>,
+    pub(crate) stats: TddStats,
+}
+
+impl Default for TddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TddManager {
+    /// A manager with the default weight tolerance (`1e-10`).
+    pub fn new() -> Self {
+        Self::with_tolerance(1e-10)
+    }
+
+    /// A manager with a custom weight-interning tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol` is not strictly positive and finite.
+    pub fn with_tolerance(tol: f64) -> Self {
+        TddManager {
+            weights: WeightTable::new(tol),
+            nodes: vec![Node {
+                var: TERMINAL_VAR,
+                low: Edge::ZERO,
+                high: Edge::ZERO,
+            }], // slot 0 = terminal sentinel
+            unique: HashMap::new(),
+            add_cache: HashMap::new(),
+            cont_cache: HashMap::new(),
+            elim_sets: Vec::new(),
+            elim_set_ids: HashMap::new(),
+            stats: TddStats::default(),
+        }
+    }
+
+    /// Operation statistics so far.
+    pub fn stats(&self) -> TddStats {
+        self.stats
+    }
+
+    /// Number of arena slots currently allocated (live + dead, excluding
+    /// the terminal sentinel).
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Access to the weight table.
+    pub fn weights(&self) -> &WeightTable {
+        &self.weights
+    }
+
+    /// Interns a complex value as an edge weight.
+    pub fn intern_weight(&mut self, z: C64) -> WeightId {
+        self.weights.intern(z)
+    }
+
+    /// The complex value of an edge weight.
+    pub fn weight_value(&self, w: WeightId) -> C64 {
+        self.weights.value(w)
+    }
+
+    /// A terminal edge with the given scalar value.
+    pub fn terminal(&mut self, z: C64) -> Edge {
+        Edge {
+            node: NodeId::TERMINAL,
+            weight: self.weights.intern(z),
+        }
+    }
+
+    /// The scalar behind an edge, if it is a terminal edge.
+    pub fn edge_scalar(&self, e: Edge) -> Option<C64> {
+        e.node
+            .is_terminal()
+            .then(|| self.weights.value(e.weight))
+    }
+
+    /// The variable level of an edge's root node (`u32::MAX` for the
+    /// terminal).
+    #[inline]
+    pub fn var(&self, n: NodeId) -> u32 {
+        self.nodes[n.0 as usize].var
+    }
+
+    pub(crate) fn node(&self, n: NodeId) -> Node {
+        self.nodes[n.0 as usize]
+    }
+
+    /// The normalized node constructor: applies the reduction rule (equal
+    /// children → skip the node) and weight normalization (divide both
+    /// child weights by the larger-magnitude one, ties preferring the low
+    /// child), then hash-conses through the unique table.
+    ///
+    /// `low`/`high` are the cofactor edges at `var = 0` / `var = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a child's root variable is not below `var` in the order.
+    pub fn make_node(&mut self, var: u32, low: Edge, high: Edge) -> Edge {
+        debug_assert!(
+            self.var(low.node) > var && self.var(high.node) > var,
+            "child variable above parent in the order"
+        );
+        // Reduction: x-independent sub-diagram.
+        if low == high {
+            return low;
+        }
+        // Normalization.
+        if low.is_zero() && high.is_zero() {
+            return Edge::ZERO;
+        }
+        let ml = self.weights.magnitude(low.weight);
+        let mh = self.weights.magnitude(high.weight);
+        let norm = if ml + self.weights.tolerance() >= mh {
+            low.weight
+        } else {
+            high.weight
+        };
+        let new_low = Edge {
+            node: low.node,
+            weight: if low.weight == norm {
+                WeightId::ONE
+            } else {
+                self.weights.div(low.weight, norm)
+            },
+        };
+        let new_high = Edge {
+            node: high.node,
+            weight: if high.weight == norm {
+                WeightId::ONE
+            } else {
+                self.weights.div(high.weight, norm)
+            },
+        };
+        let key = Node {
+            var,
+            low: new_low,
+            high: new_high,
+        };
+        let node = match self.unique.get(&key) {
+            Some(&id) => {
+                self.stats.unique_hits += 1;
+                id
+            }
+            None => {
+                let id = NodeId(self.nodes.len() as u32);
+                self.nodes.push(key);
+                self.unique.insert(key, id);
+                self.stats.nodes_created += 1;
+                self.stats.peak_nodes = self.stats.peak_nodes.max(self.nodes.len() - 1);
+                id
+            }
+        };
+        Edge { node, weight: norm }
+    }
+
+    /// Cofactors of `e` with respect to variable `var`: the pair of edges
+    /// for `var = 0` and `var = 1`. If `e`'s root is below `var`, both
+    /// cofactors are `e` itself (skipped variable).
+    pub fn cofactors(&mut self, e: Edge, var: u32) -> (Edge, Edge) {
+        let node = self.node(e.node);
+        if e.node.is_terminal() || node.var > var {
+            return (e, e);
+        }
+        debug_assert_eq!(node.var, var, "edge root above requested variable");
+        let low = Edge {
+            node: node.low.node,
+            weight: self.weights.mul(e.weight, node.low.weight),
+        };
+        let high = Edge {
+            node: node.high.node,
+            weight: self.weights.mul(e.weight, node.high.weight),
+        };
+        (low, high)
+    }
+
+    /// Evaluates the tensor entry for a full assignment.
+    ///
+    /// `assignment[k]` is the value (0/1) of the variable at level
+    /// `offset + k` where `offset` is the level of `assignment[0]`; more
+    /// precisely, the walk consumes `assignment[var]` at every node
+    /// branching on `var`, so the slice must be indexed by level.
+    pub fn eval(&self, e: Edge, assignment: &[u8]) -> C64 {
+        let mut value = self.weights.value(e.weight);
+        let mut node_id = e.node;
+        while !node_id.is_terminal() {
+            let node = self.node(node_id);
+            let bit = assignment
+                .get(node.var as usize)
+                .copied()
+                .unwrap_or_else(|| panic!("assignment missing level {}", node.var));
+            let next = if bit == 0 { node.low } else { node.high };
+            value *= self.weights.value(next.weight);
+            node_id = next.node;
+        }
+        value
+    }
+
+    /// Number of distinct nodes reachable from `e`, including the terminal.
+    pub fn node_count(&self, e: Edge) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![e.node];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            if !n.is_terminal() {
+                let node = self.node(n);
+                stack.push(node.low.node);
+                stack.push(node.high.node);
+            }
+        }
+        seen.len()
+    }
+
+    /// Clears the computed tables (add/cont memoization) but keeps nodes
+    /// and weights. Used to model the paper's "Ori." (no shared computed
+    /// table) configuration and after GC.
+    pub fn clear_computed_tables(&mut self) {
+        self.add_cache.clear();
+        self.cont_cache.clear();
+    }
+
+    /// Interns an elimination set (sorted variable levels) for contraction
+    /// cache keys, returning its id. Calling twice with the same content
+    /// returns the same id, which is what lets the computed table share
+    /// work across Algorithm I trace terms.
+    pub fn intern_elim_set(&mut self, levels: Vec<u32>) -> u32 {
+        debug_assert!(levels.windows(2).all(|w| w[0] < w[1]), "levels not sorted");
+        if let Some(&id) = self.elim_set_ids.get(&levels) {
+            return id;
+        }
+        let id = self.elim_sets.len() as u32;
+        self.elim_sets.push(levels.clone());
+        self.elim_set_ids.insert(levels, id);
+        id
+    }
+
+    pub(crate) fn elim_set(&self, id: u32) -> &[u32] {
+        &self.elim_sets[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_edges() {
+        let mut m = TddManager::new();
+        let e = m.terminal(C64::new(2.0, -1.0));
+        assert!(e.node.is_terminal());
+        assert_eq!(m.edge_scalar(e), Some(C64::new(2.0, -1.0)));
+        assert_eq!(m.node_count(e), 1);
+        assert!(m.terminal(C64::ZERO).is_zero());
+    }
+
+    #[test]
+    fn reduction_skips_redundant_node() {
+        let mut m = TddManager::new();
+        let c = m.terminal(C64::real(0.7));
+        let e = m.make_node(3, c, c);
+        assert_eq!(e, c, "equal children must collapse");
+    }
+
+    #[test]
+    fn normalization_prefers_larger_magnitude() {
+        let mut m = TddManager::new();
+        let low = m.terminal(C64::real(0.5));
+        let high = m.terminal(C64::real(-1.0));
+        let e = m.make_node(0, low, high);
+        // Norm = the high weight (-1), low child becomes 0.5/-1 = -0.5.
+        assert_eq!(m.weight_value(e.weight), C64::real(-1.0));
+        let n = m.node(e.node);
+        assert_eq!(m.weight_value(n.high.weight), C64::ONE);
+        assert_eq!(m.weight_value(n.low.weight), C64::real(-0.5));
+    }
+
+    #[test]
+    fn normalization_ties_prefer_low() {
+        let mut m = TddManager::new();
+        let low = m.terminal(C64::real(-2.0));
+        let high = m.terminal(C64::new(0.0, 2.0));
+        let e = m.make_node(0, low, high);
+        assert_eq!(m.weight_value(e.weight), C64::real(-2.0));
+    }
+
+    #[test]
+    fn hash_consing_shares_nodes() {
+        let mut m = TddManager::new();
+        let a0 = m.terminal(C64::real(1.0));
+        let a1 = m.terminal(C64::real(2.0));
+        let e1 = m.make_node(0, a0, a1);
+        let e2 = m.make_node(0, a0, a1);
+        assert_eq!(e1, e2);
+        assert_eq!(m.arena_len(), 1);
+        assert_eq!(m.stats().unique_hits, 1);
+    }
+
+    #[test]
+    fn canonicity_across_scaling() {
+        // T and 2·T must share the same node, differing only in the edge
+        // weight.
+        let mut m = TddManager::new();
+        let e1 = {
+            let l = m.terminal(C64::real(1.0));
+            let h = m.terminal(C64::real(3.0));
+            m.make_node(0, l, h)
+        };
+        let e2 = {
+            let l = m.terminal(C64::real(2.0));
+            let h = m.terminal(C64::real(6.0));
+            m.make_node(0, l, h)
+        };
+        assert_eq!(e1.node, e2.node);
+        let r1 = m.weight_value(e1.weight);
+        let r2 = m.weight_value(e2.weight);
+        assert!((r2 / r1 - C64::real(2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_children_collapse_to_zero() {
+        let mut m = TddManager::new();
+        let e = m.make_node(1, Edge::ZERO, Edge::ZERO);
+        assert_eq!(e, Edge::ZERO);
+    }
+
+    #[test]
+    fn eval_walks_assignments() {
+        let mut m = TddManager::new();
+        // T[x0, x1] = [[1, 2], [3, 4]] built bottom-up.
+        let rows: Vec<Edge> = (1..=4)
+            .map(|v| m.terminal(C64::real(v as f64)))
+            .collect();
+        let row0 = m.make_node(1, rows[0], rows[1]);
+        let row1 = m.make_node(1, rows[2], rows[3]);
+        let root = m.make_node(0, row0, row1);
+        assert!((m.eval(root, &[0, 0]) - C64::real(1.0)).abs() < 1e-9);
+        assert!((m.eval(root, &[0, 1]) - C64::real(2.0)).abs() < 1e-9);
+        assert!((m.eval(root, &[1, 0]) - C64::real(3.0)).abs() < 1e-9);
+        assert!((m.eval(root, &[1, 1]) - C64::real(4.0)).abs() < 1e-9);
+        assert_eq!(m.node_count(root), 4); // root + 2 rows + terminal
+    }
+
+    #[test]
+    fn cofactors_of_skipped_variable() {
+        let mut m = TddManager::new();
+        let low = m.terminal(C64::real(1.0));
+        let high = m.terminal(C64::real(2.0));
+        let e = m.make_node(5, low, high);
+        // Variable 2 is above the root (5): both cofactors are e.
+        let (c0, c1) = m.cofactors(e, 2);
+        assert_eq!(c0, e);
+        assert_eq!(c1, e);
+        // At its own variable the node splits.
+        let (c0, c1) = m.cofactors(e, 5);
+        assert!((m.edge_scalar(c0).unwrap() - C64::real(1.0)).abs() < 1e-9);
+        assert!((m.edge_scalar(c1).unwrap() - C64::real(2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elim_set_interning_is_stable() {
+        let mut m = TddManager::new();
+        let a = m.intern_elim_set(vec![1, 4, 9]);
+        let b = m.intern_elim_set(vec![1, 4, 9]);
+        let c = m.intern_elim_set(vec![1, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(m.elim_set(a), &[1, 4, 9]);
+    }
+
+    #[test]
+    fn stats_track_creation() {
+        let mut m = TddManager::new();
+        let l = m.terminal(C64::real(1.0));
+        let h = m.terminal(C64::real(2.0));
+        let _ = m.make_node(0, l, h);
+        assert_eq!(m.stats().nodes_created, 1);
+        assert_eq!(m.stats().peak_nodes, 1);
+        let text = m.stats().to_string();
+        assert!(text.contains("nodes created 1"));
+        assert!(text.contains("gc runs 0"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Global tensor-index identities and variable orders.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The identity of a binary tensor index (a qubit-wire segment).
+///
+/// Index ids are allocated by whoever builds the network (e.g. the miter
+/// builder in `qaec`) and are globally meaningful within one network: two
+/// tensors sharing an `IndexId` are connected along that index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IndexId(pub u32);
+
+impl fmt::Display for IndexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// A total order over index variables.
+///
+/// The decision-diagram engine requires every tensor's indices to be
+/// ordered consistently by a single global order; contraction plans and
+/// dense tensors use it for canonical index sorting as well. Levels are
+/// dense `0..len`, level 0 being the *top* (root-most) variable.
+///
+/// # Example
+///
+/// ```
+/// use qaec_tensornet::{IndexId, VarOrder};
+///
+/// let order = VarOrder::from_sequence([IndexId(7), IndexId(3)]);
+/// assert_eq!(order.level(IndexId(7)), 0);
+/// assert_eq!(order.level(IndexId(3)), 1);
+/// assert!(order.contains(IndexId(3)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VarOrder {
+    level_of: HashMap<IndexId, u32>,
+    by_level: Vec<IndexId>,
+}
+
+impl VarOrder {
+    /// An empty order.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an order from a sequence of indices, top variable first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index appears twice.
+    pub fn from_sequence(indices: impl IntoIterator<Item = IndexId>) -> Self {
+        let mut order = VarOrder::new();
+        for idx in indices {
+            order.push(idx);
+        }
+        order
+    }
+
+    /// Appends an index at the bottom of the order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is already present.
+    pub fn push(&mut self, idx: IndexId) {
+        let level = self.by_level.len() as u32;
+        let prev = self.level_of.insert(idx, level);
+        assert!(prev.is_none(), "index {idx} already in the order");
+        self.by_level.push(idx);
+    }
+
+    /// The level of `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not in the order.
+    pub fn level(&self, idx: IndexId) -> u32 {
+        *self
+            .level_of
+            .get(&idx)
+            .unwrap_or_else(|| panic!("index {idx} not in variable order"))
+    }
+
+    /// The level of `idx`, if present.
+    pub fn try_level(&self, idx: IndexId) -> Option<u32> {
+        self.level_of.get(&idx).copied()
+    }
+
+    /// Whether `idx` is in the order.
+    pub fn contains(&self, idx: IndexId) -> bool {
+        self.level_of.contains_key(&idx)
+    }
+
+    /// The index at `level`.
+    pub fn at_level(&self, level: u32) -> IndexId {
+        self.by_level[level as usize]
+    }
+
+    /// Number of ordered indices.
+    pub fn len(&self) -> usize {
+        self.by_level.len()
+    }
+
+    /// Whether the order is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_level.is_empty()
+    }
+
+    /// Sorts a slice of indices by level, top first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is missing from the order.
+    pub fn sort(&self, indices: &mut [IndexId]) {
+        indices.sort_by_key(|&i| self.level(i));
+    }
+
+    /// Iterates over indices from top (level 0) to bottom.
+    pub fn iter(&self) -> impl Iterator<Item = IndexId> + '_ {
+        self.by_level.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_follow_insertion() {
+        let mut order = VarOrder::new();
+        order.push(IndexId(10));
+        order.push(IndexId(2));
+        order.push(IndexId(5));
+        assert_eq!(order.level(IndexId(10)), 0);
+        assert_eq!(order.level(IndexId(5)), 2);
+        assert_eq!(order.at_level(1), IndexId(2));
+        assert_eq!(order.len(), 3);
+        assert!(!order.is_empty());
+    }
+
+    #[test]
+    fn sorting_respects_order_not_id() {
+        let order = VarOrder::from_sequence([IndexId(9), IndexId(1), IndexId(4)]);
+        let mut v = vec![IndexId(4), IndexId(9), IndexId(1)];
+        order.sort(&mut v);
+        assert_eq!(v, vec![IndexId(9), IndexId(1), IndexId(4)]);
+    }
+
+    #[test]
+    fn try_level_and_contains() {
+        let order = VarOrder::from_sequence([IndexId(0)]);
+        assert_eq!(order.try_level(IndexId(0)), Some(0));
+        assert_eq!(order.try_level(IndexId(1)), None);
+        assert!(order.contains(IndexId(0)));
+        assert!(!order.contains(IndexId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the order")]
+    fn duplicate_push_panics() {
+        let mut order = VarOrder::new();
+        order.push(IndexId(1));
+        order.push(IndexId(1));
+    }
+
+    #[test]
+    fn iter_is_top_down() {
+        let order = VarOrder::from_sequence([IndexId(3), IndexId(1)]);
+        let v: Vec<_> = order.iter().collect();
+        assert_eq!(v, vec![IndexId(3), IndexId(1)]);
+    }
+}

@@ -1,0 +1,493 @@
+//! Contraction planning.
+//!
+//! A [`ContractionPlan`] is a deterministic sequence of pairwise
+//! contractions (plus a final sum-out) that reduces a network to a single
+//! tensor over its open indices. Plans are computed once and can then be
+//! executed by either backend — dense ([`crate::TensorNetwork::contract_dense`])
+//! or decision diagrams (`qaec-tdd`).
+
+use crate::elimination::{eliminate, Heuristic, LineGraph};
+use crate::index::IndexId;
+use crate::network::TensorNetwork;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How to choose the contraction order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Fold tensors left-to-right in insertion (circuit) order.
+    Sequential,
+    /// Greedily contract the adjacent pair minimizing the resulting rank.
+    GreedySize,
+    /// Index-elimination order from a min-degree tree decomposition of the
+    /// line graph.
+    MinDegree,
+    /// Index-elimination order from a min-fill tree decomposition (the
+    /// paper's tree-decomposition optimisation).
+    MinFill,
+}
+
+/// One step of a plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanStep {
+    /// Contract slots `a` and `b`, eliminating `eliminate`, producing slot
+    /// `result`.
+    Contract {
+        /// Left operand slot.
+        a: usize,
+        /// Right operand slot.
+        b: usize,
+        /// Indices summed out in this step (sorted).
+        eliminate: Vec<IndexId>,
+        /// Slot id of the result.
+        result: usize,
+    },
+    /// Sum the listed indices out of slot `t`, producing slot `result`
+    /// (used to close single-tensor networks).
+    SumOut {
+        /// Operand slot.
+        t: usize,
+        /// Indices summed out.
+        eliminate: Vec<IndexId>,
+        /// Slot id of the result.
+        result: usize,
+    },
+}
+
+impl PlanStep {
+    /// The slot the step writes.
+    pub fn result(&self) -> usize {
+        match *self {
+            PlanStep::Contract { result, .. } | PlanStep::SumOut { result, .. } => result,
+        }
+    }
+}
+
+/// A complete contraction schedule for one network.
+#[derive(Clone, Debug, Default)]
+pub struct ContractionPlan {
+    /// The steps, in execution order. Slot ids `0..n_tensors` are the
+    /// network's tensors; results occupy fresh slots.
+    pub steps: Vec<PlanStep>,
+    /// Total number of slots (inputs + results).
+    pub n_slots: usize,
+    /// Scalar power-of-two factor from closed indices touching no tensor.
+    pub free_loops: u32,
+}
+
+/// Static cost estimates for a plan (used by reports and the planner
+/// ablation bench).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PlanCost {
+    /// Largest intermediate tensor rank.
+    pub max_rank: usize,
+    /// `Σ 2^{union rank}` over steps — dense flop estimate.
+    pub dense_ops: f64,
+}
+
+impl ContractionPlan {
+    /// Builds a plan for `network` with the given strategy.
+    ///
+    /// This is usually called through [`TensorNetwork::plan`].
+    pub fn build(network: &TensorNetwork, strategy: Strategy) -> ContractionPlan {
+        let merges = match strategy {
+            Strategy::Sequential => sequential_merges(network),
+            Strategy::GreedySize => greedy_merges(network),
+            Strategy::MinDegree => elimination_merges(network, Heuristic::MinDegree),
+            Strategy::MinFill => elimination_merges(network, Heuristic::MinFill),
+        };
+        from_merges(network, &merges)
+    }
+
+    /// Cost estimates given the index sets of the original tensors.
+    pub fn cost(&self, network: &TensorNetwork) -> PlanCost {
+        let mut sets: Vec<Option<BTreeSet<IndexId>>> = network
+            .tensors()
+            .iter()
+            .map(|t| Some(t.indices().iter().copied().collect()))
+            .collect();
+        sets.resize(self.n_slots, None);
+        let mut cost = PlanCost::default();
+        for step in &self.steps {
+            match step {
+                PlanStep::Contract {
+                    a,
+                    b,
+                    eliminate,
+                    result,
+                } => {
+                    let sa = sets[*a].take().expect("operand a live");
+                    let sb = sets[*b].take().expect("operand b live");
+                    let union: BTreeSet<IndexId> = sa.union(&sb).copied().collect();
+                    cost.dense_ops += (union.len() as f64).exp2();
+                    let out: BTreeSet<IndexId> = union
+                        .into_iter()
+                        .filter(|i| !eliminate.contains(i))
+                        .collect();
+                    cost.max_rank = cost.max_rank.max(out.len());
+                    sets[*result] = Some(out);
+                }
+                PlanStep::SumOut {
+                    t,
+                    eliminate,
+                    result,
+                } => {
+                    let st = sets[*t].take().expect("operand live");
+                    cost.dense_ops += (st.len() as f64).exp2();
+                    let out: BTreeSet<IndexId> =
+                        st.into_iter().filter(|i| !eliminate.contains(i)).collect();
+                    sets[*result] = Some(out);
+                }
+            }
+        }
+        cost
+    }
+}
+
+/// Reference-counted merge lowering: turns a sequence of slot merges into
+/// concrete steps with per-step eliminations.
+fn from_merges(network: &TensorNetwork, merges: &[(usize, usize)]) -> ContractionPlan {
+    let n = network.tensors().len();
+    let mut sets: Vec<Option<BTreeSet<IndexId>>> = network
+        .tensors()
+        .iter()
+        .map(|t| Some(t.indices().iter().copied().collect()))
+        .collect();
+    // occurrence count per index over live slots
+    let mut occ: BTreeMap<IndexId, usize> = BTreeMap::new();
+    for set in sets.iter().flatten() {
+        for &i in set {
+            *occ.entry(i).or_default() += 1;
+        }
+    }
+    // Closed indices that no tensor touches: each contributes a factor 2
+    // (a bare wire loop). They are the network's closed indices minus all
+    // tensor indices.
+    let free_loops = network
+        .closed_indices()
+        .iter()
+        .filter(|i| !occ.contains_key(i))
+        .count() as u32;
+
+    let mut steps = Vec::with_capacity(merges.len() + 1);
+    let mut next_slot = n;
+    for &(a, b) in merges {
+        let sa = sets[a].take().unwrap_or_else(|| panic!("slot {a} not live"));
+        let sb = sets[b].take().unwrap_or_else(|| panic!("slot {b} not live"));
+        let union: BTreeSet<IndexId> = sa.union(&sb).copied().collect();
+        let mut eliminate = Vec::new();
+        let mut out = BTreeSet::new();
+        for &i in &union {
+            let mut count = occ[&i];
+            count -= usize::from(sa.contains(&i));
+            count -= usize::from(sb.contains(&i));
+            if count == 0 && !network.is_open(i) {
+                eliminate.push(i);
+                occ.remove(&i);
+            } else {
+                out.insert(i);
+                occ.insert(i, count + 1);
+            }
+        }
+        let result = next_slot;
+        next_slot += 1;
+        sets.push(Some(out));
+        steps.push(PlanStep::Contract {
+            a,
+            b,
+            eliminate,
+            result,
+        });
+    }
+
+    // Close the final tensor: sum out any remaining non-open indices.
+    if let Some(last) = (0..sets.len()).rev().find(|&i| sets[i].is_some()) {
+        let remaining: Vec<IndexId> = sets[last]
+            .as_ref()
+            .expect("live")
+            .iter()
+            .copied()
+            .filter(|&i| !network.is_open(i))
+            .collect();
+        if !remaining.is_empty() {
+            steps.push(PlanStep::SumOut {
+                t: last,
+                eliminate: remaining,
+                result: next_slot,
+            });
+            next_slot += 1;
+        }
+    }
+
+    ContractionPlan {
+        steps,
+        n_slots: next_slot,
+        free_loops,
+    }
+}
+
+/// Left-to-right fold, then fold in any disconnected leftovers (there are
+/// none for a fold, but keep the shape general).
+fn sequential_merges(network: &TensorNetwork) -> Vec<(usize, usize)> {
+    let n = network.tensors().len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let mut merges = Vec::with_capacity(n - 1);
+    let mut acc = 0usize;
+    for (k, t) in (1..n).enumerate() {
+        merges.push((acc, t));
+        acc = n + k;
+    }
+    merges
+}
+
+/// Greedy: repeatedly contract the pair of live, index-sharing slots whose
+/// result has minimal rank; falls back to the two smallest slots when the
+/// network is disconnected.
+fn greedy_merges(network: &TensorNetwork) -> Vec<(usize, usize)> {
+    let n = network.tensors().len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let mut sets: Vec<Option<BTreeSet<IndexId>>> = network
+        .tensors()
+        .iter()
+        .map(|t| Some(t.indices().iter().copied().collect()))
+        .collect();
+    let mut occ: BTreeMap<IndexId, usize> = BTreeMap::new();
+    for set in sets.iter().flatten() {
+        for &i in set {
+            *occ.entry(i).or_default() += 1;
+        }
+    }
+    let mut merges = Vec::with_capacity(n - 1);
+    let mut live: BTreeSet<usize> = (0..n).collect();
+    while live.len() > 1 {
+        // Candidate pairs: slots sharing an index.
+        let mut best: Option<(usize, usize, usize)> = None; // (rank, a, b)
+        let mut index_holders: BTreeMap<IndexId, Vec<usize>> = BTreeMap::new();
+        for &s in &live {
+            for &i in sets[s].as_ref().expect("live") {
+                index_holders.entry(i).or_default().push(s);
+            }
+        }
+        for holders in index_holders.values() {
+            for (x, &a) in holders.iter().enumerate() {
+                for &b in &holders[x + 1..] {
+                    let sa = sets[a].as_ref().expect("live");
+                    let sb = sets[b].as_ref().expect("live");
+                    let union: BTreeSet<IndexId> = sa.union(sb).copied().collect();
+                    let out_rank = union
+                        .iter()
+                        .filter(|&&i| {
+                            let residual = occ[&i]
+                                - usize::from(sa.contains(&i))
+                                - usize::from(sb.contains(&i));
+                            residual > 0 || network.is_open(i)
+                        })
+                        .count();
+                    if best.is_none_or(|(r, ba, bb)| (out_rank, a, b) < (r, ba, bb)) {
+                        best = Some((out_rank, a, b));
+                    }
+                }
+            }
+        }
+        let (a, b) = match best {
+            Some((_, a, b)) => (a, b),
+            None => {
+                // Disconnected: merge the two smallest-rank slots.
+                let mut by_rank: Vec<usize> = live.iter().copied().collect();
+                by_rank.sort_by_key(|&s| sets[s].as_ref().expect("live").len());
+                (by_rank[0], by_rank[1])
+            }
+        };
+        let sa = sets[a].take().expect("live");
+        let sb = sets[b].take().expect("live");
+        live.remove(&a);
+        live.remove(&b);
+        let mut out = BTreeSet::new();
+        for &i in sa.union(&sb) {
+            let count = occ[&i] - usize::from(sa.contains(&i)) - usize::from(sb.contains(&i));
+            if count == 0 && !network.is_open(i) {
+                occ.remove(&i);
+            } else {
+                out.insert(i);
+                occ.insert(i, count + 1);
+            }
+        }
+        let result = sets.len();
+        sets.push(Some(out));
+        live.insert(result);
+        merges.push((a, b));
+    }
+    merges
+}
+
+/// Index-elimination order from a tree decomposition of the line graph:
+/// eliminating index `v` merges all live slots containing `v`.
+fn elimination_merges(network: &TensorNetwork, heuristic: Heuristic) -> Vec<(usize, usize)> {
+    let n = network.tensors().len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let graph = LineGraph::from_cliques(
+        network
+            .tensors()
+            .iter()
+            .map(|t| t.indices().to_vec())
+            .collect::<Vec<_>>(),
+    );
+    let td = eliminate(&graph, heuristic);
+
+    let mut sets: Vec<Option<BTreeSet<IndexId>>> = network
+        .tensors()
+        .iter()
+        .map(|t| Some(t.indices().iter().copied().collect()))
+        .collect();
+    let mut merges = Vec::new();
+    for &v in &td.order {
+        if network.is_open(v) {
+            continue; // open indices are never eliminated
+        }
+        let holders: Vec<usize> = (0..sets.len())
+            .filter(|&s| sets[s].as_ref().is_some_and(|set| set.contains(&v)))
+            .collect();
+        if holders.len() < 2 {
+            continue;
+        }
+        let mut acc = holders[0];
+        for &next in &holders[1..] {
+            let sa = sets[acc].take().expect("live");
+            let sb = sets[next].take().expect("live");
+            let union: BTreeSet<IndexId> = sa.union(&sb).copied().collect();
+            merges.push((acc, next));
+            acc = sets.len();
+            sets.push(Some(union));
+        }
+    }
+    // Fold any remaining live slots (disconnected pieces / leftovers).
+    let mut live: Vec<usize> = (0..sets.len()).filter(|&s| sets[s].is_some()).collect();
+    while live.len() > 1 {
+        let a = live[0];
+        let b = live[1];
+        let sa = sets[a].take().expect("live");
+        let sb = sets[b].take().expect("live");
+        merges.push((a, b));
+        sets.push(Some(sa.union(&sb).copied().collect()));
+        live = (0..sets.len()).filter(|&s| sets[s].is_some()).collect();
+    }
+    merges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use qaec_math::{C64, Matrix};
+
+    fn wire_chain(n: usize) -> TensorNetwork {
+        // H_0 · H_1 · ... · H_{n-1} as a chain, traced: index i connects
+        // tensor i-1 out to tensor i in; index n-1 wraps to 0.
+        let h = {
+            let s = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+            Matrix::from_rows(&[vec![s, s], vec![s, -s]])
+        };
+        let mut net = TensorNetwork::new();
+        for k in 0..n {
+            let input = IndexId(k as u32);
+            let output = IndexId(((k + 1) % n) as u32);
+            net.add(Tensor::from_matrix(&h, &[output], &[input]));
+        }
+        net
+    }
+
+    #[test]
+    fn all_strategies_agree_on_trace_of_h_chain() {
+        // tr(H^4) = tr(I⊗... for 2x2: H² = I so tr(H⁴) = tr(I) = 2.
+        for strategy in [
+            Strategy::Sequential,
+            Strategy::GreedySize,
+            Strategy::MinDegree,
+            Strategy::MinFill,
+        ] {
+            let net = wire_chain(4);
+            let plan = net.plan(strategy);
+            let out = net.contract_dense(&plan);
+            let v = out.as_scalar().expect("scalar");
+            assert!(
+                (v - C64::real(2.0)).abs() < 1e-12,
+                "{strategy:?} gave {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn odd_chain_traces_h() {
+        // tr(H³) = tr(H) = 0... H³ = H. tr(H) = 0? H trace = 1/√2 − 1/√2 = 0.
+        let net = wire_chain(3);
+        let plan = net.plan(Strategy::MinFill);
+        let out = net.contract_dense(&plan);
+        assert!(out.as_scalar().unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_tensor_network_sums_out() {
+        // One identity tensor with both indices closed: tr(I) = 2.
+        let mut net = TensorNetwork::new();
+        net.add(Tensor::delta(IndexId(0), IndexId(1)));
+        let plan = net.plan(Strategy::Sequential);
+        assert_eq!(plan.steps.len(), 1);
+        assert!(matches!(plan.steps[0], PlanStep::SumOut { .. }));
+        let out = net.contract_dense(&plan);
+        assert_eq!(out.as_scalar().unwrap(), C64::real(2.0));
+    }
+
+    #[test]
+    fn open_indices_survive() {
+        let h = {
+            let s = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+            Matrix::from_rows(&[vec![s, s], vec![s, -s]])
+        };
+        let mut net = TensorNetwork::new();
+        net.add(Tensor::from_matrix(&h, &[IndexId(1)], &[IndexId(0)]));
+        net.add(Tensor::from_matrix(&h, &[IndexId(2)], &[IndexId(1)]));
+        net.mark_open(IndexId(0));
+        net.mark_open(IndexId(2));
+        let plan = net.plan(Strategy::GreedySize);
+        let out = net.contract_dense(&plan);
+        // H·H = I with open ends.
+        assert_eq!(out.rank(), 2);
+        let expected = Tensor::from_matrix(&Matrix::identity(2), &[IndexId(2)], &[IndexId(0)]);
+        let expected = expected.permute_to(out.indices());
+        assert!(out.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn free_loops_counted() {
+        let mut net = TensorNetwork::new();
+        net.add(Tensor::delta(IndexId(0), IndexId(1)));
+        net.close_index(IndexId(7)); // a bare wire loop touching nothing
+        let plan = net.plan(Strategy::Sequential);
+        assert_eq!(plan.free_loops, 1);
+    }
+
+    #[test]
+    fn cost_tracks_max_rank() {
+        let net = wire_chain(6);
+        let plan = net.plan(Strategy::MinFill);
+        let cost = plan.cost(&net);
+        assert!(cost.max_rank <= 2, "chain should stay rank ≤ 2");
+        assert!(cost.dense_ops > 0.0);
+        // Sequential on a closed chain keeps the wrap-around index open
+        // until the very end → same bound here.
+        let seq = net.plan(Strategy::Sequential).cost(&net);
+        assert!(seq.max_rank <= 2);
+    }
+
+    #[test]
+    fn empty_network_plan() {
+        let net = TensorNetwork::new();
+        let plan = net.plan(Strategy::MinDegree);
+        assert!(plan.steps.is_empty());
+    }
+}

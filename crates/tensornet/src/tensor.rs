@@ -1,0 +1,464 @@
+//! Dense complex tensors over binary indices.
+
+use crate::index::{IndexId, VarOrder};
+use qaec_math::{C64, Matrix};
+use std::fmt;
+
+/// A dense tensor whose indices are all of dimension 2.
+///
+/// Storage is row-major with `indices()[0]` as the most significant bit of
+/// the flat position: the entry for assignment `(b₀, b₁, …, b_{r−1})` lives
+/// at `b₀·2^{r−1} + … + b_{r−1}`.
+///
+/// This is the reference backend: contraction is a direct sum over the
+/// union of the operands' index sets, exponential in the number of distinct
+/// indices. The decision-diagram engine (`qaec-tdd`) implements the same
+/// semantics compactly; tests cross-validate the two.
+///
+/// # Example
+///
+/// ```
+/// use qaec_math::{C64, Matrix};
+/// use qaec_tensornet::{IndexId, Tensor};
+///
+/// // An X gate as a tensor X[out, in], then tr(X·X) by contraction.
+/// let x = Matrix::from_rows(&[
+///     vec![C64::ZERO, C64::ONE],
+///     vec![C64::ONE, C64::ZERO],
+/// ]);
+/// let (a, b) = (IndexId(0), IndexId(1));
+/// let t1 = Tensor::from_matrix(&x, &[a], &[b]);
+/// let t2 = Tensor::from_matrix(&x, &[b], &[a]);
+/// let tr = t1.contract(&t2, &[a, b]);
+/// assert!((tr.as_scalar().unwrap().re - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    indices: Vec<IndexId>,
+    data: Vec<C64>,
+}
+
+impl Tensor {
+    /// A rank-0 tensor holding one scalar.
+    pub fn scalar(value: C64) -> Self {
+        Tensor {
+            indices: Vec::new(),
+            data: vec![value],
+        }
+    }
+
+    /// Builds a tensor from indices (most significant first) and a flat
+    /// row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != 2^indices.len()` or an index repeats.
+    pub fn from_flat(indices: Vec<IndexId>, data: Vec<C64>) -> Self {
+        assert_eq!(
+            data.len(),
+            1usize << indices.len(),
+            "buffer length must be 2^rank"
+        );
+        for (i, idx) in indices.iter().enumerate() {
+            assert!(
+                !indices[..i].contains(idx),
+                "duplicate index {idx} in tensor"
+            );
+        }
+        Tensor { indices, data }
+    }
+
+    /// Interprets a `2^m × 2^k` matrix as a tensor
+    /// `T[outs…, ins…] = M[row(outs), col(ins)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape does not match the index counts, or if
+    /// any index repeats across `outs ++ ins`.
+    pub fn from_matrix(m: &Matrix, outs: &[IndexId], ins: &[IndexId]) -> Self {
+        assert_eq!(m.rows(), 1usize << outs.len(), "row count vs out indices");
+        assert_eq!(m.cols(), 1usize << ins.len(), "col count vs in indices");
+        let mut indices = Vec::with_capacity(outs.len() + ins.len());
+        indices.extend_from_slice(outs);
+        indices.extend_from_slice(ins);
+        let mut data = Vec::with_capacity(m.rows() * m.cols());
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                data.push(m[(r, c)]);
+            }
+        }
+        Tensor::from_flat(indices, data)
+    }
+
+    /// The 2×2 identity ("wire") tensor `δ[a,b]`.
+    pub fn delta(a: IndexId, b: IndexId) -> Self {
+        Tensor::from_matrix(&Matrix::identity(2), &[a], &[b])
+    }
+
+    /// The number of indices.
+    pub fn rank(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The index list, most significant first.
+    pub fn indices(&self) -> &[IndexId] {
+        &self.indices
+    }
+
+    /// The flat row-major buffer.
+    pub fn data(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// The scalar value of a rank-0 tensor, or `None`.
+    pub fn as_scalar(&self) -> Option<C64> {
+        if self.indices.is_empty() {
+            Some(self.data[0])
+        } else {
+            None
+        }
+    }
+
+    /// Entry at a flat position (bit `rank−1−k` of `pos` is the value of
+    /// index `k`).
+    pub fn get(&self, pos: usize) -> C64 {
+        self.data[pos]
+    }
+
+    /// Whether the tensor contains `idx`.
+    pub fn has_index(&self, idx: IndexId) -> bool {
+        self.indices.contains(&idx)
+    }
+
+    /// Entry-wise complex conjugate.
+    pub fn conj(&self) -> Tensor {
+        Tensor {
+            indices: self.indices.clone(),
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, c: C64) -> Tensor {
+        Tensor {
+            indices: self.indices.clone(),
+            data: self.data.iter().map(|&z| z * c).collect(),
+        }
+    }
+
+    /// Reorders the indices to `new_order` (a permutation of the current
+    /// index set), permuting storage accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_order` is not a permutation of `self.indices()`.
+    pub fn permute_to(&self, new_order: &[IndexId]) -> Tensor {
+        assert_eq!(new_order.len(), self.indices.len(), "rank mismatch");
+        let rank = self.rank();
+        // position of each new index in the old layout
+        let old_pos: Vec<usize> = new_order
+            .iter()
+            .map(|idx| {
+                self.indices
+                    .iter()
+                    .position(|i| i == idx)
+                    .unwrap_or_else(|| panic!("index {idx} not in tensor"))
+            })
+            .collect();
+        let mut data = vec![C64::ZERO; self.data.len()];
+        for (new_flat, slot) in data.iter_mut().enumerate() {
+            let mut old_flat = 0usize;
+            for (new_axis, &old_axis) in old_pos.iter().enumerate() {
+                let bit = (new_flat >> (rank - 1 - new_axis)) & 1;
+                old_flat |= bit << (rank - 1 - old_axis);
+            }
+            *slot = self.data[old_flat];
+        }
+        Tensor {
+            indices: new_order.to_vec(),
+            data,
+        }
+    }
+
+    /// Reorders the indices to be sorted by a variable order (top first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is missing from `order`.
+    pub fn sorted_by(&self, order: &VarOrder) -> Tensor {
+        let mut idxs = self.indices.clone();
+        order.sort(&mut idxs);
+        self.permute_to(&idxs)
+    }
+
+    /// Contracts two tensors: multiplies them (matching entries along
+    /// shared indices) and sums out every index in `eliminate`.
+    ///
+    /// The result's indices are `(self ∪ other) \ eliminate`, sorted by
+    /// raw id for determinism. Runs in `O(2^|self ∪ other|)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `eliminate` index does not occur in either operand.
+    pub fn contract(&self, other: &Tensor, eliminate: &[IndexId]) -> Tensor {
+        // Union of indices, deterministic order.
+        let mut union: Vec<IndexId> = self.indices.clone();
+        for idx in &other.indices {
+            if !union.contains(idx) {
+                union.push(*idx);
+            }
+        }
+        union.sort();
+        for e in eliminate {
+            assert!(
+                union.contains(e),
+                "eliminated index {e} not present in either operand"
+            );
+        }
+        let out: Vec<IndexId> = union
+            .iter()
+            .copied()
+            .filter(|i| !eliminate.contains(i))
+            .collect();
+
+        let u = union.len();
+        let bit_of = |indices: &[IndexId], target: &mut Vec<(usize, usize)>| {
+            // (union axis → operand axis) pairs
+            for (op_axis, idx) in indices.iter().enumerate() {
+                let union_axis = union.iter().position(|i| i == idx).expect("in union");
+                target.push((union_axis, op_axis));
+            }
+        };
+        let mut map_a = Vec::new();
+        let mut map_b = Vec::new();
+        let mut map_out = Vec::new();
+        bit_of(&self.indices, &mut map_a);
+        bit_of(&other.indices, &mut map_b);
+        bit_of(&out, &mut map_out);
+
+        let gather = |flat: usize, map: &[(usize, usize)], rank: usize| -> usize {
+            let mut pos = 0usize;
+            for &(union_axis, op_axis) in map {
+                let bit = (flat >> (u - 1 - union_axis)) & 1;
+                pos |= bit << (rank - 1 - op_axis);
+            }
+            pos
+        };
+
+        let mut data = vec![C64::ZERO; 1usize << out.len()];
+        for flat in 0..(1usize << u) {
+            let va = self.data[gather(flat, &map_a, self.rank().max(1))];
+            if va.is_zero() {
+                continue;
+            }
+            let vb = other.data[gather(flat, &map_b, other.rank().max(1))];
+            if vb.is_zero() {
+                continue;
+            }
+            let po = gather(flat, &map_out, out.len().max(1));
+            data[po] += va * vb;
+        }
+        Tensor { indices: out, data }
+    }
+
+    /// Renames index `from` to `to`, leaving storage untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is absent or `to` is already present (which would
+    /// create a duplicate index — callers insert a [`Tensor::delta`]
+    /// instead in that case).
+    pub fn rename_index(&mut self, from: IndexId, to: IndexId) {
+        assert!(
+            !self.indices.contains(&to),
+            "renaming would duplicate index {to}"
+        );
+        let slot = self
+            .indices
+            .iter()
+            .position(|&i| i == from)
+            .unwrap_or_else(|| panic!("index {from} not in tensor"));
+        self.indices[slot] = to;
+    }
+
+    /// Sums out indices `a` and `b` along their diagonal (`a = b`),
+    /// implemented as contraction with [`Tensor::delta`].
+    pub fn self_trace(&self, a: IndexId, b: IndexId) -> Tensor {
+        self.contract(&Tensor::delta(a, b), &[a, b])
+    }
+
+    /// The largest entry modulus.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Whether every entry matches `other` within `tol` (requires the same
+    /// index layout; permute first if needed).
+    pub fn approx_eq(&self, other: &Tensor, tol: f64) -> bool {
+        if self.indices != other.indices {
+            return false;
+        }
+        self.data
+            .iter()
+            .zip(&other.data)
+            .all(|(&x, &y)| (x - y).abs() <= tol)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[")?;
+        for (i, idx) in self.indices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{idx}")?;
+        }
+        write!(f, "] = {:?}", &self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x_matrix() -> Matrix {
+        Matrix::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::ONE, C64::ZERO]])
+    }
+
+    fn h_matrix() -> Matrix {
+        let s = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+        Matrix::from_rows(&[vec![s, s], vec![s, -s]])
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let t = Tensor::scalar(C64::new(2.0, -1.0));
+        assert_eq!(t.rank(), 0);
+        assert_eq!(t.as_scalar(), Some(C64::new(2.0, -1.0)));
+    }
+
+    #[test]
+    fn from_matrix_layout() {
+        let t = Tensor::from_matrix(&x_matrix(), &[IndexId(0)], &[IndexId(1)]);
+        // X[out=0, in=1] = 1 → flat position 0b01 = 1.
+        assert_eq!(t.get(0b01), C64::ONE);
+        assert_eq!(t.get(0b10), C64::ONE);
+        assert_eq!(t.get(0b00), C64::ZERO);
+    }
+
+    #[test]
+    fn matrix_product_via_contraction() {
+        // (H·X)[a,c] = Σ_b H[a,b]·X[b,c]
+        let (a, b, c) = (IndexId(0), IndexId(1), IndexId(2));
+        let h = Tensor::from_matrix(&h_matrix(), &[a], &[b]);
+        let x = Tensor::from_matrix(&x_matrix(), &[b], &[c]);
+        let hx = h.contract(&x, &[b]);
+        let expected = Tensor::from_matrix(&h_matrix().mul(&x_matrix()), &[a], &[c]);
+        assert!(hx.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn trace_via_contraction() {
+        let (a, b) = (IndexId(0), IndexId(1));
+        let h1 = Tensor::from_matrix(&h_matrix(), &[a], &[b]);
+        let h2 = Tensor::from_matrix(&h_matrix(), &[b], &[a]);
+        let tr = h1.contract(&h2, &[a, b]);
+        // tr(H·H) = tr(I) = 2.
+        assert!((tr.as_scalar().unwrap() - C64::real(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outer_product_when_disjoint() {
+        let t1 = Tensor::from_flat(vec![IndexId(0)], vec![C64::ONE, C64::real(2.0)]);
+        let t2 = Tensor::from_flat(vec![IndexId(1)], vec![C64::real(3.0), C64::real(4.0)]);
+        let prod = t1.contract(&t2, &[]);
+        assert_eq!(prod.rank(), 2);
+        assert_eq!(prod.get(0b11), C64::real(8.0));
+        assert_eq!(prod.get(0b01), C64::real(4.0));
+    }
+
+    #[test]
+    fn shared_index_without_elimination_is_pointwise() {
+        // C[a] = A[a] · B[a] (a shared, not summed).
+        let t1 = Tensor::from_flat(vec![IndexId(0)], vec![C64::real(2.0), C64::real(3.0)]);
+        let t2 = Tensor::from_flat(vec![IndexId(0)], vec![C64::real(5.0), C64::real(7.0)]);
+        let prod = t1.contract(&t2, &[]);
+        assert_eq!(prod.rank(), 1);
+        assert_eq!(prod.get(0), C64::real(10.0));
+        assert_eq!(prod.get(1), C64::real(21.0));
+    }
+
+    #[test]
+    fn permute_round_trips() {
+        let t = Tensor::from_matrix(&x_matrix(), &[IndexId(2)], &[IndexId(5)]);
+        let p = t.permute_to(&[IndexId(5), IndexId(2)]);
+        assert_eq!(p.indices(), &[IndexId(5), IndexId(2)]);
+        assert_eq!(p.get(0b01), C64::ONE); // X[in=0, out=1] = X[1,0] = 1
+        let back = p.permute_to(&[IndexId(2), IndexId(5)]);
+        assert!(back.approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn sorted_by_var_order() {
+        let order = VarOrder::from_sequence([IndexId(5), IndexId(2)]);
+        let t = Tensor::from_matrix(&h_matrix(), &[IndexId(2)], &[IndexId(5)]);
+        let sorted = t.sorted_by(&order);
+        assert_eq!(sorted.indices(), &[IndexId(5), IndexId(2)]);
+    }
+
+    #[test]
+    fn self_trace_of_identity_is_two() {
+        let t = Tensor::from_matrix(&Matrix::identity(2), &[IndexId(0)], &[IndexId(1)]);
+        let tr = t.self_trace(IndexId(0), IndexId(1));
+        assert_eq!(tr.as_scalar().unwrap(), C64::real(2.0));
+    }
+
+    #[test]
+    fn conj_and_scale() {
+        let t = Tensor::scalar(C64::new(1.0, 2.0));
+        assert_eq!(t.conj().as_scalar().unwrap(), C64::new(1.0, -2.0));
+        assert_eq!(
+            t.scale(C64::real(2.0)).as_scalar().unwrap(),
+            C64::new(2.0, 4.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate index")]
+    fn duplicate_index_rejected() {
+        Tensor::from_flat(vec![IndexId(1), IndexId(1)], vec![C64::ZERO; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present in either operand")]
+    fn eliminating_phantom_index_panics() {
+        let t = Tensor::scalar(C64::ONE);
+        t.contract(&Tensor::scalar(C64::ONE), &[IndexId(9)]);
+    }
+
+    #[test]
+    fn rename_index_replaces_identity() {
+        let mut t = Tensor::from_matrix(&x_matrix(), &[IndexId(0)], &[IndexId(1)]);
+        t.rename_index(IndexId(1), IndexId(9));
+        assert_eq!(t.indices(), &[IndexId(0), IndexId(9)]);
+        assert_eq!(t.get(0b01), C64::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "would duplicate index")]
+    fn rename_to_existing_index_panics() {
+        let mut t = Tensor::from_matrix(&x_matrix(), &[IndexId(0)], &[IndexId(1)]);
+        t.rename_index(IndexId(1), IndexId(0));
+    }
+
+    #[test]
+    fn contraction_is_commutative() {
+        let (a, b, c) = (IndexId(0), IndexId(1), IndexId(2));
+        let t1 = Tensor::from_matrix(&h_matrix(), &[a], &[b]);
+        let t2 = Tensor::from_matrix(&x_matrix(), &[b], &[c]);
+        let ab = t1.contract(&t2, &[b]);
+        let ba = t2.contract(&t1, &[b]);
+        assert!(ab.approx_eq(&ba, 1e-12));
+    }
+}

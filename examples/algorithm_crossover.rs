@@ -1,0 +1,52 @@
+//! The Algorithm I ↔ Algorithm II crossover (the paper's Fig. 7).
+//!
+//! Algorithm I contracts 4^k small networks; Algorithm II contracts one
+//! network on twice the qubits. With a single noise site Algorithm I is
+//! usually faster; every extra site multiplies its work by 4 while
+//! Algorithm II barely notices. This example sweeps the number of
+//! depolarizing noise sites on a QFT and prints both run times and their
+//! log-ratio — the quantity plotted in Fig. 7.
+//!
+//! Run with: `cargo run --release --example algorithm_crossover`
+
+use qaec::{fidelity_alg1, fidelity_alg2, CheckOptions};
+use qaec_circuit::generators::{qft, QftStyle};
+use qaec_circuit::noise_insertion::insert_random_noise;
+use qaec_circuit::NoiseChannel;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 4;
+    let ideal = qft(n, QftStyle::DecomposedNoSwaps);
+    let channel = NoiseChannel::Depolarizing { p: 0.999 };
+
+    println!("qft{n}, depolarizing noise, exact fidelity with both algorithms\n");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>14}",
+        "noises", "t1 (Alg I)", "t2 (Alg II)", "log10 t1/t2", "ΔF"
+    );
+
+    for k in 1..=6usize {
+        let noisy = insert_random_noise(&ideal, &channel, k, 0xF16 + k as u64);
+
+        let start = Instant::now();
+        let r1 = fidelity_alg1(&ideal, &noisy, None, &CheckOptions::default())?;
+        let t1 = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let r2 = fidelity_alg2(&ideal, &noisy, &CheckOptions::default())?;
+        let t2 = start.elapsed().as_secs_f64();
+
+        println!(
+            "{k:>7} {t1:>11.4}s {t2:>11.4}s {:>12.2} {:>14.2e}",
+            (t1 / t2).log10(),
+            (r1.fidelity_lower - r2.fidelity).abs()
+        );
+    }
+
+    println!(
+        "\nThe ratio grows ≈ linearly in the noise count (Alg I is exponential in k),\n\
+         reproducing the slope of the paper's Fig. 7; the crossover sits at k ≈ 1–2."
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Verifying a compiler pass: exact check of the rewrite, then an
+//! ε-check of the rewritten circuit on a noisy device model.
+//!
+//! The "compiler" here is the controlled-phase decomposition + SWAP
+//! removal that turns the textbook QFT into the device-native form used
+//! by the paper's benchmark suite. Step 1 proves the rewrite is exactly
+//! correct up to the intended qubit reversal; step 2 asks whether the
+//! compiled circuit survives a realistic noise model within budget.
+//!
+//! Run with: `cargo run --release --example compiler_verification`
+
+use qaec::exact::{check_unitary_equivalence, ExactVerdict};
+use qaec::{check_equivalence, CheckOptions};
+use qaec_circuit::generators::{qft, QftStyle};
+use qaec_circuit::noise_insertion::device_noise_model;
+use qaec_circuit::NoiseChannel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 5;
+
+    // Source: textbook QFT (with final swaps). Target: decomposed QFT
+    // without swaps, plus explicit swaps appended to restore the order —
+    // if the "compiler" is right, the two are exactly equivalent.
+    let source = qft(n, QftStyle::Textbook);
+    let mut compiled = qft(n, QftStyle::DecomposedNoSwaps);
+    for q in 0..n / 2 {
+        compiled.swap(q, n - 1 - q);
+    }
+
+    println!("step 1: exact equivalence of the rewrite (|tr(U†V)| = d test)");
+    let report = check_unitary_equivalence(&source, &compiled, &CheckOptions::default())?;
+    match report.verdict {
+        ExactVerdict::Equal => println!(
+            "  ✓ exactly equal — tr = {}, {} max nodes, {:.3?}\n",
+            report.trace, report.max_nodes, report.elapsed
+        ),
+        other => {
+            println!("  ✗ rewrite broken: {other:?}");
+            return Ok(());
+        }
+    }
+
+    // Negative control: a buggy compiler that forgot one swap.
+    let mut buggy = qft(n, QftStyle::DecomposedNoSwaps);
+    for q in 1..n / 2 {
+        buggy.swap(q, n - 1 - q);
+    }
+    let report = check_unitary_equivalence(&source, &buggy, &CheckOptions::default())?;
+    println!("step 2: negative control (missing swap) → {:?}\n", report.verdict);
+
+    // Step 3: does the compiled circuit run within budget on the device?
+    println!("step 3: ε-check of the compiled circuit on the device noise model");
+    let noisy = device_noise_model(
+        &compiled,
+        &NoiseChannel::Depolarizing { p: 0.9995 },
+        &NoiseChannel::TwoQubitDepolarizing { p: 0.998 },
+    );
+    for eps in [0.2, 0.1, 0.05] {
+        let report = check_equivalence(&compiled, &noisy, eps, &CheckOptions::default())?;
+        println!("  ε = {eps:<5} → {report}");
+    }
+
+    // Step 4: and is the noisy *compiled* circuit still ε-close to the
+    // original *source* semantics? (End-to-end, rewrite + noise.)
+    println!("\nstep 4: end-to-end — noisy compiled circuit vs the source circuit");
+    let report = check_equivalence(&source, &noisy, 0.1, &CheckOptions::default())?;
+    println!("  {report}");
+    Ok(())
+}

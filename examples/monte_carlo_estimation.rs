@@ -1,0 +1,67 @@
+//! Monte Carlo fidelity estimation vs the exact algorithms.
+//!
+//! When a circuit has many noise sites, Algorithm I's 4^k terms are
+//! unaffordable and even Algorithm II's doubled network can grow. The
+//! sampling estimator (`qaec::fidelity_monte_carlo`) trades exactness for
+//! near-constant cost: it importance-samples Kraus strings, reuses
+//! Algorithm I's miter machinery, memoizes repeated strings (under light
+//! noise almost every sample is the identity string), and reports a
+//! standard error.
+//!
+//! Run with: `cargo run --release --example monte_carlo_estimation`
+
+use qaec::{fidelity_alg1, fidelity_alg2, fidelity_monte_carlo, CheckOptions};
+use qaec_circuit::generators::{qft, QftStyle};
+use qaec_circuit::noise_insertion::insert_random_noise;
+use qaec_circuit::NoiseChannel;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ideal = qft(4, QftStyle::DecomposedNoSwaps);
+    let opts = CheckOptions::default();
+
+    println!(
+        "qft4 with k depolarizing sites (p = 0.999), exact vs Monte Carlo (N = 2000)\n"
+    );
+    println!(
+        "{:>3} {:>12} {:>10} {:>12} {:>10} {:>14} {:>9} {:>9}",
+        "k", "AlgI F", "t(AlgI)", "AlgII F", "t(AlgII)", "MC F̂ ± se", "strings", "t(MC)"
+    );
+
+    for k in [2usize, 4, 6, 8] {
+        let noisy =
+            insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, k, 7 + k as u64);
+
+        let (alg1_cell, t1) = if k <= 6 {
+            let start = Instant::now();
+            let r = fidelity_alg1(&ideal, &noisy, None, &opts)?;
+            (format!("{:.8}", r.fidelity_lower), format!("{:.2?}", start.elapsed()))
+        } else {
+            ("(4^8 terms)".to_string(), "skipped".to_string())
+        };
+
+        let start = Instant::now();
+        let r2 = fidelity_alg2(&ideal, &noisy, &opts)?;
+        let t2 = start.elapsed();
+
+        let start = Instant::now();
+        let mc = fidelity_monte_carlo(&ideal, &noisy, 2000, 0xACC, &opts)?;
+        let tmc = start.elapsed();
+
+        println!(
+            "{k:>3} {alg1_cell:>12} {t1:>10} {:>12.8} {:>10.2?} {:>8.5}±{:<6.0e} {:>8} {:>9.2?}",
+            r2.fidelity, t2, mc.estimate, mc.std_error, mc.distinct_strings, tmc
+        );
+        assert!(
+            (mc.estimate - r2.fidelity).abs() < 6.0 * mc.std_error + 1e-6,
+            "estimator outside its own error bars"
+        );
+    }
+
+    println!(
+        "\nUnder light noise the sampler touches a handful of distinct Kraus strings\n\
+         (the identity string dominates), so its cost barely grows with k while\n\
+         Algorithm I's quadruples per site."
+    );
+    Ok(())
+}

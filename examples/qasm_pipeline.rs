@@ -1,0 +1,51 @@
+//! File-based verification pipeline over OpenQASM 2.
+//!
+//! Writes an ideal benchmark and its noisy implementation to `.qasm`
+//! files (noise encoded as `// qaec.noise:` directives that other tools
+//! ignore), reads them back, and runs the equivalence check — the shape
+//! of a CI gate for a compiler toolchain.
+//!
+//! Run with: `cargo run --release --example qasm_pipeline`
+
+use qaec::{check_equivalence, CheckOptions};
+use qaec_circuit::generators::{qft, QftStyle};
+use qaec_circuit::noise_insertion::insert_random_noise;
+use qaec_circuit::{qasm, NoiseChannel};
+use std::fs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("qaec_pipeline");
+    fs::create_dir_all(&dir)?;
+    let ideal_path = dir.join("qft4.qasm");
+    let noisy_path = dir.join("qft4_noisy.qasm");
+
+    // Producer side: emit the circuits.
+    let ideal = qft(4, QftStyle::DecomposedNoSwaps);
+    let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, 4, 2);
+    fs::write(&ideal_path, qasm::write(&ideal))?;
+    fs::write(&noisy_path, qasm::write(&noisy))?;
+    println!("wrote {}", ideal_path.display());
+    println!("wrote {}\n", noisy_path.display());
+
+    let noisy_text = fs::read_to_string(&noisy_path)?;
+    let directive = noisy_text
+        .lines()
+        .find(|l| l.contains("qaec.noise"))
+        .expect("noise directive present");
+    println!("noise directive sample: {directive}\n");
+
+    // Consumer side: parse and check.
+    let ideal_back = qasm::parse(&fs::read_to_string(&ideal_path)?)?;
+    let noisy_back = qasm::parse(&noisy_text)?;
+    assert_eq!(ideal_back, ideal);
+    assert_eq!(noisy_back, noisy);
+
+    for eps in [0.05, 0.001] {
+        let report = check_equivalence(&ideal_back, &noisy_back, eps, &CheckOptions::default())?;
+        println!("ε = {eps:<6} → {report}");
+    }
+
+    fs::remove_file(ideal_path).ok();
+    fs::remove_file(noisy_path).ok();
+    Ok(())
+}

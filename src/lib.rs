@@ -1,0 +1,13 @@
+//! Meta-crate for the QAEC workspace: re-exports every layer and hosts
+//! the cross-crate integration tests (`tests/`) and runnable examples
+//! (`examples/`).
+//!
+//! See the [`qaec`] crate for the checker itself, and the repository
+//! README for the full tour.
+
+pub use qaec;
+pub use qaec_circuit as circuit;
+pub use qaec_dmsim as dmsim;
+pub use qaec_math as math;
+pub use qaec_tdd as tdd;
+pub use qaec_tensornet as tensornet;

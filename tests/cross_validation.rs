@@ -1,0 +1,253 @@
+//! Cross-validation of every fidelity implementation in the workspace.
+//!
+//! Five independent paths compute `F_J(E, U)`:
+//!
+//! 1. Algorithm I on decision diagrams (`qaec::fidelity_alg1`),
+//! 2. Algorithm II on decision diagrams (`qaec::fidelity_alg2`),
+//! 3. dense Kraus-string enumeration (`qaec_dmsim`),
+//! 4. the dense superoperator baseline (`process_fidelity`),
+//! 5. the definitional Choi-state construction.
+//!
+//! They must agree to within floating-point noise on arbitrary circuits,
+//! for every contraction strategy, variable order, and optimisation
+//! setting.
+
+use qaec::{fidelity_alg1, fidelity_alg2, CheckOptions, TermOrder, VarOrderStyle};
+use qaec_circuit::generators::random_circuit;
+use qaec_circuit::noise_insertion::{insert_random_noise, noise_after_each_gate};
+use qaec_circuit::{Circuit, NoiseChannel};
+use qaec_dmsim::choi::choi_fidelity;
+use qaec_dmsim::process_fidelity::{jamiolkowski_fidelity_kraus, process_fidelity_baseline};
+use qaec_tensornet::Strategy;
+
+const TOL: f64 = 1e-7;
+
+fn assert_all_agree(ideal: &Circuit, noisy: &Circuit, label: &str) {
+    let opts = CheckOptions::default();
+    let alg1 = fidelity_alg1(ideal, noisy, None, &opts).expect("alg1");
+    assert!(
+        (alg1.fidelity_lower - alg1.fidelity_upper).abs() < 1e-9,
+        "{label}: exact alg1 bounds must collapse"
+    );
+    let alg2 = fidelity_alg2(ideal, noisy, &opts).expect("alg2");
+    let dense = jamiolkowski_fidelity_kraus(ideal, noisy).expect("kraus");
+    let superop = process_fidelity_baseline(ideal, noisy).expect("superop");
+    let choi = choi_fidelity(ideal, noisy).expect("choi");
+
+    let reference = dense;
+    for (name, value) in [
+        ("alg1", alg1.fidelity_lower),
+        ("alg2", alg2.fidelity),
+        ("superop", superop),
+        ("choi", choi),
+    ] {
+        assert!(
+            (value - reference).abs() < TOL,
+            "{label}: {name} = {value}, dense kraus = {reference}"
+        );
+    }
+    assert!(
+        (-1e-9..=1.0 + 1e-9).contains(&reference),
+        "{label}: fidelity out of range: {reference}"
+    );
+}
+
+#[test]
+fn random_circuits_with_scattered_noise() {
+    for seed in 0..8u64 {
+        let n = 2 + (seed % 2) as usize;
+        let ideal = random_circuit(n, 12, seed);
+        let noisy = insert_random_noise(
+            &ideal,
+            &NoiseChannel::Depolarizing { p: 0.97 },
+            2,
+            seed + 50,
+        );
+        assert_all_agree(&ideal, &noisy, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn all_channel_types_agree() {
+    let channels = [
+        NoiseChannel::BitFlip { p: 0.9 },
+        NoiseChannel::PhaseFlip { p: 0.85 },
+        NoiseChannel::BitPhaseFlip { p: 0.92 },
+        NoiseChannel::Depolarizing { p: 0.95 },
+        NoiseChannel::AmplitudeDamping { gamma: 0.15 },
+        NoiseChannel::PhaseDamping { gamma: 0.2 },
+        NoiseChannel::Pauli {
+            pi: 0.88,
+            px: 0.05,
+            py: 0.03,
+            pz: 0.04,
+        },
+        NoiseChannel::TwoQubitDepolarizing { p: 0.96 },
+    ];
+    for (k, ch) in channels.iter().enumerate() {
+        let ideal = random_circuit(2, 8, k as u64);
+        let noisy = insert_random_noise(&ideal, ch, 2, 99 - k as u64);
+        assert_all_agree(&ideal, &noisy, ch.name());
+    }
+}
+
+#[test]
+fn mixed_arity_device_model_agrees() {
+    use qaec_circuit::noise_insertion::device_noise_model;
+    let ideal = random_circuit(3, 8, 77);
+    let noisy = device_noise_model(
+        &ideal,
+        &NoiseChannel::Depolarizing { p: 0.999 },
+        &NoiseChannel::TwoQubitDepolarizing { p: 0.99 },
+    );
+    let opts = CheckOptions::default();
+    let alg2 = fidelity_alg2(&ideal, &noisy, &opts).expect("alg2");
+    let superop = process_fidelity_baseline(&ideal, &noisy).expect("superop");
+    let choi = choi_fidelity(&ideal, &noisy).expect("choi");
+    assert!((alg2.fidelity - superop).abs() < TOL);
+    assert!((alg2.fidelity - choi).abs() < TOL);
+}
+
+#[test]
+fn device_model_noise_on_every_gate() {
+    let ideal = random_circuit(2, 6, 17);
+    let noisy = noise_after_each_gate(&ideal, &NoiseChannel::Depolarizing { p: 0.995 });
+    assert!(noisy.noise_count() >= 6);
+    // Too many Kraus terms for dense enumeration in reasonable time?
+    // 4^k with k ≈ 9 → 262144 — still fine dense, but only compare the
+    // cheap oracles with Algorithm II.
+    let opts = CheckOptions::default();
+    let alg2 = fidelity_alg2(&ideal, &noisy, &opts).expect("alg2");
+    let superop = process_fidelity_baseline(&ideal, &noisy).expect("superop");
+    let choi = choi_fidelity(&ideal, &noisy).expect("choi");
+    assert!((alg2.fidelity - superop).abs() < TOL);
+    assert!((alg2.fidelity - choi).abs() < TOL);
+}
+
+#[test]
+fn agreement_across_strategies_and_orders() {
+    let ideal = random_circuit(3, 14, 5);
+    let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.9 }, 2, 6);
+    let reference = jamiolkowski_fidelity_kraus(&ideal, &noisy).expect("dense");
+    for strategy in [
+        Strategy::Sequential,
+        Strategy::GreedySize,
+        Strategy::MinDegree,
+        Strategy::MinFill,
+    ] {
+        for var_order in [VarOrderStyle::QubitMajor, VarOrderStyle::TimeMajor] {
+            let opts = CheckOptions {
+                strategy,
+                var_order,
+                ..CheckOptions::default()
+            };
+            let alg2 = fidelity_alg2(&ideal, &noisy, &opts).expect("alg2");
+            assert!(
+                (alg2.fidelity - reference).abs() < TOL,
+                "{strategy:?}/{var_order:?}: {} vs {reference}",
+                alg2.fidelity
+            );
+        }
+    }
+}
+
+#[test]
+fn agreement_with_optimisations_enabled() {
+    // Local cancellation + SWAP elimination must not change the value.
+    let mut ideal = Circuit::new(3);
+    ideal.h(0).cx(0, 1).swap(1, 2).s(2).cx(0, 2).swap(0, 1);
+    let noisy = insert_random_noise(&ideal, &NoiseChannel::BitFlip { p: 0.9 }, 2, 3);
+    let reference = jamiolkowski_fidelity_kraus(&ideal, &noisy).expect("dense");
+    for (local, swap) in [(true, false), (false, true), (true, true)] {
+        let opts = CheckOptions {
+            local_optimization: local,
+            swap_elimination: swap,
+            ..CheckOptions::default()
+        };
+        let alg1 = fidelity_alg1(&ideal, &noisy, None, &opts).expect("alg1");
+        let alg2 = fidelity_alg2(&ideal, &noisy, &opts).expect("alg2");
+        assert!(
+            (alg1.fidelity_lower - reference).abs() < TOL,
+            "alg1 local={local} swap={swap}: {} vs {reference}",
+            alg1.fidelity_lower
+        );
+        assert!(
+            (alg2.fidelity - reference).abs() < TOL,
+            "alg2 local={local} swap={swap}: {} vs {reference}",
+            alg2.fidelity
+        );
+    }
+}
+
+#[test]
+fn reuse_tables_and_term_order_do_not_change_results() {
+    let ideal = random_circuit(2, 10, 21);
+    let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.9 }, 3, 22);
+    let reference = jamiolkowski_fidelity_kraus(&ideal, &noisy).expect("dense");
+    for reuse in [true, false] {
+        for term_order in [TermOrder::BestFirst, TermOrder::Lexicographic] {
+            let opts = CheckOptions {
+                reuse_tables: reuse,
+                term_order,
+                ..CheckOptions::default()
+            };
+            let alg1 = fidelity_alg1(&ideal, &noisy, None, &opts).expect("alg1");
+            assert!(
+                (alg1.fidelity_lower - reference).abs() < TOL,
+                "reuse={reuse} {term_order:?}: {} vs {reference}",
+                alg1.fidelity_lower
+            );
+            assert_eq!(alg1.terms_computed, 64); // 4³ depolarizing strings
+        }
+    }
+}
+
+#[test]
+fn parallel_alg1_matches_sequential() {
+    let ideal = random_circuit(2, 10, 31);
+    let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.9 }, 3, 32);
+    let sequential = fidelity_alg1(&ideal, &noisy, None, &CheckOptions::default())
+        .expect("sequential")
+        .fidelity_lower;
+    let parallel = fidelity_alg1(
+        &ideal,
+        &noisy,
+        None,
+        &CheckOptions {
+            threads: 4,
+            ..CheckOptions::default()
+        },
+    )
+    .expect("parallel")
+    .fidelity_lower;
+    assert!(
+        (sequential - parallel).abs() < 1e-9,
+        "{sequential} vs {parallel}"
+    );
+}
+
+#[test]
+fn noiseless_circuits_have_unit_fidelity() {
+    for seed in 0..4u64 {
+        let c = random_circuit(3, 20, seed);
+        let opts = CheckOptions::default();
+        let f1 = fidelity_alg1(&c, &c, None, &opts).expect("alg1").fidelity_lower;
+        let f2 = fidelity_alg2(&c, &c, &opts).expect("alg2").fidelity;
+        assert!((f1 - 1.0).abs() < 1e-9, "alg1 seed {seed}: {f1}");
+        assert!((f2 - 1.0).abs() < 1e-9, "alg2 seed {seed}: {f2}");
+    }
+}
+
+#[test]
+fn distinct_unitaries_match_trace_formula() {
+    // No noise at all: F = |tr(U†V)|²/d².
+    let mut u = Circuit::new(1);
+    u.h(0);
+    let mut v = Circuit::new(1);
+    v.x(0);
+    let opts = CheckOptions::default();
+    let f = fidelity_alg2(&u, &v, &opts).expect("alg2").fidelity;
+    assert!((f - 0.5).abs() < 1e-9); // |tr(HX)|²/4 = 2/4
+    let f1 = fidelity_alg1(&u, &v, None, &opts).expect("alg1").fidelity_lower;
+    assert!((f1 - 0.5).abs() < 1e-9);
+}

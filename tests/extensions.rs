@@ -1,0 +1,105 @@
+//! Integration coverage for the beyond-the-paper extensions: exact
+//! checking, the general noisy-pair fidelity, the Monte Carlo estimator,
+//! and the trajectory simulator — all wired against the same circuits.
+
+use qaec::exact::{check_unitary_equivalence, ExactVerdict};
+use qaec::{fidelity_alg2, fidelity_monte_carlo, CheckOptions};
+use qaec_circuit::generators::{cuccaro_adder, ghz, qaoa_ring, w_state};
+use qaec_circuit::noise_insertion::{device_noise_model, insert_random_noise};
+use qaec_circuit::{Circuit, NoiseChannel};
+use qaec_dmsim::density::DensityMatrix;
+use qaec_dmsim::general::jamiolkowski_fidelity_pair;
+use qaec_dmsim::trajectory::average_trajectories;
+
+#[test]
+fn exact_checker_accepts_all_new_generators_against_themselves() {
+    let circuits: Vec<Circuit> = vec![
+        ghz(5),
+        w_state(4),
+        qaoa_ring(4, &[0.3, 0.1], &[0.2, 0.4]),
+        cuccaro_adder(2),
+    ];
+    for c in circuits {
+        let report =
+            check_unitary_equivalence(&c, &c, &CheckOptions::default()).expect("check");
+        assert_eq!(report.verdict, ExactVerdict::Equal);
+    }
+}
+
+#[test]
+fn exact_checker_distinguishes_ghz_from_w() {
+    let report = check_unitary_equivalence(&ghz(3), &w_state(3), &CheckOptions::default())
+        .expect("check");
+    assert!(matches!(report.verdict, ExactVerdict::NotEquivalent { .. }));
+}
+
+#[test]
+fn noisy_pair_fidelity_consistent_with_single_sided() {
+    // Same noisy circuit on both sides → 1; one side ideal → matches the
+    // TDD algorithm.
+    let ideal = qaoa_ring(3, &[0.7], &[0.3]);
+    let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.98 }, 2, 5);
+    let pair_same = jamiolkowski_fidelity_pair(&noisy, &noisy).expect("pair");
+    assert!((pair_same - 1.0).abs() < 1e-7);
+
+    let pair_vs_ideal = jamiolkowski_fidelity_pair(&ideal, &noisy).expect("pair");
+    let alg2 = fidelity_alg2(&ideal, &noisy, &CheckOptions::default())
+        .expect("alg2")
+        .fidelity;
+    assert!((pair_vs_ideal - alg2).abs() < 1e-7, "{pair_vs_ideal} vs {alg2}");
+}
+
+#[test]
+fn monte_carlo_tracks_exact_on_device_model() {
+    let ideal = ghz(4);
+    let noisy = device_noise_model(
+        &ideal,
+        &NoiseChannel::Depolarizing { p: 0.999 },
+        &NoiseChannel::TwoQubitDepolarizing { p: 0.995 },
+    );
+    let exact = fidelity_alg2(&ideal, &noisy, &CheckOptions::default())
+        .expect("alg2")
+        .fidelity;
+    let mc = fidelity_monte_carlo(&ideal, &noisy, 3000, 1, &CheckOptions::default())
+        .expect("mc");
+    let tolerance = (5.0 * mc.std_error).max(0.01);
+    assert!(
+        (mc.estimate - exact).abs() < tolerance,
+        "mc {} vs exact {exact} (se {})",
+        mc.estimate,
+        mc.std_error
+    );
+}
+
+#[test]
+fn trajectory_ensemble_matches_density_matrix_on_w_state() {
+    let ideal = w_state(3);
+    let noisy = insert_random_noise(
+        &ideal,
+        &NoiseChannel::AmplitudeDamping { gamma: 0.2 },
+        2,
+        9,
+    );
+    let exact = DensityMatrix::from_circuit(&noisy).expect("density");
+    let sampled = average_trajectories(&noisy, 3000, 11);
+    let err = sampled.matrix().max_abs_diff(exact.matrix());
+    assert!(err < 0.08, "trajectory ensemble error {err}");
+}
+
+#[test]
+fn remapped_circuits_stay_equivalent() {
+    // Mapping a circuit onto different physical qubits, then mapping the
+    // noise model the same way, preserves the fidelity.
+    let ideal = ghz(3);
+    let noisy = insert_random_noise(&ideal, &NoiseChannel::BitFlip { p: 0.95 }, 2, 3);
+    let f = fidelity_alg2(&ideal, &noisy, &CheckOptions::default())
+        .expect("alg2")
+        .fidelity;
+    let map = [2usize, 0, 1];
+    let ideal_m = ideal.remap_qubits(&map, 3).expect("remap");
+    let noisy_m = noisy.remap_qubits(&map, 3).expect("remap");
+    let f_m = fidelity_alg2(&ideal_m, &noisy_m, &CheckOptions::default())
+        .expect("alg2")
+        .fidelity;
+    assert!((f - f_m).abs() < 1e-9, "{f} vs {f_m}");
+}

@@ -1,0 +1,180 @@
+//! Property-based tests of the Jamiolkowski fidelity: range, invariances,
+//! and the stability/chaining properties the paper cites as reasons to
+//! choose this metric (§III).
+
+use proptest::prelude::*;
+use qaec::{fidelity_alg1, fidelity_alg2, CheckOptions};
+use qaec_circuit::generators::random_circuit;
+use qaec_circuit::noise_insertion::insert_random_noise;
+use qaec_circuit::{Circuit, Gate, NoiseChannel};
+
+fn fidelity(ideal: &Circuit, noisy: &Circuit) -> f64 {
+    fidelity_alg2(ideal, noisy, &CheckOptions::default())
+        .expect("alg2")
+        .fidelity
+}
+
+/// Strategy: a small random noisy instance described by seeds.
+fn instance() -> impl proptest::strategy::Strategy<Value = (Circuit, Circuit)> {
+    (1usize..=3, 1usize..=12, any::<u64>(), 0usize..=3, any::<u64>(), 900u32..=999).prop_map(
+        |(n, gates, seed, noises, noise_seed, p_millis)| {
+            let ideal = random_circuit(n, gates, seed);
+            let noisy = insert_random_noise(
+                &ideal,
+                &NoiseChannel::Depolarizing {
+                    p: p_millis as f64 / 1000.0,
+                },
+                noises,
+                noise_seed,
+            );
+            (ideal, noisy)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fidelity_is_in_unit_interval((ideal, noisy) in instance()) {
+        let f = fidelity(&ideal, &noisy);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&f), "F = {f}");
+    }
+
+    #[test]
+    fn alg1_bounds_bracket_alg2((ideal, noisy) in instance()) {
+        let f2 = fidelity(&ideal, &noisy);
+        let r1 = fidelity_alg1(&ideal, &noisy, None, &CheckOptions::default()).expect("alg1");
+        prop_assert!(r1.fidelity_lower <= f2 + 1e-7,
+            "lower {} > alg2 {f2}", r1.fidelity_lower);
+        prop_assert!(r1.fidelity_upper >= f2 - 1e-7,
+            "upper {} < alg2 {f2}", r1.fidelity_upper);
+    }
+
+    #[test]
+    fn partial_term_bounds_contain_truth((ideal, noisy) in instance()) {
+        let truth = fidelity(&ideal, &noisy);
+        let r = fidelity_alg1(
+            &ideal,
+            &noisy,
+            None,
+            &CheckOptions { max_terms: Some(2), ..CheckOptions::default() },
+        ).expect("alg1");
+        prop_assert!(r.fidelity_lower <= truth + 1e-7);
+        prop_assert!(r.fidelity_upper >= truth - 1e-7);
+    }
+
+    #[test]
+    fn self_fidelity_is_one(seed in any::<u64>(), n in 1usize..=3, gates in 1usize..=15) {
+        let c = random_circuit(n, gates, seed);
+        let f = fidelity(&c, &c);
+        prop_assert!((f - 1.0).abs() < 1e-8, "F(U,U) = {f}");
+    }
+
+    /// Stability (§III): F_J(E ⊗ I, U ⊗ I) = F_J(E, U) — adding an idle
+    /// ancilla wire changes nothing.
+    #[test]
+    fn stability_under_idle_ancilla((ideal, noisy) in instance()) {
+        let f = fidelity(&ideal, &noisy);
+        let widen = |c: &Circuit| {
+            let mut w = Circuit::new(c.n_qubits() + 1);
+            for instr in c.iter() {
+                match &instr.op {
+                    qaec_circuit::Operation::Gate(g) => { w.gate(*g, &instr.qubits); }
+                    qaec_circuit::Operation::Noise(ch) => { w.noise(ch.clone(), &instr.qubits); }
+                }
+            }
+            w
+        };
+        let f_wide = fidelity(&widen(&ideal), &widen(&noisy));
+        prop_assert!((f - f_wide).abs() < 1e-7, "{f} vs {f_wide}");
+    }
+
+    /// Chaining (§III): C_J(E₁∘E₂, U₁∘U₂) ≤ C_J(E₁, U₁) + C_J(E₂, U₂)
+    /// with C_J = √(1 − F_J).
+    #[test]
+    fn chaining_inequality(
+        seed1 in any::<u64>(), seed2 in any::<u64>(),
+        noise_seed in any::<u64>(), p in 900u32..=999u32,
+    ) {
+        let n = 2;
+        let ideal1 = random_circuit(n, 6, seed1);
+        let ideal2 = random_circuit(n, 6, seed2);
+        let ch = NoiseChannel::Depolarizing { p: p as f64 / 1000.0 };
+        let noisy1 = insert_random_noise(&ideal1, &ch, 1, noise_seed);
+        let noisy2 = insert_random_noise(&ideal2, &ch, 1, noise_seed.wrapping_add(1));
+
+        let combined_ideal = ideal1.compose(&ideal2).expect("same width");
+        let combined_noisy = noisy1.compose(&noisy2).expect("same width");
+
+        let c = |f: f64| (1.0 - f.min(1.0)).max(0.0).sqrt();
+        let lhs = c(fidelity(&combined_ideal, &combined_noisy));
+        let rhs = c(fidelity(&ideal1, &noisy1)) + c(fidelity(&ideal2, &noisy2));
+        prop_assert!(lhs <= rhs + 1e-6, "chaining violated: {lhs} > {rhs}");
+    }
+
+    /// Appending the same unitary gate to both circuits leaves the
+    /// fidelity unchanged (unitary invariance of the trace distance).
+    #[test]
+    fn unitary_invariance((ideal, noisy) in instance(), gate_pick in 0usize..4) {
+        let f = fidelity(&ideal, &noisy);
+        let g = [Gate::H, Gate::S, Gate::X, Gate::T][gate_pick];
+        let mut ideal2 = ideal.clone();
+        ideal2.gate(g, &[0]);
+        let mut noisy2 = noisy.clone();
+        noisy2.gate(g, &[0]);
+        let f2 = fidelity(&ideal2, &noisy2);
+        prop_assert!((f - f2).abs() < 1e-7, "{f} vs {f2}");
+    }
+
+    /// The §IV-C optimisation passes never change the computed fidelity,
+    /// including on circuits with SWAP gates.
+    #[test]
+    fn optimisation_passes_preserve_fidelity(
+        seed in any::<u64>(), noise_seed in any::<u64>(),
+        swaps in 0usize..3, p in 900u32..=999u32,
+    ) {
+        let mut ideal = random_circuit(3, 8, seed);
+        for k in 0..swaps {
+            ideal.swap(k % 3, (k + 1) % 3);
+        }
+        let noisy = insert_random_noise(
+            &ideal,
+            &NoiseChannel::Depolarizing { p: p as f64 / 1000.0 },
+            2,
+            noise_seed,
+        );
+        let plain = fidelity(&ideal, &noisy);
+        let optimized = fidelity_alg2(
+            &ideal,
+            &noisy,
+            &CheckOptions {
+                local_optimization: true,
+                swap_elimination: true,
+                ..CheckOptions::default()
+            },
+        ).expect("alg2").fidelity;
+        prop_assert!((plain - optimized).abs() < 1e-7, "{plain} vs {optimized}");
+    }
+
+    /// Exact mixing identity: appending a depolarizing channel
+    /// decomposes linearly over its Kraus terms,
+    /// `F_J(N∘E, U) = p·F_J(E, U) + (1−p)/3 · Σ_{P∈{X,Y,Z}} F_J(P∘E, U)`.
+    #[test]
+    fn depolarizing_mixing_identity((ideal, noisy) in instance(), p2 in 800u32..=999u32) {
+        let p = p2 as f64 / 1000.0;
+        let mut noisier = noisy.clone();
+        noisier.noise(NoiseChannel::Depolarizing { p }, &[0]);
+        let lhs = fidelity(&ideal, &noisier);
+
+        let with_pauli = |g: Gate| {
+            let mut c = noisy.clone();
+            c.gate(g, &[0]);
+            fidelity(&ideal, &c)
+        };
+        let rhs = p * fidelity(&ideal, &noisy)
+            + (1.0 - p) / 3.0
+                * (with_pauli(Gate::X) + with_pauli(Gate::Y) + with_pauli(Gate::Z));
+        prop_assert!((lhs - rhs).abs() < 1e-7, "{lhs} vs {rhs}");
+    }
+}

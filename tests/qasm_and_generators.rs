@@ -1,0 +1,137 @@
+//! QASM round-trips through the full checking pipeline, plus benchmark
+//! generator invariants.
+
+use qaec::{jamiolkowski_fidelity, CheckOptions};
+use qaec_circuit::generators::{
+    bernstein_vazirani_all_ones, mod_mul_7x1_mod15, qft, quantum_volume,
+    randomized_benchmarking, QftStyle,
+};
+use qaec_circuit::noise_insertion::insert_random_noise;
+use qaec_circuit::{qasm, NoiseChannel};
+use qaec_dmsim::Operator;
+
+#[test]
+fn qasm_roundtrip_preserves_fidelity() {
+    let ideal = qft(3, QftStyle::DecomposedNoSwaps);
+    let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.995 }, 3, 9);
+    let f_direct =
+        jamiolkowski_fidelity(&ideal, &noisy, &CheckOptions::default()).expect("direct");
+
+    let ideal_text = qasm::write(&ideal);
+    let noisy_text = qasm::write(&noisy);
+    let ideal2 = qasm::parse(&ideal_text).expect("reparse ideal");
+    let noisy2 = qasm::parse(&noisy_text).expect("reparse noisy");
+    assert_eq!(ideal2, ideal);
+    assert_eq!(noisy2, noisy);
+
+    let f_roundtrip =
+        jamiolkowski_fidelity(&ideal2, &noisy2, &CheckOptions::default()).expect("roundtrip");
+    assert!((f_direct - f_roundtrip).abs() < 1e-12);
+}
+
+#[test]
+fn qasm_roundtrip_every_generator() {
+    let circuits = vec![
+        bernstein_vazirani_all_ones(5),
+        qft(4, QftStyle::Textbook),
+        qft(4, QftStyle::DecomposedNoSwaps),
+        quantum_volume(4, 3, 5),
+        randomized_benchmarking(3, 12, 7),
+        mod_mul_7x1_mod15(),
+    ];
+    for c in circuits {
+        let text = qasm::write(&c);
+        let back = qasm::parse(&text).expect("reparse");
+        assert_eq!(back.n_qubits(), c.n_qubits());
+        assert_eq!(back.len(), c.len());
+        for (a, b) in back.iter().zip(c.iter()) {
+            assert_eq!(a.qubits, b.qubits);
+            match (a.as_gate(), b.as_gate()) {
+                (Some(x), Some(y)) => assert!(x.approx_eq(y, 0.0)),
+                (None, None) => {}
+                _ => panic!("instruction kind flip"),
+            }
+        }
+    }
+}
+
+#[test]
+fn parsed_circuit_matches_original_unitary() {
+    // Semantic (not just syntactic) round-trip: compare the unitaries.
+    let c = quantum_volume(3, 2, 11);
+    let text = qasm::write(&c);
+    let back = qasm::parse(&text).expect("reparse");
+    let u1 = Operator::from_circuit(&c).expect("original");
+    let u2 = Operator::from_circuit(&back).expect("reparsed");
+    assert!(u1.matrix().approx_eq(u2.matrix(), 1e-10));
+}
+
+#[test]
+fn generators_are_deterministic_across_calls() {
+    assert_eq!(quantum_volume(5, 5, 42), quantum_volume(5, 5, 42));
+    assert_eq!(
+        randomized_benchmarking(2, 7, 42),
+        randomized_benchmarking(2, 7, 42)
+    );
+    let ideal = qft(4, QftStyle::DecomposedNoSwaps);
+    let ch = NoiseChannel::Depolarizing { p: 0.999 };
+    assert_eq!(
+        insert_random_noise(&ideal, &ch, 5, 1),
+        insert_random_noise(&ideal, &ch, 5, 1)
+    );
+}
+
+#[test]
+fn qft_inverse_composes_to_identity() {
+    for n in 1..=4 {
+        let f = qft(n, QftStyle::Textbook);
+        let inv = f.adjoint().expect("unitary");
+        let both = f.compose(&inv).expect("same width");
+        let u = Operator::from_circuit(&both).expect("operator");
+        assert!(u.matrix().is_identity(1e-9), "qft{n}·qft{n}† ≠ I");
+    }
+}
+
+mod parser_robustness {
+    use proptest::prelude::*;
+    use qaec_circuit::qasm;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The parser must never panic: any input yields Ok or a
+        /// structured parse error.
+        #[test]
+        fn parser_never_panics(input in "[ -~\n]{0,200}") {
+            let _ = qasm::parse(&input);
+        }
+
+        /// Fuzzing around plausible program shapes.
+        #[test]
+        fn structured_fuzz(
+            n in 1usize..5,
+            gate in "(h|x|cx|u1|swap|bogus)",
+            a in 0usize..6,
+            b in 0usize..6,
+            angle in -10.0f64..10.0,
+        ) {
+            let src = format!(
+                "OPENQASM 2.0;\nqreg q[{n}];\n{gate}({angle}) q[{a}], q[{b}];\n"
+            );
+            let _ = qasm::parse(&src);
+            let src = format!("qreg q[{n}];\n{gate} q[{a}];\n");
+            let _ = qasm::parse(&src);
+        }
+    }
+}
+
+#[test]
+fn noise_insertion_respects_budget_and_positions() {
+    let ideal = bernstein_vazirani_all_ones(6);
+    for k in [0usize, 1, 5, 14] {
+        let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, k, 3);
+        assert_eq!(noisy.noise_count(), k);
+        assert_eq!(noisy.gate_count(), ideal.gate_count());
+        assert_eq!(noisy.ideal(), ideal);
+    }
+}
