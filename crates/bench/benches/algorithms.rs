@@ -35,13 +35,11 @@ fn bench_alg1_vs_noise_count(c: &mut Criterion) {
     group.sample_size(10);
     let ideal = qft(3, QftStyle::DecomposedNoSwaps);
     for k in [1usize, 2, 3, 4] {
-        let noisy =
-            insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, k, 7);
+        let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, k, 7);
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
             b.iter(|| {
                 std::hint::black_box(
-                    fidelity_alg1(&ideal, &noisy, None, &CheckOptions::default())
-                        .expect("alg1"),
+                    fidelity_alg1(&ideal, &noisy, None, &CheckOptions::default()).expect("alg1"),
                 )
             });
         });
@@ -54,8 +52,7 @@ fn bench_alg2_vs_noise_count(c: &mut Criterion) {
     group.sample_size(10);
     let ideal = qft(3, QftStyle::DecomposedNoSwaps);
     for k in [1usize, 2, 3, 4] {
-        let noisy =
-            insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, k, 7);
+        let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, k, 7);
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
             b.iter(|| {
                 std::hint::black_box(

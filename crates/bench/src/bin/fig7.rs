@@ -50,8 +50,16 @@ fn main() {
             let a2 = qaec_bench::measure_best(3, || run_alg2(&ideal, &noisy, args.timeout));
             match (&a1, &a2) {
                 (
-                    qaec_bench::Outcome::Done { time: t1, fidelity: f1, .. },
-                    qaec_bench::Outcome::Done { time: t2, fidelity: f2, .. },
+                    qaec_bench::Outcome::Done {
+                        time: t1,
+                        fidelity: f1,
+                        ..
+                    },
+                    qaec_bench::Outcome::Done {
+                        time: t2,
+                        fidelity: f2,
+                        ..
+                    },
                 ) => {
                     assert!((f1 - f2).abs() < 1e-6, "{name} k={k}: {f1} vs {f2}");
                     let ratio = (t1.as_secs_f64() / t2.as_secs_f64()).log10();

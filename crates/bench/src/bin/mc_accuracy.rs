@@ -43,8 +43,7 @@ fn main() {
         let exact = fidelity_alg2(&ideal, &noisy, &opts).expect("alg2").fidelity;
         for samples in [200usize, 1000, 5000] {
             let start = Instant::now();
-            let mc = fidelity_monte_carlo(&ideal, &noisy, samples, 0xE57, &opts)
-                .expect("mc");
+            let mc = fidelity_monte_carlo(&ideal, &noisy, samples, 0xE57, &opts).expect("mc");
             let sigmas = if mc.std_error > 0.0 {
                 (mc.estimate - exact) / mc.std_error
             } else {

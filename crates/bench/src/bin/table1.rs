@@ -59,8 +59,10 @@ fn main() {
             fidelity,
         );
         // Cross-check agreement whenever multiple methods finished.
-        if let (Some(b), Some(f2)) = (baseline.as_ref().and_then(|b| b.fidelity()), alg2.fidelity())
-        {
+        if let (Some(b), Some(f2)) = (
+            baseline.as_ref().and_then(|b| b.fidelity()),
+            alg2.fidelity(),
+        ) {
             assert!(
                 (b - f2).abs() < 1e-6,
                 "{}: baseline {b} vs alg2 {f2}",

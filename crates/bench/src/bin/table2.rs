@@ -44,8 +44,16 @@ fn main() {
                 qaec_bench::measure_best(3, || run_alg1_with(ideal, &noisy, args.timeout, false));
             match (&opt, &ori) {
                 (
-                    qaec_bench::Outcome::Done { time: to, fidelity: fo, .. },
-                    qaec_bench::Outcome::Done { time: tr, fidelity: fr, .. },
+                    qaec_bench::Outcome::Done {
+                        time: to,
+                        fidelity: fo,
+                        ..
+                    },
+                    qaec_bench::Outcome::Done {
+                        time: tr,
+                        fidelity: fr,
+                        ..
+                    },
                 ) => {
                     assert!((fo - fr).abs() < 1e-7, "{name} k={k}");
                     let (to, tr) = (to.as_secs_f64(), tr.as_secs_f64());

@@ -80,10 +80,7 @@ impl fmt::Display for CircuitError {
                 write!(f, "probability {value} outside [0, 1]")
             }
             CircuitError::NotTracePreserving { deviation } => {
-                write!(
-                    f,
-                    "kraus operators violate completeness by {deviation:.3e}"
-                )
+                write!(f, "kraus operators violate completeness by {deviation:.3e}")
             }
             CircuitError::MalformedKrausSet { reason } => {
                 write!(f, "malformed kraus set: {reason}")

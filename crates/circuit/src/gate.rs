@@ -1,6 +1,6 @@
 //! The unitary gate set.
 
-use qaec_math::{C64, Matrix};
+use qaec_math::{Matrix, C64};
 use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_2, FRAC_PI_4};
 use std::fmt;
 
@@ -136,9 +136,7 @@ impl Gate {
                 let s = C64::real((theta / 2.0).sin());
                 Matrix::from_rows(&[vec![c, -s], vec![s, c]])
             }
-            Rz(theta) => {
-                Matrix::from_diagonal(&[C64::cis(-theta / 2.0), C64::cis(theta / 2.0)])
-            }
+            Rz(theta) => Matrix::from_diagonal(&[C64::cis(-theta / 2.0), C64::cis(theta / 2.0)]),
             U2(phi, lambda) => U3(FRAC_PI_2, phi, lambda).matrix(),
             U3(theta, phi, lambda) => {
                 let c = C64::real((theta / 2.0).cos());
@@ -322,7 +320,10 @@ impl Gate {
     /// §IV-C.
     pub fn cancels_with(&self, other: &Gate, tol: f64) -> bool {
         self.adjoint().approx_eq(other, tol)
-            || self.matrix().mul(&other.matrix()).is_identity_up_to_phase(tol)
+            || self
+                .matrix()
+                .mul(&other.matrix())
+                .is_identity_up_to_phase(tol)
     }
 
     /// Whether the gate's matrix is diagonal (useful to contraction

@@ -40,8 +40,15 @@ mod tests {
     #[test]
     fn table1_gate_counts() {
         // The |G| column of the paper's Table I.
-        for (n, expected) in [(4, 11), (5, 14), (6, 17), (9, 26), (13, 38), (14, 41), (16, 47)]
-        {
+        for (n, expected) in [
+            (4, 11),
+            (5, 14),
+            (6, 17),
+            (9, 26),
+            (13, 38),
+            (14, 41),
+            (16, 47),
+        ] {
             assert_eq!(
                 bernstein_vazirani_all_ones(n).gate_count(),
                 expected,
@@ -56,7 +63,11 @@ mod tests {
             );
         }
         for (n, expected) in [(3, 50), (5, 100), (6, 150), (7, 150), (9, 200)] {
-            assert_eq!(quantum_volume(n, 5, 0xDAC2021).gate_count(), expected, "qv n{n}d5");
+            assert_eq!(
+                quantum_volume(n, 5, 0xDAC2021).gate_count(),
+                expected,
+                "qv n{n}d5"
+            );
         }
         assert_eq!(mod_mul_7x1_mod15().gate_count(), 14);
         assert_eq!(mod_mul_7x1_mod15().n_qubits(), 5);

@@ -66,7 +66,7 @@ pub fn qft(n: usize, style: QftStyle) -> Circuit {
 mod tests {
     use super::*;
     use crate::test_util::unitary_of;
-    use qaec_math::{C64, Matrix};
+    use qaec_math::{Matrix, C64};
 
     /// The exact QFT matrix `F[j,k] = ω^{jk}/√d`.
     fn qft_matrix(n: usize) -> Matrix {

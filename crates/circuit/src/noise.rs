@@ -7,7 +7,7 @@
 //! depolarizing noise with `p = 0.999`).
 
 use crate::error::CircuitError;
-use qaec_math::{C64, Matrix};
+use qaec_math::{Matrix, C64};
 use std::fmt;
 
 /// A validated set of Kraus operators for a custom channel.
@@ -421,7 +421,9 @@ mod tests {
         let p = 0.95;
         let ks = NoiseChannel::BitFlip { p }.kraus();
         assert!(ks[0].approx_eq(&Matrix::identity(2).scale(C64::real(p.sqrt())), 1e-12));
-        let x = crate::gate::Gate::X.matrix().scale(C64::real((1.0 - p).sqrt()));
+        let x = crate::gate::Gate::X
+            .matrix()
+            .scale(C64::real((1.0 - p).sqrt()));
         assert!(ks[1].approx_eq(&x, 1e-12));
     }
 
@@ -480,10 +482,7 @@ mod tests {
 
     #[test]
     fn custom_kraus_validation() {
-        let ok = NoiseChannel::custom(
-            "my_channel",
-            NoiseChannel::BitFlip { p: 0.5 }.kraus(),
-        );
+        let ok = NoiseChannel::custom("my_channel", NoiseChannel::BitFlip { p: 0.5 }.kraus());
         assert!(ok.is_ok());
 
         // X alone is not trace preserving at weight 0.5.
@@ -491,10 +490,7 @@ mod tests {
             "broken",
             vec![crate::gate::Gate::X.matrix().scale(C64::real(0.5))],
         );
-        assert!(matches!(
-            bad,
-            Err(CircuitError::NotTracePreserving { .. })
-        ));
+        assert!(matches!(bad, Err(CircuitError::NotTracePreserving { .. })));
 
         let empty = NoiseChannel::custom("empty", vec![]);
         assert!(matches!(empty, Err(CircuitError::MalformedKrausSet { .. })));

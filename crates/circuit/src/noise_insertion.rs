@@ -101,7 +101,11 @@ pub fn insert_random_noise(
 /// assert_eq!(noisy.noise_count(), 3);
 /// ```
 pub fn noise_after_each_gate(circuit: &Circuit, channel: &NoiseChannel) -> Circuit {
-    assert_eq!(channel.arity(), 1, "device model expects a single-qubit channel");
+    assert_eq!(
+        channel.arity(),
+        1,
+        "device model expects a single-qubit channel"
+    );
     let mut out = Circuit::new(circuit.n_qubits());
     for instr in circuit.iter() {
         push_existing(&mut out, instr.clone());
@@ -184,11 +188,7 @@ mod tests {
         let ideal = qft(3, QftStyle::DecomposedNoSwaps);
         let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, 5, 1);
         assert_eq!(noisy.noise_count(), 5);
-        let gates_only: Vec<_> = noisy
-            .iter()
-            .filter(|i| i.is_gate())
-            .cloned()
-            .collect();
+        let gates_only: Vec<_> = noisy.iter().filter(|i| i.is_gate()).cloned().collect();
         let original: Vec<_> = ideal.iter().cloned().collect();
         assert_eq!(gates_only, original);
     }

@@ -190,8 +190,8 @@ mod tests {
 
     #[test]
     fn comments_are_dropped_but_directives_kept() {
-        let toks = tokenize("x q[0]; // plain comment\n// qaec.noise: bit_flip(0.9) q[0];")
-            .unwrap();
+        let toks =
+            tokenize("x q[0]; // plain comment\n// qaec.noise: bit_flip(0.9) q[0];").unwrap();
         assert!(toks
             .iter()
             .any(|t| matches!(&t.kind, TokenKind::NoiseDirective(s) if s.contains("bit_flip"))));

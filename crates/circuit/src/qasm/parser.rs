@@ -111,7 +111,9 @@ impl Parser {
             "include" => {
                 match self.next() {
                     Some(TokenKind::Str(_)) => {}
-                    other => return Err(self.error(format!("expected include path, found {other:?}"))),
+                    other => {
+                        return Err(self.error(format!("expected include path, found {other:?}")))
+                    }
                 }
                 self.expect_sym(';')
             }
@@ -171,8 +173,12 @@ impl Parser {
         } else {
             Vec::new()
         };
-        let gate = Gate::from_name(name, &params)
-            .ok_or_else(|| self.error(format!("unknown gate `{name}` with {} parameter(s)", params.len())))?;
+        let gate = Gate::from_name(name, &params).ok_or_else(|| {
+            self.error(format!(
+                "unknown gate `{name}` with {} parameter(s)",
+                params.len()
+            ))
+        })?;
         let args = self.argument_list()?;
         self.expect_sym(';')?;
         let circuit = self.circuit_mut()?;
@@ -463,10 +469,9 @@ mod tests {
 
     #[test]
     fn two_qubit_noise_directive() {
-        let c = parse(
-            "qreg q[2];\nh q[0];\n// qaec.noise: two_qubit_depolarizing(0.99) q[0], q[1];",
-        )
-        .unwrap();
+        let c =
+            parse("qreg q[2];\nh q[0];\n// qaec.noise: two_qubit_depolarizing(0.99) q[0], q[1];")
+                .unwrap();
         assert_eq!(c.noise_count(), 1);
         let instr = &c.instructions()[1];
         assert_eq!(instr.qubits, vec![0, 1]);

@@ -21,8 +21,7 @@ pub fn write(circuit: &Circuit) -> String {
                 if params.is_empty() {
                     let _ = writeln!(out, "{} {};", g.name(), qubits.join(", "));
                 } else {
-                    let rendered: Vec<String> =
-                        params.iter().map(|p| format!("{p:?}")).collect();
+                    let rendered: Vec<String> = params.iter().map(|p| format!("{p:?}")).collect();
                     let _ = writeln!(
                         out,
                         "{}({}) {};",
@@ -37,8 +36,7 @@ pub fn write(circuit: &Circuit) -> String {
                 if params.is_empty() {
                     let _ = writeln!(out, "// qaec.noise: {} {};", n.name(), qubits.join(", "));
                 } else {
-                    let rendered: Vec<String> =
-                        params.iter().map(|p| format!("{p:?}")).collect();
+                    let rendered: Vec<String> = params.iter().map(|p| format!("{p:?}")).collect();
                     let _ = writeln!(
                         out,
                         "// qaec.noise: {}({}) {};",
@@ -86,8 +84,7 @@ mod tests {
     #[test]
     fn roundtrip_noisy() {
         let ideal = qft(3, QftStyle::DecomposedNoSwaps);
-        let noisy =
-            insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, 4, 11);
+        let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, 4, 11);
         let text = write(&noisy);
         assert!(text.contains("qaec.noise: depolarizing"));
         let back = parse(&text).expect("reparse");

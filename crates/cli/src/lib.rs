@@ -174,12 +174,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         match value(&mut k)?.as_str() {
                             "auto" => options.algorithm = AlgorithmChoice::Auto,
                             "1" | "I" | "i" => options.algorithm = AlgorithmChoice::AlgorithmI,
-                            "2" | "II" | "ii" => {
-                                options.algorithm = AlgorithmChoice::AlgorithmII
-                            }
-                            "mc" => {
-                                options.mc_samples = Some(options.mc_samples.unwrap_or(2000))
-                            }
+                            "2" | "II" | "ii" => options.algorithm = AlgorithmChoice::AlgorithmII,
+                            "mc" => options.mc_samples = Some(options.mc_samples.unwrap_or(2000)),
                             other => return Err(format!("unknown algorithm `{other}`")),
                         };
                     }
@@ -221,8 +217,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 k += 1;
             }
             if sub == "check" {
-                let epsilon =
-                    epsilon.ok_or_else(|| "check: --epsilon is required".to_string())?;
+                let epsilon = epsilon.ok_or_else(|| "check: --epsilon is required".to_string())?;
                 Ok(Command::Check {
                     ideal,
                     noisy,
@@ -242,8 +237,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
 }
 
 fn load(path: &str) -> Result<Circuit, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     qasm::parse(&text).map_err(|e| format!("`{path}`: {e}"))
 }
 
@@ -260,9 +254,8 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> i32 {
 }
 
 fn run_inner(command: Command, out: &mut impl std::io::Write) -> Result<i32, String> {
-    let w = |out: &mut dyn std::io::Write, s: String| {
-        writeln!(out, "{s}").map_err(|e| e.to_string())
-    };
+    let w =
+        |out: &mut dyn std::io::Write, s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
     match command {
         Command::Help => {
             w(out, USAGE.to_string())?;
@@ -294,7 +287,10 @@ fn run_inner(command: Command, out: &mut impl std::io::Write) -> Result<i32, Str
             if let Some(samples) = options.mc_samples {
                 let r = fidelity_monte_carlo(&ideal, &noisy, samples, options.mc_seed, &opts)
                     .map_err(|e| e.to_string())?;
-                w(out, format!("F_J ≈ {:.9} ± {:.1e}", r.estimate, r.std_error))?;
+                w(
+                    out,
+                    format!("F_J ≈ {:.9} ± {:.1e}", r.estimate, r.std_error),
+                )?;
                 w(
                     out,
                     format!(
@@ -308,11 +304,14 @@ fn run_inner(command: Command, out: &mut impl std::io::Write) -> Result<i32, Str
             }
             let (fidelity, detail) = match opts.algorithm {
                 AlgorithmChoice::AlgorithmI => {
-                    let r = fidelity_alg1(&ideal, &noisy, None, &opts)
-                        .map_err(|e| e.to_string())?;
+                    let r =
+                        fidelity_alg1(&ideal, &noisy, None, &opts).map_err(|e| e.to_string())?;
                     (
                         r.fidelity_lower,
-                        format!("algorithm I, {} terms, {} nodes", r.terms_computed, r.max_nodes),
+                        format!(
+                            "algorithm I, {} terms, {} nodes",
+                            r.terms_computed, r.max_nodes
+                        ),
                     )
                 }
                 AlgorithmChoice::AlgorithmII => {
@@ -405,7 +404,11 @@ mod tests {
     fn parse_check_requires_epsilon() {
         assert!(parse_args(&strings(&["check", "i.qasm", "n.qasm"])).is_err());
         let cmd = parse_args(&strings(&[
-            "check", "i.qasm", "n.qasm", "--epsilon", "0.01",
+            "check",
+            "i.qasm",
+            "n.qasm",
+            "--epsilon",
+            "0.01",
         ]))
         .unwrap();
         match cmd {
@@ -495,7 +498,14 @@ mod tests {
     #[test]
     fn parse_and_run_monte_carlo() {
         let cmd = parse_args(&strings(&[
-            "fidelity", "i.qasm", "n.qasm", "--algorithm", "mc", "--samples", "300", "--seed",
+            "fidelity",
+            "i.qasm",
+            "n.qasm",
+            "--algorithm",
+            "mc",
+            "--samples",
+            "300",
+            "--seed",
             "7",
         ]))
         .unwrap();

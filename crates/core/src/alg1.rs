@@ -15,8 +15,8 @@
 
 use crate::error::QaecError;
 use crate::miter::{build_trace_network, identity_map, Alg1Template, BuiltNetwork};
-use crate::options::{CheckOptions, TermOrder};
 use crate::optimize::{cancel_inverse_pairs, eliminate_swaps};
+use crate::options::{CheckOptions, TermOrder};
 use crate::report::Verdict;
 use crate::validate;
 use qaec_circuit::Circuit;
@@ -197,13 +197,13 @@ fn run_parallel(
     let threads = options.threads.min(total_terms).max(1);
     let chunk = total_terms.div_ceil(threads);
     let counts: Vec<usize> = template.sites.iter().map(|s| s.kraus.len()).collect();
-    let results = crossbeam::thread::scope(|scope| {
+    let results = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo_term = t * chunk;
             let hi_term = ((t + 1) * chunk).min(total_terms);
             let counts = &counts;
-            let handle = scope.spawn(move |_| {
+            let handle = scope.spawn(move || {
                 let mut manager = TddManager::new();
                 let mut sum = 0.0f64;
                 let mut nodes = 0usize;
@@ -241,8 +241,7 @@ fn run_parallel(
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("thread scope");
+    });
 
     let mut lower = 0.0;
     let mut max_nodes = 0;

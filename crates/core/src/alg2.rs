@@ -7,8 +7,8 @@
 
 use crate::error::QaecError;
 use crate::miter::{alg2_elements, build_trace_network, identity_map};
-use crate::options::CheckOptions;
 use crate::optimize::{cancel_inverse_pairs, eliminate_swaps};
+use crate::options::CheckOptions;
 use crate::validate;
 use qaec_circuit::Circuit;
 use qaec_tdd::{contract_network_opts, DriverOptions, TddManager};

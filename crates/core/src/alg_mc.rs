@@ -22,8 +22,8 @@
 
 use crate::error::QaecError;
 use crate::miter::{build_trace_network, identity_map, Alg1Template};
-use crate::options::CheckOptions;
 use crate::optimize::{cancel_inverse_pairs, eliminate_swaps};
+use crate::options::CheckOptions;
 use crate::validate;
 use qaec_circuit::Circuit;
 use qaec_tdd::{contract_network_opts, DriverOptions, TddManager};
@@ -150,8 +150,7 @@ pub fn fidelity_monte_carlo(
             hit
         } else {
             let elements = template.instantiate(&choice);
-            let built =
-                build_trace_network(&elements, n_wires, &final_map, options.var_order);
+            let built = build_trace_network(&elements, n_wires, &final_map, options.var_order);
             let result = contract_network_opts(
                 &mut manager,
                 &built.network,
@@ -212,12 +211,8 @@ mod tests {
     fn unbiased_against_exact_value() {
         for seed in 0..3u64 {
             let ideal = random_circuit(2, 10, seed);
-            let noisy = insert_random_noise(
-                &ideal,
-                &NoiseChannel::Depolarizing { p: 0.95 },
-                2,
-                seed + 7,
-            );
+            let noisy =
+                insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.95 }, 2, seed + 7);
             let exact = fidelity_alg1(&ideal, &noisy, None, &opts())
                 .expect("exact")
                 .fidelity_lower;
@@ -260,8 +255,7 @@ mod tests {
         // p = 0.999 on 5 sites: nearly every sample is the identity
         // string, so distinct strings ≪ samples.
         let ideal = random_circuit(3, 10, 5);
-        let noisy =
-            insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, 5, 6);
+        let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, 5, 6);
         let mc = fidelity_monte_carlo(&ideal, &noisy, 1000, 3, &opts()).unwrap();
         assert!(
             mc.distinct_strings < 30,

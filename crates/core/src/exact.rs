@@ -9,8 +9,8 @@
 
 use crate::error::QaecError;
 use crate::miter::{build_trace_network, identity_map, Alg1Template};
-use crate::options::CheckOptions;
 use crate::optimize::{cancel_inverse_pairs, eliminate_swaps};
+use crate::options::CheckOptions;
 use qaec_circuit::Circuit;
 use qaec_math::C64;
 use qaec_tdd::{contract_network_opts, DriverOptions, TddManager};
@@ -219,10 +219,7 @@ mod tests {
         let mut perturbed = c.clone();
         perturbed.t(2); // extra T gate
         let report = check_unitary_equivalence(&c, &perturbed, &opts()).unwrap();
-        assert!(matches!(
-            report.verdict,
-            ExactVerdict::NotEquivalent { .. }
-        ));
+        assert!(matches!(report.verdict, ExactVerdict::NotEquivalent { .. }));
     }
 
     #[test]
@@ -248,7 +245,11 @@ mod tests {
         let report = check_unitary_equivalence(&a, &b, &options).unwrap();
         assert_eq!(report.verdict, ExactVerdict::Equal);
         // Fully cancelled miter: the trace costs almost nothing.
-        assert!(report.max_nodes <= 2, "miter should vanish: {}", report.max_nodes);
+        assert!(
+            report.max_nodes <= 2,
+            "miter should vanish: {}",
+            report.max_nodes
+        );
     }
 
     #[test]

@@ -305,7 +305,12 @@ mod tests {
         let ideal = noisy.ideal();
         let template = Alg1Template::build(&ideal, &noisy);
         assert_eq!(template.total_terms(), 4);
-        let expectations = [(vec![0, 0], 4.0 * p), (vec![1, 0], 0.0), (vec![0, 1], 0.0), (vec![1, 1], 0.0)];
+        let expectations = [
+            (vec![0, 0], 4.0 * p),
+            (vec![1, 0], 0.0),
+            (vec![0, 1], 0.0),
+            (vec![1, 1], 0.0),
+        ];
         for (choice, expected) in expectations {
             let elements = template.instantiate(&choice);
             let built = build_trace_network(
@@ -409,12 +414,8 @@ mod tests {
         let ideal = noisy.ideal();
         let template = Alg1Template::build(&ideal, &noisy);
         for style in [VarOrderStyle::QubitMajor, VarOrderStyle::TimeMajor] {
-            let built = build_trace_network(
-                &template.instantiate(&[0, 0]),
-                2,
-                &identity_map(2),
-                style,
-            );
+            let built =
+                build_trace_network(&template.instantiate(&[0, 0]), 2, &identity_map(2), style);
             for idx in built.network.all_indices() {
                 assert!(built.order.contains(idx), "{style:?} missing {idx}");
             }

@@ -16,10 +16,7 @@ use qaec_circuit::Gate;
 
 /// Removes SWAP gates, rewriting subsequent operations onto the swapped
 /// wires. Returns the final logical→physical wire map for the closure.
-pub(crate) fn eliminate_swaps(
-    elements: &mut Vec<MiterElement>,
-    n_wires: usize,
-) -> Vec<usize> {
+pub(crate) fn eliminate_swaps(elements: &mut Vec<MiterElement>, n_wires: usize) -> Vec<usize> {
     let mut map: Vec<usize> = (0..n_wires).collect();
     let mut out = Vec::with_capacity(elements.len());
     for mut el in elements.drain(..) {

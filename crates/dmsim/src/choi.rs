@@ -35,10 +35,7 @@ pub fn maximally_entangled(n: usize) -> Vec<C64> {
 /// exceed the paper's 8 GB bound.
 pub fn choi_state(circuit: &Circuit) -> Result<DensityMatrix, SimError> {
     let n = circuit.n_qubits();
-    memory::check(
-        memory::superop_peak_bytes(n),
-        memory::PAPER_MEMORY_BOUND,
-    )?;
+    memory::check(memory::superop_peak_bytes(n), memory::PAPER_MEMORY_BOUND)?;
     let mut rho = DensityMatrix::from_pure(&maximally_entangled(n));
     // Apply the circuit on the B half (qubit q → 2n-qubit position q+n).
     for instr in circuit.iter() {

@@ -4,7 +4,7 @@ use crate::kernel::apply_gate;
 use crate::memory;
 use crate::SimError;
 use qaec_circuit::{Circuit, Operation};
-use qaec_math::{C64, Matrix};
+use qaec_math::{Matrix, C64};
 
 /// An `n`-qubit mixed state as a dense `2^n × 2^n` density matrix.
 ///
@@ -249,8 +249,7 @@ mod tests {
     fn amplitude_damping_decays_excited_state() {
         let gamma = 0.25;
         let mut c = qaec_circuit::Circuit::new(1);
-        c.x(0)
-            .noise(NoiseChannel::AmplitudeDamping { gamma }, &[0]);
+        c.x(0).noise(NoiseChannel::AmplitudeDamping { gamma }, &[0]);
         let rho = DensityMatrix::from_circuit(&c).unwrap();
         assert!((rho.matrix()[(1, 1)] - C64::real(1.0 - gamma)).abs() < 1e-12);
         assert!((rho.matrix()[(0, 0)] - C64::real(gamma)).abs() < 1e-12);

@@ -50,11 +50,7 @@ pub fn jamiolkowski_fidelity_pair(c1: &Circuit, c2: &Circuit) -> Result<f64, Sim
 /// # Errors
 ///
 /// As [`jamiolkowski_fidelity_pair`].
-pub fn epsilon_equivalent_pair(
-    c1: &Circuit,
-    c2: &Circuit,
-    epsilon: f64,
-) -> Result<bool, SimError> {
+pub fn epsilon_equivalent_pair(c1: &Circuit, c2: &Circuit, epsilon: f64) -> Result<bool, SimError> {
     Ok(jamiolkowski_fidelity_pair(c1, c2)? > 1.0 - epsilon)
 }
 
@@ -70,12 +66,8 @@ mod tests {
     fn reduces_to_unitary_case_when_one_side_is_ideal() {
         for seed in 0..4u64 {
             let ideal = random_circuit(2, 10, seed);
-            let noisy = insert_random_noise(
-                &ideal,
-                &NoiseChannel::Depolarizing { p: 0.93 },
-                2,
-                seed + 5,
-            );
+            let noisy =
+                insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.93 }, 2, seed + 5);
             let general = jamiolkowski_fidelity_pair(&ideal, &noisy).unwrap();
             let special = choi_fidelity(&ideal, &noisy).unwrap();
             assert!(

@@ -1,6 +1,6 @@
 //! The gate-application kernel shared by every dense representation.
 
-use qaec_math::{C64, Matrix};
+use qaec_math::{Matrix, C64};
 
 /// Applies an ℓ-qubit gate matrix to an `n`-qubit state vector in place.
 ///

@@ -4,7 +4,7 @@ use crate::kernel::apply_gate;
 use crate::memory;
 use crate::SimError;
 use qaec_circuit::Circuit;
-use qaec_math::{C64, Matrix};
+use qaec_math::{Matrix, C64};
 
 /// The dense `2^n × 2^n` unitary of an ideal circuit (the analogue of
 /// Qiskit's `Operator`).
@@ -104,9 +104,8 @@ mod tests {
             let d = 1usize << n;
             for j in 0..d {
                 for k in 0..d {
-                    let expected = C64::cis(
-                        2.0 * std::f64::consts::PI * (j * k) as f64 / d as f64,
-                    ) * (1.0 / (d as f64).sqrt());
+                    let expected = C64::cis(2.0 * std::f64::consts::PI * (j * k) as f64 / d as f64)
+                        * (1.0 / (d as f64).sqrt());
                     assert!(
                         (u.matrix()[(j, k)] - expected).abs() < 1e-10,
                         "qft{n} [{j},{k}]"

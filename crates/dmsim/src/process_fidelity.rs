@@ -5,7 +5,7 @@ use crate::operator::Operator;
 use crate::superop::SuperOp;
 use crate::SimError;
 use qaec_circuit::{Circuit, Operation};
-use qaec_math::{C64, Matrix};
+use qaec_math::{Matrix, C64};
 
 /// The Jamiolkowski (process) fidelity from the dense superoperator and
 /// the dense ideal unitary:
@@ -22,11 +22,7 @@ use qaec_math::{C64, Matrix};
 ///
 /// Panics if the operator and superoperator have different qubit counts.
 pub fn process_fidelity(superop: &SuperOp, ideal: &Operator) -> f64 {
-    assert_eq!(
-        superop.n_qubits(),
-        ideal.n_qubits(),
-        "qubit count mismatch"
-    );
+    assert_eq!(superop.n_qubits(), ideal.n_qubits(), "qubit count mismatch");
     let n = superop.n_qubits();
     let d = 1usize << n;
     let u = ideal.matrix();
@@ -221,7 +217,8 @@ mod tests {
         a.h(0);
         let mut b = Circuit::new(1);
         // H with a global phase: Rz(2π) = −I adds phase π.
-        b.h(0).gate(qaec_circuit::Gate::Rz(2.0 * std::f64::consts::PI), &[0]);
+        b.h(0)
+            .gate(qaec_circuit::Gate::Rz(2.0 * std::f64::consts::PI), &[0]);
         b.gate(qaec_circuit::Gate::Rz(-2.0 * std::f64::consts::PI), &[0]);
         let f = process_fidelity_baseline(&a, &b).unwrap();
         assert!((f - 1.0).abs() < 1e-9);

@@ -170,9 +170,7 @@ mod tests {
             );
             let psi = Statevector::from_circuit(&c).unwrap();
             let probs = psi.probabilities();
-            let p: f64 = (0..2)
-                .map(|anc| probs[(marked << 1) | anc])
-                .sum();
+            let p: f64 = (0..2).map(|anc| probs[(marked << 1) | anc]).sum();
             assert!((p - 1.0).abs() < 1e-10, "marked {marked}: {p}");
         }
     }
@@ -203,10 +201,7 @@ mod tests {
     fn noisy_circuit_rejected() {
         let mut c = qaec_circuit::Circuit::new(1);
         c.noise(NoiseChannel::BitFlip { p: 0.9 }, &[0]);
-        assert_eq!(
-            Statevector::from_circuit(&c),
-            Err(SimError::NotUnitary)
-        );
+        assert_eq!(Statevector::from_circuit(&c), Err(SimError::NotUnitary));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::kernel::apply_gate;
 use crate::memory;
 use crate::SimError;
 use qaec_circuit::{Circuit, Operation};
-use qaec_math::{C64, Matrix};
+use qaec_math::{Matrix, C64};
 
 /// The dense `4^n × 4^n` superoperator matrix `M_E = Σᵢ Eᵢ ⊗ Eᵢ*` of a
 /// noisy circuit.
@@ -174,10 +174,7 @@ mod tests {
             let superop = SuperOp::from_circuit(&noisy).unwrap();
             let direct = DensityMatrix::from_circuit(&noisy).unwrap();
             let via_superop = superop.apply(DensityMatrix::zero(2).matrix());
-            assert!(
-                via_superop.approx_eq(direct.matrix(), 1e-9),
-                "seed {seed}"
-            );
+            assert!(via_superop.approx_eq(direct.matrix(), 1e-9), "seed {seed}");
         }
     }
 

@@ -13,7 +13,7 @@ use crate::density::DensityMatrix;
 use crate::kernel::apply_gate;
 use crate::statevector::Statevector;
 use qaec_circuit::{Circuit, Operation};
-use qaec_math::{C64, Matrix};
+use qaec_math::{Matrix, C64};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -129,12 +129,8 @@ mod tests {
     #[test]
     fn trajectories_stay_normalized() {
         let ideal = random_circuit(2, 10, 3);
-        let noisy = insert_random_noise(
-            &ideal,
-            &NoiseChannel::AmplitudeDamping { gamma: 0.4 },
-            3,
-            4,
-        );
+        let noisy =
+            insert_random_noise(&ideal, &NoiseChannel::AmplitudeDamping { gamma: 0.4 }, 3, 4);
         for seed in 0..20 {
             let psi = sample_trajectory(&noisy, seed);
             assert!((psi.norm_sqr() - 1.0).abs() < 1e-9, "seed {seed}");
@@ -168,8 +164,7 @@ mod tests {
         // From |1⟩, damping picks K₁ (decay to |0⟩) with probability γ.
         let gamma = 0.3;
         let mut c = Circuit::new(1);
-        c.x(0)
-            .noise(NoiseChannel::AmplitudeDamping { gamma }, &[0]);
+        c.x(0).noise(NoiseChannel::AmplitudeDamping { gamma }, &[0]);
         let mut decayed = 0usize;
         let shots = 5000;
         for seed in 0..shots {

@@ -8,7 +8,7 @@
 //! external dependencies; it is meant for the dense small-`n` regime, the
 //! same envelope as the rest of the dense baseline.
 
-use crate::{C64, Matrix};
+use crate::{Matrix, C64};
 
 /// Result of a Hermitian eigendecomposition: `a = V · diag(λ) · V†`.
 #[derive(Clone, Debug)]
@@ -142,8 +142,12 @@ pub fn sqrtm_psd(a: &Matrix) -> Matrix {
     for &v in &e.values {
         assert!(v > -1e-8, "matrix is not PSD: eigenvalue {v}");
     }
-    let sqrt_diag =
-        Matrix::from_diagonal(&e.values.iter().map(|&v| C64::real(v.max(0.0).sqrt())).collect::<Vec<_>>());
+    let sqrt_diag = Matrix::from_diagonal(
+        &e.values
+            .iter()
+            .map(|&v| C64::real(v.max(0.0).sqrt()))
+            .collect::<Vec<_>>(),
+    );
     e.vectors.mul(&sqrt_diag).mul(&e.vectors.adjoint())
 }
 

@@ -29,8 +29,8 @@
 //! ```
 
 pub mod approx;
-pub mod eigen;
 pub mod complex;
+pub mod eigen;
 pub mod matrix;
 
 pub use approx::{approx_eq_c64, approx_eq_f64, DEFAULT_TOLERANCE};

@@ -309,11 +309,7 @@ impl Matrix {
 
     /// Frobenius norm `√(Σ |aᵢⱼ|²)`.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data
-            .iter()
-            .map(|z| z.norm_sqr())
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
     }
 
     /// The largest entry-wise modulus difference `max |self - rhs|`.
@@ -338,18 +334,14 @@ impl Matrix {
     /// Whether the matrix is the identity within `tol`.
     pub fn is_identity(&self, tol: f64) -> bool {
         self.is_square()
-            && self
-                .data
-                .iter()
-                .enumerate()
-                .all(|(idx, &z)| {
-                    let expected = if idx / self.cols == idx % self.cols {
-                        C64::ONE
-                    } else {
-                        C64::ZERO
-                    };
-                    approx_eq_c64(z, expected, tol)
-                })
+            && self.data.iter().enumerate().all(|(idx, &z)| {
+                let expected = if idx / self.cols == idx % self.cols {
+                    C64::ONE
+                } else {
+                    C64::ZERO
+                };
+                approx_eq_c64(z, expected, tol)
+            })
     }
 
     /// Whether the matrix equals `e^{iφ}·I` for some global phase `φ`,

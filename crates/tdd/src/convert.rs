@@ -31,11 +31,7 @@ use std::collections::BTreeSet;
 /// ```
 pub fn from_tensor(m: &mut TddManager, tensor: &Tensor, order: &VarOrder) -> Edge {
     let sorted = tensor.sorted_by(order);
-    let levels: Vec<u32> = sorted
-        .indices()
-        .iter()
-        .map(|&i| order.level(i))
-        .collect();
+    let levels: Vec<u32> = sorted.indices().iter().map(|&i| order.level(i)).collect();
     build(m, sorted.data(), &levels)
 }
 
@@ -132,7 +128,7 @@ pub fn to_matrix(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qaec_math::{C64, Matrix};
+    use qaec_math::{Matrix, C64};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -189,13 +185,13 @@ mod tests {
     #[test]
     fn constant_tensor_collapses_to_terminal() {
         let order = VarOrder::from_sequence([IndexId(0), IndexId(1)]);
-        let t = Tensor::from_flat(
-            vec![IndexId(0), IndexId(1)],
-            vec![C64::real(0.5); 4],
-        );
+        let t = Tensor::from_flat(vec![IndexId(0), IndexId(1)], vec![C64::real(0.5); 4]);
         let mut m = TddManager::new();
         let e = from_tensor(&mut m, &t, &order);
-        assert!(e.node.is_terminal(), "constant tensor must be a terminal edge");
+        assert!(
+            e.node.is_terminal(),
+            "constant tensor must be a terminal edge"
+        );
         assert_eq!(m.edge_scalar(e), Some(C64::real(0.5)));
         assert!(support(&m, e).is_empty());
     }

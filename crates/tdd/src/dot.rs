@@ -118,7 +118,7 @@ pub fn to_dot(m: &TddManager, root: Edge, name: &str) -> String {
 mod tests {
     use super::*;
     use crate::convert::from_tensor;
-    use qaec_math::{C64, Matrix};
+    use qaec_math::{Matrix, C64};
     use qaec_tensornet::{IndexId, Tensor, VarOrder};
 
     #[test]

@@ -92,8 +92,7 @@ pub fn contract_network_opts(
             } => {
                 let ea = slots[*a].take().expect("operand a live");
                 let eb = slots[*b].take().expect("operand b live");
-                let mut levels: Vec<u32> =
-                    eliminate.iter().map(|&i| order.level(i)).collect();
+                let mut levels: Vec<u32> = eliminate.iter().map(|&i| order.level(i)).collect();
                 levels.sort_unstable();
                 let set = m.intern_elim_set(levels);
                 let e = ops::cont(m, ea, eb, set);
@@ -106,8 +105,7 @@ pub fn contract_network_opts(
                 result,
             } => {
                 let et = slots[*t].take().expect("operand live");
-                let mut levels: Vec<u32> =
-                    eliminate.iter().map(|&i| order.level(i)).collect();
+                let mut levels: Vec<u32> = eliminate.iter().map(|&i| order.level(i)).collect();
                 levels.sort_unstable();
                 let set = m.intern_elim_set(levels);
                 let e = ops::cont(m, et, Edge::ONE, set);
@@ -186,7 +184,7 @@ pub fn contract_network(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qaec_math::{C64, Matrix};
+    use qaec_math::{Matrix, C64};
     use qaec_tensornet::{IndexId, Strategy, Tensor};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -221,8 +219,11 @@ mod tests {
                 ));
             }
             let order = VarOrder::from_sequence((0..n as u32).map(IndexId));
-            for strategy in [Strategy::Sequential, Strategy::MinFill, Strategy::GreedySize]
-            {
+            for strategy in [
+                Strategy::Sequential,
+                Strategy::MinFill,
+                Strategy::GreedySize,
+            ] {
                 let plan = net.plan(strategy);
                 let dense = net.contract_dense(&plan).as_scalar().unwrap();
                 let mut m = TddManager::new();
@@ -279,7 +280,11 @@ mod tests {
                         assignment[4] = c;
                         assignment[5] = d;
                         let v = m.eval(result.root, &assignment);
-                        let expected = if a == c && b == d { C64::ONE } else { C64::ZERO };
+                        let expected = if a == c && b == d {
+                            C64::ONE
+                        } else {
+                            C64::ZERO
+                        };
                         assert!((v - expected).abs() < 1e-9, "{a}{b}|{c}{d}");
                     }
                 }
@@ -324,8 +329,6 @@ mod tests {
         let mut m = TddManager::new();
         let result = contract_network(&mut m, &net, &plan, &order);
         // tr(I)·2·2 = 8.
-        assert!(
-            (m.edge_scalar(result.root).unwrap() - C64::real(8.0)).abs() < 1e-9
-        );
+        assert!((m.edge_scalar(result.root).unwrap() - C64::real(8.0)).abs() < 1e-9);
     }
 }

@@ -53,6 +53,8 @@ pub mod manager;
 pub mod ops;
 pub mod weight;
 
-pub use driver::{contract_network, contract_network_opts, ContractionResult, DriverOptions, DriverTimeout};
+pub use driver::{
+    contract_network, contract_network_opts, ContractionResult, DriverOptions, DriverTimeout,
+};
 pub use manager::{Edge, NodeId, TddManager, TddStats};
 pub use weight::{WeightId, WeightTable};

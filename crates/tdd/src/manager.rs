@@ -206,9 +206,7 @@ impl TddManager {
 
     /// The scalar behind an edge, if it is a terminal edge.
     pub fn edge_scalar(&self, e: Edge) -> Option<C64> {
-        e.node
-            .is_terminal()
-            .then(|| self.weights.value(e.weight))
+        e.node.is_terminal().then(|| self.weights.value(e.weight))
     }
 
     /// The variable level of an edge's root node (`u32::MAX` for the
@@ -465,9 +463,7 @@ mod tests {
     fn eval_walks_assignments() {
         let mut m = TddManager::new();
         // T[x0, x1] = [[1, 2], [3, 4]] built bottom-up.
-        let rows: Vec<Edge> = (1..=4)
-            .map(|v| m.terminal(C64::real(v as f64)))
-            .collect();
+        let rows: Vec<Edge> = (1..=4).map(|v| m.terminal(C64::real(v as f64))).collect();
         let row0 = m.make_node(1, rows[0], rows[1]);
         let row1 = m.make_node(1, rows[2], rows[3]);
         let root = m.make_node(0, row0, row1);

@@ -38,7 +38,10 @@ pub fn add(m: &mut TddManager, a: Edge, b: Edge) -> Edge {
         if w.is_zero() {
             return Edge::ZERO;
         }
-        return Edge { node: a.node, weight: w };
+        return Edge {
+            node: a.node,
+            weight: w,
+        };
     }
     // Canonical operand order (commutative).
     let (a, b) = if (b.node, b.weight) < (a.node, a.weight) {
@@ -332,10 +335,7 @@ mod tests {
     fn partially_absent_elimination_variable() {
         // A[x0] contracted with scalar 1, eliminating {x0, x5}: x0 sums
         // A's entries, x5 doubles.
-        let ta = Tensor::from_flat(
-            vec![IndexId(0)],
-            vec![C64::real(0.25), C64::real(0.5)],
-        );
+        let ta = Tensor::from_flat(vec![IndexId(0)], vec![C64::real(0.25), C64::real(0.5)]);
         let order = VarOrder::from_sequence([IndexId(0), IndexId(5)]);
         let mut m = TddManager::new();
         let ea = from_tensor(&mut m, &ta, &order);

@@ -116,7 +116,12 @@ impl WeightTable {
         let (kr, ki) = self.bucket_key(z);
         for dr in -1..=1i64 {
             for di in -1..=1i64 {
-                if let Some(ids) = self.buckets.get(&(kr + dr, ki + di)) {
+                // The bucket key saturates at i64::MAX/MIN for huge values
+                // (the `as i64` cast clamps), so the probe must saturate too.
+                if let Some(ids) = self
+                    .buckets
+                    .get(&(kr.saturating_add(dr), ki.saturating_add(di)))
+                {
                     for &id in ids {
                         let v = self.values[id as usize];
                         if (v.re - z.re).abs() <= self.tol && (v.im - z.im).abs() <= self.tol {

@@ -161,10 +161,8 @@ impl TreeDecomposition {
 /// the larger Table I circuits.
 pub fn eliminate(graph: &LineGraph, heuristic: Heuristic) -> TreeDecomposition {
     use std::collections::HashMap;
-    let mut adj: HashMap<IndexId, BTreeSet<IndexId>> = graph
-        .vertices()
-        .map(|v| (v, graph.neighbors(v)))
-        .collect();
+    let mut adj: HashMap<IndexId, BTreeSet<IndexId>> =
+        graph.vertices().map(|v| (v, graph.neighbors(v))).collect();
 
     let score_of = |adj: &HashMap<IndexId, BTreeSet<IndexId>>, v: IndexId| -> usize {
         let n = &adj[&v];

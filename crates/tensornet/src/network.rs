@@ -153,10 +153,7 @@ mod tests {
     fn empty_network_contracts_to_one() {
         let net = TensorNetwork::new();
         let plan = net.plan(Strategy::Sequential);
-        assert_eq!(
-            net.contract_dense(&plan).as_scalar().unwrap(),
-            C64::ONE
-        );
+        assert_eq!(net.contract_dense(&plan).as_scalar().unwrap(), C64::ONE);
     }
 
     #[test]

@@ -171,8 +171,12 @@ fn from_merges(network: &TensorNetwork, merges: &[(usize, usize)]) -> Contractio
     let mut steps = Vec::with_capacity(merges.len() + 1);
     let mut next_slot = n;
     for &(a, b) in merges {
-        let sa = sets[a].take().unwrap_or_else(|| panic!("slot {a} not live"));
-        let sb = sets[b].take().unwrap_or_else(|| panic!("slot {b} not live"));
+        let sa = sets[a]
+            .take()
+            .unwrap_or_else(|| panic!("slot {a} not live"));
+        let sb = sets[b]
+            .take()
+            .unwrap_or_else(|| panic!("slot {b} not live"));
         let union: BTreeSet<IndexId> = sa.union(&sb).copied().collect();
         let mut eliminate = Vec::new();
         let mut out = BTreeSet::new();
@@ -383,7 +387,7 @@ fn elimination_merges(network: &TensorNetwork, heuristic: Heuristic) -> Vec<(usi
 mod tests {
     use super::*;
     use crate::tensor::Tensor;
-    use qaec_math::{C64, Matrix};
+    use qaec_math::{Matrix, C64};
 
     fn wire_chain(n: usize) -> TensorNetwork {
         // H_0 · H_1 · ... · H_{n-1} as a chain, traced: index i connects
@@ -414,10 +418,7 @@ mod tests {
             let plan = net.plan(strategy);
             let out = net.contract_dense(&plan);
             let v = out.as_scalar().expect("scalar");
-            assert!(
-                (v - C64::real(2.0)).abs() < 1e-12,
-                "{strategy:?} gave {v}"
-            );
+            assert!((v - C64::real(2.0)).abs() < 1e-12, "{strategy:?} gave {v}");
         }
     }
 

@@ -1,7 +1,7 @@
 //! Dense complex tensors over binary indices.
 
 use crate::index::{IndexId, VarOrder};
-use qaec_math::{C64, Matrix};
+use qaec_math::{Matrix, C64};
 use std::fmt;
 
 /// A dense tensor whose indices are all of dimension 2.

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         buggy.swap(q, n - 1 - q);
     }
     let report = check_unitary_equivalence(&source, &buggy, &CheckOptions::default())?;
-    println!("step 2: negative control (missing swap) → {:?}\n", report.verdict);
+    println!(
+        "step 2: negative control (missing swap) → {:?}\n",
+        report.verdict
+    );
 
     // Step 3: does the compiled circuit run within budget on the device?
     println!("step 3: ε-check of the compiled circuit on the device noise model");

@@ -21,9 +21,14 @@ use qaec_circuit::NoiseChannel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gate_error = 0.001; // p = 0.999
-    let channel = NoiseChannel::Depolarizing { p: 1.0 - gate_error };
+    let channel = NoiseChannel::Depolarizing {
+        p: 1.0 - gate_error,
+    };
 
-    println!("device model: depolarizing(p = {}) after every gate\n", 1.0 - gate_error);
+    println!(
+        "device model: depolarizing(p = {}) after every gate\n",
+        1.0 - gate_error
+    );
     println!(
         "{:<6} {:>6} {:>7} {:>12} {:>14} {:>10} {:>9}",
         "bench", "qubits", "noises", "kraus terms", "F_J (Alg II)", "nodes", "time"

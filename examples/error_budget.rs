@@ -19,7 +19,9 @@ fn max_tolerable_error(ideal: &Circuit, epsilon: f64) -> f64 {
         let noisy = device_noise_model(
             ideal,
             &NoiseChannel::Depolarizing { p: 1.0 - error },
-            &NoiseChannel::TwoQubitDepolarizing { p: 1.0 - 5.0 * error },
+            &NoiseChannel::TwoQubitDepolarizing {
+                p: 1.0 - 5.0 * error,
+            },
         );
         matches!(
             check_equivalence(ideal, &noisy, epsilon, &CheckOptions::default())
@@ -44,9 +46,7 @@ fn max_tolerable_error(ideal: &Circuit, epsilon: f64) -> f64 {
 }
 
 fn main() {
-    println!(
-        "per-gate depolarizing budget (2-qubit gates 5x worse) for ε-equivalence\n"
-    );
+    println!("per-gate depolarizing budget (2-qubit gates 5x worse) for ε-equivalence\n");
     println!(
         "{:<8} {:>7} {:>7} {:>12} {:>12} {:>12}",
         "circuit", "qubits", "gates", "ε=0.10", "ε=0.05", "ε=0.01"

@@ -20,22 +20,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ideal = qft(4, QftStyle::DecomposedNoSwaps);
     let opts = CheckOptions::default();
 
-    println!(
-        "qft4 with k depolarizing sites (p = 0.999), exact vs Monte Carlo (N = 2000)\n"
-    );
+    println!("qft4 with k depolarizing sites (p = 0.999), exact vs Monte Carlo (N = 2000)\n");
     println!(
         "{:>3} {:>12} {:>10} {:>12} {:>10} {:>14} {:>9} {:>9}",
         "k", "AlgI F", "t(AlgI)", "AlgII F", "t(AlgII)", "MC F̂ ± se", "strings", "t(MC)"
     );
 
     for k in [2usize, 4, 6, 8] {
-        let noisy =
-            insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, k, 7 + k as u64);
+        let noisy = insert_random_noise(
+            &ideal,
+            &NoiseChannel::Depolarizing { p: 0.999 },
+            k,
+            7 + k as u64,
+        );
 
         let (alg1_cell, t1) = if k <= 6 {
             let start = Instant::now();
             let r = fidelity_alg1(&ideal, &noisy, None, &opts)?;
-            (format!("{:.8}", r.fidelity_lower), format!("{:.2?}", start.elapsed()))
+            (
+                format!("{:.8}", r.fidelity_lower),
+                format!("{:.2?}", start.elapsed()),
+            )
         } else {
             ("(4^8 terms)".to_string(), "skipped".to_string())
         };

@@ -36,8 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     type ChannelFactory = Box<dyn Fn(f64) -> NoiseChannel>;
     let channels: Vec<(&str, ChannelFactory)> = vec![
-        ("bit_flip", Box::new(|e| NoiseChannel::BitFlip { p: 1.0 - e })),
-        ("phase_flip", Box::new(|e| NoiseChannel::PhaseFlip { p: 1.0 - e })),
+        (
+            "bit_flip",
+            Box::new(|e| NoiseChannel::BitFlip { p: 1.0 - e }),
+        ),
+        (
+            "phase_flip",
+            Box::new(|e| NoiseChannel::PhaseFlip { p: 1.0 - e }),
+        ),
         (
             "bit_phase_flip",
             Box::new(|e| NoiseChannel::BitPhaseFlip { p: 1.0 - e }),

@@ -6,9 +6,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use qaec::{
-    check_equivalence, fidelity_alg1, fidelity_alg2, AlgorithmChoice, CheckOptions,
-};
+use qaec::{check_equivalence, fidelity_alg1, fidelity_alg2, AlgorithmChoice, CheckOptions};
 use qaec_circuit::{Circuit, NoiseChannel};
 use std::f64::consts::FRAC_PI_2;
 

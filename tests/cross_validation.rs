@@ -231,7 +231,9 @@ fn noiseless_circuits_have_unit_fidelity() {
     for seed in 0..4u64 {
         let c = random_circuit(3, 20, seed);
         let opts = CheckOptions::default();
-        let f1 = fidelity_alg1(&c, &c, None, &opts).expect("alg1").fidelity_lower;
+        let f1 = fidelity_alg1(&c, &c, None, &opts)
+            .expect("alg1")
+            .fidelity_lower;
         let f2 = fidelity_alg2(&c, &c, &opts).expect("alg2").fidelity;
         assert!((f1 - 1.0).abs() < 1e-9, "alg1 seed {seed}: {f1}");
         assert!((f2 - 1.0).abs() < 1e-9, "alg2 seed {seed}: {f2}");
@@ -248,6 +250,8 @@ fn distinct_unitaries_match_trace_formula() {
     let opts = CheckOptions::default();
     let f = fidelity_alg2(&u, &v, &opts).expect("alg2").fidelity;
     assert!((f - 0.5).abs() < 1e-9); // |tr(HX)|²/4 = 2/4
-    let f1 = fidelity_alg1(&u, &v, None, &opts).expect("alg1").fidelity_lower;
+    let f1 = fidelity_alg1(&u, &v, None, &opts)
+        .expect("alg1")
+        .fidelity_lower;
     assert!((f1 - 0.5).abs() < 1e-9);
 }

@@ -20,16 +20,15 @@ fn exact_checker_accepts_all_new_generators_against_themselves() {
         cuccaro_adder(2),
     ];
     for c in circuits {
-        let report =
-            check_unitary_equivalence(&c, &c, &CheckOptions::default()).expect("check");
+        let report = check_unitary_equivalence(&c, &c, &CheckOptions::default()).expect("check");
         assert_eq!(report.verdict, ExactVerdict::Equal);
     }
 }
 
 #[test]
 fn exact_checker_distinguishes_ghz_from_w() {
-    let report = check_unitary_equivalence(&ghz(3), &w_state(3), &CheckOptions::default())
-        .expect("check");
+    let report =
+        check_unitary_equivalence(&ghz(3), &w_state(3), &CheckOptions::default()).expect("check");
     assert!(matches!(report.verdict, ExactVerdict::NotEquivalent { .. }));
 }
 
@@ -46,7 +45,10 @@ fn noisy_pair_fidelity_consistent_with_single_sided() {
     let alg2 = fidelity_alg2(&ideal, &noisy, &CheckOptions::default())
         .expect("alg2")
         .fidelity;
-    assert!((pair_vs_ideal - alg2).abs() < 1e-7, "{pair_vs_ideal} vs {alg2}");
+    assert!(
+        (pair_vs_ideal - alg2).abs() < 1e-7,
+        "{pair_vs_ideal} vs {alg2}"
+    );
 }
 
 #[test]
@@ -60,8 +62,7 @@ fn monte_carlo_tracks_exact_on_device_model() {
     let exact = fidelity_alg2(&ideal, &noisy, &CheckOptions::default())
         .expect("alg2")
         .fidelity;
-    let mc = fidelity_monte_carlo(&ideal, &noisy, 3000, 1, &CheckOptions::default())
-        .expect("mc");
+    let mc = fidelity_monte_carlo(&ideal, &noisy, 3000, 1, &CheckOptions::default()).expect("mc");
     let tolerance = (5.0 * mc.std_error).max(0.01);
     assert!(
         (mc.estimate - exact).abs() < tolerance,
@@ -74,12 +75,7 @@ fn monte_carlo_tracks_exact_on_device_model() {
 #[test]
 fn trajectory_ensemble_matches_density_matrix_on_w_state() {
     let ideal = w_state(3);
-    let noisy = insert_random_noise(
-        &ideal,
-        &NoiseChannel::AmplitudeDamping { gamma: 0.2 },
-        2,
-        9,
-    );
+    let noisy = insert_random_noise(&ideal, &NoiseChannel::AmplitudeDamping { gamma: 0.2 }, 2, 9);
     let exact = DensityMatrix::from_circuit(&noisy).expect("density");
     let sampled = average_trajectories(&noisy, 3000, 11);
     let err = sampled.matrix().max_abs_diff(exact.matrix());

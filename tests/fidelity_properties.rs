@@ -16,8 +16,15 @@ fn fidelity(ideal: &Circuit, noisy: &Circuit) -> f64 {
 
 /// Strategy: a small random noisy instance described by seeds.
 fn instance() -> impl proptest::strategy::Strategy<Value = (Circuit, Circuit)> {
-    (1usize..=3, 1usize..=12, any::<u64>(), 0usize..=3, any::<u64>(), 900u32..=999).prop_map(
-        |(n, gates, seed, noises, noise_seed, p_millis)| {
+    (
+        1usize..=3,
+        1usize..=12,
+        any::<u64>(),
+        0usize..=3,
+        any::<u64>(),
+        900u32..=999,
+    )
+        .prop_map(|(n, gates, seed, noises, noise_seed, p_millis)| {
             let ideal = random_circuit(n, gates, seed);
             let noisy = insert_random_noise(
                 &ideal,
@@ -28,8 +35,7 @@ fn instance() -> impl proptest::strategy::Strategy<Value = (Circuit, Circuit)> {
                 noise_seed,
             );
             (ideal, noisy)
-        },
-    )
+        })
 }
 
 proptest! {

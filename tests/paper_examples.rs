@@ -28,8 +28,8 @@ fn noisy_qft2(p: f64) -> Circuit {
 fn example_3_fidelity_is_p_squared_via_alg1() {
     let p = 0.95;
     let noisy = noisy_qft2(p);
-    let report = fidelity_alg1(&noisy.ideal(), &noisy, None, &CheckOptions::default())
-        .expect("alg1");
+    let report =
+        fidelity_alg1(&noisy.ideal(), &noisy, None, &CheckOptions::default()).expect("alg1");
     assert_eq!(report.total_terms, 4);
     assert_eq!(report.terms_computed, 4);
     assert!(
@@ -128,14 +128,12 @@ fn definition_1_threshold_behaviour() {
 #[test]
 fn noise_free_implementation_is_zero_equivalent() {
     let ideal = qft(3, QftStyle::DecomposedNoSwaps);
-    let report =
-        check_equivalence(&ideal, &ideal, 0.0, &CheckOptions::default()).expect("check");
+    let report = check_equivalence(&ideal, &ideal, 0.0, &CheckOptions::default()).expect("check");
     // F = 1 > 1 − 0 requires strict inequality: 1 > 1 fails; the paper's
     // definition makes ε = 0 never-equivalent even for identical
     // circuits. Use a tiny ε instead for the positive case.
     assert_eq!(report.verdict, Verdict::NotEquivalent);
-    let report =
-        check_equivalence(&ideal, &ideal, 1e-9, &CheckOptions::default()).expect("check");
+    let report = check_equivalence(&ideal, &ideal, 1e-9, &CheckOptions::default()).expect("check");
     assert_eq!(report.verdict, Verdict::Equivalent);
 }
 
@@ -182,7 +180,10 @@ fn paper_noise_model_p999() {
     let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, 6, 1);
     assert_eq!(noisy.noise_count(), 6);
     let f = jamiolkowski_fidelity(&ideal, &noisy, &CheckOptions::default()).expect("fidelity");
-    assert!(f > 0.99, "six p=0.999 depolarizing sites keep F near 1: {f}");
+    assert!(
+        f > 0.99,
+        "six p=0.999 depolarizing sites keep F near 1: {f}"
+    );
     assert!(f < 1.0, "noise must strictly reduce fidelity: {f}");
 }
 
@@ -192,7 +193,10 @@ fn larger_qubit_counts_run_where_the_baseline_cannot() {
     // bv9 directly (Table I's headline scalability claim).
     let ideal = bernstein_vazirani_all_ones(9);
     let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, 6, 2);
-    assert!(qaec_dmsim::SuperOp::from_circuit(&noisy).is_err(), "baseline must MO");
+    assert!(
+        qaec_dmsim::SuperOp::from_circuit(&noisy).is_err(),
+        "baseline must MO"
+    );
     let report = fidelity_alg2(&ideal, &noisy, &CheckOptions::default()).expect("alg2");
     assert!(report.fidelity > 0.98 && report.fidelity < 1.0);
 }

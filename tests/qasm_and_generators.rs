@@ -3,8 +3,8 @@
 
 use qaec::{jamiolkowski_fidelity, CheckOptions};
 use qaec_circuit::generators::{
-    bernstein_vazirani_all_ones, mod_mul_7x1_mod15, qft, quantum_volume,
-    randomized_benchmarking, QftStyle,
+    bernstein_vazirani_all_ones, mod_mul_7x1_mod15, qft, quantum_volume, randomized_benchmarking,
+    QftStyle,
 };
 use qaec_circuit::noise_insertion::insert_random_noise;
 use qaec_circuit::{qasm, NoiseChannel};
@@ -14,8 +14,7 @@ use qaec_dmsim::Operator;
 fn qasm_roundtrip_preserves_fidelity() {
     let ideal = qft(3, QftStyle::DecomposedNoSwaps);
     let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.995 }, 3, 9);
-    let f_direct =
-        jamiolkowski_fidelity(&ideal, &noisy, &CheckOptions::default()).expect("direct");
+    let f_direct = jamiolkowski_fidelity(&ideal, &noisy, &CheckOptions::default()).expect("direct");
 
     let ideal_text = qasm::write(&ideal);
     let noisy_text = qasm::write(&noisy);

@@ -12,9 +12,7 @@ fn tensor(rank: usize) -> impl proptest::strategy::Strategy<Value = Tensor> {
         (-1.0f64..1.0, -1.0f64..1.0).prop_map(|(re, im)| C64::new(re, im)),
         1usize << rank,
     )
-    .prop_map(move |data| {
-        Tensor::from_flat((0..rank as u32).map(IndexId).collect(), data)
-    })
+    .prop_map(move |data| Tensor::from_flat((0..rank as u32).map(IndexId).collect(), data))
 }
 
 fn order(rank: u32) -> VarOrder {

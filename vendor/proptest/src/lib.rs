@@ -1,0 +1,684 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API used by this
+//! workspace's property tests: the [`proptest!`] macro (with
+//! `#![proptest_config(...)]`), [`prop_assert!`] / [`prop_assert_eq!`],
+//! [`strategy::Strategy`] with `prop_map`, range and tuple strategies,
+//! [`arbitrary`] (`any::<T>()`), [`collection::vec`], and string
+//! strategies from a small regex subset (`"(a|bc|d)"` alternations and
+//! `"[c1-c2...]{m,n}"` character classes).
+//!
+//! Cases are generated from a per-test deterministic seed (derived from
+//! the test-function name), so failures reproduce across runs. There is
+//! no shrinking: a failure reports the case index and message.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    mod ranges {
+        use super::{Strategy, TestRng};
+        use rand::Rng;
+
+        macro_rules! impl_range_strategy {
+            ($($t:ty),*) => {$(
+                impl Strategy for core::ops::Range<$t> {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+                impl Strategy for core::ops::RangeInclusive<$t> {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+            )*};
+        }
+
+        impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    impl Strategy for &str {
+        type Value = String;
+
+        /// String literals are regex-subset strategies; see
+        /// [`crate::string`].
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one value from the full domain.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            // Finite, sign-balanced, spanning many magnitudes.
+            let mantissa = rng.gen::<f64>() * 2.0 - 1.0;
+            let exponent = rng.gen_range(-64i32..=64);
+            mantissa * (exponent as f64).exp2()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`'s full domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: an exact size or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod string {
+    //! String generation from a small regex subset: sequences of
+    //! literal characters, `(alt1|alt2|...)` groups, and `[...]`
+    //! character classes (with `a-z` ranges and `\n`/`\t`/`\r`/`\\`
+    //! escapes), each optionally followed by `{m}`, `{m,n}`, `?`, `*`,
+    //! or `+` (unbounded repetition capped at 8).
+
+    use crate::strategy::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Vec<Atom>>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_escape(chars: &mut core::iter::Peekable<core::str::Chars<'_>>) -> char {
+        match chars.next().expect("dangling escape in pattern") {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &mut core::iter::Peekable<core::str::Chars<'_>>) -> Atom {
+        let mut ranges = Vec::new();
+        loop {
+            let c = match chars.next().expect("unterminated character class") {
+                ']' => break,
+                '\\' => parse_escape(chars),
+                c => c,
+            };
+            if chars.peek() == Some(&'-') {
+                chars.next();
+                let hi = match chars.next().expect("unterminated range in class") {
+                    '\\' => parse_escape(chars),
+                    c => c,
+                };
+                assert!(c <= hi, "inverted range in character class");
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        assert!(!ranges.is_empty(), "empty character class");
+        Atom::Class(ranges)
+    }
+
+    fn parse_sequence(
+        chars: &mut core::iter::Peekable<core::str::Chars<'_>>,
+        in_group: bool,
+    ) -> Vec<Vec<Atom>> {
+        let mut alternatives = Vec::new();
+        let mut current: Vec<Atom> = Vec::new();
+        loop {
+            match chars.peek() {
+                None => {
+                    assert!(!in_group, "unterminated group in pattern");
+                    break;
+                }
+                Some(')') if in_group => {
+                    chars.next();
+                    break;
+                }
+                Some('|') => {
+                    chars.next();
+                    alternatives.push(core::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+            let atom = match chars.next().unwrap() {
+                '[' => parse_class(chars),
+                '(' => Atom::Group(parse_sequence(chars, true)),
+                '\\' => Atom::Literal(parse_escape(chars)),
+                c => Atom::Literal(c),
+            };
+            current.push(atom);
+        }
+        alternatives.push(current);
+        alternatives
+    }
+
+    fn quantifier(
+        chars: &mut core::iter::Peekable<core::str::Chars<'_>>,
+    ) -> Option<(usize, usize)> {
+        const UNBOUNDED_CAP: usize = 8;
+        match chars.peek() {
+            Some('?') => {
+                chars.next();
+                Some((0, 1))
+            }
+            Some('*') => {
+                chars.next();
+                Some((0, UNBOUNDED_CAP))
+            }
+            Some('+') => {
+                chars.next();
+                Some((1, UNBOUNDED_CAP))
+            }
+            Some('{') => {
+                chars.next();
+                let mut digits = String::new();
+                let mut min = None;
+                loop {
+                    match chars.next().expect("unterminated quantifier") {
+                        '}' => break,
+                        ',' => min = Some(core::mem::take(&mut digits)),
+                        d => digits.push(d),
+                    }
+                }
+                let hi: usize = digits.parse().expect("bad quantifier bound");
+                let lo = match min {
+                    Some(text) => text.parse().expect("bad quantifier bound"),
+                    None => hi,
+                };
+                assert!(lo <= hi, "inverted quantifier bounds");
+                Some((lo, hi))
+            }
+            _ => None,
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        // Re-tokenize applying quantifiers: parse one atom at a time at
+        // the top level so `{m,n}` can bind to the preceding atom.
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while chars.peek().is_some() {
+            if chars.peek() == Some(&'|') {
+                panic!("top-level alternation unsupported; wrap in (...)");
+            }
+            let atom = match chars.next().unwrap() {
+                '[' => parse_class(&mut chars),
+                '(' => Atom::Group(parse_sequence(&mut chars, true)),
+                '\\' => Atom::Literal(parse_escape(&mut chars)),
+                c => Atom::Literal(c),
+            };
+            let (min, max) = quantifier(&mut chars).unwrap_or((1, 1));
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn emit(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+        match atom {
+            Atom::Literal(c) => out.push(*c),
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                let span = (hi as u32) - (lo as u32) + 1;
+                let pick = (lo as u32) + rng.gen_range(0..span);
+                out.push(char::from_u32(pick).expect("range crosses surrogates"));
+            }
+            Atom::Group(alternatives) => {
+                let alt = &alternatives[rng.gen_range(0..alternatives.len())];
+                for a in alt {
+                    emit(a, rng, out);
+                }
+            }
+        }
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for piece in &pieces {
+            let reps = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..reps {
+                emit(&piece.atom, rng, &mut out);
+            }
+        }
+        out
+    }
+}
+
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Per-test configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A test-case failure raised by `prop_assert!`-family macros.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        /// Human-readable failure description.
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        /// Build a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    /// Result type of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic per-test RNG: the same test name always replays the
+    /// same case sequence.
+    pub fn rng_for_test(test_name: &str) -> crate::strategy::TestRng {
+        // FNV-1a over the fully qualified test name.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        crate::strategy::TestRng::seed_from_u64(hash)
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Define property tests.
+///
+/// Supports the forms used in-tree:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///
+///     #[test]
+///     fn my_property(x in 0usize..10, (a, b) in pair_strategy()) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::rng_for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                let result: $crate::test_runner::TestCaseResult = (|| {
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &($strategy), &mut rng,
+                        );
+                    )+
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(err) = result {
+                    panic!(
+                        "proptest case {}/{} failed: {}",
+                        case + 1,
+                        config.cases,
+                        err.message
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..17, y in -1.0f64..1.0, z in 900u32..=999) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+            prop_assert!((900..=999).contains(&z));
+        }
+
+        #[test]
+        fn tuples_and_map((a, b) in (0u32..10, 0u32..10).prop_map(|(x, y)| (x + 1, y + 1))) {
+            prop_assert!((1..=10).contains(&a), "a = {a}");
+            prop_assert!((1..=10).contains(&b));
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn vec_has_exact_len(v in crate::collection::vec(0.0f64..1.0, 8usize)) {
+            prop_assert_eq!(v.len(), 8);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn any_u64_varies(x in any::<u64>(), y in any::<u64>()) {
+            // Astronomically unlikely to collide under a working source.
+            prop_assert_ne!(x.wrapping_add(1), x);
+            let _ = y;
+        }
+    }
+
+    #[test]
+    fn string_pattern_class_with_quantifier() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = crate::string::generate_from_pattern("[ -~\n]{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn string_pattern_alternation() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let allowed = ["h", "x", "cx", "u1", "swap", "bogus"];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let s = crate::string::generate_from_pattern("(h|x|cx|u1|swap|bogus)", &mut rng);
+            assert!(allowed.contains(&s.as_str()), "unexpected {s:?}");
+            seen.insert(s);
+        }
+        assert!(seen.len() >= 4, "alternation should explore branches");
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::rng_for_test("x::y");
+        let mut b = crate::test_runner::rng_for_test("x::y");
+        let s = 0u64..u64::MAX;
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_case_index() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x = {x}");
+            }
+        }
+        always_fails();
+    }
+}
