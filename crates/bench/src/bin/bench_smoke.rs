@@ -1,0 +1,105 @@
+//! The benchmark-gated CI entry point: runs the reduced "smoke" preset
+//! of the paper-table scenarios, writes the per-run JSON artifact, and
+//! (optionally) fails when wall time regresses against a committed
+//! baseline.
+//!
+//! ```text
+//! # produce the PR artifact and gate against the committed baseline:
+//! cargo run -p qaec-bench --release --bin bench_smoke -- \
+//!     --out BENCH_PR.json --baseline BENCH_BASELINE.json --max-ratio 2.0
+//!
+//! # refresh the baseline on a quiet machine:
+//! cargo run -p qaec-bench --release --bin bench_smoke -- --out BENCH_BASELINE.json
+//! ```
+//!
+//! Exit codes: 0 = ok, 1 = wall-time regression, 2 = usage/I/O error.
+//! Scenario invariants (parallel ε verdict equals sequential, early exit
+//! beats exact mode, algorithms agree on fidelity) are asserted inside
+//! the suite itself, so a semantics regression panics the process.
+
+use qaec_bench::{read_records, regressions, run_smoke_suite, write_records};
+use std::time::Duration;
+
+struct SmokeArgs {
+    out: String,
+    baseline: Option<String>,
+    max_ratio: f64,
+    timeout: Duration,
+}
+
+fn parse_smoke_args() -> SmokeArgs {
+    let mut args = SmokeArgs {
+        out: "BENCH_PR.json".into(),
+        baseline: None,
+        max_ratio: 2.0,
+        timeout: Duration::from_secs(120),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => args.out = it.next().unwrap_or(args.out),
+            "--baseline" => args.baseline = it.next(),
+            "--max-ratio" => {
+                if let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) {
+                    args.max_ratio = v;
+                }
+            }
+            "--timeout" => {
+                if let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) {
+                    args.timeout = Duration::from_secs(v);
+                }
+            }
+            other => eprintln!("ignoring unknown flag `{other}`"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_smoke_args();
+    let records = run_smoke_suite(args.timeout);
+
+    println!("# bench-smoke — {} scenarios\n", records.len());
+    println!(
+        "{:<26} {:>10} {:>12} {:>9} {:>14}",
+        "scenario", "wall (ms)", "terms/s", "nodes", "fidelity"
+    );
+    for r in &records {
+        println!(
+            "{:<26} {:>10.2} {:>12.1} {:>9} {:>14.9}",
+            r.name, r.wall_ms, r.terms_per_sec, r.max_nodes, r.fidelity
+        );
+    }
+
+    if let Err(e) = write_records(&args.out, &records) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    println!("\nwrote {}", args.out);
+
+    if let Some(baseline_path) = &args.baseline {
+        let baseline = match read_records(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let offending = regressions(&records, &baseline, args.max_ratio);
+        if offending.is_empty() {
+            println!(
+                "no scenario regressed more than {:.1}x against {baseline_path}",
+                args.max_ratio
+            );
+        } else {
+            for (name, pr_ms, base_ms) in &offending {
+                eprintln!(
+                    "REGRESSION {name}: {pr_ms:.2} ms vs baseline {base_ms:.2} ms \
+                     (limit {:.1}x)",
+                    args.max_ratio
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+}

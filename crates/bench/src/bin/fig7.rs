@@ -3,7 +3,7 @@
 //! Bernstein–Vazirani and QFT families on 3–5 qubits.
 //!
 //! ```text
-//! cargo run -p qaec-bench --release --bin fig7 [--max-noises K] [--timeout SECS]
+//! cargo run -p qaec-bench --release --bin fig7 [--max-noises K] [--timeout SECS] [--json PATH]
 //! ```
 //!
 //! The paper's reading: at one noise site most circuits have
@@ -11,7 +11,7 @@
 //! `log10(4) ≈ 0.6`, so the polyline rises linearly and Algorithm II
 //! dominates beyond the crossover.
 
-use qaec_bench::{run_alg1, run_alg2, HarnessArgs, NOISE_SEED};
+use qaec_bench::{run_alg1, run_alg2, HarnessArgs, RunRecord, NOISE_SEED};
 use qaec_circuit::generators::{bernstein_vazirani_all_ones, qft, QftStyle};
 use qaec_circuit::noise_insertion::insert_random_noise;
 use qaec_circuit::{Circuit, NoiseChannel};
@@ -37,6 +37,7 @@ fn main() {
     }
     println!();
 
+    let mut records: Vec<RunRecord> = Vec::new();
     for (name, ideal) in families {
         print!("{name:<8}");
         for k in 1..=args.max_noises {
@@ -48,6 +49,8 @@ fn main() {
             );
             let a1 = qaec_bench::measure_best(3, || run_alg1(&ideal, &noisy, args.timeout));
             let a2 = qaec_bench::measure_best(3, || run_alg2(&ideal, &noisy, args.timeout));
+            records.extend(RunRecord::from_outcome(format!("{name}_k{k}_alg1"), &a1));
+            records.extend(RunRecord::from_outcome(format!("{name}_k{k}_alg2"), &a2));
             match (&a1, &a2) {
                 (
                     qaec_bench::Outcome::Done {
@@ -75,4 +78,5 @@ fn main() {
          site's worth of Algorithm I work. The paper's Fig. 7 shows the same linear rise\n\
          from below zero at a single noise site."
     );
+    args.emit_json(&records);
 }

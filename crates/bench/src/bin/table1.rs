@@ -2,7 +2,7 @@
 //! Algorithm I over the 21 benchmark circuits.
 //!
 //! ```text
-//! cargo run -p qaec-bench --release --bin table1 [--timeout SECS] [--only rb,qft2] [--skip-baseline]
+//! cargo run -p qaec-bench --release --bin table1 [--timeout SECS] [--only rb,qft2] [--skip-baseline] [--json PATH]
 //! ```
 //!
 //! Differences from the paper's setup (documented in EXPERIMENTS.md): the
@@ -12,10 +12,11 @@
 //! times are Rust-vs-Python incomparable — the qualitative pattern (who
 //! finishes, who TOs, who MOs, node counts) is what reproduces.
 
-use qaec_bench::{run_alg1, run_alg2, run_baseline, table1_suite, HarnessArgs};
+use qaec_bench::{run_alg1, run_alg2, run_baseline, table1_suite, HarnessArgs, RunRecord};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let mut records: Vec<RunRecord> = Vec::new();
     println!(
         "# Table I — baseline vs Alg. II vs Alg. I (timeout {}s, memory bound 8 GB)\n",
         args.timeout.as_secs()
@@ -40,6 +41,20 @@ fn main() {
         };
         let alg2 = run_alg2(&case.ideal, &noisy, args.timeout);
         let alg1 = run_alg1(&case.ideal, &noisy, args.timeout);
+        if let Some(b) = &baseline {
+            records.extend(RunRecord::from_outcome(
+                format!("{}_baseline", case.name),
+                b,
+            ));
+        }
+        records.extend(RunRecord::from_outcome(
+            format!("{}_alg2", case.name),
+            &alg2,
+        ));
+        records.extend(RunRecord::from_outcome(
+            format!("{}_alg1", case.name),
+            &alg1,
+        ));
 
         let fidelity = alg2
             .fidelity()
@@ -78,4 +93,5 @@ fn main() {
         }
     }
     println!("\nLegend: TO = timed out, MO = exceeded the 8 GB bound, - = skipped/not applicable.");
+    args.emit_json(&records);
 }

@@ -2,7 +2,7 @@
 //! computed table in Algorithm I.
 //!
 //! ```text
-//! cargo run -p qaec-bench --release --bin table2 [--max-noises K] [--timeout SECS]
+//! cargo run -p qaec-bench --release --bin table2 [--max-noises K] [--timeout SECS] [--json PATH]
 //! ```
 //!
 //! "Opt." keeps one decision-diagram manager (unique + computed tables)
@@ -10,7 +10,7 @@
 //! reports rates (Opt./Ori.) around 0.25–0.8, improving as the noise
 //! count grows — the same trend this binary prints.
 
-use qaec_bench::{run_alg1_with, HarnessArgs, NOISE_SEED};
+use qaec_bench::{run_alg1_with, HarnessArgs, RunRecord, NOISE_SEED};
 use qaec_circuit::generators::bernstein_vazirani_all_ones;
 use qaec_circuit::noise_insertion::insert_random_noise;
 use qaec_circuit::NoiseChannel;
@@ -28,6 +28,7 @@ fn main() {
     }
     println!();
 
+    let mut records: Vec<RunRecord> = Vec::new();
     let mut sums = vec![(0.0f64, 0.0f64); circuits.len()];
     for k in 1..=args.max_noises {
         print!("{k:<7}");
@@ -42,6 +43,8 @@ fn main() {
                 qaec_bench::measure_best(3, || run_alg1_with(ideal, &noisy, args.timeout, true));
             let ori =
                 qaec_bench::measure_best(3, || run_alg1_with(ideal, &noisy, args.timeout, false));
+            records.extend(RunRecord::from_outcome(format!("{name}_k{k}_opt"), &opt));
+            records.extend(RunRecord::from_outcome(format!("{name}_k{k}_ori"), &ori));
             match (&opt, &ori) {
                 (
                     qaec_bench::Outcome::Done {
@@ -76,4 +79,5 @@ fn main() {
          (rates ≈ 0.28/0.38/0.35) for bv3/bv4/bv5 — expect the same downward\n\
          trend with growing noise count here."
     );
+    args.emit_json(&records);
 }

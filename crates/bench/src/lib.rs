@@ -11,7 +11,7 @@
 //!
 //! Criterion micro-benches live under `benches/`.
 
-use qaec::{fidelity_alg1, fidelity_alg2, CheckOptions, QaecError, TermOrder};
+use qaec::{fidelity_alg1, fidelity_alg2, CheckOptions, QaecError, TermOrder, Verdict};
 use qaec_circuit::generators::{
     bernstein_vazirani_all_ones, grover_dac21, mod_mul_7x1_mod15, qft, quantum_volume,
     randomized_benchmarking, QftStyle,
@@ -95,6 +95,9 @@ pub enum Outcome {
         time: Duration,
         /// Max intermediate TDD nodes (0 for the baseline).
         nodes: usize,
+        /// Trace terms contracted (1 for Algorithm II, 0 for the
+        /// baseline where the notion does not apply).
+        terms: usize,
     },
     /// Timed out (the paper's "TO").
     TimedOut,
@@ -158,6 +161,7 @@ pub fn run_baseline(ideal: &Circuit, noisy: &Circuit, timeout: Duration) -> Outc
                     fidelity,
                     time,
                     nodes: 0,
+                    terms: 0,
                 }
             }
         }
@@ -179,6 +183,7 @@ pub fn run_alg2(ideal: &Circuit, noisy: &Circuit, timeout: Duration) -> Outcome 
             fidelity: report.fidelity,
             time: start.elapsed(),
             nodes: report.max_nodes,
+            terms: 1,
         },
         Err(QaecError::Timeout) => Outcome::TimedOut,
         Err(e) => panic!("unexpected error: {e}"),
@@ -210,8 +215,42 @@ pub fn run_alg1_with(
             fidelity: report.fidelity_lower,
             time: start.elapsed(),
             nodes: report.max_nodes,
+            terms: report.terms_computed,
         },
         Err(QaecError::Timeout) => Outcome::TimedOut,
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+/// Runs Algorithm I in ε-decision mode on the work-stealing engine with
+/// an explicit thread count, returning the outcome and the verdict.
+/// Best-first term order, so light-noise checks stop after a handful of
+/// heavy terms.
+pub fn run_alg1_epsilon(
+    ideal: &Circuit,
+    noisy: &Circuit,
+    epsilon: f64,
+    threads: usize,
+    timeout: Duration,
+) -> (Outcome, Option<Verdict>) {
+    let opts = CheckOptions {
+        deadline: Some(Instant::now() + timeout),
+        threads,
+        term_order: TermOrder::BestFirst,
+        ..CheckOptions::default()
+    };
+    let start = Instant::now();
+    match fidelity_alg1(ideal, noisy, Some(epsilon), &opts) {
+        Ok(report) => (
+            Outcome::Done {
+                fidelity: report.fidelity_lower,
+                time: start.elapsed(),
+                nodes: report.max_nodes,
+                terms: report.terms_computed,
+            },
+            report.verdict,
+        ),
+        Err(QaecError::Timeout) => (Outcome::TimedOut, None),
         Err(e) => panic!("unexpected error: {e}"),
     }
 }
@@ -246,6 +285,294 @@ pub fn measure_best(max_repeats: usize, mut f: impl FnMut() -> Outcome) -> Outco
     best.expect("at least one run")
 }
 
+/// One measured run, as serialised into the per-run JSON artifacts
+/// (`--json` on the table/figure binaries, `BENCH_PR.json` /
+/// `BENCH_BASELINE.json` for the CI smoke gate).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Scenario label, unique within one artifact.
+    pub name: String,
+    /// Wall-clock time in milliseconds.
+    pub wall_ms: f64,
+    /// Trace terms contracted per second (0 when terms don't apply).
+    pub terms_per_sec: f64,
+    /// Largest intermediate decision diagram, in nodes.
+    pub max_nodes: usize,
+    /// The computed fidelity (or lower bound, for early-stopped runs).
+    pub fidelity: f64,
+}
+
+impl RunRecord {
+    /// Builds a record from a finished [`Outcome`]; `None` for TO/MO.
+    pub fn from_outcome(name: impl Into<String>, outcome: &Outcome) -> Option<RunRecord> {
+        match outcome {
+            Outcome::Done {
+                fidelity,
+                time,
+                nodes,
+                terms,
+            } => {
+                let secs = time.as_secs_f64();
+                Some(RunRecord {
+                    name: name.into(),
+                    wall_ms: secs * 1e3,
+                    terms_per_sec: if secs > 0.0 {
+                        *terms as f64 / secs
+                    } else {
+                        0.0
+                    },
+                    max_nodes: *nodes,
+                    fidelity: *fidelity,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Serialises records as a stable, human-diffable JSON array.
+///
+/// Scenario names are emitted into string literals verbatim, so any
+/// character the minimal parser can't round-trip (quotes, backslashes,
+/// control characters) is replaced by `_` — names are harness-chosen
+/// identifiers, never data.
+pub fn records_to_json(records: &[RunRecord]) -> String {
+    let sanitize = |name: &str| -> String {
+        name.chars()
+            .map(|c| {
+                if c == '"' || c == '\\' || c.is_control() {
+                    '_'
+                } else {
+                    c
+                }
+            })
+            .collect()
+    };
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"terms_per_sec\": {:.3}, \
+             \"max_nodes\": {}, \"fidelity\": {:.12}}}{}\n",
+            sanitize(&r.name),
+            r.wall_ms,
+            r.terms_per_sec,
+            r.max_nodes,
+            r.fidelity,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Parses the JSON produced by [`records_to_json`] (flat objects, no
+/// string escapes — exactly the artifact shape, nothing more).
+///
+/// # Errors
+///
+/// A human-readable message on malformed input.
+pub fn records_from_json(text: &str) -> Result<Vec<RunRecord>, String> {
+    fn str_field(object: &str, key: &str) -> Result<String, String> {
+        let tagged = format!("\"{key}\":");
+        let rest = object
+            .split_once(&tagged)
+            .ok_or_else(|| format!("missing field `{key}` in `{object}`"))?
+            .1
+            .trim_start();
+        let rest = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("field `{key}` is not a string in `{object}`"))?;
+        Ok(rest
+            .split_once('"')
+            .ok_or_else(|| format!("unterminated string for `{key}`"))?
+            .0
+            .to_string())
+    }
+    fn num_field(object: &str, key: &str) -> Result<f64, String> {
+        let tagged = format!("\"{key}\":");
+        let rest = object
+            .split_once(&tagged)
+            .ok_or_else(|| format!("missing field `{key}` in `{object}`"))?
+            .1
+            .trim_start();
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end]
+            .trim()
+            .parse::<f64>()
+            .map_err(|e| format!("bad number for `{key}`: {e}"))
+    }
+
+    let mut records = Vec::new();
+    let mut rest = text;
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..]
+            .find('}')
+            .ok_or_else(|| "unterminated object".to_string())?;
+        let object = &rest[open..open + close + 1];
+        records.push(RunRecord {
+            name: str_field(object, "name")?,
+            wall_ms: num_field(object, "wall_ms")?,
+            terms_per_sec: num_field(object, "terms_per_sec")?,
+            max_nodes: num_field(object, "max_nodes")? as usize,
+            fidelity: num_field(object, "fidelity")?,
+        });
+        rest = &rest[open + close + 1..];
+    }
+    Ok(records)
+}
+
+/// Writes records to `path` as JSON.
+///
+/// # Errors
+///
+/// Propagates the I/O error message.
+pub fn write_records(path: &str, records: &[RunRecord]) -> Result<(), String> {
+    std::fs::write(path, records_to_json(records)).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Reads records written by [`write_records`].
+///
+/// # Errors
+///
+/// Propagates I/O and parse error messages.
+pub fn read_records(path: &str) -> Result<Vec<RunRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    records_from_json(&text)
+}
+
+/// The reduced "smoke" preset behind the `bench-smoke` CI job: a handful
+/// of paper-table scenarios small enough to finish in seconds but broad
+/// enough to cover both algorithms, the sequential and the work-stealing
+/// parallel engine paths, and ε early termination.
+///
+/// Besides measuring, this *asserts* the cross-run invariants the
+/// scenarios imply (parallel ε verdict equals the sequential one, early
+/// exit computes fewer terms than exact mode, fidelities agree across
+/// algorithms), so a semantics regression fails the job even when
+/// timings look fine.
+///
+/// # Panics
+///
+/// Panics when a scenario times out or an invariant breaks — in CI
+/// that's exactly the failure signal.
+pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
+    use qaec_circuit::generators::{bernstein_vazirani_all_ones, qft, QftStyle};
+    let mut records = Vec::new();
+    let mut push = |name: &str, outcome: &Outcome| {
+        let record = RunRecord::from_outcome(name, outcome)
+            .unwrap_or_else(|| panic!("smoke scenario `{name}` did not finish: {outcome:?}"));
+        records.push(record);
+    };
+
+    // Fig. 7 QFT workload: qft3 with 4 depolarizing sites (256 terms).
+    let qft3 = qft(3, QftStyle::DecomposedNoSwaps);
+    let qft3_noisy = insert_random_noise(
+        &qft3,
+        &NoiseChannel::Depolarizing { p: 0.999 },
+        4,
+        NOISE_SEED + 4,
+    );
+    let exact = measure_best(2, || run_alg1(&qft3, &qft3_noisy, timeout));
+    push("qft3_k4_alg1_exact", &exact);
+
+    // The same workload through the ε-aware engine, sequential and on 4
+    // work-stealing threads: verdicts must agree and early exit must
+    // compute fewer terms than exact mode.
+    let (eps_seq, verdict_seq) = run_alg1_epsilon(&qft3, &qft3_noisy, 1e-4, 1, timeout);
+    push("qft3_k4_alg1_eps1e-4_seq", &eps_seq);
+    let (eps_par, verdict_par) = run_alg1_epsilon(&qft3, &qft3_noisy, 1e-4, 4, timeout);
+    push("qft3_k4_alg1_eps1e-4_t4", &eps_par);
+    assert_eq!(
+        verdict_seq, verdict_par,
+        "parallel ε verdict diverged from sequential"
+    );
+    if let (
+        Outcome::Done {
+            terms: exact_terms, ..
+        },
+        Outcome::Done {
+            terms: par_terms, ..
+        },
+    ) = (&exact, &eps_par)
+    {
+        assert!(
+            par_terms < exact_terms,
+            "parallel ε run must stop early: {par_terms} vs exact {exact_terms}"
+        );
+    }
+
+    // Parallel exact mode on a second QFT workload, checked against
+    // Algorithm II's collective value.
+    let qft4 = qft(4, QftStyle::DecomposedNoSwaps);
+    let qft4_noisy = insert_random_noise(
+        &qft4,
+        &NoiseChannel::Depolarizing { p: 0.999 },
+        3,
+        NOISE_SEED + 3,
+    );
+    let par_exact = measure_best(2, || {
+        let opts = CheckOptions {
+            deadline: Some(Instant::now() + timeout),
+            threads: 4,
+            term_order: TermOrder::Lexicographic,
+            ..CheckOptions::default()
+        };
+        let start = Instant::now();
+        match fidelity_alg1(&qft4, &qft4_noisy, None, &opts) {
+            Ok(report) => Outcome::Done {
+                fidelity: report.fidelity_lower,
+                time: start.elapsed(),
+                nodes: report.max_nodes,
+                terms: report.terms_computed,
+            },
+            Err(QaecError::Timeout) => Outcome::TimedOut,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    });
+    push("qft4_k3_alg1_exact_t4", &par_exact);
+    let alg2 = measure_best(2, || run_alg2(&qft4, &qft4_noisy, timeout));
+    push("qft4_k3_alg2", &alg2);
+    if let (Some(f1), Some(f2)) = (par_exact.fidelity(), alg2.fidelity()) {
+        assert!((f1 - f2).abs() < 1e-6, "alg1-parallel {f1} vs alg2 {f2}");
+    }
+
+    // One wide-noise Algorithm II row from Table I territory.
+    let bv5 = bernstein_vazirani_all_ones(5);
+    let bv5_noisy = insert_random_noise(
+        &bv5,
+        &NoiseChannel::Depolarizing { p: 0.999 },
+        6,
+        NOISE_SEED + 6,
+    );
+    let bv5_alg2 = measure_best(2, || run_alg2(&bv5, &bv5_noisy, timeout));
+    push("bv5_k6_alg2", &bv5_alg2);
+
+    records
+}
+
+/// Compares a PR artifact against the committed baseline: every scenario
+/// present in both must not be slower than `max_ratio ×` the baseline
+/// wall time. Returns the offending `(name, pr_ms, baseline_ms)` rows.
+pub fn regressions(
+    pr: &[RunRecord],
+    baseline: &[RunRecord],
+    max_ratio: f64,
+) -> Vec<(String, f64, f64)> {
+    let mut offending = Vec::new();
+    for b in baseline {
+        if let Some(p) = pr.iter().find(|p| p.name == b.name) {
+            // Few-millisecond baselines are mostly timer/scheduler noise
+            // on shared CI runners; hold those to an absolute floor
+            // instead of a ratio.
+            let allowed = (b.wall_ms * max_ratio).max(5.0);
+            if p.wall_ms > allowed {
+                offending.push((b.name.clone(), p.wall_ms, b.wall_ms));
+            }
+        }
+    }
+    offending
+}
+
 /// Parses `--flag value` style arguments shared by the harness binaries.
 pub struct HarnessArgs {
     /// Per-run timeout (default 120 s; the paper used 3600 s).
@@ -256,6 +583,8 @@ pub struct HarnessArgs {
     pub max_noises: usize,
     /// Skip the dense baseline column.
     pub skip_baseline: bool,
+    /// Write per-run JSON records here (`--json PATH`).
+    pub json: Option<String>,
 }
 
 impl HarnessArgs {
@@ -266,6 +595,7 @@ impl HarnessArgs {
             only: None,
             max_noises: 8,
             skip_baseline: false,
+            json: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -286,10 +616,25 @@ impl HarnessArgs {
                     }
                 }
                 "--skip-baseline" => args.skip_baseline = true,
+                "--json" => args.json = it.next(),
                 other => eprintln!("ignoring unknown flag `{other}`"),
             }
         }
         args
+    }
+
+    /// Writes collected records to `--json` if requested, reporting on
+    /// stderr so table output stays clean.
+    pub fn emit_json(&self, records: &[RunRecord]) {
+        if let Some(path) = &self.json {
+            match write_records(path, records) {
+                Ok(()) => eprintln!("wrote {} run records to {path}", records.len()),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
     }
 }
 
@@ -374,6 +719,89 @@ mod tests {
     }
 
     #[test]
+    fn json_records_round_trip() {
+        let records = vec![
+            RunRecord {
+                name: "qft3_k4_alg1_exact".into(),
+                wall_ms: 12.345,
+                terms_per_sec: 20736.5,
+                max_nodes: 87,
+                fidelity: 0.996005996001,
+            },
+            RunRecord {
+                name: "bv5_k6_alg2".into(),
+                wall_ms: 0.75,
+                terms_per_sec: 0.0,
+                max_nodes: 1024,
+                fidelity: 0.994014980015,
+            },
+        ];
+        let text = records_to_json(&records);
+        let parsed = records_from_json(&text).expect("parse");
+        assert_eq!(parsed.len(), 2);
+        for (a, b) in records.iter().zip(&parsed) {
+            assert_eq!(a.name, b.name);
+            assert!((a.wall_ms - b.wall_ms).abs() < 1e-3);
+            assert!((a.terms_per_sec - b.terms_per_sec).abs() < 1e-3);
+            assert_eq!(a.max_nodes, b.max_nodes);
+            assert!((a.fidelity - b.fidelity).abs() < 1e-9);
+        }
+        assert!(records_from_json("[]").expect("empty").is_empty());
+        assert!(records_from_json("[{\"name\": \"x\"}]").is_err());
+
+        // Hostile characters in names are sanitised, never emitted raw.
+        let hostile = vec![RunRecord {
+            name: "qft\"3\\k4\n".into(),
+            wall_ms: 1.0,
+            terms_per_sec: 2.0,
+            max_nodes: 3,
+            fidelity: 0.5,
+        }];
+        let parsed = records_from_json(&records_to_json(&hostile)).expect("parse");
+        assert_eq!(parsed[0].name, "qft_3_k4_");
+    }
+
+    #[test]
+    fn record_from_outcome_computes_rates() {
+        let done = Outcome::Done {
+            fidelity: 0.5,
+            time: Duration::from_millis(500),
+            nodes: 7,
+            terms: 100,
+        };
+        let r = RunRecord::from_outcome("x", &done).expect("record");
+        assert!((r.wall_ms - 500.0).abs() < 1e-9);
+        assert!((r.terms_per_sec - 200.0).abs() < 1e-9);
+        assert!(RunRecord::from_outcome("to", &Outcome::TimedOut).is_none());
+    }
+
+    #[test]
+    fn regression_gate_flags_only_true_slowdowns() {
+        let record = |name: &str, wall_ms: f64| RunRecord {
+            name: name.into(),
+            wall_ms,
+            terms_per_sec: 0.0,
+            max_nodes: 0,
+            fidelity: 1.0,
+        };
+        let baseline = vec![
+            record("fast", 10.0),
+            record("slow", 100.0),
+            record("tiny", 0.01),
+            record("gone", 50.0),
+        ];
+        let pr = vec![
+            record("fast", 19.0),  // < 2× — fine
+            record("slow", 201.0), // > 2× — regression
+            record("tiny", 4.9),   // 490× but under the 5 ms noise floor
+            record("new", 999.0),  // not in baseline — ignored
+        ];
+        let offending = regressions(&pr, &baseline, 2.0);
+        assert_eq!(offending.len(), 1);
+        assert_eq!(offending[0].0, "slow");
+    }
+
+    #[test]
     fn outcome_cells() {
         assert_eq!(Outcome::TimedOut.time_cell(), "TO");
         assert_eq!(Outcome::OutOfMemory.nodes_cell(), "MO");
@@ -381,6 +809,7 @@ mod tests {
             fidelity: 0.5,
             time: Duration::from_millis(1500),
             nodes: 7,
+            terms: 3,
         };
         assert_eq!(done.time_cell(), "1.50");
         assert_eq!(done.nodes_cell(), "7");

@@ -14,7 +14,7 @@
 
 use qaec::{
     check_equivalence, fidelity_alg1, fidelity_alg2, fidelity_monte_carlo, AlgorithmChoice,
-    CheckOptions, Verdict,
+    CheckOptions, TddStats, Verdict,
 };
 use qaec_circuit::{qasm, Circuit};
 use qaec_tensornet::Strategy;
@@ -65,10 +65,12 @@ pub struct CliOptions {
     pub strategy: Strategy,
     /// Per-run timeout.
     pub timeout: Option<Duration>,
-    /// Worker threads for Algorithm I.
+    /// Worker threads for Algorithm I and the Monte-Carlo estimator.
     pub threads: usize,
     /// Enable §IV-C local optimisations.
     pub optimize: bool,
+    /// Print decision-diagram statistics after the result.
+    pub verbose: bool,
 }
 
 impl Default for CliOptions {
@@ -79,8 +81,9 @@ impl Default for CliOptions {
             mc_seed: 0,
             strategy: Strategy::MinFill,
             timeout: None,
-            threads: 1,
+            threads: qaec::default_threads(),
             optimize: false,
+            verbose: false,
         }
     }
 }
@@ -115,8 +118,11 @@ OPTIONS:
     --strategy <sequential|greedy|min-degree|min-fill>
                                contraction order (default: min-fill)
     --timeout <seconds>        abort after this long (default: none)
-    --threads <n>              Algorithm I workers (default: 1)
+    --threads <n>              work-stealing workers for Algorithm I / MC
+                               (default: QAEC_THREADS env var, else 1;
+                               composes with --epsilon early termination)
     --optimize                 enable local cancellation + SWAP elimination
+    --verbose                  print decision-diagram statistics
 
 EXIT CODES (check):
     0 = equivalent, 1 = not equivalent, 2 = error
@@ -212,6 +218,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             .map_err(|_| "bad --threads value".to_string())?;
                     }
                     "--optimize" => options.optimize = true,
+                    "--verbose" => options.verbose = true,
                     other => return Err(format!("unknown flag `{other}`")),
                 }
                 k += 1;
@@ -234,6 +241,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         other => Err(format!("unknown subcommand `{other}`")),
     }
+}
+
+fn write_stats(
+    out: &mut impl std::io::Write,
+    verbose: bool,
+    stats: &TddStats,
+) -> Result<(), String> {
+    if verbose {
+        writeln!(out, "tdd stats: {stats}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
 }
 
 fn load(path: &str) -> Result<Circuit, String> {
@@ -300,32 +318,42 @@ fn run_inner(command: Command, out: &mut impl std::io::Write) -> Result<i32, Str
                         start.elapsed()
                     ),
                 )?;
+                write_stats(out, options.verbose, &r.stats)?;
                 return Ok(0);
             }
-            let (fidelity, detail) = match opts.algorithm {
+            // Resolve `auto` up front so every branch carries statistics.
+            let (resolved, auto_note) = match opts.algorithm {
+                AlgorithmChoice::Auto => match qaec::auto_choice(&noisy) {
+                    qaec::AlgorithmUsed::AlgorithmI => (AlgorithmChoice::AlgorithmI, "auto: "),
+                    qaec::AlgorithmUsed::AlgorithmII => (AlgorithmChoice::AlgorithmII, "auto: "),
+                },
+                choice => (choice, ""),
+            };
+            let (fidelity, detail, stats) = match resolved {
                 AlgorithmChoice::AlgorithmI => {
                     let r =
                         fidelity_alg1(&ideal, &noisy, None, &opts).map_err(|e| e.to_string())?;
                     (
                         r.fidelity_lower,
                         format!(
-                            "algorithm I, {} terms, {} nodes",
+                            "{auto_note}algorithm I, {} terms, {} nodes",
                             r.terms_computed, r.max_nodes
                         ),
+                        r.stats,
                     )
                 }
-                AlgorithmChoice::AlgorithmII => {
+                _ => {
                     let r = fidelity_alg2(&ideal, &noisy, &opts).map_err(|e| e.to_string())?;
-                    (r.fidelity, format!("algorithm II, {} nodes", r.max_nodes))
-                }
-                AlgorithmChoice::Auto => {
-                    let f = qaec::jamiolkowski_fidelity(&ideal, &noisy, &opts)
-                        .map_err(|e| e.to_string())?;
-                    (f, format!("auto ({})", qaec::auto_choice(&noisy)))
+                    (
+                        r.fidelity,
+                        format!("{auto_note}algorithm II, {} nodes", r.max_nodes),
+                        r.stats,
+                    )
                 }
             };
             w(out, format!("F_J = {fidelity:.12}"))?;
             w(out, format!("({detail}, {:.3?})", start.elapsed()))?;
+            write_stats(out, options.verbose, &stats)?;
             Ok(0)
         }
         Command::Check {
@@ -340,6 +368,7 @@ fn run_inner(command: Command, out: &mut impl std::io::Write) -> Result<i32, Str
             let report =
                 check_equivalence(&ideal, &noisy, epsilon, &opts).map_err(|e| e.to_string())?;
             w(out, format!("{report}"))?;
+            write_stats(out, options.verbose, &report.stats)?;
             Ok(match report.verdict {
                 Verdict::Equivalent => 0,
                 Verdict::NotEquivalent => 1,
@@ -543,6 +572,57 @@ mod tests {
         );
         assert_eq!(code, 0, "{}", String::from_utf8_lossy(&out));
         assert!(String::from_utf8_lossy(&out).contains("monte carlo"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verbose_prints_tdd_stats() {
+        let dir = std::env::temp_dir().join("qaec_cli_verbose_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ideal_path = dir.join("ideal.qasm");
+        let noisy_path = dir.join("noisy.qasm");
+        std::fs::write(&ideal_path, "qreg q[1];\nh q[0];\n").unwrap();
+        std::fs::write(
+            &noisy_path,
+            "qreg q[1];\nh q[0];\n// qaec.noise: bit_flip(0.99) q[0];\n",
+        )
+        .unwrap();
+
+        // `check` with --threads 2 --verbose: ε run through the parallel
+        // engine, stats line present.
+        let mut out = Vec::new();
+        let code = run(
+            parse_args(&strings(&[
+                "check",
+                ideal_path.to_str().unwrap(),
+                noisy_path.to_str().unwrap(),
+                "--epsilon",
+                "0.05",
+                "--threads",
+                "2",
+                "--verbose",
+            ]))
+            .unwrap(),
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("tdd stats:"), "{text}");
+        assert!(text.contains("nodes created"), "{text}");
+
+        // Without --verbose the stats line is absent.
+        let mut out = Vec::new();
+        let code = run(
+            parse_args(&strings(&[
+                "fidelity",
+                ideal_path.to_str().unwrap(),
+                noisy_path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            &mut out,
+        );
+        assert_eq!(code, 0);
+        assert!(!String::from_utf8_lossy(&out).contains("tdd stats:"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

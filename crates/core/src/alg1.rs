@@ -11,18 +11,19 @@
 //!   outstanding, so an ε-decision can stop early in *both* directions —
 //!   the paper's "calculate only a small part of these trace terms"
 //!   future-work item;
-//! * independent terms parallelize across threads (`threads > 1`).
+//! * independent terms parallelize across threads (`threads > 1`) through
+//!   the work-stealing [`crate::engine`], which composes with `epsilon`,
+//!   `term_order`, `max_terms` and `deadline`.
 
+use crate::engine::TermEngine;
 use crate::error::QaecError;
-use crate::miter::{build_trace_network, identity_map, Alg1Template, BuiltNetwork};
+use crate::miter::{identity_map, Alg1Template};
 use crate::optimize::{cancel_inverse_pairs, eliminate_swaps};
-use crate::options::{CheckOptions, TermOrder};
+use crate::options::CheckOptions;
 use crate::report::Verdict;
 use crate::validate;
 use qaec_circuit::Circuit;
-use qaec_tdd::{contract_network_opts, DriverOptions, TddManager};
-use qaec_tensornet::ContractionPlan;
-use std::collections::{BinaryHeap, HashSet};
+use qaec_tdd::TddStats;
 use std::time::{Duration, Instant};
 
 /// Outcome of an Algorithm I run.
@@ -42,13 +43,18 @@ pub struct Alg1Report {
     pub elapsed: Duration,
     /// The ε-decision, when a threshold was supplied.
     pub verdict: Option<Verdict>,
+    /// Decision-diagram statistics, merged across all workers.
+    pub stats: TddStats,
 }
 
 /// Computes the Jamiolkowski fidelity with Algorithm I.
 ///
 /// With `epsilon = None` every term is evaluated (up to
 /// `options.max_terms`) and the bounds coincide; with `Some(ε)` the run
-/// stops as soon as ε-equivalence is decided either way.
+/// stops as soon as ε-equivalence is decided either way. Both modes run
+/// on `options.threads` work-stealing workers, which share the
+/// enumerated term stream and stop together the moment a verdict, the
+/// `max_terms` cap or the deadline lands.
 ///
 /// # Errors
 ///
@@ -82,403 +88,110 @@ pub fn fidelity_alg1(
     // Every instantiation shares the network structure, so the plan and
     // variable order come from the first term and are reused throughout.
     let first_choice = vec![0usize; template.sites.len()];
-    let first = build_network(&template, &first_choice, &final_map, options);
+    let first = {
+        let elements = template.instantiate(&first_choice);
+        crate::miter::build_trace_network(&elements, n_wires, &final_map, options.var_order)
+    };
     let plan = first.network.plan(options.strategy);
-    let order = first.order.clone();
+    let order = first.order;
 
-    let mut shared_manager = options.reuse_tables.then(TddManager::new);
-    let mut lower = 0.0f64;
-    let mut remaining = 1.0f64; // CPTP: masses sum to 1
-    let mut max_nodes = 0usize;
-    let mut terms_computed = 0usize;
-    let mut verdict = None;
+    let engine = TermEngine {
+        template: &template,
+        final_map: &final_map,
+        plan: &plan,
+        order: &order,
+        options,
+        d2,
+    };
+    let outcome = engine.run(epsilon, total_terms)?;
 
-    // Parallel exact mode: fixed-size chunks of the lexicographic space.
-    if options.threads > 1 && epsilon.is_none() && total_terms > 1 {
-        let (lo, nodes, computed) = run_parallel(
-            &template,
-            &final_map,
-            &plan,
-            &order,
-            options,
-            total_terms,
-            d2,
-        )?;
-        return Ok(Alg1Report {
-            fidelity_lower: lo,
-            fidelity_upper: lo,
-            terms_computed: computed,
-            total_terms,
-            max_nodes: nodes,
-            elapsed: start.elapsed(),
-            verdict: None,
-        });
-    }
-
-    let mut enumerator = TermEnumerator::new(&template, options.term_order);
-    while let Some((choice, mass)) = enumerator.next_term() {
-        if options.deadline.is_some_and(|d| Instant::now() >= d) {
-            return Err(QaecError::Timeout);
-        }
-        if options.max_terms.is_some_and(|cap| terms_computed >= cap) {
-            break;
-        }
-        let built = build_network(&template, &choice, &final_map, options);
-        let mut fresh_manager;
-        let manager: &mut TddManager = match shared_manager.as_mut() {
-            Some(m) => m,
-            None => {
-                fresh_manager = TddManager::new();
-                &mut fresh_manager
-            }
-        };
-        let result = contract_network_opts(
-            manager,
-            &built.network,
-            &plan,
-            &order,
-            DriverOptions {
-                gc_threshold: options.gc_threshold,
-                deadline: options.deadline,
-            },
-        )
-        .map_err(|_| QaecError::Timeout)?;
-        let trace = manager.edge_scalar(result.root).expect("closed network");
-        lower += trace.norm_sqr() / d2;
-        remaining = (remaining - mass).max(0.0);
-        max_nodes = max_nodes.max(result.max_nodes);
-        terms_computed += 1;
-
-        if let Some(eps) = epsilon {
-            if lower > 1.0 - eps {
-                verdict = Some(Verdict::Equivalent);
-                break;
-            }
-            if lower + remaining <= 1.0 - eps {
-                verdict = Some(Verdict::NotEquivalent);
-                break;
-            }
-        }
-    }
-
-    if terms_computed == total_terms {
-        remaining = 0.0;
-    }
     Ok(Alg1Report {
-        fidelity_lower: lower.min(1.0 + 1e-9),
-        fidelity_upper: (lower + remaining).min(1.0),
-        terms_computed,
+        fidelity_lower: outcome.lower.min(1.0 + 1e-9),
+        fidelity_upper: (outcome.lower + outcome.remaining).min(1.0),
+        terms_computed: outcome.terms_computed,
         total_terms,
-        max_nodes,
+        max_nodes: outcome.max_nodes,
         elapsed: start.elapsed(),
-        verdict,
+        verdict: outcome.verdict,
+        stats: outcome.stats,
     })
-}
-
-fn build_network(
-    template: &Alg1Template,
-    choice: &[usize],
-    final_map: &[usize],
-    options: &CheckOptions,
-) -> BuiltNetwork {
-    let elements = template.instantiate(choice);
-    build_trace_network(&elements, template.n_wires, final_map, options.var_order)
-}
-
-fn run_parallel(
-    template: &Alg1Template,
-    final_map: &[usize],
-    plan: &ContractionPlan,
-    order: &qaec_tensornet::VarOrder,
-    options: &CheckOptions,
-    total_terms: usize,
-    d2: f64,
-) -> Result<(f64, usize, usize), QaecError> {
-    let threads = options.threads.min(total_terms).max(1);
-    let chunk = total_terms.div_ceil(threads);
-    let counts: Vec<usize> = template.sites.iter().map(|s| s.kraus.len()).collect();
-    let results = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo_term = t * chunk;
-            let hi_term = ((t + 1) * chunk).min(total_terms);
-            let counts = &counts;
-            let handle = scope.spawn(move || {
-                let mut manager = TddManager::new();
-                let mut sum = 0.0f64;
-                let mut nodes = 0usize;
-                let mut choice = vec![0usize; counts.len()];
-                for term in lo_term..hi_term {
-                    if options.deadline.is_some_and(|d| Instant::now() >= d) {
-                        return Err(QaecError::Timeout);
-                    }
-                    let mut rem = term;
-                    for (slot, &c) in counts.iter().enumerate() {
-                        choice[slot] = rem % c;
-                        rem /= c;
-                    }
-                    let built = build_network(template, &choice, final_map, options);
-                    let result = contract_network_opts(
-                        &mut manager,
-                        &built.network,
-                        plan,
-                        order,
-                        DriverOptions {
-                            gc_threshold: options.gc_threshold,
-                            deadline: options.deadline,
-                        },
-                    )
-                    .map_err(|_| QaecError::Timeout)?;
-                    let trace = manager.edge_scalar(result.root).expect("closed");
-                    sum += trace.norm_sqr() / d2;
-                    nodes = nodes.max(result.max_nodes);
-                }
-                Ok((sum, nodes, hi_term - lo_term))
-            });
-            handles.push(handle);
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect::<Vec<_>>()
-    });
-
-    let mut lower = 0.0;
-    let mut max_nodes = 0;
-    let mut computed = 0;
-    for r in results {
-        let (sum, nodes, count) = r?;
-        lower += sum;
-        max_nodes = max_nodes.max(nodes);
-        computed += count;
-    }
-    Ok((lower, max_nodes, computed))
-}
-
-/// Mixed-radix / best-first enumeration of Kraus selections with their
-/// probability masses.
-struct TermEnumerator {
-    counts: Vec<usize>,
-    /// Per site, masses sorted descending (positions, not raw indices).
-    masses: Vec<Vec<f64>>,
-    /// Per site, sorted position → raw Kraus index.
-    sorted_maps: Vec<Vec<usize>>,
-    mode: TermOrder,
-    // Lexicographic state.
-    next_lex: Option<Vec<usize>>,
-    // Best-first state.
-    heap: BinaryHeap<HeapTerm>,
-    seen: HashSet<Vec<usize>>,
-}
-
-struct HeapTerm {
-    mass: f64,
-    choice: Vec<usize>,
-}
-
-impl PartialEq for HeapTerm {
-    fn eq(&self, other: &Self) -> bool {
-        self.mass == other.mass && self.choice == other.choice
-    }
-}
-impl Eq for HeapTerm {}
-impl PartialOrd for HeapTerm {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapTerm {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.mass
-            .total_cmp(&other.mass)
-            .then_with(|| other.choice.cmp(&self.choice))
-    }
-}
-
-impl TermEnumerator {
-    fn new(template: &Alg1Template, mode: TermOrder) -> Self {
-        let counts: Vec<usize> = template.sites.iter().map(|s| s.kraus.len()).collect();
-        // Per site: Kraus indices sorted by descending mass, so the
-        // all-zero choice over *sorted positions* is the heaviest term.
-        let sorted_indices: Vec<Vec<usize>> = template
-            .sites
-            .iter()
-            .map(|s| {
-                let mut idx: Vec<usize> = (0..s.masses.len()).collect();
-                idx.sort_by(|&a, &b| s.masses[b].total_cmp(&s.masses[a]));
-                idx
-            })
-            .collect();
-        let masses: Vec<Vec<f64>> = template
-            .sites
-            .iter()
-            .zip(&sorted_indices)
-            .map(|(s, idx)| idx.iter().map(|&i| s.masses[i]).collect())
-            .collect();
-        let root = vec![0usize; counts.len()];
-        let mut e = TermEnumerator {
-            counts,
-            masses,
-            sorted_maps: sorted_indices,
-            mode,
-            next_lex: Some(root.clone()),
-            heap: BinaryHeap::new(),
-            seen: HashSet::new(),
-        };
-        if mode == TermOrder::BestFirst {
-            e.heap.push(HeapTerm {
-                mass: e.mass_of(&root),
-                choice: root.clone(),
-            });
-            e.seen.insert(root);
-        }
-        e
-    }
-
-    fn mass_of(&self, positions: &[usize]) -> f64 {
-        positions
-            .iter()
-            .enumerate()
-            .map(|(site, &p)| self.masses[site][p])
-            .product()
-    }
-
-    /// Yields `(raw Kraus choice, mass)` or `None` when exhausted.
-    fn next_term(&mut self) -> Option<(Vec<usize>, f64)> {
-        match self.mode {
-            TermOrder::Lexicographic => {
-                let current = self.next_lex.take()?;
-                // Advance the mixed-radix counter.
-                let mut next = current.clone();
-                let mut carry = true;
-                for (digit, &radix) in next.iter_mut().zip(&self.counts) {
-                    if carry {
-                        *digit += 1;
-                        if *digit == radix {
-                            *digit = 0;
-                        } else {
-                            carry = false;
-                        }
-                    }
-                }
-                if !carry && !next.is_empty() {
-                    self.next_lex = Some(next);
-                }
-                let mass = self.mass_of(&current);
-                let raw = self.to_raw(&current);
-                Some((raw, mass))
-            }
-            TermOrder::BestFirst => {
-                let top = self.heap.pop()?;
-                for site in 0..self.counts.len() {
-                    if top.choice[site] + 1 < self.counts[site] {
-                        let mut succ = top.choice.clone();
-                        succ[site] += 1;
-                        if self.seen.insert(succ.clone()) {
-                            self.heap.push(HeapTerm {
-                                mass: self.mass_of(&succ),
-                                choice: succ,
-                            });
-                        }
-                    }
-                }
-                let raw = self.to_raw(&top.choice);
-                Some((raw, top.mass))
-            }
-        }
-    }
-
-    fn to_raw(&self, positions: &[usize]) -> Vec<usize> {
-        positions
-            .iter()
-            .enumerate()
-            .map(|(site, &p)| self.sorted_maps[site][p])
-            .collect()
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qaec_circuit::{Circuit, NoiseChannel};
-    use std::collections::HashSet;
+    use qaec_circuit::generators::random_circuit;
+    use qaec_circuit::noise_insertion::insert_random_noise;
+    use qaec_circuit::NoiseChannel;
 
-    fn template_with(channels: &[NoiseChannel]) -> Alg1Template {
-        let mut noisy = Circuit::new(1);
-        for ch in channels {
-            noisy.noise(ch.clone(), &[0]);
-        }
-        Alg1Template::build(&Circuit::new(1), &noisy)
+    #[test]
+    fn report_carries_merged_stats() {
+        let ideal = random_circuit(2, 8, 11);
+        let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.95 }, 2, 12);
+        let report = fidelity_alg1(&ideal, &noisy, None, &CheckOptions::default()).expect("run");
+        assert!(report.stats.nodes_created > 0, "{:?}", report.stats);
+        assert!(report.stats.cont_calls > 0);
+        assert!(report.stats.peak_nodes > 0);
     }
 
     #[test]
-    fn lexicographic_covers_every_selection_once() {
-        let template = template_with(&[
-            NoiseChannel::Depolarizing { p: 0.9 },
-            NoiseChannel::BitFlip { p: 0.8 },
-        ]);
-        let mut e = TermEnumerator::new(&template, TermOrder::Lexicographic);
-        let mut seen = HashSet::new();
-        let mut total_mass = 0.0;
-        while let Some((choice, mass)) = e.next_term() {
-            assert!(seen.insert(choice.clone()), "duplicate {choice:?}");
-            assert!(choice[0] < 4 && choice[1] < 2);
-            total_mass += mass;
-        }
-        assert_eq!(seen.len(), 8);
-        assert!((total_mass - 1.0).abs() < 1e-12, "masses must sum to 1");
-    }
-
-    #[test]
-    fn best_first_is_non_increasing_and_complete() {
-        let template = template_with(&[
-            NoiseChannel::Depolarizing { p: 0.7 },
-            NoiseChannel::Pauli {
-                pi: 0.6,
-                px: 0.25,
-                py: 0.1,
-                pz: 0.05,
+    fn parallel_exact_honours_max_terms() {
+        // Regression: the old fixed-chunk parallel path ignored
+        // `max_terms` and collapsed the bounds to a point.
+        let ideal = random_circuit(2, 8, 3);
+        let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.9 }, 3, 5);
+        let cap = 5usize;
+        let capped = fidelity_alg1(
+            &ideal,
+            &noisy,
+            None,
+            &CheckOptions {
+                threads: 4,
+                max_terms: Some(cap),
+                ..CheckOptions::default()
             },
-        ]);
-        let mut e = TermEnumerator::new(&template, TermOrder::BestFirst);
-        let mut seen = HashSet::new();
-        let mut last = f64::INFINITY;
-        while let Some((choice, mass)) = e.next_term() {
-            assert!(mass <= last + 1e-12, "mass not descending: {mass} > {last}");
-            last = mass;
-            assert!(seen.insert(choice));
-        }
-        assert_eq!(seen.len(), 16);
-        // The first term must be the heaviest: 0.7 · 0.6.
-        let mut e = TermEnumerator::new(&template, TermOrder::BestFirst);
-        let (_, first_mass) = e.next_term().expect("non-empty");
-        assert!((first_mass - 0.42).abs() < 1e-12);
+        )
+        .expect("capped parallel");
+        assert_eq!(capped.terms_computed, cap);
+        assert!(
+            capped.fidelity_upper > capped.fidelity_lower + 1e-6,
+            "capped bounds must stay open: [{}, {}]",
+            capped.fidelity_lower,
+            capped.fidelity_upper
+        );
+        let sequential = fidelity_alg1(
+            &ideal,
+            &noisy,
+            None,
+            &CheckOptions {
+                max_terms: Some(cap),
+                ..CheckOptions::default()
+            },
+        )
+        .expect("capped sequential");
+        assert_eq!(sequential.terms_computed, cap);
+        assert!((capped.fidelity_lower - sequential.fidelity_lower).abs() < 1e-9);
+        assert!((capped.fidelity_upper - sequential.fidelity_upper).abs() < 1e-9);
     }
 
     #[test]
-    fn best_first_maps_back_to_raw_indices() {
-        // Amplitude damping masses are not sorted by Kraus index for
-        // large gamma: K1 (decay) can outweigh K0.
-        let template = template_with(&[NoiseChannel::AmplitudeDamping { gamma: 0.9 }]);
-        let mut e = TermEnumerator::new(&template, TermOrder::BestFirst);
-        let (first, first_mass) = e.next_term().expect("some");
-        // masses: K0 = (1 + (1−γ))/2 = 0.55, K1 = γ/2 = 0.45 → K0 first.
-        assert_eq!(first, vec![0]);
-        assert!((first_mass - 0.55).abs() < 1e-12);
-        let (second, second_mass) = e.next_term().expect("some");
-        assert_eq!(second, vec![1]);
-        assert!((second_mass - 0.45).abs() < 1e-12);
-    }
-
-    #[test]
-    fn zero_sites_yield_single_unit_term() {
-        let template = template_with(&[]);
-        for order in [TermOrder::Lexicographic, TermOrder::BestFirst] {
-            let mut e = TermEnumerator::new(&template, order);
-            let (choice, mass) = e.next_term().expect("one term");
-            assert!(choice.is_empty());
-            assert!((mass - 1.0).abs() < 1e-12);
-            assert!(e.next_term().is_none(), "{order:?} must be exhausted");
+    fn parallel_epsilon_matches_sequential_verdict() {
+        let ideal = random_circuit(2, 10, 21);
+        let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.97 }, 3, 22);
+        for eps in [1e-2, 0.2] {
+            let sequential =
+                fidelity_alg1(&ideal, &noisy, Some(eps), &CheckOptions::default()).expect("seq");
+            let parallel = fidelity_alg1(
+                &ideal,
+                &noisy,
+                Some(eps),
+                &CheckOptions {
+                    threads: 4,
+                    ..CheckOptions::default()
+                },
+            )
+            .expect("par");
+            assert_eq!(sequential.verdict, parallel.verdict, "ε = {eps}");
         }
     }
 }

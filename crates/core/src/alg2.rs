@@ -11,7 +11,7 @@ use crate::optimize::{cancel_inverse_pairs, eliminate_swaps};
 use crate::options::CheckOptions;
 use crate::validate;
 use qaec_circuit::Circuit;
-use qaec_tdd::{contract_network_opts, DriverOptions, TddManager};
+use qaec_tdd::{contract_network_opts, DriverOptions, TddManager, TddStats};
 use qaec_tensornet::plan::PlanCost;
 use std::time::{Duration, Instant};
 
@@ -26,6 +26,8 @@ pub struct Alg2Report {
     pub elapsed: Duration,
     /// Static cost estimates of the contraction plan.
     pub plan_cost: PlanCost,
+    /// Decision-diagram statistics of the single contraction.
+    pub stats: TddStats,
 }
 
 /// Computes the Jamiolkowski fidelity with Algorithm II.
@@ -81,5 +83,6 @@ pub fn fidelity_alg2(
         max_nodes: result.max_nodes,
         elapsed: start.elapsed(),
         plan_cost,
+        stats: manager.stats(),
     })
 }

@@ -20,13 +20,14 @@
 //! exponential in noise sites) and Algorithm II (exact, doubled network):
 //! approximate, with a reported standard error, at near-constant cost.
 
+use crate::engine::TermEngine;
 use crate::error::QaecError;
 use crate::miter::{build_trace_network, identity_map, Alg1Template};
 use crate::optimize::{cancel_inverse_pairs, eliminate_swaps};
 use crate::options::CheckOptions;
 use crate::validate;
 use qaec_circuit::Circuit;
-use qaec_tdd::{contract_network_opts, DriverOptions, TddManager};
+use qaec_tdd::TddStats;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -48,12 +49,23 @@ pub struct McReport {
     pub max_nodes: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// Decision-diagram statistics, merged across all workers.
+    pub stats: TddStats,
 }
 
 /// Estimates `F_J(E, U)` by importance-sampled Kraus strings.
 ///
-/// Deterministic in `seed`. Shares the miter machinery (and therefore
-/// the §IV-C optimisations and contraction options) with Algorithm I.
+/// The sample stream is drawn up front (deterministic in `seed` alone,
+/// whatever `options.threads` is), the distinct strings are contracted
+/// on the shared work-stealing [`crate::engine`] (one decision-diagram
+/// manager per worker), and the estimator is then replayed over the
+/// sample sequence in draw order. With one worker the result is
+/// bit-reproducible in `seed`; with several, the scheduler decides which
+/// manager contracts which string, and because each manager snaps
+/// weights along its own interning history (tolerance ≈1e-10) the
+/// estimate is reproducible only to that tolerance. Shares the miter
+/// machinery (and therefore the §IV-C optimisations and contraction
+/// options) with Algorithm I.
 ///
 /// # Errors
 ///
@@ -124,18 +136,15 @@ pub fn fidelity_monte_carlo(
         .collect();
 
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut manager = TddManager::new();
-    let mut memo: HashMap<Vec<usize>, f64> = HashMap::new();
-    let mut max_nodes = 0usize;
-    let mut mean = 0.0f64;
-    let mut m2 = 0.0f64;
     let samples = samples.max(1);
 
-    for k in 0..samples {
-        if options.deadline.is_some_and(|dl| Instant::now() >= dl) {
-            return Err(QaecError::Timeout);
-        }
-        // Sample a Kraus string i ~ p and compute its probability.
+    // Draw the whole sample stream first: the RNG sequence (and thus the
+    // estimate) is fixed by `seed` alone, independent of thread count.
+    let mut drawn: Vec<usize> = Vec::with_capacity(samples); // index into `distinct`
+    let mut distinct: Vec<Vec<usize>> = Vec::new();
+    let mut probabilities: Vec<f64> = Vec::new();
+    let mut memo: HashMap<Vec<usize>, usize> = HashMap::new();
+    for _ in 0..samples {
         let mut choice = Vec::with_capacity(template.sites.len());
         let mut probability = 1.0f64;
         for (site, cum) in template.sites.iter().zip(&cumulative) {
@@ -145,36 +154,37 @@ pub fn fidelity_monte_carlo(
             probability *= site.masses[idx];
             choice.push(idx);
         }
+        let slot = *memo.entry(choice.clone()).or_insert_with(|| {
+            distinct.push(choice);
+            probabilities.push(probability);
+            distinct.len() - 1
+        });
+        drawn.push(slot);
+    }
 
-        let ratio = if let Some(&hit) = memo.get(&choice) {
-            hit
-        } else {
-            let elements = template.instantiate(&choice);
-            let built = build_trace_network(&elements, n_wires, &final_map, options.var_order);
-            let result = contract_network_opts(
-                &mut manager,
-                &built.network,
-                &plan,
-                &order,
-                DriverOptions {
-                    gc_threshold: options.gc_threshold,
-                    deadline: options.deadline,
-                },
-            )
-            .map_err(|_| QaecError::Timeout)?;
-            let trace = manager.edge_scalar(result.root).expect("closed network");
-            max_nodes = max_nodes.max(result.max_nodes);
-            let term = trace.norm_sqr() / d2;
-            let ratio = if probability > 0.0 {
-                term / probability
-            } else {
-                0.0
-            };
-            memo.insert(choice.clone(), ratio);
-            ratio
-        };
+    // Contract each distinct string once, work-stolen across
+    // `options.threads` workers.
+    let engine = TermEngine {
+        template: &template,
+        final_map: &final_map,
+        plan: &plan,
+        order: &order,
+        options,
+        d2,
+    };
+    let outcome = engine.run_fixed(&distinct)?;
+    let ratios: Vec<f64> = outcome
+        .terms
+        .iter()
+        .zip(&probabilities)
+        .map(|(&term, &p)| if p > 0.0 { term / p } else { 0.0 })
+        .collect();
 
-        // Welford online mean/variance.
+    // Welford online mean/variance, replayed in draw order.
+    let mut mean = 0.0f64;
+    let mut m2 = 0.0f64;
+    for (k, &slot) in drawn.iter().enumerate() {
+        let ratio = ratios[slot];
         let delta = ratio - mean;
         mean += delta / (k + 1) as f64;
         m2 += delta * (ratio - mean);
@@ -189,9 +199,10 @@ pub fn fidelity_monte_carlo(
         estimate: mean,
         std_error: (variance / samples as f64).sqrt(),
         samples,
-        distinct_strings: memo.len().max(1),
-        max_nodes,
+        distinct_strings: distinct.len().max(1),
+        max_nodes: outcome.max_nodes,
         elapsed: start.elapsed(),
+        stats: outcome.stats,
     })
 }
 
@@ -231,13 +242,21 @@ mod tests {
     fn deterministic_in_seed() {
         let ideal = random_circuit(2, 8, 1);
         let noisy = insert_random_noise(&ideal, &NoiseChannel::BitFlip { p: 0.9 }, 2, 2);
-        let a = fidelity_monte_carlo(&ideal, &noisy, 200, 9, &opts()).unwrap();
-        let b = fidelity_monte_carlo(&ideal, &noisy, 200, 9, &opts()).unwrap();
+        // One worker: bitwise reproducibility is a single-manager
+        // guarantee (work stealing makes the string→manager partition
+        // scheduler-dependent, shifting results by the interning
+        // tolerance).
+        let seq = CheckOptions {
+            threads: 1,
+            ..opts()
+        };
+        let a = fidelity_monte_carlo(&ideal, &noisy, 200, 9, &seq).unwrap();
+        let b = fidelity_monte_carlo(&ideal, &noisy, 200, 9, &seq).unwrap();
         // All deterministic fields agree (elapsed is wall-clock).
         assert_eq!(a.estimate, b.estimate);
         assert_eq!(a.std_error, b.std_error);
         assert_eq!(a.distinct_strings, b.distinct_strings);
-        let c = fidelity_monte_carlo(&ideal, &noisy, 200, 10, &opts()).unwrap();
+        let c = fidelity_monte_carlo(&ideal, &noisy, 200, 10, &seq).unwrap();
         assert_ne!(a.estimate, c.estimate);
     }
 

@@ -129,6 +129,7 @@ pub fn check_equivalence(
                 total_terms: report.total_terms,
                 max_nodes: report.max_nodes,
                 elapsed: report.elapsed,
+                stats: report.stats,
             })
         }
         AlgorithmUsed::AlgorithmII => {
@@ -148,6 +149,7 @@ pub fn check_equivalence(
                 total_terms: 1,
                 max_nodes: report.max_nodes,
                 elapsed: report.elapsed,
+                stats: report.stats,
             })
         }
     }

@@ -1,0 +1,735 @@
+//! The work-stealing ε-aware parallel term engine.
+//!
+//! Algorithm I and the Monte-Carlo estimator both reduce to "contract
+//! many instantiations of one miter template". This module runs those
+//! contractions on a pool of workers that *pull* work from a shared
+//! source instead of being handed fixed chunks, so that:
+//!
+//! * ε-decisions compose with `threads > 1`: every worker folds its
+//!   terms into a pair of atomic accumulators (`fidelity_lower` and the
+//!   outstanding Kraus mass) and broadcasts a stop signal the moment
+//!   either bound resolves, in either term order;
+//! * `max_terms`, `deadline` and `term_order` behave identically in
+//!   sequential and parallel runs (the old fixed-chunk path silently
+//!   ignored all three);
+//! * slow terms don't stall the run: a worker that finishes its batch
+//!   steals the next one from the shared enumerator, so load balances
+//!   even when term costs vary by orders of magnitude;
+//! * every worker keeps a thread-local [`TddManager`] (its own unique
+//!   and computed tables) and the per-worker [`TddStats`] are merged
+//!   into the report at the end.
+//!
+//! ## Bound soundness under concurrency
+//!
+//! `lower` only ever grows (each term is added exactly once) and
+//! `remaining` only ever shrinks, and a term's mass is subtracted from
+//! `remaining` strictly *after* its value is added to `lower`. Readers
+//! load `remaining` first and `lower` second, so the observed
+//! `lower + remaining` never undercounts the true upper bound and
+//! `lower` never overcounts the true lower bound — a stale snapshot can
+//! only *delay* a verdict, never fabricate one.
+
+use crate::error::QaecError;
+use crate::miter::{build_trace_network, Alg1Template, BuiltNetwork};
+use crate::options::{CheckOptions, TermOrder};
+use crate::report::Verdict;
+use qaec_tdd::{contract_network_opts, DriverOptions, TddManager, TddStats};
+use qaec_tensornet::{ContractionPlan, VarOrder};
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Everything the workers need to instantiate and contract one term.
+pub(crate) struct TermEngine<'a> {
+    /// The miter with substitutable noise sites.
+    pub template: &'a Alg1Template,
+    /// Wire remapping from SWAP elimination.
+    pub final_map: &'a [usize],
+    /// Contraction plan shared by every instantiation.
+    pub plan: &'a ContractionPlan,
+    /// Decision-diagram variable order shared by every instantiation.
+    pub order: &'a VarOrder,
+    /// Checker options (threads, tables, GC, deadline).
+    pub options: &'a CheckOptions,
+    /// `d²` normalisation for `|tr(U†Eᵢ)|²`.
+    pub d2: f64,
+}
+
+/// What an ε-aware engine run produced.
+pub(crate) struct EngineOutcome {
+    /// Sum of computed terms (proven fidelity lower bound).
+    pub lower: f64,
+    /// Outstanding Kraus mass (upper bound = `lower + remaining`).
+    pub remaining: f64,
+    /// Terms actually contracted.
+    pub terms_computed: usize,
+    /// Largest intermediate diagram across all workers.
+    pub max_nodes: usize,
+    /// Early ε-decision, if one was reached.
+    pub verdict: Option<Verdict>,
+    /// Merged decision-diagram statistics of every worker.
+    pub stats: TddStats,
+}
+
+/// What a fixed-job engine run produced (Monte-Carlo path).
+pub(crate) struct FixedOutcome {
+    /// Per-job term values `|tr(U†E_choice)|²/d²`, in job order.
+    pub terms: Vec<f64>,
+    /// Largest intermediate diagram across all workers.
+    pub max_nodes: usize,
+    /// Merged decision-diagram statistics of every worker.
+    pub stats: TddStats,
+}
+
+/// One fixed-mode worker's haul: `(job index, term value)` pairs, its
+/// largest intermediate diagram, and its manager statistics.
+type FixedWorkerHaul = (Vec<(usize, f64)>, usize, TddStats);
+
+/// Verdict codes in the shared `AtomicU8`.
+const VERDICT_NONE: u8 = 0;
+const VERDICT_EQUIVALENT: u8 = 1;
+const VERDICT_NOT_EQUIVALENT: u8 = 2;
+
+/// Adds `v` to an `f64` stored in an `AtomicU64`, returning the new value.
+fn atomic_f64_add(cell: &AtomicU64, v: f64) -> f64 {
+    let mut current = cell.load(Ordering::SeqCst);
+    loop {
+        let next = f64::from_bits(current) + v;
+        match cell.compare_exchange_weak(
+            current,
+            next.to_bits(),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => return next,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// Subtracts `v` from an `f64` stored in an `AtomicU64`, clamping at zero.
+fn atomic_f64_sub_clamped(cell: &AtomicU64, v: f64) {
+    let mut current = cell.load(Ordering::SeqCst);
+    loop {
+        let next = (f64::from_bits(current) - v).max(0.0);
+        match cell.compare_exchange_weak(
+            current,
+            next.to_bits(),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// The mutex-guarded work source: the enumerator plus the count of terms
+/// already handed out, so `max_terms` caps *pulled* work exactly.
+struct TermQueue {
+    enumerator: TermEnumerator,
+    pulled: usize,
+    cap: Option<usize>,
+}
+
+impl TermQueue {
+    /// Pulls up to `max` terms into `out` (cleared first). An empty
+    /// result means the source is exhausted or capped.
+    fn pull(&mut self, max: usize, out: &mut Vec<(Vec<usize>, f64)>) {
+        out.clear();
+        while out.len() < max {
+            if self.cap.is_some_and(|cap| self.pulled >= cap) {
+                return;
+            }
+            match self.enumerator.next_term() {
+                Some(term) => {
+                    self.pulled += 1;
+                    out.push(term);
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+/// Cross-worker shared state for an ε-aware run.
+struct SharedState {
+    queue: Mutex<TermQueue>,
+    /// `f64` bits of the accumulated lower bound.
+    lower: AtomicU64,
+    /// `f64` bits of the outstanding Kraus mass.
+    remaining: AtomicU64,
+    terms_done: AtomicUsize,
+    stop: AtomicBool,
+    verdict: AtomicU8,
+}
+
+impl SharedState {
+    /// Publishes a verdict (first decision wins) and stops the run.
+    fn decide(&self, verdict: Verdict) {
+        let code = match verdict {
+            Verdict::Equivalent => VERDICT_EQUIVALENT,
+            Verdict::NotEquivalent => VERDICT_NOT_EQUIVALENT,
+        };
+        let _ =
+            self.verdict
+                .compare_exchange(VERDICT_NONE, code, Ordering::SeqCst, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    fn verdict(&self) -> Option<Verdict> {
+        match self.verdict.load(Ordering::SeqCst) {
+            VERDICT_EQUIVALENT => Some(Verdict::Equivalent),
+            VERDICT_NOT_EQUIVALENT => Some(Verdict::NotEquivalent),
+            _ => None,
+        }
+    }
+}
+
+/// A worker's private contraction context: its thread-local manager (or
+/// a fresh one per term when table reuse is off) and its local maxima.
+struct WorkerCtx<'a> {
+    engine: &'a TermEngine<'a>,
+    manager: Option<TddManager>,
+    max_nodes: usize,
+    stats: TddStats,
+}
+
+impl<'a> WorkerCtx<'a> {
+    fn new(engine: &'a TermEngine<'a>) -> Self {
+        WorkerCtx {
+            engine,
+            manager: engine.options.reuse_tables.then(TddManager::new),
+            max_nodes: 0,
+            stats: TddStats::default(),
+        }
+    }
+
+    /// Contracts one Kraus selection, returning `|tr(U†E_choice)|²/d²`.
+    fn contract(&mut self, choice: &[usize]) -> Result<f64, QaecError> {
+        let built = self.engine.build_network(choice);
+        let mut fresh = None;
+        let manager = match self.manager.as_mut() {
+            Some(m) => m,
+            None => fresh.insert(TddManager::new()),
+        };
+        let result = contract_network_opts(
+            manager,
+            &built.network,
+            self.engine.plan,
+            self.engine.order,
+            DriverOptions {
+                gc_threshold: self.engine.options.gc_threshold,
+                deadline: self.engine.options.deadline,
+            },
+        )
+        .map_err(|_| QaecError::Timeout)?;
+        let trace = manager.edge_scalar(result.root).expect("closed network");
+        self.max_nodes = self.max_nodes.max(result.max_nodes);
+        if let Some(fresh) = fresh {
+            self.stats.merge(&fresh.stats());
+        }
+        Ok(trace.norm_sqr() / self.engine.d2)
+    }
+
+    /// The worker's merged stats after its last term.
+    fn into_stats(self) -> (usize, TddStats) {
+        let mut stats = self.stats;
+        if let Some(m) = &self.manager {
+            stats.merge(&m.stats());
+        }
+        (self.max_nodes, stats)
+    }
+}
+
+impl TermEngine<'_> {
+    fn build_network(&self, choice: &[usize]) -> BuiltNetwork {
+        let elements = self.template.instantiate(choice);
+        build_trace_network(
+            &elements,
+            self.template.n_wires,
+            self.final_map,
+            self.options.var_order,
+        )
+    }
+
+    fn deadline_expired(&self) -> bool {
+        self.options.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    fn worker_count(&self, jobs: usize) -> usize {
+        self.options.threads.max(1).min(jobs.max(1))
+    }
+
+    /// Runs the full ε-aware accumulation over every Kraus selection of
+    /// the template (`options.term_order`, `options.max_terms`,
+    /// `options.deadline` and `options.threads` all respected).
+    ///
+    /// With one worker the engine runs inline on the calling thread and
+    /// visits terms in exactly the enumerator's order, so sequential
+    /// results are bit-for-bit reproducible; with several workers the
+    /// partial sums commute up to `f64` associativity (≪ 1e-12 here).
+    pub(crate) fn run(
+        &self,
+        epsilon: Option<f64>,
+        total_terms: usize,
+    ) -> Result<EngineOutcome, QaecError> {
+        let workers = self.worker_count(total_terms);
+        // Small batches keep the stop signal responsive during ε runs;
+        // exact runs amortise queue locking with larger ones.
+        let batch_size = if epsilon.is_some() {
+            1
+        } else {
+            (total_terms / (workers * 4)).clamp(1, 32)
+        };
+        let shared = SharedState {
+            queue: Mutex::new(TermQueue {
+                enumerator: TermEnumerator::new(self.template, self.options.term_order),
+                pulled: 0,
+                cap: self.options.max_terms,
+            }),
+            lower: AtomicU64::new(0.0f64.to_bits()),
+            remaining: AtomicU64::new(1.0f64.to_bits()), // CPTP: masses sum to 1
+            terms_done: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            verdict: AtomicU8::new(VERDICT_NONE),
+        };
+
+        let folded = if workers == 1 {
+            vec![self.epsilon_worker(&shared, epsilon, batch_size)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| scope.spawn(|| self.epsilon_worker(&shared, epsilon, batch_size)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("engine worker panicked"))
+                    .collect()
+            })
+        };
+
+        let verdict = shared.verdict();
+        let mut max_nodes = 0usize;
+        let mut stats = TddStats::default();
+        let mut error = None;
+        for outcome in folded {
+            match outcome {
+                Ok((nodes, worker_stats)) => {
+                    max_nodes = max_nodes.max(nodes);
+                    stats.merge(&worker_stats);
+                }
+                Err(e) => error = Some(e),
+            }
+        }
+        // A decided verdict outranks a racing deadline in another worker
+        // (the sequential loop likewise checks the bounds first).
+        if verdict.is_none() {
+            if let Some(e) = error {
+                return Err(e);
+            }
+        }
+
+        let terms_computed = shared.terms_done.load(Ordering::SeqCst);
+        let lower = f64::from_bits(shared.lower.load(Ordering::SeqCst));
+        let mut remaining = f64::from_bits(shared.remaining.load(Ordering::SeqCst));
+        if terms_computed == total_terms {
+            remaining = 0.0;
+        }
+        Ok(EngineOutcome {
+            lower,
+            remaining,
+            terms_computed,
+            max_nodes,
+            verdict,
+            stats,
+        })
+    }
+
+    /// One worker of [`TermEngine::run`]: steal a batch, contract it,
+    /// fold into the shared bounds, re-check the ε-decision.
+    fn epsilon_worker(
+        &self,
+        shared: &SharedState,
+        epsilon: Option<f64>,
+        batch_size: usize,
+    ) -> Result<(usize, TddStats), QaecError> {
+        let mut ctx = WorkerCtx::new(self);
+        let mut batch = Vec::with_capacity(batch_size);
+        'steal: loop {
+            if shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            shared
+                .queue
+                .lock()
+                .expect("engine queue poisoned")
+                .pull(batch_size, &mut batch);
+            if batch.is_empty() {
+                break;
+            }
+            for (choice, mass) in batch.drain(..) {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break 'steal;
+                }
+                if self.deadline_expired() {
+                    shared.stop.store(true, Ordering::SeqCst);
+                    return Err(QaecError::Timeout);
+                }
+                let term = match ctx.contract(&choice) {
+                    Ok(term) => term,
+                    Err(e) => {
+                        // A timeout *inside* a contraction must also stop
+                        // the siblings, not just the pre-term check above.
+                        shared.stop.store(true, Ordering::SeqCst);
+                        return Err(e);
+                    }
+                };
+                // Order matters for soundness: grow `lower` before
+                // shrinking `remaining` (see the module docs).
+                let new_lower = atomic_f64_add(&shared.lower, term);
+                atomic_f64_sub_clamped(&shared.remaining, mass);
+                shared.terms_done.fetch_add(1, Ordering::SeqCst);
+                if let Some(eps) = epsilon {
+                    // Read `remaining` first, then `lower`, so the pair
+                    // never undercounts the upper bound.
+                    let rem = f64::from_bits(shared.remaining.load(Ordering::SeqCst));
+                    let low = f64::from_bits(shared.lower.load(Ordering::SeqCst)).max(new_lower);
+                    if low > 1.0 - eps {
+                        shared.decide(Verdict::Equivalent);
+                        break 'steal;
+                    }
+                    if low + rem <= 1.0 - eps {
+                        shared.decide(Verdict::NotEquivalent);
+                        break 'steal;
+                    }
+                }
+            }
+        }
+        Ok(ctx.into_stats())
+    }
+
+    /// Contracts a fixed list of Kraus selections (work-stolen in batches
+    /// off a shared cursor), returning each term value in job order. Used
+    /// by the Monte-Carlo estimator for parallel trajectory evaluation.
+    pub(crate) fn run_fixed(&self, jobs: &[Vec<usize>]) -> Result<FixedOutcome, QaecError> {
+        let workers = self.worker_count(jobs.len());
+        let batch_size = (jobs.len() / (workers * 4)).clamp(1, 32);
+        let cursor = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+
+        let fold_worker = || -> Result<FixedWorkerHaul, QaecError> {
+            let mut ctx = WorkerCtx::new(self);
+            let mut values = Vec::new();
+            loop {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let lo = cursor.fetch_add(batch_size, Ordering::SeqCst);
+                if lo >= jobs.len() {
+                    break;
+                }
+                let hi = (lo + batch_size).min(jobs.len());
+                for (index, choice) in jobs.iter().enumerate().take(hi).skip(lo) {
+                    if self.deadline_expired() {
+                        stop.store(true, Ordering::SeqCst);
+                        return Err(QaecError::Timeout);
+                    }
+                    match ctx.contract(choice) {
+                        Ok(term) => values.push((index, term)),
+                        Err(e) => {
+                            stop.store(true, Ordering::SeqCst);
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+            let (nodes, stats) = ctx.into_stats();
+            Ok((values, nodes, stats))
+        };
+
+        let folded = if workers == 1 {
+            vec![fold_worker()]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers).map(|_| scope.spawn(fold_worker)).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("engine worker panicked"))
+                    .collect()
+            })
+        };
+
+        let mut terms = vec![0.0f64; jobs.len()];
+        let mut max_nodes = 0usize;
+        let mut stats = TddStats::default();
+        for outcome in folded {
+            let (values, nodes, worker_stats) = outcome?;
+            for (index, value) in values {
+                terms[index] = value;
+            }
+            max_nodes = max_nodes.max(nodes);
+            stats.merge(&worker_stats);
+        }
+        Ok(FixedOutcome {
+            terms,
+            max_nodes,
+            stats,
+        })
+    }
+}
+
+/// Mixed-radix / best-first enumeration of Kraus selections with their
+/// probability masses.
+pub(crate) struct TermEnumerator {
+    counts: Vec<usize>,
+    /// Per site, masses sorted descending (positions, not raw indices).
+    masses: Vec<Vec<f64>>,
+    /// Per site, sorted position → raw Kraus index.
+    sorted_maps: Vec<Vec<usize>>,
+    mode: TermOrder,
+    // Lexicographic state.
+    next_lex: Option<Vec<usize>>,
+    // Best-first state.
+    heap: BinaryHeap<HeapTerm>,
+    seen: HashSet<Vec<usize>>,
+}
+
+struct HeapTerm {
+    mass: f64,
+    choice: Vec<usize>,
+}
+
+impl PartialEq for HeapTerm {
+    fn eq(&self, other: &Self) -> bool {
+        self.mass == other.mass && self.choice == other.choice
+    }
+}
+impl Eq for HeapTerm {}
+impl PartialOrd for HeapTerm {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapTerm {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.mass
+            .total_cmp(&other.mass)
+            .then_with(|| other.choice.cmp(&self.choice))
+    }
+}
+
+impl TermEnumerator {
+    pub(crate) fn new(template: &Alg1Template, mode: TermOrder) -> Self {
+        let counts: Vec<usize> = template.sites.iter().map(|s| s.kraus.len()).collect();
+        // Per site: Kraus indices sorted by descending mass, so the
+        // all-zero choice over *sorted positions* is the heaviest term.
+        let sorted_indices: Vec<Vec<usize>> = template
+            .sites
+            .iter()
+            .map(|s| {
+                let mut idx: Vec<usize> = (0..s.masses.len()).collect();
+                idx.sort_by(|&a, &b| s.masses[b].total_cmp(&s.masses[a]));
+                idx
+            })
+            .collect();
+        let masses: Vec<Vec<f64>> = template
+            .sites
+            .iter()
+            .zip(&sorted_indices)
+            .map(|(s, idx)| idx.iter().map(|&i| s.masses[i]).collect())
+            .collect();
+        let root = vec![0usize; counts.len()];
+        let mut e = TermEnumerator {
+            counts,
+            masses,
+            sorted_maps: sorted_indices,
+            mode,
+            next_lex: Some(root.clone()),
+            heap: BinaryHeap::new(),
+            seen: HashSet::new(),
+        };
+        if mode == TermOrder::BestFirst {
+            e.heap.push(HeapTerm {
+                mass: e.mass_of(&root),
+                choice: root.clone(),
+            });
+            e.seen.insert(root);
+        }
+        e
+    }
+
+    fn mass_of(&self, positions: &[usize]) -> f64 {
+        positions
+            .iter()
+            .enumerate()
+            .map(|(site, &p)| self.masses[site][p])
+            .product()
+    }
+
+    /// Yields `(raw Kraus choice, mass)` or `None` when exhausted.
+    pub(crate) fn next_term(&mut self) -> Option<(Vec<usize>, f64)> {
+        match self.mode {
+            TermOrder::Lexicographic => {
+                let current = self.next_lex.take()?;
+                // Advance the mixed-radix counter.
+                let mut next = current.clone();
+                let mut carry = true;
+                for (digit, &radix) in next.iter_mut().zip(&self.counts) {
+                    if carry {
+                        *digit += 1;
+                        if *digit == radix {
+                            *digit = 0;
+                        } else {
+                            carry = false;
+                        }
+                    }
+                }
+                if !carry && !next.is_empty() {
+                    self.next_lex = Some(next);
+                }
+                let mass = self.mass_of(&current);
+                let raw = self.to_raw(&current);
+                Some((raw, mass))
+            }
+            TermOrder::BestFirst => {
+                let top = self.heap.pop()?;
+                for site in 0..self.counts.len() {
+                    if top.choice[site] + 1 < self.counts[site] {
+                        let mut succ = top.choice.clone();
+                        succ[site] += 1;
+                        if self.seen.insert(succ.clone()) {
+                            self.heap.push(HeapTerm {
+                                mass: self.mass_of(&succ),
+                                choice: succ,
+                            });
+                        }
+                    }
+                }
+                let raw = self.to_raw(&top.choice);
+                Some((raw, top.mass))
+            }
+        }
+    }
+
+    fn to_raw(&self, positions: &[usize]) -> Vec<usize> {
+        positions
+            .iter()
+            .enumerate()
+            .map(|(site, &p)| self.sorted_maps[site][p])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaec_circuit::{Circuit, NoiseChannel};
+    use std::collections::HashSet;
+
+    fn template_with(channels: &[NoiseChannel]) -> Alg1Template {
+        let mut noisy = Circuit::new(1);
+        for ch in channels {
+            noisy.noise(ch.clone(), &[0]);
+        }
+        Alg1Template::build(&Circuit::new(1), &noisy)
+    }
+
+    #[test]
+    fn lexicographic_covers_every_selection_once() {
+        let template = template_with(&[
+            NoiseChannel::Depolarizing { p: 0.9 },
+            NoiseChannel::BitFlip { p: 0.8 },
+        ]);
+        let mut e = TermEnumerator::new(&template, TermOrder::Lexicographic);
+        let mut seen = HashSet::new();
+        let mut total_mass = 0.0;
+        while let Some((choice, mass)) = e.next_term() {
+            assert!(seen.insert(choice.clone()), "duplicate {choice:?}");
+            assert!(choice[0] < 4 && choice[1] < 2);
+            total_mass += mass;
+        }
+        assert_eq!(seen.len(), 8);
+        assert!((total_mass - 1.0).abs() < 1e-12, "masses must sum to 1");
+    }
+
+    #[test]
+    fn best_first_is_non_increasing_and_complete() {
+        let template = template_with(&[
+            NoiseChannel::Depolarizing { p: 0.7 },
+            NoiseChannel::Pauli {
+                pi: 0.6,
+                px: 0.25,
+                py: 0.1,
+                pz: 0.05,
+            },
+        ]);
+        let mut e = TermEnumerator::new(&template, TermOrder::BestFirst);
+        let mut seen = HashSet::new();
+        let mut last = f64::INFINITY;
+        while let Some((choice, mass)) = e.next_term() {
+            assert!(mass <= last + 1e-12, "mass not descending: {mass} > {last}");
+            last = mass;
+            assert!(seen.insert(choice));
+        }
+        assert_eq!(seen.len(), 16);
+        // The first term must be the heaviest: 0.7 · 0.6.
+        let mut e = TermEnumerator::new(&template, TermOrder::BestFirst);
+        let (_, first_mass) = e.next_term().expect("non-empty");
+        assert!((first_mass - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_first_maps_back_to_raw_indices() {
+        // Amplitude damping masses are not sorted by Kraus index for
+        // large gamma: K1 (decay) can outweigh K0.
+        let template = template_with(&[NoiseChannel::AmplitudeDamping { gamma: 0.9 }]);
+        let mut e = TermEnumerator::new(&template, TermOrder::BestFirst);
+        let (first, first_mass) = e.next_term().expect("some");
+        // masses: K0 = (1 + (1−γ))/2 = 0.55, K1 = γ/2 = 0.45 → K0 first.
+        assert_eq!(first, vec![0]);
+        assert!((first_mass - 0.55).abs() < 1e-12);
+        let (second, second_mass) = e.next_term().expect("some");
+        assert_eq!(second, vec![1]);
+        assert!((second_mass - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sites_yield_single_unit_term() {
+        let template = template_with(&[]);
+        for order in [TermOrder::Lexicographic, TermOrder::BestFirst] {
+            let mut e = TermEnumerator::new(&template, order);
+            let (choice, mass) = e.next_term().expect("one term");
+            assert!(choice.is_empty());
+            assert!((mass - 1.0).abs() < 1e-12);
+            assert!(e.next_term().is_none(), "{order:?} must be exhausted");
+        }
+    }
+
+    #[test]
+    fn term_queue_respects_cap_across_pulls() {
+        let template = template_with(&[NoiseChannel::Depolarizing { p: 0.9 }]);
+        let mut queue = TermQueue {
+            enumerator: TermEnumerator::new(&template, TermOrder::Lexicographic),
+            pulled: 0,
+            cap: Some(3),
+        };
+        let mut out = Vec::new();
+        queue.pull(2, &mut out);
+        assert_eq!(out.len(), 2);
+        queue.pull(2, &mut out);
+        assert_eq!(out.len(), 1, "cap must stop the third pull at one term");
+        queue.pull(2, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn atomic_f64_helpers() {
+        let cell = AtomicU64::new(0.0f64.to_bits());
+        assert!((atomic_f64_add(&cell, 0.25) - 0.25).abs() < 1e-15);
+        assert!((atomic_f64_add(&cell, 0.5) - 0.75).abs() < 1e-15);
+        atomic_f64_sub_clamped(&cell, 2.0);
+        assert_eq!(f64::from_bits(cell.load(Ordering::SeqCst)), 0.0);
+    }
+}

@@ -53,6 +53,7 @@ pub mod alg1;
 pub mod alg2;
 pub mod alg_mc;
 pub mod checker;
+pub mod engine;
 pub mod error;
 pub mod exact;
 pub mod miter;
@@ -65,7 +66,8 @@ pub use alg2::{fidelity_alg2, Alg2Report};
 pub use alg_mc::{fidelity_monte_carlo, McReport};
 pub use checker::{auto_choice, check_equivalence, jamiolkowski_fidelity, AUTO_TERM_THRESHOLD};
 pub use error::QaecError;
-pub use options::{AlgorithmChoice, CheckOptions, TermOrder, VarOrderStyle};
+pub use options::{default_threads, AlgorithmChoice, CheckOptions, TermOrder, VarOrderStyle};
+pub use qaec_tdd::TddStats;
 pub use report::{AlgorithmUsed, EquivalenceReport, Verdict};
 
 use qaec_circuit::Circuit;

@@ -81,12 +81,29 @@ pub struct CheckOptions {
     pub deadline: Option<Instant>,
     /// Arena size that triggers decision-diagram garbage collection.
     pub gc_threshold: Option<usize>,
-    /// Worker threads for Algorithm I's exact mode (terms are
-    /// independent; the paper notes they parallelize trivially).
+    /// Worker threads for Algorithm I and the Monte-Carlo estimator.
+    /// Terms are independent (the paper notes they parallelize
+    /// trivially); the work-stealing engine makes `threads > 1` compose
+    /// with `epsilon`, `term_order`, `max_terms` and `deadline`.
     pub threads: usize,
     /// Cap on Algorithm I terms (None = all); bounds stay correct, they
     /// just stop tightening.
     pub max_terms: Option<usize>,
+}
+
+/// The default worker-thread count: the `QAEC_THREADS` environment
+/// variable when set to a positive integer, else 1.
+///
+/// This is what [`CheckOptions::default`] uses, so exporting
+/// `QAEC_THREADS=4` runs every default-configured check (including the
+/// whole test suite) through the parallel engine — CI uses exactly that
+/// as its thread-sanity pass.
+pub fn default_threads() -> usize {
+    std::env::var("QAEC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl Default for CheckOptions {
@@ -101,7 +118,7 @@ impl Default for CheckOptions {
             term_order: TermOrder::BestFirst,
             deadline: None,
             gc_threshold: Some(2_000_000),
-            threads: 1,
+            threads: default_threads(),
             max_terms: None,
         }
     }
@@ -119,7 +136,14 @@ mod tests {
         assert!(o.reuse_tables);
         assert!(!o.local_optimization);
         assert!(!o.swap_elimination);
-        assert_eq!(o.threads, 1);
+        // 1 unless the QAEC_THREADS env override is active (the CI
+        // thread-sanity pass sets it to exercise the parallel engine).
+        assert_eq!(o.threads, default_threads());
         assert!(o.deadline.is_none());
+    }
+
+    #[test]
+    fn default_threads_is_at_least_one() {
+        assert!(default_threads() >= 1);
     }
 }

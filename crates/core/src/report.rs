@@ -1,5 +1,6 @@
 //! Check verdicts and the unified equivalence report.
 
+use qaec_tdd::TddStats;
 use std::fmt;
 use std::time::Duration;
 
@@ -59,6 +60,8 @@ pub struct EquivalenceReport {
     pub max_nodes: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// Decision-diagram statistics, merged across all workers.
+    pub stats: TddStats,
 }
 
 impl fmt::Display for EquivalenceReport {
@@ -96,6 +99,7 @@ mod tests {
             total_terms: 16,
             max_nodes: 42,
             elapsed: Duration::from_millis(12),
+            stats: TddStats::default(),
         };
         let text = report.to_string();
         assert!(text.contains("equivalent"));

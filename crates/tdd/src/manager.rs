@@ -82,6 +82,34 @@ pub struct TddStats {
     pub peak_nodes: usize,
 }
 
+impl TddStats {
+    /// Folds another manager's counters into this one: counts add up,
+    /// size maxima take the max. Used to combine the thread-local
+    /// managers of a parallel run into one report.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qaec_tdd::TddStats;
+    ///
+    /// let mut total = TddStats { nodes_created: 3, peak_nodes: 10, ..TddStats::default() };
+    /// let worker = TddStats { nodes_created: 2, peak_nodes: 25, ..TddStats::default() };
+    /// total.merge(&worker);
+    /// assert_eq!(total.nodes_created, 5);
+    /// assert_eq!(total.peak_nodes, 25);
+    /// ```
+    pub fn merge(&mut self, other: &TddStats) {
+        self.nodes_created += other.nodes_created;
+        self.unique_hits += other.unique_hits;
+        self.add_calls += other.add_calls;
+        self.add_hits += other.add_hits;
+        self.cont_calls += other.cont_calls;
+        self.cont_hits += other.cont_hits;
+        self.gc_runs += other.gc_runs;
+        self.peak_nodes = self.peak_nodes.max(other.peak_nodes);
+    }
+}
+
 impl std::fmt::Display for TddStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let rate = |hits: u64, calls: u64| {
@@ -512,5 +540,38 @@ mod tests {
         let text = m.stats().to_string();
         assert!(text.contains("nodes created 1"));
         assert!(text.contains("gc runs 0"));
+    }
+
+    #[test]
+    fn stats_merge_sums_counters_and_maxes_peaks() {
+        let mut a = TddStats {
+            nodes_created: 10,
+            unique_hits: 1,
+            add_calls: 2,
+            add_hits: 1,
+            cont_calls: 4,
+            cont_hits: 3,
+            gc_runs: 1,
+            peak_nodes: 100,
+        };
+        let b = TddStats {
+            nodes_created: 5,
+            unique_hits: 2,
+            add_calls: 3,
+            add_hits: 2,
+            cont_calls: 6,
+            cont_hits: 1,
+            gc_runs: 0,
+            peak_nodes: 40,
+        };
+        a.merge(&b);
+        assert_eq!(a.nodes_created, 15);
+        assert_eq!(a.unique_hits, 3);
+        assert_eq!(a.add_calls, 5);
+        assert_eq!(a.add_hits, 3);
+        assert_eq!(a.cont_calls, 10);
+        assert_eq!(a.cont_hits, 4);
+        assert_eq!(a.gc_runs, 1);
+        assert_eq!(a.peak_nodes, 100, "peak takes the max, not the sum");
     }
 }

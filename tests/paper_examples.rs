@@ -60,6 +60,10 @@ fn paper_epsilon_decision_with_early_termination() {
         0.1,
         &CheckOptions {
             algorithm: AlgorithmChoice::AlgorithmI,
+            // One worker: the paper's argument is about the *sequence*
+            // of decisions; extra workers legitimately start more terms
+            // before the stop signal lands.
+            threads: 1,
             ..CheckOptions::default()
         },
     )

@@ -17,6 +17,9 @@ fn best_first_decides_faster_than_lexicographic() {
     let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.9995 }, 4, 8);
     let base = CheckOptions {
         algorithm: AlgorithmChoice::AlgorithmI,
+        // One worker: the exact decide-after-one-term count below is a
+        // statement about the sequential decision sequence.
+        threads: 1,
         ..CheckOptions::default()
     };
 
