@@ -88,15 +88,15 @@ fn main() {
         let offending = regressions(&records, &baseline, args.max_ratio);
         if offending.is_empty() {
             println!(
-                "no scenario regressed more than {:.1}x against {baseline_path}",
+                "no scenario regressed more than {:.1}x against {baseline_path} \
+                 (wall time and max_nodes both gated)",
                 args.max_ratio
             );
         } else {
-            for (name, pr_ms, base_ms) in &offending {
+            for r in &offending {
                 eprintln!(
-                    "REGRESSION {name}: {pr_ms:.2} ms vs baseline {base_ms:.2} ms \
-                     (limit {:.1}x)",
-                    args.max_ratio
+                    "REGRESSION {} [{}]: {:.2} vs baseline {:.2} (limit {:.1}x)",
+                    r.name, r.metric, r.pr, r.baseline, args.max_ratio
                 );
             }
             std::process::exit(1);

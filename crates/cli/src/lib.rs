@@ -14,7 +14,7 @@
 
 use qaec::{
     check_equivalence, fidelity_alg1, fidelity_alg2, fidelity_monte_carlo, AlgorithmChoice,
-    CheckOptions, TddStats, Verdict,
+    CheckOptions, SharedTableMode, TddStats, Verdict,
 };
 use qaec_circuit::{qasm, Circuit};
 use qaec_tensornet::Strategy;
@@ -67,6 +67,10 @@ pub struct CliOptions {
     pub timeout: Option<Duration>,
     /// Worker threads for Algorithm I and the Monte-Carlo estimator.
     pub threads: usize,
+    /// Shared concurrent TDD store across workers (`--shared-table`).
+    pub shared_table: SharedTableMode,
+    /// Cross-term computed-table seeding between workers (`--seed-cache`).
+    pub seed_cache: bool,
     /// Enable §IV-C local optimisations.
     pub optimize: bool,
     /// Print decision-diagram statistics after the result.
@@ -82,6 +86,8 @@ impl Default for CliOptions {
             strategy: Strategy::MinFill,
             timeout: None,
             threads: qaec::default_threads(),
+            shared_table: qaec::default_shared_table(),
+            seed_cache: false,
             optimize: false,
             verbose: false,
         }
@@ -94,6 +100,8 @@ impl CliOptions {
             algorithm: self.algorithm,
             strategy: self.strategy,
             threads: self.threads,
+            shared_table: self.shared_table,
+            seed_cont_cache: self.seed_cache,
             local_optimization: self.optimize,
             swap_elimination: self.optimize,
             deadline: self.timeout.map(|t| Instant::now() + t),
@@ -121,6 +129,16 @@ OPTIONS:
     --threads <n>              work-stealing workers for Algorithm I / MC
                                (default: QAEC_THREADS env var, else 1;
                                composes with --epsilon early termination)
+    --shared-table <on|off|auto>
+                               share one concurrent TDD store across the
+                               workers (auto = on when --threads > 1;
+                               default: QAEC_SHARED_TABLE env var, else
+                               auto). Shared runs hash-cons sub-diagrams
+                               across threads and are bit-reproducible
+                               for every thread count
+    --seed-cache               seed each worker's contraction cache from
+                               the heaviest completed term (shared-table
+                               runs only)
     --optimize                 enable local cancellation + SWAP elimination
     --verbose                  print decision-diagram statistics
 
@@ -161,12 +179,29 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let rest: Vec<&String> = it.collect();
             let mut k = 0;
             while k < rest.len() {
-                let flag = rest[k].as_str();
-                let value = |k: &mut usize| -> Result<&String, String> {
+                // `--flag value` and `--flag=value` are both accepted.
+                let raw = rest[k].as_str();
+                let (flag, inline) = match raw.split_once('=') {
+                    Some((f, v)) => (f, Some(v)),
+                    None => (raw, None),
+                };
+                let value = |k: &mut usize| -> Result<&str, String> {
+                    if let Some(v) = inline {
+                        return Ok(v);
+                    }
                     *k += 1;
                     rest.get(*k)
-                        .copied()
+                        .map(|s| s.as_str())
                         .ok_or_else(|| format!("missing value for {flag}"))
+                };
+                // Boolean flags must not silently swallow an inline
+                // value (`--seed-cache=false` would otherwise *enable*
+                // the flag).
+                let boolean = |inline: Option<&str>| -> Result<(), String> {
+                    match inline {
+                        None => Ok(()),
+                        Some(v) => Err(format!("{flag} takes no value (got `{v}`)")),
+                    }
                 };
                 match flag {
                     "--epsilon" => {
@@ -177,7 +212,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         );
                     }
                     "--algorithm" => {
-                        match value(&mut k)?.as_str() {
+                        match value(&mut k)? {
                             "auto" => options.algorithm = AlgorithmChoice::Auto,
                             "1" | "I" | "i" => options.algorithm = AlgorithmChoice::AlgorithmI,
                             "2" | "II" | "ii" => options.algorithm = AlgorithmChoice::AlgorithmII,
@@ -198,7 +233,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             .map_err(|_| "bad --seed value".to_string())?;
                     }
                     "--strategy" => {
-                        options.strategy = match value(&mut k)?.as_str() {
+                        options.strategy = match value(&mut k)? {
                             "sequential" => Strategy::Sequential,
                             "greedy" => Strategy::GreedySize,
                             "min-degree" => Strategy::MinDegree,
@@ -217,8 +252,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             .parse::<usize>()
                             .map_err(|_| "bad --threads value".to_string())?;
                     }
-                    "--optimize" => options.optimize = true,
-                    "--verbose" => options.verbose = true,
+                    "--shared-table" => {
+                        options.shared_table = match value(&mut k)? {
+                            "on" => SharedTableMode::On,
+                            "off" => SharedTableMode::Off,
+                            "auto" => SharedTableMode::Auto,
+                            other => return Err(format!("unknown shared-table mode `{other}`")),
+                        };
+                    }
+                    "--seed-cache" => {
+                        boolean(inline)?;
+                        options.seed_cache = true;
+                    }
+                    "--optimize" => {
+                        boolean(inline)?;
+                        options.optimize = true;
+                    }
+                    "--verbose" => {
+                        boolean(inline)?;
+                        options.verbose = true;
+                    }
                     other => return Err(format!("unknown flag `{other}`")),
                 }
                 k += 1;
@@ -424,6 +477,57 @@ mod tests {
                 assert_eq!(options.strategy, Strategy::GreedySize);
                 assert_eq!(options.threads, 4);
                 assert!(options.optimize);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_shared_table_modes_in_both_flag_styles() {
+        for (args, expected) in [
+            (vec!["--shared-table", "on"], SharedTableMode::On),
+            (vec!["--shared-table=off"], SharedTableMode::Off),
+            (vec!["--shared-table=auto"], SharedTableMode::Auto),
+        ] {
+            let mut full = vec!["fidelity", "i.qasm", "n.qasm"];
+            full.extend(args);
+            match parse_args(&strings(&full)).unwrap() {
+                Command::Fidelity { options, .. } => {
+                    assert_eq!(options.shared_table, expected, "{full:?}")
+                }
+                other => panic!("wrong command {other:?}"),
+            }
+        }
+        assert!(parse_args(&strings(&[
+            "fidelity",
+            "i.qasm",
+            "n.qasm",
+            "--shared-table",
+            "sometimes"
+        ]))
+        .is_err());
+        // Boolean flags reject inline values instead of silently
+        // enabling themselves.
+        for bad in ["--seed-cache=false", "--verbose=0", "--optimize=off"] {
+            assert!(
+                parse_args(&strings(&["fidelity", "i.qasm", "n.qasm", bad])).is_err(),
+                "{bad} must be rejected"
+            );
+        }
+        match parse_args(&strings(&[
+            "check",
+            "i.qasm",
+            "n.qasm",
+            "--epsilon=0.25",
+            "--seed-cache",
+        ]))
+        .unwrap()
+        {
+            Command::Check {
+                epsilon, options, ..
+            } => {
+                assert!((epsilon - 0.25).abs() < 1e-12, "inline --epsilon=v works");
+                assert!(options.seed_cache);
             }
             other => panic!("wrong command {other:?}"),
         }

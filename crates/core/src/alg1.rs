@@ -13,7 +13,14 @@
 //!   future-work item;
 //! * independent terms parallelize across threads (`threads > 1`) through
 //!   the work-stealing [`crate::engine`], which composes with `epsilon`,
-//!   `term_order`, `max_terms` and `deadline`.
+//!   `term_order`, `max_terms` and `deadline`;
+//! * parallel workers share one concurrent decision-diagram store by
+//!   default (`options.shared_table`), hash-consing sub-diagrams across
+//!   threads — so parallel runs keep Table II's "Opt." structure sharing
+//!   *and* every shared-store run returns bit-identical bounds/verdicts
+//!   whatever the thread count (force the store on at `threads == 1`
+//!   for a bit-comparable sequential reference; the `Auto` default
+//!   keeps the private fast path there).
 
 use crate::engine::TermEngine;
 use crate::error::QaecError;

@@ -6,38 +6,51 @@
 //! source instead of being handed fixed chunks, so that:
 //!
 //! * ε-decisions compose with `threads > 1`: every worker folds its
-//!   terms into a pair of atomic accumulators (`fidelity_lower` and the
-//!   outstanding Kraus mass) and broadcasts a stop signal the moment
-//!   either bound resolves, in either term order;
+//!   terms into a shared ordered reducer and broadcasts a stop signal
+//!   the moment either bound resolves, in either term order;
 //! * `max_terms`, `deadline` and `term_order` behave identically in
-//!   sequential and parallel runs (the old fixed-chunk path silently
-//!   ignored all three);
+//!   sequential and parallel runs;
 //! * slow terms don't stall the run: a worker that finishes its batch
 //!   steals the next one from the shared enumerator, so load balances
 //!   even when term costs vary by orders of magnitude;
-//! * every worker keeps a thread-local [`TddManager`] (its own unique
-//!   and computed tables) and the per-worker [`TddStats`] are merged
-//!   into the report at the end.
+//! * with the **shared TDD store** (`options.shared_table`, on by
+//!   default for `threads > 1`) all workers hash-cons nodes and intern
+//!   weights into one [`SharedTddStore`], recovering cross-thread
+//!   structure sharing; each worker keeps only its computed tables
+//!   thread-local. With `SharedTableMode::Off` every worker keeps a
+//!   fully private [`TddManager`] instead (the pre-shared behaviour).
 //!
-//! ## Bound soundness under concurrency
+//! ## Bit-identical parallel results
 //!
-//! `lower` only ever grows (each term is added exactly once) and
-//! `remaining` only ever shrinks, and a term's mass is subtracted from
-//! `remaining` strictly *after* its value is added to `lower`. Readers
-//! load `remaining` first and `lower` second, so the observed
-//! `lower + remaining` never undercounts the true upper bound and
-//! `lower` never overcounts the true lower bound — a stale snapshot can
-//! only *delay* a verdict, never fabricate one.
+//! Two mechanisms make a shared-store run reproduce the sequential
+//! result *bit for bit*, whatever the thread count or scheduling:
+//!
+//! 1. The store's canonical weight interning makes every term's value a
+//!    pure function of the term alone (see [`qaec_tdd::store`]).
+//! 2. The ordered reducer folds completed terms strictly in enumeration
+//!    order: workers deposit `(sequence, value, mass)` and the reducer
+//!    advances a gapless frontier, so partial sums — and therefore the
+//!    ε-decision point, the verdict, the reported bounds and the
+//!    reported term count — are those of the sequential prefix. Terms
+//!    completed beyond the frontier when a decision lands are simply
+//!    discarded from the report (work wasted, semantics unchanged).
+//!
+//! With private per-worker stores the reducer still guarantees
+//! sequential *decision semantics*, but values drift by the interning
+//! tolerance (≈1e-10) because each manager snaps weights along its own
+//! history.
 
 use crate::error::QaecError;
 use crate::miter::{build_trace_network, Alg1Template, BuiltNetwork};
 use crate::options::{CheckOptions, TermOrder};
 use crate::report::Verdict;
-use qaec_tdd::{contract_network_opts, DriverOptions, TddManager, TddStats};
+use qaec_tdd::{
+    contract_network_opts, ContCacheKey, DriverOptions, Edge, SharedTddStore, TddManager, TddStats,
+};
 use qaec_tensornet::{ContractionPlan, VarOrder};
-use std::collections::{BinaryHeap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Everything the workers need to instantiate and contract one term.
@@ -58,17 +71,19 @@ pub(crate) struct TermEngine<'a> {
 
 /// What an ε-aware engine run produced.
 pub(crate) struct EngineOutcome {
-    /// Sum of computed terms (proven fidelity lower bound).
+    /// Sum of folded terms (proven fidelity lower bound).
     pub lower: f64,
     /// Outstanding Kraus mass (upper bound = `lower + remaining`).
     pub remaining: f64,
-    /// Terms actually contracted.
+    /// Terms folded into the bounds (the gapless frontier; for decided
+    /// runs, frozen at the decision point).
     pub terms_computed: usize,
     /// Largest intermediate diagram across all workers.
     pub max_nodes: usize,
     /// Early ε-decision, if one was reached.
     pub verdict: Option<Verdict>,
-    /// Merged decision-diagram statistics of every worker.
+    /// Decision-diagram statistics: every worker's local counters plus
+    /// the shared store's allocation counters (merged exactly once).
     pub stats: TddStats,
 }
 
@@ -78,7 +93,7 @@ pub(crate) struct FixedOutcome {
     pub terms: Vec<f64>,
     /// Largest intermediate diagram across all workers.
     pub max_nodes: usize,
-    /// Merged decision-diagram statistics of every worker.
+    /// Merged decision-diagram statistics (workers + shared store).
     pub stats: TddStats,
 }
 
@@ -86,47 +101,10 @@ pub(crate) struct FixedOutcome {
 /// largest intermediate diagram, and its manager statistics.
 type FixedWorkerHaul = (Vec<(usize, f64)>, usize, TddStats);
 
-/// Verdict codes in the shared `AtomicU8`.
-const VERDICT_NONE: u8 = 0;
-const VERDICT_EQUIVALENT: u8 = 1;
-const VERDICT_NOT_EQUIVALENT: u8 = 2;
-
-/// Adds `v` to an `f64` stored in an `AtomicU64`, returning the new value.
-fn atomic_f64_add(cell: &AtomicU64, v: f64) -> f64 {
-    let mut current = cell.load(Ordering::SeqCst);
-    loop {
-        let next = f64::from_bits(current) + v;
-        match cell.compare_exchange_weak(
-            current,
-            next.to_bits(),
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        ) {
-            Ok(_) => return next,
-            Err(seen) => current = seen,
-        }
-    }
-}
-
-/// Subtracts `v` from an `f64` stored in an `AtomicU64`, clamping at zero.
-fn atomic_f64_sub_clamped(cell: &AtomicU64, v: f64) {
-    let mut current = cell.load(Ordering::SeqCst);
-    loop {
-        let next = (f64::from_bits(current) - v).max(0.0);
-        match cell.compare_exchange_weak(
-            current,
-            next.to_bits(),
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        ) {
-            Ok(_) => return,
-            Err(seen) => current = seen,
-        }
-    }
-}
-
 /// The mutex-guarded work source: the enumerator plus the count of terms
-/// already handed out, so `max_terms` caps *pulled* work exactly.
+/// already handed out, so `max_terms` caps *pulled* work exactly. Each
+/// pulled term carries its sequence number — the fold position the
+/// [`Reducer`] will give it, identical in every scheduling.
 struct TermQueue {
     enumerator: TermEnumerator,
     pulled: usize,
@@ -136,16 +114,16 @@ struct TermQueue {
 impl TermQueue {
     /// Pulls up to `max` terms into `out` (cleared first). An empty
     /// result means the source is exhausted or capped.
-    fn pull(&mut self, max: usize, out: &mut Vec<(Vec<usize>, f64)>) {
+    fn pull(&mut self, max: usize, out: &mut Vec<(usize, Vec<usize>, f64)>) {
         out.clear();
         while out.len() < max {
             if self.cap.is_some_and(|cap| self.pulled >= cap) {
                 return;
             }
             match self.enumerator.next_term() {
-                Some(term) => {
+                Some((choice, mass)) => {
+                    out.push((self.pulled, choice, mass));
                     self.pulled += 1;
-                    out.push(term);
                 }
                 None => return,
             }
@@ -153,54 +131,139 @@ impl TermQueue {
     }
 }
 
+/// The ε-decision at the moment the frontier crossed a threshold, frozen
+/// so late-arriving terms cannot perturb the reported result.
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    verdict: Verdict,
+    lower: f64,
+    remaining: f64,
+    terms: usize,
+}
+
+/// Order-restoring accumulator: terms arrive in completion order (any
+/// scheduling) and are folded in enumeration order, so the partial sums
+/// — and any ε-decision taken on them — are exactly those of the
+/// sequential run.
+struct Reducer {
+    epsilon: Option<f64>,
+    /// Completed terms waiting for the frontier: `seq → (value, mass)`.
+    /// Bounded by [`PENDING_LIMIT`] plus one in-flight batch per worker
+    /// — workers stop pulling new batches while the frontier lags (see
+    /// `TermEngine::epsilon_worker`), so one slow term cannot make the
+    /// rest of the pool buffer the whole enumeration here.
+    pending: HashMap<usize, (f64, f64)>,
+    /// Number of terms folded so far (= next sequence to fold).
+    folded: usize,
+    lower: f64,
+    mass_done: f64,
+    decision: Option<Decision>,
+}
+
+/// Backpressure threshold on [`Reducer::pending`]: workers pause ahead
+/// of a stalled frontier once this many completed terms are buffered.
+/// Generous enough that ordinary cost skew never trips it (a few MB at
+/// worst), small enough that a pathological straggler cannot turn the
+/// buffer into the whole term set.
+const PENDING_LIMIT: usize = 4096;
+
+impl Reducer {
+    fn new(epsilon: Option<f64>) -> Self {
+        Reducer {
+            epsilon,
+            pending: HashMap::new(),
+            folded: 0,
+            lower: 0.0,
+            mass_done: 0.0,
+            decision: None,
+        }
+    }
+
+    /// Outstanding Kraus mass given the folded prefix (CPTP: site masses
+    /// sum to 1, so the unfolded terms hold exactly the complement).
+    fn remaining(&self) -> f64 {
+        (1.0 - self.mass_done).max(0.0)
+    }
+
+    /// Deposits one completed term and advances the gapless frontier.
+    /// Returns `true` once an ε-decision exists (callers then stop).
+    fn submit(&mut self, seq: usize, value: f64, mass: f64) -> bool {
+        self.pending.insert(seq, (value, mass));
+        while self.decision.is_none() {
+            let Some((value, mass)) = self.pending.remove(&self.folded) else {
+                break;
+            };
+            self.folded += 1;
+            self.lower += value;
+            self.mass_done += mass;
+            if let Some(eps) = self.epsilon {
+                let remaining = self.remaining();
+                if self.lower > 1.0 - eps {
+                    self.decision = Some(Decision {
+                        verdict: Verdict::Equivalent,
+                        lower: self.lower,
+                        remaining,
+                        terms: self.folded,
+                    });
+                } else if self.lower + remaining <= 1.0 - eps {
+                    self.decision = Some(Decision {
+                        verdict: Verdict::NotEquivalent,
+                        lower: self.lower,
+                        remaining,
+                        terms: self.folded,
+                    });
+                }
+            }
+        }
+        self.decision.is_some()
+    }
+}
+
+/// The heaviest completed term's contraction-cache snapshot, shipped to
+/// workers that pull a new batch (`options.seed_cont_cache`).
+struct SeedSlot {
+    /// Mass of the term whose cache is stored (`-∞` until first publish).
+    mass: f64,
+    entries: Arc<HashMap<ContCacheKey, Edge>>,
+}
+
 /// Cross-worker shared state for an ε-aware run.
 struct SharedState {
     queue: Mutex<TermQueue>,
-    /// `f64` bits of the accumulated lower bound.
-    lower: AtomicU64,
-    /// `f64` bits of the outstanding Kraus mass.
-    remaining: AtomicU64,
-    terms_done: AtomicUsize,
+    reducer: Mutex<Reducer>,
     stop: AtomicBool,
-    verdict: AtomicU8,
-}
-
-impl SharedState {
-    /// Publishes a verdict (first decision wins) and stops the run.
-    fn decide(&self, verdict: Verdict) {
-        let code = match verdict {
-            Verdict::Equivalent => VERDICT_EQUIVALENT,
-            Verdict::NotEquivalent => VERDICT_NOT_EQUIVALENT,
-        };
-        let _ =
-            self.verdict
-                .compare_exchange(VERDICT_NONE, code, Ordering::SeqCst, Ordering::SeqCst);
-        self.stop.store(true, Ordering::SeqCst);
-    }
-
-    fn verdict(&self) -> Option<Verdict> {
-        match self.verdict.load(Ordering::SeqCst) {
-            VERDICT_EQUIVALENT => Some(Verdict::Equivalent),
-            VERDICT_NOT_EQUIVALENT => Some(Verdict::NotEquivalent),
-            _ => None,
-        }
-    }
+    /// `Some` only for shared-store runs with cache seeding enabled.
+    seed: Option<Mutex<SeedSlot>>,
 }
 
 /// A worker's private contraction context: its thread-local manager (or
-/// a fresh one per term when table reuse is off) and its local maxima.
+/// a fresh one per term when table reuse is off), the store it attaches
+/// managers to, and its local maxima.
 struct WorkerCtx<'a> {
     engine: &'a TermEngine<'a>,
+    store: Option<Arc<SharedTddStore>>,
+    /// This worker's id on the shared store — registered once per
+    /// logical worker, so fresh per-term managers (table reuse off)
+    /// don't misattribute hits on their own earlier nodes as
+    /// cross-thread sharing.
+    worker: Option<u32>,
     manager: Option<TddManager>,
     max_nodes: usize,
     stats: TddStats,
 }
 
 impl<'a> WorkerCtx<'a> {
-    fn new(engine: &'a TermEngine<'a>) -> Self {
+    fn new(engine: &'a TermEngine<'a>, store: Option<Arc<SharedTddStore>>) -> Self {
+        let worker = store.as_ref().map(|s| s.register_worker());
+        let manager = engine
+            .options
+            .reuse_tables
+            .then(|| new_manager(store.as_ref(), worker));
         WorkerCtx {
             engine,
-            manager: engine.options.reuse_tables.then(TddManager::new),
+            store,
+            worker,
+            manager,
             max_nodes: 0,
             stats: TddStats::default(),
         }
@@ -212,7 +275,7 @@ impl<'a> WorkerCtx<'a> {
         let mut fresh = None;
         let manager = match self.manager.as_mut() {
             Some(m) => m,
-            None => fresh.insert(TddManager::new()),
+            None => fresh.insert(new_manager(self.store.as_ref(), self.worker)),
         };
         let result = contract_network_opts(
             manager,
@@ -243,6 +306,18 @@ impl<'a> WorkerCtx<'a> {
     }
 }
 
+/// A manager on the run's shared store under the worker's stable id, or
+/// a fully private one.
+fn new_manager(store: Option<&Arc<SharedTddStore>>, worker: Option<u32>) -> TddManager {
+    match store {
+        Some(store) => {
+            let worker = worker.expect("shared store implies a registered worker id");
+            TddManager::new_shared_with_id(store, worker)
+        }
+        None => TddManager::new(),
+    }
+}
+
 impl TermEngine<'_> {
     fn build_network(&self, choice: &[usize]) -> BuiltNetwork {
         let elements = self.template.instantiate(choice);
@@ -262,20 +337,29 @@ impl TermEngine<'_> {
         self.options.threads.max(1).min(jobs.max(1))
     }
 
+    /// The run's shared store, when `options.shared_table` resolves on
+    /// for this worker count.
+    fn shared_store(&self, workers: usize) -> Option<Arc<SharedTddStore>> {
+        self.options
+            .shared_table
+            .enabled_for(workers)
+            .then(SharedTddStore::new)
+    }
+
     /// Runs the full ε-aware accumulation over every Kraus selection of
     /// the template (`options.term_order`, `options.max_terms`,
     /// `options.deadline` and `options.threads` all respected).
     ///
-    /// With one worker the engine runs inline on the calling thread and
-    /// visits terms in exactly the enumerator's order, so sequential
-    /// results are bit-for-bit reproducible; with several workers the
-    /// partial sums commute up to `f64` associativity (≪ 1e-12 here).
+    /// Bounds, verdicts and term counts always follow sequential-prefix
+    /// semantics (see the module docs); with the shared store they are
+    /// additionally bit-identical across thread counts.
     pub(crate) fn run(
         &self,
         epsilon: Option<f64>,
         total_terms: usize,
     ) -> Result<EngineOutcome, QaecError> {
         let workers = self.worker_count(total_terms);
+        let store = self.shared_store(workers);
         // Small batches keep the stop signal responsive during ε runs;
         // exact runs amortise queue locking with larger ones.
         let batch_size = if epsilon.is_some() {
@@ -289,19 +373,24 @@ impl TermEngine<'_> {
                 pulled: 0,
                 cap: self.options.max_terms,
             }),
-            lower: AtomicU64::new(0.0f64.to_bits()),
-            remaining: AtomicU64::new(1.0f64.to_bits()), // CPTP: masses sum to 1
-            terms_done: AtomicUsize::new(0),
+            reducer: Mutex::new(Reducer::new(epsilon)),
             stop: AtomicBool::new(false),
-            verdict: AtomicU8::new(VERDICT_NONE),
+            seed: (self.options.seed_cont_cache && store.is_some()).then(|| {
+                Mutex::new(SeedSlot {
+                    mass: f64::NEG_INFINITY,
+                    entries: Arc::new(HashMap::new()),
+                })
+            }),
         };
 
         let folded = if workers == 1 {
-            vec![self.epsilon_worker(&shared, epsilon, batch_size)]
+            vec![self.epsilon_worker(&shared, store.as_ref(), batch_size)]
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| scope.spawn(|| self.epsilon_worker(&shared, epsilon, batch_size)))
+                    .map(|_| {
+                        scope.spawn(|| self.epsilon_worker(&shared, store.as_ref(), batch_size))
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -310,7 +399,10 @@ impl TermEngine<'_> {
             })
         };
 
-        let verdict = shared.verdict();
+        let reducer = shared
+            .reducer
+            .into_inner()
+            .expect("engine reducer poisoned");
         let mut max_nodes = 0usize;
         let mut stats = TddStats::default();
         let mut error = None;
@@ -323,20 +415,30 @@ impl TermEngine<'_> {
                 Err(e) => error = Some(e),
             }
         }
+        if let Some(store) = &store {
+            // Allocation counters are store-owned: merged exactly once
+            // here, never per worker (see `SharedTddStore::stats`).
+            stats.merge(&store.stats());
+        }
         // A decided verdict outranks a racing deadline in another worker
         // (the sequential loop likewise checks the bounds first).
-        if verdict.is_none() {
+        if reducer.decision.is_none() {
             if let Some(e) = error {
                 return Err(e);
             }
         }
 
-        let terms_computed = shared.terms_done.load(Ordering::SeqCst);
-        let lower = f64::from_bits(shared.lower.load(Ordering::SeqCst));
-        let mut remaining = f64::from_bits(shared.remaining.load(Ordering::SeqCst));
-        if terms_computed == total_terms {
-            remaining = 0.0;
-        }
+        let (lower, remaining, terms_computed, verdict) = match reducer.decision {
+            Some(d) => (d.lower, d.remaining, d.terms, Some(d.verdict)),
+            None => {
+                let remaining = if reducer.folded == total_terms {
+                    0.0
+                } else {
+                    reducer.remaining()
+                };
+                (reducer.lower, remaining, reducer.folded, None)
+            }
+        };
         Ok(EngineOutcome {
             lower,
             remaining,
@@ -348,18 +450,35 @@ impl TermEngine<'_> {
     }
 
     /// One worker of [`TermEngine::run`]: steal a batch, contract it,
-    /// fold into the shared bounds, re-check the ε-decision.
+    /// fold into the shared reducer, stop on the ε-decision.
     fn epsilon_worker(
         &self,
         shared: &SharedState,
-        epsilon: Option<f64>,
+        store: Option<&Arc<SharedTddStore>>,
         batch_size: usize,
     ) -> Result<(usize, TddStats), QaecError> {
-        let mut ctx = WorkerCtx::new(self);
+        let mut ctx = WorkerCtx::new(self, store.cloned());
         let mut batch = Vec::with_capacity(batch_size);
+        let mut imported_mass = f64::NEG_INFINITY;
         'steal: loop {
             if shared.stop.load(Ordering::SeqCst) {
                 break;
+            }
+            // Backpressure: don't race arbitrarily far past a stalled
+            // frontier — the worker contracting the frontier term is
+            // never the one waiting here, so this cannot deadlock.
+            while shared
+                .reducer
+                .lock()
+                .expect("engine reducer poisoned")
+                .pending
+                .len()
+                >= PENDING_LIMIT
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break 'steal;
+                }
+                std::thread::yield_now();
             }
             shared
                 .queue
@@ -369,7 +488,21 @@ impl TermEngine<'_> {
             if batch.is_empty() {
                 break;
             }
-            for (choice, mass) in batch.drain(..) {
+            // Seed this batch from the heaviest completed term's cache,
+            // if a heavier snapshot appeared since the last import.
+            if let Some(slot) = &shared.seed {
+                let snapshot = {
+                    let slot = slot.lock().expect("seed slot poisoned");
+                    (slot.mass > imported_mass && !slot.entries.is_empty()).then(|| {
+                        imported_mass = slot.mass;
+                        Arc::clone(&slot.entries)
+                    })
+                };
+                if let (Some(entries), Some(m)) = (snapshot, ctx.manager.as_mut()) {
+                    m.seed_cont_cache(&entries);
+                }
+            }
+            for (seq, choice, mass) in batch.drain(..) {
                 if shared.stop.load(Ordering::SeqCst) {
                     break 'steal;
                 }
@@ -386,24 +519,30 @@ impl TermEngine<'_> {
                         return Err(e);
                     }
                 };
-                // Order matters for soundness: grow `lower` before
-                // shrinking `remaining` (see the module docs).
-                let new_lower = atomic_f64_add(&shared.lower, term);
-                atomic_f64_sub_clamped(&shared.remaining, mass);
-                shared.terms_done.fetch_add(1, Ordering::SeqCst);
-                if let Some(eps) = epsilon {
-                    // Read `remaining` first, then `lower`, so the pair
-                    // never undercounts the upper bound.
-                    let rem = f64::from_bits(shared.remaining.load(Ordering::SeqCst));
-                    let low = f64::from_bits(shared.lower.load(Ordering::SeqCst)).max(new_lower);
-                    if low > 1.0 - eps {
-                        shared.decide(Verdict::Equivalent);
-                        break 'steal;
+                // Publish the worker's accumulated cache when this term
+                // is the heaviest so far. The O(cache) clone happens
+                // *outside* the slot lock (every worker takes it per
+                // batch), with a re-check before installing in case a
+                // heavier term won the race meanwhile.
+                if let (Some(slot), Some(m)) = (&shared.seed, ctx.manager.as_ref()) {
+                    let heaviest = mass > slot.lock().expect("seed slot poisoned").mass;
+                    if heaviest {
+                        let entries = Arc::new(m.snapshot_cont_cache());
+                        let mut slot = slot.lock().expect("seed slot poisoned");
+                        if mass > slot.mass {
+                            slot.mass = mass;
+                            slot.entries = entries;
+                        }
                     }
-                    if low + rem <= 1.0 - eps {
-                        shared.decide(Verdict::NotEquivalent);
-                        break 'steal;
-                    }
+                }
+                let decided = shared
+                    .reducer
+                    .lock()
+                    .expect("engine reducer poisoned")
+                    .submit(seq, term, mass);
+                if decided {
+                    shared.stop.store(true, Ordering::SeqCst);
+                    break 'steal;
                 }
             }
         }
@@ -415,12 +554,13 @@ impl TermEngine<'_> {
     /// by the Monte-Carlo estimator for parallel trajectory evaluation.
     pub(crate) fn run_fixed(&self, jobs: &[Vec<usize>]) -> Result<FixedOutcome, QaecError> {
         let workers = self.worker_count(jobs.len());
+        let store = self.shared_store(workers);
         let batch_size = (jobs.len() / (workers * 4)).clamp(1, 32);
         let cursor = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
 
         let fold_worker = || -> Result<FixedWorkerHaul, QaecError> {
-            let mut ctx = WorkerCtx::new(self);
+            let mut ctx = WorkerCtx::new(self, store.clone());
             let mut values = Vec::new();
             loop {
                 if stop.load(Ordering::SeqCst) {
@@ -471,6 +611,9 @@ impl TermEngine<'_> {
             }
             max_nodes = max_nodes.max(nodes);
             stats.merge(&worker_stats);
+        }
+        if let Some(store) = &store {
+            stats.merge(&store.stats());
         }
         Ok(FixedOutcome {
             terms,
@@ -718,18 +861,52 @@ mod tests {
         let mut out = Vec::new();
         queue.pull(2, &mut out);
         assert_eq!(out.len(), 2);
+        assert_eq!((out[0].0, out[1].0), (0, 1), "sequence numbers are dense");
         queue.pull(2, &mut out);
         assert_eq!(out.len(), 1, "cap must stop the third pull at one term");
+        assert_eq!(out[0].0, 2);
         queue.pull(2, &mut out);
         assert!(out.is_empty());
     }
 
     #[test]
-    fn atomic_f64_helpers() {
-        let cell = AtomicU64::new(0.0f64.to_bits());
-        assert!((atomic_f64_add(&cell, 0.25) - 0.25).abs() < 1e-15);
-        assert!((atomic_f64_add(&cell, 0.5) - 0.75).abs() < 1e-15);
-        atomic_f64_sub_clamped(&cell, 2.0);
-        assert_eq!(f64::from_bits(cell.load(Ordering::SeqCst)), 0.0);
+    fn reducer_folds_out_of_order_terms_in_sequence_order() {
+        let mut r = Reducer::new(None);
+        // Terms 1 and 2 land before 0: nothing folds until the gap fills.
+        assert!(!r.submit(1, 0.25, 0.3));
+        assert!(!r.submit(2, 0.125, 0.2));
+        assert_eq!(r.folded, 0);
+        assert!(!r.submit(0, 0.5, 0.5));
+        assert_eq!(r.folded, 3);
+        assert!((r.lower - 0.875).abs() < 1e-15);
+        assert!((r.remaining() - 0.0).abs() < 1e-12);
+        assert!(r.pending.is_empty());
+    }
+
+    #[test]
+    fn reducer_decides_at_the_sequential_prefix_point() {
+        // ε = 0.2: the decision must land exactly when the *prefix* sum
+        // crosses 0.8, no matter that a later term arrived first.
+        let mut r = Reducer::new(Some(0.2));
+        assert!(!r.submit(2, 0.05, 0.06), "gap: nothing folds, no decision");
+        assert!(!r.submit(0, 0.5, 0.52));
+        let decided = r.submit(1, 0.35, 0.36);
+        assert!(decided);
+        let d = r.decision.expect("decision");
+        assert_eq!(d.verdict, Verdict::Equivalent);
+        assert_eq!(d.terms, 2, "term 2 is beyond the deciding prefix");
+        assert!((d.lower - 0.85).abs() < 1e-15);
+        // The frozen snapshot ignores the already-submitted term 2.
+        assert!((d.remaining - (1.0 - 0.52 - 0.36)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reducer_rejects_when_upper_bound_collapses() {
+        let mut r = Reducer::new(Some(0.05));
+        // One heavy term with almost no fidelity: upper bound crashes.
+        assert!(r.submit(0, 0.01, 0.9));
+        let d = r.decision.expect("decision");
+        assert_eq!(d.verdict, Verdict::NotEquivalent);
+        assert_eq!(d.terms, 1);
     }
 }

@@ -66,8 +66,11 @@ pub use alg2::{fidelity_alg2, Alg2Report};
 pub use alg_mc::{fidelity_monte_carlo, McReport};
 pub use checker::{auto_choice, check_equivalence, jamiolkowski_fidelity, AUTO_TERM_THRESHOLD};
 pub use error::QaecError;
-pub use options::{default_threads, AlgorithmChoice, CheckOptions, TermOrder, VarOrderStyle};
-pub use qaec_tdd::TddStats;
+pub use options::{
+    default_shared_table, default_threads, AlgorithmChoice, CheckOptions, SharedTableMode,
+    TermOrder, VarOrderStyle,
+};
+pub use qaec_tdd::{SharedTddStore, TddStats};
 pub use report::{AlgorithmUsed, EquivalenceReport, Verdict};
 
 use qaec_circuit::Circuit;

@@ -28,6 +28,41 @@ pub enum VarOrderStyle {
     TimeMajor,
 }
 
+/// Whether Algorithm I / Monte-Carlo workers share one concurrent TDD
+/// store (lock-striped unique table + sharded canonical weight
+/// interning) or each keep a fully private manager.
+///
+/// With the shared store, common sub-diagrams are hash-consed *across*
+/// worker threads — recovering Table II's "Opt." sharing in parallel
+/// runs — and results are **bit-identical** whatever the thread count,
+/// because the store's canonical interning makes every weight a pure
+/// function of its value. The private backend remains the unchanged
+/// sequential fast path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SharedTableMode {
+    /// Share exactly when more than one worker runs (the default): the
+    /// single-threaded path keeps its lock-free private store.
+    #[default]
+    Auto,
+    /// Always share, even with one worker — useful to get shared-store
+    /// numerics (and bit-comparability with parallel runs) sequentially.
+    On,
+    /// Never share: every worker keeps a private manager (the pre-shared
+    /// behaviour; cross-thread results agree only to ≈1e-9).
+    Off,
+}
+
+impl SharedTableMode {
+    /// Resolves the mode for an actual worker count.
+    pub fn enabled_for(self, workers: usize) -> bool {
+        match self {
+            SharedTableMode::Auto => workers > 1,
+            SharedTableMode::On => true,
+            SharedTableMode::Off => false,
+        }
+    }
+}
+
 /// Order in which Algorithm I enumerates Kraus selections.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum TermOrder {
@@ -89,6 +124,17 @@ pub struct CheckOptions {
     /// Cap on Algorithm I terms (None = all); bounds stay correct, they
     /// just stop tightening.
     pub max_terms: Option<usize>,
+    /// Whether parallel workers share one concurrent TDD store
+    /// (default: [`SharedTableMode::Auto`] — on whenever `threads > 1` —
+    /// overridable via the `QAEC_SHARED_TABLE` environment variable).
+    pub shared_table: SharedTableMode,
+    /// Seed each worker's contraction computed table from the heaviest
+    /// completed term's cache before every new batch (shared-store runs
+    /// only — cache entries hold store handles that are not portable
+    /// between private managers). Off by default;
+    /// [`qaec_tdd::TddStats::seed_imports`] / `seed_hits` report the
+    /// traffic and its payoff.
+    pub seed_cont_cache: bool,
 }
 
 /// The default worker-thread count: the `QAEC_THREADS` environment
@@ -106,6 +152,21 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// The default shared-store mode: the `QAEC_SHARED_TABLE` environment
+/// variable when set (`on`/`1`/`true` force sharing, `off`/`0`/`false`
+/// force private managers), else [`SharedTableMode::Auto`].
+///
+/// This is what [`CheckOptions::default`] uses, so CI can run the whole
+/// suite with either backend forced — the `shared-table-sanity` matrix
+/// does exactly that on 4 workers.
+pub fn default_shared_table() -> SharedTableMode {
+    match std::env::var("QAEC_SHARED_TABLE").as_deref() {
+        Ok("on") | Ok("1") | Ok("true") => SharedTableMode::On,
+        Ok("off") | Ok("0") | Ok("false") => SharedTableMode::Off,
+        _ => SharedTableMode::Auto,
+    }
+}
+
 impl Default for CheckOptions {
     fn default() -> Self {
         CheckOptions {
@@ -120,6 +181,8 @@ impl Default for CheckOptions {
             gc_threshold: Some(2_000_000),
             threads: default_threads(),
             max_terms: None,
+            shared_table: default_shared_table(),
+            seed_cont_cache: false,
         }
     }
 }
@@ -145,5 +208,23 @@ mod tests {
     #[test]
     fn default_threads_is_at_least_one() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn shared_table_resolution() {
+        assert!(!SharedTableMode::Auto.enabled_for(1));
+        assert!(SharedTableMode::Auto.enabled_for(2));
+        assert!(SharedTableMode::On.enabled_for(1));
+        assert!(SharedTableMode::On.enabled_for(8));
+        assert!(!SharedTableMode::Off.enabled_for(8));
+        // Unless the env override is active, the default is Auto; with
+        // it, CI forces one backend for the whole suite.
+        let expected = match std::env::var("QAEC_SHARED_TABLE").as_deref() {
+            Ok("on") | Ok("1") | Ok("true") => SharedTableMode::On,
+            Ok("off") | Ok("0") | Ok("false") => SharedTableMode::Off,
+            _ => SharedTableMode::Auto,
+        };
+        assert_eq!(CheckOptions::default().shared_table, expected);
+        assert!(!CheckOptions::default().seed_cont_cache);
     }
 }

@@ -117,7 +117,9 @@ pub fn contract_network_opts(
         peak_arena = peak_arena.max(m.arena_len());
 
         if let Some(threshold) = options.gc_threshold {
-            if m.arena_len() > threshold {
+            // Shared stores are append-only: collection is unavailable,
+            // memory is bounded by cross-thread sharing instead.
+            if m.supports_gc() && m.arena_len() > threshold {
                 let roots: Vec<Edge> = slots.iter().flatten().copied().collect();
                 let kept = gc::collect(m, &roots);
                 let mut it = kept.into_iter();
@@ -137,9 +139,7 @@ pub fn contract_network_opts(
     if plan.free_loops > 0 {
         root = Edge {
             node: root.node,
-            weight: m
-                .weights
-                .scale_real(root.weight, (plan.free_loops as f64).exp2()),
+            weight: m.wscale_real(root.weight, (plan.free_loops as f64).exp2()),
         };
     }
     Ok(ContractionResult {

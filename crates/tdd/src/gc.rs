@@ -4,6 +4,14 @@
 //! keeps the arena bounded. Collection invalidates the computed tables
 //! (their keys hold stale node ids), so the driver triggers it only
 //! between plan steps and re-registers the live roots.
+//!
+//! **Shared stores are append-only** (other workers hold live ids into
+//! the same arena, so nothing can move or be freed): for a manager
+//! attached to a [`crate::SharedTddStore`], [`collect`] is a documented
+//! no-op that returns the roots unchanged. Memory under sharing is
+//! bounded by cross-thread structure sharing instead of collection;
+//! callers can check [`TddManager::supports_gc`] to skip the call
+//! entirely.
 
 use crate::manager::{Edge, Node, NodeId, TddManager, TERMINAL_VAR};
 use std::collections::HashMap;
@@ -12,6 +20,10 @@ use std::collections::HashMap;
 ///
 /// Returns the remapped roots (same order). All previously held [`Edge`]s
 /// other than the returned ones become invalid. Weight ids remain valid.
+///
+/// On a shared-store manager this is a no-op (see the module docs): the
+/// roots come back unchanged, still valid, and `gc_runs` does not
+/// advance.
 ///
 /// # Example
 ///
@@ -36,8 +48,14 @@ use std::collections::HashMap;
 /// assert_eq!(m.eval(kept[0], &[1]), C64::real(2.0));
 /// ```
 pub fn collect(m: &mut TddManager, roots: &[Edge]) -> Vec<Edge> {
+    if !m.supports_gc() {
+        // Shared arenas never move: every root stays valid as-is.
+        return roots.to_vec();
+    }
+    let store = m.private_mut();
+
     // Mark.
-    let mut live: Vec<bool> = vec![false; m.nodes.len()];
+    let mut live: Vec<bool> = vec![false; store.nodes.len()];
     live[0] = true; // terminal
     let mut stack: Vec<NodeId> = roots.iter().map(|e| e.node).collect();
     while let Some(n) = stack.pop() {
@@ -46,21 +64,21 @@ pub fn collect(m: &mut TddManager, roots: &[Edge]) -> Vec<Edge> {
             continue;
         }
         live[slot] = true;
-        let node = m.nodes[slot];
+        let node = store.nodes[slot];
         stack.push(node.low.node);
         stack.push(node.high.node);
     }
 
     // Compact: children always live at lower ids than parents (the arena
     // grows bottom-up), so a single forward pass can rewrite child ids.
-    let mut remap: Vec<u32> = vec![0; m.nodes.len()];
-    let mut new_nodes: Vec<Node> = Vec::with_capacity(m.nodes.len());
+    let mut remap: Vec<u32> = vec![0; store.nodes.len()];
+    let mut new_nodes: Vec<Node> = Vec::with_capacity(store.nodes.len());
     new_nodes.push(Node {
         var: TERMINAL_VAR,
         low: Edge::ZERO,
         high: Edge::ZERO,
     });
-    for (old_id, node) in m.nodes.iter().enumerate().skip(1) {
+    for (old_id, node) in store.nodes.iter().enumerate().skip(1) {
         if !live[old_id] {
             continue;
         }
@@ -85,8 +103,8 @@ pub fn collect(m: &mut TddManager, roots: &[Edge]) -> Vec<Edge> {
         unique.insert(*node, NodeId(id as u32));
     }
 
-    m.nodes = new_nodes;
-    m.unique = unique;
+    store.nodes = new_nodes;
+    store.unique = unique;
     m.clear_computed_tables();
     m.stats.gc_runs += 1;
 
@@ -174,6 +192,28 @@ mod tests {
         let again = m.make_node(0, l, h);
         assert_eq!(again.node, kept[0].node);
         assert_eq!(m.arena_len(), 1);
+    }
+
+    #[test]
+    fn shared_store_collection_is_a_noop() {
+        let store = crate::SharedTddStore::new();
+        let mut m = TddManager::new_shared(&store);
+        let keep = {
+            let l = m.terminal(C64::real(1.0));
+            let h = m.terminal(C64::real(2.0));
+            m.make_node(0, l, h)
+        };
+        let _garbage = {
+            let l = m.terminal(C64::real(3.0));
+            let h = m.terminal(C64::real(5.0));
+            m.make_node(1, l, h)
+        };
+        let before = m.arena_len();
+        let kept = collect(&mut m, &[keep]);
+        assert_eq!(kept, vec![keep], "shared roots must come back unchanged");
+        assert_eq!(m.arena_len(), before, "append-only arena never shrinks");
+        assert_eq!(m.stats().gc_runs, 0, "no collection is recorded");
+        assert!((m.eval(kept[0], &[1]) - C64::real(2.0)).abs() < 1e-9);
     }
 
     #[test]

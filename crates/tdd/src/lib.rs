@@ -13,7 +13,13 @@
 //!
 //! * [`weight`] — tolerance-canonical interning of complex edge weights,
 //!   so that edges are two `u32`s and table lookups are exact;
-//! * [`manager`] — node arena, normalization rules, unique table;
+//! * [`manager`] — normalization rules and the `TddStore` storage
+//!   abstraction: a private per-manager arena + unique table (the
+//!   sequential fast path) or a handle onto a shared concurrent store;
+//! * [`store`] — the [`SharedTddStore`]: a lock-striped unique table and
+//!   sharded canonical weight interning over append-only arenas, so the
+//!   worker managers of a parallel run hash-cons sub-diagrams *across*
+//!   threads and produce bit-identical results whatever the scheduling;
 //! * [`ops`] — pointwise addition and contraction (multiply + sum out a
 //!   set of variables, with ×2 factors for variables skipped by both
 //!   operands);
@@ -21,7 +27,8 @@
 //! * [`driver`] — executes a [`qaec_tensornet::ContractionPlan`] on TDDs
 //!   and records the node-count statistics reported in the paper's
 //!   Table I;
-//! * [`gc`] — mark-compact garbage collection for long Algorithm I runs.
+//! * [`gc`] — mark-compact garbage collection for long Algorithm I runs
+//!   (a documented no-op on shared stores, whose arenas are append-only).
 //!
 //! # Example
 //!
@@ -51,10 +58,12 @@ pub mod driver;
 pub mod gc;
 pub mod manager;
 pub mod ops;
+pub mod store;
 pub mod weight;
 
 pub use driver::{
     contract_network, contract_network_opts, ContractionResult, DriverOptions, DriverTimeout,
 };
-pub use manager::{Edge, NodeId, TddManager, TddStats};
+pub use manager::{ContCacheKey, Edge, NodeId, TddManager, TddStats};
+pub use store::SharedTddStore;
 pub use weight::{WeightId, WeightTable};

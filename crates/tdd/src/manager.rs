@@ -1,8 +1,20 @@
 //! The TDD node arena, normalization rules and unique table.
+//!
+//! Node and weight storage sit behind the `TddStore` abstraction with
+//! two implementations: the default **private** store (a plain arena +
+//! unique table + [`WeightTable`], exactly the sequential fast path) and
+//! the **shared** [`crate::SharedTddStore`] (lock-striped concurrent
+//! tables over append-only arenas), which several managers — one per
+//! worker thread — can attach to so sub-diagrams hash-cons *across*
+//! threads. Computed tables (`add`/`cont` memoization) always stay
+//! per-manager; only `make_node`, weight interning/arithmetic and
+//! elimination-set interning route through the store.
 
+use crate::store::SharedTddStore;
 use crate::weight::{WeightId, WeightTable};
 use qaec_math::C64;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Handle to a node in the manager's arena. `NodeId::TERMINAL` (id 0) is
 /// the unique terminal node.
@@ -61,13 +73,28 @@ pub(crate) struct Node {
 /// The variable level reported for the terminal (below every real level).
 pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
 
+/// Key of one `cont` computed-table entry: the two (unit-weight) operand
+/// nodes, the interned elimination-set id and the position already
+/// consumed within it. With a shared store all four components are
+/// globally consistent, which is what lets entries travel between the
+/// workers of one run (see [`TddManager::seed_cont_cache`]).
+pub type ContCacheKey = (NodeId, NodeId, u32, u32);
+
 /// Operation counters and size statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TddStats {
-    /// Nodes ever allocated (monotone; survives GC).
+    /// Nodes ever allocated (monotone; survives GC). For a manager
+    /// attached to a shared store this stays 0 — allocations are counted
+    /// once, store-side (see [`crate::SharedTddStore::stats`]), so
+    /// merging every worker's stats cannot double-count them.
     pub nodes_created: u64,
-    /// Unique-table hits (structure sharing events).
+    /// Unique-table hits (structure sharing events). Store-side under
+    /// sharing, like `nodes_created`.
     pub unique_hits: u64,
+    /// Unique-table hits that resolved to a node created by a *different*
+    /// worker — the cross-thread structure sharing a shared store exists
+    /// to create. Always 0 for private stores.
+    pub cross_unique_hits: u64,
     /// `add` invocations / computed-table hits.
     pub add_calls: u64,
     /// `add` computed-table hits.
@@ -76,6 +103,11 @@ pub struct TddStats {
     pub cont_calls: u64,
     /// `cont` computed-table hits.
     pub cont_hits: u64,
+    /// `cont` cache entries imported from another worker's snapshot
+    /// ([`TddManager::seed_cont_cache`]).
+    pub seed_imports: u64,
+    /// `cont` computed-table hits served by an imported (seeded) entry.
+    pub seed_hits: u64,
     /// Garbage collections performed.
     pub gc_runs: u64,
     /// Largest arena size observed (live + dead nodes, excluding terminal).
@@ -85,7 +117,8 @@ pub struct TddStats {
 impl TddStats {
     /// Folds another manager's counters into this one: counts add up,
     /// size maxima take the max. Used to combine the thread-local
-    /// managers of a parallel run into one report.
+    /// managers of a parallel run into one report; with a shared store,
+    /// merge [`crate::SharedTddStore::stats`] exactly once on top.
     ///
     /// # Example
     ///
@@ -101,10 +134,13 @@ impl TddStats {
     pub fn merge(&mut self, other: &TddStats) {
         self.nodes_created += other.nodes_created;
         self.unique_hits += other.unique_hits;
+        self.cross_unique_hits += other.cross_unique_hits;
         self.add_calls += other.add_calls;
         self.add_hits += other.add_hits;
         self.cont_calls += other.cont_calls;
         self.cont_hits += other.cont_hits;
+        self.seed_imports += other.seed_imports;
+        self.seed_hits += other.seed_hits;
         self.gc_runs += other.gc_runs;
         self.peak_nodes = self.peak_nodes.max(other.peak_nodes);
     }
@@ -121,17 +157,42 @@ impl std::fmt::Display for TddStats {
         };
         write!(
             f,
-            "nodes created {} (peak {}), unique hits {}, add {} ({:.0}% hit), cont {} ({:.0}% hit), gc runs {}",
+            "nodes created {} (peak {}), unique hits {} ({} cross-thread), add {} ({:.0}% hit), cont {} ({:.0}% hit), seeded {} (hits {}), gc runs {}",
             self.nodes_created,
             self.peak_nodes,
             self.unique_hits,
+            self.cross_unique_hits,
             self.add_calls,
             100.0 * rate(self.add_hits, self.add_calls),
             self.cont_calls,
             100.0 * rate(self.cont_hits, self.cont_calls),
+            self.seed_imports,
+            self.seed_hits,
             self.gc_runs,
         )
     }
+}
+
+/// The private (per-manager) node/weight store: the sequential fast
+/// path, unchanged from the original single-threaded engine.
+#[derive(Debug)]
+pub(crate) struct PrivateStore {
+    pub(crate) weights: WeightTable,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: HashMap<Node, NodeId>,
+}
+
+/// Where a manager keeps its nodes and weights: its own [`PrivateStore`]
+/// or a handle onto a cross-thread [`SharedTddStore`].
+#[derive(Debug)]
+pub(crate) enum TddStore {
+    /// Exclusive storage owned by this manager.
+    Private(PrivateStore),
+    /// A worker handle onto storage shared with other managers.
+    Shared {
+        store: Arc<SharedTddStore>,
+        worker: u32,
+    },
 }
 
 /// The decision-diagram engine: arena, unique table, computed tables and
@@ -154,13 +215,14 @@ impl std::fmt::Display for TddStats {
 /// ```
 #[derive(Debug)]
 pub struct TddManager {
-    pub(crate) weights: WeightTable,
-    pub(crate) nodes: Vec<Node>,
-    pub(crate) unique: HashMap<Node, NodeId>,
+    pub(crate) store: TddStore,
     pub(crate) add_cache: HashMap<(Edge, Edge), Edge>,
-    pub(crate) cont_cache: HashMap<(NodeId, NodeId, u32, u32), Edge>,
-    pub(crate) elim_sets: Vec<Vec<u32>>,
-    pub(crate) elim_set_ids: HashMap<Vec<u32>, u32>,
+    pub(crate) cont_cache: HashMap<ContCacheKey, Edge>,
+    /// Keys of `cont_cache` entries imported from another worker.
+    pub(crate) cont_seeded: HashSet<ContCacheKey>,
+    /// Private-mode elimination sets (shared mode interns store-side).
+    elim_sets: Vec<Vec<u32>>,
+    elim_set_ids: HashMap<Vec<u32>, u32>,
     pub(crate) stats: TddStats,
 }
 
@@ -171,18 +233,20 @@ impl Default for TddManager {
 }
 
 impl TddManager {
-    /// A manager with the default weight tolerance (`1e-10`).
+    /// A manager with a private store and the default weight tolerance
+    /// (`1e-10`).
     pub fn new() -> Self {
         Self::with_tolerance(1e-10)
     }
 
-    /// A manager with a custom weight-interning tolerance.
+    /// A manager with a private store and a custom weight-interning
+    /// tolerance.
     ///
     /// # Panics
     ///
     /// Panics if `tol` is not strictly positive and finite.
     pub fn with_tolerance(tol: f64) -> Self {
-        TddManager {
+        Self::with_store(TddStore::Private(PrivateStore {
             weights: WeightTable::new(tol),
             nodes: vec![Node {
                 var: TERMINAL_VAR,
@@ -190,68 +254,222 @@ impl TddManager {
                 high: Edge::ZERO,
             }], // slot 0 = terminal sentinel
             unique: HashMap::new(),
+        }))
+    }
+
+    /// A worker manager attached to a [`SharedTddStore`]: nodes, weights
+    /// and elimination sets go through the shared concurrent tables,
+    /// while computed tables stay local to this manager. Handles minted
+    /// here are valid in every other manager attached to `store`.
+    pub fn new_shared(store: &Arc<SharedTddStore>) -> Self {
+        Self::new_shared_with_id(store, store.register_worker())
+    }
+
+    /// [`Self::new_shared`] under an explicit worker id (from
+    /// [`SharedTddStore::register_worker`]). Use this when one logical
+    /// worker creates several managers over its lifetime — e.g. fresh
+    /// per-term managers when table reuse is off — so unique-table hits
+    /// against that worker's own earlier nodes are not misattributed as
+    /// cross-thread sharing.
+    pub fn new_shared_with_id(store: &Arc<SharedTddStore>, worker: u32) -> Self {
+        Self::with_store(TddStore::Shared {
+            store: Arc::clone(store),
+            worker,
+        })
+    }
+
+    fn with_store(store: TddStore) -> Self {
+        TddManager {
+            store,
             add_cache: HashMap::new(),
             cont_cache: HashMap::new(),
+            cont_seeded: HashSet::new(),
             elim_sets: Vec::new(),
             elim_set_ids: HashMap::new(),
             stats: TddStats::default(),
         }
     }
 
-    /// Operation statistics so far.
+    /// Whether this manager is attached to a shared store.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.store, TddStore::Shared { .. })
+    }
+
+    /// Whether mark-compact garbage collection is available. Shared
+    /// stores are append-only (other workers hold live ids into the
+    /// arena), so [`crate::gc::collect`] is a no-op for them.
+    pub fn supports_gc(&self) -> bool {
+        !self.is_shared()
+    }
+
+    /// The private store, for the collector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shared-store manager (callers check
+    /// [`Self::supports_gc`] first).
+    pub(crate) fn private_mut(&mut self) -> &mut PrivateStore {
+        match &mut self.store {
+            TddStore::Private(p) => p,
+            TddStore::Shared { .. } => unreachable!("GC requested on a shared store"),
+        }
+    }
+
+    /// Operation statistics so far. For shared-store managers this holds
+    /// only the manager-local counters (computed tables, seeding);
+    /// allocation counters live in [`crate::SharedTddStore::stats`].
     pub fn stats(&self) -> TddStats {
         self.stats
     }
 
-    /// Number of arena slots currently allocated (live + dead, excluding
-    /// the terminal sentinel).
-    pub fn arena_len(&self) -> usize {
-        self.nodes.len() - 1
+    /// The weight-interning tolerance.
+    pub fn tolerance(&self) -> f64 {
+        match &self.store {
+            TddStore::Private(p) => p.weights.tolerance(),
+            TddStore::Shared { store, .. } => store.tolerance(),
+        }
     }
 
-    /// Access to the weight table.
-    pub fn weights(&self) -> &WeightTable {
-        &self.weights
+    /// Number of arena slots currently allocated (live + dead, excluding
+    /// the terminal sentinel). Global — i.e. across all workers — for a
+    /// shared store.
+    pub fn arena_len(&self) -> usize {
+        match &self.store {
+            TddStore::Private(p) => p.nodes.len() - 1,
+            TddStore::Shared { store, .. } => store.arena_len(),
+        }
     }
 
     /// Interns a complex value as an edge weight.
     pub fn intern_weight(&mut self, z: C64) -> WeightId {
-        self.weights.intern(z)
+        match &mut self.store {
+            TddStore::Private(p) => p.weights.intern(z),
+            TddStore::Shared { store, .. } => store.intern_weight(z),
+        }
     }
 
     /// The complex value of an edge weight.
+    #[inline]
     pub fn weight_value(&self, w: WeightId) -> C64 {
-        self.weights.value(w)
+        match &self.store {
+            TddStore::Private(p) => p.weights.value(w),
+            TddStore::Shared { store, .. } => store.weight_value(w),
+        }
+    }
+
+    /// Interned product `a·b`.
+    pub(crate) fn wmul(&mut self, a: WeightId, b: WeightId) -> WeightId {
+        match &mut self.store {
+            TddStore::Private(p) => p.weights.mul(a, b),
+            TddStore::Shared { store, .. } => {
+                if a.is_zero() || b.is_zero() {
+                    WeightId::ZERO
+                } else if a.is_one() {
+                    b
+                } else if b.is_one() {
+                    a
+                } else {
+                    store.intern_weight(store.weight_value(a) * store.weight_value(b))
+                }
+            }
+        }
+    }
+
+    /// Interned sum `a + b`.
+    pub(crate) fn wadd(&mut self, a: WeightId, b: WeightId) -> WeightId {
+        match &mut self.store {
+            TddStore::Private(p) => p.weights.add(a, b),
+            TddStore::Shared { store, .. } => {
+                if a.is_zero() {
+                    b
+                } else if b.is_zero() {
+                    a
+                } else {
+                    store.intern_weight(store.weight_value(a) + store.weight_value(b))
+                }
+            }
+        }
+    }
+
+    /// Interned quotient `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is the zero weight.
+    pub(crate) fn wdiv(&mut self, a: WeightId, b: WeightId) -> WeightId {
+        match &mut self.store {
+            TddStore::Private(p) => p.weights.div(a, b),
+            TddStore::Shared { store, .. } => {
+                assert!(!b.is_zero(), "division by the zero weight");
+                if a.is_zero() {
+                    WeightId::ZERO
+                } else if b.is_one() {
+                    a
+                } else if a == b {
+                    WeightId::ONE
+                } else {
+                    store.intern_weight(store.weight_value(a) / store.weight_value(b))
+                }
+            }
+        }
+    }
+
+    /// Interned scalar multiple by a real factor.
+    pub(crate) fn wscale_real(&mut self, a: WeightId, factor: f64) -> WeightId {
+        match &mut self.store {
+            TddStore::Private(p) => p.weights.scale_real(a, factor),
+            TddStore::Shared { store, .. } => {
+                if factor == 0.0 || a.is_zero() {
+                    if factor == 0.0 {
+                        WeightId::ZERO
+                    } else {
+                        a
+                    }
+                } else {
+                    store.intern_weight(store.weight_value(a) * factor)
+                }
+            }
+        }
+    }
+
+    /// The modulus of the value behind `a`.
+    #[inline]
+    pub(crate) fn wmagnitude(&self, a: WeightId) -> f64 {
+        self.weight_value(a).abs()
     }
 
     /// A terminal edge with the given scalar value.
     pub fn terminal(&mut self, z: C64) -> Edge {
         Edge {
             node: NodeId::TERMINAL,
-            weight: self.weights.intern(z),
+            weight: self.intern_weight(z),
         }
     }
 
     /// The scalar behind an edge, if it is a terminal edge.
     pub fn edge_scalar(&self, e: Edge) -> Option<C64> {
-        e.node.is_terminal().then(|| self.weights.value(e.weight))
+        e.node.is_terminal().then(|| self.weight_value(e.weight))
     }
 
     /// The variable level of an edge's root node (`u32::MAX` for the
     /// terminal).
     #[inline]
     pub fn var(&self, n: NodeId) -> u32 {
-        self.nodes[n.0 as usize].var
+        self.node(n).var
     }
 
+    #[inline]
     pub(crate) fn node(&self, n: NodeId) -> Node {
-        self.nodes[n.0 as usize]
+        match &self.store {
+            TddStore::Private(p) => p.nodes[n.0 as usize],
+            TddStore::Shared { store, .. } => store.node(n),
+        }
     }
 
     /// The normalized node constructor: applies the reduction rule (equal
     /// children → skip the node) and weight normalization (divide both
     /// child weights by the larger-magnitude one, ties preferring the low
-    /// child), then hash-conses through the unique table.
+    /// child), then hash-conses through the store's unique table.
     ///
     /// `low`/`high` are the cofactor edges at `var = 0` / `var = 1`.
     ///
@@ -271,9 +489,9 @@ impl TddManager {
         if low.is_zero() && high.is_zero() {
             return Edge::ZERO;
         }
-        let ml = self.weights.magnitude(low.weight);
-        let mh = self.weights.magnitude(high.weight);
-        let norm = if ml + self.weights.tolerance() >= mh {
+        let ml = self.wmagnitude(low.weight);
+        let mh = self.wmagnitude(high.weight);
+        let norm = if ml + self.tolerance() >= mh {
             low.weight
         } else {
             high.weight
@@ -283,7 +501,7 @@ impl TddManager {
             weight: if low.weight == norm {
                 WeightId::ONE
             } else {
-                self.weights.div(low.weight, norm)
+                self.wdiv(low.weight, norm)
             },
         };
         let new_high = Edge {
@@ -291,7 +509,7 @@ impl TddManager {
             weight: if high.weight == norm {
                 WeightId::ONE
             } else {
-                self.weights.div(high.weight, norm)
+                self.wdiv(high.weight, norm)
             },
         };
         let key = Node {
@@ -299,19 +517,24 @@ impl TddManager {
             low: new_low,
             high: new_high,
         };
-        let node = match self.unique.get(&key) {
-            Some(&id) => {
-                self.stats.unique_hits += 1;
-                id
-            }
-            None => {
-                let id = NodeId(self.nodes.len() as u32);
-                self.nodes.push(key);
-                self.unique.insert(key, id);
-                self.stats.nodes_created += 1;
-                self.stats.peak_nodes = self.stats.peak_nodes.max(self.nodes.len() - 1);
-                id
-            }
+        let node = match &mut self.store {
+            TddStore::Private(p) => match p.unique.get(&key) {
+                Some(&id) => {
+                    self.stats.unique_hits += 1;
+                    id
+                }
+                None => {
+                    let id = NodeId(p.nodes.len() as u32);
+                    p.nodes.push(key);
+                    p.unique.insert(key, id);
+                    self.stats.nodes_created += 1;
+                    self.stats.peak_nodes = self.stats.peak_nodes.max(p.nodes.len() - 1);
+                    id
+                }
+            },
+            // Allocation counters are store-owned under sharing (merged
+            // once per run), so nothing is added to the local stats here.
+            TddStore::Shared { store, worker } => store.unique_node(key, *worker),
         };
         Edge { node, weight: norm }
     }
@@ -327,11 +550,11 @@ impl TddManager {
         debug_assert_eq!(node.var, var, "edge root above requested variable");
         let low = Edge {
             node: node.low.node,
-            weight: self.weights.mul(e.weight, node.low.weight),
+            weight: self.wmul(e.weight, node.low.weight),
         };
         let high = Edge {
             node: node.high.node,
-            weight: self.weights.mul(e.weight, node.high.weight),
+            weight: self.wmul(e.weight, node.high.weight),
         };
         (low, high)
     }
@@ -343,7 +566,7 @@ impl TddManager {
     /// precisely, the walk consumes `assignment[var]` at every node
     /// branching on `var`, so the slice must be indexed by level.
     pub fn eval(&self, e: Edge, assignment: &[u8]) -> C64 {
-        let mut value = self.weights.value(e.weight);
+        let mut value = self.weight_value(e.weight);
         let mut node_id = e.node;
         while !node_id.is_terminal() {
             let node = self.node(node_id);
@@ -352,7 +575,7 @@ impl TddManager {
                 .copied()
                 .unwrap_or_else(|| panic!("assignment missing level {}", node.var));
             let next = if bit == 0 { node.low } else { node.high };
-            value *= self.weights.value(next.weight);
+            value *= self.weight_value(next.weight);
             node_id = next.node;
         }
         value
@@ -381,25 +604,64 @@ impl TddManager {
     pub fn clear_computed_tables(&mut self) {
         self.add_cache.clear();
         self.cont_cache.clear();
+        self.cont_seeded.clear();
+    }
+
+    /// A copy of this manager's `cont` computed table, for shipping to
+    /// another worker on the *same shared store* (handles are not
+    /// portable between private stores).
+    pub fn snapshot_cont_cache(&self) -> HashMap<ContCacheKey, Edge> {
+        self.cont_cache.clone()
+    }
+
+    /// Imports another worker's computed-table snapshot: entries whose
+    /// key this manager has not computed itself are inserted and marked,
+    /// so [`TddStats::seed_imports`] counts what arrived and
+    /// [`TddStats::seed_hits`] later proves which imports paid off.
+    ///
+    /// Only meaningful between managers attached to the same
+    /// [`SharedTddStore`] — node, weight and elimination-set handles in
+    /// the entries must be valid here.
+    pub fn seed_cont_cache(&mut self, entries: &HashMap<ContCacheKey, Edge>) {
+        debug_assert!(
+            self.is_shared(),
+            "cont-cache seeding requires a shared store"
+        );
+        for (&key, &result) in entries {
+            if let std::collections::hash_map::Entry::Vacant(slot) = self.cont_cache.entry(key) {
+                slot.insert(result);
+                self.cont_seeded.insert(key);
+                self.stats.seed_imports += 1;
+            }
+        }
     }
 
     /// Interns an elimination set (sorted variable levels) for contraction
     /// cache keys, returning its id. Calling twice with the same content
     /// returns the same id, which is what lets the computed table share
-    /// work across Algorithm I trace terms.
+    /// work across Algorithm I trace terms (and, store-wide, across
+    /// workers).
     pub fn intern_elim_set(&mut self, levels: Vec<u32>) -> u32 {
         debug_assert!(levels.windows(2).all(|w| w[0] < w[1]), "levels not sorted");
-        if let Some(&id) = self.elim_set_ids.get(&levels) {
-            return id;
+        match &self.store {
+            TddStore::Shared { store, .. } => store.intern_elim_set(levels),
+            TddStore::Private(_) => {
+                if let Some(&id) = self.elim_set_ids.get(&levels) {
+                    return id;
+                }
+                let id = self.elim_sets.len() as u32;
+                self.elim_sets.push(levels.clone());
+                self.elim_set_ids.insert(levels, id);
+                id
+            }
         }
-        let id = self.elim_sets.len() as u32;
-        self.elim_sets.push(levels.clone());
-        self.elim_set_ids.insert(levels, id);
-        id
     }
 
     pub(crate) fn elim_set(&self, id: u32) -> &[u32] {
-        &self.elim_sets[id as usize]
+        match &self.store {
+            TddStore::Private(_) => &self.elim_sets[id as usize],
+            TddStore::Shared { store, .. } => store.elim_set(id),
+        }
     }
 }
 
@@ -547,31 +809,108 @@ mod tests {
         let mut a = TddStats {
             nodes_created: 10,
             unique_hits: 1,
+            cross_unique_hits: 1,
             add_calls: 2,
             add_hits: 1,
             cont_calls: 4,
             cont_hits: 3,
+            seed_imports: 2,
+            seed_hits: 1,
             gc_runs: 1,
             peak_nodes: 100,
         };
         let b = TddStats {
             nodes_created: 5,
             unique_hits: 2,
+            cross_unique_hits: 0,
             add_calls: 3,
             add_hits: 2,
             cont_calls: 6,
             cont_hits: 1,
+            seed_imports: 1,
+            seed_hits: 2,
             gc_runs: 0,
             peak_nodes: 40,
         };
         a.merge(&b);
         assert_eq!(a.nodes_created, 15);
         assert_eq!(a.unique_hits, 3);
+        assert_eq!(a.cross_unique_hits, 1);
         assert_eq!(a.add_calls, 5);
         assert_eq!(a.add_hits, 3);
         assert_eq!(a.cont_calls, 10);
         assert_eq!(a.cont_hits, 4);
+        assert_eq!(a.seed_imports, 3);
+        assert_eq!(a.seed_hits, 3);
         assert_eq!(a.gc_runs, 1);
         assert_eq!(a.peak_nodes, 100, "peak takes the max, not the sum");
+    }
+
+    #[test]
+    fn shared_managers_hash_cons_across_instances() {
+        let store = SharedTddStore::new();
+        let mut a = TddManager::new_shared(&store);
+        let mut b = TddManager::new_shared(&store);
+        let build = |m: &mut TddManager| {
+            let l = m.terminal(C64::real(1.0));
+            let h = m.terminal(C64::real(2.0));
+            m.make_node(0, l, h)
+        };
+        let ea = build(&mut a);
+        let eb = build(&mut b);
+        assert_eq!(ea, eb, "same structure must get the same global id");
+        assert_eq!(a.arena_len(), 1, "stored once, visible to both");
+        assert_eq!(b.arena_len(), 1);
+        // Store-aware attribution: locals stay 0, the store counts once.
+        assert_eq!(a.stats().nodes_created, 0);
+        assert_eq!(b.stats().nodes_created, 0);
+        let mut merged = a.stats();
+        merged.merge(&b.stats());
+        merged.merge(&store.stats());
+        assert_eq!(
+            merged.nodes_created, 1,
+            "merged stats must not double-count shared allocations"
+        );
+        assert_eq!(merged.cross_unique_hits, 1);
+        // b can read a's diagram through its own handle.
+        assert!((b.eval(ea, &[1]) - C64::real(2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_normalization_matches_private_semantics() {
+        let store = SharedTddStore::new();
+        let mut m = TddManager::new_shared(&store);
+        let low = m.terminal(C64::real(0.5));
+        let high = m.terminal(C64::real(-1.0));
+        let e = m.make_node(0, low, high);
+        assert!((m.weight_value(e.weight) - C64::real(-1.0)).abs() < 1e-9);
+        let n = m.node(e.node);
+        assert_eq!(n.high.weight, WeightId::ONE);
+        assert!((m.weight_value(n.low.weight) - C64::real(-0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeded_cont_entries_are_imported_once_and_marked() {
+        let store = SharedTddStore::new();
+        let mut a = TddManager::new_shared(&store);
+        let mut b = TddManager::new_shared(&store);
+        let l = a.terminal(C64::real(1.0));
+        let h = a.terminal(C64::real(2.0));
+        let e = a.make_node(0, l, h);
+        let set = a.intern_elim_set(vec![0]);
+        let key: ContCacheKey = (e.node, NodeId::TERMINAL, set, 0);
+        a.cont_cache.insert(key, Edge::ONE);
+
+        let snapshot = a.snapshot_cont_cache();
+        b.seed_cont_cache(&snapshot);
+        assert_eq!(b.stats().seed_imports, 1);
+        assert!(b.cont_seeded.contains(&key));
+        // Re-seeding the same snapshot imports nothing new.
+        b.seed_cont_cache(&snapshot);
+        assert_eq!(b.stats().seed_imports, 1);
+        // Clearing computed tables drops the seeded markers too.
+        b.clear_computed_tables();
+        assert!(b.cont_cache.is_empty());
+        assert!(b.cont_seeded.is_empty());
     }
 }

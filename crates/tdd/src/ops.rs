@@ -34,7 +34,7 @@ pub fn add(m: &mut TddManager, a: Edge, b: Edge) -> Edge {
     }
     // Same structure: add the weights.
     if a.node == b.node {
-        let w = m.weights.add(a.weight, b.weight);
+        let w = m.wadd(a.weight, b.weight);
         if w.is_zero() {
             return Edge::ZERO;
         }
@@ -43,14 +43,29 @@ pub fn add(m: &mut TddManager, a: Edge, b: Edge) -> Edge {
             weight: w,
         };
     }
-    // Canonical operand order (commutative).
-    let (a, b) = if (b.node, b.weight) < (a.node, a.weight) {
-        (b, a)
-    } else {
-        (a, b)
+    // Canonical operand order (commutative). Ordering by weight *value*
+    // — not by handle — keeps the factorization below a pure function of
+    // the operands, so shared-store runs compute bit-identical results
+    // whatever order the ids were allocated in across threads. Handles
+    // only break exact-value ties, where the factor weights coincide and
+    // the recursion is numerically symmetric anyway.
+    let (a, b) = {
+        let va = m.weight_value(a.weight);
+        let vb = m.weight_value(b.weight);
+        let swap = vb
+            .re
+            .total_cmp(&va.re)
+            .then(vb.im.total_cmp(&va.im))
+            .then_with(|| (b.node, b.weight).cmp(&(a.node, a.weight)))
+            .is_lt();
+        if swap {
+            (b, a)
+        } else {
+            (a, b)
+        }
     };
     // Factor out a's weight: add(wa·A, wb·B) = wa · add(A, (wb/wa)·B).
-    let ratio = m.weights.div(b.weight, a.weight);
+    let ratio = m.wdiv(b.weight, a.weight);
     let na = Edge {
         node: a.node,
         weight: WeightId::ONE,
@@ -64,7 +79,7 @@ pub fn add(m: &mut TddManager, a: Edge, b: Edge) -> Edge {
         m.stats.add_hits += 1;
         return Edge {
             node: hit.node,
-            weight: m.weights.mul(hit.weight, a.weight),
+            weight: m.wmul(hit.weight, a.weight),
         };
     }
     let x = m.var(na.node).min(m.var(nb.node));
@@ -76,7 +91,7 @@ pub fn add(m: &mut TddManager, a: Edge, b: Edge) -> Edge {
     m.add_cache.insert(key, result);
     Edge {
         node: result.node,
-        weight: m.weights.mul(result.weight, a.weight),
+        weight: m.wmul(result.weight, a.weight),
     }
 }
 
@@ -111,7 +126,7 @@ pub fn cont(m: &mut TddManager, a: Edge, b: Edge, set_id: u32) -> Edge {
 
 fn cont_rec(m: &mut TddManager, a: Edge, b: Edge, set_id: u32, k: usize) -> Edge {
     m.stats.cont_calls += 1;
-    let w = m.weights.mul(a.weight, b.weight);
+    let w = m.wmul(a.weight, b.weight);
     if w.is_zero() {
         return Edge::ZERO;
     }
@@ -119,13 +134,15 @@ fn cont_rec(m: &mut TddManager, a: Edge, b: Edge, set_id: u32, k: usize) -> Edge
     // both operands → factor 2 each.
     if a.node.is_terminal() && b.node.is_terminal() {
         let remaining = m.elim_set(set_id).len() - k;
-        let weight = m.weights.scale_real(w, (remaining as f64).exp2());
+        let weight = m.wscale_real(w, (remaining as f64).exp2());
         return Edge {
             node: a.node,
             weight,
         };
     }
-    // Canonical operand order (contraction is symmetric).
+    // Canonical operand order (contraction is symmetric, and both
+    // operands are reduced to unit weight below, so — unlike `add` —
+    // id-based ordering affects only the cache key, never the value).
     let (na, nb) = if b.node < a.node {
         (b.node, a.node)
     } else {
@@ -134,9 +151,12 @@ fn cont_rec(m: &mut TddManager, a: Edge, b: Edge, set_id: u32, k: usize) -> Edge
     let key = (na, nb, set_id, k as u32);
     if let Some(&hit) = m.cont_cache.get(&key) {
         m.stats.cont_hits += 1;
+        if !m.cont_seeded.is_empty() && m.cont_seeded.contains(&key) {
+            m.stats.seed_hits += 1;
+        }
         return Edge {
             node: hit.node,
-            weight: m.weights.mul(hit.weight, w),
+            weight: m.wmul(hit.weight, w),
         };
     }
 
@@ -177,13 +197,13 @@ fn cont_rec(m: &mut TddManager, a: Edge, b: Edge, set_id: u32, k: usize) -> Edge
     if skips > 0.0 {
         result = Edge {
             node: result.node,
-            weight: m.weights.scale_real(result.weight, skips.exp2()),
+            weight: m.wscale_real(result.weight, skips.exp2()),
         };
     }
     m.cont_cache.insert(key, result);
     Edge {
         node: result.node,
-        weight: m.weights.mul(result.weight, w),
+        weight: m.wmul(result.weight, w),
     }
 }
 

@@ -1,0 +1,558 @@
+//! The shared concurrent TDD store: a lock-striped unique table plus a
+//! sharded, canonically-snapping weight-interning table over append-only
+//! arenas.
+//!
+//! A [`SharedTddStore`] lets several [`crate::TddManager`]s — one per
+//! worker thread — hash-cons nodes and intern weights into *one* set of
+//! tables, so common sub-diagrams built by different workers are stored
+//! once and cross-thread `NodeId`/`WeightId` handles stay valid
+//! everywhere. Three design rules make this safe and fast:
+//!
+//! * **Append-only arenas.** Nodes, weights and elimination sets live in
+//!   append-only arenas that never move or free entries, so `node(id)` and
+//!   `weight_value(id)` are lock-free reads from any thread. Compacting
+//!   garbage collection is therefore impossible while a store is shared;
+//!   [`crate::gc::collect`] degrades to a documented no-op (memory is
+//!   bounded by cross-thread sharing instead of collection).
+//! * **Lock striping.** Find-or-insert goes through one of
+//!   [`STRIPES`] mutex-guarded hash-map shards selected by the key's
+//!   hash (nodes) or quantised bucket (weights), so insertions from
+//!   different workers rarely contend and reads of already-interned data
+//!   never block on unrelated insertions.
+//! * **Canonical interning.** The private [`crate::WeightTable`] merges
+//!   values *first-come-first-served* within a tolerance, which makes
+//!   the stored representative depend on insertion order — harmless
+//!   sequentially, but racy across threads. The shared table instead
+//!   snaps every value to the centre of a fine sub-tolerance grid cell,
+//!   a pure function of the value alone. Every arithmetic result is
+//!   then identical whatever the thread interleaving, which is what
+//!   makes shared-store parallel runs **bit-identical** to sequential
+//!   ones.
+
+use crate::manager::{Edge, Node, NodeId, TddStats, TERMINAL_VAR};
+use crate::weight::WeightId;
+use qaec_math::C64;
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of mutex stripes in each concurrent table. A power of two so
+/// stripe selection is a mask.
+pub const STRIPES: usize = 64;
+
+/// log2 of the first arena chunk's capacity.
+const FIRST_BITS: u32 = 10;
+/// Spine length: chunk sizes double, so 33 chunks cover > 2^42 entries —
+/// far beyond the `u32` id space actually addressable.
+const SPINE: usize = 33;
+
+/// An append-only, grow-only arena with lock-free reads.
+///
+/// Entries are immutable once pushed. Storage is a spine of
+/// doubling-size chunks (1024, 1024, 2048, 4096, …) allocated lazily, so
+/// pushing never moves existing entries and readers never observe a
+/// reallocation. A single internal mutex serialises appends; the
+/// published length is released *after* the slot is written, so any
+/// reader that checks `index < len` (with an acquire load) sees fully
+/// initialised data.
+/// One lazily-allocated chunk of arena slots.
+type Chunk<T> = Box<[UnsafeCell<MaybeUninit<T>>]>;
+
+struct AppendArena<T> {
+    spine: [OnceLock<Chunk<T>>; SPINE],
+    len: AtomicUsize,
+    push_lock: Mutex<()>,
+}
+
+// SAFETY: slots are written exactly once, before the fence provided by
+// `len.store(Release)` / the caller's stripe mutex, and are immutable
+// afterwards; readers only dereference indices below the acquired `len`.
+unsafe impl<T: Send + Sync> Sync for AppendArena<T> {}
+unsafe impl<T: Send> Send for AppendArena<T> {}
+
+/// Maps an entry index to its (chunk, offset) coordinates.
+#[inline]
+fn locate(index: usize) -> (usize, usize) {
+    let adjusted = index + (1usize << FIRST_BITS);
+    let level = usize::BITS - 1 - adjusted.leading_zeros();
+    let chunk = (level - FIRST_BITS) as usize;
+    (chunk, adjusted - (1usize << level))
+}
+
+impl<T> AppendArena<T> {
+    fn new() -> Self {
+        AppendArena {
+            spine: std::array::from_fn(|_| OnceLock::new()),
+            len: AtomicUsize::new(0),
+            push_lock: Mutex::new(()),
+        }
+    }
+
+    /// Number of initialised entries.
+    #[inline]
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Appends `value`, returning its index.
+    fn push(&self, value: T) -> usize {
+        let _guard = self.push_lock.lock().expect("arena push lock poisoned");
+        let index = self.len.load(Ordering::Relaxed);
+        let (chunk, offset) = locate(index);
+        let slots = self.spine[chunk].get_or_init(|| {
+            let capacity = 1usize << (FIRST_BITS as usize + chunk);
+            (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect()
+        });
+        // SAFETY: `index` is past the published length, so no reader may
+        // touch this slot yet, and the push lock excludes other writers.
+        unsafe { (*slots[offset].get()).write(value) };
+        self.len.store(index + 1, Ordering::Release);
+        index
+    }
+
+    /// Reads the entry at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    fn get(&self, index: usize) -> &T {
+        assert!(index < self.len(), "arena index {index} out of bounds");
+        let (chunk, offset) = locate(index);
+        let slots = self.spine[chunk].get().expect("chunk published");
+        // SAFETY: `index < len` (acquire) implies the slot was fully
+        // written before the length was released, and it never mutates.
+        unsafe { (*slots[offset].get()).assume_init_ref() }
+    }
+}
+
+impl<T> Drop for AppendArena<T> {
+    fn drop(&mut self) {
+        if !std::mem::needs_drop::<T>() {
+            return;
+        }
+        for index in 0..*self.len.get_mut() {
+            let (chunk, offset) = locate(index);
+            if let Some(slots) = self.spine[chunk].get_mut() {
+                // SAFETY: every index below `len` was initialised once
+                // and is dropped exactly once here.
+                unsafe { slots[offset].get_mut().assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// Computes the stripe for a hashable key.
+#[inline]
+fn stripe_of<K: Hash>(key: &K) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) & (STRIPES - 1)
+}
+
+/// The concurrent node + weight + elimination-set store shared by the
+/// worker managers of one parallel run.
+///
+/// Create one per run with [`SharedTddStore::new`] (or
+/// [`SharedTddStore::with_tolerance`]) and hand clones of the `Arc` to
+/// [`crate::TddManager::new_shared`]. All handles minted by any attached
+/// manager are valid in every other attached manager.
+///
+/// # Example
+///
+/// ```
+/// use qaec_math::C64;
+/// use qaec_tdd::{SharedTddStore, TddManager};
+///
+/// let store = SharedTddStore::new();
+/// let mut a = TddManager::new_shared(&store);
+/// let mut b = TddManager::new_shared(&store);
+/// let ea = {
+///     let l = a.terminal(C64::real(1.0));
+///     let h = a.terminal(C64::real(2.0));
+///     a.make_node(0, l, h)
+/// };
+/// let eb = {
+///     let l = b.terminal(C64::real(1.0));
+///     let h = b.terminal(C64::real(2.0));
+///     b.make_node(0, l, h)
+/// };
+/// // Hash-consed across managers: same node id, stored exactly once.
+/// assert_eq!(ea, eb);
+/// assert_eq!(store.stats().nodes_created, 1);
+/// assert_eq!(store.stats().cross_unique_hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct SharedTddStore {
+    tol: f64,
+    /// Canonical snapping grid width. Deliberately finer than the
+    /// private merging radius (`tol`): first-come-first-served merging
+    /// only perturbs *colliding* values, while snapping perturbs every
+    /// intern, so the cell is shrunk to `tol / 32` to keep cumulative
+    /// drift inside even the checker's tightest 1e-10 accuracy targets —
+    /// while staying orders of magnitude above f64 round-off (~1e-15),
+    /// which is what canonicity actually has to unify.
+    grid: f64,
+    /// Magnitudes past this fall back to exact-bits interning (the
+    /// tolerance grid is meaningless out there and its `i64` key would
+    /// saturate).
+    huge: f64,
+    nodes: AppendArena<Node>,
+    node_stripes: Vec<Mutex<HashMap<Node, (NodeId, u32)>>>,
+    weights: AppendArena<C64>,
+    weight_stripes: Vec<Mutex<HashMap<(i64, i64), WeightId>>>,
+    huge_weights: Mutex<HashMap<(u64, u64), WeightId>>,
+    elim_sets: AppendArena<Box<[u32]>>,
+    elim_ids: Mutex<HashMap<Vec<u32>, u32>>,
+    unique_hits: AtomicU64,
+    cross_unique_hits: AtomicU64,
+    workers: AtomicU32,
+}
+
+impl std::fmt::Debug for AppendArena<Node> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AppendArena<Node>(len = {})", self.len())
+    }
+}
+
+impl std::fmt::Debug for AppendArena<C64> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AppendArena<C64>(len = {})", self.len())
+    }
+}
+
+impl std::fmt::Debug for AppendArena<Box<[u32]>> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AppendArena<elim>(len = {})", self.len())
+    }
+}
+
+impl SharedTddStore {
+    /// A shared store with the default weight tolerance (`1e-10`),
+    /// matching [`crate::TddManager::new`].
+    pub fn new() -> Arc<Self> {
+        Self::with_tolerance(1e-10)
+    }
+
+    /// A shared store with a custom weight tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol` is not strictly positive and finite.
+    pub fn with_tolerance(tol: f64) -> Arc<Self> {
+        assert!(tol > 0.0 && tol.is_finite(), "tolerance must be positive");
+        let grid = tol / 32.0;
+        let store = SharedTddStore {
+            tol,
+            grid,
+            // Past this the grid key `round(x / grid)` nears `i64`
+            // saturation and f64 precision; see `intern_weight`.
+            huge: 0.5 * (i64::MAX as f64) * grid,
+            nodes: AppendArena::new(),
+            node_stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            weights: AppendArena::new(),
+            weight_stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            huge_weights: Mutex::new(HashMap::new()),
+            elim_sets: AppendArena::new(),
+            elim_ids: Mutex::new(HashMap::new()),
+            unique_hits: AtomicU64::new(0),
+            cross_unique_hits: AtomicU64::new(0),
+            workers: AtomicU32::new(0),
+        };
+        // Slot 0: the terminal sentinel, as in the private arena.
+        store.nodes.push(Node {
+            var: TERMINAL_VAR,
+            low: Edge::ZERO,
+            high: Edge::ZERO,
+        });
+        // Weight slots 0/1: exact 0 and 1, pre-inserted under their grid
+        // keys so `WeightId::{ZERO, ONE}` hold exact constants.
+        store.weights.push(C64::ZERO);
+        store.weights.push(C64::ONE);
+        let one_key = store.grid_key(C64::ONE);
+        store.weight_stripes[stripe_of(&one_key)]
+            .lock()
+            .expect("weight stripe poisoned")
+            .insert(one_key, WeightId::ONE);
+        Arc::new(store)
+    }
+
+    /// The weight-interning tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tol
+    }
+
+    /// Registers a new worker and returns its id (used to attribute
+    /// cross-thread unique-table hits). [`crate::TddManager::new_shared`]
+    /// calls this for you.
+    pub fn register_worker(&self) -> u32 {
+        self.workers.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Number of arena slots allocated (live nodes, excluding the
+    /// terminal sentinel). Monotone: the shared store never compacts.
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Number of distinct interned weights.
+    pub fn weight_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Store-level statistics: total nodes created across *all* attached
+    /// managers, unique-table hits, and how many of those hits resolved
+    /// to a node created by a different worker. Merge this **once** into
+    /// a report — per-manager [`crate::TddManager::stats`] deliberately
+    /// exclude these store-owned counters so they are never
+    /// double-counted (each worker would otherwise re-report the same
+    /// global allocations).
+    pub fn stats(&self) -> TddStats {
+        TddStats {
+            nodes_created: self.arena_len() as u64,
+            unique_hits: self.unique_hits.load(Ordering::Relaxed),
+            cross_unique_hits: self.cross_unique_hits.load(Ordering::Relaxed),
+            peak_nodes: self.arena_len(),
+            ..TddStats::default()
+        }
+    }
+
+    #[inline]
+    fn grid_key(&self, z: C64) -> (i64, i64) {
+        let w = self.grid;
+        ((z.re / w).round() as i64, (z.im / w).round() as i64)
+    }
+
+    /// Interns a value by snapping it to the centre of its grid cell —
+    /// a pure function of the value, so every thread interleaving maps
+    /// equal inputs to the same id *and the same stored value*.
+    pub(crate) fn intern_weight(&self, z: C64) -> WeightId {
+        debug_assert!(z.is_finite(), "non-finite weight {z}");
+        if z.re.abs() <= self.tol && z.im.abs() <= self.tol {
+            return WeightId::ZERO;
+        }
+        if z.re.abs() >= self.huge || z.im.abs() >= self.huge {
+            // Exact-bits interning: tolerance is below one ulp out here.
+            let key = (z.re.to_bits(), z.im.to_bits());
+            let mut map = self.huge_weights.lock().expect("huge weights poisoned");
+            if let Some(&id) = map.get(&key) {
+                return id;
+            }
+            let id = WeightId(self.weights.push(z) as u32);
+            map.insert(key, id);
+            return id;
+        }
+        let key = self.grid_key(z);
+        let mut stripe = self.weight_stripes[stripe_of(&key)]
+            .lock()
+            .expect("weight stripe poisoned");
+        if let Some(&id) = stripe.get(&key) {
+            return id;
+        }
+        let w = self.grid;
+        let snapped = C64::new(key.0 as f64 * w, key.1 as f64 * w);
+        let id = WeightId(self.weights.push(snapped) as u32);
+        stripe.insert(key, id);
+        id
+    }
+
+    /// The value behind a weight handle (lock-free).
+    #[inline]
+    pub(crate) fn weight_value(&self, w: WeightId) -> C64 {
+        *self.weights.get(w.0 as usize)
+    }
+
+    /// Hash-conses a (pre-normalized) node, returning its id. `worker`
+    /// attributes cross-thread hits.
+    pub(crate) fn unique_node(&self, key: Node, worker: u32) -> NodeId {
+        let mut stripe = self.node_stripes[stripe_of(&key)]
+            .lock()
+            .expect("node stripe poisoned");
+        match stripe.get(&key) {
+            Some(&(id, creator)) => {
+                self.unique_hits.fetch_add(1, Ordering::Relaxed);
+                if creator != worker {
+                    self.cross_unique_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                id
+            }
+            None => {
+                let id = NodeId(self.nodes.push(key) as u32);
+                stripe.insert(key, (id, worker));
+                id
+            }
+        }
+    }
+
+    /// The node behind an id (lock-free).
+    #[inline]
+    pub(crate) fn node(&self, n: NodeId) -> Node {
+        *self.nodes.get(n.0 as usize)
+    }
+
+    /// Interns an elimination set; ids are globally consistent, which is
+    /// what lets contraction caches travel between workers.
+    pub(crate) fn intern_elim_set(&self, levels: Vec<u32>) -> u32 {
+        let mut map = self.elim_ids.lock().expect("elim set map poisoned");
+        if let Some(&id) = map.get(&levels) {
+            return id;
+        }
+        let id = self.elim_sets.push(levels.clone().into_boxed_slice()) as u32;
+        map.insert(levels, id);
+        id
+    }
+
+    /// The levels behind an elimination-set id (lock-free).
+    #[inline]
+    pub(crate) fn elim_set(&self, id: u32) -> &[u32] {
+        self.elim_sets.get(id as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_locate_covers_doubling_chunks() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(1023), (0, 1023));
+        assert_eq!(locate(1024), (1, 0));
+        assert_eq!(locate(3071), (1, 2047));
+        assert_eq!(locate(3072), (2, 0));
+        assert_eq!(locate(7167), (2, 4095));
+        assert_eq!(locate(7168), (3, 0));
+    }
+
+    #[test]
+    fn arena_push_get_across_chunk_boundaries() {
+        let arena: AppendArena<usize> = AppendArena::new();
+        for value in 0..5000 {
+            assert_eq!(arena.push(value), value);
+        }
+        assert_eq!(arena.len(), 5000);
+        for index in [0usize, 1023, 1024, 2047, 2048, 4095, 4096, 4999] {
+            assert_eq!(*arena.get(index), index);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn arena_rejects_unpublished_index() {
+        let arena: AppendArena<u32> = AppendArena::new();
+        arena.push(7);
+        let _ = arena.get(1);
+    }
+
+    #[test]
+    fn arena_drops_owned_entries() {
+        // Box<[u32]> entries must be dropped with the arena (miri-style
+        // leak check is out of scope; this exercises the Drop path).
+        let arena: AppendArena<Box<[u32]>> = AppendArena::new();
+        for k in 0..100u32 {
+            arena.push(vec![k; 3].into_boxed_slice());
+        }
+        assert_eq!(&arena.get(42)[..], &[42, 42, 42]);
+    }
+
+    #[test]
+    fn concurrent_pushes_stay_dense_and_readable() {
+        let arena: Arc<AppendArena<usize>> = Arc::new(AppendArena::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let arena = Arc::clone(&arena);
+                scope.spawn(move || {
+                    for _ in 0..2000 {
+                        let index = arena.push(0);
+                        // Own slot readable immediately.
+                        assert_eq!(*arena.get(index), 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(arena.len(), 8000);
+    }
+
+    #[test]
+    fn interning_is_a_pure_function_of_the_value() {
+        let store = SharedTddStore::new();
+        let a = store.intern_weight(C64::new(0.25, -0.75));
+        let b = store.intern_weight(C64::new(0.25 + 1e-12, -0.75 + 1e-12));
+        assert_eq!(a, b, "values in one grid cell must merge");
+        let va = store.weight_value(a);
+        assert!((va - C64::new(0.25, -0.75)).abs() <= 5e-12);
+
+        // A second store built in any other order maps the same inputs
+        // to the same *values* (ids may differ, values may not).
+        let other = SharedTddStore::new();
+        let _noise = other.intern_weight(C64::new(0.5, 0.5));
+        let c = other.intern_weight(C64::new(0.25, -0.75));
+        assert_eq!(other.weight_value(c), va, "snapping must be canonical");
+    }
+
+    #[test]
+    fn zero_and_one_stay_exact() {
+        let store = SharedTddStore::new();
+        assert_eq!(store.intern_weight(C64::ZERO), WeightId::ZERO);
+        assert_eq!(store.intern_weight(C64::new(5e-11, -5e-11)), WeightId::ZERO);
+        assert_eq!(store.intern_weight(C64::ONE), WeightId::ONE);
+        assert_eq!(store.weight_value(WeightId::ONE), C64::ONE);
+        assert_eq!(store.weight_value(WeightId::ZERO), C64::ZERO);
+    }
+
+    #[test]
+    fn huge_weights_intern_exactly() {
+        let store = SharedTddStore::new();
+        let big = C64::new(3.5e12, -1.0);
+        let a = store.intern_weight(big);
+        let b = store.intern_weight(big);
+        assert_eq!(a, b);
+        assert_eq!(store.weight_value(a), big, "huge values are kept exact");
+        assert_ne!(store.intern_weight(C64::new(3.5e12 + 1.0, -1.0)), a);
+    }
+
+    #[test]
+    fn elim_sets_are_globally_consistent() {
+        let store = SharedTddStore::new();
+        let a = store.intern_elim_set(vec![1, 4, 9]);
+        let b = store.intern_elim_set(vec![1, 4, 9]);
+        let c = store.intern_elim_set(vec![1, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(store.elim_set(a), &[1, 4, 9]);
+    }
+
+    #[test]
+    fn cross_worker_hits_are_attributed() {
+        let store = SharedTddStore::new();
+        let w0 = store.register_worker();
+        let w1 = store.register_worker();
+        let one = WeightId::ONE;
+        let half = store.intern_weight(C64::real(0.5));
+        let key = Node {
+            var: 3,
+            low: Edge {
+                node: NodeId::TERMINAL,
+                weight: one,
+            },
+            high: Edge {
+                node: NodeId::TERMINAL,
+                weight: half,
+            },
+        };
+        let id0 = store.unique_node(key, w0);
+        let id_self = store.unique_node(key, w0);
+        let id1 = store.unique_node(key, w1);
+        assert_eq!(id0, id_self);
+        assert_eq!(id0, id1);
+        let stats = store.stats();
+        assert_eq!(stats.nodes_created, 1);
+        assert_eq!(stats.unique_hits, 2);
+        assert_eq!(stats.cross_unique_hits, 1, "only w1's hit crosses");
+    }
+}
