@@ -1,0 +1,42 @@
+//! One-off profiling harness for the `seed_cont_cache` default
+//! (ISSUE 4): wall time and seeding traffic, on vs off, on the smoke
+//! preset's shared-store Algorithm I scenarios.
+use qaec::{fidelity_alg1, CheckOptions, SharedTableMode, TermOrder};
+use qaec_bench::NOISE_SEED;
+use qaec_circuit::generators::{qft, QftStyle};
+use qaec_circuit::noise_insertion::insert_random_noise;
+use qaec_circuit::NoiseChannel;
+use std::time::Instant;
+
+fn main() {
+    for (n, k) in [(3usize, 4usize), (4, 3), (4, 5)] {
+        let ideal = qft(n, QftStyle::DecomposedNoSwaps);
+        let noisy = insert_random_noise(
+            &ideal,
+            &NoiseChannel::Depolarizing { p: 0.999 },
+            k,
+            NOISE_SEED + k as u64,
+        );
+        for seed in [false, true] {
+            let opts = CheckOptions {
+                threads: 4,
+                shared_table: SharedTableMode::On,
+                term_order: TermOrder::Lexicographic,
+                seed_cont_cache: seed,
+                ..CheckOptions::default()
+            };
+            let mut best = f64::INFINITY;
+            let mut stats = qaec::TddStats::default();
+            for _ in 0..5 {
+                let t0 = Instant::now();
+                let r = fidelity_alg1(&ideal, &noisy, None, &opts).expect("alg1");
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+                stats = r.stats;
+            }
+            println!(
+                "qft{n}_k{k} seed={seed:5}: {best:7.1}ms  cont {} ({} hits, {} seeded-hits, {} imports)",
+                stats.cont_calls, stats.cont_hits, stats.seed_hits, stats.seed_imports
+            );
+        }
+    }
+}

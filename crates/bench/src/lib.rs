@@ -16,7 +16,7 @@ use qaec::{
 };
 use qaec_circuit::generators::{
     bernstein_vazirani_all_ones, grover_dac21, mod_mul_7x1_mod15, qft, quantum_volume,
-    randomized_benchmarking, QftStyle,
+    randomized_benchmarking, tile, QftStyle,
 };
 use qaec_circuit::noise_insertion::insert_random_noise;
 use qaec_circuit::{Circuit, NoiseChannel};
@@ -175,8 +175,23 @@ pub fn run_baseline(ideal: &Circuit, noisy: &Circuit, timeout: Duration) -> Outc
 
 /// Runs Algorithm II with a deadline.
 pub fn run_alg2(ideal: &Circuit, noisy: &Circuit, timeout: Duration) -> Outcome {
+    run_alg2_with(ideal, noisy, timeout, 1, SharedTableMode::Auto)
+}
+
+/// Runs Algorithm II with an explicit worker count and storage backend —
+/// the plan-level parallel driver when the shared store is enabled, the
+/// private sequential driver under [`SharedTableMode::Off`].
+pub fn run_alg2_with(
+    ideal: &Circuit,
+    noisy: &Circuit,
+    timeout: Duration,
+    threads: usize,
+    shared_table: SharedTableMode,
+) -> Outcome {
     let opts = CheckOptions {
         deadline: Some(Instant::now() + timeout),
+        threads,
+        shared_table,
         ..CheckOptions::default()
     };
     let start = Instant::now();
@@ -460,7 +475,6 @@ pub fn read_records(path: &str) -> Result<Vec<RunRecord>, String> {
 /// Panics when a scenario times out or an invariant breaks — in CI
 /// that's exactly the failure signal.
 pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
-    use qaec_circuit::generators::{bernstein_vazirani_all_ones, grover_dac21, qft, QftStyle};
     let mut records = Vec::new();
     let mut push = |name: &str, outcome: &Outcome| {
         let record = RunRecord::from_outcome(name, outcome)
@@ -632,6 +646,83 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
     );
     let bv5_alg2 = measure_best(2, || run_alg2(&bv5, &bv5_noisy, timeout));
     push("bv5_k6_alg2", &bv5_alg2);
+
+    // Plan-level parallel Algorithm II on a simultaneous (tiled)
+    // workload: four disjoint 6-qubit QV blocks, whose doubled network
+    // decomposes into four independent contraction branches. The shared
+    // canonical store makes `--threads` a pure performance knob, so t1
+    // and t4 must report bit-identical fidelity and `max_nodes`; the
+    // private sequential driver (`--shared-table off`) must agree to
+    // the interning tolerance.
+    let sim = tile(&quantum_volume(6, 5, NOISE_SEED), 4);
+    let sim_noisy = insert_random_noise(
+        &sim,
+        &NoiseChannel::Depolarizing { p: 0.999 },
+        8,
+        NOISE_SEED + 8,
+    );
+    // Best-of-5 on the two speedup cells: the ≥1.3× gate below compares
+    // their ratio, and ~400ms cells on shared CI runners need the extra
+    // repeats to shake scheduler noise out of the minimum.
+    let alg2_t1 = measure_best(5, || {
+        run_alg2_with(&sim, &sim_noisy, timeout, 1, SharedTableMode::On)
+    });
+    push("qv6x4_k8_alg2_t1_shared", &alg2_t1);
+    let alg2_t4 = measure_best(5, || {
+        run_alg2_with(&sim, &sim_noisy, timeout, 4, SharedTableMode::On)
+    });
+    push("qv6x4_k8_alg2_t4_shared", &alg2_t4);
+    let alg2_private = measure_best(3, || {
+        run_alg2_with(&sim, &sim_noisy, timeout, 1, SharedTableMode::Off)
+    });
+    push("qv6x4_k8_alg2_private", &alg2_private);
+    if let (
+        Outcome::Done {
+            fidelity: f1,
+            time: t1,
+            nodes: n1,
+            ..
+        },
+        Outcome::Done {
+            fidelity: f4,
+            time: t4,
+            nodes: n4,
+            ..
+        },
+    ) = (&alg2_t1, &alg2_t4)
+    {
+        assert_eq!(
+            f1.to_bits(),
+            f4.to_bits(),
+            "parallel alg2 fidelity must be bit-identical to sequential"
+        );
+        assert_eq!(n1, n4, "parallel alg2 max_nodes must match sequential");
+        // The wall-time payoff is only measurable with real cores under
+        // the pool; single-core runners (and CI under heavy contention)
+        // time-share the workers and cannot show a speedup.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores >= 4 {
+            let speedup = t1.as_secs_f64() / t4.as_secs_f64();
+            println!("parallel-alg2 speedup (qv6x4_k8, 4 workers, {cores} cores): {speedup:.2}x");
+            assert!(
+                speedup >= 1.3,
+                "plan-level parallelism must pay off on the tiled workload: {speedup:.2}x < 1.3x"
+            );
+        } else {
+            println!(
+                "parallel-alg2 speedup gate skipped: only {cores} core(s) visible \
+                 (t1 {:.1}ms vs t4 {:.1}ms)",
+                t1.as_secs_f64() * 1e3,
+                t4.as_secs_f64() * 1e3,
+            );
+        }
+    }
+    if let (Some(fs), Some(fp)) = (alg2_t1.fidelity(), alg2_private.fidelity()) {
+        assert!(
+            (fs - fp).abs() < 1e-9,
+            "shared and private alg2 drivers must agree: {fs} vs {fp}"
+        );
+    }
 
     records
 }

@@ -22,6 +22,7 @@ mod qft;
 mod qv;
 mod random;
 mod rb;
+mod tile;
 
 pub use arith::cuccaro_adder;
 pub use bv::{bernstein_vazirani, bernstein_vazirani_all_ones};
@@ -32,6 +33,7 @@ pub use qft::{qft, QftStyle};
 pub use qv::quantum_volume;
 pub use random::random_circuit;
 pub use rb::randomized_benchmarking;
+pub use tile::tile;
 
 #[cfg(test)]
 mod tests {

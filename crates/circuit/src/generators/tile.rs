@@ -1,0 +1,81 @@
+//! Tiled ("simultaneous") circuits: independent copies of one block on
+//! disjoint qubit ranges.
+//!
+//! Real devices are characterised by running the same sub-circuit on
+//! many qubit blocks at once (simultaneous randomized benchmarking,
+//! cross-talk studies), and the resulting verification workload is a
+//! tensor product of independent blocks. For the checker this is the
+//! natural stress test of *plan-level* parallelism: the doubled trace
+//! network decomposes into one independent component per block, so the
+//! contraction DAG has `copies` equally-heavy branches for the scheduler
+//! to run concurrently.
+
+use crate::circuit::Circuit;
+
+/// `copies` disjoint copies of `block`, stacked on
+/// `copies · block.n_qubits()` qubits: copy `c` acts on qubits
+/// `c·w .. (c+1)·w` where `w` is the block width. Noise instructions are
+/// tiled along with the gates.
+///
+/// # Panics
+///
+/// Panics if `copies == 0`.
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::generators::{qft, tile, QftStyle};
+///
+/// let block = qft(3, QftStyle::DecomposedNoSwaps);
+/// let simultaneous = tile(&block, 4);
+/// assert_eq!(simultaneous.n_qubits(), 12);
+/// assert_eq!(simultaneous.gate_count(), 4 * block.gate_count());
+/// ```
+pub fn tile(block: &Circuit, copies: usize) -> Circuit {
+    assert!(copies > 0, "tiling needs at least one copy");
+    let w = block.n_qubits();
+    let width = w * copies;
+    let mut out = Circuit::new(width);
+    for c in 0..copies {
+        let map: Vec<usize> = (0..w).map(|q| q + c * w).collect();
+        let shifted = block
+            .remap_qubits(&map, width)
+            .expect("disjoint tile ranges are always valid");
+        out.append(&shifted).expect("tiles share the full width");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{qft, QftStyle};
+    use crate::NoiseChannel;
+
+    #[test]
+    fn tiles_are_disjoint_and_complete() {
+        let mut block = qft(2, QftStyle::DecomposedNoSwaps);
+        block.noise(NoiseChannel::BitFlip { p: 0.9 }, &[0]);
+        let tiled = tile(&block, 3);
+        assert_eq!(tiled.n_qubits(), 6);
+        assert_eq!(tiled.gate_count(), 3 * block.gate_count());
+        assert_eq!(tiled.noise_count(), 3);
+        // Copy c touches only its own 2-qubit range.
+        for (i, instruction) in tiled.iter().enumerate() {
+            let copy = i / block.len();
+            for &q in &instruction.qubits {
+                assert_eq!(
+                    q / 2,
+                    copy,
+                    "instruction {i} strays outside tile {copy}: qubit {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn zero_copies_rejected() {
+        tile(&Circuit::new(1), 0);
+    }
+}

@@ -69,7 +69,9 @@ pub struct CliOptions {
     pub threads: usize,
     /// Shared concurrent TDD store across workers (`--shared-table`).
     pub shared_table: SharedTableMode,
-    /// Cross-term computed-table seeding between workers (`--seed-cache`).
+    /// Cross-term computed-table seeding between workers
+    /// (`--seed-cache on|off`; on by default, a no-op off the shared
+    /// store).
     pub seed_cache: bool,
     /// Enable §IV-C local optimisations.
     pub optimize: bool,
@@ -87,7 +89,7 @@ impl Default for CliOptions {
             timeout: None,
             threads: qaec::default_threads(),
             shared_table: qaec::default_shared_table(),
-            seed_cache: false,
+            seed_cache: true,
             optimize: false,
             verbose: false,
         }
@@ -126,19 +128,26 @@ OPTIONS:
     --strategy <sequential|greedy|min-degree|min-fill>
                                contraction order (default: min-fill)
     --timeout <seconds>        abort after this long (default: none)
-    --threads <n>              work-stealing workers for Algorithm I / MC
-                               (default: QAEC_THREADS env var, else 1;
-                               composes with --epsilon early termination)
+    --threads <n>              worker threads: Algorithm I / MC steal
+                               trace terms (composes with --epsilon
+                               early termination), Algorithm II runs
+                               independent contraction-plan steps —
+                               bit-identical results at any count
+                               (default: QAEC_THREADS env var, else 1)
     --shared-table <on|off|auto>
                                share one concurrent TDD store across the
-                               workers (auto = on when --threads > 1;
-                               default: QAEC_SHARED_TABLE env var, else
-                               auto). Shared runs hash-cons sub-diagrams
-                               across threads and are bit-reproducible
-                               for every thread count
-    --seed-cache               seed each worker's contraction cache from
+                               workers (auto = on when --threads > 1 for
+                               Algorithm I / MC, and always for
+                               Algorithm II; default: QAEC_SHARED_TABLE
+                               env var, else auto). Shared runs
+                               hash-cons sub-diagrams across threads and
+                               are bit-reproducible for every thread
+                               count; off restores the fastest private
+                               sequential Algorithm II driver
+    --seed-cache <on|off>      seed each worker's contraction cache from
                                the heaviest completed term (shared-table
-                               runs only)
+                               runs only; default on — profiled value-
+                               transparent; off is the escape hatch)
     --optimize                 enable local cancellation + SWAP elimination
     --verbose                  print decision-diagram statistics
 
@@ -261,8 +270,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         };
                     }
                     "--seed-cache" => {
-                        boolean(inline)?;
-                        options.seed_cache = true;
+                        options.seed_cache = match value(&mut k)? {
+                            "on" => true,
+                            "off" => false,
+                            other => return Err(format!("unknown seed-cache mode `{other}`")),
+                        };
                     }
                     "--optimize" => {
                         boolean(inline)?;
@@ -519,7 +531,7 @@ mod tests {
             "i.qasm",
             "n.qasm",
             "--epsilon=0.25",
-            "--seed-cache",
+            "--seed-cache=off",
         ]))
         .unwrap()
         {
@@ -527,10 +539,32 @@ mod tests {
                 epsilon, options, ..
             } => {
                 assert!((epsilon - 0.25).abs() < 1e-12, "inline --epsilon=v works");
-                assert!(options.seed_cache);
+                assert!(!options.seed_cache, "--seed-cache=off is the escape hatch");
             }
             other => panic!("wrong command {other:?}"),
         }
+        // Seeding defaults on; both flag styles parse; garbage rejected.
+        assert!(CliOptions::default().seed_cache);
+        match parse_args(&strings(&[
+            "fidelity",
+            "i.qasm",
+            "n.qasm",
+            "--seed-cache",
+            "on",
+        ]))
+        .unwrap()
+        {
+            Command::Fidelity { options, .. } => assert!(options.seed_cache),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&strings(&[
+            "fidelity",
+            "i.qasm",
+            "n.qasm",
+            "--seed-cache",
+            "maybe"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -75,6 +75,18 @@ pub fn fidelity_alg1(
     options: &CheckOptions,
 ) -> Result<Alg1Report, QaecError> {
     validate(ideal, noisy, epsilon)?;
+    fidelity_alg1_prevalidated(ideal, noisy, epsilon, options)
+}
+
+/// [`fidelity_alg1`] minus input validation, for callers (the top-level
+/// checker) that already validated once — so `check_equivalence` never
+/// validates the same pair twice.
+pub(crate) fn fidelity_alg1_prevalidated(
+    ideal: &Circuit,
+    noisy: &Circuit,
+    epsilon: Option<f64>,
+    options: &CheckOptions,
+) -> Result<Alg1Report, QaecError> {
     let start = Instant::now();
 
     let mut template = Alg1Template::build(ideal, noisy);

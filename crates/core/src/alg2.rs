@@ -4,14 +4,31 @@
 //! `Σᵢ |tr(U†Eᵢ)|² = tr((U† ⊗ Uᵀ) · M_E)` at the cost of twice the
 //! qubits — the right trade when noise sites are plentiful (every gate on
 //! a real device is noisy).
+//!
+//! ## Parallelism
+//!
+//! There are no independent trace terms to steal here, so `threads > 1`
+//! parallelises *inside* the contraction: the plan's step DAG is
+//! dispatched critical-path-first to a worker pool over one
+//! [`SharedTddStore`] ([`qaec_tdd::par_driver`]). Because the shared
+//! store's canonical interning makes every step's result a pure function
+//! of its operands, the fidelity and `max_nodes` are **bit-identical for
+//! every thread count** — which is why Algorithm II resolves
+//! [`SharedTableMode::Auto`] to the shared store even at one worker
+//! (`--threads` stays a pure performance knob). `SharedTableMode::Off`
+//! keeps the original private sequential driver, including its
+//! mark-compact GC (append-only shared arenas cannot compact).
 
 use crate::error::QaecError;
 use crate::miter::{alg2_elements, build_trace_network, identity_map};
 use crate::optimize::{cancel_inverse_pairs, eliminate_swaps};
-use crate::options::CheckOptions;
+use crate::options::{CheckOptions, SharedTableMode};
 use crate::validate;
 use qaec_circuit::Circuit;
-use qaec_tdd::{contract_network_opts, DriverOptions, TddManager, TddStats};
+use qaec_tdd::{
+    contract_network_opts, contract_network_parallel, DriverOptions, ParallelOptions,
+    SharedTddStore, TddManager, TddStats,
+};
 use qaec_tensornet::plan::PlanCost;
 use std::time::{Duration, Instant};
 
@@ -26,7 +43,8 @@ pub struct Alg2Report {
     pub elapsed: Duration,
     /// Static cost estimates of the contraction plan.
     pub plan_cost: PlanCost,
-    /// Decision-diagram statistics of the single contraction.
+    /// Decision-diagram statistics of the single contraction (merged
+    /// across workers for parallel runs).
     pub stats: TddStats,
 }
 
@@ -43,6 +61,17 @@ pub fn fidelity_alg2(
     options: &CheckOptions,
 ) -> Result<Alg2Report, QaecError> {
     validate(ideal, noisy, None)?;
+    fidelity_alg2_prevalidated(ideal, noisy, options)
+}
+
+/// [`fidelity_alg2`] minus input validation, for callers (the top-level
+/// checker) that already validated once — so `check_equivalence` never
+/// validates the same pair twice.
+pub(crate) fn fidelity_alg2_prevalidated(
+    ideal: &Circuit,
+    noisy: &Circuit,
+    options: &CheckOptions,
+) -> Result<Alg2Report, QaecError> {
     let start = Instant::now();
 
     let (mut elements, width) = alg2_elements(ideal, noisy);
@@ -59,19 +88,49 @@ pub fn fidelity_alg2(
     let plan = built.network.plan(options.strategy);
     let plan_cost = plan.cost(&built.network);
 
-    let mut manager = TddManager::new();
-    let result = contract_network_opts(
-        &mut manager,
-        &built.network,
-        &plan,
-        &built.order,
-        DriverOptions {
-            gc_threshold: options.gc_threshold,
-            deadline: options.deadline,
-        },
-    )
-    .map_err(|_| QaecError::Timeout)?;
-    let trace = manager.edge_scalar(result.root).expect("closed network");
+    // `Auto` resolves ON at every thread count here (unlike Algorithm I,
+    // whose terms are value-independent): the plan scheduler needs the
+    // shared substrate, and contracting over the canonical store at one
+    // worker too keeps `--threads` a pure performance knob — the
+    // fidelity and `max_nodes` are bit-identical whatever the count.
+    let (max_nodes, trace, stats) = if options.shared_table != SharedTableMode::Off {
+        let workers = options.threads.max(1);
+        let store = SharedTddStore::new();
+        let outcome = contract_network_parallel(
+            &store,
+            &built.network,
+            &plan,
+            &built.order,
+            ParallelOptions {
+                workers,
+                deadline: options.deadline,
+            },
+        )
+        .map_err(|_| QaecError::Timeout)?;
+        let reader = TddManager::new_shared(&store);
+        let trace = reader
+            .edge_scalar(outcome.result.root)
+            .expect("closed network");
+        let mut stats = outcome.stats;
+        // Allocation counters are store-owned: merged exactly once.
+        stats.merge(&store.stats());
+        (outcome.result.max_nodes, trace, stats)
+    } else {
+        let mut manager = TddManager::new();
+        let result = contract_network_opts(
+            &mut manager,
+            &built.network,
+            &plan,
+            &built.order,
+            DriverOptions {
+                gc_threshold: options.gc_threshold,
+                deadline: options.deadline,
+            },
+        )
+        .map_err(|_| QaecError::Timeout)?;
+        let trace = manager.edge_scalar(result.root).expect("closed network");
+        (result.max_nodes, trace, manager.stats())
+    };
 
     let d = (1u64 << noisy.n_qubits()) as f64;
     // Σ|tr(U†Eᵢ)|² is real and non-negative; the imaginary part is
@@ -80,9 +139,9 @@ pub fn fidelity_alg2(
 
     Ok(Alg2Report {
         fidelity,
-        max_nodes: result.max_nodes,
+        max_nodes,
         elapsed: start.elapsed(),
         plan_cost,
-        stats: manager.stats(),
+        stats,
     })
 }

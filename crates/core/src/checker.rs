@@ -1,7 +1,7 @@
 //! The top-level ε-equivalence checker.
 
-use crate::alg1::fidelity_alg1;
-use crate::alg2::fidelity_alg2;
+use crate::alg1::{fidelity_alg1, fidelity_alg1_prevalidated};
+use crate::alg2::{fidelity_alg2, fidelity_alg2_prevalidated};
 use crate::error::QaecError;
 use crate::options::{AlgorithmChoice, CheckOptions};
 use crate::report::{AlgorithmUsed, EquivalenceReport, Verdict};
@@ -103,6 +103,10 @@ pub fn check_equivalence(
     epsilon: f64,
     options: &CheckOptions,
 ) -> Result<EquivalenceReport, QaecError> {
+    // Validation runs exactly once per call, before either arm, so both
+    // algorithms reject invalid inputs with identical error precedence
+    // (width mismatch, then non-unitary ideal, then bad epsilon).
+    crate::validate(ideal, noisy, Some(epsilon))?;
     let algorithm = match options.algorithm {
         AlgorithmChoice::Auto => auto_choice(noisy),
         AlgorithmChoice::AlgorithmI => AlgorithmUsed::AlgorithmI,
@@ -110,7 +114,7 @@ pub fn check_equivalence(
     };
     match algorithm {
         AlgorithmUsed::AlgorithmI => {
-            let report = fidelity_alg1(ideal, noisy, Some(epsilon), options)?;
+            let report = fidelity_alg1_prevalidated(ideal, noisy, Some(epsilon), options)?;
             let verdict = report.verdict.unwrap_or({
                 // All terms evaluated without an early decision: compare
                 // the exact value.
@@ -133,8 +137,7 @@ pub fn check_equivalence(
             })
         }
         AlgorithmUsed::AlgorithmII => {
-            crate::validate(ideal, noisy, Some(epsilon))?;
-            let report = fidelity_alg2(ideal, noisy, options)?;
+            let report = fidelity_alg2_prevalidated(ideal, noisy, options)?;
             let verdict = if report.fidelity > 1.0 - epsilon {
                 Verdict::Equivalent
             } else {
@@ -151,6 +154,50 @@ pub fn check_equivalence(
                 elapsed: report.elapsed,
                 stats: report.stats,
             })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaec_circuit::NoiseChannel;
+
+    /// Regression: the Algorithm II arm used to validate twice (once in
+    /// `check_equivalence`, once inside `fidelity_alg2`) while the
+    /// Algorithm I arm validated only inside `fidelity_alg1`. Validation
+    /// now runs exactly once, before either arm, so invalid inputs fail
+    /// with identical error precedence whichever algorithm is forced.
+    #[test]
+    fn validation_precedence_is_identical_across_arms() {
+        let two = Circuit::new(2);
+        let three = Circuit::new(3);
+        let mut noisy_ideal = Circuit::new(2);
+        noisy_ideal.noise(NoiseChannel::BitFlip { p: 0.9 }, &[0]);
+        let arms = [AlgorithmChoice::AlgorithmI, AlgorithmChoice::AlgorithmII];
+        for algorithm in arms {
+            let options = CheckOptions {
+                algorithm,
+                ..CheckOptions::default()
+            };
+            // Width mismatch beats a bad epsilon.
+            assert_eq!(
+                check_equivalence(&two, &three, 1.5, &options).unwrap_err(),
+                QaecError::WidthMismatch { ideal: 2, noisy: 3 },
+                "{algorithm:?}"
+            );
+            // A noisy ideal beats a bad epsilon.
+            assert_eq!(
+                check_equivalence(&noisy_ideal, &two, 1.5, &options).unwrap_err(),
+                QaecError::IdealNotUnitary,
+                "{algorithm:?}"
+            );
+            // With valid circuits the epsilon error surfaces.
+            assert_eq!(
+                check_equivalence(&two, &two, 1.5, &options).unwrap_err(),
+                QaecError::InvalidEpsilon { value: 1.5 },
+                "{algorithm:?}"
+            );
         }
     }
 }

@@ -44,8 +44,10 @@ use crate::error::QaecError;
 use crate::miter::{build_trace_network, Alg1Template, BuiltNetwork};
 use crate::options::{CheckOptions, TermOrder};
 use crate::report::Verdict;
+use qaec_tdd::fxhash::FxHashMap;
 use qaec_tdd::{
-    contract_network_opts, ContCacheKey, DriverOptions, Edge, SharedTddStore, TddManager, TddStats,
+    contract_network_opts, run_on_workers, ContCacheKey, DriverOptions, Edge, SharedTddStore,
+    TddManager, TddStats,
 };
 use qaec_tensornet::{ContractionPlan, VarOrder};
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -224,7 +226,7 @@ impl Reducer {
 struct SeedSlot {
     /// Mass of the term whose cache is stored (`-∞` until first publish).
     mass: f64,
-    entries: Arc<HashMap<ContCacheKey, Edge>>,
+    entries: Arc<FxHashMap<ContCacheKey, Edge>>,
 }
 
 /// Cross-worker shared state for an ε-aware run.
@@ -378,26 +380,14 @@ impl TermEngine<'_> {
             seed: (self.options.seed_cont_cache && store.is_some()).then(|| {
                 Mutex::new(SeedSlot {
                     mass: f64::NEG_INFINITY,
-                    entries: Arc::new(HashMap::new()),
+                    entries: Arc::new(FxHashMap::default()),
                 })
             }),
         };
 
-        let folded = if workers == 1 {
-            vec![self.epsilon_worker(&shared, store.as_ref(), batch_size)]
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|| self.epsilon_worker(&shared, store.as_ref(), batch_size))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("engine worker panicked"))
-                    .collect()
-            })
-        };
+        let folded = run_on_workers(workers, |_| {
+            self.epsilon_worker(&shared, store.as_ref(), batch_size)
+        });
 
         let reducer = shared
             .reducer
@@ -589,17 +579,7 @@ impl TermEngine<'_> {
             Ok((values, nodes, stats))
         };
 
-        let folded = if workers == 1 {
-            vec![fold_worker()]
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers).map(|_| scope.spawn(fold_worker)).collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("engine worker panicked"))
-                    .collect()
-            })
-        };
+        let folded = run_on_workers(workers, |_| fold_worker());
 
         let mut terms = vec![0.0f64; jobs.len()];
         let mut max_nodes = 0usize;

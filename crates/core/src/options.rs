@@ -42,6 +42,10 @@ pub enum VarOrderStyle {
 pub enum SharedTableMode {
     /// Share exactly when more than one worker runs (the default): the
     /// single-threaded path keeps its lock-free private store.
+    /// Algorithm II is the exception — its plan scheduler contracts
+    /// over the canonical shared store at *every* thread count under
+    /// `Auto`, so `threads` is a pure performance knob there (see
+    /// [`crate::fidelity_alg2`]).
     #[default]
     Auto,
     /// Always share, even with one worker — useful to get shared-store
@@ -116,10 +120,12 @@ pub struct CheckOptions {
     pub deadline: Option<Instant>,
     /// Arena size that triggers decision-diagram garbage collection.
     pub gc_threshold: Option<usize>,
-    /// Worker threads for Algorithm I and the Monte-Carlo estimator.
-    /// Terms are independent (the paper notes they parallelize
-    /// trivially); the work-stealing engine makes `threads > 1` compose
-    /// with `epsilon`, `term_order`, `max_terms` and `deadline`.
+    /// Worker threads. Algorithm I and the Monte-Carlo estimator steal
+    /// independent trace terms (the paper notes they parallelize
+    /// trivially), composing with `epsilon`, `term_order`, `max_terms`
+    /// and `deadline`; Algorithm II dispatches independent contraction
+    /// *plan steps* to the pool instead (there is only one term), with
+    /// bit-identical results at every thread count.
     pub threads: usize,
     /// Cap on Algorithm I terms (None = all); bounds stay correct, they
     /// just stop tightening.
@@ -131,7 +137,10 @@ pub struct CheckOptions {
     /// Seed each worker's contraction computed table from the heaviest
     /// completed term's cache before every new batch (shared-store runs
     /// only — cache entries hold store handles that are not portable
-    /// between private managers). Off by default;
+    /// between private managers, so the flag is a no-op elsewhere). On
+    /// by default since profiling on the bench smoke preset showed it
+    /// value-transparent and mildly faster on term-heavy parallel runs;
+    /// `--seed-cache off` is the escape hatch.
     /// [`qaec_tdd::TddStats::seed_imports`] / `seed_hits` report the
     /// traffic and its payoff.
     pub seed_cont_cache: bool,
@@ -182,7 +191,7 @@ impl Default for CheckOptions {
             threads: default_threads(),
             max_terms: None,
             shared_table: default_shared_table(),
-            seed_cont_cache: false,
+            seed_cont_cache: true,
         }
     }
 }
@@ -225,6 +234,8 @@ mod tests {
             _ => SharedTableMode::Auto,
         };
         assert_eq!(CheckOptions::default().shared_table, expected);
-        assert!(!CheckOptions::default().seed_cont_cache);
+        // Cache seeding defaults on (shared-store runs only; a no-op —
+        // and value-transparent — everywhere else).
+        assert!(CheckOptions::default().seed_cont_cache);
     }
 }

@@ -40,8 +40,10 @@ pub struct DriverOptions {
     /// When `Some(n)`, run a mark-compact GC between steps whenever the
     /// arena exceeds `n` nodes (clears the computed tables).
     pub gc_threshold: Option<usize>,
-    /// Abort with [`DriverTimeout`] if a step would start after this
-    /// instant (checked between steps; one step may overrun).
+    /// Abort with [`DriverTimeout`] once this instant passes. Checked
+    /// between steps *and* — via the manager's amortised probe (see
+    /// [`TddManager::set_deadline`]) — inside the `cont` recursion, so
+    /// even a single huge step fires with bounded overshoot.
     pub deadline: Option<Instant>,
 }
 
@@ -56,6 +58,19 @@ pub struct DriverOptions {
 /// Panics if the plan does not match the network or an index is missing
 /// from `order`.
 pub fn contract_network_opts(
+    m: &mut TddManager,
+    network: &TensorNetwork,
+    plan: &ContractionPlan,
+    order: &VarOrder,
+    options: DriverOptions,
+) -> Result<ContractionResult, DriverTimeout> {
+    m.set_deadline(options.deadline);
+    let result = drive(m, network, plan, order, options);
+    m.set_deadline(None);
+    result
+}
+
+fn drive(
     m: &mut TddManager,
     network: &TensorNetwork,
     plan: &ContractionPlan,
@@ -95,7 +110,7 @@ pub fn contract_network_opts(
                 let mut levels: Vec<u32> = eliminate.iter().map(|&i| order.level(i)).collect();
                 levels.sort_unstable();
                 let set = m.intern_elim_set(levels);
-                let e = ops::cont(m, ea, eb, set);
+                let e = ops::try_cont(m, ea, eb, set)?;
                 slots[*result] = Some(e);
                 e
             }
@@ -108,7 +123,7 @@ pub fn contract_network_opts(
                 let mut levels: Vec<u32> = eliminate.iter().map(|&i| order.level(i)).collect();
                 levels.sort_unstable();
                 let set = m.intern_elim_set(levels);
-                let e = ops::cont(m, et, Edge::ONE, set);
+                let e = ops::try_cont(m, et, Edge::ONE, set)?;
                 slots[*result] = Some(e);
                 e
             }
@@ -316,6 +331,64 @@ mod tests {
         let v2 = m2.edge_scalar(r2.root).unwrap();
         assert!((v1 - v2).abs() < 1e-9);
         assert!(m2.stats().gc_runs > 0, "tiny threshold must trigger GC");
+    }
+
+    #[test]
+    fn deadline_mid_step_fires_with_bounded_overshoot() {
+        // Regression: the deadline used to be checked only between plan
+        // steps, so a plan whose *single* step was huge overran it by
+        // the full step cost. With the in-recursion probe the driver
+        // must abort well before the contraction completes.
+        let mut rng = StdRng::seed_from_u64(33);
+        let rank = 12u32;
+        let idx: Vec<IndexId> = (0..rank).map(IndexId).collect();
+        let random = |rng: &mut StdRng| {
+            let data: Vec<C64> = (0..1usize << rank)
+                .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            qaec_tensornet::Tensor::from_flat(idx.clone(), data)
+        };
+        let mut net = TensorNetwork::new();
+        net.add(random(&mut rng));
+        net.add(random(&mut rng));
+        let order = VarOrder::from_sequence(idx.iter().copied());
+        let plan = net.plan(Strategy::Sequential);
+        assert_eq!(plan.steps.len(), 1, "one huge step by construction");
+
+        // Reference run: how long the full contraction takes here.
+        let mut reference = TddManager::new();
+        let started = Instant::now();
+        let full = contract_network_opts(
+            &mut reference,
+            &net,
+            &plan,
+            &order,
+            DriverOptions::default(),
+        )
+        .expect("no deadline");
+        let total = started.elapsed();
+
+        // Deadline at a fraction of that: the run must abort mid-step,
+        // long before the full contraction cost.
+        let mut m = TddManager::new();
+        let started = Instant::now();
+        let result = contract_network_opts(
+            &mut m,
+            &net,
+            &plan,
+            &order,
+            DriverOptions {
+                gc_threshold: None,
+                deadline: Some(started + total / 20),
+            },
+        );
+        assert_eq!(result.unwrap_err(), DriverTimeout);
+        assert!(
+            started.elapsed() < total,
+            "overshoot unbounded: {:?} vs full cost {total:?}",
+            started.elapsed()
+        );
+        assert!(full.max_nodes > 1);
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! callers can check [`TddManager::supports_gc`] to skip the call
 //! entirely.
 
+use crate::fxhash::FxHashMap;
 use crate::manager::{Edge, Node, NodeId, TddManager, TERMINAL_VAR};
-use std::collections::HashMap;
 
 /// Collects every node unreachable from `roots`, compacting the arena.
 ///
@@ -98,7 +98,7 @@ pub fn collect(m: &mut TddManager, roots: &[Edge]) -> Vec<Edge> {
     }
 
     // Rebuild the unique table over live nodes.
-    let mut unique = HashMap::with_capacity(new_nodes.len());
+    let mut unique = FxHashMap::with_capacity_and_hasher(new_nodes.len(), Default::default());
     for (id, node) in new_nodes.iter().enumerate().skip(1) {
         unique.insert(*node, NodeId(id as u32));
     }

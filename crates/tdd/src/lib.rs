@@ -25,8 +25,15 @@
 //!   operands);
 //! * [`convert`] — dense tensor ↔ TDD conversion;
 //! * [`driver`] — executes a [`qaec_tensornet::ContractionPlan`] on TDDs
-//!   and records the node-count statistics reported in the paper's
-//!   Table I;
+//!   sequentially and records the node-count statistics reported in the
+//!   paper's Table I (deadlines are honoured *inside* steps via an
+//!   amortised probe in the `cont` recursion);
+//! * [`par_driver`] — the plan-level parallel driver: a DAG scheduler
+//!   dispatching independent plan steps critical-path-first to a worker
+//!   pool over one shared store, bit-identical to sequential execution
+//!   for every worker count;
+//! * [`fxhash`] — the dependency-free Fx-style hasher behind every hot
+//!   table (unique, computed, interning);
 //! * [`gc`] — mark-compact garbage collection for long Algorithm I runs
 //!   (a documented no-op on shared stores, whose arenas are append-only).
 //!
@@ -55,15 +62,18 @@
 pub mod convert;
 pub mod dot;
 pub mod driver;
+pub mod fxhash;
 pub mod gc;
 pub mod manager;
 pub mod ops;
+pub mod par_driver;
 pub mod store;
 pub mod weight;
 
 pub use driver::{
     contract_network, contract_network_opts, ContractionResult, DriverOptions, DriverTimeout,
 };
-pub use manager::{ContCacheKey, Edge, NodeId, TddManager, TddStats};
+pub use manager::{ContCacheKey, Edge, NodeId, TddManager, TddStats, DEADLINE_PROBE_INTERVAL};
+pub use par_driver::{contract_network_parallel, run_on_workers, ParallelOptions, ParallelOutcome};
 pub use store::SharedTddStore;
 pub use weight::{WeightId, WeightTable};

@@ -10,10 +10,10 @@
 //! per-manager; only `make_node`, weight interning/arithmetic and
 //! elimination-set interning route through the store.
 
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::store::SharedTddStore;
 use crate::weight::{WeightId, WeightTable};
 use qaec_math::C64;
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Handle to a node in the manager's arena. `NodeId::TERMINAL` (id 0) is
@@ -179,7 +179,7 @@ impl std::fmt::Display for TddStats {
 pub(crate) struct PrivateStore {
     pub(crate) weights: WeightTable,
     pub(crate) nodes: Vec<Node>,
-    pub(crate) unique: HashMap<Node, NodeId>,
+    pub(crate) unique: FxHashMap<Node, NodeId>,
 }
 
 /// Where a manager keeps its nodes and weights: its own [`PrivateStore`]
@@ -216,15 +216,28 @@ pub(crate) enum TddStore {
 #[derive(Debug)]
 pub struct TddManager {
     pub(crate) store: TddStore,
-    pub(crate) add_cache: HashMap<(Edge, Edge), Edge>,
-    pub(crate) cont_cache: HashMap<ContCacheKey, Edge>,
+    pub(crate) add_cache: FxHashMap<(Edge, Edge), Edge>,
+    pub(crate) cont_cache: FxHashMap<ContCacheKey, Edge>,
     /// Keys of `cont_cache` entries imported from another worker.
-    pub(crate) cont_seeded: HashSet<ContCacheKey>,
+    pub(crate) cont_seeded: FxHashSet<ContCacheKey>,
     /// Private-mode elimination sets (shared mode interns store-side).
     elim_sets: Vec<Vec<u32>>,
-    elim_set_ids: HashMap<Vec<u32>, u32>,
+    elim_set_ids: FxHashMap<Vec<u32>, u32>,
+    /// Deadline probed inside the `add`/`cont` recursions (see
+    /// [`Self::set_deadline`]).
+    deadline: Option<std::time::Instant>,
+    /// Recursion calls left before the next `Instant::now()` probe.
+    probe_budget: u32,
+    /// Latched once a probe observes the deadline in the past.
+    expired: bool,
     pub(crate) stats: TddStats,
 }
+
+/// How many `add`/`cont` recursion calls run between two clock reads of
+/// the amortised deadline probe. Each call does O(1) work outside its
+/// sub-calls, so the overshoot past a deadline is bounded by roughly
+/// this many node constructions plus one in-flight leaf operation.
+pub const DEADLINE_PROBE_INTERVAL: u32 = 1024;
 
 impl Default for TddManager {
     fn default() -> Self {
@@ -253,7 +266,7 @@ impl TddManager {
                 low: Edge::ZERO,
                 high: Edge::ZERO,
             }], // slot 0 = terminal sentinel
-            unique: HashMap::new(),
+            unique: FxHashMap::default(),
         }))
     }
 
@@ -281,13 +294,55 @@ impl TddManager {
     fn with_store(store: TddStore) -> Self {
         TddManager {
             store,
-            add_cache: HashMap::new(),
-            cont_cache: HashMap::new(),
-            cont_seeded: HashSet::new(),
+            add_cache: FxHashMap::default(),
+            cont_cache: FxHashMap::default(),
+            cont_seeded: FxHashSet::default(),
             elim_sets: Vec::new(),
-            elim_set_ids: HashMap::new(),
+            elim_set_ids: FxHashMap::default(),
+            deadline: None,
+            probe_budget: DEADLINE_PROBE_INTERVAL,
+            expired: false,
             stats: TddStats::default(),
         }
+    }
+
+    /// Arms (or clears) the amortised in-recursion deadline: while set,
+    /// [`crate::ops::try_add`] / [`crate::ops::try_cont`] probe the
+    /// clock every [`DEADLINE_PROBE_INTERVAL`] recursion calls and abort
+    /// with [`crate::DriverTimeout`] once it has passed — so a single
+    /// huge contraction cannot overrun a deadline unboundedly the way
+    /// the old between-steps check allowed.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+        self.probe_budget = DEADLINE_PROBE_INTERVAL;
+        self.expired = false;
+    }
+
+    /// The armed deadline, if any.
+    pub fn deadline(&self) -> Option<std::time::Instant> {
+        self.deadline
+    }
+
+    /// One tick of the amortised probe: cheap counter work on most
+    /// calls, a clock read every [`DEADLINE_PROBE_INTERVAL`] ticks.
+    /// Returns `true` once the armed deadline has passed (latched).
+    #[inline]
+    pub(crate) fn deadline_exceeded(&mut self) -> bool {
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if self.expired {
+            return true;
+        }
+        self.probe_budget -= 1;
+        if self.probe_budget == 0 {
+            self.probe_budget = DEADLINE_PROBE_INTERVAL;
+            if std::time::Instant::now() >= deadline {
+                self.expired = true;
+                return true;
+            }
+        }
+        false
     }
 
     /// Whether this manager is attached to a shared store.
@@ -610,7 +665,7 @@ impl TddManager {
     /// A copy of this manager's `cont` computed table, for shipping to
     /// another worker on the *same shared store* (handles are not
     /// portable between private stores).
-    pub fn snapshot_cont_cache(&self) -> HashMap<ContCacheKey, Edge> {
+    pub fn snapshot_cont_cache(&self) -> FxHashMap<ContCacheKey, Edge> {
         self.cont_cache.clone()
     }
 
@@ -622,7 +677,7 @@ impl TddManager {
     /// Only meaningful between managers attached to the same
     /// [`SharedTddStore`] — node, weight and elimination-set handles in
     /// the entries must be valid here.
-    pub fn seed_cont_cache(&mut self, entries: &HashMap<ContCacheKey, Edge>) {
+    pub fn seed_cont_cache(&mut self, entries: &FxHashMap<ContCacheKey, Edge>) {
         debug_assert!(
             self.is_shared(),
             "cont-cache seeding requires a shared store"

@@ -7,10 +7,19 @@
 //! structurally-similar trace networks of Algorithm I — the effect the
 //! paper isolates in Table II.
 
+use crate::driver::DriverTimeout;
 use crate::manager::{Edge, TddManager};
 use crate::weight::WeightId;
 
 /// Pointwise sum of two diagrams over the union of their variables.
+///
+/// Infallible convenience wrapper over [`try_add`] for managers without
+/// an armed deadline (see [`TddManager::set_deadline`]).
+///
+/// # Panics
+///
+/// Panics if an armed deadline expires mid-recursion — callers that arm
+/// deadlines must use [`try_add`].
 ///
 /// # Example
 ///
@@ -25,23 +34,37 @@ use crate::weight::WeightId;
 /// assert_eq!(m.edge_scalar(s), Some(C64::real(1.5)));
 /// ```
 pub fn add(m: &mut TddManager, a: Edge, b: Edge) -> Edge {
+    try_add(m, a, b).expect("deadline expired mid-add — arm-aware callers use try_add")
+}
+
+/// Pointwise sum of two diagrams, aborting with [`DriverTimeout`] if the
+/// manager's armed deadline expires (probed every
+/// [`crate::manager::DEADLINE_PROBE_INTERVAL`] recursion calls).
+///
+/// # Errors
+///
+/// [`DriverTimeout`] once the armed deadline has passed.
+pub fn try_add(m: &mut TddManager, a: Edge, b: Edge) -> Result<Edge, DriverTimeout> {
     m.stats.add_calls += 1;
+    if m.deadline_exceeded() {
+        return Err(DriverTimeout);
+    }
     if a.is_zero() {
-        return b;
+        return Ok(b);
     }
     if b.is_zero() {
-        return a;
+        return Ok(a);
     }
     // Same structure: add the weights.
     if a.node == b.node {
         let w = m.wadd(a.weight, b.weight);
         if w.is_zero() {
-            return Edge::ZERO;
+            return Ok(Edge::ZERO);
         }
-        return Edge {
+        return Ok(Edge {
             node: a.node,
             weight: w,
-        };
+        });
     }
     // Canonical operand order (commutative). Ordering by weight *value*
     // — not by handle — keeps the factorization below a pure function of
@@ -77,22 +100,22 @@ pub fn add(m: &mut TddManager, a: Edge, b: Edge) -> Edge {
     let key = (na, nb);
     if let Some(&hit) = m.add_cache.get(&key) {
         m.stats.add_hits += 1;
-        return Edge {
+        return Ok(Edge {
             node: hit.node,
             weight: m.wmul(hit.weight, a.weight),
-        };
+        });
     }
     let x = m.var(na.node).min(m.var(nb.node));
     let (a0, a1) = m.cofactors(na, x);
     let (b0, b1) = m.cofactors(nb, x);
-    let low = add(m, a0, b0);
-    let high = add(m, a1, b1);
+    let low = try_add(m, a0, b0)?;
+    let high = try_add(m, a1, b1)?;
     let result = m.make_node(x, low, high);
     m.add_cache.insert(key, result);
-    Edge {
+    Ok(Edge {
         node: result.node,
         weight: m.wmul(result.weight, a.weight),
-    }
+    })
 }
 
 /// Contraction: multiplies two diagrams (matching along shared variables)
@@ -121,24 +144,47 @@ pub fn add(m: &mut TddManager, a: Edge, b: Edge) -> Edge {
 /// assert!((m.edge_scalar(tr).unwrap() - C64::real(2.0)).abs() < 1e-9);
 /// ```
 pub fn cont(m: &mut TddManager, a: Edge, b: Edge, set_id: u32) -> Edge {
+    try_cont(m, a, b, set_id).expect("deadline expired mid-cont — arm-aware callers use try_cont")
+}
+
+/// Contraction with deadline awareness: like [`cont`], but aborts with
+/// [`DriverTimeout`] once the manager's armed deadline (see
+/// [`TddManager::set_deadline`]) has passed. The probe is amortised —
+/// one clock read every [`crate::manager::DEADLINE_PROBE_INTERVAL`]
+/// recursion calls — so the overshoot past the deadline is bounded even
+/// inside one huge contraction.
+///
+/// # Errors
+///
+/// [`DriverTimeout`] once the armed deadline has passed.
+pub fn try_cont(m: &mut TddManager, a: Edge, b: Edge, set_id: u32) -> Result<Edge, DriverTimeout> {
     cont_rec(m, a, b, set_id, 0)
 }
 
-fn cont_rec(m: &mut TddManager, a: Edge, b: Edge, set_id: u32, k: usize) -> Edge {
+fn cont_rec(
+    m: &mut TddManager,
+    a: Edge,
+    b: Edge,
+    set_id: u32,
+    k: usize,
+) -> Result<Edge, DriverTimeout> {
     m.stats.cont_calls += 1;
+    if m.deadline_exceeded() {
+        return Err(DriverTimeout);
+    }
     let w = m.wmul(a.weight, b.weight);
     if w.is_zero() {
-        return Edge::ZERO;
+        return Ok(Edge::ZERO);
     }
     // Both terminal: every remaining eliminated variable is skipped by
     // both operands → factor 2 each.
     if a.node.is_terminal() && b.node.is_terminal() {
         let remaining = m.elim_set(set_id).len() - k;
         let weight = m.wscale_real(w, (remaining as f64).exp2());
-        return Edge {
+        return Ok(Edge {
             node: a.node,
             weight,
-        };
+        });
     }
     // Canonical operand order (contraction is symmetric, and both
     // operands are reduced to unit weight below, so — unlike `add` —
@@ -154,10 +200,10 @@ fn cont_rec(m: &mut TddManager, a: Edge, b: Edge, set_id: u32, k: usize) -> Edge
         if !m.cont_seeded.is_empty() && m.cont_seeded.contains(&key) {
             m.stats.seed_hits += 1;
         }
-        return Edge {
+        return Ok(Edge {
             node: hit.node,
             weight: m.wmul(hit.weight, w),
-        };
+        });
     }
 
     let x = m.var(na).min(m.var(nb));
@@ -186,12 +232,12 @@ fn cont_rec(m: &mut TddManager, a: Edge, b: Edge, set_id: u32, k: usize) -> Edge
         kk < elim.len() && elim[kk] == x
     };
     let mut result = if eliminate_x {
-        let low = cont_rec(m, a0, b0, set_id, kk + 1);
-        let high = cont_rec(m, a1, b1, set_id, kk + 1);
-        add(m, low, high)
+        let low = cont_rec(m, a0, b0, set_id, kk + 1)?;
+        let high = cont_rec(m, a1, b1, set_id, kk + 1)?;
+        try_add(m, low, high)?
     } else {
-        let low = cont_rec(m, a0, b0, set_id, kk);
-        let high = cont_rec(m, a1, b1, set_id, kk);
+        let low = cont_rec(m, a0, b0, set_id, kk)?;
+        let high = cont_rec(m, a1, b1, set_id, kk)?;
         m.make_node(x, low, high)
     };
     if skips > 0.0 {
@@ -201,10 +247,10 @@ fn cont_rec(m: &mut TddManager, a: Edge, b: Edge, set_id: u32, k: usize) -> Edge
         };
     }
     m.cont_cache.insert(key, result);
-    Edge {
+    Ok(Edge {
         node: result.node,
         weight: m.wmul(result.weight, w),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -380,6 +426,62 @@ mod tests {
         let expected = ta.contract(&tb, &[]);
         let got = to_tensor(&m, prod, &idx, &order);
         assert!(got.approx_eq(&expected, 1e-8));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_inside_the_cont_recursion() {
+        // Regression: deadlines used to be checked only *between* plan
+        // steps, so one huge `cont` overran them unboundedly. The
+        // amortised probe must abort mid-recursion: arm an
+        // already-expired deadline and contract a pair big enough that
+        // the recursion passes the probe interval many times over.
+        let mut rng = StdRng::seed_from_u64(97);
+        let idx: Vec<IndexId> = (0..12).map(IndexId).collect();
+        let order = order_upto(12);
+        let ta = random_tensor(&idx, &mut rng);
+        let tb = random_tensor(&idx, &mut rng);
+        let mut m = TddManager::new();
+        let ea = from_tensor(&mut m, &ta, &order);
+        let eb = from_tensor(&mut m, &tb, &order);
+        let set = m.intern_elim_set((0..12).collect());
+
+        let started = std::time::Instant::now();
+        m.set_deadline(Some(started - std::time::Duration::from_millis(1)));
+        let result = try_cont(&mut m, ea, eb, set);
+        assert!(result.is_err(), "expired deadline must abort the cont");
+        // Bounded overshoot: the abort lands within one probe interval
+        // of recursion calls, nowhere near the full contraction.
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "probe must fire long before the contraction completes"
+        );
+
+        // Disarming restores the infallible path and the full result.
+        m.set_deadline(None);
+        let ok = try_cont(&mut m, ea, eb, set).expect("no deadline");
+        let expected = ta.contract(&tb, &idx).as_scalar().unwrap();
+        assert!((m.edge_scalar(ok).unwrap() - expected).abs() < 1e-8);
+    }
+
+    #[test]
+    fn deadline_probe_is_amortised() {
+        // A future deadline must not abort fast operations: the probe
+        // reads the clock rarely and the work finishes first.
+        let mut rng = StdRng::seed_from_u64(13);
+        let order = order_upto(3);
+        let idx: Vec<IndexId> = (0..3).map(IndexId).collect();
+        let ta = random_tensor(&idx, &mut rng);
+        let tb = random_tensor(&idx, &mut rng);
+        let mut m = TddManager::new();
+        let ea = from_tensor(&mut m, &ta, &order);
+        let eb = from_tensor(&mut m, &tb, &order);
+        let set = m.intern_elim_set(vec![0, 1, 2]);
+        m.set_deadline(Some(
+            std::time::Instant::now() + std::time::Duration::from_secs(3600),
+        ));
+        let r = try_cont(&mut m, ea, eb, set).expect("far deadline never fires");
+        let expected = ta.contract(&tb, &idx).as_scalar().unwrap();
+        assert!((m.edge_scalar(r).unwrap() - expected).abs() < 1e-8);
     }
 
     #[test]

@@ -1,0 +1,562 @@
+//! Plan-level parallel contraction: a DAG scheduler over
+//! [`ContractionPlan`] steps.
+//!
+//! Algorithm II is one big contraction, so term-level work stealing (the
+//! `qaec` engine's trick for Algorithm I) has nothing to steal. The
+//! parallelism lives *inside* the plan instead: steps form an explicit
+//! dependency tree through their slot indices, and any two steps whose
+//! operands have resolved are independent. This driver extracts that DAG
+//! ([`ContractionPlan::graph`]), keeps a critical-path-first ready heap,
+//! and dispatches runnable steps to a pool of workers that all hash-cons
+//! into one [`SharedTddStore`].
+//!
+//! ## Why any schedule gives the same answer, bit for bit
+//!
+//! Under the shared store's canonical interning every weight is a pure
+//! function of its value, node construction is globally hash-consed, and
+//! `ops::add` orders its operands by weight *value* — so
+//! [`crate::ops::cont`] is a pure function of its operand edges and the
+//! elimination set. Each step's result edge is therefore the same in
+//! every topological execution order, including the fully sequential
+//! one; scheduling affects only which worker computes (or re-computes)
+//! what. The reported `max_nodes` is a max over per-step
+//! [`TddManager::node_count`] values of those scheduling-independent
+//! edges, so it is deterministic too. Per-worker computed tables change
+//! hit counts, never values.
+//!
+//! Workers keep their computed tables across all steps they execute, so
+//! a worker that lands several sub-contractions of one region of the
+//! network reuses its own memoized sub-results just like the sequential
+//! driver would.
+
+use crate::convert::from_tensor;
+use crate::driver::{ContractionResult, DriverTimeout};
+use crate::manager::{Edge, TddManager, TddStats};
+use crate::store::SharedTddStore;
+use qaec_tensornet::{ContractionPlan, PlanGraph, PlanStep, TensorNetwork, VarOrder};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Execution knobs for [`contract_network_parallel`].
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelOptions {
+    /// Worker threads. `1` runs the scheduler inline on the calling
+    /// thread (no spawn) — same code path, bit-identical results.
+    pub workers: usize,
+    /// Abort with [`DriverTimeout`] once this instant passes (probed
+    /// between steps and, amortised, inside every `cont` recursion).
+    pub deadline: Option<Instant>,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            workers: 1,
+            deadline: None,
+        }
+    }
+}
+
+/// What a parallel contraction produced.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelOutcome {
+    /// The contraction result (root edge handles are valid in any
+    /// manager attached to the run's store).
+    pub result: ContractionResult,
+    /// Worker-local statistics merged across the pool. Store-owned
+    /// allocation counters are *not* included — merge
+    /// [`SharedTddStore::stats`] exactly once on top, as with the term
+    /// engine.
+    pub stats: TddStats,
+}
+
+/// Runs `f(worker_index)` on `workers` OS threads, returning every
+/// worker's value in index order. `workers <= 1` runs inline on the
+/// calling thread — no spawn, identical code path. This is the one
+/// worker-pool primitive shared by the term engine and the plan
+/// scheduler.
+///
+/// # Panics
+///
+/// Propagates worker panics.
+pub fn run_on_workers<T, F>(workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers).map(|w| scope.spawn(move || f(w))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    })
+}
+
+/// A runnable step in the ready heap: higher critical-path priority pops
+/// first, ties broken toward the lower step id (deterministic pop order;
+/// results do not depend on it either way).
+struct ReadyStep {
+    priority: f64,
+    step: usize,
+}
+
+impl PartialEq for ReadyStep {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for ReadyStep {}
+impl PartialOrd for ReadyStep {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ReadyStep {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .total_cmp(&other.priority)
+            .then_with(|| other.step.cmp(&self.step))
+    }
+}
+
+/// The mutex-guarded scheduler core: the ready heap plus the count of
+/// steps still unfinished (workers park on the condvar while the heap is
+/// empty but work remains in flight).
+struct ReadyState {
+    heap: BinaryHeap<ReadyStep>,
+    unfinished: usize,
+}
+
+/// Cross-worker scheduler state.
+struct Scheduler {
+    ready: Mutex<ReadyState>,
+    wake: Condvar,
+    /// Unresolved step-dependencies per step; a step joins the heap when
+    /// its count hits zero.
+    indegree: Vec<AtomicUsize>,
+    /// Write-once result slot table (inputs resolve lazily inside the
+    /// consuming step; results publish here before dependents wake).
+    slots: Vec<OnceLock<Edge>>,
+    /// Raised on timeout: everyone drains and exits.
+    stop: AtomicBool,
+}
+
+impl Scheduler {
+    /// Blocks until a step is runnable. `None` means done or stopped.
+    fn next_step(&self) -> Option<usize> {
+        let mut state = self.ready.lock().expect("scheduler poisoned");
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(top) = state.heap.pop() {
+                return Some(top.step);
+            }
+            if state.unfinished == 0 {
+                return None;
+            }
+            state = self.wake.wait(state).expect("scheduler poisoned");
+        }
+    }
+
+    /// Marks `step` finished and promotes dependents whose last
+    /// dependency this was. The highest-priority newly-ready dependent
+    /// is handed straight back to the finishing worker (chain
+    /// following): the worker's computed tables already hold that
+    /// region's sub-results, and skipping the heap round-trip keeps
+    /// long dependency chains off the scheduler lock.
+    fn finish_step(&self, step: usize, graph: &PlanGraph) -> Option<usize> {
+        let mut rest: Vec<usize> = graph.dependents[step]
+            .iter()
+            .copied()
+            .filter(|&d| self.indegree[d].fetch_sub(1, Ordering::AcqRel) == 1)
+            .collect();
+        let follow = rest
+            .iter()
+            .enumerate()
+            .max_by(|(_, &a), (_, &b)| graph.priority[a].total_cmp(&graph.priority[b]))
+            .map(|(i, _)| i)
+            .map(|i| rest.swap_remove(i));
+
+        let mut state = self.ready.lock().expect("scheduler poisoned");
+        state.unfinished -= 1;
+        let done = state.unfinished == 0;
+        for d in rest.iter().copied() {
+            state.heap.push(ReadyStep {
+                priority: graph.priority[d],
+                step: d,
+            });
+        }
+        drop(state);
+        if done {
+            self.wake.notify_all();
+        } else {
+            for _ in &rest {
+                self.wake.notify_one();
+            }
+        }
+        follow
+    }
+
+    /// Raises the stop flag and wakes every parked worker.
+    fn halt(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.wake.notify_all();
+    }
+}
+
+/// Halts the scheduler if its worker unwinds: without this, a panicking
+/// worker would leave `unfinished` above zero forever and every sibling
+/// parked on the condvar — the pool would deadlock instead of
+/// propagating the panic through `run_on_workers`'s join.
+struct PanicGuard<'a>(&'a Scheduler);
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.halt();
+        }
+    }
+}
+
+/// Executes `plan` over `network` on a pool of workers sharing `store`.
+///
+/// Results are **bit-identical** to executing the same plan sequentially
+/// on a manager attached to the same kind of store, for every worker
+/// count (see the module docs for the purity argument).
+///
+/// # Errors
+///
+/// [`DriverTimeout`] if the deadline expires (between steps or inside a
+/// step's `cont` recursion).
+///
+/// # Panics
+///
+/// Panics if the plan does not match the network or an index is missing
+/// from `order`.
+pub fn contract_network_parallel(
+    store: &Arc<SharedTddStore>,
+    network: &TensorNetwork,
+    plan: &ContractionPlan,
+    order: &VarOrder,
+    options: ParallelOptions,
+) -> Result<ParallelOutcome, DriverTimeout> {
+    let graph = plan.graph(network);
+    let n_steps = plan.steps.len();
+    let scheduler = Scheduler {
+        ready: Mutex::new(ReadyState {
+            heap: graph
+                .initial_ready()
+                .into_iter()
+                .map(|step| ReadyStep {
+                    priority: graph.priority[step],
+                    step,
+                })
+                .collect(),
+            unfinished: n_steps,
+        }),
+        wake: Condvar::new(),
+        indegree: graph
+            .indegree
+            .iter()
+            .map(|&d| AtomicUsize::new(d))
+            .collect(),
+        slots: (0..plan.n_slots.max(network.tensors().len()))
+            .map(|_| OnceLock::new())
+            .collect(),
+        stop: AtomicBool::new(false),
+    };
+
+    let workers = options.workers.max(1).min(n_steps.max(1));
+    let n_inputs = network.tensors().len();
+    let worker = |_w: usize| -> Result<(usize, TddStats), DriverTimeout> {
+        let _panic_guard = PanicGuard(&scheduler);
+        let mut m = TddManager::new_shared(store);
+        m.set_deadline(options.deadline);
+        let mut max_nodes = 0usize;
+        // Resolves one operand slot: produced slots read the published
+        // edge, input slots convert the tensor here (each input is
+        // consumed by exactly one step, so no work is duplicated).
+        let fetch = |m: &mut TddManager, max_nodes: &mut usize, slot: usize| -> Edge {
+            if let Some(&e) = scheduler.slots[slot].get() {
+                return e;
+            }
+            debug_assert!(slot < n_inputs, "unpublished non-input slot {slot}");
+            let e = from_tensor(m, &network.tensors()[slot], order);
+            *max_nodes = (*max_nodes).max(m.node_count(e));
+            e
+        };
+        let mut follow: Option<usize> = None;
+        while let Some(step) = follow.take().or_else(|| scheduler.next_step()) {
+            if options.deadline.is_some_and(|d| Instant::now() >= d) {
+                scheduler.halt();
+                return Err(DriverTimeout);
+            }
+            let (operands, eliminate, result_slot) = match &plan.steps[step] {
+                PlanStep::Contract {
+                    a,
+                    b,
+                    eliminate,
+                    result,
+                } => {
+                    let ea = fetch(&mut m, &mut max_nodes, *a);
+                    let eb = fetch(&mut m, &mut max_nodes, *b);
+                    ((ea, eb), eliminate, *result)
+                }
+                PlanStep::SumOut {
+                    t,
+                    eliminate,
+                    result,
+                } => {
+                    let et = fetch(&mut m, &mut max_nodes, *t);
+                    ((et, Edge::ONE), eliminate, *result)
+                }
+            };
+            let mut levels: Vec<u32> = eliminate.iter().map(|&i| order.level(i)).collect();
+            levels.sort_unstable();
+            let set = m.intern_elim_set(levels);
+            let e = match crate::ops::try_cont(&mut m, operands.0, operands.1, set) {
+                Ok(e) => e,
+                Err(timeout) => {
+                    scheduler.halt();
+                    return Err(timeout);
+                }
+            };
+            max_nodes = max_nodes.max(m.node_count(e));
+            scheduler.slots[result_slot]
+                .set(e)
+                .expect("step result published twice");
+            follow = scheduler.finish_step(step, &graph);
+        }
+        Ok((max_nodes, m.stats()))
+    };
+
+    let hauls = run_on_workers(workers, worker);
+
+    let mut max_nodes = 0usize;
+    let mut stats = TddStats::default();
+    let mut error = None;
+    for haul in hauls {
+        match haul {
+            Ok((nodes, worker_stats)) => {
+                max_nodes = max_nodes.max(nodes);
+                stats.merge(&worker_stats);
+            }
+            Err(e) => error = Some(e),
+        }
+    }
+    if let Some(e) = error {
+        return Err(e);
+    }
+    if scheduler.stop.load(Ordering::Acquire) {
+        return Err(DriverTimeout);
+    }
+
+    // Close out: resolve the root (converting it here if the plan left a
+    // bare input unconsumed), account for any other unconsumed inputs so
+    // `max_nodes` matches the sequential driver's leaf accounting, and
+    // apply the free-loop scalar.
+    let mut m = TddManager::new_shared(store);
+    for &slot in &graph.unconsumed_inputs {
+        if scheduler.slots[slot].get().is_none() {
+            let e = from_tensor(&mut m, &network.tensors()[slot], order);
+            max_nodes = max_nodes.max(m.node_count(e));
+            scheduler.slots[slot]
+                .set(e)
+                .expect("unconsumed input published twice");
+        }
+    }
+    let mut root = match graph.root_slot {
+        Some(slot) => *scheduler.slots[slot].get().expect("root published"),
+        None => Edge::ONE,
+    };
+    if plan.free_loops > 0 {
+        root = Edge {
+            node: root.node,
+            weight: m.wscale_real(root.weight, (plan.free_loops as f64).exp2()),
+        };
+    }
+    stats.merge(&m.stats());
+    max_nodes = max_nodes.max(1);
+
+    Ok(ParallelOutcome {
+        result: ContractionResult {
+            root,
+            max_nodes,
+            peak_arena: store.arena_len(),
+            steps: n_steps,
+        },
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{contract_network_opts, DriverOptions};
+    use qaec_math::{Matrix, C64};
+    use qaec_tensornet::{IndexId, Strategy, Tensor};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::time::Duration;
+
+    fn random_unitary_2x2(rng: &mut StdRng) -> Matrix {
+        let theta: f64 = rng.gen_range(0.0..std::f64::consts::PI);
+        let phi: f64 = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+        let lambda: f64 = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+        let c = C64::real((theta / 2.0).cos());
+        let s = C64::real((theta / 2.0).sin());
+        Matrix::from_rows(&[
+            vec![c, -(C64::cis(lambda) * s)],
+            vec![C64::cis(phi) * s, C64::cis(phi + lambda) * c],
+        ])
+    }
+
+    fn random_chain(n: usize, seed: u64) -> TensorNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = TensorNetwork::new();
+        for k in 0..n {
+            let input = IndexId(k as u32);
+            let output = IndexId(((k + 1) % n) as u32);
+            net.add(Tensor::from_matrix(
+                &random_unitary_2x2(&mut rng),
+                &[output],
+                &[input],
+            ));
+        }
+        net
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential_on_the_same_store_kind() {
+        for strategy in [
+            Strategy::MinFill,
+            Strategy::GreedySize,
+            Strategy::Sequential,
+        ] {
+            let net = random_chain(8, 0xA11CE);
+            let order = VarOrder::from_sequence((0..8).map(IndexId));
+            let plan = net.plan(strategy);
+
+            // Sequential reference on a (fresh) shared store.
+            let seq_store = SharedTddStore::new();
+            let mut seq_m = TddManager::new_shared(&seq_store);
+            let seq =
+                contract_network_opts(&mut seq_m, &net, &plan, &order, DriverOptions::default())
+                    .expect("no deadline");
+            let seq_value = seq_m.edge_scalar(seq.root).expect("scalar");
+
+            for workers in [1usize, 2, 4, 8] {
+                let store = SharedTddStore::new();
+                let out = contract_network_parallel(
+                    &store,
+                    &net,
+                    &plan,
+                    &order,
+                    ParallelOptions {
+                        workers,
+                        deadline: None,
+                    },
+                )
+                .expect("no deadline");
+                let m = TddManager::new_shared(&store);
+                let value = m.edge_scalar(out.result.root).expect("scalar");
+                assert_eq!(
+                    value.re.to_bits(),
+                    seq_value.re.to_bits(),
+                    "{strategy:?} workers={workers}: re drifted"
+                );
+                assert_eq!(
+                    value.im.to_bits(),
+                    seq_value.im.to_bits(),
+                    "{strategy:?} workers={workers}: im drifted"
+                );
+                assert_eq!(
+                    out.result.max_nodes, seq.max_nodes,
+                    "{strategy:?} workers={workers}: max_nodes drifted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_agrees_with_dense_backend() {
+        let net = random_chain(6, 42);
+        let order = VarOrder::from_sequence((0..6).map(IndexId));
+        let plan = net.plan(Strategy::MinFill);
+        let dense = net.contract_dense(&plan).as_scalar().expect("scalar");
+        let store = SharedTddStore::new();
+        let out = contract_network_parallel(
+            &store,
+            &net,
+            &plan,
+            &order,
+            ParallelOptions {
+                workers: 4,
+                deadline: None,
+            },
+        )
+        .expect("no deadline");
+        let m = TddManager::new_shared(&store);
+        let got = m.edge_scalar(out.result.root).expect("scalar");
+        assert!(
+            (got - dense).abs() < 1e-8,
+            "dense {dense} vs parallel {got}"
+        );
+        assert_eq!(out.result.steps, plan.steps.len());
+        assert!(out.result.peak_arena > 0);
+    }
+
+    #[test]
+    fn parallel_free_loops_and_empty_plans() {
+        // Free loops scale the root; an empty network contracts to 1.
+        let mut net = TensorNetwork::new();
+        net.add(Tensor::delta(IndexId(0), IndexId(1)));
+        net.close_index(IndexId(5));
+        let order = VarOrder::from_sequence([IndexId(0), IndexId(1)]);
+        let plan = net.plan(Strategy::Sequential);
+        let store = SharedTddStore::new();
+        let out =
+            contract_network_parallel(&store, &net, &plan, &order, ParallelOptions::default())
+                .expect("no deadline");
+        let m = TddManager::new_shared(&store);
+        // tr(I)·2 = 4.
+        assert!((m.edge_scalar(out.result.root).unwrap() - C64::real(4.0)).abs() < 1e-9);
+
+        let empty = TensorNetwork::new();
+        let plan = empty.plan(Strategy::MinFill);
+        let store = SharedTddStore::new();
+        let out =
+            contract_network_parallel(&store, &empty, &plan, &order, ParallelOptions::default())
+                .expect("no deadline");
+        assert_eq!(out.result.root, Edge::ONE);
+    }
+
+    #[test]
+    fn expired_deadline_times_out_every_worker_count() {
+        let net = random_chain(8, 7);
+        let order = VarOrder::from_sequence((0..8).map(IndexId));
+        let plan = net.plan(Strategy::MinFill);
+        for workers in [1usize, 4] {
+            let store = SharedTddStore::new();
+            let result = contract_network_parallel(
+                &store,
+                &net,
+                &plan,
+                &order,
+                ParallelOptions {
+                    workers,
+                    deadline: Some(Instant::now() - Duration::from_millis(1)),
+                },
+            );
+            assert_eq!(result.unwrap_err(), DriverTimeout, "workers={workers}");
+        }
+    }
+}

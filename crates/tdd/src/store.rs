@@ -1,12 +1,12 @@
 //! The shared concurrent TDD store: a lock-striped unique table plus a
-//! sharded, canonically-snapping weight-interning table over append-only
-//! arenas.
+//! sharded, canonically-snapping weight-interning table over per-stripe
+//! append-only arenas.
 //!
 //! A [`SharedTddStore`] lets several [`crate::TddManager`]s — one per
 //! worker thread — hash-cons nodes and intern weights into *one* set of
 //! tables, so common sub-diagrams built by different workers are stored
 //! once and cross-thread `NodeId`/`WeightId` handles stay valid
-//! everywhere. Three design rules make this safe and fast:
+//! everywhere. Four design rules make this safe and fast:
 //!
 //! * **Append-only arenas.** Nodes, weights and elimination sets live in
 //!   append-only arenas that never move or free entries, so `node(id)` and
@@ -19,6 +19,14 @@
 //!   hash (nodes) or quantised bucket (weights), so insertions from
 //!   different workers rarely contend and reads of already-interned data
 //!   never block on unrelated insertions.
+//! * **No global hot lines.** Each stripe owns its *own* arena shard —
+//!   an id is `(stripe, index)` packed into a `u32` — so allocation
+//!   happens under the stripe lock the inserter already holds, and
+//!   sharing statistics live inside the stripe too. There is no global
+//!   allocation lock, counter or length for every worker to bounce a
+//!   cache line on — reads only check their own shard's length, written
+//!   solely by that stripe's insertions; independent sub-contractions
+//!   scale because they touch disjoint stripes most of the time.
 //! * **Canonical interning.** The private [`crate::WeightTable`] merges
 //!   values *first-come-first-served* within a tolerance, which makes
 //!   the stored representative depend on insertion order — harmless
@@ -27,49 +35,76 @@
 //!   a pure function of the value alone. Every arithmetic result is
 //!   then identical whatever the thread interleaving, which is what
 //!   makes shared-store parallel runs **bit-identical** to sequential
-//!   ones.
+//!   ones. (Ids themselves are scheduling-dependent — which stripe index
+//!   a node lands on depends on who inserts first — but no value ever
+//!   depends on an id.)
 
+use crate::fxhash::{self, FxHashMap};
 use crate::manager::{Edge, Node, NodeId, TddStats, TERMINAL_VAR};
 use crate::weight::WeightId;
 use qaec_math::C64;
 use std::cell::UnsafeCell;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Number of mutex stripes in each concurrent table. A power of two so
 /// stripe selection is a mask.
 pub const STRIPES: usize = 64;
 
+/// Bits of a packed id holding the in-shard index; the remaining high
+/// bits carry the shard. 2^25 ≈ 33.5M entries per shard, far beyond the
+/// paper's workloads (the whole Table I set peaks in the low millions).
+const INDEX_BITS: u32 = 25;
+/// Mask extracting the in-shard index.
+const INDEX_MASK: u32 = (1 << INDEX_BITS) - 1;
+/// The extra weight shard used for exact-bits "huge" values (guarded by
+/// its own map mutex rather than a grid stripe).
+const HUGE_SHARD: usize = STRIPES;
+
+/// Packs a `(shard, index)` pair into an id.
+#[inline]
+fn encode(shard: usize, index: usize) -> u32 {
+    debug_assert!(index <= INDEX_MASK as usize, "arena shard full");
+    ((shard as u32) << INDEX_BITS) | index as u32
+}
+
+/// Unpacks an id into its `(shard, index)` pair.
+#[inline]
+fn decode(id: u32) -> (usize, usize) {
+    ((id >> INDEX_BITS) as usize, (id & INDEX_MASK) as usize)
+}
+
 /// log2 of the first arena chunk's capacity.
 const FIRST_BITS: u32 = 10;
-/// Spine length: chunk sizes double, so 33 chunks cover > 2^42 entries —
-/// far beyond the `u32` id space actually addressable.
-const SPINE: usize = 33;
+/// Spine length: chunk sizes double (1024, 1024, 2048, …), so 16 chunks
+/// cover the full 2^25 per-shard index space.
+const SPINE: usize = 16;
 
-/// An append-only, grow-only arena with lock-free reads.
-///
-/// Entries are immutable once pushed. Storage is a spine of
-/// doubling-size chunks (1024, 1024, 2048, 4096, …) allocated lazily, so
-/// pushing never moves existing entries and readers never observe a
-/// reallocation. A single internal mutex serialises appends; the
-/// published length is released *after* the slot is written, so any
-/// reader that checks `index < len` (with an acquire load) sees fully
-/// initialised data.
 /// One lazily-allocated chunk of arena slots.
 type Chunk<T> = Box<[UnsafeCell<MaybeUninit<T>>]>;
 
+/// An append-only, grow-only arena shard with lock-free reads.
+///
+/// Entries are immutable once pushed. Storage is a spine of
+/// doubling-size chunks allocated lazily, so pushing never moves
+/// existing entries and readers never observe a reallocation. A small
+/// internal mutex serialises appends — uncontended in practice, because
+/// each shard is only pushed to under its table stripe's lock. The
+/// published length is released *after* the slot is written, so any
+/// reader that checks `index < len` (with an acquire load) sees fully
+/// initialised data; per-shard lengths keep that check off the globally
+/// contended cache lines a single shared counter would create.
 struct AppendArena<T> {
     spine: [OnceLock<Chunk<T>>; SPINE],
     len: AtomicUsize,
     push_lock: Mutex<()>,
 }
 
-// SAFETY: slots are written exactly once, before the fence provided by
-// `len.store(Release)` / the caller's stripe mutex, and are immutable
-// afterwards; readers only dereference indices below the acquired `len`.
+// SAFETY: slots are written exactly once, under the push lock, before
+// the id escapes through a synchronising publication (release store of
+// `len` plus the stripe mutex release); they are immutable afterwards.
 unsafe impl<T: Send + Sync> Sync for AppendArena<T> {}
 unsafe impl<T: Send> Send for AppendArena<T> {}
 
@@ -109,13 +144,18 @@ impl<T> AppendArena<T> {
                 .collect()
         });
         // SAFETY: `index` is past the published length, so no reader may
-        // touch this slot yet, and the push lock excludes other writers.
+        // hold its id yet, and the push lock excludes other writers.
         unsafe { (*slots[offset].get()).write(value) };
         self.len.store(index + 1, Ordering::Release);
         index
     }
 
     /// Reads the entry at `index`.
+    ///
+    /// The bounds check keeps handle misuse (e.g. an `Edge` minted by a
+    /// *different* store) a clean panic rather than an uninitialised
+    /// read. It is cheap: each shard's length line is written only on
+    /// that stripe's insertions, so readers rarely bounce it.
     ///
     /// # Panics
     ///
@@ -147,12 +187,22 @@ impl<T> Drop for AppendArena<T> {
     }
 }
 
-/// Computes the stripe for a hashable key.
+/// Computes the stripe for a hashable key (Fx-hashed: these tables see
+/// no attacker-controlled data and live on the hot path).
 #[inline]
 fn stripe_of<K: Hash>(key: &K) -> usize {
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
-    key.hash(&mut hasher);
-    (hasher.finish() as usize) & (STRIPES - 1)
+    (fxhash::hash_one(key) as usize) & (STRIPES - 1)
+}
+
+/// One unique-table stripe: the find-or-insert map plus the sharing
+/// counters it guards (keeping them under the stripe mutex avoids a
+/// globally-bounced statistics cache line).
+#[derive(Default)]
+struct NodeStripe {
+    /// `node → (id, creator worker)`.
+    map: FxHashMap<Node, (NodeId, u32)>,
+    hits: u64,
+    cross_hits: u64,
 }
 
 /// The concurrent node + weight + elimination-set store shared by the
@@ -187,7 +237,6 @@ fn stripe_of<K: Hash>(key: &K) -> usize {
 /// assert_eq!(store.stats().nodes_created, 1);
 /// assert_eq!(store.stats().cross_unique_hits, 1);
 /// ```
-#[derive(Debug)]
 pub struct SharedTddStore {
     tol: f64,
     /// Canonical snapping grid width. Deliberately finer than the
@@ -202,33 +251,28 @@ pub struct SharedTddStore {
     /// tolerance grid is meaningless out there and its `i64` key would
     /// saturate).
     huge: f64,
-    nodes: AppendArena<Node>,
-    node_stripes: Vec<Mutex<HashMap<Node, (NodeId, u32)>>>,
-    weights: AppendArena<C64>,
-    weight_stripes: Vec<Mutex<HashMap<(i64, i64), WeightId>>>,
-    huge_weights: Mutex<HashMap<(u64, u64), WeightId>>,
+    /// One node arena shard per stripe, pushed under that stripe's lock.
+    nodes: Vec<AppendArena<Node>>,
+    node_stripes: Vec<Mutex<NodeStripe>>,
+    /// One weight arena shard per stripe plus [`HUGE_SHARD`] for
+    /// exact-bits values.
+    weights: Vec<AppendArena<C64>>,
+    weight_stripes: Vec<Mutex<FxHashMap<(i64, i64), WeightId>>>,
+    huge_weights: Mutex<FxHashMap<(u64, u64), WeightId>>,
     elim_sets: AppendArena<Box<[u32]>>,
-    elim_ids: Mutex<HashMap<Vec<u32>, u32>>,
-    unique_hits: AtomicU64,
-    cross_unique_hits: AtomicU64,
+    elim_ids: Mutex<FxHashMap<Vec<u32>, u32>>,
     workers: AtomicU32,
 }
 
-impl std::fmt::Debug for AppendArena<Node> {
+impl std::fmt::Debug for SharedTddStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "AppendArena<Node>(len = {})", self.len())
-    }
-}
-
-impl std::fmt::Debug for AppendArena<C64> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "AppendArena<C64>(len = {})", self.len())
-    }
-}
-
-impl std::fmt::Debug for AppendArena<Box<[u32]>> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "AppendArena<elim>(len = {})", self.len())
+        write!(
+            f,
+            "SharedTddStore(nodes = {}, weights = {}, tol = {})",
+            self.arena_len(),
+            self.weight_count(),
+            self.tol
+        )
     }
 }
 
@@ -253,27 +297,31 @@ impl SharedTddStore {
             // Past this the grid key `round(x / grid)` nears `i64`
             // saturation and f64 precision; see `intern_weight`.
             huge: 0.5 * (i64::MAX as f64) * grid,
-            nodes: AppendArena::new(),
-            node_stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
-            weights: AppendArena::new(),
-            weight_stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
-            huge_weights: Mutex::new(HashMap::new()),
+            nodes: (0..STRIPES).map(|_| AppendArena::new()).collect(),
+            node_stripes: (0..STRIPES)
+                .map(|_| Mutex::new(NodeStripe::default()))
+                .collect(),
+            weights: (0..=STRIPES).map(|_| AppendArena::new()).collect(),
+            weight_stripes: (0..STRIPES)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            huge_weights: Mutex::new(FxHashMap::default()),
             elim_sets: AppendArena::new(),
-            elim_ids: Mutex::new(HashMap::new()),
-            unique_hits: AtomicU64::new(0),
-            cross_unique_hits: AtomicU64::new(0),
+            elim_ids: Mutex::new(FxHashMap::default()),
             workers: AtomicU32::new(0),
         };
-        // Slot 0: the terminal sentinel, as in the private arena.
-        store.nodes.push(Node {
+        // Shard 0, slot 0: the terminal sentinel — id 0, as in the
+        // private arena.
+        store.nodes[0].push(Node {
             var: TERMINAL_VAR,
             low: Edge::ZERO,
             high: Edge::ZERO,
         });
-        // Weight slots 0/1: exact 0 and 1, pre-inserted under their grid
-        // keys so `WeightId::{ZERO, ONE}` hold exact constants.
-        store.weights.push(C64::ZERO);
-        store.weights.push(C64::ONE);
+        // Weight shard 0, slots 0/1: exact 0 and 1, so
+        // `WeightId::{ZERO, ONE}` hold exact constants; 1 is also
+        // pre-inserted under its grid key so interning finds it.
+        store.weights[0].push(C64::ZERO);
+        store.weights[0].push(C64::ONE);
         let one_key = store.grid_key(C64::ONE);
         store.weight_stripes[stripe_of(&one_key)]
             .lock()
@@ -297,12 +345,12 @@ impl SharedTddStore {
     /// Number of arena slots allocated (live nodes, excluding the
     /// terminal sentinel). Monotone: the shared store never compacts.
     pub fn arena_len(&self) -> usize {
-        self.nodes.len() - 1
+        self.nodes.iter().map(AppendArena::len).sum::<usize>() - 1
     }
 
     /// Number of distinct interned weights.
     pub fn weight_count(&self) -> usize {
-        self.weights.len()
+        self.weights.iter().map(AppendArena::len).sum()
     }
 
     /// Store-level statistics: total nodes created across *all* attached
@@ -313,10 +361,17 @@ impl SharedTddStore {
     /// double-counted (each worker would otherwise re-report the same
     /// global allocations).
     pub fn stats(&self) -> TddStats {
+        let mut hits = 0u64;
+        let mut cross = 0u64;
+        for stripe in &self.node_stripes {
+            let stripe = stripe.lock().expect("node stripe poisoned");
+            hits += stripe.hits;
+            cross += stripe.cross_hits;
+        }
         TddStats {
             nodes_created: self.arena_len() as u64,
-            unique_hits: self.unique_hits.load(Ordering::Relaxed),
-            cross_unique_hits: self.cross_unique_hits.load(Ordering::Relaxed),
+            unique_hits: hits,
+            cross_unique_hits: cross,
             peak_nodes: self.arena_len(),
             ..TddStats::default()
         }
@@ -343,12 +398,13 @@ impl SharedTddStore {
             if let Some(&id) = map.get(&key) {
                 return id;
             }
-            let id = WeightId(self.weights.push(z) as u32);
+            let id = WeightId(encode(HUGE_SHARD, self.weights[HUGE_SHARD].push(z)));
             map.insert(key, id);
             return id;
         }
         let key = self.grid_key(z);
-        let mut stripe = self.weight_stripes[stripe_of(&key)]
+        let shard = stripe_of(&key);
+        let mut stripe = self.weight_stripes[shard]
             .lock()
             .expect("weight stripe poisoned");
         if let Some(&id) = stripe.get(&key) {
@@ -356,7 +412,7 @@ impl SharedTddStore {
         }
         let w = self.grid;
         let snapped = C64::new(key.0 as f64 * w, key.1 as f64 * w);
-        let id = WeightId(self.weights.push(snapped) as u32);
+        let id = WeightId(encode(shard, self.weights[shard].push(snapped)));
         stripe.insert(key, id);
         id
     }
@@ -364,26 +420,28 @@ impl SharedTddStore {
     /// The value behind a weight handle (lock-free).
     #[inline]
     pub(crate) fn weight_value(&self, w: WeightId) -> C64 {
-        *self.weights.get(w.0 as usize)
+        let (shard, index) = decode(w.0);
+        *self.weights[shard].get(index)
     }
 
     /// Hash-conses a (pre-normalized) node, returning its id. `worker`
     /// attributes cross-thread hits.
     pub(crate) fn unique_node(&self, key: Node, worker: u32) -> NodeId {
-        let mut stripe = self.node_stripes[stripe_of(&key)]
+        let shard = stripe_of(&key);
+        let mut stripe = self.node_stripes[shard]
             .lock()
             .expect("node stripe poisoned");
-        match stripe.get(&key) {
+        match stripe.map.get(&key) {
             Some(&(id, creator)) => {
-                self.unique_hits.fetch_add(1, Ordering::Relaxed);
+                stripe.hits += 1;
                 if creator != worker {
-                    self.cross_unique_hits.fetch_add(1, Ordering::Relaxed);
+                    stripe.cross_hits += 1;
                 }
                 id
             }
             None => {
-                let id = NodeId(self.nodes.push(key) as u32);
-                stripe.insert(key, (id, worker));
+                let id = NodeId(encode(shard, self.nodes[shard].push(key)));
+                stripe.map.insert(key, (id, worker));
                 id
             }
         }
@@ -392,7 +450,8 @@ impl SharedTddStore {
     /// The node behind an id (lock-free).
     #[inline]
     pub(crate) fn node(&self, n: NodeId) -> Node {
-        *self.nodes.get(n.0 as usize)
+        let (shard, index) = decode(n.0);
+        *self.nodes[shard].get(index)
     }
 
     /// Interns an elimination set; ids are globally consistent, which is
@@ -419,6 +478,21 @@ mod tests {
     use super::*;
 
     #[test]
+    fn id_encoding_round_trips() {
+        for (shard, index) in [
+            (0usize, 0usize),
+            (0, 1),
+            (63, 5),
+            (HUGE_SHARD, 7),
+            (17, 12345),
+        ] {
+            assert_eq!(decode(encode(shard, index)), (shard, index));
+        }
+        assert_eq!(encode(0, 0), 0, "terminal/zero must stay id 0");
+        assert_eq!(encode(0, 1), 1, "the unit weight must stay id 1");
+    }
+
+    #[test]
     fn arena_locate_covers_doubling_chunks() {
         assert_eq!(locate(0), (0, 0));
         assert_eq!(locate(1023), (0, 1023));
@@ -427,6 +501,9 @@ mod tests {
         assert_eq!(locate(3072), (2, 0));
         assert_eq!(locate(7167), (2, 4095));
         assert_eq!(locate(7168), (3, 0));
+        // The spine covers the whole per-shard index space.
+        let (chunk, _) = locate(INDEX_MASK as usize);
+        assert!(chunk < SPINE);
     }
 
     #[test]
@@ -461,21 +538,30 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_pushes_stay_dense_and_readable() {
-        let arena: Arc<AppendArena<usize>> = Arc::new(AppendArena::new());
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
-                let arena = Arc::clone(&arena);
-                scope.spawn(move || {
-                    for _ in 0..2000 {
-                        let index = arena.push(0);
-                        // Own slot readable immediately.
-                        assert_eq!(*arena.get(index), 0);
-                    }
-                });
-            }
+    fn concurrent_interning_stays_consistent() {
+        // Hammer the store from several threads with overlapping values:
+        // every thread must resolve each value to one id and one stored
+        // representative.
+        let store = SharedTddStore::new();
+        let ids: Vec<Vec<WeightId>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let store = Arc::clone(&store);
+                    scope.spawn(move || {
+                        (0..2000)
+                            .map(|k| store.intern_weight(C64::new(k as f64 * 0.125, -1.0)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("interner"))
+                .collect()
         });
-        assert_eq!(arena.len(), 8000);
+        for thread in &ids[1..] {
+            assert_eq!(thread, &ids[0], "ids must agree across threads");
+        }
+        assert_eq!(store.weight_count(), 2000 + 2, "0/1 pre-seeded + 2000");
     }
 
     #[test]

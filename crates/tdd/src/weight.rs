@@ -7,8 +7,8 @@
 //! reuse its [`WeightId`]. Edges then carry a `u32` handle, making
 //! unique-table and computed-table keys exact and cheap to hash.
 
+use crate::fxhash::FxHashMap;
 use qaec_math::C64;
-use std::collections::HashMap;
 
 /// Handle to an interned complex weight.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -50,7 +50,7 @@ impl WeightId {
 #[derive(Clone, Debug)]
 pub struct WeightTable {
     values: Vec<C64>,
-    buckets: HashMap<(i64, i64), Vec<u32>>,
+    buckets: FxHashMap<(i64, i64), Vec<u32>>,
     tol: f64,
 }
 
@@ -64,7 +64,7 @@ impl WeightTable {
         assert!(tol > 0.0 && tol.is_finite(), "tolerance must be positive");
         let mut table = WeightTable {
             values: Vec::new(),
-            buckets: HashMap::new(),
+            buckets: FxHashMap::default(),
             tol,
         };
         let zero = table.intern_raw(C64::ZERO);

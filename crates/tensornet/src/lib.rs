@@ -44,5 +44,5 @@ pub mod tensor;
 
 pub use index::{IndexId, VarOrder};
 pub use network::TensorNetwork;
-pub use plan::{ContractionPlan, PlanStep, Strategy};
+pub use plan::{ContractionPlan, PlanGraph, PlanStep, Strategy};
 pub use tensor::Tensor;

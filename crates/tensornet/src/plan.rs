@@ -84,6 +84,49 @@ pub struct PlanCost {
     pub dense_ops: f64,
 }
 
+/// The step-level dependency DAG of a [`ContractionPlan`], extracted for
+/// parallel (out-of-order) execution.
+///
+/// Steps form a tree through their slot indices: a step depends on the
+/// steps producing its operand slots (operand slots below the tensor
+/// count are network inputs and impose no dependency). Any topological
+/// execution order computes the same result, so a scheduler is free to
+/// run steps whose dependencies have resolved concurrently.
+#[derive(Clone, Debug, Default)]
+pub struct PlanGraph {
+    /// Per step, the indices of the steps producing its operand slots
+    /// (0, 1 or 2 entries).
+    pub operands: Vec<Vec<usize>>,
+    /// Per step, the indices of the steps consuming its result slot.
+    pub dependents: Vec<Vec<usize>>,
+    /// Per step, the number of producing steps it waits on
+    /// (`operands[i].len()`).
+    pub indegree: Vec<usize>,
+    /// Per step, a critical-path-first priority: the estimated dense
+    /// cost of the step plus the heaviest chain of dependent steps above
+    /// it. Schedulers that prefer high-priority ready steps shorten the
+    /// makespan by keeping the critical path busy.
+    pub priority: Vec<f64>,
+    /// The slot holding the final result: the highest-numbered slot
+    /// (input or step result) no step consumes. `None` for an empty
+    /// network.
+    pub root_slot: Option<usize>,
+    /// Input slots (`< n_tensors`) that no step consumes — at most the
+    /// root for well-formed plans, but tracked so an executor can
+    /// account for every converted input.
+    pub unconsumed_inputs: Vec<usize>,
+}
+
+impl PlanGraph {
+    /// Steps that are immediately runnable (no step dependencies), in
+    /// step order.
+    pub fn initial_ready(&self) -> Vec<usize> {
+        (0..self.indegree.len())
+            .filter(|&i| self.indegree[i] == 0)
+            .collect()
+    }
+}
+
 impl ContractionPlan {
     /// Builds a plan for `network` with the given strategy.
     ///
@@ -140,6 +183,116 @@ impl ContractionPlan {
             }
         }
         cost
+    }
+
+    /// Extracts the step dependency DAG (see [`PlanGraph`]).
+    ///
+    /// `network` must be the network the plan was built for; its tensor
+    /// index sets seed the per-step cost estimates behind the
+    /// critical-path priorities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not match the network (an operand slot is
+    /// consumed twice or never produced).
+    pub fn graph(&self, network: &TensorNetwork) -> PlanGraph {
+        let n_inputs = network.tensors().len();
+        let n_steps = self.steps.len();
+        // producer[slot] = step writing that slot (inputs have none).
+        let mut producer: Vec<Option<usize>> = vec![None; self.n_slots.max(n_inputs)];
+        let mut consumed: Vec<bool> = vec![false; self.n_slots.max(n_inputs)];
+        for (i, step) in self.steps.iter().enumerate() {
+            assert!(
+                producer[step.result()].is_none(),
+                "slot {} produced twice",
+                step.result()
+            );
+            producer[step.result()] = Some(i);
+        }
+        let mut operands: Vec<Vec<usize>> = vec![Vec::new(); n_steps];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_steps];
+        for (i, step) in self.steps.iter().enumerate() {
+            let slots: &[usize] = match step {
+                PlanStep::Contract { a, b, .. } => &[*a, *b],
+                PlanStep::SumOut { t, .. } => &[*t],
+            };
+            for &slot in slots {
+                assert!(!consumed[slot], "slot {slot} consumed twice");
+                consumed[slot] = true;
+                if let Some(p) = producer[slot] {
+                    operands[i].push(p);
+                    dependents[p].push(i);
+                }
+            }
+        }
+        let indegree: Vec<usize> = operands.iter().map(Vec::len).collect();
+
+        // Per-step dense cost estimate (2^{union rank}), replayed like
+        // `cost` but kept per step for the priorities.
+        let mut sets: Vec<Option<BTreeSet<IndexId>>> = network
+            .tensors()
+            .iter()
+            .map(|t| Some(t.indices().iter().copied().collect()))
+            .collect();
+        sets.resize(self.n_slots.max(n_inputs), None);
+        let mut step_cost = vec![0.0f64; n_steps];
+        for (i, step) in self.steps.iter().enumerate() {
+            match step {
+                PlanStep::Contract {
+                    a,
+                    b,
+                    eliminate,
+                    result,
+                } => {
+                    let sa = sets[*a].take().expect("operand a live");
+                    let sb = sets[*b].take().expect("operand b live");
+                    let union: BTreeSet<IndexId> = sa.union(&sb).copied().collect();
+                    step_cost[i] = (union.len() as f64).exp2();
+                    sets[*result] = Some(
+                        union
+                            .into_iter()
+                            .filter(|x| !eliminate.contains(x))
+                            .collect(),
+                    );
+                }
+                PlanStep::SumOut {
+                    t,
+                    eliminate,
+                    result,
+                } => {
+                    let st = sets[*t].take().expect("operand live");
+                    step_cost[i] = (st.len() as f64).exp2();
+                    sets[*result] =
+                        Some(st.into_iter().filter(|x| !eliminate.contains(x)).collect());
+                }
+            }
+        }
+
+        // Critical-path priority: own cost plus the heaviest dependent
+        // chain. Steps are stored in topological order (results occupy
+        // fresh, increasing slots), so one reverse pass suffices.
+        let mut priority = step_cost;
+        for i in (0..n_steps).rev() {
+            let above = dependents[i]
+                .iter()
+                .map(|&d| priority[d])
+                .fold(0.0f64, f64::max);
+            priority[i] += above;
+        }
+
+        let root_slot = (0..self.n_slots.max(n_inputs))
+            .rev()
+            .find(|&s| !consumed[s] && (producer[s].is_some() || s < n_inputs));
+        let unconsumed_inputs: Vec<usize> = (0..n_inputs).filter(|&s| !consumed[s]).collect();
+
+        PlanGraph {
+            operands,
+            dependents,
+            indegree,
+            priority,
+            root_slot,
+            unconsumed_inputs,
+        }
     }
 }
 
@@ -490,5 +643,85 @@ mod tests {
         let net = TensorNetwork::new();
         let plan = net.plan(Strategy::MinDegree);
         assert!(plan.steps.is_empty());
+        let graph = plan.graph(&net);
+        assert_eq!(graph.root_slot, None);
+        assert!(graph.initial_ready().is_empty());
+    }
+
+    #[test]
+    fn graph_is_a_consistent_dag() {
+        for strategy in [
+            Strategy::Sequential,
+            Strategy::GreedySize,
+            Strategy::MinDegree,
+            Strategy::MinFill,
+        ] {
+            let net = wire_chain(6);
+            let plan = net.plan(strategy);
+            let graph = plan.graph(&net);
+            assert_eq!(graph.operands.len(), plan.steps.len());
+            assert_eq!(graph.indegree.len(), plan.steps.len());
+            // Dependencies only point backwards; dependents forwards.
+            for (i, deps) in graph.operands.iter().enumerate() {
+                for &d in deps {
+                    assert!(d < i, "{strategy:?}: dep {d} not before step {i}");
+                    assert!(graph.dependents[d].contains(&i));
+                }
+            }
+            // Executing in ready order covers every step exactly once.
+            let mut indegree = graph.indegree.clone();
+            let mut ready: Vec<usize> = graph.initial_ready();
+            assert!(!ready.is_empty(), "{strategy:?}: no runnable step");
+            let mut done = 0usize;
+            while let Some(step) = ready.pop() {
+                done += 1;
+                for &d in &graph.dependents[step] {
+                    indegree[d] -= 1;
+                    if indegree[d] == 0 {
+                        ready.push(d);
+                    }
+                }
+            }
+            assert_eq!(done, plan.steps.len(), "{strategy:?}: DAG not covered");
+            // The root slot is the one the sequential executor would
+            // pick: highest live slot after all steps ran.
+            let root = graph.root_slot.expect("non-empty network has a root");
+            assert_eq!(root, plan.steps.last().expect("steps").result());
+            assert!(graph.unconsumed_inputs.is_empty());
+        }
+    }
+
+    #[test]
+    fn graph_priorities_are_critical_path_monotone() {
+        let net = wire_chain(8);
+        let plan = net.plan(Strategy::MinFill);
+        let graph = plan.graph(&net);
+        // A step's priority strictly exceeds every dependent's: it must
+        // run earlier on the critical path.
+        for (i, deps) in graph.dependents.iter().enumerate() {
+            for &d in deps {
+                assert!(
+                    graph.priority[i] > graph.priority[d],
+                    "step {i} priority {} not above dependent {d} ({})",
+                    graph.priority[i],
+                    graph.priority[d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graph_tracks_unconsumed_single_input() {
+        // A single-tensor network whose only step is a SumOut consumes
+        // the input; a no-step plan leaves it unconsumed as the root.
+        let mut net = TensorNetwork::new();
+        net.add(Tensor::delta(IndexId(0), IndexId(1)));
+        net.mark_open(IndexId(0));
+        net.mark_open(IndexId(1));
+        let plan = net.plan(Strategy::Sequential);
+        assert!(plan.steps.is_empty(), "fully open tensor needs no step");
+        let graph = plan.graph(&net);
+        assert_eq!(graph.root_slot, Some(0));
+        assert_eq!(graph.unconsumed_inputs, vec![0]);
     }
 }

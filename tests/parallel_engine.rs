@@ -483,14 +483,24 @@ fn cont_cache_seeding_imports_pay_off_and_preserve_results() {
         unseeded.fidelity_lower.to_bits(),
         "seeding may only transplant work, never change values"
     );
-    // Without the flag no seeding traffic appears.
+    // Seeding defaults on for shared-store runs; `seed_cont_cache:
+    // false` is the escape hatch and must silence all traffic.
     let plain = fidelity_alg1(
         &ideal,
         &noisy,
         None,
-        &with_backend(4, TermOrder::BestFirst, SharedTableMode::On),
+        &CheckOptions {
+            seed_cont_cache: false,
+            ..with_backend(4, TermOrder::BestFirst, SharedTableMode::On)
+        },
     )
     .expect("plain parallel shared");
     assert_eq!(plain.stats.seed_imports, 0);
     assert_eq!(plain.stats.seed_hits, 0);
+    // And the default-on path is value-transparent too.
+    assert_eq!(
+        plain.fidelity_lower.to_bits(),
+        seeded.fidelity_lower.to_bits(),
+        "disabling seeding may not change values either"
+    );
 }
