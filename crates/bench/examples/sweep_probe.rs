@@ -1,0 +1,49 @@
+//! Dev probe: compile-once sweep vs cold re-checks on the qft5 smoke
+//! workload (calibrates the bench_smoke speedup gate).
+
+use qaec::{check_equivalence, CheckOptions, Checker};
+use qaec_bench::NOISE_SEED;
+use qaec_circuit::generators::{qft, QftStyle};
+use qaec_circuit::noise_insertion::insert_random_noise;
+use qaec_circuit::NoiseChannel;
+use std::time::Instant;
+
+fn main() {
+    let qft5 = qft(5, QftStyle::DecomposedNoSwaps);
+    let seed = NOISE_SEED ^ "qft5".len() as u64;
+    let noisy = insert_random_noise(&qft5, &NoiseChannel::Depolarizing { p: 0.999 }, 3, seed);
+    let strengths = [0.999, 0.998, 0.997, 0.996, 0.995, 0.99, 0.98, 0.97];
+    let opts = CheckOptions::default();
+
+    for round in 0..3 {
+        let b0 = qaec_tensornet::plan::build_count();
+        let start = Instant::now();
+        let compiled = Checker::new(&qft5, &noisy)
+            .options(opts.clone())
+            .compile()
+            .unwrap();
+        let compile_t = start.elapsed();
+        let points = compiled.sweep_noise(1e-3, &strengths).unwrap();
+        let sweep_t = start.elapsed();
+        let sweep_builds = qaec_tensornet::plan::build_count() - b0;
+
+        let b1 = qaec_tensornet::plan::build_count();
+        let cold_start = Instant::now();
+        let mut cold = Vec::new();
+        for &p in &strengths {
+            let cn = insert_random_noise(&qft5, &NoiseChannel::Depolarizing { p }, 3, seed);
+            cold.push(check_equivalence(&qft5, &cn, 1e-3, &opts).unwrap());
+        }
+        let cold_t = cold_start.elapsed();
+        let cold_builds = qaec_tensornet::plan::build_count() - b1;
+
+        for (point, report) in points.iter().zip(&cold) {
+            assert_eq!(point.fidelity.to_bits(), report.fidelity_bounds.0.to_bits());
+            assert_eq!(point.verdict, report.verdict);
+        }
+        println!(
+            "round {round}: compile {compile_t:?}, sweep total {sweep_t:?} ({sweep_builds} builds), cold {cold_t:?} ({cold_builds} builds), speedup {:.2}x",
+            cold_t.as_secs_f64() / sweep_t.as_secs_f64()
+        );
+    }
+}

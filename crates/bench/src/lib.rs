@@ -12,7 +12,8 @@
 //! Criterion micro-benches live under `benches/`.
 
 use qaec::{
-    fidelity_alg1, fidelity_alg2, CheckOptions, QaecError, SharedTableMode, TermOrder, Verdict,
+    check_equivalence, fidelity_alg1, fidelity_alg2, CheckOptions, Checker, QaecError,
+    SharedTableMode, SweepPoint, TermOrder, Verdict,
 };
 use qaec_circuit::generators::{
     bernstein_vazirani_all_ones, grover_dac21, mod_mul_7x1_mod15, qft, quantum_volume,
@@ -302,6 +303,108 @@ pub fn measure_best(max_repeats: usize, mut f: impl FnMut() -> Outcome) -> Outco
     best.expect("at least one run")
 }
 
+/// The hand-rolled JSON writer behind the bench artifacts, factored out
+/// so other frontends (the CLI's `check --json` / `sweep --json`) emit
+/// the same shape without a serde dependency: flat objects of string and
+/// number fields, no nesting, no escapes — exactly what
+/// [`records_from_json`] can read back.
+pub mod json {
+    /// Replaces characters the minimal parser cannot round-trip
+    /// (quotes, backslashes, control characters) with `_`. Values fed
+    /// through here are harness- or checker-chosen identifiers, never
+    /// user data that must survive verbatim.
+    pub fn sanitize(value: &str) -> String {
+        value
+            .chars()
+            .map(|c| {
+                if c == '"' || c == '\\' || c.is_control() {
+                    '_'
+                } else {
+                    c
+                }
+            })
+            .collect()
+    }
+
+    /// A flat JSON object under construction: fields render in insertion
+    /// order.
+    #[derive(Clone, Debug, Default)]
+    pub struct Object {
+        fields: Vec<(String, String)>,
+    }
+
+    impl Object {
+        /// An empty object.
+        pub fn new() -> Object {
+            Object::default()
+        }
+
+        /// Appends a string field (sanitised, see [`sanitize`]).
+        pub fn string(mut self, key: &str, value: &str) -> Object {
+            self.fields
+                .push((key.to_string(), format!("\"{}\"", sanitize(value))));
+            self
+        }
+
+        /// Appends a float field with `decimals` fractional digits.
+        pub fn number(mut self, key: &str, value: f64, decimals: usize) -> Object {
+            self.fields
+                .push((key.to_string(), format!("{value:.decimals$}")));
+            self
+        }
+
+        /// Appends an integer field.
+        pub fn int(mut self, key: &str, value: u64) -> Object {
+            self.fields.push((key.to_string(), value.to_string()));
+            self
+        }
+
+        /// Renders the object on one line: `{"k": v, ...}`.
+        pub fn render(&self) -> String {
+            let body: Vec<String> = self
+                .fields
+                .iter()
+                .map(|(k, v)| format!("\"{k}\": {v}"))
+                .collect();
+            format!("{{{}}}", body.join(", "))
+        }
+    }
+
+    /// Renders a stable, human-diffable array: one object per line,
+    /// two-space indent, trailing newline — the artifact shape
+    /// [`super::records_from_json`] parses.
+    pub fn array(objects: &[Object]) -> String {
+        let mut out = String::from("[\n");
+        for (i, object) in objects.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&object.render());
+            out.push_str(if i + 1 < objects.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn objects_render_flat_json() {
+            let o = Object::new()
+                .string("name", "qft\"3\\k4\n")
+                .number("wall_ms", 1.5, 3)
+                .int("max_nodes", 42);
+            assert_eq!(
+                o.render(),
+                "{\"name\": \"qft_3_k4_\", \"wall_ms\": 1.500, \"max_nodes\": 42}"
+            );
+            let rendered = array(&[Object::new().int("a", 1), Object::new().int("a", 2)]);
+            assert_eq!(rendered, "[\n  {\"a\": 1},\n  {\"a\": 2}\n]\n");
+            assert_eq!(array(&[]), "[\n]\n");
+        }
+    }
+}
+
 /// One measured run, as serialised into the per-run JSON artifacts
 /// (`--json` on the table/figure binaries, `BENCH_PR.json` /
 /// `BENCH_BASELINE.json` for the CI smoke gate).
@@ -347,39 +450,22 @@ impl RunRecord {
     }
 }
 
-/// Serialises records as a stable, human-diffable JSON array.
-///
-/// Scenario names are emitted into string literals verbatim, so any
-/// character the minimal parser can't round-trip (quotes, backslashes,
-/// control characters) is replaced by `_` — names are harness-chosen
-/// identifiers, never data.
+/// Serialises records as a stable, human-diffable JSON array (the
+/// [`json`] writer; scenario names are sanitised, never escaped — they
+/// are harness-chosen identifiers, never data).
 pub fn records_to_json(records: &[RunRecord]) -> String {
-    let sanitize = |name: &str| -> String {
-        name.chars()
-            .map(|c| {
-                if c == '"' || c == '\\' || c.is_control() {
-                    '_'
-                } else {
-                    c
-                }
-            })
-            .collect()
-    };
-    let mut out = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
-        out.push_str(&format!(
-            "  {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"terms_per_sec\": {:.3}, \
-             \"max_nodes\": {}, \"fidelity\": {:.12}}}{}\n",
-            sanitize(&r.name),
-            r.wall_ms,
-            r.terms_per_sec,
-            r.max_nodes,
-            r.fidelity,
-            if i + 1 < records.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("]\n");
-    out
+    let objects: Vec<json::Object> = records
+        .iter()
+        .map(|r| {
+            json::Object::new()
+                .string("name", &r.name)
+                .number("wall_ms", r.wall_ms, 3)
+                .number("terms_per_sec", r.terms_per_sec, 3)
+                .int("max_nodes", r.max_nodes as u64)
+                .number("fidelity", r.fidelity, 12)
+        })
+        .collect();
+    json::array(&objects)
 }
 
 /// Parses the JSON produced by [`records_to_json`] (flat objects, no
@@ -635,6 +721,134 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
     );
     let qft5_alg1 = measure_best(2, || run_alg1(&qft5, &qft5_noisy, timeout));
     push("qft5_k3_alg1_exact", &qft5_alg1);
+
+    // Compile-once session sweep (the paper's Table-I-shaped workload):
+    // the qft5 row re-checked at 8 noise strengths through ONE
+    // `CompiledCheck` — validation, network construction and min-fill
+    // planning paid once, Kraus weights re-instantiated per point on the
+    // compiled plan over one warm shared store — against 8 cold
+    // `check_equivalence` calls on the same re-parameterised pairs.
+    // Gated: the sweep must build exactly one contraction plan (the
+    // cold path builds 8) and finish ≥2× faster, with every per-point
+    // fidelity and verdict bit-identical to the cold path, at 1 and 4
+    // threads.
+    let sweep_eps = 1e-3;
+    let sweep_strengths = [0.999, 0.998, 0.997, 0.996, 0.995, 0.99, 0.98, 0.97];
+    let qft5_seed = NOISE_SEED ^ "qft5".len() as u64;
+    let session_opts = |threads: usize| CheckOptions {
+        deadline: Some(Instant::now() + timeout),
+        threads,
+        ..CheckOptions::default()
+    };
+    let run_sweep = |threads: usize| -> (Duration, Vec<SweepPoint>, u64) {
+        let builds_before = qaec_tensornet::plan::build_count();
+        let start = Instant::now();
+        let compiled = Checker::new(&qft5, &qft5_noisy)
+            .options(session_opts(threads))
+            .compile()
+            .expect("qft5 session compiles");
+        let points = compiled
+            .sweep_noise(sweep_eps, &sweep_strengths)
+            .expect("qft5 noise sweep");
+        let elapsed = start.elapsed();
+        let builds = qaec_tensornet::plan::build_count() - builds_before;
+        (elapsed, points, builds)
+    };
+    // Best-of-3 on both sides: the ≥2× gate compares their ratio, and
+    // the ~tens-of-ms cells on shared CI runners need the minimum on
+    // each side to shake preemption noise out (the measured margin is
+    // ~2.4–2.8×, so only a systematic slowdown should trip it).
+    let (mut sweep_time, mut sweep_points, sweep_builds) = run_sweep(1);
+    for _ in 0..2 {
+        let (t, points, builds) = run_sweep(1);
+        assert_eq!(builds, sweep_builds);
+        if t < sweep_time {
+            (sweep_time, sweep_points) = (t, points);
+        }
+    }
+    assert_eq!(
+        sweep_builds, 1,
+        "a compile-once sweep must build exactly one contraction plan"
+    );
+
+    let run_cold = || -> (Duration, Vec<qaec::EquivalenceReport>, u64) {
+        let builds_before = qaec_tensornet::plan::build_count();
+        let start = Instant::now();
+        let reports: Vec<qaec::EquivalenceReport> = sweep_strengths
+            .iter()
+            .map(|&p| {
+                // The same noise positions (same seed) at strength `p` —
+                // exactly the pair the session's sweep point checks.
+                let cold_noisy =
+                    insert_random_noise(&qft5, &NoiseChannel::Depolarizing { p }, 3, qft5_seed);
+                check_equivalence(&qft5, &cold_noisy, sweep_eps, &session_opts(1))
+                    .expect("cold qft5 check")
+            })
+            .collect();
+        let elapsed = start.elapsed();
+        let builds = qaec_tensornet::plan::build_count() - builds_before;
+        (elapsed, reports, builds)
+    };
+    let (mut cold_time, cold_reports, cold_builds) = run_cold();
+    for _ in 0..2 {
+        let (t, _, _) = run_cold();
+        cold_time = cold_time.min(t);
+    }
+    assert_eq!(
+        cold_builds,
+        sweep_strengths.len() as u64,
+        "the cold path replans every point"
+    );
+    for (k, (point, report)) in sweep_points.iter().zip(&cold_reports).enumerate() {
+        assert_eq!(
+            point.fidelity.to_bits(),
+            report.fidelity_bounds.0.to_bits(),
+            "sweep point {k}: fidelity must be bit-identical to the cold path"
+        );
+        assert_eq!(point.verdict, report.verdict, "sweep point {k}");
+    }
+    // Thread count must not change what a sweep reports (Algorithm II
+    // resolves the shared canonical store at every count).
+    let (_, sweep_t4, _) = run_sweep(4);
+    for (k, (p1, p4)) in sweep_points.iter().zip(&sweep_t4).enumerate() {
+        assert_eq!(
+            p1.fidelity.to_bits(),
+            p4.fidelity.to_bits(),
+            "sweep point {k}: t1 vs t4 fidelity drifted"
+        );
+        assert_eq!(p1.max_nodes, p4.max_nodes, "sweep point {k}: max_nodes");
+    }
+    let speedup = cold_time.as_secs_f64() / sweep_time.as_secs_f64();
+    println!(
+        "compile-once sweep (qft5_k3 ×{} points): {:.1}ms vs {:.1}ms cold — {speedup:.2}x",
+        sweep_strengths.len(),
+        sweep_time.as_secs_f64() * 1e3,
+        cold_time.as_secs_f64() * 1e3,
+    );
+    assert!(
+        speedup >= 2.0,
+        "a compiled sweep must beat cold re-checking ≥2x: {speedup:.2}x"
+    );
+    let sweep_max_nodes = sweep_points.iter().map(|p| p.max_nodes).max().unwrap_or(0);
+    let last_fidelity = sweep_points.last().map_or(0.0, |p| p.fidelity);
+    push(
+        "qft5_k3_sweep8_session",
+        &Outcome::Done {
+            fidelity: last_fidelity,
+            time: sweep_time,
+            nodes: sweep_max_nodes,
+            terms: sweep_strengths.len(),
+        },
+    );
+    push(
+        "qft5_k3_sweep8_cold",
+        &Outcome::Done {
+            fidelity: cold_reports.last().map_or(0.0, |r| r.fidelity_bounds.0),
+            time: cold_time,
+            nodes: cold_reports.iter().map(|r| r.max_nodes).max().unwrap_or(0),
+            terms: sweep_strengths.len(),
+        },
+    );
 
     // One wide-noise Algorithm II row from Table I territory.
     let bv5 = bernstein_vazirani_all_ones(5);

@@ -341,6 +341,35 @@ impl NoiseChannel {
         }
     }
 
+    /// The channel with its single scalar strength replaced: the same
+    /// channel shape (name, arity, Kraus structure) at a new noise
+    /// level. `None` for channels without one scalar parameter
+    /// ([`NoiseChannel::Pauli`], [`NoiseChannel::Custom`]) — those have
+    /// no unambiguous "strength" to sweep.
+    ///
+    /// The value is **not** range-checked here; validate the result with
+    /// [`NoiseChannel::validate`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qaec_circuit::NoiseChannel;
+    ///
+    /// let base = NoiseChannel::Depolarizing { p: 0.999 };
+    /// assert_eq!(
+    ///     base.with_strength(0.99),
+    ///     Some(NoiseChannel::Depolarizing { p: 0.99 })
+    /// );
+    /// let pauli = NoiseChannel::Pauli { pi: 0.9, px: 0.1, py: 0.0, pz: 0.0 };
+    /// assert_eq!(pauli.with_strength(0.5), None);
+    /// ```
+    pub fn with_strength(&self, value: f64) -> Option<NoiseChannel> {
+        match self.params().as_slice() {
+            [_] => NoiseChannel::from_name(self.name(), &[value]),
+            _ => None,
+        }
+    }
+
     /// Constructs a built-in channel from its [`NoiseChannel::name`] and
     /// parameters. Returns `None` for unknown names or arity mismatches.
     pub fn from_name(name: &str, params: &[f64]) -> Option<NoiseChannel> {

@@ -7,15 +7,22 @@
 //!   fidelity (algorithm selectable);
 //! * `qaec check <ideal.qasm> <noisy.qasm> --epsilon ε` — the
 //!   ε-equivalence decision; process exit code 0 = equivalent,
-//!   1 = not equivalent, 2 = usage/runtime error.
+//!   1 = not equivalent, 2 = usage/runtime error;
+//! * `qaec sweep <ideal.qasm> <noisy.qasm> --epsilon ε --noise p,…` (or
+//!   `--epsilons ε,…`) — compile the pair **once** and re-check it at
+//!   every point on the compiled plan, one row per point.
+//!
+//! `check` and `sweep` accept `--json` for machine-readable output
+//! (flat objects, the same hand-rolled writer as the bench artifacts).
 //!
 //! Noisy circuits are OpenQASM 2 files with `// qaec.noise:` directives
 //! (see `qaec_circuit::qasm`).
 
 use qaec::{
     check_equivalence, fidelity_alg1, fidelity_alg2, fidelity_monte_carlo, AlgorithmChoice,
-    CheckOptions, SharedTableMode, TddStats, Verdict,
+    CheckOptions, Checker, SharedTableMode, TddStats, Verdict,
 };
+use qaec_bench::json;
 use qaec_circuit::{qasm, Circuit};
 use qaec_tensornet::Strategy;
 use std::time::{Duration, Instant};
@@ -48,6 +55,21 @@ pub enum Command {
         /// Shared options.
         options: CliOptions,
     },
+    /// `qaec sweep <ideal> <noisy> (--epsilon ε --noise p,… | --epsilons ε,…)`
+    Sweep {
+        /// Ideal circuit file.
+        ideal: String,
+        /// Noisy circuit file.
+        noisy: String,
+        /// The error threshold for noise sweeps.
+        epsilon: Option<f64>,
+        /// Noise strengths to sweep (`--noise`).
+        noise: Option<Vec<f64>>,
+        /// Thresholds to sweep at the file's noise (`--epsilons`).
+        epsilons: Option<Vec<f64>>,
+        /// Shared options.
+        options: CliOptions,
+    },
     /// `qaec help`
     Help,
 }
@@ -77,6 +99,8 @@ pub struct CliOptions {
     pub optimize: bool,
     /// Print decision-diagram statistics after the result.
     pub verbose: bool,
+    /// Emit machine-readable JSON instead of text (`check` / `sweep`).
+    pub json: bool,
 }
 
 impl Default for CliOptions {
@@ -92,6 +116,7 @@ impl Default for CliOptions {
             seed_cache: true,
             optimize: false,
             verbose: false,
+            json: false,
         }
     }
 }
@@ -120,6 +145,15 @@ USAGE:
     qaec info <circuit.qasm>
     qaec fidelity <ideal.qasm> <noisy.qasm> [OPTIONS]
     qaec check <ideal.qasm> <noisy.qasm> --epsilon <ε> [OPTIONS]
+    qaec sweep <ideal.qasm> <noisy.qasm> --epsilon <ε> --noise <p,...> [OPTIONS]
+    qaec sweep <ideal.qasm> <noisy.qasm> --epsilons <ε,...> [OPTIONS]
+
+SWEEP:
+    Compiles the pair once (validation, algorithm selection, variable
+    ordering, network construction, contraction planning) and re-checks
+    it at every point on the compiled artifacts — one output row per
+    point. `--noise` re-instantiates every noise site at each strength;
+    `--epsilons` re-decides the compiled noise at each threshold.
 
 OPTIONS:
     --algorithm <auto|1|2|mc>  checking algorithm (default: auto)
@@ -148,6 +182,13 @@ OPTIONS:
                                the heaviest completed term (shared-table
                                runs only; default on — profiled value-
                                transparent; off is the escape hatch)
+    --noise <p,...>            sweep: comma-separated noise strengths
+                               (each replaces every noise site's single
+                               scalar parameter; requires --epsilon)
+    --epsilons <e,...>         sweep: comma-separated thresholds to
+                               decide at the file's noise level
+    --json                     check/sweep: emit machine-readable JSON
+                               (flat objects, bench-artifact style)
     --optimize                 enable local cancellation + SWAP elimination
     --verbose                  print decision-diagram statistics
 
@@ -174,7 +215,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .ok_or_else(|| "info: missing circuit file".to_string())?;
             Ok(Command::Info { file: file.clone() })
         }
-        "fidelity" | "check" => {
+        "fidelity" | "check" | "sweep" => {
             let ideal = it
                 .next()
                 .ok_or_else(|| format!("{sub}: missing ideal circuit file"))?
@@ -185,6 +226,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .clone();
             let mut options = CliOptions::default();
             let mut epsilon: Option<f64> = None;
+            let mut noise: Option<Vec<f64>> = None;
+            let mut epsilons: Option<Vec<f64>> = None;
+            let parse_list = |flag: &str, text: &str| -> Result<Vec<f64>, String> {
+                let values: Result<Vec<f64>, _> =
+                    text.split(',').map(|v| v.trim().parse::<f64>()).collect();
+                match values {
+                    Ok(v) if !v.is_empty() => Ok(v),
+                    _ => Err(format!("bad {flag} list `{text}`")),
+                }
+            };
             let rest: Vec<&String> = it.collect();
             let mut k = 0;
             while k < rest.len() {
@@ -276,6 +327,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             other => return Err(format!("unknown seed-cache mode `{other}`")),
                         };
                     }
+                    "--noise" => {
+                        noise = Some(parse_list("--noise", value(&mut k)?)?);
+                    }
+                    "--epsilons" => {
+                        epsilons = Some(parse_list("--epsilons", value(&mut k)?)?);
+                    }
+                    "--json" => {
+                        boolean(inline)?;
+                        options.json = true;
+                    }
                     "--optimize" => {
                         boolean(inline)?;
                         options.optimize = true;
@@ -288,20 +349,46 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
                 k += 1;
             }
-            if sub == "check" {
-                let epsilon = epsilon.ok_or_else(|| "check: --epsilon is required".to_string())?;
-                Ok(Command::Check {
+            match sub {
+                "check" => {
+                    let epsilon =
+                        epsilon.ok_or_else(|| "check: --epsilon is required".to_string())?;
+                    Ok(Command::Check {
+                        ideal,
+                        noisy,
+                        epsilon,
+                        options,
+                    })
+                }
+                "sweep" => {
+                    match (&noise, &epsilons) {
+                        (Some(_), Some(_)) => {
+                            return Err("sweep: --noise and --epsilons are exclusive".to_string())
+                        }
+                        (None, None) => {
+                            return Err(
+                                "sweep: one of --noise or --epsilons is required".to_string()
+                            )
+                        }
+                        (Some(_), None) if epsilon.is_none() => {
+                            return Err("sweep: --noise requires --epsilon".to_string())
+                        }
+                        _ => {}
+                    }
+                    Ok(Command::Sweep {
+                        ideal,
+                        noisy,
+                        epsilon,
+                        noise,
+                        epsilons,
+                        options,
+                    })
+                }
+                _ => Ok(Command::Fidelity {
                     ideal,
                     noisy,
-                    epsilon,
                     options,
-                })
-            } else {
-                Ok(Command::Fidelity {
-                    ideal,
-                    noisy,
-                    options,
-                })
+                }),
             }
         }
         other => Err(format!("unknown subcommand `{other}`")),
@@ -432,12 +519,126 @@ fn run_inner(command: Command, out: &mut impl std::io::Write) -> Result<i32, Str
             let opts = options.to_check_options();
             let report =
                 check_equivalence(&ideal, &noisy, epsilon, &opts).map_err(|e| e.to_string())?;
-            w(out, format!("{report}"))?;
-            write_stats(out, options.verbose, &report.stats)?;
+            if options.json {
+                let object = json::Object::new()
+                    .string("verdict", &report.verdict.to_string())
+                    .number("fidelity_lower", report.fidelity_bounds.0, 12)
+                    .number("fidelity_upper", report.fidelity_bounds.1, 12)
+                    .number("epsilon", report.epsilon, 12)
+                    .string("algorithm", &report.algorithm.to_string())
+                    .int("terms_computed", report.terms_computed as u64)
+                    .int("total_terms", report.total_terms as u64)
+                    .int("max_nodes", report.max_nodes as u64)
+                    .number("wall_ms", report.elapsed.as_secs_f64() * 1e3, 3);
+                w(out, object.render())?;
+            } else {
+                w(out, format!("{report}"))?;
+                write_stats(out, options.verbose, &report.stats)?;
+            }
             Ok(match report.verdict {
                 Verdict::Equivalent => 0,
                 Verdict::NotEquivalent => 1,
             })
+        }
+        Command::Sweep {
+            ideal,
+            noisy,
+            epsilon,
+            noise,
+            epsilons,
+            options,
+        } => {
+            let ideal = load(&ideal)?;
+            let noisy = load(&noisy)?;
+            let opts = options.to_check_options();
+            let compile_start = Instant::now();
+            let mut compiled = Checker::new(&ideal, &noisy)
+                .options(opts)
+                .compile()
+                .map_err(|e| e.to_string())?;
+            let compile_ms = compile_start.elapsed().as_secs_f64() * 1e3;
+            let algorithm = compiled.algorithm();
+
+            if let Some(strengths) = noise {
+                // Noise sweep: one row per strength, same compiled plan.
+                let eps = epsilon.expect("parser enforced --epsilon");
+                let points = compiled
+                    .sweep_noise(eps, &strengths)
+                    .map_err(|e| e.to_string())?;
+                if options.json {
+                    let rows: Vec<json::Object> = strengths
+                        .iter()
+                        .zip(&points)
+                        .map(|(&p, point)| {
+                            json::Object::new()
+                                .number("noise", p, 6)
+                                .number("fidelity", point.fidelity, 12)
+                                .string("verdict", &point.verdict.to_string())
+                                .int("max_nodes", point.max_nodes as u64)
+                                .number("wall_ms", point.elapsed.as_secs_f64() * 1e3, 3)
+                        })
+                        .collect();
+                    w(out, json::array(&rows).trim_end().to_string())?;
+                } else {
+                    for (p, point) in strengths.iter().zip(&points) {
+                        w(
+                            out,
+                            format!(
+                                "p={p:<8} F_J = {:.12}  {} ({} nodes, {:.3?})",
+                                point.fidelity, point.verdict, point.max_nodes, point.elapsed
+                            ),
+                        )?;
+                        write_stats(out, options.verbose, &point.stats)?;
+                    }
+                    w(
+                        out,
+                        format!(
+                            "({} points via {algorithm}, ε = {eps}, compiled once in {compile_ms:.1}ms)",
+                            points.len()
+                        ),
+                    )?;
+                }
+            } else {
+                // ε sweep at the file's noise level.
+                let thresholds = epsilons.expect("parser enforced --epsilons");
+                let points = compiled
+                    .sweep_epsilon(&thresholds)
+                    .map_err(|e| e.to_string())?;
+                if options.json {
+                    let rows: Vec<json::Object> = points
+                        .iter()
+                        .map(|point| {
+                            json::Object::new()
+                                .number("epsilon", point.epsilon, 12)
+                                .number("fidelity_lower", point.fidelity_bounds.0, 12)
+                                .number("fidelity_upper", point.fidelity_bounds.1, 12)
+                                .string("verdict", &point.verdict.to_string())
+                        })
+                        .collect();
+                    w(out, json::array(&rows).trim_end().to_string())?;
+                } else {
+                    for point in &points {
+                        w(
+                            out,
+                            format!(
+                                "ε={:<10} F_J ∈ [{:.9}, {:.9}]  {}",
+                                point.epsilon,
+                                point.fidelity_bounds.0,
+                                point.fidelity_bounds.1,
+                                point.verdict
+                            ),
+                        )?;
+                    }
+                    w(
+                        out,
+                        format!(
+                            "({} thresholds via {algorithm}, compiled once in {compile_ms:.1}ms)",
+                            points.len()
+                        ),
+                    )?;
+                }
+            }
+            Ok(0)
         }
     }
 }
@@ -565,6 +766,225 @@ mod tests {
             "maybe"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parse_sweep_modes_and_rejections() {
+        // Noise sweep: --noise + --epsilon.
+        match parse_args(&strings(&[
+            "sweep",
+            "i.qasm",
+            "n.qasm",
+            "--epsilon",
+            "0.01",
+            "--noise",
+            "0.999,0.99,0.9",
+        ]))
+        .unwrap()
+        {
+            Command::Sweep {
+                epsilon,
+                noise,
+                epsilons,
+                ..
+            } => {
+                assert_eq!(epsilon, Some(0.01));
+                assert_eq!(noise, Some(vec![0.999, 0.99, 0.9]));
+                assert_eq!(epsilons, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // ε sweep: --epsilons alone.
+        match parse_args(&strings(&[
+            "sweep",
+            "i.qasm",
+            "n.qasm",
+            "--epsilons=0.1,0.01",
+            "--json",
+        ]))
+        .unwrap()
+        {
+            Command::Sweep {
+                epsilons, options, ..
+            } => {
+                assert_eq!(epsilons, Some(vec![0.1, 0.01]));
+                assert!(options.json);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Invalid combinations are usage errors.
+        assert!(parse_args(&strings(&["sweep", "i", "n"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "i", "n", "--noise", "0.9"])).is_err());
+        assert!(parse_args(&strings(&[
+            "sweep",
+            "i",
+            "n",
+            "--epsilon",
+            "0.1",
+            "--noise",
+            "0.9",
+            "--epsilons",
+            "0.1",
+        ]))
+        .is_err());
+        assert!(parse_args(&strings(&[
+            "sweep",
+            "i",
+            "n",
+            "--epsilon",
+            "0.1",
+            "--noise",
+            "0.9,oops",
+        ]))
+        .is_err());
+        // --json is a boolean flag on check too.
+        match parse_args(&strings(&["check", "i", "n", "--epsilon", "0.1", "--json"])).unwrap() {
+            Command::Check { options, .. } => assert!(options.json),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&strings(&[
+            "check",
+            "i",
+            "n",
+            "--epsilon",
+            "0.1",
+            "--json=yes"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn sweep_and_json_end_to_end() {
+        let dir = std::env::temp_dir().join("qaec_cli_sweep_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ideal_path = dir.join("ideal.qasm");
+        let noisy_path = dir.join("noisy.qasm");
+        std::fs::write(
+            &ideal_path,
+            "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &noisy_path,
+            "OPENQASM 2.0;\nqreg q[2];\nh q[0];\n// qaec.noise: depolarizing(0.999) q[0];\ncx q[0], q[1];\n",
+        )
+        .unwrap();
+        let ideal = ideal_path.to_str().unwrap();
+        let noisy = noisy_path.to_str().unwrap();
+
+        // Noise sweep, text mode: one row per point plus a footer.
+        let mut out = Vec::new();
+        let code = run(
+            parse_args(&strings(&[
+                "sweep",
+                ideal,
+                noisy,
+                "--epsilon",
+                "0.01",
+                "--noise",
+                "0.999,0.99,0.9",
+            ]))
+            .unwrap(),
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert_eq!(text.matches("F_J = ").count(), 3, "{text}");
+        assert!(text.contains("compiled once"), "{text}");
+
+        // Noise sweep, JSON: an array of flat objects, monotone fidelity.
+        let mut out = Vec::new();
+        let code = run(
+            parse_args(&strings(&[
+                "sweep",
+                ideal,
+                noisy,
+                "--epsilon",
+                "0.01",
+                "--noise",
+                "0.999,0.9",
+                "--json",
+            ]))
+            .unwrap(),
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.trim_start().starts_with('['), "{text}");
+        assert_eq!(text.matches("\"noise\":").count(), 2, "{text}");
+        assert_eq!(text.matches("\"verdict\":").count(), 2, "{text}");
+
+        // ε sweep, JSON.
+        let mut out = Vec::new();
+        let code = run(
+            parse_args(&strings(&[
+                "sweep",
+                ideal,
+                noisy,
+                "--epsilons",
+                "0.2,0.01,0.0001",
+                "--json",
+            ]))
+            .unwrap(),
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert_eq!(text.matches("\"epsilon\":").count(), 3, "{text}");
+
+        // check --json: one flat object, exit code still verdict-driven.
+        let mut out = Vec::new();
+        let code = run(
+            parse_args(&strings(&[
+                "check",
+                ideal,
+                noisy,
+                "--epsilon",
+                "0.01",
+                "--json",
+            ]))
+            .unwrap(),
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.trim_start().starts_with('{'), "{text}");
+        for key in [
+            "\"verdict\":",
+            "\"fidelity_lower\":",
+            "\"algorithm\":",
+            "\"max_nodes\":",
+            "\"wall_ms\":",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+
+        // A sweep over an unsupported (multi-parameter) channel is a
+        // runtime error, exit code 2.
+        let pauli_path = dir.join("pauli.qasm");
+        std::fs::write(
+            &pauli_path,
+            "OPENQASM 2.0;\nqreg q[2];\nh q[0];\n// qaec.noise: pauli(0.9,0.05,0.03,0.02) q[0];\ncx q[0], q[1];\n",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let code = run(
+            parse_args(&strings(&[
+                "sweep",
+                ideal,
+                pauli_path.to_str().unwrap(),
+                "--epsilon",
+                "0.01",
+                "--noise",
+                "0.9",
+            ]))
+            .unwrap(),
+            &mut out,
+        );
+        assert_eq!(code, 2, "{}", String::from_utf8_lossy(&out));
+        assert!(String::from_utf8_lossy(&out).contains("noise sweep unsupported"));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

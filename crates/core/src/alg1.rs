@@ -30,7 +30,9 @@ use crate::options::CheckOptions;
 use crate::report::Verdict;
 use crate::validate;
 use qaec_circuit::Circuit;
-use qaec_tdd::TddStats;
+use qaec_tdd::{SharedTddStore, TddStats};
+use qaec_tensornet::{ContractionPlan, VarOrder};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Outcome of an Algorithm I run.
@@ -80,7 +82,9 @@ pub fn fidelity_alg1(
 
 /// [`fidelity_alg1`] minus input validation, for callers (the top-level
 /// checker) that already validated once — so `check_equivalence` never
-/// validates the same pair twice.
+/// validates the same pair twice. One-shot: compiles the artifacts and
+/// runs a single query; the reported `elapsed` covers both, as it always
+/// has.
 pub(crate) fn fidelity_alg1_prevalidated(
     ideal: &Circuit,
     noisy: &Circuit,
@@ -88,52 +92,121 @@ pub(crate) fn fidelity_alg1_prevalidated(
     options: &CheckOptions,
 ) -> Result<Alg1Report, QaecError> {
     let start = Instant::now();
+    let artifacts = Alg1Artifacts::compile(ideal, noisy, options);
+    let mut report = artifacts.run(epsilon, options, None)?;
+    report.elapsed = start.elapsed();
+    Ok(report)
+}
 
-    let mut template = Alg1Template::build(ideal, noisy);
-    let n_wires = template.n_wires;
-    let final_map = if options.swap_elimination {
-        eliminate_swaps(&mut template.elements, n_wires)
-    } else {
-        identity_map(n_wires)
-    };
-    if options.local_optimization {
-        cancel_inverse_pairs(&mut template.elements, n_wires);
+/// The compiled, reusable part of an Algorithm I check: the miter
+/// template (noise sites still substitutable), the SWAP-elimination wire
+/// map, and the contraction plan + variable order shared by every Kraus
+/// instantiation. Compiling once and querying many times is what the
+/// session API ([`crate::Checker`]) amortises across ε- and
+/// noise-sweeps.
+#[derive(Clone, Debug)]
+pub(crate) struct Alg1Artifacts {
+    pub(crate) template: Alg1Template,
+    final_map: Vec<usize>,
+    plan: ContractionPlan,
+    order: VarOrder,
+    d2: f64,
+}
+
+impl Alg1Artifacts {
+    /// Builds the template, applies the §IV-C optimisations, and plans
+    /// the contraction — everything that does not depend on ε or the
+    /// concrete Kraus weights. Planning uses the component-parallel
+    /// planner on `options.threads` workers (the emitted plan is
+    /// worker-count independent).
+    ///
+    /// Callers must have validated the circuit pair.
+    pub(crate) fn compile(ideal: &Circuit, noisy: &Circuit, options: &CheckOptions) -> Self {
+        let mut template = Alg1Template::build(ideal, noisy);
+        let n_wires = template.n_wires;
+        let final_map = if options.swap_elimination {
+            eliminate_swaps(&mut template.elements, n_wires)
+        } else {
+            identity_map(n_wires)
+        };
+        if options.local_optimization {
+            cancel_inverse_pairs(&mut template.elements, n_wires);
+        }
+
+        let d = (1u64 << noisy.n_qubits()) as f64;
+
+        // Every instantiation shares the network structure, so the plan
+        // and variable order come from the first term and are reused
+        // throughout — including across noise-sweep re-instantiations.
+        let first_choice = vec![0usize; template.sites.len()];
+        let first = {
+            let elements = template.instantiate(&first_choice);
+            crate::miter::build_trace_network(&elements, n_wires, &final_map, options.var_order)
+        };
+        let plan = first
+            .network
+            .plan_parallel(options.strategy, options.threads.max(1));
+        Alg1Artifacts {
+            template,
+            final_map,
+            plan,
+            order: first.order,
+            d2: d * d,
+        }
     }
 
-    let d = (1u64 << noisy.n_qubits()) as f64;
-    let d2 = d * d;
-    let total_terms = template.total_terms();
+    /// One query over the compiled artifacts (the compiled channels).
+    pub(crate) fn run(
+        &self,
+        epsilon: Option<f64>,
+        options: &CheckOptions,
+        warm_store: Option<&Arc<SharedTddStore>>,
+    ) -> Result<Alg1Report, QaecError> {
+        self.run_template(&self.template, epsilon, options, warm_store)
+    }
 
-    // Every instantiation shares the network structure, so the plan and
-    // variable order come from the first term and are reused throughout.
-    let first_choice = vec![0usize; template.sites.len()];
-    let first = {
-        let elements = template.instantiate(&first_choice);
-        crate::miter::build_trace_network(&elements, n_wires, &final_map, options.var_order)
-    };
-    let plan = first.network.plan(options.strategy);
-    let order = first.order;
+    /// One query over a re-instantiated template (a noise-sweep point):
+    /// same element structure, new Kraus weights, same plan and order.
+    pub(crate) fn run_template(
+        &self,
+        template: &Alg1Template,
+        epsilon: Option<f64>,
+        options: &CheckOptions,
+        warm_store: Option<&Arc<SharedTddStore>>,
+    ) -> Result<Alg1Report, QaecError> {
+        let start = Instant::now();
+        let total_terms = template.total_terms();
+        let engine = TermEngine {
+            template,
+            final_map: &self.final_map,
+            plan: &self.plan,
+            order: &self.order,
+            options,
+            d2: self.d2,
+            warm_store,
+        };
+        let outcome = engine.run(epsilon, total_terms)?;
 
-    let engine = TermEngine {
-        template: &template,
-        final_map: &final_map,
-        plan: &plan,
-        order: &order,
-        options,
-        d2,
-    };
-    let outcome = engine.run(epsilon, total_terms)?;
+        Ok(Alg1Report {
+            fidelity_lower: outcome.lower.min(1.0 + 1e-9),
+            fidelity_upper: (outcome.lower + outcome.remaining).min(1.0),
+            terms_computed: outcome.terms_computed,
+            total_terms,
+            max_nodes: outcome.max_nodes,
+            elapsed: start.elapsed(),
+            verdict: outcome.verdict,
+            stats: outcome.stats,
+        })
+    }
 
-    Ok(Alg1Report {
-        fidelity_lower: outcome.lower.min(1.0 + 1e-9),
-        fidelity_upper: (outcome.lower + outcome.remaining).min(1.0),
-        terms_computed: outcome.terms_computed,
-        total_terms,
-        max_nodes: outcome.max_nodes,
-        elapsed: start.elapsed(),
-        verdict: outcome.verdict,
-        stats: outcome.stats,
-    })
+    /// Worker count a run over `total_terms` terms would use (bounds the
+    /// shared-store resolution the session makes at compile time).
+    pub(crate) fn workers(&self, options: &CheckOptions) -> usize {
+        options
+            .threads
+            .max(1)
+            .min(self.template.total_terms().max(1))
+    }
 }
 
 #[cfg(test)]

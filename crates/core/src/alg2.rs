@@ -20,16 +20,18 @@
 //! mark-compact GC (append-only shared arenas cannot compact).
 
 use crate::error::QaecError;
-use crate::miter::{alg2_elements, build_trace_network, identity_map};
+use crate::miter::{build_trace_network, identity_map, Alg2Template, BuiltNetwork};
 use crate::optimize::{cancel_inverse_pairs, eliminate_swaps};
 use crate::options::{CheckOptions, SharedTableMode};
 use crate::validate;
-use qaec_circuit::Circuit;
+use qaec_circuit::{Circuit, NoiseChannel};
 use qaec_tdd::{
     contract_network_opts, contract_network_parallel, DriverOptions, ParallelOptions,
     SharedTddStore, TddManager, TddStats,
 };
 use qaec_tensornet::plan::PlanCost;
+use qaec_tensornet::ContractionPlan;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Outcome of an Algorithm II run.
@@ -66,82 +68,175 @@ pub fn fidelity_alg2(
 
 /// [`fidelity_alg2`] minus input validation, for callers (the top-level
 /// checker) that already validated once — so `check_equivalence` never
-/// validates the same pair twice.
+/// validates the same pair twice. One-shot: compiles the doubled-network
+/// artifacts and runs a single contraction; `elapsed` covers both.
 pub(crate) fn fidelity_alg2_prevalidated(
     ideal: &Circuit,
     noisy: &Circuit,
     options: &CheckOptions,
 ) -> Result<Alg2Report, QaecError> {
     let start = Instant::now();
+    let artifacts = Alg2Artifacts::compile(ideal, noisy, options);
+    let mut report = artifacts.run(options, None)?;
+    report.elapsed = start.elapsed();
+    Ok(report)
+}
 
-    let (mut elements, width) = alg2_elements(ideal, noisy);
-    let final_map = if options.swap_elimination {
-        eliminate_swaps(&mut elements, width)
-    } else {
-        identity_map(width)
-    };
-    if options.local_optimization {
-        cancel_inverse_pairs(&mut elements, width);
+/// The compiled, reusable part of an Algorithm II check: the doubled
+/// miter template (noise sites still substitutable), the base network
+/// for the compiled channels, and the contraction plan + variable order
+/// every instantiation shares. A noise-sweep point re-fills the noise
+/// holes and contracts on the *same* plan — no replanning.
+#[derive(Clone, Debug)]
+pub(crate) struct Alg2Artifacts {
+    pub(crate) template: Alg2Template,
+    final_map: Vec<usize>,
+    built: BuiltNetwork,
+    plan: ContractionPlan,
+    plan_cost: PlanCost,
+    d: f64,
+}
+
+impl Alg2Artifacts {
+    /// Builds the doubled template, applies the §IV-C optimisations, and
+    /// plans the contraction once. Planning uses the component-parallel
+    /// planner on `options.threads` workers (tiled workloads' doubled
+    /// networks decompose into independent components; the emitted plan
+    /// is worker-count independent).
+    ///
+    /// Callers must have validated the circuit pair.
+    pub(crate) fn compile(ideal: &Circuit, noisy: &Circuit, options: &CheckOptions) -> Self {
+        let mut template = Alg2Template::build(ideal, noisy);
+        let width = template.width;
+        let final_map = if options.swap_elimination {
+            eliminate_swaps(&mut template.elements, width)
+        } else {
+            identity_map(width)
+        };
+        if options.local_optimization {
+            cancel_inverse_pairs(&mut template.elements, width);
+        }
+
+        let elements = template.instantiate(&template.channels);
+        let built = build_trace_network(&elements, width, &final_map, options.var_order);
+        let plan = built
+            .network
+            .plan_parallel(options.strategy, options.threads.max(1));
+        let plan_cost = plan.cost(&built.network);
+        Alg2Artifacts {
+            template,
+            final_map,
+            built,
+            plan,
+            plan_cost,
+            d: (1u64 << noisy.n_qubits()) as f64,
+        }
     }
 
-    let built = build_trace_network(&elements, width, &final_map, options.var_order);
-    let plan = built.network.plan(options.strategy);
-    let plan_cost = plan.cost(&built.network);
+    /// One contraction of the compiled (base) network.
+    pub(crate) fn run(
+        &self,
+        options: &CheckOptions,
+        warm_store: Option<&Arc<SharedTddStore>>,
+    ) -> Result<Alg2Report, QaecError> {
+        self.run_network(&self.built, options, warm_store)
+    }
 
-    // `Auto` resolves ON at every thread count here (unlike Algorithm I,
-    // whose terms are value-independent): the plan scheduler needs the
-    // shared substrate, and contracting over the canonical store at one
-    // worker too keeps `--threads` a pure performance knob — the
-    // fidelity and `max_nodes` are bit-identical whatever the count.
-    let (max_nodes, trace, stats) = if options.shared_table != SharedTableMode::Off {
-        let workers = options.threads.max(1);
-        let store = SharedTddStore::new();
-        let outcome = contract_network_parallel(
-            &store,
-            &built.network,
-            &plan,
-            &built.order,
-            ParallelOptions {
-                workers,
-                deadline: options.deadline,
-            },
-        )
-        .map_err(|_| QaecError::Timeout)?;
-        let reader = TddManager::new_shared(&store);
-        let trace = reader
-            .edge_scalar(outcome.result.root)
-            .expect("closed network");
-        let mut stats = outcome.stats;
-        // Allocation counters are store-owned: merged exactly once.
-        stats.merge(&store.stats());
-        (outcome.result.max_nodes, trace, stats)
-    } else {
-        let mut manager = TddManager::new();
-        let result = contract_network_opts(
-            &mut manager,
-            &built.network,
-            &plan,
-            &built.order,
-            DriverOptions {
-                gc_threshold: options.gc_threshold,
-                deadline: options.deadline,
-            },
-        )
-        .map_err(|_| QaecError::Timeout)?;
-        let trace = manager.edge_scalar(result.root).expect("closed network");
-        (result.max_nodes, trace, manager.stats())
-    };
+    /// One contraction of a noise-sweep point: the noise holes are
+    /// re-filled with `channels` (same sites, same arities), the wire
+    /// bookkeeping is re-laid (cheap, linear), and the compiled plan and
+    /// variable order are reused — the plan depends only on the element
+    /// structure, which re-instantiation preserves.
+    pub(crate) fn run_channels(
+        &self,
+        channels: &[NoiseChannel],
+        options: &CheckOptions,
+        warm_store: Option<&Arc<SharedTddStore>>,
+    ) -> Result<Alg2Report, QaecError> {
+        let elements = self.template.instantiate(channels);
+        let built = build_trace_network(
+            &elements,
+            self.template.width,
+            &self.final_map,
+            options.var_order,
+        );
+        debug_assert!(
+            built.order == self.built.order,
+            "re-instantiation must preserve the index structure"
+        );
+        self.run_network(&built, options, warm_store)
+    }
 
-    let d = (1u64 << noisy.n_qubits()) as f64;
-    // Σ|tr(U†Eᵢ)|² is real and non-negative; the imaginary part is
-    // round-off.
-    let fidelity = (trace.re / (d * d)).clamp(0.0, 1.0 + 1e-9).min(1.0);
+    fn run_network(
+        &self,
+        built: &BuiltNetwork,
+        options: &CheckOptions,
+        warm_store: Option<&Arc<SharedTddStore>>,
+    ) -> Result<Alg2Report, QaecError> {
+        let start = Instant::now();
+        // `Auto` resolves ON at every thread count here (unlike
+        // Algorithm I, whose terms are value-independent): the plan
+        // scheduler needs the shared substrate, and contracting over the
+        // canonical store at one worker too keeps `--threads` a pure
+        // performance knob — the fidelity and `max_nodes` are
+        // bit-identical whatever the count.
+        let (max_nodes, trace, stats) = if options.shared_table != SharedTableMode::Off {
+            let workers = options.threads.max(1);
+            let store = match warm_store {
+                Some(store) => Arc::clone(store),
+                None => SharedTddStore::new(),
+            };
+            // Statistics fence: a warm (session-reused) store reports
+            // only this contraction's allocation delta.
+            let epoch = store.reset_between_runs();
+            let outcome = contract_network_parallel(
+                &store,
+                &built.network,
+                &self.plan,
+                &built.order,
+                ParallelOptions {
+                    workers,
+                    deadline: options.deadline,
+                },
+            )
+            .map_err(|_| QaecError::Timeout)?;
+            let reader = TddManager::new_shared(&store);
+            let trace = reader
+                .edge_scalar(outcome.result.root)
+                .expect("closed network");
+            let mut stats = outcome.stats;
+            // Allocation counters are store-owned: merged exactly once.
+            stats.merge(&store.stats_since(epoch));
+            (outcome.result.max_nodes, trace, stats)
+        } else {
+            let mut manager = TddManager::new();
+            let result = contract_network_opts(
+                &mut manager,
+                &built.network,
+                &self.plan,
+                &built.order,
+                DriverOptions {
+                    gc_threshold: options.gc_threshold,
+                    deadline: options.deadline,
+                },
+            )
+            .map_err(|_| QaecError::Timeout)?;
+            let trace = manager.edge_scalar(result.root).expect("closed network");
+            (result.max_nodes, trace, manager.stats())
+        };
 
-    Ok(Alg2Report {
-        fidelity,
-        max_nodes,
-        elapsed: start.elapsed(),
-        plan_cost,
-        stats,
-    })
+        // Σ|tr(U†Eᵢ)|² is real and non-negative; the imaginary part is
+        // round-off.
+        let fidelity = (trace.re / (self.d * self.d))
+            .clamp(0.0, 1.0 + 1e-9)
+            .min(1.0);
+
+        Ok(Alg2Report {
+            fidelity,
+            max_nodes,
+            elapsed: start.elapsed(),
+            plan_cost: self.plan_cost,
+            stats,
+        })
+    }
 }

@@ -122,7 +122,9 @@ pub fn fidelity_monte_carlo(
         let elements = template.instantiate(&zero_choice);
         build_trace_network(&elements, n_wires, &final_map, options.var_order)
     };
-    let plan = first.network.plan(options.strategy);
+    let plan = first
+        .network
+        .plan_parallel(options.strategy, options.threads.max(1));
     let order = first.order;
 
     // Per-site cumulative mass tables for sampling.
@@ -177,6 +179,7 @@ pub fn fidelity_monte_carlo(
         order: &order,
         options,
         d2,
+        warm_store: None,
     };
     let outcome = engine.run_fixed(&distinct)?;
     let ratios: Vec<f64> = outcome

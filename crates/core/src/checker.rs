@@ -1,18 +1,26 @@
 //! The top-level ε-equivalence checker.
+//!
+//! The free functions here are thin wrappers over a single-query
+//! session: each call compiles a [`crate::CompiledCheck`] and runs one
+//! query against it, so results and error precedence are identical to
+//! building the session yourself — re-checking the same pair many times
+//! (ε- or noise-sweeps) should go through [`crate::Checker`] instead,
+//! which pays the compilation once.
 
-use crate::alg1::{fidelity_alg1, fidelity_alg1_prevalidated};
-use crate::alg2::{fidelity_alg2, fidelity_alg2_prevalidated};
 use crate::error::QaecError;
-use crate::options::{AlgorithmChoice, CheckOptions};
-use crate::report::{AlgorithmUsed, EquivalenceReport, Verdict};
+use crate::options::CheckOptions;
+use crate::report::{AlgorithmUsed, EquivalenceReport};
+use crate::session::CompiledCheck;
 use qaec_circuit::Circuit;
+use std::time::Instant;
 
 /// Kraus-term count at or below which the automatic algorithm choice
 /// prefers Algorithm I (the paper's Fig. 7 crossover sits around one to
 /// two noise sites, i.e. 4–16 depolarizing terms).
 pub const AUTO_TERM_THRESHOLD: usize = 16;
 
-/// Picks the algorithm for a noisy circuit under [`AlgorithmChoice::Auto`].
+/// Picks the algorithm for a noisy circuit under
+/// [`crate::AlgorithmChoice::Auto`].
 pub fn auto_choice(noisy: &Circuit) -> AlgorithmUsed {
     if noisy.kraus_term_count() <= AUTO_TERM_THRESHOLD {
         AlgorithmUsed::AlgorithmI
@@ -26,7 +34,7 @@ pub fn auto_choice(noisy: &Circuit) -> AlgorithmUsed {
 ///
 /// # Errors
 ///
-/// See [`fidelity_alg1`] / [`fidelity_alg2`].
+/// See [`crate::fidelity_alg1`] / [`crate::fidelity_alg2`].
 ///
 /// # Example
 ///
@@ -52,18 +60,9 @@ pub fn jamiolkowski_fidelity(
     noisy: &Circuit,
     options: &CheckOptions,
 ) -> Result<f64, QaecError> {
-    let algorithm = match options.algorithm {
-        AlgorithmChoice::Auto => auto_choice(noisy),
-        AlgorithmChoice::AlgorithmI => AlgorithmUsed::AlgorithmI,
-        AlgorithmChoice::AlgorithmII => AlgorithmUsed::AlgorithmII,
-    };
-    match algorithm {
-        AlgorithmUsed::AlgorithmI => {
-            let report = fidelity_alg1(ideal, noisy, None, options)?;
-            Ok(report.fidelity_lower)
-        }
-        AlgorithmUsed::AlgorithmII => Ok(fidelity_alg2(ideal, noisy, options)?.fidelity),
-    }
+    // A single-query session: validate once, compile once, ask once.
+    crate::validate(ideal, noisy, None)?;
+    CompiledCheck::compile_prevalidated(ideal, noisy, options.clone()).fidelity()
 }
 
 /// Decides the paper's Problem 1: is the noisy circuit ε-equivalent to
@@ -105,63 +104,79 @@ pub fn check_equivalence(
 ) -> Result<EquivalenceReport, QaecError> {
     // Validation runs exactly once per call, before either arm, so both
     // algorithms reject invalid inputs with identical error precedence
-    // (width mismatch, then non-unitary ideal, then bad epsilon).
+    // (width mismatch, then non-unitary ideal, then bad epsilon). The
+    // body is a single-query session; the ε comparison itself lives in
+    // [`Verdict::decide`], shared with every session query.
     crate::validate(ideal, noisy, Some(epsilon))?;
-    let algorithm = match options.algorithm {
-        AlgorithmChoice::Auto => auto_choice(noisy),
-        AlgorithmChoice::AlgorithmI => AlgorithmUsed::AlgorithmI,
-        AlgorithmChoice::AlgorithmII => AlgorithmUsed::AlgorithmII,
-    };
-    match algorithm {
-        AlgorithmUsed::AlgorithmI => {
-            let report = fidelity_alg1_prevalidated(ideal, noisy, Some(epsilon), options)?;
-            let verdict = report.verdict.unwrap_or({
-                // All terms evaluated without an early decision: compare
-                // the exact value.
-                if report.fidelity_lower > 1.0 - epsilon {
-                    Verdict::Equivalent
-                } else {
-                    Verdict::NotEquivalent
-                }
-            });
-            Ok(EquivalenceReport {
-                verdict,
-                fidelity_bounds: (report.fidelity_lower, report.fidelity_upper),
-                epsilon,
-                algorithm: AlgorithmUsed::AlgorithmI,
-                terms_computed: report.terms_computed,
-                total_terms: report.total_terms,
-                max_nodes: report.max_nodes,
-                elapsed: report.elapsed,
-                stats: report.stats,
-            })
-        }
-        AlgorithmUsed::AlgorithmII => {
-            let report = fidelity_alg2_prevalidated(ideal, noisy, options)?;
-            let verdict = if report.fidelity > 1.0 - epsilon {
-                Verdict::Equivalent
-            } else {
-                Verdict::NotEquivalent
-            };
-            Ok(EquivalenceReport {
-                verdict,
-                fidelity_bounds: (report.fidelity, report.fidelity),
-                epsilon,
-                algorithm: AlgorithmUsed::AlgorithmII,
-                terms_computed: 1,
-                total_terms: 1,
-                max_nodes: report.max_nodes,
-                elapsed: report.elapsed,
-                stats: report.stats,
-            })
-        }
-    }
+    let start = Instant::now();
+    let mut compiled = CompiledCheck::compile_prevalidated(ideal, noisy, options.clone());
+    let mut report = compiled.check_prevalidated(epsilon)?;
+    // One-shot elapsed covers compilation + query, as it always has.
+    report.elapsed = start.elapsed();
+    Ok(report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::options::AlgorithmChoice;
+    use crate::report::Verdict;
     use qaec_circuit::NoiseChannel;
+
+    /// Regression: the ε comparison used to live in three places (the
+    /// checker's two arms and the engine's early-exit bounds), so the
+    /// exact boundary `F_J == 1 − ε` could in principle decide
+    /// differently per path. It now lives only in [`Verdict::decide`]:
+    /// the boundary must yield `NotEquivalent` identically via
+    /// `check_equivalence`, `CompiledCheck::verdict` and both forced
+    /// algorithm arms.
+    #[test]
+    fn epsilon_boundary_is_not_equivalent_on_every_path() {
+        // A noiseless identity pair: F_J is *exactly* 1.0 on both
+        // algorithms over the private store (exact weight arithmetic),
+        // so ε = 0 puts every path exactly on the boundary. The store is
+        // pinned to the private backend because landing *on* the
+        // boundary needs bit-exact values — the canonical shared store
+        // deliberately snaps weights to a grid (±ulp-level), which moves
+        // F off the boundary; the comparison under regression here,
+        // `Verdict::decide`, is the single one every backend shares.
+        let mut ideal = Circuit::new(2);
+        ideal.h(0).cx(0, 1);
+        let noisy = ideal.clone();
+        for algorithm in [
+            AlgorithmChoice::Auto,
+            AlgorithmChoice::AlgorithmI,
+            AlgorithmChoice::AlgorithmII,
+        ] {
+            let options = CheckOptions {
+                algorithm,
+                threads: 1,
+                shared_table: crate::SharedTableMode::Off,
+                ..CheckOptions::default()
+            };
+            let report = check_equivalence(&ideal, &noisy, 0.0, &options).expect("check");
+            assert_eq!(
+                (report.verdict, report.fidelity_bounds.0),
+                (Verdict::NotEquivalent, 1.0),
+                "one-shot, {algorithm:?}: F_J == 1 − ε must NOT be equivalent"
+            );
+            let mut compiled = crate::Checker::new(&ideal, &noisy)
+                .options(options.clone())
+                .compile()
+                .expect("compile");
+            assert_eq!(
+                compiled.verdict(0.0).expect("verdict"),
+                Verdict::NotEquivalent,
+                "session, {algorithm:?}"
+            );
+            // Strictly above the boundary the same fidelity is accepted.
+            assert_eq!(
+                compiled.verdict(1e-12).expect("verdict"),
+                Verdict::Equivalent,
+                "session off-boundary, {algorithm:?}"
+            );
+        }
+    }
 
     /// Regression: the Algorithm II arm used to validate twice (once in
     /// `check_equivalence`, once inside `fidelity_alg2`) while the

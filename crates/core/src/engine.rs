@@ -69,6 +69,11 @@ pub(crate) struct TermEngine<'a> {
     pub options: &'a CheckOptions,
     /// `d²` normalisation for `|tr(U†Eᵢ)|²`.
     pub d2: f64,
+    /// A warm shared store to reuse instead of allocating a fresh one
+    /// (compile-once sessions sweeping many queries over one store).
+    /// Only consulted when `options.shared_table` resolves on; per-run
+    /// statistics are epoch-fenced so each run reports its own delta.
+    pub warm_store: Option<&'a Arc<SharedTddStore>>,
 }
 
 /// What an ε-aware engine run produced.
@@ -200,16 +205,15 @@ impl Reducer {
             self.mass_done += mass;
             if let Some(eps) = self.epsilon {
                 let remaining = self.remaining();
-                if self.lower > 1.0 - eps {
+                // The one boundary-pinning comparison (`Verdict::decide`)
+                // applied to both proven bounds: accept when even the
+                // lower bound clears 1 − ε, reject when even the upper
+                // bound fails it.
+                if let Some(verdict) =
+                    Verdict::decide_bounds(self.lower, self.lower + remaining, eps)
+                {
                     self.decision = Some(Decision {
-                        verdict: Verdict::Equivalent,
-                        lower: self.lower,
-                        remaining,
-                        terms: self.folded,
-                    });
-                } else if self.lower + remaining <= 1.0 - eps {
-                    self.decision = Some(Decision {
-                        verdict: Verdict::NotEquivalent,
+                        verdict,
                         lower: self.lower,
                         remaining,
                         terms: self.folded,
@@ -340,12 +344,17 @@ impl TermEngine<'_> {
     }
 
     /// The run's shared store, when `options.shared_table` resolves on
-    /// for this worker count.
+    /// for this worker count: the session's warm store when one was
+    /// supplied (value-transparent — canonical interning makes reuse
+    /// bit-identical to a fresh store), else a fresh one.
     fn shared_store(&self, workers: usize) -> Option<Arc<SharedTddStore>> {
         self.options
             .shared_table
             .enabled_for(workers)
-            .then(SharedTddStore::new)
+            .then(|| match self.warm_store {
+                Some(store) => Arc::clone(store),
+                None => SharedTddStore::new(),
+            })
     }
 
     /// Runs the full ε-aware accumulation over every Kraus selection of
@@ -362,6 +371,10 @@ impl TermEngine<'_> {
     ) -> Result<EngineOutcome, QaecError> {
         let workers = self.worker_count(total_terms);
         let store = self.shared_store(workers);
+        // Statistics fence: on a warm (session-reused) store this run
+        // reports only its own allocation delta; on a fresh store the
+        // epoch is zero and the delta equals the totals.
+        let epoch = store.as_ref().map(|s| s.reset_between_runs());
         // Small batches keep the stop signal responsive during ε runs;
         // exact runs amortise queue locking with larger ones.
         let batch_size = if epsilon.is_some() {
@@ -407,8 +420,9 @@ impl TermEngine<'_> {
         }
         if let Some(store) = &store {
             // Allocation counters are store-owned: merged exactly once
-            // here, never per worker (see `SharedTddStore::stats`).
-            stats.merge(&store.stats());
+            // here, never per worker (see `SharedTddStore::stats`), and
+            // fenced to this run's epoch.
+            stats.merge(&store.stats_since(epoch.expect("epoch taken with the store")));
         }
         // A decided verdict outranks a racing deadline in another worker
         // (the sequential loop likewise checks the bounds first).
@@ -545,6 +559,7 @@ impl TermEngine<'_> {
     pub(crate) fn run_fixed(&self, jobs: &[Vec<usize>]) -> Result<FixedOutcome, QaecError> {
         let workers = self.worker_count(jobs.len());
         let store = self.shared_store(workers);
+        let epoch = store.as_ref().map(|s| s.reset_between_runs());
         let batch_size = (jobs.len() / (workers * 4)).clamp(1, 32);
         let cursor = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
@@ -593,7 +608,7 @@ impl TermEngine<'_> {
             stats.merge(&worker_stats);
         }
         if let Some(store) = &store {
-            stats.merge(&store.stats());
+            stats.merge(&store.stats_since(epoch.expect("epoch taken with the store")));
         }
         Ok(FixedOutcome {
             terms,

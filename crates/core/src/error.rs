@@ -22,6 +22,14 @@ pub enum QaecError {
     },
     /// The configured deadline expired (the paper's "TO" outcome).
     Timeout,
+    /// A noise-sweep point could not be instantiated on the compiled
+    /// artifacts (see [`crate::CompiledCheck::sweep_noise`]): a site's
+    /// channel has no single scalar strength to sweep, a point's channel
+    /// list mismatches the compiled sites, or a parameter is invalid.
+    NoiseSweepUnsupported {
+        /// What went wrong, naming the offending site or parameter.
+        reason: String,
+    },
 }
 
 impl fmt::Display for QaecError {
@@ -37,6 +45,9 @@ impl fmt::Display for QaecError {
                 write!(f, "epsilon {value} outside [0, 1]")
             }
             QaecError::Timeout => write!(f, "deadline exceeded"),
+            QaecError::NoiseSweepUnsupported { reason } => {
+                write!(f, "noise sweep unsupported: {reason}")
+            }
         }
     }
 }

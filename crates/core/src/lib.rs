@@ -20,8 +20,13 @@
 //!   termination: the right choice when noise sites are few;
 //! * [`fidelity_alg2`] — a single doubled network
 //!   (`tr((U†⊗Uᵀ)·M_E)`): the right choice when noise is everywhere;
-//! * [`check_equivalence`] / [`jamiolkowski_fidelity`] — the top-level
-//!   entry points with automatic algorithm selection;
+//! * [`check_equivalence`] / [`jamiolkowski_fidelity`] — the one-shot
+//!   entry points with automatic algorithm selection (thin wrappers over
+//!   a single-query session);
+//! * [`Checker`] / [`CompiledCheck`] — the compile-once session API:
+//!   validation, algorithm selection, network construction and
+//!   contraction planning run once, then ε-queries, ε-sweeps and
+//!   noise sweeps reuse the compiled artifacts and one warm store;
 //! * [`fidelity_monte_carlo`] — an importance-sampling estimator with
 //!   reported standard errors, for when both exact algorithms are too
 //!   expensive (beyond the paper);
@@ -60,6 +65,7 @@ pub mod miter;
 pub mod optimize;
 pub mod options;
 pub mod report;
+pub mod session;
 
 pub use alg1::{fidelity_alg1, Alg1Report};
 pub use alg2::{fidelity_alg2, Alg2Report};
@@ -70,8 +76,9 @@ pub use options::{
     default_shared_table, default_threads, AlgorithmChoice, CheckOptions, SharedTableMode,
     TermOrder, VarOrderStyle,
 };
-pub use qaec_tdd::{SharedTddStore, TddStats};
+pub use qaec_tdd::{SharedTddStore, StoreEpoch, TddStats};
 pub use report::{AlgorithmUsed, EquivalenceReport, Verdict};
+pub use session::{Checker, CompiledCheck, EpsilonPoint, SweepPoint};
 
 use qaec_circuit::Circuit;
 
@@ -96,9 +103,17 @@ pub(crate) fn validate(
         return Err(QaecError::IdealNotUnitary);
     }
     if let Some(eps) = epsilon {
-        if !(0.0..=1.0).contains(&eps) {
-            return Err(QaecError::InvalidEpsilon { value: eps });
-        }
+        validate_epsilon(eps)?;
+    }
+    Ok(())
+}
+
+/// The ε range check alone, for session queries on already-validated
+/// circuit pairs (the comparison against the *fidelity* lives in
+/// [`Verdict::decide`]; this only polices `ε ∈ [0, 1]`).
+pub(crate) fn validate_epsilon(epsilon: f64) -> Result<(), QaecError> {
+    if !(0.0..=1.0).contains(&epsilon) {
+        return Err(QaecError::InvalidEpsilon { value: epsilon });
     }
     Ok(())
 }

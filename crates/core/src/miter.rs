@@ -13,7 +13,7 @@
 //!   explicit delta tensors), and the decision-diagram variable order.
 
 use crate::options::VarOrderStyle;
-use qaec_circuit::{Circuit, Gate, Operation};
+use qaec_circuit::{Circuit, Gate, NoiseChannel, Operation};
 use qaec_math::Matrix;
 use qaec_tensornet::{IndexId, Tensor, TensorNetwork, VarOrder};
 use std::collections::HashMap;
@@ -62,11 +62,24 @@ pub(crate) struct NoiseSite {
     pub masses: Vec<f64>,
 }
 
+impl NoiseSite {
+    /// The site for one channel: its Kraus operators and their masses.
+    fn from_channel(channel: &NoiseChannel) -> NoiseSite {
+        NoiseSite {
+            kraus: channel.kraus(),
+            masses: channel.kraus_masses(),
+        }
+    }
+}
+
 /// The Algorithm I miter with substitutable noise sites.
 #[derive(Clone, Debug)]
 pub(crate) struct Alg1Template {
     pub elements: Vec<MiterElement>,
     pub sites: Vec<NoiseSite>,
+    /// The channel behind each site, kept so a compiled check can
+    /// re-instantiate the *same positions* with swept noise strengths.
+    pub channels: Vec<NoiseChannel>,
     pub n_wires: usize,
 }
 
@@ -79,6 +92,7 @@ impl Alg1Template {
     pub fn build(ideal: &Circuit, noisy: &Circuit) -> Alg1Template {
         let mut elements = Vec::new();
         let mut sites = Vec::new();
+        let mut channels = Vec::new();
         for instr in noisy.iter() {
             match &instr.op {
                 Operation::Gate(g) => elements.push(MiterElement::Fixed {
@@ -91,10 +105,8 @@ impl Alg1Template {
                         site: sites.len(),
                         qubits: instr.qubits.clone(),
                     });
-                    sites.push(NoiseSite {
-                        kraus: ch.kraus(),
-                        masses: ch.kraus_masses(),
-                    });
+                    sites.push(NoiseSite::from_channel(ch));
+                    channels.push(ch.clone());
                 }
             }
         }
@@ -110,7 +122,31 @@ impl Alg1Template {
         Alg1Template {
             elements,
             sites,
+            channels,
             n_wires: noisy.n_qubits(),
+        }
+    }
+
+    /// The template with every noise site's channel replaced — same
+    /// positions, same element structure, new Kraus weights. This is how
+    /// a compiled check re-instantiates a noise-sweep point on the
+    /// already-built contraction plan: the plan depends only on the
+    /// element/wire structure, which is untouched here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` has the wrong length or a channel's arity
+    /// differs from the site it replaces (callers validate first).
+    pub fn with_channels(&self, channels: &[NoiseChannel]) -> Alg1Template {
+        assert_eq!(channels.len(), self.sites.len(), "channel count mismatch");
+        for (new, old) in channels.iter().zip(&self.channels) {
+            assert_eq!(new.arity(), old.arity(), "channel arity mismatch");
+        }
+        Alg1Template {
+            elements: self.elements.clone(),
+            sites: channels.iter().map(NoiseSite::from_channel).collect(),
+            channels: channels.to_vec(),
+            n_wires: self.n_wires,
         }
     }
 
@@ -143,46 +179,109 @@ impl Alg1Template {
     }
 }
 
-/// Builds the Algorithm II doubled miter: every gate `V` of the noisy
-/// circuit is emitted on the primal wires plus `V*` on the mirror wires
-/// (`q + n`), every noise channel becomes its superoperator matrix
-/// `M_N = Σ K ⊗ K*` spanning both, and the adjoint ideal circuit is
+/// The Algorithm II doubled miter with substitutable noise sites: every
+/// gate `V` of the noisy circuit is emitted on the primal wires plus
+/// `V*` on the mirror wires (`q + n`), every noise channel becomes a
+/// hole spanning both (filled with its superoperator matrix
+/// `M_N = Σ K ⊗ K*` at instantiation), and the adjoint ideal circuit is
 /// doubled the same way (`U† ⊗ Uᵀ`).
-pub(crate) fn alg2_elements(ideal: &Circuit, noisy: &Circuit) -> (Vec<MiterElement>, usize) {
-    let n = noisy.n_qubits();
-    let mut elements = Vec::new();
-    fn emit_doubled(elements: &mut Vec<MiterElement>, n: usize, g: &Gate, qubits: &[usize]) {
-        elements.push(MiterElement::Fixed {
-            matrix: g.matrix(),
-            qubits: qubits.to_vec(),
-            tag: Some((*g, false)),
-        });
-        elements.push(MiterElement::Fixed {
-            matrix: g.matrix().conj(),
-            qubits: qubits.iter().map(|&q| q + n).collect(),
-            tag: Some((*g, true)),
-        });
-    }
-    for instr in noisy.iter() {
-        match &instr.op {
-            Operation::Gate(g) => emit_doubled(&mut elements, n, g, &instr.qubits),
-            Operation::Noise(ch) => {
-                let mut qubits: Vec<usize> = instr.qubits.clone();
-                qubits.extend(instr.qubits.iter().map(|&q| q + n));
-                elements.push(MiterElement::Fixed {
-                    matrix: ch.superop_matrix(),
-                    qubits,
-                    tag: None,
-                });
+///
+/// Keeping the noise sites as holes is what makes the doubled network a
+/// *compiled artifact*: every instantiation — the original channels or a
+/// noise-sweep point — has the identical element/wire structure, so one
+/// contraction plan and variable order serve them all.
+#[derive(Clone, Debug)]
+pub(crate) struct Alg2Template {
+    pub elements: Vec<MiterElement>,
+    /// The channel behind each hole, in site order.
+    pub channels: Vec<NoiseChannel>,
+    /// Doubled width `2n`.
+    pub width: usize,
+}
+
+impl Alg2Template {
+    /// Builds the doubled-miter template. Callers must have validated
+    /// that `ideal` is unitary and the widths match.
+    pub fn build(ideal: &Circuit, noisy: &Circuit) -> Alg2Template {
+        let n = noisy.n_qubits();
+        let mut elements = Vec::new();
+        let mut channels = Vec::new();
+        fn emit_doubled(elements: &mut Vec<MiterElement>, n: usize, g: &Gate, qubits: &[usize]) {
+            elements.push(MiterElement::Fixed {
+                matrix: g.matrix(),
+                qubits: qubits.to_vec(),
+                tag: Some((*g, false)),
+            });
+            elements.push(MiterElement::Fixed {
+                matrix: g.matrix().conj(),
+                qubits: qubits.iter().map(|&q| q + n).collect(),
+                tag: Some((*g, true)),
+            });
+        }
+        for instr in noisy.iter() {
+            match &instr.op {
+                Operation::Gate(g) => emit_doubled(&mut elements, n, g, &instr.qubits),
+                Operation::Noise(ch) => {
+                    let mut qubits: Vec<usize> = instr.qubits.clone();
+                    qubits.extend(instr.qubits.iter().map(|&q| q + n));
+                    elements.push(MiterElement::NoiseSite {
+                        site: channels.len(),
+                        qubits,
+                    });
+                    channels.push(ch.clone());
+                }
             }
         }
+        let adjoint = ideal.adjoint().expect("ideal circuit validated unitary");
+        for instr in adjoint.iter() {
+            let g = instr.as_gate().expect("unitary circuit");
+            emit_doubled(&mut elements, n, g, &instr.qubits);
+        }
+        Alg2Template {
+            elements,
+            channels,
+            width: 2 * n,
+        }
     }
-    let adjoint = ideal.adjoint().expect("ideal circuit validated unitary");
-    for instr in adjoint.iter() {
-        let g = instr.as_gate().expect("unitary circuit");
-        emit_doubled(&mut elements, n, g, &instr.qubits);
+
+    /// Concrete doubled miter for one set of channels (site order),
+    /// filling each hole with the channel's superoperator matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` has the wrong length or a channel's arity
+    /// differs from the site it replaces (callers validate first).
+    pub fn instantiate(&self, channels: &[NoiseChannel]) -> Vec<MiterElement> {
+        assert_eq!(
+            channels.len(),
+            self.channels.len(),
+            "channel count mismatch"
+        );
+        for (new, old) in channels.iter().zip(&self.channels) {
+            assert_eq!(new.arity(), old.arity(), "channel arity mismatch");
+        }
+        self.elements
+            .iter()
+            .map(|el| match el {
+                MiterElement::Fixed { .. } => el.clone(),
+                MiterElement::NoiseSite { site, qubits } => MiterElement::Fixed {
+                    matrix: channels[*site].superop_matrix(),
+                    qubits: qubits.clone(),
+                    tag: None,
+                },
+            })
+            .collect()
     }
-    (elements, 2 * n)
+}
+
+/// The concrete Algorithm II doubled miter for a circuit pair, used by
+/// the paper-example tests (the checker itself keeps the
+/// [`Alg2Template`] and instantiates on demand).
+#[cfg(test)]
+pub(crate) fn alg2_elements(ideal: &Circuit, noisy: &Circuit) -> (Vec<MiterElement>, usize) {
+    let template = Alg2Template::build(ideal, noisy);
+    let elements = template.instantiate(&template.channels);
+    (elements, template.width)
 }
 
 /// A trace network ready for contraction.

@@ -125,7 +125,11 @@ pub struct CheckOptions {
     /// trivially), composing with `epsilon`, `term_order`, `max_terms`
     /// and `deadline`; Algorithm II dispatches independent contraction
     /// *plan steps* to the pool instead (there is only one term), with
-    /// bit-identical results at every thread count.
+    /// bit-identical results at every thread count. Plan *construction*
+    /// (one-shot calls and [`crate::Checker::compile`]) also plans
+    /// disconnected network components concurrently on this many
+    /// workers — the emitted plan is worker-count independent, so this
+    /// stays a pure performance knob end to end.
     pub threads: usize,
     /// Cap on Algorithm I terms (None = all); bounds stay correct, they
     /// just stop tightening.

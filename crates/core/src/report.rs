@@ -13,6 +13,54 @@ pub enum Verdict {
     NotEquivalent,
 }
 
+impl Verdict {
+    /// The paper's Problem 1 decision, in **one** place: `F_J > 1 − ε`
+    /// is [`Verdict::Equivalent`], anything else — including the exact
+    /// boundary `F_J == 1 − ε` — is [`Verdict::NotEquivalent`].
+    ///
+    /// Every ε comparison in the checker routes through here (the
+    /// one-shot [`crate::check_equivalence`], both algorithm arms, the
+    /// term engine's two-sided early-termination bounds and the session
+    /// API's cached-bound queries), so the boundary semantics cannot
+    /// drift between paths.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qaec::Verdict;
+    ///
+    /// assert_eq!(Verdict::decide(0.9025, 0.1), Verdict::Equivalent);
+    /// // The boundary itself is NOT equivalent: F_J must *exceed* 1 − ε.
+    /// assert_eq!(Verdict::decide(0.75, 0.25), Verdict::NotEquivalent);
+    /// assert_eq!(Verdict::decide(1.0, 0.0), Verdict::NotEquivalent);
+    /// ```
+    #[inline]
+    pub fn decide(fidelity: f64, epsilon: f64) -> Verdict {
+        if fidelity > 1.0 - epsilon {
+            Verdict::Equivalent
+        } else {
+            Verdict::NotEquivalent
+        }
+    }
+
+    /// Decides ε-equivalence from a proven fidelity interval, or `None`
+    /// when the bounds cannot decide: [`Verdict::Equivalent`] when even
+    /// the lower bound clears the threshold, [`Verdict::NotEquivalent`]
+    /// when even the upper bound fails it. For a point interval
+    /// (`lower == upper`) this always decides, identically to
+    /// [`Verdict::decide`].
+    #[inline]
+    pub fn decide_bounds(lower: f64, upper: f64, epsilon: f64) -> Option<Verdict> {
+        if Verdict::decide(lower, epsilon) == Verdict::Equivalent {
+            Some(Verdict::Equivalent)
+        } else if Verdict::decide(upper, epsilon) == Verdict::NotEquivalent {
+            Some(Verdict::NotEquivalent)
+        } else {
+            None
+        }
+    }
+}
+
 impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -85,6 +133,37 @@ impl fmt::Display for EquivalenceReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn decide_pins_the_epsilon_boundary() {
+        // Strictly above the threshold: equivalent.
+        assert_eq!(Verdict::decide(0.9025, 0.1), Verdict::Equivalent);
+        // Exactly on it (exact floats, no rounding): not equivalent.
+        assert_eq!(Verdict::decide(0.75, 0.25), Verdict::NotEquivalent);
+        assert_eq!(Verdict::decide(0.5, 0.5), Verdict::NotEquivalent);
+        assert_eq!(Verdict::decide(1.0, 0.0), Verdict::NotEquivalent);
+        assert_eq!(Verdict::decide(0.0, 1.0), Verdict::NotEquivalent);
+        // Below: not equivalent.
+        assert_eq!(Verdict::decide(0.89, 0.1), Verdict::NotEquivalent);
+    }
+
+    #[test]
+    fn decide_bounds_is_two_sided() {
+        assert_eq!(
+            Verdict::decide_bounds(0.95, 0.99, 0.1),
+            Some(Verdict::Equivalent)
+        );
+        assert_eq!(
+            Verdict::decide_bounds(0.1, 0.85, 0.1),
+            Some(Verdict::NotEquivalent)
+        );
+        assert_eq!(Verdict::decide_bounds(0.85, 0.95, 0.1), None);
+        // Point intervals always decide, boundary included.
+        assert_eq!(
+            Verdict::decide_bounds(0.75, 0.75, 0.25),
+            Some(Verdict::NotEquivalent)
+        );
+    }
 
     #[test]
     fn display_formats() {

@@ -1,0 +1,658 @@
+//! The compile-once session API: build a [`Checker`], compile it once,
+//! query the resulting [`CompiledCheck`] many times.
+//!
+//! The paper's whole evaluation is sweep-shaped — Table I re-checks one
+//! circuit pair across noise strengths, Fig. 7 across ε — and the
+//! north-star workload is the same shape at service scale: the *pair* is
+//! the expensive part, the *query* is cheap. The one-shot free functions
+//! ([`crate::check_equivalence`], [`crate::jamiolkowski_fidelity`])
+//! re-validate, rebuild the miter or doubled network, re-run min-fill
+//! planning and allocate a fresh store on every call. A session splits
+//! that:
+//!
+//! * [`Checker::compile`] performs validation, algorithm selection,
+//!   §IV-C optimisation, miter/doubled-network construction, variable
+//!   ordering and contraction planning **exactly once**;
+//! * [`CompiledCheck`] answers queries against those artifacts:
+//!   [`CompiledCheck::fidelity`] (cached after the first evaluation),
+//!   [`CompiledCheck::verdict`] (free once cached bounds decide the new
+//!   ε; Algorithm I re-runs only when they cannot),
+//!   [`CompiledCheck::sweep_epsilon`], and
+//!   [`CompiledCheck::sweep_noise`] — which re-instantiates the Kraus
+//!   weights on the compiled plan instead of replanning, reusing one
+//!   warm [`SharedTddStore`] across the whole batch.
+//!
+//! Warm-store reuse is value-transparent: the shared store's canonical
+//! interning makes every contraction a pure function of its inputs, so a
+//! query on a store warmed by earlier queries is **bit-identical** to
+//! the same query on a fresh store — the reuse only saves re-interning
+//! work. Per-query statistics are epoch-fenced
+//! ([`SharedTddStore::reset_between_runs`]) so each report counts its
+//! own work, not the session's history.
+//!
+//! The free functions remain as thin wrappers over a single-query
+//! session, with identical results and error precedence.
+//!
+//! # Example
+//!
+//! ```
+//! use qaec::{Checker, CheckOptions, Verdict};
+//! use qaec_circuit::{Circuit, NoiseChannel};
+//!
+//! // The paper's Example 3 pair: F_J = p².
+//! let p = 0.95;
+//! let mut noisy = Circuit::new(2);
+//! noisy.h(0)
+//!     .noise(NoiseChannel::BitFlip { p }, &[1])
+//!     .cp(std::f64::consts::FRAC_PI_2, 1, 0)
+//!     .noise(NoiseChannel::PhaseFlip { p }, &[0])
+//!     .h(1)
+//!     .swap(0, 1);
+//! let mut check = Checker::new(&noisy.ideal(), &noisy)
+//!     .options(CheckOptions::default())
+//!     .compile()?;
+//!
+//! // Many queries, one compilation.
+//! assert!((check.fidelity()? - p * p).abs() < 1e-9);
+//! assert_eq!(check.verdict(0.1)?, Verdict::Equivalent);   // 0.9025 > 0.9
+//! assert_eq!(check.verdict(0.05)?, Verdict::NotEquivalent);
+//!
+//! // An ε-sweep over the cached fidelity costs nothing more.
+//! let points = check.sweep_epsilon(&[0.2, 0.1, 0.05, 0.01])?;
+//! assert_eq!(points.len(), 4);
+//! assert_eq!(points[0].verdict, Verdict::Equivalent);
+//! # Ok::<(), qaec::QaecError>(())
+//! ```
+
+use crate::alg1::Alg1Artifacts;
+use crate::alg2::Alg2Artifacts;
+use crate::checker::auto_choice;
+use crate::error::QaecError;
+use crate::options::{AlgorithmChoice, CheckOptions};
+use crate::report::{AlgorithmUsed, EquivalenceReport, Verdict};
+use crate::{validate, validate_epsilon};
+use qaec_circuit::{Circuit, NoiseChannel};
+use qaec_tdd::{SharedTddStore, TddStats};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Staged builder for a compiled equivalence check: name the circuit
+/// pair, optionally set [`CheckOptions`], then [`Checker::compile`].
+///
+/// # Example
+///
+/// ```
+/// use qaec::{AlgorithmChoice, Checker, CheckOptions};
+/// use qaec_circuit::generators::{qft, QftStyle};
+/// use qaec_circuit::noise_insertion::insert_random_noise;
+/// use qaec_circuit::NoiseChannel;
+///
+/// let ideal = qft(3, QftStyle::DecomposedNoSwaps);
+/// let noisy = insert_random_noise(&ideal, &NoiseChannel::Depolarizing { p: 0.999 }, 2, 7);
+/// let mut check = Checker::new(&ideal, &noisy)
+///     .options(CheckOptions {
+///         algorithm: AlgorithmChoice::AlgorithmII,
+///         ..CheckOptions::default()
+///     })
+///     .compile()?;
+/// assert!(check.fidelity()? > 0.99);
+/// # Ok::<(), qaec::QaecError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Checker {
+    ideal: Circuit,
+    noisy: Circuit,
+    options: CheckOptions,
+}
+
+impl Checker {
+    /// Names the circuit pair to check (nothing is validated or built
+    /// until [`Checker::compile`]).
+    pub fn new(ideal: &Circuit, noisy: &Circuit) -> Checker {
+        Checker {
+            ideal: ideal.clone(),
+            noisy: noisy.clone(),
+            options: CheckOptions::default(),
+        }
+    }
+
+    /// Sets the checker options (algorithm, strategy, threads, store
+    /// mode, …). Defaults to [`CheckOptions::default`].
+    pub fn options(mut self, options: CheckOptions) -> Checker {
+        self.options = options;
+        self
+    }
+
+    /// Validates the pair and performs every input-independent stage
+    /// exactly once: algorithm selection, §IV-C optimisation,
+    /// miter/doubled-network construction, variable ordering and
+    /// contraction planning (component-parallel on `options.threads`
+    /// workers). The returned [`CompiledCheck`] answers many queries
+    /// against these artifacts.
+    ///
+    /// # Errors
+    ///
+    /// [`QaecError::WidthMismatch`] or [`QaecError::IdealNotUnitary`] —
+    /// the same validation, in the same precedence, as the one-shot
+    /// functions.
+    pub fn compile(self) -> Result<CompiledCheck, QaecError> {
+        validate(&self.ideal, &self.noisy, None)?;
+        Ok(CompiledCheck::compile_prevalidated(
+            &self.ideal,
+            &self.noisy,
+            self.options,
+        ))
+    }
+}
+
+/// The per-algorithm compiled artifacts behind a [`CompiledCheck`].
+#[derive(Clone, Debug)]
+enum Backend {
+    Alg1(Alg1Artifacts),
+    Alg2(Alg2Artifacts),
+}
+
+/// The tightest proven fidelity interval so far, with the evidence of
+/// the run that established it (for cache-served reports).
+#[derive(Clone, Debug)]
+struct Knowledge {
+    lower: f64,
+    upper: f64,
+    terms_computed: usize,
+    total_terms: usize,
+    max_nodes: usize,
+    elapsed: Duration,
+    stats: TddStats,
+}
+
+impl Knowledge {
+    /// Whether the interval is a point (the exact fidelity is known).
+    fn exact(&self) -> bool {
+        self.upper <= self.lower
+    }
+
+    fn width(&self) -> f64 {
+        (self.upper - self.lower).max(0.0)
+    }
+}
+
+/// One row of an ε-sweep ([`CompiledCheck::sweep_epsilon`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpsilonPoint {
+    /// The threshold queried.
+    pub epsilon: f64,
+    /// The decision at this ε.
+    pub verdict: Verdict,
+    /// The proven fidelity interval the decision was taken on (a point
+    /// once the exact fidelity is known).
+    pub fidelity_bounds: (f64, f64),
+}
+
+/// One row of a noise sweep ([`CompiledCheck::sweep_noise`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// The Jamiolkowski fidelity at this noise point (exact — sweeps
+    /// evaluate every term so the per-point value matches the one-shot
+    /// [`crate::jamiolkowski_fidelity`] bit for bit).
+    pub fidelity: f64,
+    /// The ε-decision at this point.
+    pub verdict: Verdict,
+    /// Largest intermediate diagram, in nodes.
+    pub max_nodes: usize,
+    /// Wall-clock time of this point's contraction (planning is paid
+    /// once at compile time, not here).
+    pub elapsed: Duration,
+    /// Decision-diagram statistics of this point alone — epoch-fenced on
+    /// the session's warm store, so warm reuse shows up as fewer
+    /// `nodes_created`, not as double-counted history.
+    pub stats: TddStats,
+}
+
+/// A compiled equivalence check: reusable artifacts (miter or doubled
+/// network, variable order, contraction plan, warm store) answering many
+/// cheap queries. Build one with [`Checker::compile`].
+///
+/// Queries are *incremental*: every run tightens a cached fidelity
+/// interval, and any later query the interval already decides — a
+/// repeated [`CompiledCheck::fidelity`], a [`CompiledCheck::verdict`] at
+/// a new ε the bounds cover, a whole [`CompiledCheck::sweep_epsilon`]
+/// after one exact evaluation — is answered without touching a diagram.
+#[derive(Clone, Debug)]
+pub struct CompiledCheck {
+    options: CheckOptions,
+    algorithm: AlgorithmUsed,
+    backend: Backend,
+    /// The session's warm shared store, when the configured store mode
+    /// resolves on for this algorithm and worker count. Reused across
+    /// every query and sweep point: later queries hash-cons against
+    /// everything earlier ones interned (value-transparent — canonical
+    /// interning keeps results bit-identical to fresh-store runs).
+    store: Option<Arc<SharedTddStore>>,
+    knowledge: Option<Knowledge>,
+}
+
+impl CompiledCheck {
+    /// [`Checker::compile`] minus validation, for the one-shot wrappers
+    /// that already validated (so they never validate twice).
+    pub(crate) fn compile_prevalidated(
+        ideal: &Circuit,
+        noisy: &Circuit,
+        options: CheckOptions,
+    ) -> CompiledCheck {
+        let algorithm = match options.algorithm {
+            AlgorithmChoice::Auto => auto_choice(noisy),
+            AlgorithmChoice::AlgorithmI => AlgorithmUsed::AlgorithmI,
+            AlgorithmChoice::AlgorithmII => AlgorithmUsed::AlgorithmII,
+        };
+        let (backend, store) = match algorithm {
+            AlgorithmUsed::AlgorithmI => {
+                let artifacts = Alg1Artifacts::compile(ideal, noisy, &options);
+                let workers = artifacts.workers(&options);
+                let store = options
+                    .shared_table
+                    .enabled_for(workers)
+                    .then(SharedTddStore::new);
+                (Backend::Alg1(artifacts), store)
+            }
+            AlgorithmUsed::AlgorithmII => {
+                let artifacts = Alg2Artifacts::compile(ideal, noisy, &options);
+                let store =
+                    (options.shared_table != crate::SharedTableMode::Off).then(SharedTddStore::new);
+                (Backend::Alg2(artifacts), store)
+            }
+        };
+        CompiledCheck {
+            options,
+            algorithm,
+            backend,
+            store,
+            knowledge: None,
+        }
+    }
+
+    /// Which algorithm the session compiled for (resolved from
+    /// [`AlgorithmChoice::Auto`] at compile time).
+    pub fn algorithm(&self) -> AlgorithmUsed {
+        self.algorithm
+    }
+
+    /// The options the session was compiled with.
+    pub fn options(&self) -> &CheckOptions {
+        &self.options
+    }
+
+    /// The compiled noise channels, in site order — the sites
+    /// [`CompiledCheck::sweep_noise`] re-instantiates.
+    pub fn noise_channels(&self) -> &[NoiseChannel] {
+        match &self.backend {
+            Backend::Alg1(a) => &a.template.channels,
+            Backend::Alg2(a) => &a.template.channels,
+        }
+    }
+
+    /// The exact Jamiolkowski fidelity `F_J(E, U)`, cached after the
+    /// first evaluation (subject to `options.max_terms`, which — as in
+    /// the one-shot path — returns the proven lower bound).
+    ///
+    /// Bit-identical to [`crate::jamiolkowski_fidelity`] on the same
+    /// pair and options.
+    ///
+    /// # Errors
+    ///
+    /// [`QaecError::Timeout`] if `options.deadline` expires.
+    pub fn fidelity(&mut self) -> Result<f64, QaecError> {
+        if let Some(k) = &self.knowledge {
+            if k.exact() {
+                return Ok(k.lower);
+            }
+        }
+        match &self.backend {
+            Backend::Alg1(artifacts) => {
+                let report = artifacts.run(None, &self.options, self.store.as_ref())?;
+                let value = report.fidelity_lower;
+                self.remember(
+                    report.fidelity_lower,
+                    report.fidelity_upper,
+                    report.terms_computed,
+                    report.total_terms,
+                    report.max_nodes,
+                    report.elapsed,
+                    report.stats,
+                );
+                Ok(value)
+            }
+            Backend::Alg2(artifacts) => {
+                let report = artifacts.run(&self.options, self.store.as_ref())?;
+                let value = report.fidelity;
+                self.remember(
+                    value,
+                    value,
+                    1,
+                    1,
+                    report.max_nodes,
+                    report.elapsed,
+                    report.stats,
+                );
+                Ok(value)
+            }
+        }
+    }
+
+    /// Decides ε-equivalence: `F_J > 1 − ε`?
+    ///
+    /// Costs nothing when the cached fidelity interval already decides
+    /// this ε (always, once [`CompiledCheck::fidelity`] has run);
+    /// otherwise Algorithm I re-runs with two-sided early termination at
+    /// the new threshold (Algorithm II computes its single exact value
+    /// once and every later verdict is free).
+    ///
+    /// Agrees with [`crate::check_equivalence`] on every input,
+    /// boundary included ([`Verdict::decide`] is the single comparison
+    /// both paths share).
+    ///
+    /// # Errors
+    ///
+    /// [`QaecError::InvalidEpsilon`] or [`QaecError::Timeout`].
+    pub fn verdict(&mut self, epsilon: f64) -> Result<Verdict, QaecError> {
+        validate_epsilon(epsilon)?;
+        self.verdict_prevalidated(epsilon)
+    }
+
+    fn verdict_prevalidated(&mut self, epsilon: f64) -> Result<Verdict, QaecError> {
+        Ok(self.check_prevalidated(epsilon)?.verdict)
+    }
+
+    /// The full ε-equivalence report (what [`crate::check_equivalence`]
+    /// returns): verdict, proven bounds, term counts and statistics.
+    ///
+    /// When the cached interval decides this ε the report is served from
+    /// the cache — its bounds, counts and statistics are those of the
+    /// run that established the interval, and no diagram work happens.
+    ///
+    /// # Errors
+    ///
+    /// [`QaecError::InvalidEpsilon`] or [`QaecError::Timeout`].
+    pub fn check(&mut self, epsilon: f64) -> Result<EquivalenceReport, QaecError> {
+        validate_epsilon(epsilon)?;
+        self.check_prevalidated(epsilon)
+    }
+
+    pub(crate) fn check_prevalidated(
+        &mut self,
+        epsilon: f64,
+    ) -> Result<EquivalenceReport, QaecError> {
+        if let Some(k) = &self.knowledge {
+            if let Some(verdict) = Verdict::decide_bounds(k.lower, k.upper, epsilon) {
+                return Ok(self.report_from_knowledge(verdict, epsilon));
+            }
+        }
+        match &self.backend {
+            Backend::Alg1(artifacts) => {
+                let report = artifacts.run(Some(epsilon), &self.options, self.store.as_ref())?;
+                // All terms evaluated without an early decision: compare
+                // the exact value (the same single comparison the early
+                // exit used on its bounds).
+                let verdict = report
+                    .verdict
+                    .unwrap_or_else(|| Verdict::decide(report.fidelity_lower, epsilon));
+                let out = EquivalenceReport {
+                    verdict,
+                    fidelity_bounds: (report.fidelity_lower, report.fidelity_upper),
+                    epsilon,
+                    algorithm: AlgorithmUsed::AlgorithmI,
+                    terms_computed: report.terms_computed,
+                    total_terms: report.total_terms,
+                    max_nodes: report.max_nodes,
+                    elapsed: report.elapsed,
+                    stats: report.stats,
+                };
+                self.remember(
+                    report.fidelity_lower,
+                    report.fidelity_upper,
+                    report.terms_computed,
+                    report.total_terms,
+                    report.max_nodes,
+                    report.elapsed,
+                    report.stats,
+                );
+                Ok(out)
+            }
+            Backend::Alg2(artifacts) => {
+                let report = artifacts.run(&self.options, self.store.as_ref())?;
+                let verdict = Verdict::decide(report.fidelity, epsilon);
+                let out = EquivalenceReport {
+                    verdict,
+                    fidelity_bounds: (report.fidelity, report.fidelity),
+                    epsilon,
+                    algorithm: AlgorithmUsed::AlgorithmII,
+                    terms_computed: 1,
+                    total_terms: 1,
+                    max_nodes: report.max_nodes,
+                    elapsed: report.elapsed,
+                    stats: report.stats,
+                };
+                self.remember(
+                    report.fidelity,
+                    report.fidelity,
+                    1,
+                    1,
+                    report.max_nodes,
+                    report.elapsed,
+                    report.stats,
+                );
+                Ok(out)
+            }
+        }
+    }
+
+    /// Decides every threshold in `epsilons` (any order), re-running
+    /// Algorithm I only for thresholds the accumulated bounds cannot
+    /// decide. After one exact fidelity evaluation the whole sweep is
+    /// pure arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// [`QaecError::InvalidEpsilon`] (checked for *every* threshold
+    /// before any work) or [`QaecError::Timeout`].
+    pub fn sweep_epsilon(&mut self, epsilons: &[f64]) -> Result<Vec<EpsilonPoint>, QaecError> {
+        for &epsilon in epsilons {
+            validate_epsilon(epsilon)?;
+        }
+        epsilons
+            .iter()
+            .map(|&epsilon| {
+                let verdict = self.verdict_prevalidated(epsilon)?;
+                let k = self.knowledge.as_ref().expect("verdict established bounds");
+                Ok(EpsilonPoint {
+                    epsilon,
+                    verdict,
+                    fidelity_bounds: (k.lower, k.upper),
+                })
+            })
+            .collect()
+    }
+
+    /// Re-checks the compiled pair at each noise strength: every noise
+    /// site's channel is replaced by the same channel at strength
+    /// `strengths[i]` (via [`NoiseChannel::with_strength`]) and the
+    /// point is evaluated **on the compiled plan** — the Kraus weights
+    /// are re-instantiated, the wire bookkeeping re-laid (linear), and
+    /// planning is not repeated. The whole batch shares the session's
+    /// warm store.
+    ///
+    /// Every point's fidelity and verdict are bit-identical to a cold
+    /// [`crate::jamiolkowski_fidelity`] / [`crate::check_equivalence`]
+    /// call on the corresponding re-parameterised pair, at every thread
+    /// count — the paper's Table I column, `N` points for one
+    /// compilation.
+    ///
+    /// # Errors
+    ///
+    /// * [`QaecError::InvalidEpsilon`];
+    /// * [`QaecError::NoiseSweepUnsupported`] if a compiled site has no
+    ///   single scalar strength (Pauli / custom channels) or a strength
+    ///   is outside its valid range — checked for every point before any
+    ///   contraction runs;
+    /// * [`QaecError::Timeout`].
+    pub fn sweep_noise(
+        &self,
+        epsilon: f64,
+        strengths: &[f64],
+    ) -> Result<Vec<SweepPoint>, QaecError> {
+        validate_epsilon(epsilon)?;
+        let base = self.noise_channels();
+        let mut points = Vec::with_capacity(strengths.len());
+        for &strength in strengths {
+            let channels: Vec<NoiseChannel> = base
+                .iter()
+                .enumerate()
+                .map(|(site, channel)| {
+                    channel.with_strength(strength).ok_or_else(|| {
+                        QaecError::NoiseSweepUnsupported {
+                            reason: format!(
+                                "site {site} ({}) has no single scalar strength to sweep",
+                                channel.name()
+                            ),
+                        }
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            points.push(channels);
+        }
+        self.sweep_noise_prevalidated(epsilon, &points)
+    }
+
+    /// [`CompiledCheck::sweep_noise`] with explicit per-site channels
+    /// per point — for sweeping multi-parameter channels, or different
+    /// strengths per site. Each point must supply one channel per
+    /// compiled site, with matching arity.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledCheck::sweep_noise`]; mismatched site counts or
+    /// arities are [`QaecError::NoiseSweepUnsupported`].
+    pub fn sweep_noise_channels(
+        &self,
+        epsilon: f64,
+        points: &[Vec<NoiseChannel>],
+    ) -> Result<Vec<SweepPoint>, QaecError> {
+        validate_epsilon(epsilon)?;
+        self.sweep_noise_prevalidated(epsilon, points)
+    }
+
+    fn sweep_noise_prevalidated(
+        &self,
+        epsilon: f64,
+        points: &[Vec<NoiseChannel>],
+    ) -> Result<Vec<SweepPoint>, QaecError> {
+        // Validate the whole batch before contracting anything, so a bad
+        // late point cannot waste the early ones.
+        let base = self.noise_channels();
+        for (index, channels) in points.iter().enumerate() {
+            if channels.len() != base.len() {
+                return Err(QaecError::NoiseSweepUnsupported {
+                    reason: format!(
+                        "point {index} supplies {} channels for {} compiled sites",
+                        channels.len(),
+                        base.len()
+                    ),
+                });
+            }
+            for (site, (new, old)) in channels.iter().zip(base).enumerate() {
+                if new.arity() != old.arity() {
+                    return Err(QaecError::NoiseSweepUnsupported {
+                        reason: format!(
+                            "point {index}, site {site}: arity {} replaces arity {}",
+                            new.arity(),
+                            old.arity()
+                        ),
+                    });
+                }
+                new.validate()
+                    .map_err(|e| QaecError::NoiseSweepUnsupported {
+                        reason: format!("point {index}, site {site}: {e}"),
+                    })?;
+            }
+        }
+
+        points
+            .iter()
+            .map(|channels| match &self.backend {
+                Backend::Alg1(artifacts) => {
+                    let template = artifacts.template.with_channels(channels);
+                    let report = artifacts.run_template(
+                        &template,
+                        None,
+                        &self.options,
+                        self.store.as_ref(),
+                    )?;
+                    Ok(SweepPoint {
+                        fidelity: report.fidelity_lower,
+                        verdict: Verdict::decide(report.fidelity_lower, epsilon),
+                        max_nodes: report.max_nodes,
+                        elapsed: report.elapsed,
+                        stats: report.stats,
+                    })
+                }
+                Backend::Alg2(artifacts) => {
+                    let report =
+                        artifacts.run_channels(channels, &self.options, self.store.as_ref())?;
+                    Ok(SweepPoint {
+                        fidelity: report.fidelity,
+                        verdict: Verdict::decide(report.fidelity, epsilon),
+                        max_nodes: report.max_nodes,
+                        elapsed: report.elapsed,
+                        stats: report.stats,
+                    })
+                }
+            })
+            .collect()
+    }
+
+    /// Serves a report from the cached interval: the evidence (bounds,
+    /// counts, statistics, elapsed) is that of the run that established
+    /// it — the query itself did no diagram work.
+    fn report_from_knowledge(&self, verdict: Verdict, epsilon: f64) -> EquivalenceReport {
+        let k = self.knowledge.as_ref().expect("caller checked");
+        EquivalenceReport {
+            verdict,
+            fidelity_bounds: (k.lower, k.upper),
+            epsilon,
+            algorithm: self.algorithm,
+            terms_computed: k.terms_computed,
+            total_terms: k.total_terms,
+            max_nodes: k.max_nodes,
+            elapsed: k.elapsed,
+            stats: k.stats,
+        }
+    }
+
+    /// Records a run's proven interval, keeping the tightest evidence
+    /// seen so far (an exact evaluation wins over any early-stopped
+    /// bounds and every later query is then cache-served).
+    #[allow(clippy::too_many_arguments)]
+    fn remember(
+        &mut self,
+        lower: f64,
+        upper: f64,
+        terms_computed: usize,
+        total_terms: usize,
+        max_nodes: usize,
+        elapsed: Duration,
+        stats: TddStats,
+    ) {
+        let fresh = Knowledge {
+            lower,
+            upper,
+            terms_computed,
+            total_terms,
+            max_nodes,
+            elapsed,
+            stats,
+        };
+        match &self.knowledge {
+            Some(old) if old.width() <= fresh.width() => {}
+            _ => self.knowledge = Some(fresh),
+        }
+    }
+}

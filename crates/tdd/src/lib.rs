@@ -75,5 +75,5 @@ pub use driver::{
 };
 pub use manager::{ContCacheKey, Edge, NodeId, TddManager, TddStats, DEADLINE_PROBE_INTERVAL};
 pub use par_driver::{contract_network_parallel, run_on_workers, ParallelOptions, ParallelOutcome};
-pub use store::SharedTddStore;
+pub use store::{SharedTddStore, StoreEpoch};
 pub use weight::{WeightId, WeightTable};

@@ -101,6 +101,15 @@ impl TensorNetwork {
         ContractionPlan::build(self, strategy)
     }
 
+    /// Builds a contraction plan with component-level parallel
+    /// construction (see [`ContractionPlan::build_parallel`]): plans for
+    /// disconnected components are built concurrently on up to `workers`
+    /// threads and stitched. The resulting plan depends only on the
+    /// network and strategy — `workers` never changes the emitted steps.
+    pub fn plan_parallel(&self, strategy: Strategy, workers: usize) -> ContractionPlan {
+        ContractionPlan::build_parallel(self, strategy, workers)
+    }
+
     /// Executes a plan with the dense backend, returning the final tensor
     /// (rank 0 for a fully closed network). Bare wire loops contribute
     /// their powers of two to the result.
