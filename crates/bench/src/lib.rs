@@ -12,7 +12,8 @@
 //! Criterion micro-benches live under `benches/`.
 
 use qaec::{
-    check_equivalence, fidelity_alg1, fidelity_alg2, CheckOptions, Checker, QaecError,
+    check_equivalence, fidelity_alg1, fidelity_alg2, AlgorithmChoice, CacheOutcome, CheckOptions,
+    Checker, QaecError, Service, ServiceConfig, ServiceQuery, ServiceReply, ServiceRequest,
     SharedTableMode, SweepPoint, TermOrder, Verdict,
 };
 use qaec_circuit::generators::{
@@ -304,10 +305,13 @@ pub fn measure_best(max_repeats: usize, mut f: impl FnMut() -> Outcome) -> Outco
 }
 
 /// The hand-rolled JSON writer behind the bench artifacts, factored out
-/// so other frontends (the CLI's `check --json` / `sweep --json`) emit
-/// the same shape without a serde dependency: flat objects of string and
-/// number fields, no nesting, no escapes — exactly what
-/// [`records_from_json`] can read back.
+/// so other frontends (the CLI's `check --json` / `sweep --json` and the
+/// `qaec serve` responses) emit the same shape without a serde
+/// dependency: objects of string and number fields, rendered in
+/// insertion order, no escapes. Nesting is possible through
+/// [`Object::raw`](json::Object::raw) (the serve protocol's `points`
+/// arrays); the artifact *reader*
+/// ([`records_from_json`]) still only handles the flat shape.
 pub mod json {
     /// Replaces characters the minimal parser cannot round-trip
     /// (quotes, backslashes, control characters) with `_`. Values fed
@@ -359,6 +363,32 @@ pub mod json {
             self
         }
 
+        /// Appends a boolean field.
+        pub fn boolean(mut self, key: &str, value: bool) -> Object {
+            self.fields.push((
+                key.to_string(),
+                if value { "true" } else { "false" }.to_string(),
+            ));
+            self
+        }
+
+        /// Appends a pre-rendered JSON value verbatim — the escape hatch
+        /// for nested arrays/objects (e.g. a `"points"` array of
+        /// [`Object::render`]ed rows). The caller owns the value's
+        /// well-formedness.
+        pub fn raw(mut self, key: &str, value: impl Into<String>) -> Object {
+            self.fields.push((key.to_string(), value.into()));
+            self
+        }
+
+        /// Appends every field of `other`, in order — used to graft a
+        /// shared row shape (the CLI's `check --json` object) into a
+        /// larger envelope (a serve response) without re-listing fields.
+        pub fn extend(mut self, other: Object) -> Object {
+            self.fields.extend(other.fields);
+            self
+        }
+
         /// Renders the object on one line: `{"k": v, ...}`.
         pub fn render(&self) -> String {
             let body: Vec<String> = self
@@ -384,6 +414,13 @@ pub mod json {
         out
     }
 
+    /// Renders an array on ONE line: `[{...}, {...}]` — the shape
+    /// line-delimited protocols need for nested rows ([`Object::raw`]).
+    pub fn array_inline(objects: &[Object]) -> String {
+        let body: Vec<String> = objects.iter().map(Object::render).collect();
+        format!("[{}]", body.join(", "))
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -401,6 +438,21 @@ pub mod json {
             let rendered = array(&[Object::new().int("a", 1), Object::new().int("a", 2)]);
             assert_eq!(rendered, "[\n  {\"a\": 1},\n  {\"a\": 2}\n]\n");
             assert_eq!(array(&[]), "[\n]\n");
+        }
+
+        #[test]
+        fn nested_and_boolean_rendering() {
+            let rows = [Object::new().int("k", 1), Object::new().int("k", 2)];
+            assert_eq!(array_inline(&rows), "[{\"k\": 1}, {\"k\": 2}]");
+            assert_eq!(array_inline(&[]), "[]");
+            let envelope = Object::new()
+                .boolean("ok", true)
+                .raw("points", array_inline(&rows))
+                .extend(Object::new().string("cache", "hit"));
+            assert_eq!(
+                envelope.render(),
+                "{\"ok\": true, \"points\": [{\"k\": 1}, {\"k\": 2}], \"cache\": \"hit\"}"
+            );
         }
     }
 }
@@ -420,6 +472,11 @@ pub struct RunRecord {
     pub max_nodes: usize,
     /// The computed fidelity (or lower bound, for early-stopped runs).
     pub fidelity: f64,
+    /// Warm-store bytes held when the run finished
+    /// (`SharedTddStore::bytes_used`, via the serving scenarios'
+    /// session cache; 0 where the notion does not apply). Absent in
+    /// older artifacts — parsed tolerantly as 0.
+    pub store_bytes: u64,
 }
 
 impl RunRecord {
@@ -443,6 +500,7 @@ impl RunRecord {
                     },
                     max_nodes: *nodes,
                     fidelity: *fidelity,
+                    store_bytes: 0,
                 })
             }
             _ => None,
@@ -463,6 +521,7 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
                 .number("terms_per_sec", r.terms_per_sec, 3)
                 .int("max_nodes", r.max_nodes as u64)
                 .number("fidelity", r.fidelity, 12)
+                .int("store_bytes", r.store_bytes)
         })
         .collect();
     json::array(&objects)
@@ -518,6 +577,9 @@ pub fn records_from_json(text: &str) -> Result<Vec<RunRecord>, String> {
             terms_per_sec: num_field(object, "terms_per_sec")?,
             max_nodes: num_field(object, "max_nodes")? as usize,
             fidelity: num_field(object, "fidelity")?,
+            // Tolerant: baselines written before the serving layer
+            // carry no store_bytes column.
+            store_bytes: num_field(object, "store_bytes").unwrap_or(0.0) as u64,
         });
         rest = &rest[open + close + 1..];
     }
@@ -938,6 +1000,134 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
         );
     }
 
+    // Serving layer: the repeated-pair request stream a long-lived
+    // `qaec serve` answers — 9 check requests over 3 distinct qft3
+    // pairs through one `Service`, Algorithm II sessions (so every
+    // session holds a warm store the cache can account). Gated: the
+    // service builds exactly one contraction plan per DISTINCT pair
+    // (3, not 9 — the session cache absorbs the repeats), the repeats
+    // are hits, and every cached answer is bit-identical to a cold
+    // one-shot check of the same pair.
+    let service_eps = 1e-3;
+    let service_opts = CheckOptions {
+        algorithm: AlgorithmChoice::AlgorithmII,
+        deadline: Some(Instant::now() + timeout),
+        ..CheckOptions::default()
+    };
+    let service_pairs: Vec<Circuit> = (0..3)
+        .map(|k| {
+            insert_random_noise(
+                &qft3,
+                &NoiseChannel::Depolarizing { p: 0.999 },
+                2,
+                NOISE_SEED + 10 + k as u64,
+            )
+        })
+        .collect();
+    let service_requests: Vec<ServiceRequest> = (0..9)
+        .map(|k| ServiceRequest {
+            ideal: qft3.clone(),
+            noisy: service_pairs[k % 3].clone(),
+            query: ServiceQuery::Check {
+                epsilon: service_eps,
+            },
+        })
+        .collect();
+    let run_service = || {
+        let service = Service::new(ServiceConfig {
+            options: service_opts.clone(),
+            cache_bytes: None,
+        });
+        let builds_before = qaec_tensornet::plan::build_count();
+        let start = Instant::now();
+        let responses = service.handle_batch(&service_requests);
+        let elapsed = start.elapsed();
+        let builds = qaec_tensornet::plan::build_count() - builds_before;
+        (elapsed, builds, service.stats(), responses)
+    };
+    let (mut service_time, service_builds, service_stats, service_responses) = run_service();
+    {
+        // Best-of-2 on the timing; the structural gates must hold on
+        // every run.
+        let (t, builds, _, _) = run_service();
+        assert_eq!(builds, service_builds);
+        service_time = service_time.min(t);
+    }
+    assert_eq!(
+        service_builds, 3,
+        "the session cache must compile one plan per distinct pair, not per request"
+    );
+    assert_eq!(
+        (
+            service_stats.misses,
+            service_stats.hits,
+            service_stats.compiles
+        ),
+        (3, 6, 3),
+        "9 requests over 3 pairs: 3 misses, 6 hits, 3 compiles"
+    );
+    assert!(
+        service_stats.store_bytes > 0,
+        "Algorithm II sessions hold a warm store the cache can account"
+    );
+    let service_reports: Vec<&qaec::EquivalenceReport> = service_responses
+        .iter()
+        .map(|response| {
+            match response
+                .result
+                .as_ref()
+                .expect("service check scenario succeeds")
+            {
+                ServiceReply::Check(report) => report,
+                _ => panic!("check requests yield check replies"),
+            }
+        })
+        .collect();
+    for (k, response) in service_responses.iter().enumerate() {
+        let expected = if k < 3 {
+            CacheOutcome::Miss
+        } else {
+            CacheOutcome::Hit
+        };
+        assert_eq!(response.cache, expected, "request {k}");
+        assert_eq!(
+            service_reports[k].fidelity_bounds.0.to_bits(),
+            service_reports[k % 3].fidelity_bounds.0.to_bits(),
+            "request {k}: repeats of a pair must answer bit-identically"
+        );
+    }
+    for (k, noisy) in service_pairs.iter().enumerate() {
+        let cold = check_equivalence(&qft3, noisy, service_eps, &service_opts)
+            .expect("cold service comparator");
+        assert_eq!(
+            service_reports[k].fidelity_bounds.0.to_bits(),
+            cold.fidelity_bounds.0.to_bits(),
+            "pair {k}: cached answer must be bit-identical to a cold one-shot check"
+        );
+        assert_eq!(service_reports[k].verdict, cold.verdict, "pair {k}");
+    }
+    println!(
+        "service stream (9 req / 3 pairs): {:.1}ms, {} — plans built: {service_builds}",
+        service_time.as_secs_f64() * 1e3,
+        service_stats,
+    );
+    let mut service_record = RunRecord::from_outcome(
+        "service_9req_3pairs_alg2",
+        &Outcome::Done {
+            fidelity: service_reports[8].fidelity_bounds.0,
+            time: service_time,
+            nodes: service_reports
+                .iter()
+                .map(|r| r.max_nodes)
+                .max()
+                .unwrap_or(0),
+            terms: service_requests.len(),
+        },
+    )
+    .expect("service record");
+    service_record.store_bytes = service_stats.store_bytes;
+    records.push(service_record);
+
     records
 }
 
@@ -1146,6 +1336,7 @@ mod tests {
                 terms_per_sec: 20736.5,
                 max_nodes: 87,
                 fidelity: 0.996005996001,
+                store_bytes: 4096,
             },
             RunRecord {
                 name: "bv5_k6_alg2".into(),
@@ -1153,6 +1344,7 @@ mod tests {
                 terms_per_sec: 0.0,
                 max_nodes: 1024,
                 fidelity: 0.994014980015,
+                store_bytes: 0,
             },
         ];
         let text = records_to_json(&records);
@@ -1164,9 +1356,17 @@ mod tests {
             assert!((a.terms_per_sec - b.terms_per_sec).abs() < 1e-3);
             assert_eq!(a.max_nodes, b.max_nodes);
             assert!((a.fidelity - b.fidelity).abs() < 1e-9);
+            assert_eq!(a.store_bytes, b.store_bytes);
         }
         assert!(records_from_json("[]").expect("empty").is_empty());
         assert!(records_from_json("[{\"name\": \"x\"}]").is_err());
+
+        // Artifacts written before the serving layer carry no
+        // store_bytes column — they must still parse, as 0.
+        let legacy = "[\n  {\"name\": \"old\", \"wall_ms\": 1.0, \"terms_per_sec\": 2.0, \
+                      \"max_nodes\": 3, \"fidelity\": 0.5}\n]\n";
+        let parsed = records_from_json(legacy).expect("legacy parses");
+        assert_eq!(parsed[0].store_bytes, 0);
 
         // Hostile characters in names are sanitised, never emitted raw.
         let hostile = vec![RunRecord {
@@ -1175,6 +1375,7 @@ mod tests {
             terms_per_sec: 2.0,
             max_nodes: 3,
             fidelity: 0.5,
+            store_bytes: 0,
         }];
         let parsed = records_from_json(&records_to_json(&hostile)).expect("parse");
         assert_eq!(parsed[0].name, "qft_3_k4_");
@@ -1202,6 +1403,7 @@ mod tests {
             terms_per_sec: 0.0,
             max_nodes: 0,
             fidelity: 1.0,
+            store_bytes: 0,
         };
         let baseline = vec![
             record("fast", 10.0),
@@ -1229,6 +1431,7 @@ mod tests {
             terms_per_sec: 0.0,
             max_nodes,
             fidelity: 1.0,
+            store_bytes: 0,
         };
         let baseline = vec![record("big", 1000), record("toy", 10), record("grown", 200)];
         let pr = vec![

@@ -1,0 +1,360 @@
+//! Stable content hashing of circuits and circuit pairs.
+//!
+//! The serving layer (`qaec::Service`) keys its session cache on the
+//! *content* of a circuit pair — gates, parameters, qubit wiring and
+//! noise sites — not on file paths or request text, so the same pair
+//! submitted twice (inline, from a file, re-serialized) lands on the
+//! same compiled session. Two properties matter:
+//!
+//! * **Stability.** The hash is a fixed function (FNV-1a over a
+//!   canonical byte encoding), independent of process, platform and
+//!   `std` hasher randomization, so cache keys mean the same thing
+//!   across runs and across machines.
+//! * **Order canonicalisation.** Instructions acting on disjoint qubits
+//!   commute, and the instruction *list* order between them is an
+//!   artifact of serialization. Hashing walks the instructions in a
+//!   canonical order — by dependency level (the [`Circuit::depth`]
+//!   levelling), then by least qubit — so two listings of the same
+//!   circuit that only permute independent instructions hash equal.
+//!   Instructions on overlapping qubits never reorder: they sit on
+//!   different levels by construction.
+//!
+//! Floating-point parameters are hashed by their exact bit pattern:
+//! `rz(0.5)` and `rz(0.5000001)` are different circuits, as are `0.0`
+//! and `-0.0`. No tolerance is applied — the cache must never alias
+//! two pairs the checker could answer differently.
+//!
+//! # Example
+//!
+//! ```
+//! use qaec_circuit::hash::{content_hash, pair_hash};
+//! use qaec_circuit::{Circuit, NoiseChannel};
+//!
+//! // h(0) and h(1) act on disjoint qubits: listing order is not content.
+//! let mut a = Circuit::new(2);
+//! a.h(0).h(1).cx(0, 1);
+//! let mut b = Circuit::new(2);
+//! b.h(1).h(0).cx(0, 1);
+//! assert_eq!(content_hash(&a), content_hash(&b));
+//!
+//! // A noise site (and its strength) is content.
+//! let mut noisy = a.clone();
+//! noisy.noise(NoiseChannel::Depolarizing { p: 0.999 }, &[0]);
+//! assert_ne!(content_hash(&a), content_hash(&noisy));
+//!
+//! // The pair hash is ordered: (ideal, noisy) ≠ (noisy, ideal).
+//! assert_ne!(pair_hash(&a, &noisy), pair_hash(&noisy, &a));
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::instruction::Operation;
+use crate::noise::NoiseChannel;
+
+/// 64-bit FNV-1a. Dependency-free and bit-stable everywhere; speed is
+/// irrelevant here (one pass per served pair, not per node).
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Fnv {
+        Fnv(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    fn write_f64(&mut self, value: f64) {
+        // Exact bit pattern: no tolerance, NaN payloads and -0.0 are
+        // all distinct (a cache key must never alias distinct inputs).
+        self.write_u64(value.to_bits());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        // Length-prefixed so ("ab", "c") never collides with ("a", "bc").
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+}
+
+/// The canonical instruction visit order: by dependency level (an
+/// instruction's level is 1 + the max level among its qubits, exactly
+/// the [`Circuit::depth`] computation), then by least qubit. Within a
+/// level all instructions touch disjoint qubits, so the least qubit is
+/// unique and the order total; across levels the original dependency
+/// order is preserved.
+fn canonical_order(circuit: &Circuit) -> Vec<usize> {
+    let mut level = vec![0usize; circuit.n_qubits()];
+    let mut keys: Vec<(usize, usize, usize)> = Vec::with_capacity(circuit.len());
+    for (index, instr) in circuit.instructions().iter().enumerate() {
+        let next = instr.qubits.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
+        for &q in &instr.qubits {
+            level[q] = next;
+        }
+        let least = instr.qubits.iter().copied().min().unwrap_or(0);
+        keys.push((next, least, index));
+    }
+    keys.sort_unstable();
+    keys.into_iter().map(|(_, _, index)| index).collect()
+}
+
+fn hash_gate(h: &mut Fnv, gate: &Gate) {
+    h.write_str(gate.name());
+    let params = gate.params();
+    h.write_usize(params.len());
+    for p in params {
+        h.write_f64(p);
+    }
+}
+
+fn hash_noise(h: &mut Fnv, channel: &NoiseChannel) {
+    h.write_str(channel.name());
+    let params = channel.params();
+    h.write_usize(params.len());
+    for p in params {
+        h.write_f64(p);
+    }
+    // Built-in channels are fully determined by (name, params); a custom
+    // Kraus set is determined by its operator matrices (the label is
+    // cosmetic but kept in the key via name() above).
+    if let NoiseChannel::Custom(kraus) = channel {
+        h.write_usize(kraus.arity());
+        h.write_usize(kraus.ops().len());
+        for op in kraus.ops() {
+            let (rows, cols) = op.shape();
+            h.write_usize(rows);
+            h.write_usize(cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let v = op[(r, c)];
+                    h.write_f64(v.re);
+                    h.write_f64(v.im);
+                }
+            }
+        }
+    }
+}
+
+/// A stable 64-bit content hash of one circuit.
+///
+/// Covers the qubit count and every instruction (opcode, exact
+/// parameter bits, qubit wiring, noise channels including custom Kraus
+/// matrices), visited in the canonical order described in the module
+/// docs — so permuting independent instructions does not change the
+/// hash, while any semantic edit does.
+pub fn content_hash(circuit: &Circuit) -> u64 {
+    let mut h = Fnv::new();
+    h.write_usize(circuit.n_qubits());
+    h.write_usize(circuit.len());
+    for index in canonical_order(circuit) {
+        let instr = &circuit.instructions()[index];
+        match &instr.op {
+            Operation::Gate(gate) => {
+                h.write(b"g");
+                hash_gate(&mut h, gate);
+            }
+            Operation::Noise(channel) => {
+                h.write(b"n");
+                hash_noise(&mut h, channel);
+            }
+        }
+        h.write_usize(instr.qubits.len());
+        for &q in &instr.qubits {
+            h.write_usize(q);
+        }
+    }
+    h.0
+}
+
+/// A stable 64-bit content hash of an ordered `(ideal, noisy)` pair —
+/// the session-cache key of the serving layer.
+///
+/// The combination is ordered (the roles are not symmetric: the first
+/// circuit is the specification, the second the implementation), and
+/// domain-separated from [`content_hash`] so a pair never collides with
+/// a single circuit by construction.
+///
+/// # Example
+///
+/// ```
+/// use qaec_circuit::hash::pair_hash;
+/// use qaec_circuit::{Circuit, NoiseChannel};
+///
+/// let mut noisy = Circuit::new(1);
+/// noisy.h(0).noise(NoiseChannel::BitFlip { p: 0.99 }, &[0]);
+/// let ideal = noisy.ideal();
+///
+/// // Deterministic across calls (and across processes).
+/// assert_eq!(pair_hash(&ideal, &noisy), pair_hash(&ideal, &noisy));
+///
+/// // Changing only the noise strength changes the key.
+/// let mut other = Circuit::new(1);
+/// other.h(0).noise(NoiseChannel::BitFlip { p: 0.98 }, &[0]);
+/// assert_ne!(pair_hash(&ideal, &noisy), pair_hash(&ideal, &other));
+/// ```
+pub fn pair_hash(ideal: &Circuit, noisy: &Circuit) -> u64 {
+    let mut h = Fnv::new();
+    h.write(b"qaec-pair-v1");
+    h.write_u64(content_hash(ideal));
+    h.write_u64(content_hash(noisy));
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{qft, QftStyle};
+    use crate::noise_insertion::insert_random_noise;
+    use qaec_math::Matrix;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn noisy_qft2(p: f64) -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0)
+            .noise(NoiseChannel::BitFlip { p }, &[1])
+            .cp(FRAC_PI_2, 1, 0)
+            .noise(NoiseChannel::PhaseFlip { p }, &[0])
+            .h(1)
+            .swap(0, 1);
+        c
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let c = noisy_qft2(0.999);
+        assert_eq!(content_hash(&c), content_hash(&c));
+        assert_eq!(content_hash(&c), content_hash(&c.clone()));
+    }
+
+    #[test]
+    fn independent_instruction_order_is_canonicalised() {
+        let mut a = Circuit::new(3);
+        a.h(0).h(1).h(2).cx(0, 1);
+        let mut b = Circuit::new(3);
+        b.h(2).h(0).h(1).cx(0, 1);
+        assert_eq!(content_hash(&a), content_hash(&b));
+
+        // Noise sites participate in the same canonicalisation.
+        let mut na = Circuit::new(2);
+        na.noise(NoiseChannel::BitFlip { p: 0.9 }, &[0]).h(1);
+        let mut nb = Circuit::new(2);
+        nb.h(1).noise(NoiseChannel::BitFlip { p: 0.9 }, &[0]);
+        assert_eq!(content_hash(&na), content_hash(&nb));
+    }
+
+    #[test]
+    fn dependent_instruction_order_is_content() {
+        // h then t ≠ t then h on the same qubit: same multiset, same
+        // levels structure, different circuit.
+        let mut a = Circuit::new(1);
+        a.h(0).t(0);
+        let mut b = Circuit::new(1);
+        b.t(0).h(0);
+        assert_ne!(content_hash(&a), content_hash(&b));
+    }
+
+    #[test]
+    fn every_semantic_edit_changes_the_hash() {
+        let base = noisy_qft2(0.999);
+        let h0 = content_hash(&base);
+
+        // Parameter bits.
+        assert_ne!(h0, content_hash(&noisy_qft2(0.998)));
+
+        // Qubit count (same instruction list).
+        let widened = base.remap_qubits(&[0, 1], 3).unwrap();
+        assert_ne!(h0, content_hash(&widened));
+
+        // Wiring.
+        let mut rewired = Circuit::new(2);
+        rewired
+            .h(0)
+            .noise(NoiseChannel::BitFlip { p: 0.999 }, &[0]) // was [1]
+            .cp(FRAC_PI_2, 1, 0)
+            .noise(NoiseChannel::PhaseFlip { p: 0.999 }, &[0])
+            .h(1)
+            .swap(0, 1);
+        assert_ne!(h0, content_hash(&rewired));
+
+        // Channel kind at the same site with the same parameter.
+        let mut swapped_channel = Circuit::new(2);
+        swapped_channel
+            .h(0)
+            .noise(NoiseChannel::PhaseFlip { p: 0.999 }, &[1])
+            .cp(FRAC_PI_2, 1, 0)
+            .noise(NoiseChannel::PhaseFlip { p: 0.999 }, &[0])
+            .h(1)
+            .swap(0, 1);
+        assert_ne!(h0, content_hash(&swapped_channel));
+    }
+
+    #[test]
+    fn rotation_parameters_hash_by_bits() {
+        let mut a = Circuit::new(1);
+        a.gate(Gate::Rz(0.5), &[0]);
+        let mut b = Circuit::new(1);
+        b.gate(Gate::Rz(0.5 + 1e-12), &[0]);
+        assert_ne!(content_hash(&a), content_hash(&b));
+
+        let mut z = Circuit::new(1);
+        z.gate(Gate::Rz(0.0), &[0]);
+        let mut nz = Circuit::new(1);
+        nz.gate(Gate::Rz(-0.0), &[0]);
+        assert_ne!(content_hash(&z), content_hash(&nz));
+    }
+
+    #[test]
+    fn custom_kraus_matrices_are_content() {
+        let ops_a = NoiseChannel::BitFlip { p: 0.9 }.kraus();
+        let ops_b = NoiseChannel::BitFlip { p: 0.8 }.kraus();
+        let mut a = Circuit::new(1);
+        a.noise(NoiseChannel::custom("ch", ops_a).unwrap(), &[0]);
+        let mut b = Circuit::new(1);
+        b.noise(NoiseChannel::custom("ch", ops_b).unwrap(), &[0]);
+        assert_ne!(content_hash(&a), content_hash(&b));
+
+        // Identity-shaped sets with different dimensions differ too.
+        let id2 = NoiseChannel::custom("id", vec![Matrix::identity(2)]).unwrap();
+        let id4 = NoiseChannel::custom("id", vec![Matrix::identity(4)]).unwrap();
+        let mut c2 = Circuit::new(2);
+        c2.noise(id2, &[0]);
+        let mut c4 = Circuit::new(2);
+        c4.noise(id4, &[0, 1]);
+        assert_ne!(content_hash(&c2), content_hash(&c4));
+    }
+
+    #[test]
+    fn pair_hash_is_ordered_and_separated() {
+        let noisy = noisy_qft2(0.999);
+        let ideal = noisy.ideal();
+        assert_ne!(pair_hash(&ideal, &noisy), pair_hash(&noisy, &ideal));
+        assert_ne!(pair_hash(&ideal, &ideal), content_hash(&ideal));
+    }
+
+    #[test]
+    fn generated_benchmarks_hash_stably() {
+        // Same generator, same seed → same hash; different seed → the
+        // noise lands elsewhere and the hash moves.
+        let ideal = qft(4, QftStyle::DecomposedNoSwaps);
+        let dep = NoiseChannel::Depolarizing { p: 0.999 };
+        let a = insert_random_noise(&ideal, &dep, 3, 11);
+        let b = insert_random_noise(&ideal, &dep, 3, 11);
+        let c = insert_random_noise(&ideal, &dep, 3, 12);
+        assert_eq!(pair_hash(&ideal, &a), pair_hash(&ideal, &b));
+        assert_ne!(pair_hash(&ideal, &a), pair_hash(&ideal, &c));
+    }
+}

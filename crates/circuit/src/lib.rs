@@ -18,6 +18,8 @@
 //!   adjoints and ASCII rendering;
 //! * [`generators`] — the benchmark families of the paper's evaluation
 //!   (`bv`, `qft`, `grover`, `qv`, `rb`, `7x1mod15`, random circuits);
+//! * [`hash`] — stable, order-canonicalised content hashing of circuits
+//!   and circuit pairs (the serving layer's session-cache key);
 //! * [`noise_insertion`] — seeded random noise injection used to produce
 //!   the paper's noisy implementations;
 //! * [`qasm`] — an OpenQASM 2 subset reader/writer with a noise directive
@@ -44,6 +46,7 @@ pub mod circuit;
 pub mod error;
 pub mod gate;
 pub mod generators;
+pub mod hash;
 pub mod instruction;
 pub mod noise;
 pub mod noise_insertion;
@@ -55,5 +58,6 @@ pub(crate) mod test_util;
 pub use circuit::Circuit;
 pub use error::CircuitError;
 pub use gate::Gate;
+pub use hash::{content_hash, pair_hash};
 pub use instruction::{Instruction, Operation};
 pub use noise::{KrausSet, NoiseChannel};

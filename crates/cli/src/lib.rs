@@ -12,19 +12,30 @@
 //!   `--epsilons ε,…`) — compile the pair **once** and re-check it at
 //!   every point on the compiled plan, one row per point.
 //!
+//! * `qaec serve` — the long-running batch query layer: line-delimited
+//!   JSON requests on stdin (or `--listen`/`--unix` sockets) answered
+//!   from a content-keyed cache of compiled sessions (see [`serve`] and
+//!   `docs/PROTOCOL.md`).
+//!
 //! `check` and `sweep` accept `--json` for machine-readable output
-//! (flat objects, the same hand-rolled writer as the bench artifacts).
+//! (flat objects, the same hand-rolled writer as the bench artifacts);
+//! `serve` responses embed the *same* objects, so a field documented
+//! once in `docs/PROTOCOL.md` means the same thing everywhere.
 //!
 //! Noisy circuits are OpenQASM 2 files with `// qaec.noise:` directives
 //! (see `qaec_circuit::qasm`).
 
+pub mod serve;
+
 use qaec::{
     check_equivalence, fidelity_alg1, fidelity_alg2, fidelity_monte_carlo, AlgorithmChoice,
-    CheckOptions, Checker, SharedTableMode, TddStats, Verdict,
+    CheckOptions, Checker, EpsilonPoint, EquivalenceReport, SharedTableMode, SweepPoint, TddStats,
+    Verdict,
 };
 use qaec_bench::json;
 use qaec_circuit::{qasm, Circuit};
 use qaec_tensornet::Strategy;
+use serve::ServeArgs;
 use std::time::{Duration, Instant};
 
 /// Parsed command line.
@@ -69,6 +80,12 @@ pub enum Command {
         epsilons: Option<Vec<f64>>,
         /// Shared options.
         options: CliOptions,
+    },
+    /// `qaec serve [--cache-bytes n] [--listen addr | --unix path]`
+    Serve {
+        /// Serving configuration (cache budget, transport, checker
+        /// options).
+        args: ServeArgs,
     },
     /// `qaec help`
     Help,
@@ -122,7 +139,7 @@ impl Default for CliOptions {
 }
 
 impl CliOptions {
-    fn to_check_options(&self) -> CheckOptions {
+    pub(crate) fn to_check_options(&self) -> CheckOptions {
         CheckOptions {
             algorithm: self.algorithm,
             strategy: self.strategy,
@@ -147,6 +164,19 @@ USAGE:
     qaec check <ideal.qasm> <noisy.qasm> --epsilon <ε> [OPTIONS]
     qaec sweep <ideal.qasm> <noisy.qasm> --epsilon <ε> --noise <p,...> [OPTIONS]
     qaec sweep <ideal.qasm> <noisy.qasm> --epsilons <ε,...> [OPTIONS]
+    qaec serve [--cache-bytes <n[k|m|g]>] [--listen <host:port> | --unix <path>] [OPTIONS]
+
+SERVE:
+    Long-running batch query mode: line-delimited JSON requests
+    (op = check | sweep_epsilon | sweep_noise | stats) on stdin — or,
+    with --listen/--unix, per-connection streams — answered from a
+    content-keyed cache of compiled sessions. Repeated pairs hit the
+    cache; --cache-bytes budgets its warm-store footprint (LRU
+    eviction). Wire format: docs/PROTOCOL.md. Serve takes the checker
+    OPTIONS below except --timeout, --samples/--seed and --json
+    (responses are always JSON); --threads also sets how many distinct
+    pairs a stdin batch checks concurrently. A final stats footer goes
+    to stderr.
 
 SWEEP:
     Compiles the pair once (validation, algorithm selection, variable
@@ -214,6 +244,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .next()
                 .ok_or_else(|| "info: missing circuit file".to_string())?;
             Ok(Command::Info { file: file.clone() })
+        }
+        "serve" => {
+            let rest: Vec<String> = it.cloned().collect();
+            let args = serve::parse_serve_args(&rest)?;
+            Ok(Command::Serve { args })
         }
         "fidelity" | "check" | "sweep" => {
             let ideal = it
@@ -395,6 +430,42 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     }
 }
 
+/// The `check --json` object — also the payload grafted into `serve`
+/// check responses, so both frontends emit exactly the fields
+/// `docs/PROTOCOL.md` documents.
+pub(crate) fn check_json(report: &EquivalenceReport) -> json::Object {
+    json::Object::new()
+        .string("verdict", &report.verdict.to_string())
+        .number("fidelity_lower", report.fidelity_bounds.0, 12)
+        .number("fidelity_upper", report.fidelity_bounds.1, 12)
+        .number("epsilon", report.epsilon, 12)
+        .string("algorithm", &report.algorithm.to_string())
+        .int("terms_computed", report.terms_computed as u64)
+        .int("total_terms", report.total_terms as u64)
+        .int("max_nodes", report.max_nodes as u64)
+        .number("wall_ms", report.elapsed.as_secs_f64() * 1e3, 3)
+}
+
+/// One `sweep --noise --json` row (also a `serve` sweep_noise point).
+pub(crate) fn noise_point_json(strength: f64, point: &SweepPoint) -> json::Object {
+    json::Object::new()
+        .number("noise", strength, 6)
+        .number("fidelity", point.fidelity, 12)
+        .string("verdict", &point.verdict.to_string())
+        .int("max_nodes", point.max_nodes as u64)
+        .number("wall_ms", point.elapsed.as_secs_f64() * 1e3, 3)
+}
+
+/// One `sweep --epsilons --json` row (also a `serve` sweep_epsilon
+/// point).
+pub(crate) fn epsilon_point_json(point: &EpsilonPoint) -> json::Object {
+    json::Object::new()
+        .number("epsilon", point.epsilon, 12)
+        .number("fidelity_lower", point.fidelity_bounds.0, 12)
+        .number("fidelity_upper", point.fidelity_bounds.1, 12)
+        .string("verdict", &point.verdict.to_string())
+}
+
 fn write_stats(
     out: &mut impl std::io::Write,
     verbose: bool,
@@ -406,7 +477,7 @@ fn write_stats(
     Ok(())
 }
 
-fn load(path: &str) -> Result<Circuit, String> {
+pub(crate) fn load(path: &str) -> Result<Circuit, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     qasm::parse(&text).map_err(|e| format!("`{path}`: {e}"))
 }
@@ -520,17 +591,7 @@ fn run_inner(command: Command, out: &mut impl std::io::Write) -> Result<i32, Str
             let report =
                 check_equivalence(&ideal, &noisy, epsilon, &opts).map_err(|e| e.to_string())?;
             if options.json {
-                let object = json::Object::new()
-                    .string("verdict", &report.verdict.to_string())
-                    .number("fidelity_lower", report.fidelity_bounds.0, 12)
-                    .number("fidelity_upper", report.fidelity_bounds.1, 12)
-                    .number("epsilon", report.epsilon, 12)
-                    .string("algorithm", &report.algorithm.to_string())
-                    .int("terms_computed", report.terms_computed as u64)
-                    .int("total_terms", report.total_terms as u64)
-                    .int("max_nodes", report.max_nodes as u64)
-                    .number("wall_ms", report.elapsed.as_secs_f64() * 1e3, 3);
-                w(out, object.render())?;
+                w(out, check_json(&report).render())?;
             } else {
                 w(out, format!("{report}"))?;
                 write_stats(out, options.verbose, &report.stats)?;
@@ -569,14 +630,7 @@ fn run_inner(command: Command, out: &mut impl std::io::Write) -> Result<i32, Str
                     let rows: Vec<json::Object> = strengths
                         .iter()
                         .zip(&points)
-                        .map(|(&p, point)| {
-                            json::Object::new()
-                                .number("noise", p, 6)
-                                .number("fidelity", point.fidelity, 12)
-                                .string("verdict", &point.verdict.to_string())
-                                .int("max_nodes", point.max_nodes as u64)
-                                .number("wall_ms", point.elapsed.as_secs_f64() * 1e3, 3)
-                        })
+                        .map(|(&p, point)| noise_point_json(p, point))
                         .collect();
                     w(out, json::array(&rows).trim_end().to_string())?;
                 } else {
@@ -605,16 +659,7 @@ fn run_inner(command: Command, out: &mut impl std::io::Write) -> Result<i32, Str
                     .sweep_epsilon(&thresholds)
                     .map_err(|e| e.to_string())?;
                 if options.json {
-                    let rows: Vec<json::Object> = points
-                        .iter()
-                        .map(|point| {
-                            json::Object::new()
-                                .number("epsilon", point.epsilon, 12)
-                                .number("fidelity_lower", point.fidelity_bounds.0, 12)
-                                .number("fidelity_upper", point.fidelity_bounds.1, 12)
-                                .string("verdict", &point.verdict.to_string())
-                        })
-                        .collect();
+                    let rows: Vec<json::Object> = points.iter().map(epsilon_point_json).collect();
                     w(out, json::array(&rows).trim_end().to_string())?;
                 } else {
                     for point in &points {
@@ -640,6 +685,7 @@ fn run_inner(command: Command, out: &mut impl std::io::Write) -> Result<i32, Str
             }
             Ok(0)
         }
+        Command::Serve { args } => serve::run_serve(&args, out),
     }
 }
 

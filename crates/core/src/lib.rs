@@ -27,6 +27,9 @@
 //!   validation, algorithm selection, network construction and
 //!   contraction planning run once, then ε-queries, ε-sweeps and
 //!   noise sweeps reuse the compiled artifacts and one warm store;
+//! * [`Service`] — the serving layer: a content-keyed, byte-budgeted
+//!   LRU cache of compiled sessions with single-flight compilation,
+//!   answering check/sweep request streams (what `qaec serve` runs);
 //! * [`fidelity_monte_carlo`] — an importance-sampling estimator with
 //!   reported standard errors, for when both exact algorithms are too
 //!   expensive (beyond the paper);
@@ -65,6 +68,7 @@ pub mod miter;
 pub mod optimize;
 pub mod options;
 pub mod report;
+pub mod service;
 pub mod session;
 
 pub use alg1::{fidelity_alg1, Alg1Report};
@@ -78,6 +82,10 @@ pub use options::{
 };
 pub use qaec_tdd::{SharedTddStore, StoreEpoch, TddStats};
 pub use report::{AlgorithmUsed, EquivalenceReport, Verdict};
+pub use service::{
+    CacheOutcome, Service, ServiceConfig, ServiceQuery, ServiceReply, ServiceRequest,
+    ServiceResponse, ServiceStats,
+};
 pub use session::{Checker, CompiledCheck, EpsilonPoint, SweepPoint};
 
 use qaec_circuit::Circuit;

@@ -281,6 +281,24 @@ impl CompiledCheck {
         &self.options
     }
 
+    /// The session's warm shared store, when the configured store mode
+    /// resolved on at compile time — `None` for private-store sessions.
+    pub(crate) fn warm_store(&self) -> Option<&Arc<SharedTddStore>> {
+        self.store.as_ref()
+    }
+
+    /// Bytes of backing storage held by the session's warm store
+    /// ([`SharedTddStore::bytes_used`]) — the footprint a byte-budgeted
+    /// session cache accounts against. 0 for private-store sessions
+    /// (Algorithm I at one worker under [`crate::SharedTableMode::Auto`]),
+    /// whose per-query arenas die with each query.
+    ///
+    /// Monotone over the session's life: the shared arenas are
+    /// append-only, so dropping the whole session is the only reclaim.
+    pub fn warm_store_bytes(&self) -> usize {
+        self.store.as_ref().map_or(0, |store| store.bytes_used())
+    }
+
     /// The compiled noise channels, in site order — the sites
     /// [`CompiledCheck::sweep_noise`] re-instantiates.
     pub fn noise_channels(&self) -> &[NoiseChannel] {

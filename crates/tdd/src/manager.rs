@@ -112,6 +112,12 @@ pub struct TddStats {
     pub gc_runs: u64,
     /// Largest arena size observed (live + dead nodes, excluding terminal).
     pub peak_nodes: usize,
+    /// Bytes of backing storage held by the run's shared store
+    /// ([`crate::SharedTddStore::bytes_used`]) at report time. 0 for
+    /// private-store runs, whose arenas die with the manager; for warm
+    /// sessions this is the footprint the service layer's byte-budgeted
+    /// eviction accounts against.
+    pub store_bytes: u64,
 }
 
 impl TddStats {
@@ -143,6 +149,9 @@ impl TddStats {
         self.seed_hits += other.seed_hits;
         self.gc_runs += other.gc_runs;
         self.peak_nodes = self.peak_nodes.max(other.peak_nodes);
+        // A footprint, not a counter: every worker of a run reports the
+        // same store, so summing would multiply it by the worker count.
+        self.store_bytes = self.store_bytes.max(other.store_bytes);
     }
 }
 
@@ -157,7 +166,7 @@ impl std::fmt::Display for TddStats {
         };
         write!(
             f,
-            "nodes created {} (peak {}), unique hits {} ({} cross-thread), add {} ({:.0}% hit), cont {} ({:.0}% hit), seeded {} (hits {}), gc runs {}",
+            "nodes created {} (peak {}), unique hits {} ({} cross-thread), add {} ({:.0}% hit), cont {} ({:.0}% hit), seeded {} (hits {}), gc runs {}, store {} B",
             self.nodes_created,
             self.peak_nodes,
             self.unique_hits,
@@ -169,6 +178,7 @@ impl std::fmt::Display for TddStats {
             self.seed_imports,
             self.seed_hits,
             self.gc_runs,
+            self.store_bytes,
         )
     }
 }
@@ -873,6 +883,7 @@ mod tests {
             seed_hits: 1,
             gc_runs: 1,
             peak_nodes: 100,
+            store_bytes: 4096,
         };
         let b = TddStats {
             nodes_created: 5,
@@ -886,6 +897,7 @@ mod tests {
             seed_hits: 2,
             gc_runs: 0,
             peak_nodes: 40,
+            store_bytes: 9000,
         };
         a.merge(&b);
         assert_eq!(a.nodes_created, 15);
@@ -899,6 +911,7 @@ mod tests {
         assert_eq!(a.seed_hits, 3);
         assert_eq!(a.gc_runs, 1);
         assert_eq!(a.peak_nodes, 100, "peak takes the max, not the sum");
+        assert_eq!(a.store_bytes, 9000, "footprint takes the max, not the sum");
     }
 
     #[test]

@@ -150,6 +150,20 @@ impl<T> AppendArena<T> {
         index
     }
 
+    /// Bytes of arena backing storage currently allocated: the capacity
+    /// of every lazily-materialised chunk, whether or not its slots are
+    /// filled yet. Chunks are never freed while the arena lives, so this
+    /// is exactly what dropping the arena returns to the allocator
+    /// (excluding per-entry heap owned by `T` itself).
+    fn bytes_allocated(&self) -> usize {
+        self.spine
+            .iter()
+            .enumerate()
+            .filter(|(_, chunk)| chunk.get().is_some())
+            .map(|(level, _)| (1usize << (FIRST_BITS as usize + level)) * std::mem::size_of::<T>())
+            .sum()
+    }
+
     /// Reads the entry at `index`.
     ///
     /// The bounds check keeps handle misuse (e.g. an `Edge` minted by a
@@ -365,6 +379,58 @@ impl SharedTddStore {
         self.weights.iter().map(AppendArena::len).sum()
     }
 
+    /// Bytes of backing storage this store holds: every materialised
+    /// arena chunk (nodes, weights, elimination sets — allocated
+    /// capacity, since chunks never free while the store lives), the
+    /// per-entry heap of the interned elimination sets, and the
+    /// allocated capacity of the find-or-insert tables. Table capacity
+    /// is an estimate (entry size plus one control byte per bucket, the
+    /// std hash-table layout); everything else is exact.
+    ///
+    /// The arenas are append-only, so this number is **monotone** over
+    /// the store's life: dropping the store is the only reclaim, which
+    /// is what the service layer's byte-budgeted session eviction is
+    /// built on.
+    pub fn bytes_used(&self) -> usize {
+        let map_bytes = |capacity: usize, entry: usize| capacity * (entry + 1);
+        let mut bytes = 0usize;
+        for shard in &self.nodes {
+            bytes += shard.bytes_allocated();
+        }
+        for shard in &self.weights {
+            bytes += shard.bytes_allocated();
+        }
+        bytes += self.elim_sets.bytes_allocated();
+        for index in 0..self.elim_sets.len() {
+            bytes += self.elim_sets.get(index).len() * std::mem::size_of::<u32>();
+        }
+        let node_entry = std::mem::size_of::<Node>() + std::mem::size_of::<(NodeId, u32)>();
+        for stripe in &self.node_stripes {
+            let stripe = stripe.lock().expect("node stripe poisoned");
+            bytes += map_bytes(stripe.map.capacity(), node_entry);
+        }
+        let weight_entry = std::mem::size_of::<(i64, i64)>() + std::mem::size_of::<WeightId>();
+        for stripe in &self.weight_stripes {
+            let stripe = stripe.lock().expect("weight stripe poisoned");
+            bytes += map_bytes(stripe.capacity(), weight_entry);
+        }
+        let huge = self.huge_weights.lock().expect("huge weights poisoned");
+        bytes += map_bytes(
+            huge.capacity(),
+            std::mem::size_of::<(u64, u64)>() + std::mem::size_of::<WeightId>(),
+        );
+        let elim = self.elim_ids.lock().expect("elim set map poisoned");
+        bytes += map_bytes(
+            elim.capacity(),
+            std::mem::size_of::<Vec<u32>>() + std::mem::size_of::<u32>(),
+        );
+        bytes += elim
+            .keys()
+            .map(|levels| levels.len() * std::mem::size_of::<u32>())
+            .sum::<usize>();
+        bytes
+    }
+
     /// Store-level statistics: total nodes created across *all* attached
     /// managers, unique-table hits, and how many of those hits resolved
     /// to a node created by a different worker. Merge this **once** into
@@ -385,6 +451,7 @@ impl SharedTddStore {
             unique_hits: hits,
             cross_unique_hits: cross,
             peak_nodes: self.arena_len(),
+            store_bytes: self.bytes_used() as u64,
             ..TddStats::default()
         }
     }
@@ -709,6 +776,34 @@ mod tests {
         // The footprint (peak) stays the cumulative arena size.
         assert_eq!(run2.peak_nodes, 2);
         assert_eq!(store.stats().nodes_created, 2, "totals unaffected");
+    }
+
+    #[test]
+    fn bytes_used_is_monotone_and_tracks_growth() {
+        let store = SharedTddStore::new();
+        let baseline = store.bytes_used();
+        // A fresh store already holds the sentinel chunks (node shard 0,
+        // weight shard 0) — the floor a budget has to stay above.
+        assert!(baseline > 0);
+
+        let mut previous = baseline;
+        for batch in 0..4 {
+            for k in 0..2000 {
+                store.intern_weight(C64::new((batch * 2000 + k) as f64 * 0.25, 1.0));
+            }
+            let now = store.bytes_used();
+            assert!(now >= previous, "append-only storage never shrinks");
+            previous = now;
+        }
+        assert!(previous > baseline, "8000 interns must allocate chunks");
+
+        // Elimination sets count both arena slots and per-entry heap.
+        let before_elim = store.bytes_used();
+        store.intern_elim_set((0..512).collect());
+        assert!(store.bytes_used() > before_elim);
+
+        // And the footprint is what stats() reports.
+        assert_eq!(store.stats().store_bytes, store.bytes_used() as u64);
     }
 
     #[test]
