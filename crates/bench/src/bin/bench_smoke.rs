@@ -17,7 +17,7 @@
 //! beats exact mode, algorithms agree on fidelity) are asserted inside
 //! the suite itself, so a semantics regression panics the process.
 
-use qaec_bench::{read_records, regressions, run_smoke_suite, write_records};
+use qaec_bench::{detected_cores, read_records, regressions, run_smoke_suite, write_artifact};
 use std::time::Duration;
 
 struct SmokeArgs {
@@ -57,9 +57,13 @@ fn parse_smoke_args() -> SmokeArgs {
 
 fn main() {
     let args = parse_smoke_args();
+    let cores = detected_cores();
     let records = run_smoke_suite(args.timeout);
 
-    println!("# bench-smoke — {} scenarios\n", records.len());
+    println!(
+        "# bench-smoke — {} scenarios, {cores} visible core(s)\n",
+        records.len()
+    );
     println!(
         "{:<26} {:>10} {:>12} {:>9} {:>14}",
         "scenario", "wall (ms)", "terms/s", "nodes", "fidelity"
@@ -71,11 +75,16 @@ fn main() {
         );
     }
 
-    if let Err(e) = write_records(&args.out, &records) {
+    // The artifact records the host core count alongside the rows, so
+    // a gate reading (speedups only arm at ≥4 cores) can always be
+    // interpreted against the machine that produced it. The reader
+    // accepts the legacy bare-array shape too, so old baselines keep
+    // gating.
+    if let Err(e) = write_artifact(&args.out, cores, &records) {
         eprintln!("error: {e}");
         std::process::exit(2);
     }
-    println!("\nwrote {}", args.out);
+    println!("\nwrote {} (host_cores: {cores})", args.out);
 
     if let Some(baseline_path) = &args.baseline {
         let baseline = match read_records(baseline_path) {

@@ -190,6 +190,19 @@ pub fn run_alg2_with(
     threads: usize,
     shared_table: SharedTableMode,
 ) -> Outcome {
+    run_alg2_with_stats(ideal, noisy, timeout, threads, shared_table).0
+}
+
+/// [`run_alg2_with`], also returning the run's decision-diagram
+/// statistics — shared-store rows report their `store_bytes` footprint
+/// from here (zeroed statistics on TO/MO).
+pub fn run_alg2_with_stats(
+    ideal: &Circuit,
+    noisy: &Circuit,
+    timeout: Duration,
+    threads: usize,
+    shared_table: SharedTableMode,
+) -> (Outcome, qaec::TddStats) {
     let opts = CheckOptions {
         deadline: Some(Instant::now() + timeout),
         threads,
@@ -198,13 +211,16 @@ pub fn run_alg2_with(
     };
     let start = Instant::now();
     match fidelity_alg2(ideal, noisy, &opts) {
-        Ok(report) => Outcome::Done {
-            fidelity: report.fidelity,
-            time: start.elapsed(),
-            nodes: report.max_nodes,
-            terms: 1,
-        },
-        Err(QaecError::Timeout) => Outcome::TimedOut,
+        Ok(report) => (
+            Outcome::Done {
+                fidelity: report.fidelity,
+                time: start.elapsed(),
+                nodes: report.max_nodes,
+                terms: 1,
+            },
+            report.stats,
+        ),
+        Err(QaecError::Timeout) => (Outcome::TimedOut, qaec::TddStats::default()),
         Err(e) => panic!("unexpected error: {e}"),
     }
 }
@@ -279,6 +295,14 @@ pub fn run_alg1_epsilon(
 /// returns the best (minimum-time) successful outcome, or the first
 /// non-success. Timing noise on sub-millisecond cells otherwise dominates
 /// ratio plots like Fig. 7 / Table II.
+/// The host's visible core count (`available_parallelism`, 1 when
+/// unknown). Printed into the bench artifact so a gate reading can be
+/// interpreted against the machine that produced it — the speedup
+/// gates below only arm when at least 4 cores are visible.
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 pub fn measure_best(max_repeats: usize, mut f: impl FnMut() -> Outcome) -> Outcome {
     let mut best: Option<Outcome> = None;
     let mut spent = Duration::ZERO;
@@ -473,9 +497,10 @@ pub struct RunRecord {
     /// The computed fidelity (or lower bound, for early-stopped runs).
     pub fidelity: f64,
     /// Warm-store bytes held when the run finished
-    /// (`SharedTddStore::bytes_used`, via the serving scenarios'
-    /// session cache; 0 where the notion does not apply). Absent in
-    /// older artifacts — parsed tolerantly as 0.
+    /// (`SharedTddStore::bytes_used` — the serving scenarios report
+    /// their session cache's total, shared-store scenarios their run's
+    /// store; 0 where the notion does not apply, e.g. private-store
+    /// rows). Absent in older artifacts — parsed tolerantly as 0.
     pub store_bytes: u64,
 }
 
@@ -586,7 +611,42 @@ pub fn records_from_json(text: &str) -> Result<Vec<RunRecord>, String> {
     Ok(records)
 }
 
-/// Writes records to `path` as JSON.
+/// Serialises a full bench artifact: the detected host core count (the
+/// hardware context the speedup gates were measured in) as an envelope
+/// around the per-run rows.
+pub fn artifact_to_json(host_cores: usize, records: &[RunRecord]) -> String {
+    let rows = records_to_json(records);
+    format!(
+        "{{\"host_cores\": {host_cores}, \"rows\": {}}}\n",
+        rows.trim_end()
+    )
+}
+
+/// Parses either artifact shape: the enveloped `{"host_cores": …,
+/// "rows": […]}` written by `bench_smoke`, or the legacy bare array
+/// (returned with `None` for the core count) that older baselines and
+/// the table/figure harnesses' `--json` output still use.
+///
+/// # Errors
+///
+/// A human-readable message on malformed input.
+pub fn artifact_from_json(text: &str) -> Result<(Option<usize>, Vec<RunRecord>), String> {
+    let trimmed = text.trim_start();
+    if !trimmed.starts_with('{') {
+        return Ok((None, records_from_json(text)?));
+    }
+    let (head, rows) = trimmed
+        .split_once("\"rows\":")
+        .ok_or_else(|| "artifact object has no `rows` array".to_string())?;
+    let cores = head.split_once("\"host_cores\":").and_then(|(_, rest)| {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].trim().parse::<usize>().ok()
+    });
+    Ok((cores, records_from_json(rows)?))
+}
+
+/// Writes records to `path` as a bare JSON array (the legacy artifact
+/// shape the table/figure harnesses emit).
 ///
 /// # Errors
 ///
@@ -595,14 +655,26 @@ pub fn write_records(path: &str, records: &[RunRecord]) -> Result<(), String> {
     std::fs::write(path, records_to_json(records)).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
-/// Reads records written by [`write_records`].
+/// Writes the enveloped artifact (host core count + rows) to `path` —
+/// what `bench_smoke` emits for `BENCH_PR.json` / `BENCH_BASELINE.json`.
+///
+/// # Errors
+///
+/// Propagates the I/O error message.
+pub fn write_artifact(path: &str, host_cores: usize, records: &[RunRecord]) -> Result<(), String> {
+    std::fs::write(path, artifact_to_json(host_cores, records))
+        .map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Reads the rows of an artifact written by [`write_records`] or
+/// [`write_artifact`] (both shapes accepted).
 ///
 /// # Errors
 ///
 /// Propagates I/O and parse error messages.
 pub fn read_records(path: &str) -> Result<Vec<RunRecord>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    records_from_json(&text)
+    artifact_from_json(&text).map(|(_, rows)| rows)
 }
 
 /// The reduced "smoke" preset behind the `bench-smoke` CI job: a set of
@@ -624,11 +696,11 @@ pub fn read_records(path: &str) -> Result<Vec<RunRecord>, String> {
 /// that's exactly the failure signal.
 pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
     let mut records = Vec::new();
-    let mut push = |name: &str, outcome: &Outcome| {
+    fn push(records: &mut Vec<RunRecord>, name: &str, outcome: &Outcome) {
         let record = RunRecord::from_outcome(name, outcome)
             .unwrap_or_else(|| panic!("smoke scenario `{name}` did not finish: {outcome:?}"));
         records.push(record);
-    };
+    }
 
     // Fig. 7 QFT workload: qft3 with 4 depolarizing sites (256 terms).
     let qft3 = qft(3, QftStyle::DecomposedNoSwaps);
@@ -639,7 +711,7 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
         NOISE_SEED + 4,
     );
     let exact = measure_best(2, || run_alg1(&qft3, &qft3_noisy, timeout));
-    push("qft3_k4_alg1_exact", &exact);
+    push(&mut records, "qft3_k4_alg1_exact", &exact);
 
     // The same workload through the ε-aware engine, sequential and on 4
     // work-stealing threads: verdicts must agree and early exit must
@@ -652,14 +724,14 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
         verdict_seq = verdict;
         outcome
     });
-    push("qft3_k4_alg1_eps1e-4_seq", &eps_seq);
+    push(&mut records, "qft3_k4_alg1_eps1e-4_seq", &eps_seq);
     let mut verdict_par = None;
     let eps_par = measure_best(3, || {
         let (outcome, verdict) = run_alg1_epsilon(&qft3, &qft3_noisy, 1e-4, 4, timeout);
         verdict_par = verdict;
         outcome
     });
-    push("qft3_k4_alg1_eps1e-4_t4", &eps_par);
+    push(&mut records, "qft3_k4_alg1_eps1e-4_t4", &eps_par);
     assert_eq!(
         verdict_seq, verdict_par,
         "parallel ε verdict diverged from sequential"
@@ -707,9 +779,9 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
             Err(e) => panic!("unexpected error: {e}"),
         }
     });
-    push("qft4_k3_alg1_exact_t4", &par_exact);
+    push(&mut records, "qft4_k3_alg1_exact_t4", &par_exact);
     let alg2 = measure_best(2, || run_alg2(&qft4, &qft4_noisy, timeout));
-    push("qft4_k3_alg2", &alg2);
+    push(&mut records, "qft4_k3_alg2", &alg2);
     if let (Some(f1), Some(f2)) = (par_exact.fidelity(), alg2.fidelity()) {
         assert!((f1 - f2).abs() < 1e-6, "alg1-parallel {f1} vs alg2 {f2}");
     }
@@ -743,9 +815,10 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
         (outcome, stats)
     };
     let (shared_outcome, shared_stats) = run_qft4_backend(SharedTableMode::On);
-    push("qft4_k3_alg1_t4_shared", &shared_outcome);
+    push(&mut records, "qft4_k3_alg1_t4_shared", &shared_outcome);
+    records.last_mut().expect("just pushed").store_bytes = shared_stats.store_bytes;
     let (private_outcome, private_stats) = run_qft4_backend(SharedTableMode::Off);
-    push("qft4_k3_alg1_t4_private", &private_outcome);
+    push(&mut records, "qft4_k3_alg1_t4_private", &private_outcome);
     println!(
         "shared-store payoff (qft4_k3, 4 workers): nodes created {} vs {} private \
          ({} cross-thread unique hits)",
@@ -772,7 +845,7 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
         NOISE_SEED ^ "grover".len() as u64,
     );
     let grover_alg2 = measure_best(2, || run_alg2(&grover, &grover_noisy, timeout));
-    push("grover_k4_alg2", &grover_alg2);
+    push(&mut records, "grover_k4_alg2", &grover_alg2);
 
     let qft5 = qft(5, QftStyle::DecomposedNoSwaps);
     let qft5_noisy = insert_random_noise(
@@ -782,7 +855,7 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
         NOISE_SEED ^ "qft5".len() as u64,
     );
     let qft5_alg1 = measure_best(2, || run_alg1(&qft5, &qft5_noisy, timeout));
-    push("qft5_k3_alg1_exact", &qft5_alg1);
+    push(&mut records, "qft5_k3_alg1_exact", &qft5_alg1);
 
     // Compile-once session sweep (the paper's Table-I-shaped workload):
     // the qft5 row re-checked at 8 noise strengths through ONE
@@ -791,9 +864,11 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
     // compiled plan over one warm shared store — against 8 cold
     // `check_equivalence` calls on the same re-parameterised pairs.
     // Gated: the sweep must build exactly one contraction plan (the
-    // cold path builds 8) and finish ≥2× faster, with every per-point
-    // fidelity and verdict bit-identical to the cold path, at 1 and 4
-    // threads.
+    // cold path builds 8) and finish ≥2× faster (re-confirmed on the
+    // 4-vCPU ubuntu-latest runner; the default options now route this
+    // sweep through the width-8 lane engine, which widens the measured
+    // margin further), with every per-point fidelity and verdict
+    // bit-identical to the cold path, at 1 and 4 threads.
     let sweep_eps = 1e-3;
     let sweep_strengths = [0.999, 0.998, 0.997, 0.996, 0.995, 0.99, 0.98, 0.97];
     let qft5_seed = NOISE_SEED ^ "qft5".len() as u64;
@@ -894,6 +969,7 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
     let sweep_max_nodes = sweep_points.iter().map(|p| p.max_nodes).max().unwrap_or(0);
     let last_fidelity = sweep_points.last().map_or(0.0, |p| p.fidelity);
     push(
+        &mut records,
         "qft5_k3_sweep8_session",
         &Outcome::Done {
             fidelity: last_fidelity,
@@ -903,11 +979,106 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
         },
     );
     push(
+        &mut records,
         "qft5_k3_sweep8_cold",
         &Outcome::Done {
             fidelity: cold_reports.last().map_or(0.0, |r| r.fidelity_bounds.0),
             time: cold_time,
             nodes: cold_reports.iter().map(|r| r.max_nodes).max().unwrap_or(0),
+            terms: sweep_strengths.len(),
+        },
+    );
+
+    // Vectorised lane sweep (the multi-lane weight engine end to end):
+    // the same compiled qft5 sweep with its 8 points batched into ONE
+    // width-8 lane contraction, against the same session forced onto the
+    // scalar per-point replay (`sweep_lanes: 1`). The per-point results
+    // must be bit-identical — the lane engine's whole contract — and
+    // every point of the batch must carry the batch's shared
+    // single-traversal statistics, so a silent scalar fallback (a lane
+    // divergence on this preset) fails the job instead of just running
+    // slower.
+    let lane_opts = |lanes: usize| CheckOptions {
+        algorithm: AlgorithmChoice::AlgorithmII,
+        deadline: Some(Instant::now() + timeout),
+        threads: 1,
+        sweep_lanes: lanes,
+        ..CheckOptions::default()
+    };
+    let run_lane_sweep = |lanes: usize| -> (Duration, Vec<SweepPoint>) {
+        let compiled = Checker::new(&qft5, &qft5_noisy)
+            .options(lane_opts(lanes))
+            .compile()
+            .expect("qft5 lane session compiles");
+        let start = Instant::now();
+        let points = compiled
+            .sweep_noise(sweep_eps, &sweep_strengths)
+            .expect("qft5 lane sweep");
+        (start.elapsed(), points)
+    };
+    // Best-of-3 per side: the gate below compares their ratio.
+    let (mut lane_time, lane_points) = run_lane_sweep(8);
+    for _ in 0..2 {
+        lane_time = lane_time.min(run_lane_sweep(8).0);
+    }
+    let (mut replay_time, replay_points) = run_lane_sweep(1);
+    for _ in 0..2 {
+        replay_time = replay_time.min(run_lane_sweep(1).0);
+    }
+    for (k, (lane, replay)) in lane_points.iter().zip(&replay_points).enumerate() {
+        assert_eq!(
+            lane.fidelity.to_bits(),
+            replay.fidelity.to_bits(),
+            "lane point {k}: fidelity must be bit-identical to the scalar replay"
+        );
+        assert_eq!(lane.verdict, replay.verdict, "lane point {k}: verdict");
+    }
+    let head = &lane_points[0];
+    for (k, point) in lane_points.iter().enumerate() {
+        assert_eq!(
+            point.stats, head.stats,
+            "lane point {k} must report the width-8 batch's single traversal"
+        );
+    }
+    assert!(head.stats.cont_calls > 0, "the lane batch did real work");
+    let lane_speedup = replay_time.as_secs_f64() / lane_time.as_secs_f64();
+    println!(
+        "lane sweep (qft5_k3 ×{} points, width 8): {:.1}ms vs {:.1}ms scalar replay — \
+         {lane_speedup:.2}x",
+        sweep_strengths.len(),
+        lane_time.as_secs_f64() * 1e3,
+        replay_time.as_secs_f64() * 1e3,
+    );
+    // ≥1.5× from 4-vCPU runner measurements (~2× there — one traversal
+    // amortises eight passes of hashing and cache probing). Both sides
+    // are single-threaded, but 1-core containers time-share the harness
+    // itself, so the gate only arms where CI actually runs it.
+    let cores = detected_cores();
+    if cores >= 4 {
+        assert!(
+            lane_speedup >= 1.5,
+            "the lane engine must beat per-point replay ≥1.5x: {lane_speedup:.2}x"
+        );
+    } else {
+        println!("lane-sweep speedup gate skipped: only {cores} core(s) visible");
+    }
+    push(
+        &mut records,
+        "qft5_k3_sweep8_lanes8",
+        &Outcome::Done {
+            fidelity: lane_points.last().map_or(0.0, |p| p.fidelity),
+            time: lane_time,
+            nodes: lane_points.iter().map(|p| p.max_nodes).max().unwrap_or(0),
+            terms: sweep_strengths.len(),
+        },
+    );
+    push(
+        &mut records,
+        "qft5_k3_sweep8_replay1",
+        &Outcome::Done {
+            fidelity: replay_points.last().map_or(0.0, |p| p.fidelity),
+            time: replay_time,
+            nodes: replay_points.iter().map(|p| p.max_nodes).max().unwrap_or(0),
             terms: sweep_strengths.len(),
         },
     );
@@ -921,7 +1092,7 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
         NOISE_SEED + 6,
     );
     let bv5_alg2 = measure_best(2, || run_alg2(&bv5, &bv5_noisy, timeout));
-    push("bv5_k6_alg2", &bv5_alg2);
+    push(&mut records, "bv5_k6_alg2", &bv5_alg2);
 
     // Plan-level parallel Algorithm II on a simultaneous (tiled)
     // workload: four disjoint 6-qubit QV blocks, whose doubled network
@@ -940,18 +1111,28 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
     // Best-of-5 on the two speedup cells: the ≥1.3× gate below compares
     // their ratio, and ~400ms cells on shared CI runners need the extra
     // repeats to shake scheduler noise out of the minimum.
+    let mut alg2_t1_stats = qaec::TddStats::default();
     let alg2_t1 = measure_best(5, || {
-        run_alg2_with(&sim, &sim_noisy, timeout, 1, SharedTableMode::On)
+        let (outcome, stats) =
+            run_alg2_with_stats(&sim, &sim_noisy, timeout, 1, SharedTableMode::On);
+        alg2_t1_stats = stats;
+        outcome
     });
-    push("qv6x4_k8_alg2_t1_shared", &alg2_t1);
+    push(&mut records, "qv6x4_k8_alg2_t1_shared", &alg2_t1);
+    records.last_mut().expect("just pushed").store_bytes = alg2_t1_stats.store_bytes;
+    let mut alg2_t4_stats = qaec::TddStats::default();
     let alg2_t4 = measure_best(5, || {
-        run_alg2_with(&sim, &sim_noisy, timeout, 4, SharedTableMode::On)
+        let (outcome, stats) =
+            run_alg2_with_stats(&sim, &sim_noisy, timeout, 4, SharedTableMode::On);
+        alg2_t4_stats = stats;
+        outcome
     });
-    push("qv6x4_k8_alg2_t4_shared", &alg2_t4);
+    push(&mut records, "qv6x4_k8_alg2_t4_shared", &alg2_t4);
+    records.last_mut().expect("just pushed").store_bytes = alg2_t4_stats.store_bytes;
     let alg2_private = measure_best(3, || {
         run_alg2_with(&sim, &sim_noisy, timeout, 1, SharedTableMode::Off)
     });
-    push("qv6x4_k8_alg2_private", &alg2_private);
+    push(&mut records, "qv6x4_k8_alg2_private", &alg2_private);
     if let (
         Outcome::Done {
             fidelity: f1,
@@ -976,10 +1157,14 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
         // The wall-time payoff is only measurable with real cores under
         // the pool; single-core runners (and CI under heavy contention)
         // time-share the workers and cannot show a speedup.
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let cores = detected_cores();
         if cores >= 4 {
             let speedup = t1.as_secs_f64() / t4.as_secs_f64();
             println!("parallel-alg2 speedup (qv6x4_k8, 4 workers, {cores} cores): {speedup:.2}x");
+            // ≥1.3× re-confirmed on the 4-vCPU ubuntu-latest runner
+            // (measured ~1.6–1.9× there; the margin absorbs noisy
+            // neighbours without letting a real scheduling regression
+            // through).
             assert!(
                 speedup >= 1.3,
                 "plan-level parallelism must pay off on the tiled workload: {speedup:.2}x < 1.3x"
@@ -1127,6 +1312,19 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
     .expect("service record");
     service_record.store_bytes = service_stats.store_bytes;
     records.push(service_record);
+
+    // Every shared-store row must account its real warm-store footprint
+    // — `store_bytes` silently reading 0 on non-service rows was
+    // exactly the reporting bug this gate pins down.
+    for record in &records {
+        if record.name.ends_with("_shared") {
+            assert!(
+                record.store_bytes > 0,
+                "shared-store row `{}` must report its store footprint",
+                record.name
+            );
+        }
+    }
 
     records
 }
@@ -1325,6 +1523,31 @@ mod tests {
             run_baseline(&case.ideal, &noisy, zero),
             Outcome::TimedOut
         ));
+    }
+
+    #[test]
+    fn artifact_envelope_round_trips_and_reads_legacy_arrays() {
+        let records = vec![RunRecord {
+            name: "qft5_k3_sweep8_lanes8".into(),
+            wall_ms: 3.25,
+            terms_per_sec: 2461.5,
+            max_nodes: 310,
+            fidelity: 0.991234567890,
+            store_bytes: 0,
+        }];
+        let text = artifact_to_json(4, &records);
+        assert!(
+            text.starts_with("{\"host_cores\": 4, \"rows\": ["),
+            "{text}"
+        );
+        let (cores, rows) = artifact_from_json(&text).expect("envelope parses");
+        assert_eq!(cores, Some(4));
+        assert_eq!(rows, records);
+        // Legacy bare arrays still parse, with no recorded core count.
+        let legacy = records_to_json(&records);
+        let (cores, rows) = artifact_from_json(&legacy).expect("legacy parses");
+        assert_eq!(cores, None);
+        assert_eq!(rows, records);
     }
 
     #[test]

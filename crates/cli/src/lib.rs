@@ -108,6 +108,8 @@ pub struct CliOptions {
     pub threads: usize,
     /// Shared concurrent TDD store across workers (`--shared-table`).
     pub shared_table: SharedTableMode,
+    /// Maximum lane width for vectorised noise sweeps (`--lanes`).
+    pub sweep_lanes: usize,
     /// Cross-term computed-table seeding between workers
     /// (`--seed-cache on|off`; on by default, a no-op off the shared
     /// store).
@@ -130,6 +132,7 @@ impl Default for CliOptions {
             timeout: None,
             threads: qaec::default_threads(),
             shared_table: qaec::default_shared_table(),
+            sweep_lanes: qaec::default_sweep_lanes(),
             seed_cache: true,
             optimize: false,
             verbose: false,
@@ -145,6 +148,7 @@ impl CliOptions {
             strategy: self.strategy,
             threads: self.threads,
             shared_table: self.shared_table,
+            sweep_lanes: self.sweep_lanes,
             seed_cont_cache: self.seed_cache,
             local_optimization: self.optimize,
             swap_elimination: self.optimize,
@@ -208,6 +212,14 @@ OPTIONS:
                                are bit-reproducible for every thread
                                count; off restores the fastest private
                                sequential Algorithm II driver
+    --lanes <n>                sweep: maximum lane width for the
+                               vectorised Algorithm II noise sweep —
+                               points are batched and contracted in
+                               multi-lane passes (rounded down to 1, 2,
+                               4 or 8; 1 forces the scalar per-point
+                               path; results are bit-identical either
+                               way; default: QAEC_SWEEP_LANES env var,
+                               else 8)
     --seed-cache <on|off>      seed each worker's contraction cache from
                                the heaviest completed term (shared-table
                                runs only; default on — profiled value-
@@ -346,6 +358,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         options.threads = value(&mut k)?
                             .parse::<usize>()
                             .map_err(|_| "bad --threads value".to_string())?;
+                    }
+                    "--lanes" => {
+                        options.sweep_lanes = value(&mut k)?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| "bad --lanes value".to_string())?;
                     }
                     "--shared-table" => {
                         options.shared_table = match value(&mut k)? {

@@ -131,6 +131,13 @@ pub fn parse_serve_args(rest: &[String]) -> Result<ServeArgs, String> {
                     .parse::<usize>()
                     .map_err(|_| "bad --threads value".to_string())?;
             }
+            "--lanes" => {
+                args.options.sweep_lanes = value(&mut k)?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "bad --lanes value".to_string())?;
+            }
             "--shared-table" => {
                 args.options.shared_table = match value(&mut k)? {
                     "on" => SharedTableMode::On,

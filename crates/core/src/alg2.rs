@@ -26,8 +26,8 @@ use crate::options::{CheckOptions, SharedTableMode};
 use crate::validate;
 use qaec_circuit::{Circuit, NoiseChannel};
 use qaec_tdd::{
-    contract_network_opts, contract_network_parallel, DriverOptions, ParallelOptions,
-    SharedTddStore, TddManager, TddStats,
+    contract_network_lanes, contract_network_opts, contract_network_parallel, DriverOptions,
+    LaneError, ParallelOptions, SharedTddStore, TddManager, TddStats,
 };
 use qaec_tensornet::plan::PlanCost;
 use qaec_tensornet::ContractionPlan;
@@ -80,6 +80,22 @@ pub(crate) fn fidelity_alg2_prevalidated(
     let mut report = artifacts.run(options, None)?;
     report.elapsed = start.elapsed();
     Ok(report)
+}
+
+/// Outcome of one multi-lane Algorithm II batch
+/// ([`Alg2Artifacts::run_channels_lanes`]): one fidelity per lane, plus
+/// the single traversal's shared evidence.
+#[derive(Clone, Debug)]
+pub(crate) struct Alg2LaneReport {
+    /// Per-lane Jamiolkowski fidelities, bit-identical to the scalar
+    /// per-point replay.
+    pub(crate) fidelities: Vec<f64>,
+    /// Largest intermediate *lane-diagram* node count for the batch.
+    pub(crate) max_nodes: usize,
+    /// Wall-clock time of the whole batch (instantiation + contraction).
+    pub(crate) elapsed: Duration,
+    /// Lane-engine statistics of the batch's single traversal.
+    pub(crate) stats: TddStats,
 }
 
 /// The compiled, reusable part of an Algorithm II check: the doubled
@@ -165,6 +181,78 @@ impl Alg2Artifacts {
             "re-instantiation must preserve the index structure"
         );
         self.run_network(&built, options, warm_store)
+    }
+
+    /// One multi-lane contraction of `L` noise-sweep points at once: the
+    /// template is re-instantiated per lane (same element structure, so
+    /// the compiled plan and order apply to every lane), and all `L`
+    /// networks are contracted in a single traversal by the lane engine
+    /// ([`qaec_tdd::lanes`]).
+    ///
+    /// Returns `Ok(None)` on lane divergence — the engine could not keep
+    /// every lane bit-identical to its scalar run, and the caller must
+    /// replay the batch per point on [`Alg2Artifacts::run_channels`]. On
+    /// success each lane's fidelity is bit-identical to the per-point
+    /// replay; `max_nodes` counts *lane-diagram* nodes (one shared
+    /// skeleton, not comparable to scalar `max_nodes`), and the
+    /// statistics cover the whole batch's single traversal.
+    ///
+    /// The lane snap replicates `store`'s canonical interning, so the
+    /// session's warm-store tolerance is the one the lanes must match;
+    /// the store's arenas themselves are untouched (the lane manager is
+    /// private to the batch).
+    pub(crate) fn run_channels_lanes<const L: usize>(
+        &self,
+        points: &[Vec<NoiseChannel>],
+        options: &CheckOptions,
+        store: &Arc<SharedTddStore>,
+    ) -> Result<Option<Alg2LaneReport>, QaecError> {
+        debug_assert_eq!(points.len(), L);
+        let start = Instant::now();
+        let networks: Vec<_> = points
+            .iter()
+            .map(|channels| {
+                let elements = self.template.instantiate(channels);
+                let built = build_trace_network(
+                    &elements,
+                    self.template.width,
+                    &self.final_map,
+                    options.var_order,
+                );
+                debug_assert!(
+                    built.order == self.built.order,
+                    "re-instantiation must preserve the index structure"
+                );
+                built.network
+            })
+            .collect();
+        match contract_network_lanes::<L>(
+            store.tolerance(),
+            &networks,
+            &self.plan,
+            &self.built.order,
+            options.deadline,
+        ) {
+            Ok(outcome) => {
+                let fidelities = outcome
+                    .scalars
+                    .iter()
+                    .map(|trace| {
+                        (trace.re / (self.d * self.d))
+                            .clamp(0.0, 1.0 + 1e-9)
+                            .min(1.0)
+                    })
+                    .collect();
+                Ok(Some(Alg2LaneReport {
+                    fidelities,
+                    max_nodes: outcome.max_nodes,
+                    elapsed: start.elapsed(),
+                    stats: outcome.stats,
+                }))
+            }
+            Err(LaneError::Divergence(_)) => Ok(None),
+            Err(LaneError::Timeout) => Err(QaecError::Timeout),
+        }
     }
 
     fn run_network(

@@ -148,6 +148,17 @@ pub struct CheckOptions {
     /// [`qaec_tdd::TddStats::seed_imports`] / `seed_hits` report the
     /// traffic and its payoff.
     pub seed_cont_cache: bool,
+    /// Maximum lane width for vectorised noise sweeps
+    /// ([`crate::CompiledCheck::sweep_noise`]): Algorithm II sweep points
+    /// are batched into groups of up to this many and contracted in a
+    /// single multi-lane traversal ([`qaec_tdd::lanes`]), ⌈N/LANES⌉
+    /// passes instead of N. Clamped to the monomorphised widths
+    /// {1, 2, 4, 8}; `1` forces the scalar per-point reference path.
+    /// Results are bit-identical either way — lanes that cannot stay
+    /// bit-identical fall back to the scalar path automatically.
+    /// Default: 8, overridable via the `QAEC_SWEEP_LANES` environment
+    /// variable.
+    pub sweep_lanes: usize,
 }
 
 /// The default worker-thread count: the `QAEC_THREADS` environment
@@ -180,6 +191,34 @@ pub fn default_shared_table() -> SharedTableMode {
     }
 }
 
+/// The default noise-sweep lane width: the `QAEC_SWEEP_LANES`
+/// environment variable when set to a positive integer (rounded down to
+/// the nearest monomorphised width in {1, 2, 4, 8}), else 8.
+///
+/// This is what [`CheckOptions::default`] uses, so exporting
+/// `QAEC_SWEEP_LANES=1` forces every default-configured sweep through
+/// the scalar per-point reference path — CI's `sweep-lane-parity` job
+/// uses exactly that to prove the lane path bit-identical.
+pub fn default_sweep_lanes() -> usize {
+    std::env::var("QAEC_SWEEP_LANES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .map(clamp_lane_width)
+        .unwrap_or(8)
+}
+
+/// Rounds a requested lane width down to the nearest monomorphised
+/// width: {1, 2, 4, 8}.
+pub(crate) fn clamp_lane_width(n: usize) -> usize {
+    match n {
+        0..=1 => 1,
+        2..=3 => 2,
+        4..=7 => 4,
+        _ => 8,
+    }
+}
+
 impl Default for CheckOptions {
     fn default() -> Self {
         CheckOptions {
@@ -196,6 +235,7 @@ impl Default for CheckOptions {
             max_terms: None,
             shared_table: default_shared_table(),
             seed_cont_cache: true,
+            sweep_lanes: default_sweep_lanes(),
         }
     }
 }
@@ -241,5 +281,26 @@ mod tests {
         // Cache seeding defaults on (shared-store runs only; a no-op —
         // and value-transparent — everywhere else).
         assert!(CheckOptions::default().seed_cont_cache);
+    }
+
+    #[test]
+    fn lane_widths_clamp_to_monomorphised_set() {
+        assert_eq!(clamp_lane_width(0), 1);
+        assert_eq!(clamp_lane_width(1), 1);
+        assert_eq!(clamp_lane_width(2), 2);
+        assert_eq!(clamp_lane_width(3), 2);
+        assert_eq!(clamp_lane_width(4), 4);
+        assert_eq!(clamp_lane_width(7), 4);
+        assert_eq!(clamp_lane_width(8), 8);
+        assert_eq!(clamp_lane_width(64), 8);
+        // Unless the env override is active, the default is the widest
+        // lane; the CI parity job forces 1 to pin the scalar path.
+        let expected = std::env::var("QAEC_SWEEP_LANES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .map(clamp_lane_width)
+            .unwrap_or(8);
+        assert_eq!(CheckOptions::default().sweep_lanes, expected);
     }
 }

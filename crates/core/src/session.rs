@@ -68,7 +68,7 @@ use crate::alg1::Alg1Artifacts;
 use crate::alg2::Alg2Artifacts;
 use crate::checker::auto_choice;
 use crate::error::QaecError;
-use crate::options::{AlgorithmChoice, CheckOptions};
+use crate::options::{clamp_lane_width, AlgorithmChoice, CheckOptions};
 use crate::report::{AlgorithmUsed, EquivalenceReport, Verdict};
 use crate::{validate, validate_epsilon};
 use qaec_circuit::{Circuit, NoiseChannel};
@@ -197,14 +197,19 @@ pub struct SweepPoint {
     pub fidelity: f64,
     /// The ε-decision at this point.
     pub verdict: Verdict,
-    /// Largest intermediate diagram, in nodes.
+    /// Largest intermediate diagram, in nodes. For a lane-batched
+    /// Algorithm II point this counts the batch's shared *lane-diagram*
+    /// skeleton (every point of the batch reports the same number) —
+    /// not comparable to the scalar path's per-point count.
     pub max_nodes: usize,
     /// Wall-clock time of this point's contraction (planning is paid
-    /// once at compile time, not here).
+    /// once at compile time, not here). Lane-batched points report the
+    /// whole batch's single traversal.
     pub elapsed: Duration,
     /// Decision-diagram statistics of this point alone — epoch-fenced on
     /// the session's warm store, so warm reuse shows up as fewer
-    /// `nodes_created`, not as double-counted history.
+    /// `nodes_created`, not as double-counted history. Lane-batched
+    /// points share their batch's single-traversal statistics.
     pub stats: TddStats,
 }
 
@@ -518,26 +523,81 @@ impl CompiledCheck {
         strengths: &[f64],
     ) -> Result<Vec<SweepPoint>, QaecError> {
         validate_epsilon(epsilon)?;
-        let base = self.noise_channels();
-        let mut points = Vec::with_capacity(strengths.len());
-        for &strength in strengths {
-            let channels: Vec<NoiseChannel> = base
-                .iter()
-                .enumerate()
-                .map(|(site, channel)| {
-                    channel.with_strength(strength).ok_or_else(|| {
-                        QaecError::NoiseSweepUnsupported {
-                            reason: format!(
-                                "site {site} ({}) has no single scalar strength to sweep",
-                                channel.name()
-                            ),
-                        }
-                    })
-                })
-                .collect::<Result<_, _>>()?;
-            points.push(channels);
-        }
+        let points = self.strength_points(strengths)?;
         self.sweep_noise_prevalidated(epsilon, &points)
+    }
+
+    /// ε-aware noise sweep: one verdict per strength, letting each point
+    /// terminate as early as its backend allows. Algorithm I runs every
+    /// point with genuine two-sided early exit at ε — high-mass terms
+    /// accumulate first and the point stops the moment its bounds
+    /// decide, without computing the exact fidelity. Algorithm II
+    /// evaluates its single exact value per point (lane-batched like
+    /// [`CompiledCheck::sweep_noise`]); its bounds collapse to a point,
+    /// so every lane's decision is immediate once its trace is known —
+    /// a decided lane contributes nothing further.
+    ///
+    /// Verdicts agree with [`CompiledCheck::sweep_noise`] on every
+    /// point: the early exit only proves the same comparison cheaper.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledCheck::sweep_noise`].
+    pub fn sweep_noise_verdicts(
+        &self,
+        epsilon: f64,
+        strengths: &[f64],
+    ) -> Result<Vec<Verdict>, QaecError> {
+        validate_epsilon(epsilon)?;
+        let points = self.strength_points(strengths)?;
+        self.validate_sweep_points(&points)?;
+        match &self.backend {
+            Backend::Alg1(artifacts) => points
+                .iter()
+                .map(|channels| {
+                    let template = artifacts.template.with_channels(channels);
+                    let report = artifacts.run_template(
+                        &template,
+                        Some(epsilon),
+                        &self.options,
+                        self.store.as_ref(),
+                    )?;
+                    Ok(report
+                        .verdict
+                        .unwrap_or_else(|| Verdict::decide(report.fidelity_lower, epsilon)))
+                })
+                .collect(),
+            Backend::Alg2(_) => Ok(self
+                .sweep_noise_prevalidated(epsilon, &points)?
+                .into_iter()
+                .map(|point| point.verdict)
+                .collect()),
+        }
+    }
+
+    /// Re-parameterises every compiled site at each strength — the
+    /// shared first step of [`CompiledCheck::sweep_noise`] and
+    /// [`CompiledCheck::sweep_noise_verdicts`].
+    fn strength_points(&self, strengths: &[f64]) -> Result<Vec<Vec<NoiseChannel>>, QaecError> {
+        let base = self.noise_channels();
+        strengths
+            .iter()
+            .map(|&strength| {
+                base.iter()
+                    .enumerate()
+                    .map(|(site, channel)| {
+                        channel.with_strength(strength).ok_or_else(|| {
+                            QaecError::NoiseSweepUnsupported {
+                                reason: format!(
+                                    "site {site} ({}) has no single scalar strength to sweep",
+                                    channel.name()
+                                ),
+                            }
+                        })
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// [`CompiledCheck::sweep_noise`] with explicit per-site channels
@@ -563,8 +623,19 @@ impl CompiledCheck {
         epsilon: f64,
         points: &[Vec<NoiseChannel>],
     ) -> Result<Vec<SweepPoint>, QaecError> {
-        // Validate the whole batch before contracting anything, so a bad
-        // late point cannot waste the early ones.
+        self.validate_sweep_points(points)?;
+        match &self.backend {
+            Backend::Alg1(artifacts) => points
+                .iter()
+                .map(|channels| self.alg1_point(artifacts, channels, epsilon))
+                .collect(),
+            Backend::Alg2(artifacts) => self.alg2_sweep_lanes(artifacts, epsilon, points),
+        }
+    }
+
+    /// Validates a whole sweep batch before contracting anything, so a
+    /// bad late point cannot waste the early ones.
+    fn validate_sweep_points(&self, points: &[Vec<NoiseChannel>]) -> Result<(), QaecError> {
         let base = self.noise_channels();
         for (index, channels) in points.iter().enumerate() {
             if channels.len() != base.len() {
@@ -592,39 +663,111 @@ impl CompiledCheck {
                     })?;
             }
         }
+        Ok(())
+    }
 
-        points
-            .iter()
-            .map(|channels| match &self.backend {
-                Backend::Alg1(artifacts) => {
-                    let template = artifacts.template.with_channels(channels);
-                    let report = artifacts.run_template(
-                        &template,
-                        None,
-                        &self.options,
-                        self.store.as_ref(),
-                    )?;
-                    Ok(SweepPoint {
-                        fidelity: report.fidelity_lower,
-                        verdict: Verdict::decide(report.fidelity_lower, epsilon),
-                        max_nodes: report.max_nodes,
-                        elapsed: report.elapsed,
-                        stats: report.stats,
-                    })
+    fn alg1_point(
+        &self,
+        artifacts: &Alg1Artifacts,
+        channels: &[NoiseChannel],
+        epsilon: f64,
+    ) -> Result<SweepPoint, QaecError> {
+        let template = artifacts.template.with_channels(channels);
+        let report = artifacts.run_template(&template, None, &self.options, self.store.as_ref())?;
+        Ok(SweepPoint {
+            fidelity: report.fidelity_lower,
+            verdict: Verdict::decide(report.fidelity_lower, epsilon),
+            max_nodes: report.max_nodes,
+            elapsed: report.elapsed,
+            stats: report.stats,
+        })
+    }
+
+    fn alg2_point(
+        &self,
+        artifacts: &Alg2Artifacts,
+        channels: &[NoiseChannel],
+        epsilon: f64,
+    ) -> Result<SweepPoint, QaecError> {
+        let report = artifacts.run_channels(channels, &self.options, self.store.as_ref())?;
+        Ok(SweepPoint {
+            fidelity: report.fidelity,
+            verdict: Verdict::decide(report.fidelity, epsilon),
+            max_nodes: report.max_nodes,
+            elapsed: report.elapsed,
+            stats: report.stats,
+        })
+    }
+
+    /// The Algorithm II sweep body: greedily batches points into the
+    /// widest monomorphised lane width ≤ `options.sweep_lanes` and
+    /// contracts each batch in one multi-lane traversal, ⌈N/LANES⌉
+    /// passes instead of N. The ragged tail (and everything, when lanes
+    /// resolve off) runs the scalar per-point reference path.
+    ///
+    /// Lanes engage only over the session's warm shared store: the lane
+    /// snap replicates the *canonical* interning that makes scalar
+    /// results value-pure. A private-store session
+    /// ([`crate::SharedTableMode::Off`]) keeps first-come-first-served
+    /// weight merging, which is order-dependent — so it stays on the
+    /// scalar path and its results are unchanged by construction.
+    ///
+    /// A batch whose lanes diverge (a value-dependent decision that is
+    /// not lane-uniform — see [`qaec_tdd::lanes`]) is replayed per
+    /// point: divergence costs time, never changes a result. Lane
+    /// batches contract sequentially, so sweep results stay independent
+    /// of `options.threads` here too.
+    fn alg2_sweep_lanes(
+        &self,
+        artifacts: &Alg2Artifacts,
+        epsilon: f64,
+        points: &[Vec<NoiseChannel>],
+    ) -> Result<Vec<SweepPoint>, QaecError> {
+        let max_lanes = match &self.store {
+            Some(_) => clamp_lane_width(self.options.sweep_lanes),
+            None => 1,
+        };
+        let mut out = Vec::with_capacity(points.len());
+        let mut rest = points;
+        while !rest.is_empty() {
+            let width = [8, 4, 2]
+                .into_iter()
+                .find(|&w| w <= max_lanes && w <= rest.len())
+                .unwrap_or(1);
+            if width == 1 {
+                out.push(self.alg2_point(artifacts, &rest[0], epsilon)?);
+                rest = &rest[1..];
+                continue;
+            }
+            let (batch, tail) = rest.split_at(width);
+            rest = tail;
+            let store = self.store.as_ref().expect("lane widths require a store");
+            let report = match width {
+                8 => artifacts.run_channels_lanes::<8>(batch, &self.options, store)?,
+                4 => artifacts.run_channels_lanes::<4>(batch, &self.options, store)?,
+                2 => artifacts.run_channels_lanes::<2>(batch, &self.options, store)?,
+                _ => unreachable!("lane widths are 2, 4 or 8"),
+            };
+            match report {
+                Some(report) => {
+                    for &fidelity in &report.fidelities {
+                        out.push(SweepPoint {
+                            fidelity,
+                            verdict: Verdict::decide(fidelity, epsilon),
+                            max_nodes: report.max_nodes,
+                            elapsed: report.elapsed,
+                            stats: report.stats,
+                        });
+                    }
                 }
-                Backend::Alg2(artifacts) => {
-                    let report =
-                        artifacts.run_channels(channels, &self.options, self.store.as_ref())?;
-                    Ok(SweepPoint {
-                        fidelity: report.fidelity,
-                        verdict: Verdict::decide(report.fidelity, epsilon),
-                        max_nodes: report.max_nodes,
-                        elapsed: report.elapsed,
-                        stats: report.stats,
-                    })
+                None => {
+                    for channels in batch {
+                        out.push(self.alg2_point(artifacts, channels, epsilon)?);
+                    }
                 }
-            })
-            .collect()
+            }
+        }
+        Ok(out)
     }
 
     /// Serves a report from the cached interval: the evidence (bounds,

@@ -1,0 +1,211 @@
+//! Lane-vector complex arithmetic: `L` independent [`C64`] values in
+//! structure-of-arrays layout, operated on elementwise.
+//!
+//! [`LaneC64`] is the numeric substrate of the multi-lane TDD weight
+//! type (`qaec-tdd`'s lane engine): one decision-diagram traversal
+//! carries `L` noise-sweep points at once, and every weight operation is
+//! the *same* scalar operation applied per lane. The layout keeps the
+//! real and imaginary parts in separate `[f64; L]` arrays so the
+//! elementwise loops are trivially auto-vectorisable; there are no
+//! cross-lane operations by design (lanes must never observe each
+//! other, or per-lane results would stop being bit-identical to scalar
+//! runs).
+//!
+//! # Example
+//!
+//! ```
+//! use qaec_math::{C64, LaneC64};
+//!
+//! let a = LaneC64::<4>::splat(C64::new(0.5, 0.0));
+//! let b = LaneC64::from_lanes(&[C64::ONE, C64::I, C64::real(2.0), C64::ZERO]);
+//! let p = a * b;
+//! assert_eq!(p.lane(2), C64::ONE);
+//! assert_eq!(p.lane(3), C64::ZERO);
+//! ```
+
+use crate::complex::C64;
+
+/// `L` complex values in structure-of-arrays layout, combined strictly
+/// elementwise. Lane `i` of any result depends only on lane `i` of the
+/// operands — the invariant the TDD lane engine's bit-identity
+/// guarantee rests on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LaneC64<const L: usize> {
+    /// Real parts, one per lane.
+    pub re: [f64; L],
+    /// Imaginary parts, one per lane.
+    pub im: [f64; L],
+}
+
+impl<const L: usize> LaneC64<L> {
+    /// All lanes zero.
+    pub const ZERO: LaneC64<L> = LaneC64 {
+        re: [0.0; L],
+        im: [0.0; L],
+    };
+
+    /// Every lane set to the same value.
+    #[inline]
+    pub fn splat(z: C64) -> Self {
+        LaneC64 {
+            re: [z.re; L],
+            im: [z.im; L],
+        }
+    }
+
+    /// One value per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes.len() != L`.
+    pub fn from_lanes(lanes: &[C64]) -> Self {
+        assert_eq!(lanes.len(), L, "expected {L} lanes, got {}", lanes.len());
+        let mut v = LaneC64::ZERO;
+        for (i, z) in lanes.iter().enumerate() {
+            v.re[i] = z.re;
+            v.im[i] = z.im;
+        }
+        v
+    }
+
+    /// The scalar value in lane `i`.
+    #[inline]
+    pub fn lane(&self, i: usize) -> C64 {
+        C64::new(self.re[i], self.im[i])
+    }
+
+    /// All lanes as scalars, in lane order.
+    pub fn to_lanes(&self) -> Vec<C64> {
+        (0..L).map(|i| self.lane(i)).collect()
+    }
+
+    /// Elementwise scaling by one real factor.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Self {
+        let mut out = LaneC64::ZERO;
+        for i in 0..L {
+            out.re[i] = self.re[i] * factor;
+            out.im[i] = self.im[i] * factor;
+        }
+        out
+    }
+
+    /// Per-lane modulus (`C64::abs`, i.e. `hypot`).
+    #[inline]
+    pub fn abs(&self) -> [f64; L] {
+        let mut out = [0.0; L];
+        for (i, modulus) in out.iter_mut().enumerate() {
+            *modulus = self.lane(i).abs();
+        }
+        out
+    }
+
+    /// Whether every lane is finite.
+    pub fn is_finite(&self) -> bool {
+        (0..L).all(|i| self.re[i].is_finite() && self.im[i].is_finite())
+    }
+}
+
+/// Elementwise product.
+impl<const L: usize> std::ops::Mul for LaneC64<L> {
+    type Output = Self;
+
+    #[inline]
+    fn mul(self, other: Self) -> Self {
+        let mut out = LaneC64::ZERO;
+        for i in 0..L {
+            out.re[i] = self.re[i] * other.re[i] - self.im[i] * other.im[i];
+            out.im[i] = self.re[i] * other.im[i] + self.im[i] * other.re[i];
+        }
+        out
+    }
+}
+
+/// Elementwise sum.
+impl<const L: usize> std::ops::Add for LaneC64<L> {
+    type Output = Self;
+
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        let mut out = LaneC64::ZERO;
+        for i in 0..L {
+            out.re[i] = self.re[i] + other.re[i];
+            out.im[i] = self.im[i] + other.im[i];
+        }
+        out
+    }
+}
+
+/// Elementwise quotient. Each lane must match the scalar `/` bit for
+/// bit, so the per-lane computation routes through the scalar operator
+/// rather than a rearranged formula.
+impl<const L: usize> std::ops::Div for LaneC64<L> {
+    type Output = Self;
+
+    #[inline]
+    fn div(self, other: Self) -> Self {
+        let mut out = LaneC64::ZERO;
+        for i in 0..L {
+            let q = self.lane(i) / other.lane(i);
+            out.re[i] = q.re;
+            out.im[i] = q.im;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_round_trip_and_splat() {
+        let zs = [C64::new(1.0, -2.0), C64::I, C64::ZERO, C64::real(0.25)];
+        let v = LaneC64::<4>::from_lanes(&zs);
+        for (i, &z) in zs.iter().enumerate() {
+            assert_eq!(v.lane(i), z);
+        }
+        assert_eq!(v.to_lanes(), zs.to_vec());
+        let s = LaneC64::<3>::splat(C64::new(0.5, 0.5));
+        assert_eq!(s.lane(0), s.lane(2));
+    }
+
+    #[test]
+    fn elementwise_ops_match_scalar_ops_bitwise() {
+        let a = LaneC64::<4>::from_lanes(&[
+            C64::new(0.3, -0.7),
+            C64::new(-1.5, 2.25),
+            C64::real(1e-3),
+            C64::new(0.0, 4.0),
+        ]);
+        let b = LaneC64::<4>::from_lanes(&[
+            C64::new(2.0, 1.0),
+            C64::new(0.125, -0.5),
+            C64::new(-3.0, 0.25),
+            C64::new(1.0, 1.0),
+        ]);
+        let (m, s, q, c) = (a * b, a + b, a / b, a.scale(0.375));
+        for i in 0..4 {
+            let (x, y) = (a.lane(i), b.lane(i));
+            assert_eq!(m.lane(i), x * y, "mul lane {i}");
+            assert_eq!(s.lane(i), x + y, "add lane {i}");
+            assert_eq!(q.lane(i), x / y, "div lane {i}");
+            assert_eq!(c.lane(i), x * 0.375, "scale lane {i}");
+            assert_eq!(a.abs()[i], x.abs(), "abs lane {i}");
+        }
+    }
+
+    #[test]
+    fn finiteness_checks_every_lane() {
+        let mut v = LaneC64::<2>::splat(C64::ONE);
+        assert!(v.is_finite());
+        v.im[1] = f64::NAN;
+        assert!(!v.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 lanes")]
+    fn from_lanes_rejects_wrong_width() {
+        let _ = LaneC64::<4>::from_lanes(&[C64::ONE; 3]);
+    }
+}

@@ -258,13 +258,15 @@ fn noise_sweep_matches_cold_checks_bitwise() {
 fn warm_store_stats_are_epoch_fenced_per_point() {
     let (ideal, noisy) = fixture(4, 3);
     // Algorithm II with the shared store at one worker: deterministic
-    // and warm across the whole batch.
+    // and warm across the whole batch. Lanes off: the epoch fencing
+    // under test is a property of the scalar warm-store path (a lane
+    // batch contracts on its own private manager and reports the
+    // batch's allocations instead).
     let compiled = Checker::new(&ideal, &noisy)
-        .options(options(
-            AlgorithmChoice::AlgorithmII,
-            1,
-            SharedTableMode::On,
-        ))
+        .options(CheckOptions {
+            sweep_lanes: 1,
+            ..options(AlgorithmChoice::AlgorithmII, 1, SharedTableMode::On)
+        })
         .compile()
         .expect("compile");
     // The same strength twice: point 2 contracts an identical network
