@@ -29,8 +29,8 @@ pub mod serve;
 
 use qaec::{
     check_equivalence, fidelity_alg1, fidelity_alg2, fidelity_monte_carlo, AlgorithmChoice,
-    CheckOptions, Checker, EpsilonPoint, EquivalenceReport, SharedTableMode, SweepPoint, TddStats,
-    Verdict,
+    CheckOptions, Checker, EpsilonPoint, EquivalenceReport, SharedTableMode, StoreReclaimMode,
+    SweepPoint, TddStats, Verdict,
 };
 use qaec_bench::json;
 use qaec_circuit::{qasm, Circuit};
@@ -108,6 +108,9 @@ pub struct CliOptions {
     pub threads: usize,
     /// Shared concurrent TDD store across workers (`--shared-table`).
     pub shared_table: SharedTableMode,
+    /// Shared-store reclamation at quiescent boundaries
+    /// (`--store-reclaim`).
+    pub store_reclaim: StoreReclaimMode,
     /// Maximum lane width for vectorised noise sweeps (`--lanes`).
     pub sweep_lanes: usize,
     /// Cross-term computed-table seeding between workers
@@ -132,6 +135,7 @@ impl Default for CliOptions {
             timeout: None,
             threads: qaec::default_threads(),
             shared_table: qaec::default_shared_table(),
+            store_reclaim: qaec::default_store_reclaim(),
             sweep_lanes: qaec::default_sweep_lanes(),
             seed_cache: true,
             optimize: false,
@@ -148,6 +152,7 @@ impl CliOptions {
             strategy: self.strategy,
             threads: self.threads,
             shared_table: self.shared_table,
+            store_reclaim: self.store_reclaim,
             sweep_lanes: self.sweep_lanes,
             seed_cont_cache: self.seed_cache,
             local_optimization: self.optimize,
@@ -220,6 +225,16 @@ OPTIONS:
                                path; results are bit-identical either
                                way; default: QAEC_SWEEP_LANES env var,
                                else 8)
+    --store-reclaim <on|off|auto>
+                               retire shared-store arenas at quiescent
+                               boundaries (between sweep points / serve
+                               queries): on reclaims at every boundary,
+                               auto only once the store passes a size
+                               threshold, off never (the bit-exact
+                               escape hatch — though reclamation itself
+                               is value-transparent, results are
+                               bit-identical either way; default:
+                               QAEC_STORE_RECLAIM env var, else auto)
     --seed-cache <on|off>      seed each worker's contraction cache from
                                the heaviest completed term (shared-table
                                runs only; default on — profiled value-
@@ -372,6 +387,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             "off" => SharedTableMode::Off,
                             "auto" => SharedTableMode::Auto,
                             other => return Err(format!("unknown shared-table mode `{other}`")),
+                        };
+                    }
+                    "--store-reclaim" => {
+                        options.store_reclaim = match value(&mut k)? {
+                            "on" => StoreReclaimMode::On,
+                            "off" => StoreReclaimMode::Off,
+                            "auto" => StoreReclaimMode::Auto,
+                            other => return Err(format!("unknown store-reclaim mode `{other}`")),
                         };
                     }
                     "--seed-cache" => {
@@ -758,6 +781,32 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_store_reclaim_modes_in_both_flag_styles() {
+        for (args, expected) in [
+            (vec!["--store-reclaim", "on"], StoreReclaimMode::On),
+            (vec!["--store-reclaim=off"], StoreReclaimMode::Off),
+            (vec!["--store-reclaim=auto"], StoreReclaimMode::Auto),
+        ] {
+            let mut full = vec!["fidelity", "i.qasm", "n.qasm"];
+            full.extend(args);
+            match parse_args(&strings(&full)).unwrap() {
+                Command::Fidelity { options, .. } => {
+                    assert_eq!(options.store_reclaim, expected, "{full:?}")
+                }
+                other => panic!("wrong command {other:?}"),
+            }
+        }
+        assert!(parse_args(&strings(&[
+            "fidelity",
+            "i.qasm",
+            "n.qasm",
+            "--store-reclaim",
+            "sometimes"
+        ]))
+        .is_err());
     }
 
     #[test]

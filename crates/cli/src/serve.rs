@@ -29,7 +29,7 @@
 use crate::{check_json, epsilon_point_json, load, noise_point_json, CliOptions};
 use qaec::{
     AlgorithmChoice, Service, ServiceConfig, ServiceQuery, ServiceReply, ServiceRequest,
-    ServiceResponse, ServiceStats, SharedTableMode,
+    ServiceResponse, ServiceStats, SharedTableMode, StoreReclaimMode,
 };
 use qaec_bench::json;
 use qaec_circuit::qasm;
@@ -144,6 +144,14 @@ pub fn parse_serve_args(rest: &[String]) -> Result<ServeArgs, String> {
                     "off" => SharedTableMode::Off,
                     "auto" => SharedTableMode::Auto,
                     other => return Err(format!("serve: unknown shared-table mode `{other}`")),
+                };
+            }
+            "--store-reclaim" => {
+                args.options.store_reclaim = match value(&mut k)? {
+                    "on" => StoreReclaimMode::On,
+                    "off" => StoreReclaimMode::Off,
+                    "auto" => StoreReclaimMode::Auto,
+                    other => return Err(format!("serve: unknown store-reclaim mode `{other}`")),
                 };
             }
             "--seed-cache" => {
@@ -604,6 +612,7 @@ fn render_stats(id: &Option<String>, stats: &ServiceStats) -> String {
         .int("evictions", stats.evictions)
         .int("sessions", stats.sessions as u64)
         .int("store_bytes", stats.store_bytes)
+        .int("peak_store_bytes", stats.peak_store_bytes)
         .render()
 }
 

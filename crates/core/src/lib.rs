@@ -77,8 +77,8 @@ pub use alg_mc::{fidelity_monte_carlo, McReport};
 pub use checker::{auto_choice, check_equivalence, jamiolkowski_fidelity, AUTO_TERM_THRESHOLD};
 pub use error::QaecError;
 pub use options::{
-    default_shared_table, default_sweep_lanes, default_threads, AlgorithmChoice, CheckOptions,
-    SharedTableMode, TermOrder, VarOrderStyle,
+    default_shared_table, default_store_reclaim, default_sweep_lanes, default_threads,
+    AlgorithmChoice, CheckOptions, SharedTableMode, StoreReclaimMode, TermOrder, VarOrderStyle,
 };
 pub use qaec_tdd::{SharedTddStore, StoreEpoch, TddStats};
 pub use report::{AlgorithmUsed, EquivalenceReport, Verdict};

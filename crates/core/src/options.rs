@@ -67,6 +67,55 @@ impl SharedTableMode {
     }
 }
 
+/// When a session retires its shared store for a compact successor
+/// (epoch-based reclamation, [`qaec_tdd::SharedTddStore::successor`]).
+///
+/// The shared store's arenas are append-only: without reclamation a
+/// long session — a Table I noise sweep, a service entry answering
+/// queries for hours — pins every node and weight it ever interned
+/// until the session drops. Reclamation swaps the store for a fresh
+/// successor at *quiescent* batch boundaries (between sweep points /
+/// queries, when no contraction holds ids into the store), releasing
+/// the retired arenas while cumulative statistics, epoch fences and
+/// peak high-water marks carry over.
+///
+/// Reclamation is value-transparent: interning is a pure function of
+/// the value (canonical grid) or of the scope's input values (scoped
+/// exact-bits), and no engine value ever depends on an id, so every
+/// fidelity and verdict is bit-identical whichever mode runs. `Off`
+/// remains the escape hatch that additionally keeps warm-store *reuse*
+/// unconditional.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StoreReclaimMode {
+    /// Reclaim when the store's payload passes a size threshold
+    /// (~16 MiB): small sessions keep their warm store intact, big
+    /// sweeps stop peaking at full-arena memory. The default.
+    #[default]
+    Auto,
+    /// Reclaim at every quiescent boundary — minimal footprint, no
+    /// warm-store reuse between points.
+    On,
+    /// Never reclaim (the pre-reclamation behaviour): the store grows
+    /// monotonically until the session drops.
+    Off,
+}
+
+/// The `Auto` reclamation trigger: retire the store once its payload
+/// arenas pass this many bytes.
+pub(crate) const RECLAIM_AUTO_THRESHOLD_BYTES: usize = 16 << 20;
+
+impl StoreReclaimMode {
+    /// Whether a store whose payload measures `approx_bytes` should be
+    /// retired at the current quiescent boundary.
+    pub fn should_reclaim(self, approx_bytes: usize) -> bool {
+        match self {
+            StoreReclaimMode::On => true,
+            StoreReclaimMode::Off => false,
+            StoreReclaimMode::Auto => approx_bytes >= RECLAIM_AUTO_THRESHOLD_BYTES,
+        }
+    }
+}
+
 /// Order in which Algorithm I enumerates Kraus selections.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum TermOrder {
@@ -159,6 +208,12 @@ pub struct CheckOptions {
     /// Default: 8, overridable via the `QAEC_SWEEP_LANES` environment
     /// variable.
     pub sweep_lanes: usize,
+    /// When the session retires its shared store for a compact
+    /// successor (default: [`StoreReclaimMode::Auto`] — once the store
+    /// passes ~16 MiB of payload — overridable via the
+    /// `QAEC_STORE_RECLAIM` environment variable). Bit-transparent:
+    /// every result is identical with reclamation on, off or auto.
+    pub store_reclaim: StoreReclaimMode,
 }
 
 /// The default worker-thread count: the `QAEC_THREADS` environment
@@ -208,6 +263,23 @@ pub fn default_sweep_lanes() -> usize {
         .unwrap_or(8)
 }
 
+/// The default store-reclamation mode: the `QAEC_STORE_RECLAIM`
+/// environment variable when set (`on`/`1`/`true` reclaim at every
+/// quiescent boundary, `off`/`0`/`false` never reclaim, `auto` the
+/// size-triggered default), else [`StoreReclaimMode::Auto`].
+///
+/// This is what [`CheckOptions::default`] uses, so CI can force either
+/// extreme for the whole suite — the `shared-table-sanity` matrix runs
+/// a `QAEC_STORE_RECLAIM=on`/`off` leg to prove reclamation
+/// bit-transparent end to end.
+pub fn default_store_reclaim() -> StoreReclaimMode {
+    match std::env::var("QAEC_STORE_RECLAIM").as_deref() {
+        Ok("on") | Ok("1") | Ok("true") => StoreReclaimMode::On,
+        Ok("off") | Ok("0") | Ok("false") => StoreReclaimMode::Off,
+        _ => StoreReclaimMode::Auto,
+    }
+}
+
 /// Rounds a requested lane width down to the nearest monomorphised
 /// width: {1, 2, 4, 8}.
 pub(crate) fn clamp_lane_width(n: usize) -> usize {
@@ -236,6 +308,7 @@ impl Default for CheckOptions {
             shared_table: default_shared_table(),
             seed_cont_cache: true,
             sweep_lanes: default_sweep_lanes(),
+            store_reclaim: default_store_reclaim(),
         }
     }
 }
@@ -281,6 +354,22 @@ mod tests {
         // Cache seeding defaults on (shared-store runs only; a no-op —
         // and value-transparent — everywhere else).
         assert!(CheckOptions::default().seed_cont_cache);
+    }
+
+    #[test]
+    fn store_reclaim_resolution() {
+        assert!(StoreReclaimMode::On.should_reclaim(0));
+        assert!(!StoreReclaimMode::Off.should_reclaim(usize::MAX));
+        assert!(!StoreReclaimMode::Auto.should_reclaim(0));
+        assert!(StoreReclaimMode::Auto.should_reclaim(RECLAIM_AUTO_THRESHOLD_BYTES));
+        // Unless the env override is active, the default is Auto; the
+        // CI reclamation leg forces on/off for the whole suite.
+        let expected = match std::env::var("QAEC_STORE_RECLAIM").as_deref() {
+            Ok("on") | Ok("1") | Ok("true") => StoreReclaimMode::On,
+            Ok("off") | Ok("0") | Ok("false") => StoreReclaimMode::Off,
+            _ => StoreReclaimMode::Auto,
+        };
+        assert_eq!(CheckOptions::default().store_reclaim, expected);
     }
 
     #[test]

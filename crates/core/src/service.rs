@@ -19,13 +19,17 @@
 //!   winner's compile and then share its session, so a thundering herd
 //!   on a cold pair costs one plan construction
 //!   ([`ServiceStats::compiles`] proves it).
-//! * **Byte-budgeted LRU eviction.** Warm stores are append-only — they
-//!   never shrink, so evicting a whole session is the only memory
-//!   reclaim. The cache sums [`crate::CompiledCheck::warm_store_bytes`]
-//!   over its sessions and evicts least-recently-used entries until the
-//!   total fits [`ServiceConfig::cache_bytes`] (the session that just
-//!   served is never evicted — a single pair bigger than the budget
-//!   still serves, the budget then simply holds nothing else).
+//! * **Byte-budgeted LRU eviction.** The cache sums
+//!   [`crate::CompiledCheck::warm_store_bytes`] over its sessions and
+//!   evicts least-recently-used entries until the total fits
+//!   [`ServiceConfig::cache_bytes`] (the session that just served is
+//!   never evicted — a single pair bigger than the budget still serves,
+//!   the budget then simply holds nothing else). Within a session,
+//!   epoch-based store reclamation ([`crate::StoreReclaimMode`])
+//!   retires oversized stores for compact successors at query
+//!   boundaries, so a long-lived entry's footprint steps down instead
+//!   of growing without bound — the budget then holds more warm
+//!   sessions.
 //! * **Batch concurrency.** [`Service::handle_batch`] groups a request
 //!   stream by pair, runs distinct pairs concurrently on
 //!   [`qaec_tdd::run_on_workers`] and queries each pair's session
@@ -75,11 +79,11 @@
 use crate::error::QaecError;
 use crate::options::CheckOptions;
 use crate::report::EquivalenceReport;
-use crate::session::{CompiledCheck, EpsilonPoint, SweepPoint};
+use crate::session::{CompiledCheck, EpsilonPoint, StoreCell, SweepPoint};
 use crate::validate;
 use qaec_circuit::hash::pair_hash;
 use qaec_circuit::Circuit;
-use qaec_tdd::{run_on_workers, SharedTddStore};
+use qaec_tdd::run_on_workers;
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::fmt;
@@ -200,24 +204,38 @@ pub struct ServiceStats {
     pub sessions: usize,
     /// Total warm-store bytes currently held by the cached sessions.
     pub store_bytes: u64,
+    /// Sum of the cached sessions' warm-store high-water marks — the
+    /// aggregate counterpart of `store_bytes` (each session's peak is
+    /// carried across reclamation swaps, so this reports true peaks
+    /// even after stores stepped down; never below `store_bytes`).
+    pub peak_store_bytes: u64,
 }
 
 impl fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits, {} misses, {} compiles, {} evictions; {} session(s) holding {} B",
-            self.hits, self.misses, self.compiles, self.evictions, self.sessions, self.store_bytes
+            "{} hits, {} misses, {} compiles, {} evictions; {} session(s) holding {} B (peak {} B)",
+            self.hits,
+            self.misses,
+            self.compiles,
+            self.evictions,
+            self.sessions,
+            self.store_bytes,
+            self.peak_store_bytes
         )
     }
 }
 
 /// What a cache entry's `OnceLock` publishes after the winning request
-/// compiles: the session, plus its warm store pulled out so eviction
-/// can size entries without taking the (possibly busy) session lock.
+/// compiles: the session, plus its swappable store cell pulled out so
+/// eviction can size entries without taking the (possibly busy) session
+/// lock — through the *cell*, so a reclamation swap inside the session
+/// is immediately visible to the sizing path instead of pinning the
+/// retired store.
 struct SlotCell {
     session: Mutex<CompiledCheck>,
-    store: Option<Arc<SharedTddStore>>,
+    store: Option<StoreCell>,
 }
 
 /// One cache slot. The `OnceLock` is the single-flight mechanism:
@@ -233,7 +251,14 @@ impl Slot {
         self.cell
             .get()
             .and_then(|cell| cell.store.as_ref())
-            .map_or(0, |store| store.bytes_used())
+            .map_or(0, |store| store.get().bytes_used())
+    }
+
+    fn peak_bytes(&self) -> usize {
+        self.cell
+            .get()
+            .and_then(|cell| cell.store.as_ref())
+            .map_or(0, |store| store.get().peak_bytes_used())
     }
 }
 
@@ -306,7 +331,7 @@ impl Service {
                 &request.noisy,
                 self.config.options.clone(),
             );
-            let store = session.warm_store().cloned();
+            let store = session.warm_store_cell().cloned();
             SlotCell {
                 session: Mutex::new(session),
                 store,
@@ -375,6 +400,7 @@ impl Service {
     pub fn stats(&self) -> ServiceStats {
         let cache = self.cache.lock().expect("cache lock poisoned");
         let store_bytes: usize = cache.entries.values().map(|e| e.slot.bytes()).sum();
+        let peak_store_bytes: usize = cache.entries.values().map(|e| e.slot.peak_bytes()).sum();
         ServiceStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -382,6 +408,7 @@ impl Service {
             evictions: self.evictions.load(Ordering::Relaxed),
             sessions: cache.entries.len(),
             store_bytes: store_bytes as u64,
+            peak_store_bytes: peak_store_bytes as u64,
         }
     }
 

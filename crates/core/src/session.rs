@@ -22,13 +22,24 @@
 //!   weights on the compiled plan instead of replanning, reusing one
 //!   warm [`SharedTddStore`] across the whole batch.
 //!
-//! Warm-store reuse is value-transparent: the shared store's canonical
+//! Warm-store reuse is value-transparent: the shared store's value-pure
 //! interning makes every contraction a pure function of its inputs, so a
 //! query on a store warmed by earlier queries is **bit-identical** to
 //! the same query on a fresh store — the reuse only saves re-interning
 //! work. Per-query statistics are epoch-fenced
 //! ([`SharedTddStore::reset_between_runs`]) so each report counts its
 //! own work, not the session's history.
+//!
+//! The same quiescent boundaries (between queries, sweep points and
+//! lane batches — no diagram edges survive them) drive **epoch-based
+//! store reclamation** ([`crate::StoreReclaimMode`], the
+//! `store_reclaim` knob): the session swaps the warm store for
+//! [`SharedTddStore::successor`] — always (`On`), past a size
+//! threshold (`Auto`, the default) or never (`Off`) — bounding a long
+//! session's footprint without moving a result bit.
+//! [`CompiledCheck::warm_store_bytes`] reports the live footprint,
+//! [`CompiledCheck::warm_store_peak_bytes`] the high-water mark across
+//! swaps.
 //!
 //! The free functions remain as thin wrappers over a single-query
 //! session, with identical results and error precedence.
@@ -73,8 +84,39 @@ use crate::report::{AlgorithmUsed, EquivalenceReport, Verdict};
 use crate::{validate, validate_epsilon};
 use qaec_circuit::{Circuit, NoiseChannel};
 use qaec_tdd::{SharedTddStore, TddStats};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// A swappable handle to a session's warm shared store.
+///
+/// Epoch-based reclamation retires the store for a compact successor
+/// ([`SharedTddStore::successor`]) at *quiescent* boundaries — between
+/// queries and sweep points, when no contraction holds ids into the
+/// arenas. Every holder of the cell (the session, its clones, the
+/// service cache's sizing path) observes the swap through this shared
+/// handle, so the retired store's arenas free as soon as the last
+/// in-flight reference drops.
+///
+/// Cloning shares the cell — exactly the sharing the session's `Clone`
+/// had when it cloned the store `Arc` directly.
+#[derive(Clone, Debug)]
+pub(crate) struct StoreCell(Arc<Mutex<Arc<SharedTddStore>>>);
+
+impl StoreCell {
+    fn new(store: Arc<SharedTddStore>) -> StoreCell {
+        StoreCell(Arc::new(Mutex::new(store)))
+    }
+
+    /// The current store (an owned handle — safe across a concurrent
+    /// swap; the handle keeps the generation it observed alive).
+    pub(crate) fn get(&self) -> Arc<SharedTddStore> {
+        self.0.lock().expect("store cell poisoned").clone()
+    }
+
+    fn swap(&self, next: Arc<SharedTddStore>) {
+        *self.0.lock().expect("store cell poisoned") = next;
+    }
+}
 
 /// Staged builder for a compiled equivalence check: name the circuit
 /// pair, optionally set [`CheckOptions`], then [`Checker::compile`].
@@ -230,9 +272,11 @@ pub struct CompiledCheck {
     /// The session's warm shared store, when the configured store mode
     /// resolves on for this algorithm and worker count. Reused across
     /// every query and sweep point: later queries hash-cons against
-    /// everything earlier ones interned (value-transparent — canonical
-    /// interning keeps results bit-identical to fresh-store runs).
-    store: Option<Arc<SharedTddStore>>,
+    /// everything earlier ones interned (value-transparent — interning
+    /// keeps results bit-identical to fresh-store runs). Held through a
+    /// swappable cell so `options.store_reclaim` can retire the store
+    /// for a compact successor at quiescent boundaries.
+    store: Option<StoreCell>,
     knowledge: Option<Knowledge>,
 }
 
@@ -256,13 +300,13 @@ impl CompiledCheck {
                 let store = options
                     .shared_table
                     .enabled_for(workers)
-                    .then(SharedTddStore::new);
+                    .then(|| StoreCell::new(SharedTddStore::new()));
                 (Backend::Alg1(artifacts), store)
             }
             AlgorithmUsed::AlgorithmII => {
                 let artifacts = Alg2Artifacts::compile(ideal, noisy, &options);
-                let store =
-                    (options.shared_table != crate::SharedTableMode::Off).then(SharedTddStore::new);
+                let store = (options.shared_table != crate::SharedTableMode::Off)
+                    .then(|| StoreCell::new(SharedTddStore::new()));
                 (Backend::Alg2(artifacts), store)
             }
         };
@@ -286,9 +330,18 @@ impl CompiledCheck {
         &self.options
     }
 
-    /// The session's warm shared store, when the configured store mode
-    /// resolved on at compile time — `None` for private-store sessions.
-    pub(crate) fn warm_store(&self) -> Option<&Arc<SharedTddStore>> {
+    /// The session's current warm shared store, when the configured
+    /// store mode resolved on at compile time — `None` for
+    /// private-store sessions. An owned handle: reclamation may swap
+    /// the cell while the caller still runs against this generation.
+    pub(crate) fn warm_store(&self) -> Option<Arc<SharedTddStore>> {
+        self.store.as_ref().map(StoreCell::get)
+    }
+
+    /// The swappable store cell itself, for holders (the service cache)
+    /// that must observe reclamation swaps instead of pinning one
+    /// generation.
+    pub(crate) fn warm_store_cell(&self) -> Option<&StoreCell> {
         self.store.as_ref()
     }
 
@@ -298,10 +351,39 @@ impl CompiledCheck {
     /// (Algorithm I at one worker under [`crate::SharedTableMode::Auto`]),
     /// whose per-query arenas die with each query.
     ///
-    /// Monotone over the session's life: the shared arenas are
-    /// append-only, so dropping the whole session is the only reclaim.
+    /// Steps down when `options.store_reclaim` retires the store for a
+    /// compact successor at a quiescent boundary; with reclamation off
+    /// the shared arenas are append-only and the number is monotone
+    /// until the session drops. [`CompiledCheck::warm_store_peak_bytes`]
+    /// keeps the high-water mark either way.
     pub fn warm_store_bytes(&self) -> usize {
-        self.store.as_ref().map_or(0, |store| store.bytes_used())
+        self.warm_store().map_or(0, |store| store.bytes_used())
+    }
+
+    /// High-water mark of [`CompiledCheck::warm_store_bytes`] across the
+    /// session's life, *including* every store generation reclamation
+    /// has since retired ([`SharedTddStore::peak_bytes_used`] carries
+    /// across successor swaps).
+    pub fn warm_store_peak_bytes(&self) -> usize {
+        self.warm_store().map_or(0, |store| store.peak_bytes_used())
+    }
+
+    /// The quiescent-boundary reclamation hook: called between queries
+    /// and sweep points, when no contraction holds ids into the store.
+    /// Retires the store for a compact successor when
+    /// `options.store_reclaim` says so — value-transparent (interning is
+    /// pure, no engine value depends on an id), so results are
+    /// bit-identical whether or when swaps happen.
+    fn maybe_reclaim_store(&self) {
+        let Some(cell) = &self.store else { return };
+        let store = cell.get();
+        if self
+            .options
+            .store_reclaim
+            .should_reclaim(store.approx_data_bytes())
+        {
+            cell.swap(store.successor());
+        }
     }
 
     /// The compiled noise channels, in site order — the sites
@@ -331,7 +413,7 @@ impl CompiledCheck {
         }
         match &self.backend {
             Backend::Alg1(artifacts) => {
-                let report = artifacts.run(None, &self.options, self.store.as_ref())?;
+                let report = artifacts.run(None, &self.options, self.warm_store().as_ref())?;
                 let value = report.fidelity_lower;
                 self.remember(
                     report.fidelity_lower,
@@ -342,10 +424,11 @@ impl CompiledCheck {
                     report.elapsed,
                     report.stats,
                 );
+                self.maybe_reclaim_store();
                 Ok(value)
             }
             Backend::Alg2(artifacts) => {
-                let report = artifacts.run(&self.options, self.store.as_ref())?;
+                let report = artifacts.run(&self.options, self.warm_store().as_ref())?;
                 let value = report.fidelity;
                 self.remember(
                     value,
@@ -356,6 +439,7 @@ impl CompiledCheck {
                     report.elapsed,
                     report.stats,
                 );
+                self.maybe_reclaim_store();
                 Ok(value)
             }
         }
@@ -411,7 +495,8 @@ impl CompiledCheck {
         }
         match &self.backend {
             Backend::Alg1(artifacts) => {
-                let report = artifacts.run(Some(epsilon), &self.options, self.store.as_ref())?;
+                let report =
+                    artifacts.run(Some(epsilon), &self.options, self.warm_store().as_ref())?;
                 // All terms evaluated without an early decision: compare
                 // the exact value (the same single comparison the early
                 // exit used on its bounds).
@@ -438,10 +523,11 @@ impl CompiledCheck {
                     report.elapsed,
                     report.stats,
                 );
+                self.maybe_reclaim_store();
                 Ok(out)
             }
             Backend::Alg2(artifacts) => {
-                let report = artifacts.run(&self.options, self.store.as_ref())?;
+                let report = artifacts.run(&self.options, self.warm_store().as_ref())?;
                 let verdict = Verdict::decide(report.fidelity, epsilon);
                 let out = EquivalenceReport {
                     verdict,
@@ -463,6 +549,7 @@ impl CompiledCheck {
                     report.elapsed,
                     report.stats,
                 );
+                self.maybe_reclaim_store();
                 Ok(out)
             }
         }
@@ -560,8 +647,9 @@ impl CompiledCheck {
                         &template,
                         Some(epsilon),
                         &self.options,
-                        self.store.as_ref(),
+                        self.warm_store().as_ref(),
                     )?;
+                    self.maybe_reclaim_store();
                     Ok(report
                         .verdict
                         .unwrap_or_else(|| Verdict::decide(report.fidelity_lower, epsilon)))
@@ -673,7 +761,9 @@ impl CompiledCheck {
         epsilon: f64,
     ) -> Result<SweepPoint, QaecError> {
         let template = artifacts.template.with_channels(channels);
-        let report = artifacts.run_template(&template, None, &self.options, self.store.as_ref())?;
+        let report =
+            artifacts.run_template(&template, None, &self.options, self.warm_store().as_ref())?;
+        self.maybe_reclaim_store();
         Ok(SweepPoint {
             fidelity: report.fidelity_lower,
             verdict: Verdict::decide(report.fidelity_lower, epsilon),
@@ -689,7 +779,8 @@ impl CompiledCheck {
         channels: &[NoiseChannel],
         epsilon: f64,
     ) -> Result<SweepPoint, QaecError> {
-        let report = artifacts.run_channels(channels, &self.options, self.store.as_ref())?;
+        let report = artifacts.run_channels(channels, &self.options, self.warm_store().as_ref())?;
+        self.maybe_reclaim_store();
         Ok(SweepPoint {
             fidelity: report.fidelity,
             verdict: Verdict::decide(report.fidelity, epsilon),
@@ -741,11 +832,11 @@ impl CompiledCheck {
             }
             let (batch, tail) = rest.split_at(width);
             rest = tail;
-            let store = self.store.as_ref().expect("lane widths require a store");
+            let store = self.warm_store().expect("lane widths require a store");
             let report = match width {
-                8 => artifacts.run_channels_lanes::<8>(batch, &self.options, store)?,
-                4 => artifacts.run_channels_lanes::<4>(batch, &self.options, store)?,
-                2 => artifacts.run_channels_lanes::<2>(batch, &self.options, store)?,
+                8 => artifacts.run_channels_lanes::<8>(batch, &self.options, &store)?,
+                4 => artifacts.run_channels_lanes::<4>(batch, &self.options, &store)?,
+                2 => artifacts.run_channels_lanes::<2>(batch, &self.options, &store)?,
                 _ => unreachable!("lane widths are 2, 4 or 8"),
             };
             match report {
@@ -759,6 +850,9 @@ impl CompiledCheck {
                             stats: report.stats,
                         });
                     }
+                    // A lane batch is a quiescent boundary too: nothing
+                    // survives it but the per-point scalars.
+                    self.maybe_reclaim_store();
                 }
                 None => {
                     for channels in batch {

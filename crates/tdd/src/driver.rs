@@ -110,6 +110,9 @@ fn drive(
                 let mut levels: Vec<u32> = eliminate.iter().map(|&i| order.level(i)).collect();
                 levels.sort_unstable();
                 let set = m.intern_elim_set(levels);
+                // One plan step = one weight scope (no-op unless the
+                // manager uses scoped shared-store interning).
+                m.begin_weight_scope();
                 let e = ops::try_cont(m, ea, eb, set)?;
                 slots[*result] = Some(e);
                 e
@@ -123,6 +126,7 @@ fn drive(
                 let mut levels: Vec<u32> = eliminate.iter().map(|&i| order.level(i)).collect();
                 levels.sort_unstable();
                 let set = m.intern_elim_set(levels);
+                m.begin_weight_scope();
                 let e = ops::try_cont(m, et, Edge::ONE, set)?;
                 slots[*result] = Some(e);
                 e
@@ -152,6 +156,7 @@ fn drive(
         .find_map(|i| slots[i].take())
         .unwrap_or(Edge::ONE);
     if plan.free_loops > 0 {
+        m.begin_weight_scope();
         root = Edge {
             node: root.node,
             weight: m.wscale_real(root.weight, (plan.free_loops as f64).exp2()),

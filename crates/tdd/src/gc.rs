@@ -52,6 +52,9 @@ pub fn collect(m: &mut TddManager, roots: &[Edge]) -> Vec<Edge> {
         // Shared arenas never move: every root stays valid as-is.
         return roots.to_vec();
     }
+    // Collection is the only event that shrinks a private store mid-run:
+    // latch the pre-collection footprint into the high-water mark first.
+    m.note_store_peak();
     let store = m.private_mut();
 
     // Mark.

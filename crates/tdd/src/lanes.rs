@@ -10,20 +10,23 @@
 //!
 //! ## The determinism invariant
 //!
-//! The scalar reference path is the canonical [`crate::SharedTddStore`]:
-//! every weight snapped to a sub-tolerance grid, every stored value a
-//! pure function of the value alone. The lane engine interns with the
-//! **same per-lane snap** (same grid, same zero box, same exact-one
-//! cell), so as long as every control-flow decision the scalar engine
-//! takes is *lane-uniform*, each lane of the lane run is bit-identical
-//! to the corresponding scalar run.
+//! The scalar reference path is the plan driver over a shared store with
+//! **scoped** interning ([`crate::TddManager::new_shared_scoped`]): each
+//! leaf conversion and each plan step is one weight scope, values glue
+//! to the scope's first-seen representative within tolerance, and
+//! representatives store their exact bits. The lane engine runs the
+//! **same glue per lane** — per-lane representative maps, reset at the
+//! same scope boundaries — so as long as every control-flow decision the
+//! scalar engine takes is *lane-uniform*, each lane of the lane run is
+//! bit-identical to the corresponding scalar run.
 //!
-//! Where lanes would have to disagree — one lane's weight snapping to
+//! Where lanes would have to disagree — one lane's weight gluing to
 //! zero while another's does not, one lane preferring the low child's
 //! normalisation weight while another prefers the high's, operand order
-//! in `add` differing between lanes — the engine does not guess: it
-//! aborts the whole batch with [`LaneDivergence`] and the caller falls
-//! back to the scalar per-point replay. Divergence is a *performance*
+//! in `add` differing between lanes, a scalar id fast path (`x·1`,
+//! `x/1`, `x/x`) firing in some lanes only — the engine does not guess:
+//! it aborts the whole batch with [`LaneDivergence`] and the caller
+//! falls back to the scalar per-point replay. Divergence is a *performance*
 //! event, never a correctness event. (One residual case is undetectable
 //! in principle: two per-lane subgraphs coinciding structurally under
 //! *different* lane nodes. For sweeps over distinct noise strengths the
@@ -136,15 +139,65 @@ struct LaneNode {
     high: LaneEdge,
 }
 
+/// Bit pattern of the exact one (`1.0`); the exact `+0.0` is bit zero.
+const ONE_BITS: u64 = 0x3FF0_0000_0000_0000;
+
+/// One lane's scope representatives: bucket → first-seen values.
+type GlueBuckets = FxHashMap<(i64, i64), Vec<(f64, f64)>>;
+
+/// One lane's mirror of the scoped scalar intern
+/// (`crate::manager::SharedInterning::Scoped`): zero box → exact zero,
+/// already-resolved bits → their glued value, tolerance match against a
+/// scope representative → the representative's exact bits, else the
+/// value becomes the scope's representative for its neighbourhood.
+/// Returns the value the scalar run would *store* — gluing state (and
+/// therefore representative election order) is per lane, exactly as `L`
+/// independent scalar runs would evolve it.
+fn glue_component(
+    glue: &mut GlueBuckets,
+    resolved: &mut FxHashMap<(u64, u64), (f64, f64)>,
+    tol: f64,
+    re: f64,
+    im: f64,
+) -> (f64, f64) {
+    if re.abs() <= tol && im.abs() <= tol {
+        return (0.0, 0.0);
+    }
+    let bits = (re.to_bits(), im.to_bits());
+    if let Some(&v) = resolved.get(&bits) {
+        return v;
+    }
+    // Bucket width 2·tol: the 3×3 probe covers every representative
+    // within tol (Chebyshev); keys saturate for huge values, so the
+    // probe saturates too — both exactly as in the scalar engine.
+    let w = 2.0 * tol;
+    let (kr, ki) = ((re / w).round() as i64, (im / w).round() as i64);
+    for dr in -1..=1i64 {
+        for di in -1..=1i64 {
+            if let Some(reps) = glue.get(&(kr.saturating_add(dr), ki.saturating_add(di))) {
+                for &(vr, vi) in reps {
+                    if (vr - re).abs() <= tol && (vi - im).abs() <= tol {
+                        resolved.insert(bits, (vr, vi));
+                        return (vr, vi);
+                    }
+                }
+            }
+        }
+    }
+    glue.entry((kr, ki)).or_default().push((re, im));
+    resolved.insert(bits, (re, im));
+    (re, im)
+}
+
 /// The private, single-threaded lane store + computed tables.
 struct LaneManager<const L: usize> {
     tol: f64,
-    /// Snap grid (`tol / 32`) — identical to the shared store's.
-    grid: f64,
-    /// Exact-bits fallback threshold — identical to the shared store's.
-    huge: f64,
-    /// The grid cell the shared store pre-seeds with the *exact* one.
-    one_key: (i64, i64),
+    /// Per-lane scope representatives (bucket → first-seen values), the
+    /// lane mirror of the scoped scalar glue. Reset per weight scope.
+    glue: Vec<GlueBuckets>,
+    /// Per-lane bits → glued value, the probe short-circuit. Reset per
+    /// weight scope.
+    resolved: Vec<FxHashMap<(u64, u64), (f64, f64)>>,
     weights: Vec<LaneC64<L>>,
     weight_map: FxHashMap<[(u64, u64); L], u32>,
     nodes: Vec<LaneNode>,
@@ -162,12 +215,10 @@ struct LaneManager<const L: usize> {
 impl<const L: usize> LaneManager<L> {
     fn with_tolerance(tol: f64) -> Self {
         assert!(tol > 0.0 && tol.is_finite(), "tolerance must be positive");
-        let grid = tol / 32.0;
         let mut m = LaneManager {
             tol,
-            grid,
-            huge: 0.5 * (i64::MAX as f64) * grid,
-            one_key: ((1.0 / grid).round() as i64, 0),
+            glue: (0..L).map(|_| FxHashMap::default()).collect(),
+            resolved: (0..L).map(|_| FxHashMap::default()).collect(),
             weights: Vec::new(),
             weight_map: FxHashMap::default(),
             nodes: Vec::new(),
@@ -189,6 +240,23 @@ impl<const L: usize> LaneManager<L> {
         m.weights.push(LaneC64::ZERO);
         m.weights.push(LaneC64::splat(C64::ONE));
         m
+    }
+
+    /// Opens a new weight scope, mirroring
+    /// [`crate::TddManager::begin_weight_scope`]: per-lane glue state and
+    /// the computed tables reset together (cached entries embed the
+    /// outgoing scope's representative-glued weights). Interned weights
+    /// and nodes persist — they mirror the shared store's global
+    /// exact-bits family.
+    fn begin_scope(&mut self) {
+        for g in &mut self.glue {
+            g.clear();
+        }
+        for r in &mut self.resolved {
+            r.clear();
+        }
+        self.add_cache.clear();
+        self.cont_cache.clear();
     }
 
     fn set_deadline(&mut self, deadline: Option<Instant>) {
@@ -216,66 +284,42 @@ impl<const L: usize> LaneManager<L> {
         false
     }
 
-    /// The shared store's canonical snap, per lane component: zero box →
-    /// exact zero, huge → exact bits, else grid cell — with the
-    /// one-cell mapping to the *exact* one the scalar store pre-seeds.
-    #[inline]
-    fn snap(&self, re: f64, im: f64) -> (f64, f64) {
-        if re.abs() <= self.tol && im.abs() <= self.tol {
-            return (0.0, 0.0);
-        }
-        if re.abs() >= self.huge || im.abs() >= self.huge {
-            return (re, im);
-        }
-        let key = (
-            (re / self.grid).round() as i64,
-            (im / self.grid).round() as i64,
-        );
-        if key == self.one_key {
-            (1.0, 0.0)
-        } else {
-            (key.0 as f64 * self.grid, key.1 as f64 * self.grid)
-        }
-    }
-
-    /// Interns a lane weight after per-lane snapping.
+    /// Interns a lane weight after per-lane scope gluing.
     ///
     /// The zero box must be lane-uniform: the scalar `is_zero` fast
     /// paths are *structural* (a zero weight makes the whole edge the
-    /// terminal zero edge and guards `wdiv`), so a lane that snaps to
+    /// terminal zero edge and guards `wdiv`), so a lane that glues to
     /// zero while another does not cannot be represented.
     ///
-    /// Mixed exact-one lanes are fine, by contrast — the scalar
-    /// `is_one` fast paths are value-transparent here: multiplying or
-    /// dividing by exactly `(1.0, 0.0)` is bit-exact and the snap is
-    /// idempotent on stored values, so computing through an exact-one
-    /// lane reproduces what the scalar run's id short-circuit returns.
-    /// (The `x/x` ratio case lands here too: each lane's quotient is
-    /// within a few ulp of one and snaps into the pre-seeded one cell —
-    /// exactly the value the scalar engine's `a == b ⇒ ONE` id check
-    /// produces.)
-    ///
-    /// The huge exact-bits regime (components ≥ ~`i64::MAX`·grid/2) is
-    /// refused instead: exact-bit storage defeats the snap's
-    /// re-canonicalisation and keeps `-0.0` components alive, whose
-    /// sign `f64::total_cmp` observes — `add` operand order could then
-    /// drift from the scalar run. Fidelity workloads never reach that
-    /// magnitude; a batch that does replays per point.
+    /// A lane that glues to *exactly* `(1.0, +0.0)` maps to the scalar
+    /// id `ONE` in that lane's reference run — the shared store
+    /// pre-seeds the exact-one bits onto `WeightId::ONE`, so the
+    /// exact-bits find-or-insert returns `ONE` for them. All lanes one
+    /// is therefore `W_ONE`. *Mixed* exact-one lanes are representable
+    /// but poisoned: the scalar `x·1`, `x/1`, `x/x` id fast paths would
+    /// fire in the one-lanes only, returning the other operand's stored
+    /// bits *without re-gluing*, while a computed product/quotient runs
+    /// through the glue and may land on a different scope
+    /// representative. `wmul`/`wdiv` diverge lazily when such a weight
+    /// reaches an actual computation (see [`Self::mixed_exact_one`]).
     fn intern(&mut self, v: LaneC64<L>) -> Result<u32, LaneDivergence> {
         debug_assert!(v.is_finite(), "non-finite lane weight");
-        let mut snapped = LaneC64::ZERO;
+        let mut glued = LaneC64::ZERO;
         let mut zeros = 0usize;
         let mut ones = 0usize;
         for i in 0..L {
-            if v.re[i].abs() >= self.huge || v.im[i].abs() >= self.huge {
-                return Err(diverge("lane weight in the exact-bits (huge) regime"));
-            }
-            let (re, im) = self.snap(v.re[i], v.im[i]);
-            snapped.re[i] = re;
-            snapped.im[i] = im;
-            if re == 0.0 && im == 0.0 {
+            let (re, im) = glue_component(
+                &mut self.glue[i],
+                &mut self.resolved[i],
+                self.tol,
+                v.re[i],
+                v.im[i],
+            );
+            glued.re[i] = re;
+            glued.im[i] = im;
+            if re.to_bits() == 0 && im.to_bits() == 0 {
                 zeros += 1;
-            } else if re == 1.0 && im == 0.0 {
+            } else if re.to_bits() == ONE_BITS && im.to_bits() == 0 {
                 ones += 1;
             }
         }
@@ -283,18 +327,18 @@ impl<const L: usize> LaneManager<L> {
             return Ok(W_ZERO);
         }
         if zeros > 0 {
-            return Err(diverge("some lanes snapped to zero"));
+            return Err(diverge("some lanes glue to zero"));
         }
         if ones == L {
             return Ok(W_ONE);
         }
         let key: [(u64, u64); L] =
-            std::array::from_fn(|i| (snapped.re[i].to_bits(), snapped.im[i].to_bits()));
+            std::array::from_fn(|i| (glued.re[i].to_bits(), glued.im[i].to_bits()));
         if let Some(&id) = self.weight_map.get(&key) {
             return Ok(id);
         }
         let id = self.weights.len() as u32;
-        self.weights.push(snapped);
+        self.weights.push(glued);
         self.weight_map.insert(key, id);
         Ok(id)
     }
@@ -304,9 +348,24 @@ impl<const L: usize> LaneManager<L> {
         self.weights[w as usize]
     }
 
-    /// Interned product — handle fast paths are exact because interning
-    /// is canonical and lane-uniform (ZERO/ONE handles ⟺ every lane is
-    /// the exact zero/one), mirroring the shared store's `wmul`.
+    /// True when *some* (but not all) lanes of `w` hold the exact one.
+    /// Those lanes' scalar runs would take an id fast path (`x·1`,
+    /// `x/1`) that skips the glue, while the other lanes compute and
+    /// re-glue — lane-uniform computation cannot reproduce both.
+    #[inline]
+    fn mixed_exact_one(&self, w: u32) -> bool {
+        if w == W_ONE {
+            return false;
+        }
+        let v = self.wvalue(w);
+        (0..L).any(|i| v.re[i].to_bits() == ONE_BITS && v.im[i].to_bits() == 0)
+    }
+
+    /// Interned product — handle fast paths are exact because stored
+    /// lane values carry the scalar runs' exact bits (ZERO/ONE handles
+    /// ⟺ every lane is the exact zero/one ⟺ every scalar id is
+    /// ZERO/ONE), mirroring the shared store's `wmul`. Mixed exact-one
+    /// operands diverge: their scalar fast path fires per lane.
     fn wmul(&mut self, a: u32, b: u32) -> Result<u32, LaneDivergence> {
         if a == W_ZERO || b == W_ZERO {
             return Ok(W_ZERO);
@@ -316,6 +375,9 @@ impl<const L: usize> LaneManager<L> {
         }
         if b == W_ONE {
             return Ok(a);
+        }
+        if self.mixed_exact_one(a) || self.mixed_exact_one(b) {
+            return Err(diverge("some lanes multiply by the exact one"));
         }
         let v = self.wvalue(a) * self.wvalue(b);
         self.intern(v)
@@ -341,11 +403,27 @@ impl<const L: usize> LaneManager<L> {
             return Ok(a);
         }
         if a == b {
-            // Every lane divides by itself: exactly one in each lane,
-            // exactly the scalar handle fast path.
+            // Same handle ⇒ every lane's stored bits are equal ⇒ every
+            // scalar run's ids are equal (exact-bits interning is
+            // globally pure), so every scalar run takes the `x/x ⇒ ONE`
+            // fast path too.
             return Ok(W_ONE);
         }
-        let v = self.wvalue(a) / self.wvalue(b);
+        if self.mixed_exact_one(b) {
+            return Err(diverge("some lanes divide by the exact one"));
+        }
+        // Handles differ, but a single lane's bits may still coincide —
+        // that lane's scalar run would return `ONE` via the id check
+        // while the computed quotient re-glues. (A mixed one in `a` is
+        // fine: the scalar `wdiv` has no `a.is_one()` shortcut.)
+        let (va, vb) = (self.wvalue(a), self.wvalue(b));
+        for i in 0..L {
+            if va.re[i].to_bits() == vb.re[i].to_bits() && va.im[i].to_bits() == vb.im[i].to_bits()
+            {
+                return Err(diverge("some lanes divide bit-equal weights"));
+            }
+        }
+        let v = va / vb;
         self.intern(v)
     }
 
@@ -663,6 +741,8 @@ impl<const L: usize> LaneManager<L> {
         tensors: [&Tensor; L],
         order: &VarOrder,
     ) -> Result<LaneEdge, LaneDivergence> {
+        // One tensor = one weight scope, as in the scalar conversion.
+        self.begin_scope();
         let sorted: Vec<Tensor> = tensors.iter().map(|t| t.sorted_by(order)).collect();
         debug_assert!(
             sorted.iter().all(|t| t.indices() == sorted[0].indices()),
@@ -717,12 +797,13 @@ impl<const L: usize> LaneManager<L> {
 /// `networks[i]` is lane `i`'s instantiation — same tensors in the same
 /// slots with the same index structure, only the values differing (a
 /// noise sweep batch). `tolerance` must match the scalar reference
-/// store's ([`crate::SharedTddStore::tolerance`]), or the per-lane snap
+/// store's ([`crate::SharedTddStore::tolerance`]), or the per-lane glue
 /// stops replicating the reference values.
 ///
 /// On success every `scalars[i]` is bit-identical to contracting
-/// `networks[i]` alone over a canonical shared store with the same plan
-/// and order. On [`LaneError::Divergence`] nothing useful was computed
+/// `networks[i]` alone over a shared store with scoped interning
+/// ([`crate::TddManager::new_shared_scoped`]) with the same plan and
+/// order. On [`LaneError::Divergence`] nothing useful was computed
 /// and the caller replays the batch per point; on [`LaneError::Timeout`]
 /// the armed `deadline` expired.
 ///
@@ -783,6 +864,8 @@ pub fn contract_network_lanes<const L: usize>(
                 let mut levels: Vec<u32> = eliminate.iter().map(|&i| order.level(i)).collect();
                 levels.sort_unstable();
                 let set = m.intern_elim_set(levels);
+                // One plan step = one weight scope, as in the scalar driver.
+                m.begin_scope();
                 let e = m.cont_rec(ea, eb, set, 0)?;
                 slots[*result] = Some(e);
                 e
@@ -796,6 +879,7 @@ pub fn contract_network_lanes<const L: usize>(
                 let mut levels: Vec<u32> = eliminate.iter().map(|&i| order.level(i)).collect();
                 levels.sort_unstable();
                 let set = m.intern_elim_set(levels);
+                m.begin_scope();
                 let e = m.cont_rec(et, LaneEdge::ONE, set, 0)?;
                 slots[*result] = Some(e);
                 e
@@ -809,6 +893,8 @@ pub fn contract_network_lanes<const L: usize>(
         .find_map(|i| slots[i].take())
         .unwrap_or(LaneEdge::ONE);
     if plan.free_loops > 0 {
+        // Fresh scope for the final scaling, as in the scalar driver.
+        m.begin_scope();
         root = LaneEdge {
             node: root.node,
             weight: m.wscale_real(root.weight, (plan.free_loops as f64).exp2())?,
@@ -856,7 +942,7 @@ mod tests {
 
     fn scalar_reference(net: &TensorNetwork, plan: &ContractionPlan, order: &VarOrder) -> C64 {
         let store = SharedTddStore::new();
-        let mut m = TddManager::new_shared(&store);
+        let mut m = TddManager::new_shared_scoped(&store);
         let result = contract_network(&mut m, net, plan, order);
         m.edge_scalar(result.root).expect("closed network")
     }
@@ -944,25 +1030,89 @@ mod tests {
     }
 
     #[test]
-    fn snap_matches_the_shared_store_values() {
-        // The lane snap must reproduce the shared store's stored value
-        // for every regime: zero box, grid cell, the exact-one cell,
-        // huge exact-bits.
+    fn glue_matches_the_scoped_scalar_stored_values() {
+        // Interning the same value sequence through a single-lane
+        // manager and through a scoped shared-store manager must store
+        // identical bits: zero box, fresh representatives, round-off
+        // twins that glue to an earlier representative, the exact one,
+        // and huge values (exact bits, no grid in the scoped family).
         let store = SharedTddStore::new();
-        let m = LaneManager::<1>::with_tolerance(1e-10);
-        for z in [
+        let mut scalar = TddManager::new_shared_scoped(&store);
+        let mut lanes = LaneManager::<1>::with_tolerance(store.tolerance());
+        let tol = store.tolerance();
+        let sequence = [
             C64::new(5e-11, -5e-11),
             C64::new(0.25, -0.75),
-            C64::new(1.0 + 1e-12, -1e-13),
+            C64::new(0.25 + 0.4 * tol, -0.75 - 0.4 * tol), // glues to the rep above
+            C64::new(1.0 + 1e-12, -1e-13),                 // a rep near one, not one
             C64::ONE,
             C64::new(3.5e12, -1.0),
             C64::new(-0.125, 0.5),
-        ] {
-            let id = store.intern_weight(z);
-            let reference = store.weight_value(id);
-            let (re, im) = m.snap(z.re, z.im);
-            assert_eq!(re.to_bits(), reference.re.to_bits(), "{z} re");
-            assert_eq!(im.to_bits(), reference.im.to_bits(), "{z} im");
+        ];
+        for z in sequence {
+            let scalar_id = scalar.intern_weight(z);
+            let reference = scalar.weight_value(scalar_id);
+            let lane_id = lanes.intern(LaneC64::splat(z)).expect("one lane");
+            let stored = lanes.wvalue(lane_id);
+            assert_eq!(stored.re[0].to_bits(), reference.re.to_bits(), "{z} re");
+            assert_eq!(stored.im[0].to_bits(), reference.im.to_bits(), "{z} im");
+            // Handle classes must match too: the scalar ZERO/ONE ids
+            // are exactly the lane W_ZERO/W_ONE handles.
+            assert_eq!(lane_id == W_ZERO, scalar_id == crate::WeightId::ZERO);
+            assert_eq!(lane_id == W_ONE, scalar_id == crate::WeightId::ONE);
         }
+        // A new scope forgets the representatives on both sides.
+        scalar.begin_weight_scope();
+        lanes.begin_scope();
+        let z = C64::new(0.25 + 0.4 * tol, -0.75 - 0.4 * tol);
+        let scalar_id = scalar.intern_weight(z);
+        let reference = scalar.weight_value(scalar_id);
+        let lane_id = lanes.intern(LaneC64::splat(z)).expect("one lane");
+        let stored = lanes.wvalue(lane_id);
+        assert_eq!(stored.re[0].to_bits(), reference.re.to_bits());
+        assert_eq!(reference.re, z.re, "fresh scope: the twin is its own rep");
+    }
+
+    #[test]
+    fn mixed_exact_one_lanes_diverge_on_arithmetic() {
+        let mut m = LaneManager::<2>::with_tolerance(1e-10);
+        let mut mixed = LaneC64::ZERO;
+        mixed.re = [1.0, 0.5];
+        mixed.im = [0.0, 0.0];
+        let w = m.intern(mixed).expect("mixed exact-one lanes intern fine");
+        assert!(m.mixed_exact_one(w));
+        let mut other = LaneC64::ZERO;
+        other.re = [0.25, 0.75];
+        other.im = [0.125, -0.5];
+        let o = m.intern(other).expect("plain weight");
+        assert!(
+            m.wmul(w, o).is_err(),
+            "multiplying a mixed exact-one weight must diverge"
+        );
+        assert!(
+            m.wdiv(o, w).is_err(),
+            "dividing by a mixed exact-one weight must diverge"
+        );
+        // Dividing *by* a plain weight with a mixed-one numerator is
+        // fine — the scalar wdiv has no a.is_one() shortcut.
+        assert!(m.wdiv(w, o).is_ok());
+    }
+
+    #[test]
+    fn bitwise_equal_lane_weights_under_distinct_handles_diverge_on_division() {
+        let mut m = LaneManager::<2>::with_tolerance(1e-10);
+        let mut a = LaneC64::ZERO;
+        a.re = [0.25, 0.5];
+        a.im = [0.0, 0.0];
+        let wa = m.intern(a).expect("weight a");
+        let mut b = LaneC64::ZERO;
+        b.re = [0.25, 0.75];
+        b.im = [0.0, 0.0];
+        let wb = m.intern(b).expect("weight b");
+        assert_ne!(wa, wb);
+        assert!(
+            m.wdiv(wa, wb).is_err(),
+            "lane 0 divides bit-equal values (scalar takes x/x ⇒ ONE) — must diverge"
+        );
     }
 }

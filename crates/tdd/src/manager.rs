@@ -11,7 +11,7 @@
 //! elimination-set interning route through the store.
 
 use crate::fxhash::{FxHashMap, FxHashSet};
-use crate::store::SharedTddStore;
+use crate::store::{SharedTddStore, WeightClass};
 use crate::weight::{WeightId, WeightTable};
 use qaec_math::C64;
 use std::sync::Arc;
@@ -118,6 +118,12 @@ pub struct TddStats {
     /// sessions this is the footprint the service layer's byte-budgeted
     /// eviction accounts against.
     pub store_bytes: u64,
+    /// High-water mark of `store_bytes` over the run (and, for shared
+    /// stores, over every retired predecessor in a reclamation chain —
+    /// see [`crate::SharedTddStore::peak_bytes_used`]). With reclamation
+    /// off this equals the final `store_bytes`; with it on, the gap
+    /// between the two is the memory reclamation returned.
+    pub peak_store_bytes: u64,
 }
 
 impl TddStats {
@@ -152,6 +158,7 @@ impl TddStats {
         // A footprint, not a counter: every worker of a run reports the
         // same store, so summing would multiply it by the worker count.
         self.store_bytes = self.store_bytes.max(other.store_bytes);
+        self.peak_store_bytes = self.peak_store_bytes.max(other.peak_store_bytes);
     }
 }
 
@@ -166,7 +173,7 @@ impl std::fmt::Display for TddStats {
         };
         write!(
             f,
-            "nodes created {} (peak {}), unique hits {} ({} cross-thread), add {} ({:.0}% hit), cont {} ({:.0}% hit), seeded {} (hits {}), gc runs {}, store {} B",
+            "nodes created {} (peak {}), unique hits {} ({} cross-thread), add {} ({:.0}% hit), cont {} ({:.0}% hit), seeded {} (hits {}), gc runs {}, store {} B (peak {} B)",
             self.nodes_created,
             self.peak_nodes,
             self.unique_hits,
@@ -179,6 +186,7 @@ impl std::fmt::Display for TddStats {
             self.seed_hits,
             self.gc_runs,
             self.store_bytes,
+            self.peak_store_bytes,
         )
     }
 }
@@ -192,6 +200,71 @@ pub(crate) struct PrivateStore {
     pub(crate) unique: FxHashMap<Node, NodeId>,
 }
 
+impl PrivateStore {
+    /// Bytes of backing storage this private store holds: arena and
+    /// unique-table capacity plus the weight table — the private
+    /// counterpart of [`SharedTddStore::bytes_used`], so shared-vs-
+    /// private memory is actually comparable in reports. Capacity-based
+    /// like the shared estimate (hash-table entries count one control
+    /// byte per bucket, the std layout).
+    pub(crate) fn bytes_used(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.unique.capacity()
+                * (std::mem::size_of::<Node>() + std::mem::size_of::<NodeId>() + 1)
+            + self.weights.bytes_used()
+    }
+}
+
+/// How a shared-store manager maps arithmetic results to [`WeightId`]s —
+/// the choice of interning family (see `crate::store`'s module docs).
+#[derive(Debug)]
+pub(crate) enum SharedInterning {
+    /// The grid family: snap to the canonical `tol/32` cell, globally.
+    /// Every manager on the store maps equal values to one id *and one
+    /// stored value*, which is what makes memo-table entries portable
+    /// across workers and trace terms (Algorithm I's seeding).
+    Canonical {
+        /// Write-combining lookaside: grid cell → interned id. Only the
+        /// first sighting of a cell takes the store's stripe lock.
+        weight_cache: FxHashMap<(i64, i64), WeightId>,
+    },
+    /// The exact-bits family with *scope-local* tolerance gluing: within
+    /// one weight scope (one leaf conversion, one plan step — see
+    /// [`TddManager::begin_weight_scope`]) the first value seen in a
+    /// tolerance neighbourhood becomes its representative, exactly like
+    /// a private [`WeightTable`]; the representative's bits intern
+    /// globally by identity. Avoids the grid's cell-straddling
+    /// fragmentation (round-off twins landing in different cells), which
+    /// is what made shared-store plan runs allocate ~3× the private
+    /// driver's weights. Results stay bit-identical across schedules
+    /// because each scope is a pure function of its operand values.
+    Scoped {
+        /// Cross-scope bits → global exact id (pure, never cleared).
+        lookaside: FxHashMap<(u64, u64), WeightId>,
+        /// Scope-local representatives, bucketed at 2·tol for the 3×3
+        /// neighbourhood probe. Cleared at every scope boundary.
+        glue: FxHashMap<(i64, i64), Vec<(C64, WeightId)>>,
+        /// Scope-local bits → already-glued id (probe short-circuit).
+        resolved: FxHashMap<(u64, u64), WeightId>,
+    },
+}
+
+impl SharedInterning {
+    fn canonical() -> Self {
+        SharedInterning::Canonical {
+            weight_cache: FxHashMap::default(),
+        }
+    }
+
+    fn scoped() -> Self {
+        SharedInterning::Scoped {
+            lookaside: FxHashMap::default(),
+            glue: FxHashMap::default(),
+            resolved: FxHashMap::default(),
+        }
+    }
+}
+
 /// Where a manager keeps its nodes and weights: its own [`PrivateStore`]
 /// or a handle onto a cross-thread [`SharedTddStore`].
 #[derive(Debug)]
@@ -202,7 +275,67 @@ pub(crate) enum TddStore {
     Shared {
         store: Arc<SharedTddStore>,
         worker: u32,
+        /// Which interning family this manager routes weights through.
+        interning: SharedInterning,
     },
+}
+
+/// Shared-store interning through the manager's chosen family.
+#[inline]
+fn intern_shared(store: &SharedTddStore, interning: &mut SharedInterning, z: C64) -> WeightId {
+    debug_assert!(z.is_finite(), "non-finite weight {z}");
+    match interning {
+        SharedInterning::Canonical { weight_cache } => match store.classify(z) {
+            WeightClass::Zero => WeightId::ZERO,
+            WeightClass::Huge => store.intern_weight_huge(z),
+            WeightClass::Grid(re, im) => *weight_cache
+                .entry((re, im))
+                .or_insert_with(|| store.intern_weight_cell((re, im))),
+        },
+        SharedInterning::Scoped {
+            lookaside,
+            glue,
+            resolved,
+        } => {
+            let tol = store.tolerance();
+            if z.re.abs() <= tol && z.im.abs() <= tol {
+                return WeightId::ZERO;
+            }
+            let bits = (z.re.to_bits(), z.im.to_bits());
+            if let Some(&id) = resolved.get(&bits) {
+                return id;
+            }
+            // Glue within the scope: bucket width 2·tol, so the 3×3
+            // probe covers every representative within tol (Chebyshev).
+            // The bucket key saturates for huge values, so the probe
+            // must saturate too.
+            let w = 2.0 * tol;
+            let (kr, ki) = ((z.re / w).round() as i64, (z.im / w).round() as i64);
+            for dr in -1..=1i64 {
+                for di in -1..=1i64 {
+                    if let Some(reps) = glue.get(&(kr.saturating_add(dr), ki.saturating_add(di))) {
+                        for &(v, id) in reps {
+                            if (v.re - z.re).abs() <= tol && (v.im - z.im).abs() <= tol {
+                                resolved.insert(bits, id);
+                                return id;
+                            }
+                        }
+                    }
+                }
+            }
+            // First sighting in this neighbourhood: `z` becomes the
+            // scope's representative, interned globally by exact bits —
+            // so every id a scoped manager hands out is *the* global id
+            // of its stored bits, making id equality equivalent to
+            // value-bit equality (the fast paths below rely on this).
+            let id = *lookaside
+                .entry(bits)
+                .or_insert_with(|| store.intern_weight_exact(z));
+            glue.entry((kr, ki)).or_default().push((z, id));
+            resolved.insert(bits, id);
+            id
+        }
+    }
 }
 
 /// The decision-diagram engine: arena, unique table, computed tables and
@@ -298,7 +431,61 @@ impl TddManager {
         Self::with_store(TddStore::Shared {
             store: Arc::clone(store),
             worker,
+            interning: SharedInterning::canonical(),
         })
+    }
+
+    /// [`Self::new_shared`] with **scope-local** weight interning: the
+    /// manager glues within [`Self::begin_weight_scope`] windows and
+    /// interns representatives by exact bits, instead of snapping to the
+    /// store's global grid. This is the plan drivers' mode — it keeps a
+    /// shared-store contraction as compact as the private driver's.
+    /// Callers own the scope boundaries: open one per leaf conversion
+    /// and per plan step, and results are bit-identical whatever the
+    /// schedule or thread count.
+    pub fn new_shared_scoped(store: &Arc<SharedTddStore>) -> Self {
+        let mut m = Self::new_shared(store);
+        m.set_scoped_interning();
+        m
+    }
+
+    /// Switches this shared-store manager to the scoped interning family
+    /// (no-op on private stores). Computed tables are cleared: their
+    /// entries may cache grid-family ids, which scoped scopes must never
+    /// observe.
+    pub fn set_scoped_interning(&mut self) {
+        if let TddStore::Shared { interning, .. } = &mut self.store {
+            *interning = SharedInterning::scoped();
+            self.clear_computed_tables();
+        }
+    }
+
+    /// Opens a new weight scope on a scoped-interning manager: drops the
+    /// scope-local glue so the next tolerance neighbourhood elects a
+    /// fresh representative, and clears the computed tables (their
+    /// entries embed the outgoing scope's representative ids). A no-op
+    /// for canonical and private managers, so generic call sites —
+    /// `from_tensor`, the plan drivers — can mark scope boundaries
+    /// unconditionally.
+    ///
+    /// Each scope is a pure function of its operand *values*: within a
+    /// scope, representative election follows the deterministic
+    /// recursion order, and across scopes only exact bits persist (via
+    /// the global exact-interning family). That is the determinism
+    /// invariant that keeps scoped shared-store runs bit-identical for
+    /// every thread count.
+    pub fn begin_weight_scope(&mut self) {
+        if let TddStore::Shared {
+            interning: SharedInterning::Scoped { glue, resolved, .. },
+            ..
+        } = &mut self.store
+        {
+            glue.clear();
+            resolved.clear();
+        } else {
+            return;
+        }
+        self.clear_computed_tables();
     }
 
     fn with_store(store: TddStore) -> Self {
@@ -382,9 +569,27 @@ impl TddManager {
 
     /// Operation statistics so far. For shared-store managers this holds
     /// only the manager-local counters (computed tables, seeding);
-    /// allocation counters live in [`crate::SharedTddStore::stats`].
+    /// allocation counters and store footprint live in
+    /// [`crate::SharedTddStore::stats`]. Private-store managers report
+    /// their own arena/table footprint here, so shared-vs-private
+    /// memory is comparable in merged reports.
     pub fn stats(&self) -> TddStats {
-        self.stats
+        let mut stats = self.stats;
+        if let TddStore::Private(p) = &self.store {
+            stats.store_bytes = p.bytes_used() as u64;
+            stats.peak_store_bytes = stats.peak_store_bytes.max(stats.store_bytes);
+        }
+        stats
+    }
+
+    /// Records the current private-store footprint into the
+    /// `peak_store_bytes` high-water mark. Called before garbage
+    /// collection, which is the only event that can shrink a private
+    /// store mid-run.
+    pub(crate) fn note_store_peak(&mut self) {
+        if let TddStore::Private(p) = &self.store {
+            self.stats.peak_store_bytes = self.stats.peak_store_bytes.max(p.bytes_used() as u64);
+        }
     }
 
     /// The weight-interning tolerance.
@@ -409,7 +614,9 @@ impl TddManager {
     pub fn intern_weight(&mut self, z: C64) -> WeightId {
         match &mut self.store {
             TddStore::Private(p) => p.weights.intern(z),
-            TddStore::Shared { store, .. } => store.intern_weight(z),
+            TddStore::Shared {
+                store, interning, ..
+            } => intern_shared(store, interning, z),
         }
     }
 
@@ -426,7 +633,9 @@ impl TddManager {
     pub(crate) fn wmul(&mut self, a: WeightId, b: WeightId) -> WeightId {
         match &mut self.store {
             TddStore::Private(p) => p.weights.mul(a, b),
-            TddStore::Shared { store, .. } => {
+            TddStore::Shared {
+                store, interning, ..
+            } => {
                 if a.is_zero() || b.is_zero() {
                     WeightId::ZERO
                 } else if a.is_one() {
@@ -434,7 +643,11 @@ impl TddManager {
                 } else if b.is_one() {
                     a
                 } else {
-                    store.intern_weight(store.weight_value(a) * store.weight_value(b))
+                    intern_shared(
+                        store,
+                        interning,
+                        store.weight_value(a) * store.weight_value(b),
+                    )
                 }
             }
         }
@@ -444,13 +657,19 @@ impl TddManager {
     pub(crate) fn wadd(&mut self, a: WeightId, b: WeightId) -> WeightId {
         match &mut self.store {
             TddStore::Private(p) => p.weights.add(a, b),
-            TddStore::Shared { store, .. } => {
+            TddStore::Shared {
+                store, interning, ..
+            } => {
                 if a.is_zero() {
                     b
                 } else if b.is_zero() {
                     a
                 } else {
-                    store.intern_weight(store.weight_value(a) + store.weight_value(b))
+                    intern_shared(
+                        store,
+                        interning,
+                        store.weight_value(a) + store.weight_value(b),
+                    )
                 }
             }
         }
@@ -464,7 +683,9 @@ impl TddManager {
     pub(crate) fn wdiv(&mut self, a: WeightId, b: WeightId) -> WeightId {
         match &mut self.store {
             TddStore::Private(p) => p.weights.div(a, b),
-            TddStore::Shared { store, .. } => {
+            TddStore::Shared {
+                store, interning, ..
+            } => {
                 assert!(!b.is_zero(), "division by the zero weight");
                 if a.is_zero() {
                     WeightId::ZERO
@@ -473,7 +694,11 @@ impl TddManager {
                 } else if a == b {
                     WeightId::ONE
                 } else {
-                    store.intern_weight(store.weight_value(a) / store.weight_value(b))
+                    intern_shared(
+                        store,
+                        interning,
+                        store.weight_value(a) / store.weight_value(b),
+                    )
                 }
             }
         }
@@ -483,7 +708,9 @@ impl TddManager {
     pub(crate) fn wscale_real(&mut self, a: WeightId, factor: f64) -> WeightId {
         match &mut self.store {
             TddStore::Private(p) => p.weights.scale_real(a, factor),
-            TddStore::Shared { store, .. } => {
+            TddStore::Shared {
+                store, interning, ..
+            } => {
                 if factor == 0.0 || a.is_zero() {
                     if factor == 0.0 {
                         WeightId::ZERO
@@ -491,7 +718,7 @@ impl TddManager {
                         a
                     }
                 } else {
-                    store.intern_weight(store.weight_value(a) * factor)
+                    intern_shared(store, interning, store.weight_value(a) * factor)
                 }
             }
         }
@@ -599,7 +826,7 @@ impl TddManager {
             },
             // Allocation counters are store-owned under sharing (merged
             // once per run), so nothing is added to the local stats here.
-            TddStore::Shared { store, worker } => store.unique_node(key, *worker),
+            TddStore::Shared { store, worker, .. } => store.unique_node(key, *worker),
         };
         Edge { node, weight: norm }
     }
@@ -689,8 +916,15 @@ impl TddManager {
     /// the entries must be valid here.
     pub fn seed_cont_cache(&mut self, entries: &FxHashMap<ContCacheKey, Edge>) {
         debug_assert!(
-            self.is_shared(),
-            "cont-cache seeding requires a shared store"
+            matches!(
+                &self.store,
+                TddStore::Shared {
+                    interning: SharedInterning::Canonical { .. },
+                    ..
+                }
+            ),
+            "cont-cache seeding requires globally-pure (canonical) interning \
+             on a shared store — scoped entries embed scope-local ids"
         );
         for (&key, &result) in entries {
             if let std::collections::hash_map::Entry::Vacant(slot) = self.cont_cache.entry(key) {
@@ -884,6 +1118,7 @@ mod tests {
             gc_runs: 1,
             peak_nodes: 100,
             store_bytes: 4096,
+            peak_store_bytes: 8192,
         };
         let b = TddStats {
             nodes_created: 5,
@@ -898,6 +1133,7 @@ mod tests {
             gc_runs: 0,
             peak_nodes: 40,
             store_bytes: 9000,
+            peak_store_bytes: 9000,
         };
         a.merge(&b);
         assert_eq!(a.nodes_created, 15);
@@ -912,6 +1148,7 @@ mod tests {
         assert_eq!(a.gc_runs, 1);
         assert_eq!(a.peak_nodes, 100, "peak takes the max, not the sum");
         assert_eq!(a.store_bytes, 9000, "footprint takes the max, not the sum");
+        assert_eq!(a.peak_store_bytes, 9000, "peak footprint maxes too");
     }
 
     #[test]

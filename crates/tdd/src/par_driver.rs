@@ -12,22 +12,27 @@
 //!
 //! ## Why any schedule gives the same answer, bit for bit
 //!
-//! Under the shared store's canonical interning every weight is a pure
-//! function of its value, node construction is globally hash-consed, and
-//! `ops::add` orders its operands by weight *value* — so
-//! [`crate::ops::cont`] is a pure function of its operand edges and the
-//! elimination set. Each step's result edge is therefore the same in
-//! every topological execution order, including the fully sequential
-//! one; scheduling affects only which worker computes (or re-computes)
-//! what. The reported `max_nodes` is a max over per-step
+//! Workers attach to the store with **scoped** interning
+//! ([`TddManager::new_shared_scoped`]): each leaf conversion and each
+//! plan step opens a fresh weight scope, whose tolerance gluing and
+//! computed tables start empty. Within a scope the computation is the
+//! deterministic `cont` recursion over the operand *values* — glue
+//! representatives are elected in recursion order, interned globally by
+//! exact bits, and `ops::add` orders its operands by weight value — so a
+//! step's result edge (value bits and node shape) is a pure function of
+//! its operands and the elimination set. Nothing value-bearing leaks
+//! between scopes except the exact-bits store itself, which is a global
+//! find-or-insert keyed by bit pattern. Each step's result is therefore
+//! the same in every topological execution order, including the fully
+//! sequential one; scheduling affects only which worker computes what.
+//! The reported `max_nodes` is a max over per-step
 //! [`TddManager::node_count`] values of those scheduling-independent
-//! edges, so it is deterministic too. Per-worker computed tables change
-//! hit counts, never values.
+//! edges, so it is deterministic too.
 //!
-//! Workers keep their computed tables across all steps they execute, so
-//! a worker that lands several sub-contractions of one region of the
-//! network reuses its own memoized sub-results just like the sequential
-//! driver would.
+//! (The scoped family exists because the canonical grid fragments under
+//! plan-driver arithmetic — round-off twins straddling grid cells
+//! tripled the weight arena and with it the whole contraction's cost;
+//! see `crate::store`'s module docs.)
 
 use crate::convert::from_tensor;
 use crate::driver::{ContractionResult, DriverTimeout};
@@ -278,7 +283,7 @@ pub fn contract_network_parallel(
     let n_inputs = network.tensors().len();
     let worker = |_w: usize| -> Result<(usize, TddStats), DriverTimeout> {
         let _panic_guard = PanicGuard(&scheduler);
-        let mut m = TddManager::new_shared(store);
+        let mut m = TddManager::new_shared_scoped(store);
         m.set_deadline(options.deadline);
         let mut max_nodes = 0usize;
         // Resolves one operand slot: produced slots read the published
@@ -322,6 +327,9 @@ pub fn contract_network_parallel(
             let mut levels: Vec<u32> = eliminate.iter().map(|&i| order.level(i)).collect();
             levels.sort_unstable();
             let set = m.intern_elim_set(levels);
+            // One plan step = one weight scope, mirroring the sequential
+            // driver exactly (the purity unit of the module docs).
+            m.begin_weight_scope();
             let e = match crate::ops::try_cont(&mut m, operands.0, operands.1, set) {
                 Ok(e) => e,
                 Err(timeout) => {
@@ -363,7 +371,7 @@ pub fn contract_network_parallel(
     // bare input unconsumed), account for any other unconsumed inputs so
     // `max_nodes` matches the sequential driver's leaf accounting, and
     // apply the free-loop scalar.
-    let mut m = TddManager::new_shared(store);
+    let mut m = TddManager::new_shared_scoped(store);
     for &slot in &graph.unconsumed_inputs {
         if scheduler.slots[slot].get().is_none() {
             let e = from_tensor(&mut m, &network.tensors()[slot], order);
@@ -378,6 +386,7 @@ pub fn contract_network_parallel(
         None => Edge::ONE,
     };
     if plan.free_loops > 0 {
+        m.begin_weight_scope();
         root = Edge {
             node: root.node,
             weight: m.wscale_real(root.weight, (plan.free_loops as f64).exp2()),
@@ -445,9 +454,10 @@ mod tests {
             let order = VarOrder::from_sequence((0..8).map(IndexId));
             let plan = net.plan(strategy);
 
-            // Sequential reference on a (fresh) shared store.
+            // Sequential reference on a (fresh) shared store, same
+            // interning family as the parallel workers.
             let seq_store = SharedTddStore::new();
-            let mut seq_m = TddManager::new_shared(&seq_store);
+            let mut seq_m = TddManager::new_shared_scoped(&seq_store);
             let seq =
                 contract_network_opts(&mut seq_m, &net, &plan, &order, DriverOptions::default())
                     .expect("no deadline");

@@ -206,6 +206,21 @@ impl WeightTable {
     pub fn magnitude(&self, a: WeightId) -> f64 {
         self.value(a).abs()
     }
+
+    /// Bytes of backing storage the table holds: value-arena capacity
+    /// plus the bucket index (map capacity with one control byte per
+    /// bucket, the std hash-table layout, plus each bucket's id list) —
+    /// the private counterpart of the shared store's byte accounting.
+    pub fn bytes_used(&self) -> usize {
+        let entry = std::mem::size_of::<(i64, i64)>() + std::mem::size_of::<Vec<u32>>();
+        self.values.capacity() * std::mem::size_of::<C64>()
+            + self.buckets.capacity() * (entry + 1)
+            + self
+                .buckets
+                .values()
+                .map(|ids| ids.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
 }
 
 #[cfg(test)]
