@@ -51,8 +51,10 @@ use qaec_tdd::{
 };
 use qaec_tensornet::{ContractionPlan, VarOrder};
 use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use qaec_tdd::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use qaec_tdd::sync::Mutex;
 use std::time::Instant;
 
 /// Everything the workers need to instantiate and contract one term.
@@ -465,6 +467,10 @@ impl TermEngine<'_> {
         let mut batch = Vec::with_capacity(batch_size);
         let mut imported_mass = f64::NEG_INFINITY;
         'steal: loop {
+            // ordering: SeqCst — stop is a control-flow flag only (result
+            // data travels through the reducer mutex); SeqCst everywhere
+            // keeps the flag's reads/writes in one total order at
+            // negligible cost off the per-node hot path.
             if shared.stop.load(Ordering::SeqCst) {
                 break;
             }
@@ -479,6 +485,7 @@ impl TermEngine<'_> {
                 .len()
                 >= PENDING_LIMIT
             {
+                // ordering: SeqCst — control-flow flag (see loop head).
                 if shared.stop.load(Ordering::SeqCst) {
                     break 'steal;
                 }
@@ -507,10 +514,12 @@ impl TermEngine<'_> {
                 }
             }
             for (seq, choice, mass) in batch.drain(..) {
+                // ordering: SeqCst — control-flow flag (see loop head).
                 if shared.stop.load(Ordering::SeqCst) {
                     break 'steal;
                 }
                 if self.deadline_expired() {
+                    // ordering: SeqCst — control-flow flag (see loop head).
                     shared.stop.store(true, Ordering::SeqCst);
                     return Err(QaecError::Timeout);
                 }
@@ -519,6 +528,7 @@ impl TermEngine<'_> {
                     Err(e) => {
                         // A timeout *inside* a contraction must also stop
                         // the siblings, not just the pre-term check above.
+                        // ordering: SeqCst — control-flow flag (loop head).
                         shared.stop.store(true, Ordering::SeqCst);
                         return Err(e);
                     }
@@ -545,6 +555,8 @@ impl TermEngine<'_> {
                     .expect("engine reducer poisoned")
                     .submit(seq, term, mass);
                 if decided {
+                    // ordering: SeqCst — control-flow flag (loop head);
+                    // the decision itself came out of the reducer mutex.
                     shared.stop.store(true, Ordering::SeqCst);
                     break 'steal;
                 }
@@ -568,9 +580,16 @@ impl TermEngine<'_> {
             let mut ctx = WorkerCtx::new(self, store.clone());
             let mut values = Vec::new();
             loop {
+                // ordering: SeqCst — control-flow stop flag, as in
+                // `epsilon_worker`; term values travel through each
+                // worker's local vec and the join, not this flag.
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
+                // ordering: SeqCst — the RMW's atomicity alone partitions
+                // the job range; SeqCst (over Relaxed) keeps every engine
+                // control atomic in one total order for free off the hot
+                // path.
                 let lo = cursor.fetch_add(batch_size, Ordering::SeqCst);
                 if lo >= jobs.len() {
                     break;
@@ -578,12 +597,14 @@ impl TermEngine<'_> {
                 let hi = (lo + batch_size).min(jobs.len());
                 for (index, choice) in jobs.iter().enumerate().take(hi).skip(lo) {
                     if self.deadline_expired() {
+                        // ordering: SeqCst — control-flow flag (loop head).
                         stop.store(true, Ordering::SeqCst);
                         return Err(QaecError::Timeout);
                     }
                     match ctx.contract(choice) {
                         Ok(term) => values.push((index, term)),
                         Err(e) => {
+                            // ordering: SeqCst — control-flow flag (above).
                             stop.store(true, Ordering::SeqCst);
                             return Err(e);
                         }

@@ -87,8 +87,10 @@ use qaec_tdd::run_on_workers;
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use qaec_tdd::sync::atomic::{AtomicU64, Ordering};
+use qaec_tdd::sync::Mutex;
 
 /// Configuration of a [`Service`].
 #[derive(Clone, Debug, Default)]
@@ -325,6 +327,8 @@ impl Service {
         }
         let (slot, cache) = self.lookup(key);
         let cell = slot.cell.get_or_init(|| {
+            // ordering: Relaxed — statistics counter; the OnceLock is what
+            // synchronises the compiled session itself.
             self.compiles.fetch_add(1, Ordering::Relaxed);
             let session = CompiledCheck::compile_prevalidated(
                 &request.ideal,
@@ -402,8 +406,12 @@ impl Service {
         let store_bytes: usize = cache.entries.values().map(|e| e.slot.bytes()).sum();
         let peak_store_bytes: usize = cache.entries.values().map(|e| e.slot.peak_bytes()).sum();
         ServiceStats {
+            // ordering: Relaxed (×4) — statistics counters; a reader racing
+            // a live request may be one bump behind, which a stats snapshot
+            // tolerates by design.
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            // ordering: Relaxed — statistics counters, as above.
             compiles: self.compiles.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             sessions: cache.entries.len(),
@@ -423,6 +431,8 @@ impl Service {
         match cache.entries.entry(key) {
             MapEntry::Occupied(mut entry) => {
                 entry.get_mut().last_used = tick;
+                // ordering: Relaxed — statistics counter under the cache
+                // lock; the lock orders the cache state itself.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 (Arc::clone(&entry.get().slot), CacheOutcome::Hit)
             }
@@ -434,6 +444,7 @@ impl Service {
                     slot: Arc::clone(&slot),
                     last_used: tick,
                 });
+                // ordering: Relaxed — statistics counter (see `hits`).
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 (slot, CacheOutcome::Miss)
             }
@@ -466,6 +477,8 @@ impl Service {
             match victim {
                 Some(key) => {
                     cache.entries.remove(&key);
+                    // ordering: Relaxed — statistics counter under the
+                    // cache lock (see `hits`).
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 None => return,

@@ -84,7 +84,9 @@ use crate::report::{AlgorithmUsed, EquivalenceReport, Verdict};
 use crate::{validate, validate_epsilon};
 use qaec_circuit::{Circuit, NoiseChannel};
 use qaec_tdd::{SharedTddStore, TddStats};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use qaec_tdd::sync::Mutex;
 use std::time::Duration;
 
 /// A swappable handle to a session's warm shared store.

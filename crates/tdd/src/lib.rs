@@ -75,7 +75,11 @@ pub mod manager;
 pub mod ops;
 pub mod par_driver;
 pub mod store;
+pub mod sync;
 pub mod weight;
+
+#[cfg(all(test, qaec_model))]
+mod model_tests;
 
 pub use driver::{
     contract_network, contract_network_opts, ContractionResult, DriverOptions, DriverTimeout,

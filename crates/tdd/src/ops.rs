@@ -44,6 +44,8 @@ pub fn add(m: &mut TddManager, a: Edge, b: Edge) -> Edge {
 /// # Errors
 ///
 /// [`DriverTimeout`] once the armed deadline has passed.
+// hot-region: begin(try_add) — per-node recursion core; no clocks or
+// allocation allowed (deadline probes are amortised in the manager).
 pub fn try_add(m: &mut TddManager, a: Edge, b: Edge) -> Result<Edge, DriverTimeout> {
     m.stats.add_calls += 1;
     if m.deadline_exceeded() {
@@ -117,6 +119,7 @@ pub fn try_add(m: &mut TddManager, a: Edge, b: Edge) -> Result<Edge, DriverTimeo
         weight: m.wmul(result.weight, a.weight),
     })
 }
+// hot-region: end(try_add)
 
 /// Contraction: multiplies two diagrams (matching along shared variables)
 /// and sums out the variables of the interned elimination set `set_id`
@@ -161,6 +164,8 @@ pub fn try_cont(m: &mut TddManager, a: Edge, b: Edge, set_id: u32) -> Result<Edg
     cont_rec(m, a, b, set_id, 0)
 }
 
+// hot-region: begin(cont_rec) — per-node recursion core; no clocks or
+// allocation allowed (deadline probes are amortised in the manager).
 fn cont_rec(
     m: &mut TddManager,
     a: Edge,
@@ -252,6 +257,7 @@ fn cont_rec(
         weight: m.wmul(result.weight, w),
     })
 }
+// hot-region: end(cont_rec)
 
 #[cfg(test)]
 mod tests {

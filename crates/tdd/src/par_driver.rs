@@ -40,8 +40,12 @@ use crate::manager::{Edge, TddManager, TddStats};
 use crate::store::SharedTddStore;
 use qaec_tensornet::{ContractionPlan, PlanGraph, PlanStep, TensorNetwork, VarOrder};
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+// The pool scheduler's ready-queue uses Condvar, which has no model twin, so
+// its Mutex stays `std::sync` (see `crate::sync`); the atomics go through the
+// shim and are model-checkable.
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Execution knobs for [`contract_network_parallel`].
@@ -158,6 +162,9 @@ impl Scheduler {
     fn next_step(&self) -> Option<usize> {
         let mut state = self.ready.lock().expect("scheduler poisoned");
         loop {
+            // ordering: Acquire pairs with the Release in `halt`; a worker
+            // that observes the stop flag also observes whatever state the
+            // halting thread wrote before raising it.
             if self.stop.load(Ordering::Acquire) {
                 return None;
             }
@@ -181,6 +188,10 @@ impl Scheduler {
         let mut rest: Vec<usize> = graph.dependents[step]
             .iter()
             .copied()
+            // ordering: AcqRel — the release half publishes this step's
+            // result slot to whoever decrements last; the acquire half makes
+            // every predecessor's published slot visible to the thread that
+            // takes the dependent (it alone sees the count hit zero).
             .filter(|&d| self.indegree[d].fetch_sub(1, Ordering::AcqRel) == 1)
             .collect();
         let follow = rest
@@ -212,6 +223,8 @@ impl Scheduler {
 
     /// Raises the stop flag and wakes every parked worker.
     fn halt(&self) {
+        // ordering: Release pairs with the Acquire in `next_step` (see
+        // there); notify_all below handles the wakeup itself.
         self.stop.store(true, Ordering::Release);
         self.wake.notify_all();
     }
@@ -363,6 +376,9 @@ pub fn contract_network_parallel(
     if let Some(e) = error {
         return Err(e);
     }
+    // ordering: Acquire (pairs with `halt`'s Release) — read after the
+    // worker join, which already ordered everything; Acquire keeps the
+    // site self-documenting and uniform with `next_step`.
     if scheduler.stop.load(Ordering::Acquire) {
         return Err(DriverTimeout);
     }

@@ -72,8 +72,10 @@ use qaec_math::C64;
 use std::cell::UnsafeCell;
 use std::hash::Hash;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use crate::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::Mutex;
 
 /// Number of mutex stripes in each concurrent table. A power of two so
 /// stripe selection is a mask.
@@ -140,6 +142,9 @@ struct AppendArena<T> {
 // the id escapes through a synchronising publication (release store of
 // `len` plus the stripe mutex release); they are immutable afterwards.
 unsafe impl<T: Send + Sync> Sync for AppendArena<T> {}
+// SAFETY: moving the arena moves ownership of every initialised slot, so
+// sending it between threads only requires the entries themselves to be
+// `Send`; the spine, length and push lock are all `Send` already.
 unsafe impl<T: Send> Send for AppendArena<T> {}
 
 /// Maps an entry index to its (chunk, offset) coordinates.
@@ -163,12 +168,16 @@ impl<T> AppendArena<T> {
     /// Number of initialised entries.
     #[inline]
     fn len(&self) -> usize {
+        // ordering: Acquire pairs with the Release store in `push`; any
+        // index below the loaded length has its slot write visible.
         self.len.load(Ordering::Acquire)
     }
 
     /// Appends `value`, returning its index.
     fn push(&self, value: T) -> usize {
         let _guard = self.push_lock.lock().expect("arena push lock poisoned");
+        // ordering: Relaxed is enough — `len` is only stored under the push
+        // lock we hold, so this read cannot miss a concurrent append.
         let index = self.len.load(Ordering::Relaxed);
         let (chunk, offset) = locate(index);
         let slots = self.spine[chunk].get_or_init(|| {
@@ -180,6 +189,8 @@ impl<T> AppendArena<T> {
         // SAFETY: `index` is past the published length, so no reader may
         // hold its id yet, and the push lock excludes other writers.
         unsafe { (*slots[offset].get()).write(value) };
+        // ordering: Release publishes the slot write above; readers that
+        // acquire-load `len` and see `index < len` see the initialised slot.
         self.len.store(index + 1, Ordering::Release);
         index
     }
@@ -499,6 +510,8 @@ impl SharedTddStore {
     /// cross-thread unique-table hits). [`crate::TddManager::new_shared`]
     /// calls this for you.
     pub fn register_worker(&self) -> u32 {
+        // ordering: Relaxed — a pure id allocator; the RMW's atomicity
+        // guarantees uniqueness and nothing is published through it.
         self.workers.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -557,11 +570,16 @@ impl SharedTddStore {
             let stripe = stripe.lock().expect("weight stripe poisoned");
             bytes += map_bytes(stripe.capacity(), weight_entry);
         }
-        let huge = self.huge_weights.lock().expect("huge weights poisoned");
-        bytes += map_bytes(
-            huge.capacity(),
-            std::mem::size_of::<(u64, u64)>() + std::mem::size_of::<WeightId>(),
-        );
+        {
+            // Scoped so the guard is released before the exact-stripe and
+            // elim-set locks below: sizing must never hold two store locks
+            // at once (two-guard lint).
+            let huge = self.huge_weights.lock().expect("huge weights poisoned");
+            bytes += map_bytes(
+                huge.capacity(),
+                std::mem::size_of::<(u64, u64)>() + std::mem::size_of::<WeightId>(),
+            );
+        }
         let exact_entry = std::mem::size_of::<(u64, u64)>() + std::mem::size_of::<WeightId>();
         for stripe in &self.exact_stripes {
             let stripe = stripe.lock().expect("exact weight stripe poisoned");
@@ -576,6 +594,8 @@ impl SharedTddStore {
             .keys()
             .map(|levels| levels.len() * std::mem::size_of::<u32>())
             .sum::<usize>();
+        // ordering: Relaxed — a monotone statistics high-water mark; the
+        // RMW's atomicity keeps the max correct and no data hangs off it.
         self.peak_bytes.fetch_max(bytes, Ordering::Relaxed);
         bytes
     }
@@ -586,6 +606,8 @@ impl SharedTddStore {
     /// steps down when a session swaps in a compact successor.
     pub fn peak_bytes_used(&self) -> usize {
         let now = self.bytes_used();
+        // ordering: Relaxed — statistics read; `max(now)` already covers
+        // any concurrent update this load could miss.
         self.peak_bytes.load(Ordering::Relaxed).max(now)
     }
 
@@ -641,6 +663,9 @@ impl SharedTddStore {
         let mut hits = self.base.unique_hits;
         let mut cross = self.base.cross_unique_hits;
         for stripe in &self.node_stripes {
+            // ordering: Relaxed — statistics counters read between runs;
+            // callers sequence this after the workers have joined, and an
+            // in-flight bump attributes to whichever side reads it.
             hits += stripe.hits.load(Ordering::Relaxed);
             cross += stripe.cross_hits.load(Ordering::Relaxed);
         }
@@ -784,14 +809,20 @@ impl SharedTddStore {
         let shard = (hash as usize) & (STRIPES - 1);
         let stripe = &self.node_stripes[shard];
         let (slot, tag) = NodeStripe::probe_coords(hash);
+        // ordering: Acquire pairs with the Release publication below — a
+        // non-zero slot implies the publisher's arena push (and its release
+        // of `len`) happened-before, so `get` below cannot miss the entry.
         let seen = stripe.probe[slot].load(Ordering::Acquire);
         if seen != 0 && (seen >> 32) as u32 == tag {
             let id = NodeId(seen as u32);
             let (s, index) = decode(id.0);
             let entry = self.nodes[s].get(index);
             if entry.node == key {
+                // ordering: Relaxed — statistics counters; nothing reads
+                // them for synchronisation, totals are summed after joins.
                 stripe.hits.fetch_add(1, Ordering::Relaxed);
                 if entry.creator != worker {
+                    // ordering: Relaxed — statistics counter (see above).
                     stripe.cross_hits.fetch_add(1, Ordering::Relaxed);
                 }
                 return id;
@@ -800,11 +831,16 @@ impl SharedTddStore {
         let mut map = stripe.map.lock().expect("node stripe poisoned");
         match map.get(&key) {
             Some(&id) => {
+                // ordering: Relaxed — statistics counters (see fast path).
                 stripe.hits.fetch_add(1, Ordering::Relaxed);
                 let (s, index) = decode(id.0);
                 if self.nodes[s].get(index).creator != worker {
+                    // ordering: Relaxed — statistics counter.
                     stripe.cross_hits.fetch_add(1, Ordering::Relaxed);
                 }
+                // ordering: Release — republishing an existing id; its arena
+                // entry was already published before the id entered the map,
+                // and release keeps that visible to future Acquire probes.
                 stripe.probe[slot].store(NodeStripe::pack(tag, id), Ordering::Release);
                 id
             }
@@ -817,6 +853,9 @@ impl SharedTddStore {
                     }),
                 ));
                 map.insert(key, id);
+                // ordering: Release publishes the arena push above: a probe
+                // that Acquire-loads this slot value observes the fully
+                // initialised node entry behind the id.
                 stripe.probe[slot].store(NodeStripe::pack(tag, id), Ordering::Release);
                 id
             }

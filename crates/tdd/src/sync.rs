@@ -1,0 +1,33 @@
+//! Synchronisation shim: `std::sync` by default, the vendored `modelcheck`
+//! model types under `--cfg qaec_model` (the loom pattern).
+//!
+//! Production code in this crate (and in `qaec-core`, which re-imports this
+//! module) takes its `Mutex` and atomics from here instead of `std::sync`,
+//! so the exact protocols that ship — same call sites, same memory orderings
+//! — can be driven through the deterministic interleaving explorer:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg qaec_model" cargo test -p qaec-tdd model_
+//! ```
+//!
+//! Outside a model execution the `modelcheck` types pass straight through to
+//! `std` with the caller's orderings, so the regular test suite also passes
+//! under the cfg. `std::sync::Condvar` (used by the worker-pool scheduler in
+//! `par_driver`) has no model twin: condvar protocols are out of the model
+//! checker's scope and keep `std::sync` directly.
+
+#[cfg(not(qaec_model))]
+pub use std::sync::{Mutex, MutexGuard};
+
+#[cfg(not(qaec_model))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(qaec_model)]
+pub use modelcheck::sync::{Mutex, MutexGuard};
+
+#[cfg(qaec_model)]
+pub mod atomic {
+    pub use modelcheck::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+}

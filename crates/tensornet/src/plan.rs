@@ -26,6 +26,8 @@ static PLAN_BUILDS: AtomicU64 = AtomicU64::new(0);
 /// Monotone; take a snapshot before and after an operation to count the
 /// plans it constructed.
 pub fn build_count() -> u64 {
+    // ordering: Relaxed — monotone statistics counter; callers snapshot
+    // before/after an operation they themselves sequence.
     PLAN_BUILDS.load(Ordering::Relaxed)
 }
 
@@ -150,6 +152,7 @@ impl ContractionPlan {
     ///
     /// This is usually called through [`TensorNetwork::plan`].
     pub fn build(network: &TensorNetwork, strategy: Strategy) -> ContractionPlan {
+        // ordering: Relaxed — statistics counter (see `build_count`).
         PLAN_BUILDS.fetch_add(1, Ordering::Relaxed);
         Self::build_inner(network, strategy)
     }
@@ -187,6 +190,7 @@ impl ContractionPlan {
         if components.len() <= 1 {
             return Self::build(network, strategy);
         }
+        // ordering: Relaxed — statistics counter (see `build_count`).
         PLAN_BUILDS.fetch_add(1, Ordering::Relaxed);
 
         // Per-component sub-networks: the component's tensors (in global
@@ -230,6 +234,10 @@ impl ContractionPlan {
                         scope.spawn(|| {
                             let mut haul = Vec::new();
                             loop {
+                                // ordering: Relaxed — the RMW's atomicity
+                                // alone partitions the component range;
+                                // result publication happens through
+                                // scope join, not through this cursor.
                                 let k = next.fetch_add(1, Ordering::Relaxed) as usize;
                                 let Some(sub) = sub_networks.get(k) else {
                                     break;

@@ -1,0 +1,92 @@
+//! `RaceCell<T>`: a modelling stand-in for non-atomic shared memory
+//! (loom's `UnsafeCell`). Inside a model execution, every access is checked
+//! for a happens-before edge against the last write; a miss is reported as a
+//! data race and fails the execution — this is what turns a missing
+//! release/acquire pair into a *detected* bug rather than silent staleness.
+//!
+//! Outside a model execution it degrades to a bare `UnsafeCell` with no
+//! checking; it is a test-harness primitive, not a production container.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+use crate::sched::{fresh_obj_id, in_model, race_read, race_write, turn_op};
+
+pub struct RaceCell<T> {
+    id: StdAtomicU64,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: within a model execution the scheduler serialises all accesses and
+// the happens-before checker rejects (aborts on) any racy pair, so the
+// underlying cell is only ever touched by one thread at a time; sending the
+// contained value between threads needs `T: Send`.
+unsafe impl<T: Send> Send for RaceCell<T> {}
+// SAFETY: shared references only expose `get`/`set`, both of which are
+// serialised by the model scheduler (and documented as unsynchronised-single-
+// threaded outside a model run); `T: Send` suffices because values are moved
+// in and copied out, never aliased by reference across threads.
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T: Copy> RaceCell<T> {
+    #[must_use]
+    pub const fn new(value: T) -> Self {
+        Self {
+            id: StdAtomicU64::new(0),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    fn obj_id(&self) -> u64 {
+        let id = self.id.load(StdOrdering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = fresh_obj_id();
+        match self
+            .id
+            .compare_exchange(0, fresh, StdOrdering::Relaxed, StdOrdering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(existing) => existing,
+        }
+    }
+
+    /// Read the value; in a model run, fails the execution if the last write
+    /// is not ordered before this read.
+    #[must_use]
+    pub fn get(&self) -> T {
+        if in_model() {
+            let id = self.obj_id();
+            turn_op("racecell.get", |rs, me| race_read(rs, me, id));
+        }
+        // SAFETY: in a model run the scheduler serialises accesses (and the
+        // race checker aborted above if this read was concurrent with a
+        // write); outside one, callers are single-threaded by contract.
+        unsafe { *self.value.get() }
+    }
+
+    /// Write the value; in a model run, fails the execution if any
+    /// concurrent (unordered) read or write exists.
+    pub fn set(&self, value: T) {
+        if in_model() {
+            let id = self.obj_id();
+            turn_op("racecell.set", |rs, me| race_write(rs, me, id));
+        }
+        // SAFETY: as in `get` — serialised by the model scheduler, race
+        // checked above, single-threaded by contract outside a model run.
+        unsafe { *self.value.get() = value };
+    }
+}
+
+impl<T: Copy + Default> Default for RaceCell<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for RaceCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("RaceCell").field(&self.get()).finish()
+    }
+}

@@ -1,0 +1,394 @@
+//! Offline stand-in for [`loom`]: a deterministic, seeded, bounded-exhaustive
+//! model checker for small concurrent protocols (up to 4 threads).
+//!
+//! A closure under test builds its shared state, spawns model threads via
+//! [`thread::spawn`], and synchronises through the shim types in [`sync`] and
+//! [`cell`]. The explorer runs the closure repeatedly, enumerating distinct
+//! thread interleavings (and, for `Relaxed` loads, distinct visible values)
+//! depth-first until the space is exhausted or an iteration cap is hit. Any
+//! panic, detected data race, or deadlock in any interleaving fails the whole
+//! exploration with the schedule that exposed it.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use modelcheck::sync::atomic::{AtomicU64, Ordering};
+//!
+//! modelcheck::model(|| {
+//!     let counter = Arc::new(AtomicU64::new(0));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let counter = Arc::clone(&counter);
+//!             modelcheck::thread::spawn(move || {
+//!                 counter.fetch_add(1, Ordering::Relaxed);
+//!             })
+//!         })
+//!         .collect();
+//!     for h in handles {
+//!         h.join().unwrap();
+//!     }
+//!     assert_eq!(counter.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+//!
+//! Outside an active exploration every shim type passes straight through to
+//! its `std` counterpart, so production code compiled against the shim (via a
+//! `#[cfg]`-selected `sync` module, the loom pattern) behaves identically in
+//! regular tests.
+//!
+//! [`loom`]: https://docs.rs/loom
+
+mod sched;
+
+pub mod cell;
+pub mod thread;
+
+pub mod sync {
+    pub use crate::shim_sync::{Mutex, MutexGuard};
+
+    pub mod atomic {
+        pub use crate::shim_sync::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+    }
+}
+
+#[path = "sync.rs"]
+mod shim_sync;
+
+use std::sync::Arc;
+
+/// Exploration parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Stop after this many executions even if the interleaving space is not
+    /// exhausted ("exhaustive-ish": the DFS frontier is deterministic, so a
+    /// given cap always explores the same set).
+    pub max_iterations: usize,
+    /// Rotates every choice point's default pick, steering the DFS through a
+    /// different deterministic order of the same space.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            max_iterations: 10_000,
+            seed: 0,
+        }
+    }
+}
+
+/// What an exploration did.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Number of distinct executions run.
+    pub iterations: usize,
+    /// `true` iff the whole interleaving space was exhausted under the cap.
+    pub complete: bool,
+}
+
+/// Explore `f` under the default [`Config`], panicking on the first failing
+/// interleaving.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if let Err(report) = model_with_config(Config::default(), f) {
+        panic!("{report}");
+    }
+}
+
+/// Explore `f` under the default [`Config`], returning the failure report of
+/// the first failing interleaving instead of panicking — this is what canary
+/// tests use to assert that the checker *detects* a seeded bug.
+pub fn model_result<F>(f: F) -> Result<Stats, String>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with_config(Config::default(), f)
+}
+
+/// Explore `f` under an explicit [`Config`].
+pub fn model_with_config<F>(cfg: Config, f: F) -> Result<Stats, String>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    // One exploration at a time per process: the scheduler state is global.
+    let _gate = sched::MODEL_GATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let trace = run_once(prefix, cfg.seed, Arc::clone(&f))
+            .map_err(|msg| format!("modelcheck: {msg} (iteration {iterations})"))?;
+        // Depth-first successor: bump the deepest choice point that still
+        // has an untried alternative, drop everything after it.
+        let mut next = None;
+        for i in (0..trace.len()).rev() {
+            let (attempt, alternatives) = trace[i];
+            if attempt + 1 < alternatives {
+                let mut p: Vec<usize> = trace[..i].iter().map(|&(a, _)| a).collect();
+                p.push(attempt + 1);
+                next = Some(p);
+                break;
+            }
+        }
+        match next {
+            None => {
+                return Ok(Stats {
+                    iterations,
+                    complete: true,
+                })
+            }
+            Some(p) if iterations >= cfg.max_iterations => {
+                let _ = p;
+                return Ok(Stats {
+                    iterations,
+                    complete: false,
+                });
+            }
+            Some(p) => prefix = p,
+        }
+    }
+}
+
+/// Run a single execution with the given forced choice prefix; returns the
+/// recorded choice trace on success, the failure report on abort.
+fn run_once(
+    prefix: Vec<usize>,
+    seed: u64,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> Result<Vec<(usize, usize)>, String> {
+    sched::init_run(prefix, seed);
+    let root = std::thread::spawn(move || sched::run_thread(0, move || f()));
+    sched::wait_all_finished();
+    let _ = root.join();
+    let rs = sched::take_run();
+    match rs.aborting {
+        Some(msg) => {
+            let ops: Vec<String> = rs
+                .trace
+                .iter()
+                .zip(rs.trace_ops.iter())
+                .map(|(&(a, n), op)| format!("{op}:{a}/{n}"))
+                .collect();
+            Err(format!("{msg}; schedule [{}]", ops.join(" ")))
+        }
+        None => Ok(rs.trace),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::cell::RaceCell;
+    use super::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use super::sync::Mutex;
+    use super::{model, model_result, model_with_config, Config};
+    use std::sync::Arc;
+
+    #[test]
+    fn passthrough_outside_model() {
+        let a = AtomicU64::new(7);
+        assert_eq!(a.load(Ordering::SeqCst), 7);
+        a.store(9, Ordering::Release);
+        assert_eq!(a.fetch_add(1, Ordering::AcqRel), 9);
+        assert_eq!(a.swap(3, Ordering::SeqCst), 10);
+        let m = Mutex::new(5u32);
+        *m.lock().unwrap() += 1;
+        assert_eq!(*m.lock().unwrap(), 6);
+        let h = super::thread::spawn(|| 42u8);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn concurrent_increments_are_atomic() {
+        let stats = model_result(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    super::thread::spawn(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::Relaxed), 2);
+        })
+        .expect("atomic increments must never lose updates");
+        assert!(stats.complete, "small space should be exhausted");
+        assert!(stats.iterations > 1, "expected more than one interleaving");
+    }
+
+    #[test]
+    fn release_acquire_publication_is_clean() {
+        model(|| {
+            let flag = Arc::new(AtomicU64::new(0));
+            let data = Arc::new(RaceCell::new(0u64));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let writer = super::thread::spawn(move || {
+                d2.set(99);
+                f2.store(1, Ordering::Release);
+            });
+            let (f3, d3) = (Arc::clone(&flag), Arc::clone(&data));
+            let reader = super::thread::spawn(move || {
+                if f3.load(Ordering::Acquire) == 1 {
+                    assert_eq!(d3.get(), 99);
+                }
+            });
+            writer.join().unwrap();
+            reader.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn relaxed_publication_race_is_detected() {
+        let report = model_result(|| {
+            let flag = Arc::new(AtomicU64::new(0));
+            let data = Arc::new(RaceCell::new(0u64));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let writer = super::thread::spawn(move || {
+                d2.set(99);
+                // BUG under test: Relaxed publication does not order the
+                // RaceCell write before the reader's access.
+                f2.store(1, Ordering::Relaxed);
+            });
+            let (f3, d3) = (Arc::clone(&flag), Arc::clone(&data));
+            let reader = super::thread::spawn(move || {
+                if f3.load(Ordering::Relaxed) == 1 {
+                    let _ = d3.get();
+                }
+            });
+            writer.join().unwrap();
+            reader.join().unwrap();
+        })
+        .expect_err("the checker must catch the Relaxed publication race");
+        assert!(report.contains("data race"), "unexpected report: {report}");
+    }
+
+    #[test]
+    fn stale_relaxed_loads_are_explored() {
+        // A Relaxed load may legitimately miss a concurrent Relaxed store;
+        // the model must explore both the fresh and the stale outcome.
+        let seen = Arc::new(std::sync::Mutex::new(std::collections::BTreeSet::new()));
+        let seen2 = Arc::clone(&seen);
+        let stats = model_result(move || {
+            let cell = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&cell);
+            let writer = super::thread::spawn(move || {
+                c2.store(1, Ordering::Relaxed);
+            });
+            let c3 = Arc::clone(&cell);
+            let seen = Arc::clone(&seen2);
+            let reader = super::thread::spawn(move || {
+                let v = c3.load(Ordering::Relaxed);
+                seen.lock().unwrap().insert(v);
+            });
+            writer.join().unwrap();
+            reader.join().unwrap();
+        })
+        .expect("no failure expected");
+        assert!(stats.complete);
+        let seen = seen.lock().unwrap();
+        assert!(
+            seen.contains(&0) && seen.contains(&1),
+            "explored outcomes: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn mutex_provides_mutual_exclusion_and_ordering() {
+        model(|| {
+            let total = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let total = Arc::clone(&total);
+                    super::thread::spawn(move || {
+                        let mut g = total.lock().unwrap();
+                        let v = *g;
+                        *g = v + 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*total.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn opposite_lock_order_deadlock_is_detected() {
+        let report = model_result(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+            let t1 = super::thread::spawn(move || {
+                let _ga = a1.lock().unwrap();
+                let _gb = b1.lock().unwrap();
+            });
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t2 = super::thread::spawn(move || {
+                let _gb = b2.lock().unwrap();
+                let _ga = a2.lock().unwrap();
+            });
+            let _ = t1.join();
+            let _ = t2.join();
+        })
+        .expect_err("opposite lock order must deadlock in some interleaving");
+        assert!(report.contains("deadlock"), "unexpected report: {report}");
+    }
+
+    #[test]
+    fn iteration_cap_is_honoured() {
+        let stats = model_with_config(
+            Config {
+                max_iterations: 3,
+                seed: 0,
+            },
+            || {
+                let x = Arc::new(AtomicU64::new(0));
+                let handles: Vec<_> = (0..3)
+                    .map(|_| {
+                        let x = Arc::clone(&x);
+                        super::thread::spawn(move || {
+                            x.fetch_add(1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            },
+        )
+        .expect("no failure expected");
+        assert_eq!(stats.iterations, 3);
+        assert!(!stats.complete);
+    }
+
+    #[test]
+    fn seed_changes_exploration_order_not_outcome() {
+        for seed in [0u64, 1, 7] {
+            let stats = model_with_config(
+                Config {
+                    max_iterations: 10_000,
+                    seed,
+                },
+                || {
+                    let x = Arc::new(AtomicU64::new(0));
+                    let x2 = Arc::clone(&x);
+                    let t = super::thread::spawn(move || {
+                        x2.store(5, Ordering::Release);
+                    });
+                    let _ = x.load(Ordering::Acquire);
+                    t.join().unwrap();
+                },
+            )
+            .expect("no failure expected");
+            assert!(stats.complete, "seed {seed} should still exhaust the space");
+        }
+    }
+}

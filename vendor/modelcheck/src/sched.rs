@@ -1,0 +1,658 @@
+//! The deterministic scheduler at the heart of the model checker.
+//!
+//! One model "execution" serialises every model thread onto a single logical
+//! timeline: exactly one thread is ever runnable, and before each visible
+//! operation (atomic access, mutex acquire/release, `RaceCell` access, spawn,
+//! join) the scheduler picks which thread performs the next step. Each pick is
+//! a recorded *choice point*; the explorer in `lib.rs` replays prefixes of
+//! recorded choices depth-first to enumerate distinct interleavings.
+//!
+//! Memory-model approximation (in the spirit of loom, much smaller):
+//! - Every atomic location keeps its full modification order (store history).
+//!   A load may observe any store not ruled out by coherence (never older than
+//!   one this thread already observed) or happens-before (never older than a
+//!   store this thread's vector clock already dominates). Which visible store
+//!   a load returns is itself a choice point — this is how stale `Relaxed`
+//!   values are explored.
+//! - `Release` stores snapshot the storing thread's vector clock; `Acquire`
+//!   loads that observe them join it. RMWs always extend a release sequence.
+//!   `SeqCst` is approximated as `AcqRel` (no single total order is modelled);
+//!   protocols relying on SC-only guarantees are out of scope.
+//! - `RaceCell` accesses are checked for happens-before ordering against the
+//!   last write; a miss is reported as a data race and fails the execution.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+pub(crate) const MAX_THREADS: usize = 4;
+/// Backstop against protocols that loop forever under the model: a single
+/// execution may not take more than this many recorded choice points.
+const MAX_CHOICES: usize = 20_000;
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock([u64; MAX_THREADS]);
+
+impl VClock {
+    pub(crate) fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.0[i] = self.0[i].max(other.0[i]);
+        }
+    }
+
+    /// `true` iff every event in `other` is known to `self` (i.e. the event
+    /// set stamped `other` happens-before the point stamped `self`).
+    pub(crate) fn dominates(&self, other: &VClock) -> bool {
+        (0..MAX_THREADS).all(|i| self.0[i] >= other.0[i])
+    }
+
+    pub(crate) fn bump(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-run state
+// ---------------------------------------------------------------------------
+
+pub(crate) struct StoreEntry {
+    pub value: u64,
+    pub clock: VClock,
+    /// Store carries release semantics (directly, or by continuing a release
+    /// sequence through an RMW).
+    pub release: bool,
+}
+
+pub(crate) struct AtomicState {
+    pub history: Vec<StoreEntry>,
+    /// Coherence floor per thread: index of the newest store in `history`
+    /// this thread has observed (reads may never go backwards).
+    pub last_seen: [usize; MAX_THREADS],
+}
+
+#[derive(Default)]
+pub(crate) struct RaceState {
+    pub last_write: Option<(usize, VClock)>,
+    /// Reads since the last write (cleared on write).
+    pub reads: Vec<(usize, VClock)>,
+}
+
+#[derive(Default)]
+pub(crate) struct MutexState {
+    pub held_by: Option<usize>,
+    pub release_clock: VClock,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum BlockedOn {
+    Mutex(u64),
+    Join(usize),
+}
+
+pub(crate) struct ThreadState {
+    pub finished: bool,
+    pub blocked: Option<BlockedOn>,
+    pub clock: VClock,
+    pub final_clock: Option<VClock>,
+}
+
+impl ThreadState {
+    fn new(clock: VClock) -> Self {
+        Self {
+            finished: false,
+            blocked: None,
+            clock,
+            final_clock: None,
+        }
+    }
+}
+
+pub(crate) struct RunState {
+    pub threads: Vec<ThreadState>,
+    /// Index of the only thread allowed to take its next step; `usize::MAX`
+    /// when the run is over or aborting (free-for-all unwind mode).
+    pub active: usize,
+    /// Forced attempt numbers for the leading choice points (DFS replay).
+    pub prefix: Vec<usize>,
+    /// Recorded `(attempt, alternatives)` per choice point this execution.
+    pub trace: Vec<(usize, usize)>,
+    /// What each choice point decided (for failure reports).
+    pub trace_ops: Vec<&'static str>,
+    pub seed: u64,
+    pub atomics: HashMap<u64, AtomicState>,
+    pub mutexes: HashMap<u64, MutexState>,
+    pub races: HashMap<u64, RaceState>,
+    pub aborting: Option<String>,
+}
+
+/// Panic payload used to unwind model threads once the execution is aborted;
+/// `run_thread` recognises it and does not treat it as a user failure.
+pub(crate) struct ModelAbort;
+
+// ---------------------------------------------------------------------------
+// Globals
+// ---------------------------------------------------------------------------
+
+pub(crate) static SCHED: Mutex<Option<RunState>> = Mutex::new(None);
+pub(crate) static SCHED_CV: Condvar = Condvar::new();
+/// Serialises whole `model()` explorations (one at a time per process).
+pub(crate) static MODEL_GATE: Mutex<()> = Mutex::new(());
+static NEXT_OBJ_ID: StdAtomicU64 = StdAtomicU64::new(1);
+
+thread_local! {
+    static TID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+pub(crate) fn cur_tid() -> Option<usize> {
+    TID.with(|t| t.get())
+}
+
+/// `true` iff the calling thread is a model thread of an active execution.
+/// Anything else (regular test threads, the explorer itself) sees the shim
+/// types pass straight through to `std`.
+pub(crate) fn in_model() -> bool {
+    cur_tid().is_some()
+}
+
+pub(crate) fn fresh_obj_id() -> u64 {
+    NEXT_OBJ_ID.fetch_add(1, StdOrdering::Relaxed)
+}
+
+fn sched_lock() -> MutexGuard<'static, Option<RunState>> {
+    // A model-thread panic while a guard was live would poison the lock; the
+    // state is still coherent (aborting is set), so ignore poison.
+    SCHED.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn sched_wait(g: MutexGuard<'static, Option<RunState>>) -> MutexGuard<'static, Option<RunState>> {
+    SCHED_CV.wait(g).unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Choice points and scheduling
+// ---------------------------------------------------------------------------
+
+fn choose(rs: &mut RunState, n: usize, what: &'static str) -> usize {
+    debug_assert!(n >= 1);
+    if n == 1 {
+        return 0;
+    }
+    let pos = rs.trace.len();
+    let attempt = rs.prefix.get(pos).copied().unwrap_or(0);
+    rs.trace.push((attempt, n));
+    rs.trace_ops.push(what);
+    if rs.trace.len() > MAX_CHOICES {
+        set_abort(
+            rs,
+            format!("execution exceeded {MAX_CHOICES} choice points — does the protocol loop forever under the model?"),
+        );
+    }
+    ((rs.seed as usize).wrapping_add(attempt)) % n
+}
+
+pub(crate) fn set_abort(rs: &mut RunState, msg: String) {
+    if rs.aborting.is_none() {
+        rs.aborting = Some(msg);
+    }
+    // Unblock everyone so they can observe the abort and unwind.
+    for t in rs.threads.iter_mut() {
+        t.blocked = None;
+    }
+    rs.active = usize::MAX;
+}
+
+/// Pick the next thread to run. Called by the currently-active (or finishing)
+/// thread with the scheduler lock held.
+fn schedule_next(rs: &mut RunState) {
+    if rs.aborting.is_some() {
+        rs.active = usize::MAX;
+        return;
+    }
+    let cands: Vec<usize> = (0..rs.threads.len())
+        .filter(|&i| !rs.threads[i].finished && rs.threads[i].blocked.is_none())
+        .collect();
+    if cands.is_empty() {
+        if rs.threads.iter().all(|t| t.finished) {
+            rs.active = usize::MAX;
+            return;
+        }
+        let blocked: Vec<(usize, BlockedOn)> = rs
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.blocked.map(|b| (i, b)))
+            .collect();
+        set_abort(
+            rs,
+            format!("deadlock: every live thread is blocked ({blocked:?})"),
+        );
+        return;
+    }
+    let k = choose(rs, cands.len(), "sched");
+    rs.active = cands[k];
+}
+
+/// Run one visible operation for the calling model thread: reschedule first
+/// (letting any other runnable thread take steps before this op), then apply
+/// `f` under the scheduler lock. `Err` from `f` aborts the whole execution.
+pub(crate) fn turn_op<R>(
+    what: &'static str,
+    f: impl FnOnce(&mut RunState, usize) -> Result<R, String>,
+) -> R {
+    let me = cur_tid().expect("turn_op called outside a model thread");
+    let mut g = wait_for_turn(sched_lock(), me);
+    {
+        let rs = g.as_mut().expect("no active model run");
+        let _ = what;
+        schedule_next(rs);
+    }
+    SCHED_CV.notify_all();
+    let mut g = wait_for_turn(g, me);
+    let rs = g.as_mut().expect("no active model run");
+    match f(rs, me) {
+        Ok(r) => {
+            SCHED_CV.notify_all();
+            r
+        }
+        Err(msg) => {
+            set_abort(rs, msg);
+            SCHED_CV.notify_all();
+            drop(g);
+            panic::panic_any(ModelAbort);
+        }
+    }
+}
+
+/// Like `turn_op` but may block: `attempt` returns `Ok(None)` when the op
+/// cannot currently proceed, in which case the thread parks as `blocked`
+/// until another thread clears the obstruction.
+pub(crate) fn turn_op_blocking<R>(
+    what: &'static str,
+    mut attempt: impl FnMut(&mut RunState, usize) -> Result<Option<R>, String>,
+    blocked_on: impl Fn() -> BlockedOn,
+) -> R {
+    let me = cur_tid().expect("turn_op_blocking called outside a model thread");
+    let mut g = sched_lock();
+    loop {
+        g = wait_for_turn(g, me);
+        {
+            let rs = g.as_mut().expect("no active model run");
+            let _ = what;
+            schedule_next(rs);
+        }
+        SCHED_CV.notify_all();
+        g = wait_for_turn(g, me);
+        let rs = g.as_mut().expect("no active model run");
+        match attempt(rs, me) {
+            Ok(Some(r)) => {
+                SCHED_CV.notify_all();
+                return r;
+            }
+            Ok(None) => {
+                rs.threads[me].blocked = Some(blocked_on());
+                schedule_next(rs);
+                SCHED_CV.notify_all();
+                // Parked: wait until a releaser clears `blocked`, then loop
+                // back and retry the attempt once scheduled again.
+            }
+            Err(msg) => {
+                set_abort(rs, msg);
+                SCHED_CV.notify_all();
+                drop(g);
+                panic::panic_any(ModelAbort);
+            }
+        }
+    }
+}
+
+/// Best-effort variant for `Drop` paths (mutex release): never panics, so it
+/// is safe during unwinding. If the run is aborting, bookkeeping is skipped.
+pub(crate) fn turn_op_quiet(what: &'static str, f: impl FnOnce(&mut RunState, usize)) {
+    let me = match cur_tid() {
+        Some(me) => me,
+        None => return,
+    };
+    let mut g = sched_lock();
+    let aborted = loop {
+        let rs = match g.as_mut() {
+            Some(rs) => rs,
+            None => return,
+        };
+        if rs.aborting.is_some() {
+            break true;
+        }
+        if rs.active == me && rs.threads[me].blocked.is_none() {
+            break false;
+        }
+        g = sched_wait(g);
+    };
+    if aborted {
+        return;
+    }
+    let rs = g.as_mut().expect("no active model run");
+    let _ = what;
+    schedule_next(rs);
+    SCHED_CV.notify_all();
+    loop {
+        let rs = g.as_mut().expect("no active model run");
+        if rs.aborting.is_some() {
+            return;
+        }
+        if rs.active == me {
+            break;
+        }
+        g = sched_wait(g);
+    }
+    let rs = g.as_mut().expect("no active model run");
+    f(rs, me);
+    SCHED_CV.notify_all();
+}
+
+fn wait_for_turn(
+    mut g: MutexGuard<'static, Option<RunState>>,
+    me: usize,
+) -> MutexGuard<'static, Option<RunState>> {
+    loop {
+        let rs = g.as_mut().expect("no active model run");
+        if rs.aborting.is_some() {
+            SCHED_CV.notify_all();
+            // Release the lock before unwinding so we do not poison it.
+            drop(g);
+            panic::panic_any(ModelAbort);
+        }
+        if rs.active == me && rs.threads[me].blocked.is_none() {
+            return g;
+        }
+        g = sched_wait(g);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run lifecycle (driven by the explorer in lib.rs)
+// ---------------------------------------------------------------------------
+
+/// Install a fresh execution: thread 0 (the root closure) is active.
+pub(crate) fn init_run(prefix: Vec<usize>, seed: u64) {
+    let mut g = sched_lock();
+    assert!(g.is_none(), "a model execution is already active");
+    *g = Some(RunState {
+        threads: vec![ThreadState::new(VClock::default())],
+        active: 0,
+        prefix,
+        trace: Vec::new(),
+        trace_ops: Vec::new(),
+        seed,
+        atomics: HashMap::new(),
+        mutexes: HashMap::new(),
+        races: HashMap::new(),
+        aborting: None,
+    });
+}
+
+/// Block the (non-model) explorer thread until every model thread finished.
+pub(crate) fn wait_all_finished() {
+    let mut g = sched_lock();
+    loop {
+        let rs = g.as_ref().expect("no active model run");
+        if rs.threads.iter().all(|t| t.finished) {
+            return;
+        }
+        g = sched_wait(g);
+    }
+}
+
+/// Tear down the execution and hand its final state to the explorer.
+pub(crate) fn take_run() -> RunState {
+    sched_lock().take().expect("no active model run")
+}
+
+// ---------------------------------------------------------------------------
+// Thread lifecycle
+// ---------------------------------------------------------------------------
+
+/// Register a child thread spawned by `parent`; returns the child tid.
+pub(crate) fn register_child(rs: &mut RunState, parent: usize) -> Result<usize, String> {
+    if rs.threads.len() >= MAX_THREADS {
+        return Err(format!("model supports at most {MAX_THREADS} threads"));
+    }
+    // The spawn itself is an event: everything the parent did so far
+    // happens-before everything the child does.
+    rs.threads[parent].clock.bump(parent);
+    let clock = rs.threads[parent].clock.clone();
+    rs.threads.push(ThreadState::new(clock));
+    Ok(rs.threads.len() - 1)
+}
+
+/// Body wrapper for every model thread (including the root closure).
+pub(crate) fn run_thread(tid: usize, body: impl FnOnce()) {
+    TID.with(|t| t.set(Some(tid)));
+    let should_run = {
+        let mut g = sched_lock();
+        loop {
+            let rs = match g.as_mut() {
+                Some(rs) => rs,
+                None => break false,
+            };
+            if rs.aborting.is_some() {
+                break false;
+            }
+            if rs.active == tid {
+                break true;
+            }
+            g = sched_wait(g);
+        }
+    };
+    let result = if should_run {
+        panic::catch_unwind(AssertUnwindSafe(body))
+    } else {
+        Ok(())
+    };
+    let mut g = sched_lock();
+    if let Some(rs) = g.as_mut() {
+        if let Err(payload) = result {
+            if !payload.is::<ModelAbort>() {
+                set_abort(
+                    rs,
+                    format!("model thread {tid} panicked: {}", describe_panic(&payload)),
+                );
+            }
+        }
+        rs.threads[tid].finished = true;
+        rs.threads[tid].final_clock = Some(rs.threads[tid].clock.clone());
+        for t in rs.threads.iter_mut() {
+            if t.blocked == Some(BlockedOn::Join(tid)) {
+                t.blocked = None;
+            }
+        }
+        if rs.active == tid || rs.active == usize::MAX {
+            schedule_next(rs);
+        }
+    }
+    SCHED_CV.notify_all();
+    drop(g);
+    TID.with(|t| t.set(None));
+}
+
+fn describe_panic(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic operation semantics
+// ---------------------------------------------------------------------------
+
+use std::sync::atomic::Ordering;
+
+fn is_acquire(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn is_release(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn atomic_entry(rs: &mut RunState, id: u64, init: u64) -> &mut AtomicState {
+    rs.atomics.entry(id).or_insert_with(|| AtomicState {
+        // The pre-run value is visible to everyone with no synchronisation
+        // debt: release store with the zero clock.
+        history: vec![StoreEntry {
+            value: init,
+            clock: VClock::default(),
+            release: true,
+        }],
+        last_seen: [0; MAX_THREADS],
+    })
+}
+
+pub(crate) fn atomic_load(
+    rs: &mut RunState,
+    me: usize,
+    id: u64,
+    init: u64,
+    order: Ordering,
+) -> u64 {
+    let my_clock = rs.threads[me].clock.clone();
+    let (floor, len) = {
+        let st = atomic_entry(rs, id, init);
+        let start = st.last_seen[me];
+        // Happens-before visibility: a store this thread's clock dominates
+        // obsoletes everything older than it.
+        let mut floor = start;
+        for j in start..st.history.len() {
+            if my_clock.dominates(&st.history[j].clock) {
+                floor = j;
+            }
+        }
+        (floor, st.history.len())
+    };
+    // Newest first: attempt 0 reads the latest store, later attempts explore
+    // progressively staler (still-visible) values.
+    let cands: Vec<usize> = (floor..len).rev().collect();
+    let k = choose(rs, cands.len(), "load");
+    let idx = cands[k];
+    let st = rs.atomics.get_mut(&id).expect("atomic state just created");
+    st.last_seen[me] = st.last_seen[me].max(idx);
+    let value = st.history[idx].value;
+    let release = st.history[idx].release;
+    let entry_clock = st.history[idx].clock.clone();
+    if release && is_acquire(order) {
+        rs.threads[me].clock.join(&entry_clock);
+    }
+    value
+}
+
+pub(crate) fn atomic_store(
+    rs: &mut RunState,
+    me: usize,
+    id: u64,
+    init: u64,
+    value: u64,
+    order: Ordering,
+) {
+    rs.threads[me].clock.bump(me);
+    let clock = rs.threads[me].clock.clone();
+    let st = atomic_entry(rs, id, init);
+    st.history.push(StoreEntry {
+        value,
+        clock,
+        release: is_release(order),
+    });
+    st.last_seen[me] = st.history.len() - 1;
+}
+
+pub(crate) fn atomic_rmw(
+    rs: &mut RunState,
+    me: usize,
+    id: u64,
+    init: u64,
+    order: Ordering,
+    f: impl FnOnce(u64) -> u64,
+) -> u64 {
+    let (old, prev_clock, prev_release) = {
+        let st = atomic_entry(rs, id, init);
+        let last = st.history.last().expect("history never empty");
+        (last.value, last.clock.clone(), last.release)
+    };
+    if prev_release && is_acquire(order) {
+        rs.threads[me].clock.join(&prev_clock);
+    }
+    rs.threads[me].clock.bump(me);
+    let mut clock = rs.threads[me].clock.clone();
+    // RMWs continue a release sequence: an acquire load observing this entry
+    // must still synchronise with the release store that headed the sequence.
+    let release = is_release(order) || prev_release;
+    if prev_release {
+        clock.join(&prev_clock);
+    }
+    let st = rs.atomics.get_mut(&id).expect("atomic state just created");
+    st.history.push(StoreEntry {
+        value: f(old),
+        clock,
+        release,
+    });
+    st.last_seen[me] = st.history.len() - 1;
+    old
+}
+
+// ---------------------------------------------------------------------------
+// RaceCell semantics
+// ---------------------------------------------------------------------------
+
+pub(crate) fn race_read(rs: &mut RunState, me: usize, id: u64) -> Result<(), String> {
+    let my_clock = rs.threads[me].clock.clone();
+    let st = rs.races.entry(id).or_default();
+    if let Some((wtid, wclock)) = &st.last_write {
+        if !my_clock.dominates(wclock) {
+            return Err(format!(
+                "data race: thread {me} reads a RaceCell whose last write (by thread {wtid}) is not ordered before the read"
+            ));
+        }
+    }
+    st.reads.push((me, my_clock));
+    Ok(())
+}
+
+pub(crate) fn race_write(rs: &mut RunState, me: usize, id: u64) -> Result<(), String> {
+    let my_clock = rs.threads[me].clock.clone();
+    {
+        let st = rs.races.entry(id).or_default();
+        if let Some((wtid, wclock)) = &st.last_write {
+            if !my_clock.dominates(wclock) {
+                return Err(format!(
+                    "data race: thread {me} overwrites a RaceCell whose last write (by thread {wtid}) is not ordered before it"
+                ));
+            }
+        }
+        for (rtid, rclock) in &st.reads {
+            if *rtid != me && !my_clock.dominates(rclock) {
+                return Err(format!(
+                    "data race: thread {me} writes a RaceCell concurrently read by thread {rtid}"
+                ));
+            }
+        }
+    }
+    rs.threads[me].clock.bump(me);
+    let clock = rs.threads[me].clock.clone();
+    let st = rs.races.entry(id).or_default();
+    st.last_write = Some((me, clock));
+    st.reads.clear();
+    Ok(())
+}

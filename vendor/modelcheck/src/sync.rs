@@ -1,0 +1,393 @@
+//! Model-aware drop-in replacements for `std::sync::atomic::*` and
+//! `std::sync::Mutex`. Outside an active model execution every operation
+//! passes straight through to `std` with the caller's ordering, so code
+//! compiled against these types behaves identically in regular tests.
+
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+pub use std::sync::atomic::Ordering;
+
+use crate::sched::{
+    self, atomic_load, atomic_rmw, atomic_store, fresh_obj_id, in_model, turn_op, turn_op_blocking,
+    turn_op_quiet, BlockedOn,
+};
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+/// Shared machinery: every model atomic stores its value in a real
+/// `AtomicU64` (the passthrough source of truth and the "latest" value for
+/// model runs) plus a lazily-assigned object id keying the per-run history.
+struct Core {
+    std: StdAtomicU64,
+    id: StdAtomicU64,
+}
+
+impl Core {
+    const fn new(v: u64) -> Self {
+        Self {
+            std: StdAtomicU64::new(v),
+            id: StdAtomicU64::new(0),
+        }
+    }
+
+    fn obj_id(&self) -> u64 {
+        let id = self.id.load(StdOrdering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = fresh_obj_id();
+        match self
+            .id
+            .compare_exchange(0, fresh, StdOrdering::Relaxed, StdOrdering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(existing) => existing,
+        }
+    }
+
+    fn load(&self, order: Ordering) -> u64 {
+        if !in_model() {
+            return self.std.load(order);
+        }
+        let id = self.obj_id();
+        let init = self.std.load(StdOrdering::SeqCst);
+        turn_op("atomic.load", |rs, me| {
+            Ok(atomic_load(rs, me, id, init, order))
+        })
+    }
+
+    fn store(&self, value: u64, order: Ordering) {
+        if !in_model() {
+            self.std.store(value, order);
+            return;
+        }
+        let id = self.obj_id();
+        let init = self.std.load(StdOrdering::SeqCst);
+        turn_op("atomic.store", |rs, me| {
+            atomic_store(rs, me, id, init, value, order);
+            Ok(())
+        });
+        // The scheduler serialises model threads, so updating the
+        // passthrough value after the modelled store is not itself a race.
+        self.std.store(value, StdOrdering::SeqCst);
+    }
+
+    fn rmw(&self, order: Ordering, f: impl FnOnce(u64) -> u64 + Copy) -> u64 {
+        if !in_model() {
+            // Passthrough RMW: emulate via a CAS loop with the requested
+            // ordering on success.
+            let mut cur = self.std.load(StdOrdering::Relaxed);
+            loop {
+                match self
+                    .std
+                    .compare_exchange_weak(cur, f(cur), order, StdOrdering::Relaxed)
+                {
+                    Ok(prev) => return prev,
+                    Err(prev) => cur = prev,
+                }
+            }
+        }
+        let id = self.obj_id();
+        let init = self.std.load(StdOrdering::SeqCst);
+        let old = turn_op("atomic.rmw", |rs, me| {
+            Ok(atomic_rmw(rs, me, id, init, order, f))
+        });
+        self.std.store(f(old), StdOrdering::SeqCst);
+        old
+    }
+
+    fn get_mut(&mut self) -> &mut u64 {
+        // Exclusive access: no model bookkeeping is possible (or needed).
+        self.std.get_mut()
+    }
+}
+
+macro_rules! model_atomic_int {
+    ($(#[$doc:meta])* $name:ident, $prim:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            core: Core,
+        }
+
+        impl $name {
+            #[must_use]
+            pub const fn new(v: $prim) -> Self {
+                Self { core: Core::new(v as u64) }
+            }
+
+            #[must_use]
+            pub fn load(&self, order: Ordering) -> $prim {
+                self.core.load(order) as $prim
+            }
+
+            pub fn store(&self, value: $prim, order: Ordering) {
+                self.core.store(value as u64, order);
+            }
+
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                self.core.rmw(order, move |_| value as u64) as $prim
+            }
+
+            pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                self.core
+                    .rmw(order, move |old| (old as $prim).wrapping_add(value) as u64)
+                    as $prim
+            }
+
+            pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                self.core
+                    .rmw(order, move |old| (old as $prim).wrapping_sub(value) as u64)
+                    as $prim
+            }
+
+            pub fn fetch_max(&self, value: $prim, order: Ordering) -> $prim {
+                self.core
+                    .rmw(order, move |old| (old as $prim).max(value) as u64)
+                    as $prim
+            }
+
+            pub fn fetch_min(&self, value: $prim, order: Ordering) -> $prim {
+                self.core
+                    .rmw(order, move |old| (old as $prim).min(value) as u64)
+                    as $prim
+            }
+
+            pub fn get_mut(&mut self) -> &mut $prim {
+                // SAFETY: the core stores the value as the low bits of a
+                // `u64`; on every supported target `$prim` is an unsigned
+                // integer no wider than 64 bits stored little-endian within
+                // it, and exclusive access rules out concurrent readers of
+                // the unused high bits.
+                unsafe { &mut *(self.core.get_mut() as *mut u64 as *mut $prim) }
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(0)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name))
+                    .field(&self.core.std.load(StdOrdering::Relaxed))
+                    .finish()
+            }
+        }
+    };
+}
+
+model_atomic_int!(
+    /// Model-aware `AtomicU64`.
+    AtomicU64,
+    u64
+);
+model_atomic_int!(
+    /// Model-aware `AtomicUsize`.
+    AtomicUsize,
+    usize
+);
+model_atomic_int!(
+    /// Model-aware `AtomicU32`.
+    AtomicU32,
+    u32
+);
+
+/// Model-aware `AtomicBool`.
+pub struct AtomicBool {
+    core: Core,
+}
+
+impl AtomicBool {
+    #[must_use]
+    pub const fn new(v: bool) -> Self {
+        Self {
+            core: Core::new(v as u64),
+        }
+    }
+
+    #[must_use]
+    pub fn load(&self, order: Ordering) -> bool {
+        self.core.load(order) != 0
+    }
+
+    pub fn store(&self, value: bool, order: Ordering) {
+        self.core.store(value as u64, order);
+    }
+
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        self.core.rmw(order, move |_| value as u64) != 0
+    }
+
+    pub fn get_mut(&mut self) -> &mut bool {
+        // SAFETY: the value is stored as 0 or 1 in the low byte of a
+        // little-endian `u64`; exclusive access makes the reinterpretation
+        // sound and every write path stores only 0 or 1.
+        unsafe { &mut *(self.core.get_mut() as *mut u64 as *mut bool) }
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool")
+            .field(&self.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Model-aware `std::sync::Mutex`: in a model execution, acquisition order is
+/// a scheduler choice point, contention parks the thread in the scheduler,
+/// and lock/unlock edges join vector clocks (acquire/release semantics).
+pub struct Mutex<T: ?Sized> {
+    id: StdAtomicU64,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    #[must_use]
+    pub const fn new(value: T) -> Self {
+        Self {
+            id: StdAtomicU64::new(0),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> std::sync::LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn obj_id(&self) -> u64 {
+        let id = self.id.load(StdOrdering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = fresh_obj_id();
+        match self
+            .id
+            .compare_exchange(0, fresh, StdOrdering::Relaxed, StdOrdering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(existing) => existing,
+        }
+    }
+
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        if !in_model() {
+            return match self.inner.lock() {
+                Ok(std) => Ok(MutexGuard {
+                    std: Some(std),
+                    model_id: None,
+                }),
+                Err(poison) => Err(std::sync::PoisonError::new(MutexGuard {
+                    std: Some(poison.into_inner()),
+                    model_id: None,
+                })),
+            };
+        }
+        let id = self.obj_id();
+        turn_op_blocking(
+            "mutex.lock",
+            |rs, me| {
+                let ms = rs.mutexes.entry(id).or_default();
+                match ms.held_by {
+                    None => {
+                        ms.held_by = Some(me);
+                        let release_clock = ms.release_clock.clone();
+                        rs.threads[me].clock.join(&release_clock);
+                        Ok(Some(()))
+                    }
+                    Some(owner) if owner == me => Err(format!(
+                        "thread {me} re-locks a model mutex it already holds"
+                    )),
+                    Some(_) => Ok(None),
+                }
+            },
+            || BlockedOn::Mutex(id),
+        );
+        // The scheduler granted us the mutex, so the real lock is either free
+        // or about to be freed by the previous owner's guard drop.
+        let std = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Ok(MutexGuard {
+            std: Some(std),
+            model_id: Some(id),
+        })
+    }
+
+    pub fn get_mut(&mut self) -> std::sync::LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").field("inner", &self.inner).finish()
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized + 'a> {
+    std: Option<std::sync::MutexGuard<'a, T>>,
+    model_id: Option<u64>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.std.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_mut().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first so the next granted thread cannot
+        // block on it, then record the release with the scheduler.
+        self.std = None;
+        if let Some(id) = self.model_id {
+            if sched::in_model() {
+                turn_op_quiet("mutex.unlock", |rs, me| {
+                    rs.threads[me].clock.bump(me);
+                    let clock = rs.threads[me].clock.clone();
+                    if let Some(ms) = rs.mutexes.get_mut(&id) {
+                        ms.held_by = None;
+                        ms.release_clock = clock;
+                    }
+                    for t in rs.threads.iter_mut() {
+                        if t.blocked == Some(BlockedOn::Mutex(id)) {
+                            t.blocked = None;
+                        }
+                    }
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Model-aware `thread::spawn`/`JoinHandle`. Inside a model execution,
+//! spawned closures become model threads driven by the deterministic
+//! scheduler; outside one they delegate to `std::thread`.
+
+use std::sync::{Arc, Mutex};
+
+use crate::sched::{cur_tid, register_child, run_thread, turn_op, turn_op_blocking, BlockedOn};
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: usize,
+        result: Arc<Mutex<Option<T>>>,
+    },
+}
+
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if cur_tid().is_none() {
+        return JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        };
+    }
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let tid = turn_op("thread.spawn", register_child);
+    // The OS thread parks in the scheduler until it is picked to run.
+    std::thread::spawn(move || {
+        run_thread(tid, move || {
+            let value = f();
+            *slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
+        });
+    });
+    JoinHandle {
+        inner: Inner::Model { tid, result },
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish. In a model execution this parks the
+    /// caller in the scheduler and joins the child's final vector clock
+    /// (everything the child did happens-before the return of `join`).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(handle) => handle.join(),
+            Inner::Model { tid, result } => {
+                turn_op_blocking(
+                    "thread.join",
+                    |rs, me| {
+                        if rs.threads[tid].finished {
+                            let final_clock = rs.threads[tid]
+                                .final_clock
+                                .clone()
+                                .expect("finished thread has a final clock");
+                            rs.threads[me].clock.join(&final_clock);
+                            Ok(Some(()))
+                        } else {
+                            Ok(None)
+                        }
+                    },
+                    || BlockedOn::Join(tid),
+                );
+                let value = result
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("joined model thread left no result");
+                Ok(value)
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! A minimal line-oriented Rust lexer: splits each source line into its code
+//! text (strings replaced by `""`/`''` placeholders, comments removed) and
+//! its comment text (line + block comment bodies). Rules match orderings,
+//! `unsafe`, `.lock()` etc. against code text only, and look for
+//! justification markers (`// ordering:`, `// SAFETY:`, …) in comment text
+//! only — so a string literal mentioning `unsafe` or a commented-out lock
+//! can never confuse a rule.
+
+/// One source line after lexing.
+pub struct Line {
+    pub code: String,
+    pub comment: String,
+}
+
+enum State {
+    Normal,
+    Block(u32),
+    Str,
+    RawStr(usize),
+}
+
+pub fn split_code_and_comments(text: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut state = State::Normal;
+    for raw in text.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            match state {
+                State::Block(depth) => {
+                    if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            State::Normal
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        state = State::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if bytes[i] == '\\' {
+                        i += 2; // skip the escaped char (may run past EOL: fine)
+                    } else if bytes[i] == '"' {
+                        code.push_str("\"\"");
+                        state = State::Normal;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if bytes[i] == '"'
+                        && bytes[i + 1..].len() >= hashes
+                        && bytes[i + 1..i + 1 + hashes].iter().all(|&c| c == '#')
+                    {
+                        code.push_str("\"\"");
+                        state = State::Normal;
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Normal => {
+                    let c = bytes[i];
+                    if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                        comment.push_str(&raw[char_offset(raw, i)..]);
+                        i = bytes.len();
+                    } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        state = State::Str;
+                        i += 1;
+                    } else if c == 'r'
+                        && !prev_is_ident(&bytes, i)
+                        && matches!(bytes.get(i + 1), Some('"') | Some('#'))
+                    {
+                        // raw string r"..." or r#"..."#
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&'"') {
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // char literal or lifetime; only consume as a char
+                        // literal when it closes ('x' or '\x')
+                        if bytes.get(i + 1) == Some(&'\\') {
+                            // escaped char literal: find closing quote
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != '\'' {
+                                j += 1;
+                            }
+                            code.push_str("''");
+                            i = (j + 1).min(bytes.len());
+                        } else if bytes.get(i + 2) == Some(&'\'') {
+                            code.push_str("''");
+                            i += 3;
+                        } else {
+                            // lifetime ('a) — keep as code
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // A string continuing across lines keeps its state; reset Str at EOL
+        // is wrong for multiline strings, so leave `state` as-is.
+        out.push(Line { code, comment });
+    }
+    out
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+fn char_offset(s: &str, nth_char: usize) -> usize {
+    s.char_indices().nth(nth_char).map_or(s.len(), |(o, _)| o)
+}

@@ -1,0 +1,120 @@
+//! `qaec-xtask` — repo-specific static analysis for the QAEC workspace.
+//!
+//! `cargo run -p qaec-xtask -- lint` scans every `crates/*/src/**/*.rs` file
+//! (production code; vendored stand-ins and integration tests are out of
+//! scope) and enforces four concurrency-hygiene invariants that rustc and
+//! clippy cannot express:
+//!
+//! 1. **ordering-comment** — every atomic load/store/RMW that names a memory
+//!    ordering (`Ordering::Relaxed` … `Ordering::SeqCst`) carries an adjacent
+//!    `// ordering:` comment justifying the claim it relies on.
+//! 2. **safety-comment** — every `unsafe` block / fn / impl carries an
+//!    adjacent `// SAFETY:` comment (mirrors
+//!    `clippy::undocumented_unsafe_blocks`, but also active for code clippy
+//!    skips, and enforced by a build-free scanner).
+//! 3. **two-guard** — no `MutexGuard` bound by `let` may be live when another
+//!    `.lock()` is taken in the same function (lock-order discipline for the
+//!    stripe locks). Justified exceptions carry `// lock-order:`.
+//! 4. **hot-region** — between `// hot-region: begin(name)` and
+//!    `// hot-region: end(name)` markers, no `Instant::now()` /
+//!    `SystemTime::now()` and no obvious heap allocation may appear (the
+//!    marked regions are the per-node `cont`/`add` recursion cores).
+//!
+//! The scanner is hand-rolled (no syn, no external deps, in the spirit of the
+//! vendored stand-ins): a line-oriented lexer strips strings and comments so
+//! rules match code text and comment text separately.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod lexer;
+mod rules;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.get(1).map(String::as_str)),
+        _ => {
+            eprintln!("usage: cargo run -p qaec-xtask -- lint [root]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(root: Option<&str>) -> ExitCode {
+    let root = root.map(PathBuf::from).unwrap_or_else(workspace_root);
+    let mut files = Vec::new();
+    collect_sources(&root.join("crates"), &mut files);
+    files.sort();
+    if files.is_empty() {
+        eprintln!("qaec-xtask: no sources found under {}", root.display());
+        return ExitCode::from(2);
+    }
+
+    let mut violations = Vec::new();
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("qaec-xtask: cannot read {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let lines = lexer::split_code_and_comments(&text);
+        let rel = path.strip_prefix(&root).unwrap_or(path);
+        rules::check_ordering_comments(rel, &lines, &mut violations);
+        rules::check_safety_comments(rel, &lines, &mut violations);
+        rules::check_two_guard(rel, &lines, &mut violations);
+        rules::check_hot_regions(rel, &lines, &mut violations);
+    }
+
+    if violations.is_empty() {
+        println!("qaec-xtask lint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!(
+            "qaec-xtask lint: {} violation(s) in {} files",
+            violations.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from the current directory to the workspace root (the directory
+/// holding a `crates/` subdirectory), so the lint works from any cwd.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            panic!("workspace root (directory with crates/) not found above cwd");
+        }
+    }
+}
+
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            // Production code only: skip per-crate integration tests, benches
+            // and examples (they have no lock-free protocol code).
+            if matches!(name, "tests" | "benches" | "examples" | "target") {
+                continue;
+            }
+            collect_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

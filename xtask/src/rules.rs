@@ -1,0 +1,463 @@
+//! The four lint rules. All work on the lexed [`Line`]s: `code` is the line
+//! with strings blanked and comments stripped, `comment` is the comment text.
+
+use std::path::Path;
+
+use crate::lexer::Line;
+
+/// How many preceding lines a justification comment may sit above its site
+/// (multi-line call expressions push the ordering name a few lines below the
+/// comment that covers the statement).
+const JUSTIFY_WINDOW: usize = 4;
+
+const MEMORY_ORDERINGS: [&str; 5] = [
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+fn push(out: &mut Vec<String>, path: &Path, line_idx: usize, rule: &str, msg: &str) {
+    out.push(format!(
+        "{}:{}: [{rule}] {msg}",
+        path.display(),
+        line_idx + 1
+    ));
+}
+
+/// Does any of the `JUSTIFY_WINDOW` lines ending at `idx` carry `marker` in
+/// its comment text?
+fn justified(lines: &[Line], idx: usize, marker: &str) -> bool {
+    let lo = idx.saturating_sub(JUSTIFY_WINDOW);
+    lines[lo..=idx].iter().any(|l| l.comment.contains(marker))
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: ordering-comment
+// ---------------------------------------------------------------------------
+
+pub fn check_ordering_comments(path: &Path, lines: &[Line], out: &mut Vec<String>) {
+    for (idx, line) in lines.iter().enumerate() {
+        let has_ordering = MEMORY_ORDERINGS.iter().any(|o| line.code.contains(o));
+        if !has_ordering {
+            continue;
+        }
+        // `use` / re-export lines name the type, not an operation.
+        let trimmed = line.code.trim_start();
+        if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+            continue;
+        }
+        if !justified(lines, idx, "ordering:") {
+            push(
+                out,
+                path,
+                idx,
+                "ordering-comment",
+                "atomic operation names a memory ordering without an adjacent `// ordering:` justification",
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: safety-comment
+// ---------------------------------------------------------------------------
+
+pub fn check_safety_comments(path: &Path, lines: &[Line], out: &mut Vec<String>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if !has_unsafe_token(&line.code) {
+            continue;
+        }
+        if !justified(lines, idx, "SAFETY:") {
+            push(
+                out,
+                path,
+                idx,
+                "safety-comment",
+                "`unsafe` without an adjacent `// SAFETY:` comment",
+            );
+        }
+    }
+}
+
+fn has_unsafe_token(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(pos) = rest.find("unsafe") {
+        let before_ok = pos == 0 || {
+            let c = rest[..pos].chars().next_back().unwrap();
+            !(c.is_alphanumeric() || c == '_')
+        };
+        let after = &rest[pos + "unsafe".len()..];
+        let after_ok = after
+            .chars()
+            .next()
+            .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = &rest[pos + "unsafe".len()..];
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: two-guard
+// ---------------------------------------------------------------------------
+
+/// Lexical lock-overlap detection: inside each function body, a `.lock(`
+/// whose result is bound by a `let` marks its guard live until the binding's
+/// block closes or an explicit `drop(<name>)`. Any further `.lock(` while a
+/// guard is live is a violation unless the line (or the `JUSTIFY_WINDOW`
+/// above it) carries `// lock-order:`.
+pub fn check_two_guard(path: &Path, lines: &[Line], out: &mut Vec<String>) {
+    struct Guard {
+        name: String,
+        depth: i32,
+    }
+    let mut depth: i32 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+
+        // Explicit early drops release the guard.
+        for g in guard_drops(code) {
+            guards.retain(|held| held.name != g);
+        }
+
+        if code.contains(".lock(") {
+            if let Some(live) = guards.first() {
+                if !justified(lines, idx, "lock-order:") {
+                    push(
+                        out,
+                        path,
+                        idx,
+                        "two-guard",
+                        &format!(
+                            "takes a lock while guard `{}` is still live — scope the first guard or justify with `// lock-order:`",
+                            live.name
+                        ),
+                    );
+                }
+            }
+            if let Some(name) = guard_binding(code) {
+                guards.push(Guard { name, depth });
+            }
+        }
+
+        // Track brace depth after processing the line's lock events; guards
+        // bound on this line live in the block that was open at `.lock(`.
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth < depth + 1 && g.depth <= depth);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// `let <name> = … .lock( …` (also `let mut <name>`) — the guard outlives the
+/// statement. Unbound uses (`queue.lock().unwrap().push(x)`) drop at the end
+/// of the statement, as do bindings that extract a value through the guard
+/// (`let n = m.lock().unwrap().len();`): only chains ending right after
+/// `.unwrap()` / `.expect(…)` bind the guard itself.
+fn guard_binding(code: &str) -> Option<String> {
+    let let_pos = find_token(code, "let")?;
+    let lock_pos = code.find(".lock(")?;
+    if lock_pos < let_pos {
+        return None;
+    }
+    if let Some(mut after) = skip_to_close(&code[lock_pos + ".lock(".len()..]) {
+        loop {
+            let t = after.trim_start();
+            if let Some(r) = t.strip_prefix(".unwrap(") {
+                match skip_to_close(r) {
+                    Some(next) => after = next,
+                    None => break,
+                }
+            } else if let Some(r) = t.strip_prefix(".expect(") {
+                match skip_to_close(r) {
+                    Some(next) => after = next,
+                    None => break,
+                }
+            } else {
+                after = t;
+                break;
+            }
+        }
+        let ok_tail = after.is_empty()
+            || after.starts_with(';')
+            || after.starts_with('?')
+            || after.starts_with('{')
+            || after.starts_with("else");
+        if !ok_tail {
+            return None;
+        }
+    }
+    // (an unclosed `.lock(` spanning lines is treated as a guard binding —
+    // conservative for the two-guard rule)
+    let mut rest = code[let_pos + 3..].trim_start();
+    if let Some(stripped) = rest.strip_prefix("mut ") {
+        rest = stripped.trim_start();
+    }
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || name == "_" {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+fn guard_drops(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = code;
+    while let Some(pos) = rest.find("drop(") {
+        let token_ok = pos == 0 || {
+            let c = rest[..pos].chars().next_back().unwrap();
+            !(c.is_alphanumeric() || c == '_' || c == '.')
+        };
+        let inner = &rest[pos + "drop(".len()..];
+        if token_ok {
+            let name: String = inner
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                out.push(name);
+            }
+        }
+        rest = inner;
+    }
+    out
+}
+
+/// `s` starts right after an opening `(`; return the text after its matching
+/// close paren, or `None` if the call spans further lines.
+fn skip_to_close(s: &str) -> Option<&str> {
+    let mut depth = 1u32;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&s[i + 1..]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn find_token(code: &str, token: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let abs = start + pos;
+        let before_ok = abs == 0 || {
+            let c = code[..abs].chars().next_back().unwrap();
+            !(c.is_alphanumeric() || c == '_')
+        };
+        let after = &code[abs + token.len()..];
+        let after_ok = after
+            .chars()
+            .next()
+            .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        start = abs + token.len();
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: hot-region
+// ---------------------------------------------------------------------------
+
+const HOT_FORBIDDEN: [&str; 12] = [
+    "Instant::now",
+    "SystemTime::now",
+    "vec!",
+    "Vec::new",
+    "Vec::with_capacity",
+    "Box::new",
+    "String::new",
+    "String::from",
+    "format!",
+    ".to_vec(",
+    ".to_owned(",
+    ".to_string(",
+];
+
+/// Enforce `// hot-region: begin(name)` / `// hot-region: end(name)` blocks:
+/// balanced markers, and none of the forbidden timing/allocation calls
+/// inside. The markers wrap the per-node `cont`/`add` recursion cores whose
+/// per-call cost budget excludes clocks and heap traffic.
+pub fn check_hot_regions(path: &Path, lines: &[Line], out: &mut Vec<String>) {
+    let mut open: Option<(String, usize)> = None;
+    for (idx, line) in lines.iter().enumerate() {
+        if let Some(name) = hot_marker(&line.comment, "begin") {
+            if let Some((prev, prev_idx)) = &open {
+                push(
+                    out,
+                    path,
+                    idx,
+                    "hot-region",
+                    &format!(
+                        "begin({name}) while begin({prev}) at line {} is still open",
+                        prev_idx + 1
+                    ),
+                );
+            }
+            open = Some((name, idx));
+            continue;
+        }
+        if let Some(name) = hot_marker(&line.comment, "end") {
+            match open.take() {
+                Some((begun, _)) if begun == name => {}
+                Some((begun, _)) => push(
+                    out,
+                    path,
+                    idx,
+                    "hot-region",
+                    &format!("end({name}) does not match open begin({begun})"),
+                ),
+                None => push(
+                    out,
+                    path,
+                    idx,
+                    "hot-region",
+                    &format!("end({name}) without begin"),
+                ),
+            }
+            continue;
+        }
+        if let Some((name, _)) = open.as_ref() {
+            for forbidden in HOT_FORBIDDEN {
+                if line.code.contains(forbidden) {
+                    push(
+                        out,
+                        path,
+                        idx,
+                        "hot-region",
+                        &format!("`{forbidden}` inside hot region `{name}` (no clocks or heap allocation in the contraction core)"),
+                    );
+                }
+            }
+        }
+    }
+    if let Some((name, idx)) = open {
+        push(
+            out,
+            path,
+            idx,
+            "hot-region",
+            &format!("begin({name}) is never closed"),
+        );
+    }
+}
+
+fn hot_marker(comment: &str, kind: &str) -> Option<String> {
+    let pos = comment.find("hot-region:")?;
+    let rest = comment[pos + "hot-region:".len()..].trim_start();
+    let rest = rest.strip_prefix(kind)?;
+    let rest = rest.trim_start().strip_prefix('(')?;
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '-')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::split_code_and_comments;
+    use std::path::PathBuf;
+
+    fn run(rule: fn(&Path, &[Line], &mut Vec<String>), src: &str) -> Vec<String> {
+        let lines = split_code_and_comments(src);
+        let mut out = Vec::new();
+        rule(&PathBuf::from("test.rs"), &lines, &mut out);
+        out
+    }
+
+    #[test]
+    fn ordering_rule_flags_bare_and_accepts_justified() {
+        let bad = "self.flag.store(true, Ordering::Release);\n";
+        assert_eq!(run(check_ordering_comments, bad).len(), 1);
+        let good = "// ordering: Release publishes the init done above.\nself.flag.store(true, Ordering::Release);\n";
+        assert!(run(check_ordering_comments, good).is_empty());
+        let trailing = "self.hits.fetch_add(1, Ordering::Relaxed); // ordering: stat counter\n";
+        assert!(run(check_ordering_comments, trailing).is_empty());
+        let use_line = "use std::sync::atomic::{AtomicU64, Ordering};\n";
+        assert!(run(check_ordering_comments, use_line).is_empty());
+        let cmp = "if a.cmp(&b) == Ordering::Less {}\n";
+        assert!(run(check_ordering_comments, cmp).is_empty());
+        let in_string = "println!(\"Ordering::Relaxed\");\n";
+        assert!(run(check_ordering_comments, in_string).is_empty());
+    }
+
+    #[test]
+    fn safety_rule_flags_bare_and_accepts_justified() {
+        let bad = "let v = unsafe { slot.assume_init_ref() };\n";
+        assert_eq!(run(check_safety_comments, bad).len(), 1);
+        let good = "// SAFETY: slot was initialised by the push that published len.\nlet v = unsafe { slot.assume_init_ref() };\n";
+        assert!(run(check_safety_comments, good).is_empty());
+        let ident = "let unsafe_count = 3;\n";
+        assert!(run(check_safety_comments, ident).is_empty());
+        let in_comment = "// this is not unsafe at all\nlet x = 1;\n";
+        assert!(run(check_safety_comments, in_comment).is_empty());
+    }
+
+    #[test]
+    fn two_guard_rule_detects_overlap_and_scoping() {
+        let bad = "fn f() {\n    let a = m1.lock().unwrap();\n    let b = m2.lock().unwrap();\n}\n";
+        assert_eq!(run(check_two_guard, bad).len(), 1);
+        let scoped = "fn f() {\n    {\n        let a = m1.lock().unwrap();\n    }\n    let b = m2.lock().unwrap();\n}\n";
+        assert!(run(check_two_guard, scoped).is_empty());
+        let dropped = "fn f() {\n    let a = m1.lock().unwrap();\n    drop(a);\n    let b = m2.lock().unwrap();\n}\n";
+        assert!(run(check_two_guard, dropped).is_empty());
+        let temp =
+            "fn f() {\n    m1.lock().unwrap().push(1);\n    m2.lock().unwrap().push(2);\n}\n";
+        assert!(run(check_two_guard, temp).is_empty());
+        let deref =
+            "fn f() {\n    let n = m1.lock().unwrap().len();\n    let b = m2.lock().unwrap();\n}\n";
+        assert!(
+            run(check_two_guard, deref).is_empty(),
+            "value extraction is not a guard binding"
+        );
+        let cmp = "fn f() {\n    let heaviest = mass > slot.lock().expect(\"p\").mass;\n    let g = m2.lock().unwrap();\n}\n";
+        assert!(run(check_two_guard, cmp).is_empty());
+        let waived = "fn f() {\n    let a = m1.lock().unwrap();\n    // lock-order: m1 always precedes m2 (documented in ARCHITECTURE.md)\n    let b = m2.lock().unwrap();\n}\n";
+        assert!(run(check_two_guard, waived).is_empty());
+    }
+
+    #[test]
+    fn hot_region_rule_flags_alloc_and_unbalanced() {
+        let bad = "// hot-region: begin(cont)\nlet v = Vec::new();\n// hot-region: end(cont)\n";
+        assert_eq!(run(check_hot_regions, bad).len(), 1);
+        let clock =
+            "// hot-region: begin(cont)\nlet t = Instant::now();\n// hot-region: end(cont)\n";
+        assert_eq!(run(check_hot_regions, clock).len(), 1);
+        let good = "// hot-region: begin(cont)\nlet x = a + b;\n// hot-region: end(cont)\n";
+        assert!(run(check_hot_regions, good).is_empty());
+        let unbalanced = "// hot-region: begin(cont)\nlet x = 1;\n";
+        assert_eq!(run(check_hot_regions, unbalanced).len(), 1);
+        let mismatched = "// hot-region: begin(cont)\n// hot-region: end(add)\n";
+        assert_eq!(run(check_hot_regions, mismatched).len(), 1);
+    }
+}
