@@ -12,12 +12,13 @@
 //! Criterion micro-benches live under `benches/`.
 
 use qaec::{
-    check_equivalence, fidelity_alg1, fidelity_alg2, AlgorithmChoice, CacheOutcome, CheckOptions,
-    Checker, QaecError, Service, ServiceConfig, ServiceQuery, ServiceReply, ServiceRequest,
-    SharedTableMode, StoreReclaimMode, SweepPoint, TermOrder, Verdict,
+    check_equivalence, fidelity_alg1, fidelity_alg2, mpo_favored, AlgorithmChoice, AlgorithmUsed,
+    CacheOutcome, CheckOptions, Checker, QaecError, Service, ServiceConfig, ServiceQuery,
+    ServiceReply, ServiceRequest, SharedTableMode, StoreReclaimMode, SweepPoint, TermOrder,
+    Verdict,
 };
 use qaec_circuit::generators::{
-    bernstein_vazirani_all_ones, grover_dac21, mod_mul_7x1_mod15, qft, quantum_volume,
+    bernstein_vazirani_all_ones, ghz, grover_dac21, mod_mul_7x1_mod15, qft, quantum_volume,
     randomized_benchmarking, tile, QftStyle,
 };
 use qaec_circuit::noise_insertion::insert_random_noise;
@@ -1337,6 +1338,7 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
             query: ServiceQuery::Check {
                 epsilon: service_eps,
             },
+            algorithm: None,
         })
         .collect();
     let run_service = || {
@@ -1434,6 +1436,187 @@ pub fn run_smoke_suite(timeout: Duration) -> Vec<RunRecord> {
     service_record.store_bytes = service_stats.store_bytes;
     service_record.peak_store_bytes = service_stats.peak_store_bytes;
     records.push(service_record);
+
+    // Algorithm III (MPO) on the portfolio's wide, weakly-coupled
+    // workload: eight noisy 3-qubit QFT blocks tiled to 24 qubits —
+    // past the width heuristic's floor, disjoint enough that the
+    // superoperator MPO stays near identity on tiny bonds while the
+    // exact backend pays for the full doubled network. Gated: the
+    // certified interval decides at the bench ε with the exact
+    // backend's verdict, and the MPO check runs ≥2× faster than the
+    // exact Algorithm II check on the same pair.
+    let wide_block = qft(3, QftStyle::DecomposedNoSwaps);
+    let wide_noisy_block = insert_random_noise(
+        &wide_block,
+        &NoiseChannel::Depolarizing { p: 0.998 },
+        1,
+        NOISE_SEED + 24,
+    );
+    let wide = tile(&wide_block, 8);
+    let wide_noisy = tile(&wide_noisy_block, 8);
+    assert!(
+        mpo_favored(&wide_noisy),
+        "the tiled 24-qubit pair must be portfolio-favored"
+    );
+    let mpo_eps = 0.2;
+    let run_wide_mpo = || -> (Duration, qaec::EquivalenceReport) {
+        let start = Instant::now();
+        let mut compiled = Checker::new(&wide, &wide_noisy)
+            .options(CheckOptions {
+                algorithm: AlgorithmChoice::Mpo,
+                deadline: Some(Instant::now() + timeout),
+                ..CheckOptions::default()
+            })
+            .compile()
+            .expect("wide mpo session compiles");
+        let report = compiled.check(mpo_eps).expect("wide mpo check");
+        (start.elapsed(), report)
+    };
+    let run_wide_exact = || -> (Duration, qaec::EquivalenceReport) {
+        let start = Instant::now();
+        let report = check_equivalence(
+            &wide,
+            &wide_noisy,
+            mpo_eps,
+            &CheckOptions {
+                algorithm: AlgorithmChoice::AlgorithmII,
+                deadline: Some(Instant::now() + timeout),
+                ..CheckOptions::default()
+            },
+        )
+        .expect("wide exact check");
+        (start.elapsed(), report)
+    };
+    // Best-of-3 per side: the ≥2× gate compares their ratio.
+    let (mut mpo_time, mpo_report) = run_wide_mpo();
+    for _ in 0..2 {
+        mpo_time = mpo_time.min(run_wide_mpo().0);
+    }
+    let (mut wide_exact_time, wide_exact_report) = run_wide_exact();
+    for _ in 0..2 {
+        wide_exact_time = wide_exact_time.min(run_wide_exact().0);
+    }
+    assert_eq!(mpo_report.algorithm, AlgorithmUsed::Mpo);
+    assert_ne!(
+        mpo_report.verdict,
+        Verdict::Inconclusive,
+        "the certified interval must decide the bench ε"
+    );
+    assert_eq!(
+        mpo_report.verdict, wide_exact_report.verdict,
+        "MPO and exact verdicts must agree on the wide workload"
+    );
+    let (lo, hi) = mpo_report.fidelity_bounds;
+    let wide_exact_f = wide_exact_report.fidelity_bounds.0;
+    assert!(
+        lo - 1e-12 <= wide_exact_f && wide_exact_f <= hi + 1e-12,
+        "certified interval [{lo}, {hi}] must contain the exact fidelity {wide_exact_f}"
+    );
+    let mpo_speedup = wide_exact_time.as_secs_f64() / mpo_time.as_secs_f64();
+    println!(
+        "mpo wide/shallow (qft3×8, 24 qubits): {:.1}ms vs {:.1}ms exact — {mpo_speedup:.2}x, \
+         bond {} trunc {:.1e}",
+        mpo_time.as_secs_f64() * 1e3,
+        wide_exact_time.as_secs_f64() * 1e3,
+        mpo_report.bond_max.unwrap_or(0),
+        mpo_report.trunc_error.unwrap_or(0.0),
+    );
+    assert!(
+        mpo_speedup >= 2.0,
+        "the MPO backend must beat exact Algorithm II ≥2x on the wide workload: {mpo_speedup:.2}x"
+    );
+    push(
+        &mut records,
+        "qft3x8_wide24_mpo",
+        &Outcome::Done {
+            fidelity: (lo + hi) / 2.0,
+            time: mpo_time,
+            nodes: mpo_report.max_nodes,
+            terms: 1,
+        },
+    );
+    push(
+        &mut records,
+        "qft3x8_wide24_alg2",
+        &Outcome::Done {
+            fidelity: wide_exact_f,
+            time: wide_exact_time,
+            nodes: wide_exact_report.max_nodes,
+            terms: 1,
+        },
+    );
+
+    // The portfolio's routing, end to end: `Auto` must answer the wide
+    // tiled pair from the MPO pass and an entangling-heavy pair (a GHZ
+    // chain coupling every qubit into one component) from an exact
+    // backend — `method_used` asserted on both rows.
+    let run_auto = |ideal: &Circuit, noisy: &Circuit| -> (Duration, qaec::EquivalenceReport) {
+        let start = Instant::now();
+        let mut compiled = Checker::new(ideal, noisy)
+            .options(CheckOptions {
+                deadline: Some(Instant::now() + timeout),
+                ..CheckOptions::default()
+            })
+            .compile()
+            .expect("auto session compiles");
+        let report = compiled.check(mpo_eps).expect("auto check");
+        (start.elapsed(), report)
+    };
+    let (auto_wide_time, auto_wide_report) = run_auto(&wide, &wide_noisy);
+    assert_eq!(
+        auto_wide_report.algorithm,
+        AlgorithmUsed::Mpo,
+        "Auto must route the wide, weakly-coupled pair to the MPO pass"
+    );
+    assert_eq!(
+        auto_wide_report.verdict, wide_exact_report.verdict,
+        "the portfolio's verdict must agree with the exact backend"
+    );
+    let heavy = ghz(8);
+    let heavy_noisy = insert_random_noise(
+        &heavy,
+        &NoiseChannel::Depolarizing { p: 0.999 },
+        2,
+        NOISE_SEED + 25,
+    );
+    assert!(
+        !mpo_favored(&heavy_noisy),
+        "a fully-coupled GHZ chain must not be portfolio-favored"
+    );
+    let (auto_heavy_time, auto_heavy_report) = run_auto(&heavy, &heavy_noisy);
+    assert_ne!(
+        auto_heavy_report.algorithm,
+        AlgorithmUsed::Mpo,
+        "Auto must route the entangling-heavy pair to an exact backend"
+    );
+    println!(
+        "auto portfolio: wide24 via {} ({:.1}ms), ghz8 via {} ({:.1}ms)",
+        auto_wide_report.algorithm,
+        auto_wide_time.as_secs_f64() * 1e3,
+        auto_heavy_report.algorithm,
+        auto_heavy_time.as_secs_f64() * 1e3,
+    );
+    push(
+        &mut records,
+        "auto_portfolio_wide24",
+        &Outcome::Done {
+            fidelity: (auto_wide_report.fidelity_bounds.0 + auto_wide_report.fidelity_bounds.1)
+                / 2.0,
+            time: auto_wide_time,
+            nodes: auto_wide_report.max_nodes,
+            terms: 1,
+        },
+    );
+    push(
+        &mut records,
+        "auto_portfolio_ghz8",
+        &Outcome::Done {
+            fidelity: auto_heavy_report.fidelity_bounds.0,
+            time: auto_heavy_time,
+            nodes: auto_heavy_report.max_nodes,
+            terms: auto_heavy_report.terms_computed,
+        },
+    );
 
     // Every shared-store row must account its real warm-store footprint
     // — `store_bytes` silently reading 0 on non-service rows was

@@ -7,7 +7,9 @@
 //!   fidelity (algorithm selectable);
 //! * `qaec check <ideal.qasm> <noisy.qasm> --epsilon ε` — the
 //!   ε-equivalence decision; process exit code 0 = equivalent,
-//!   1 = not equivalent, 2 = usage/runtime error;
+//!   1 = not equivalent, 2 = usage/runtime error, 3 = inconclusive
+//!   (only `--algorithm mpo`, when the certified interval straddles
+//!   the threshold);
 //! * `qaec sweep <ideal.qasm> <noisy.qasm> --epsilon ε --noise p,…` (or
 //!   `--epsilons ε,…`) — compile the pair **once** and re-check it at
 //!   every point on the compiled plan, one row per point.
@@ -117,6 +119,11 @@ pub struct CliOptions {
     /// (`--seed-cache on|off`; on by default, a no-op off the shared
     /// store).
     pub seed_cache: bool,
+    /// MPO singular-value truncation threshold (`--svd-threshold`;
+    /// Algorithm III only).
+    pub svd_threshold: f64,
+    /// MPO bond-dimension cap (`--max-bond`; Algorithm III only).
+    pub max_bond: usize,
     /// Enable §IV-C local optimisations.
     pub optimize: bool,
     /// Print decision-diagram statistics after the result.
@@ -127,6 +134,7 @@ pub struct CliOptions {
 
 impl Default for CliOptions {
     fn default() -> Self {
+        let core = CheckOptions::default();
         CliOptions {
             algorithm: AlgorithmChoice::Auto,
             mc_samples: None,
@@ -138,6 +146,8 @@ impl Default for CliOptions {
             store_reclaim: qaec::default_store_reclaim(),
             sweep_lanes: qaec::default_sweep_lanes(),
             seed_cache: true,
+            svd_threshold: core.svd_threshold,
+            max_bond: core.max_bond,
             optimize: false,
             verbose: false,
             json: false,
@@ -155,6 +165,8 @@ impl CliOptions {
             store_reclaim: self.store_reclaim,
             sweep_lanes: self.sweep_lanes,
             seed_cont_cache: self.seed_cache,
+            svd_threshold: self.svd_threshold,
+            max_bond: self.max_bond,
             local_optimization: self.optimize,
             swap_elimination: self.optimize,
             deadline: self.timeout.map(|t| Instant::now() + t),
@@ -195,7 +207,12 @@ SWEEP:
     `--epsilons` re-decides the compiled noise at each threshold.
 
 OPTIONS:
-    --algorithm <auto|1|2|mc>  checking algorithm (default: auto)
+    --algorithm <auto|1|2|mpo|mc>
+                               checking algorithm (default: auto — the
+                               portfolio: a cheap MPO interval pass on
+                               wide, weakly-coupled pairs, escalating
+                               to an exact backend whenever the
+                               interval cannot decide)
     --samples <n>              Monte Carlo samples (mc only, default 2000)
     --seed <n>                 Monte Carlo seed (default 0)
     --strategy <sequential|greedy|min-degree|min-fill>
@@ -239,6 +256,14 @@ OPTIONS:
                                the heaviest completed term (shared-table
                                runs only; default on — profiled value-
                                transparent; off is the escape hatch)
+    --svd-threshold <t>        MPO (algorithm mpo / the auto portfolio):
+                               discard singular values below t·σ_max at
+                               each truncation; every discard widens the
+                               certified fidelity interval by the proven
+                               residual (default 1e-8)
+    --max-bond <n>             MPO: bond-dimension cap; exceeding it
+                               truncates (accounted the same way;
+                               default 16)
     --noise <p,...>            sweep: comma-separated noise strengths
                                (each replaces every noise site's single
                                scalar parameter; requires --epsilon)
@@ -250,7 +275,9 @@ OPTIONS:
     --verbose                  print decision-diagram statistics
 
 EXIT CODES (check):
-    0 = equivalent, 1 = not equivalent, 2 = error
+    0 = equivalent, 1 = not equivalent, 2 = error,
+    3 = inconclusive (--algorithm mpo only: the certified interval
+        straddles 1 − ε; re-run exact or loosen --svd-threshold)
 ";
 
 /// Parses an argument vector (without the program name).
@@ -338,6 +365,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             "auto" => options.algorithm = AlgorithmChoice::Auto,
                             "1" | "I" | "i" => options.algorithm = AlgorithmChoice::AlgorithmI,
                             "2" | "II" | "ii" => options.algorithm = AlgorithmChoice::AlgorithmII,
+                            "mpo" | "3" | "III" | "iii" => options.algorithm = AlgorithmChoice::Mpo,
                             "mc" => options.mc_samples = Some(options.mc_samples.unwrap_or(2000)),
                             other => return Err(format!("unknown algorithm `{other}`")),
                         };
@@ -403,6 +431,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             "off" => false,
                             other => return Err(format!("unknown seed-cache mode `{other}`")),
                         };
+                    }
+                    "--svd-threshold" => {
+                        options.svd_threshold = value(&mut k)?
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|t| t.is_finite() && *t >= 0.0)
+                            .ok_or_else(|| "bad --svd-threshold value".to_string())?;
+                    }
+                    "--max-bond" => {
+                        options.max_bond = value(&mut k)?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| "bad --max-bond value".to_string())?;
                     }
                     "--noise" => {
                         noise = Some(parse_list("--noise", value(&mut k)?)?);
@@ -476,16 +518,30 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
 /// check responses, so both frontends emit exactly the fields
 /// `docs/PROTOCOL.md` documents.
 pub(crate) fn check_json(report: &EquivalenceReport) -> json::Object {
-    json::Object::new()
+    let mut object = json::Object::new()
         .string("verdict", &report.verdict.to_string())
         .number("fidelity_lower", report.fidelity_bounds.0, 12)
         .number("fidelity_upper", report.fidelity_bounds.1, 12)
         .number("epsilon", report.epsilon, 12)
         .string("algorithm", &report.algorithm.to_string())
+        .string("method", report.algorithm.wire_name())
         .int("terms_computed", report.terms_computed as u64)
         .int("total_terms", report.total_terms as u64)
         .int("max_nodes", report.max_nodes as u64)
-        .number("wall_ms", report.elapsed.as_secs_f64() * 1e3, 3)
+        .number("wall_ms", report.elapsed.as_secs_f64() * 1e3, 3);
+    // Algorithm III metadata rides along only when the MPO pass ran, so
+    // pre-existing consumers of exact-check objects see an unchanged
+    // field set.
+    if let Some(trunc_error) = report.trunc_error {
+        object = object.number("trunc_error", trunc_error, 15);
+    }
+    if let Some(bond_max) = report.bond_max {
+        object = object.int("bond_max", bond_max as u64);
+    }
+    if let Some(cross_check) = report.cross_check {
+        object = object.boolean("cross_check", cross_check);
+    }
+    object
 }
 
 /// One `sweep --noise --json` row (also a `serve` sweep_noise point).
@@ -587,10 +643,15 @@ fn run_inner(command: Command, out: &mut impl std::io::Write) -> Result<i32, Str
                 return Ok(0);
             }
             // Resolve `auto` up front so every branch carries statistics.
+            // Fidelity is an exact query, so `auto` resolves to an exact
+            // backend even where a check would try MPO first — the same
+            // promise the session API keeps.
             let (resolved, auto_note) = match opts.algorithm {
                 AlgorithmChoice::Auto => match qaec::auto_choice(&noisy) {
                     qaec::AlgorithmUsed::AlgorithmI => (AlgorithmChoice::AlgorithmI, "auto: "),
-                    qaec::AlgorithmUsed::AlgorithmII => (AlgorithmChoice::AlgorithmII, "auto: "),
+                    qaec::AlgorithmUsed::AlgorithmII | qaec::AlgorithmUsed::Mpo => {
+                        (AlgorithmChoice::AlgorithmII, "auto: ")
+                    }
                 },
                 choice => (choice, ""),
             };
@@ -605,6 +666,18 @@ fn run_inner(command: Command, out: &mut impl std::io::Write) -> Result<i32, Str
                             r.terms_computed, r.max_nodes
                         ),
                         r.stats,
+                    )
+                }
+                AlgorithmChoice::Mpo => {
+                    let mut compiled = Checker::new(&ideal, &noisy)
+                        .options(opts.clone())
+                        .compile()
+                        .map_err(|e| e.to_string())?;
+                    let estimate = compiled.fidelity().map_err(|e| e.to_string())?;
+                    (
+                        estimate,
+                        "algorithm III (MPO), midpoint of certified interval".to_string(),
+                        TddStats::default(),
                     )
                 }
                 _ => {
@@ -641,6 +714,7 @@ fn run_inner(command: Command, out: &mut impl std::io::Write) -> Result<i32, Str
             Ok(match report.verdict {
                 Verdict::Equivalent => 0,
                 Verdict::NotEquivalent => 1,
+                Verdict::Inconclusive => 3,
             })
         }
         Command::Sweep {
@@ -780,6 +854,68 @@ mod tests {
                 assert!(options.optimize);
             }
             other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_mpo_algorithm_and_knobs() {
+        // `mpo` and its aliases select Algorithm III; the knobs parse in
+        // both flag styles and default to the core options.
+        let defaults = CliOptions::default();
+        assert_eq!(
+            defaults.svd_threshold,
+            CheckOptions::default().svd_threshold
+        );
+        assert_eq!(defaults.max_bond, CheckOptions::default().max_bond);
+        for alias in ["mpo", "3", "III", "iii"] {
+            match parse_args(&strings(&[
+                "check",
+                "i.qasm",
+                "n.qasm",
+                "--epsilon",
+                "0.01",
+                "--algorithm",
+                alias,
+            ]))
+            .unwrap()
+            {
+                Command::Check { options, .. } => {
+                    assert_eq!(options.algorithm, AlgorithmChoice::Mpo, "{alias}")
+                }
+                other => panic!("wrong command {other:?}"),
+            }
+        }
+        match parse_args(&strings(&[
+            "check",
+            "i.qasm",
+            "n.qasm",
+            "--epsilon=0.01",
+            "--algorithm=mpo",
+            "--svd-threshold=1e-6",
+            "--max-bond",
+            "32",
+        ]))
+        .unwrap()
+        {
+            Command::Check { options, .. } => {
+                assert_eq!(options.algorithm, AlgorithmChoice::Mpo);
+                assert_eq!(options.svd_threshold, 1e-6);
+                assert_eq!(options.max_bond, 32);
+                let core = options.to_check_options();
+                assert_eq!(core.svd_threshold, 1e-6);
+                assert_eq!(core.max_bond, 32);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        for bad in [
+            vec!["--svd-threshold", "-1"],
+            vec!["--svd-threshold", "nope"],
+            vec!["--max-bond", "0"],
+            vec!["--max-bond", "many"],
+        ] {
+            let mut full = vec!["check", "i.qasm", "n.qasm", "--epsilon", "0.01"];
+            full.extend(bad.iter());
+            assert!(parse_args(&strings(&full)).is_err(), "{bad:?}");
         }
     }
 

@@ -114,8 +114,23 @@ pub fn parse_serve_args(rest: &[String]) -> Result<ServeArgs, String> {
                     "auto" => AlgorithmChoice::Auto,
                     "1" | "I" | "i" => AlgorithmChoice::AlgorithmI,
                     "2" | "II" | "ii" => AlgorithmChoice::AlgorithmII,
+                    "mpo" | "3" | "III" | "iii" => AlgorithmChoice::Mpo,
                     other => return Err(format!("serve: unknown algorithm `{other}`")),
                 };
+            }
+            "--svd-threshold" => {
+                args.options.svd_threshold = value(&mut k)?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| "bad --svd-threshold value".to_string())?;
+            }
+            "--max-bond" => {
+                args.options.max_bond = value(&mut k)?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "bad --max-bond value".to_string())?;
             }
             "--strategy" => {
                 args.options.strategy = match value(&mut k)? {
@@ -542,6 +557,31 @@ fn parse_request(line: &str) -> Result<Parsed, BadRequest> {
     };
     let ideal = circuit_field(&value, "ideal").map_err(|e| fail(&id, Some(op_name.clone()), e))?;
     let noisy = circuit_field(&value, "noisy").map_err(|e| fail(&id, Some(op_name.clone()), e))?;
+    // Optional per-request algorithm override (v1-additive; absent means
+    // the server's configured options decide).
+    let algorithm = match value.get("algorithm") {
+        None => None,
+        Some(Json::Str(name)) => Some(match name.as_str() {
+            "auto" => AlgorithmChoice::Auto,
+            "1" => AlgorithmChoice::AlgorithmI,
+            "2" => AlgorithmChoice::AlgorithmII,
+            "mpo" => AlgorithmChoice::Mpo,
+            other => {
+                return Err(fail(
+                    &id,
+                    Some(op_name.clone()),
+                    format!("unknown algorithm `{other}` (auto | 1 | 2 | mpo)"),
+                ))
+            }
+        }),
+        Some(_) => {
+            return Err(fail(
+                &id,
+                Some(op_name.clone()),
+                "`algorithm` must be a string".into(),
+            ))
+        }
+    };
     Ok(Parsed {
         id,
         op,
@@ -549,6 +589,7 @@ fn parse_request(line: &str) -> Result<Parsed, BadRequest> {
             ideal,
             noisy,
             query,
+            algorithm,
         }),
     })
 }
@@ -906,6 +947,18 @@ mod tests {
         assert_eq!(args.options.shared_table, SharedTableMode::On);
         assert_eq!(args.listen, None);
 
+        // Algorithm III and its knobs parse like the one-shot frontend.
+        let mpo = parse_serve_args(&[
+            "--algorithm=mpo".into(),
+            "--svd-threshold=1e-6".into(),
+            "--max-bond".into(),
+            "32".into(),
+        ])
+        .expect("parse mpo");
+        assert_eq!(mpo.options.algorithm, AlgorithmChoice::Mpo);
+        assert_eq!(mpo.options.svd_threshold, 1e-6);
+        assert_eq!(mpo.options.max_bond, 32);
+
         // Flags that have no serving meaning are rejected, not ignored.
         for bad in ["--timeout", "--json", "--samples", "--epsilon"] {
             assert!(
@@ -987,6 +1040,55 @@ mod tests {
         for line in &lines {
             assert!(parse_json(line).is_ok(), "unparseable response `{line}`");
         }
+    }
+
+    #[test]
+    fn per_request_algorithm_overrides_key_separately() {
+        let service = service();
+        let input = format!(
+            concat!(
+                "{{\"id\": 1, \"op\": \"check\", \"ideal\": \"{i}\", ",
+                "\"noisy\": \"{n}\", \"epsilon\": 0.05}}\n",
+                "{{\"id\": 2, \"op\": \"check\", \"ideal\": \"{i}\", ",
+                "\"noisy\": \"{n}\", \"epsilon\": 0.05, \"algorithm\": \"mpo\"}}\n",
+                "{{\"id\": 3, \"op\": \"check\", \"ideal\": \"{i}\", ",
+                "\"noisy\": \"{n}\", \"epsilon\": 0.05, \"algorithm\": \"2\"}}\n",
+                "{{\"id\": 4, \"op\": \"check\", \"ideal\": \"{i}\", ",
+                "\"noisy\": \"{n}\", \"epsilon\": 0.05, \"algorithm\": \"warp\"}}\n",
+            ),
+            i = IDEAL,
+            n = NOISY,
+        );
+        let lines = batch(&service, &input);
+        assert_eq!(lines.len(), 4);
+        let key = |line: &str| {
+            line.split("\"key\": \"")
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())
+                .map(str::to_string)
+                .expect("key present")
+        };
+        // Three distinct sessions: default, mpo override, exact override.
+        assert!(lines[0].contains("\"cache\": \"miss\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"cache\": \"miss\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"cache\": \"miss\""), "{}", lines[2]);
+        assert_ne!(key(&lines[0]), key(&lines[1]));
+        assert_ne!(key(&lines[0]), key(&lines[2]));
+        assert_ne!(key(&lines[1]), key(&lines[2]));
+        // The MPO response reports its method and interval metadata; the
+        // exact ones say so too, without the MPO-only fields.
+        assert!(lines[1].contains("\"method\": \"mpo\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"trunc_error\":"), "{}", lines[1]);
+        assert!(lines[1].contains("\"bond_max\":"), "{}", lines[1]);
+        assert!(lines[2].contains("\"method\": \"2\""), "{}", lines[2]);
+        assert!(!lines[2].contains("\"trunc_error\""), "{}", lines[2]);
+        // All three backends agree on this easy pair.
+        for line in &lines[..3] {
+            assert!(line.contains("\"verdict\": \"equivalent\""), "{line}");
+        }
+        // An unknown override is a structured error, not a crash.
+        assert!(lines[3].contains("\"ok\": false"), "{}", lines[3]);
+        assert!(lines[3].contains("unknown algorithm"), "{}", lines[3]);
     }
 
     #[test]

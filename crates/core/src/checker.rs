@@ -19,14 +19,62 @@ use std::time::Instant;
 /// two noise sites, i.e. 4–16 depolarizing terms).
 pub const AUTO_TERM_THRESHOLD: usize = 16;
 
-/// Picks the algorithm for a noisy circuit under
-/// [`crate::AlgorithmChoice::Auto`].
+/// Picks the **exact** algorithm for a noisy circuit under
+/// [`crate::AlgorithmChoice::Auto`] — and the backend the portfolio
+/// escalates to when an MPO interval cannot decide.
 pub fn auto_choice(noisy: &Circuit) -> AlgorithmUsed {
     if noisy.kraus_term_count() <= AUTO_TERM_THRESHOLD {
         AlgorithmUsed::AlgorithmI
     } else {
         AlgorithmUsed::AlgorithmII
     }
+}
+
+/// Register width at or above which the `Auto` portfolio considers the
+/// approximate MPO pass (Algorithm III) worth trying.
+pub const MPO_WIDTH_THRESHOLD: usize = 8;
+
+/// Whether the `Auto` portfolio should run the approximate MPO backend
+/// first: the register is wide (≥ [`MPO_WIDTH_THRESHOLD`] qubits) *and*
+/// shallowly entangled — the largest connected component of the
+/// qubit-interaction graph (each multi-qubit instruction links its
+/// qubits) spans at most half the register.
+///
+/// The heuristic targets the regimes where the two cost models diverge:
+/// the exact backends' decision diagrams grow with *global* circuit
+/// structure, while MPO bond dimension is bounded by the width of the
+/// component a bond cuts through — on tiled or block-local workloads
+/// that bound is a small constant no matter how wide the register gets.
+pub fn mpo_favored(noisy: &Circuit) -> bool {
+    let n = noisy.n_qubits();
+    if n < MPO_WIDTH_THRESHOLD {
+        return false;
+    }
+    // Union-find over the qubit-interaction graph.
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    for inst in noisy.instructions() {
+        for pair in inst.qubits.windows(2) {
+            let (a, b) = (find(&mut parent, pair[0]), find(&mut parent, pair[1]));
+            if a != b {
+                parent[a] = b;
+            }
+        }
+    }
+    let mut size = vec![0usize; n];
+    let mut largest = 0;
+    for q in 0..n {
+        let root = find(&mut parent, q);
+        size[root] += 1;
+        largest = largest.max(size[root]);
+    }
+    largest * 2 <= n
 }
 
 /// Computes the Jamiolkowski fidelity `F_J(E, U)` between an ideal
@@ -176,6 +224,26 @@ mod tests {
                 "session off-boundary, {algorithm:?}"
             );
         }
+    }
+
+    /// The portfolio gate ([`mpo_favored`]): wide registers of narrow
+    /// interaction components go to the MPO pass; narrow registers and
+    /// globally entangled circuits stay exact.
+    #[test]
+    fn mpo_favored_requires_wide_and_shallow() {
+        use qaec_circuit::generators::{qft, quantum_volume, tile, QftStyle};
+        // Narrow: below the width threshold no matter how local.
+        assert!(!mpo_favored(&qft(3, QftStyle::DecomposedNoSwaps)));
+        assert!(!mpo_favored(&quantum_volume(6, 4, 7)));
+        // Wide register of 3-qubit blocks: largest component 3 ≤ 24/2.
+        let tiled = tile(&qft(3, QftStyle::DecomposedNoSwaps), 8);
+        assert!(mpo_favored(&tiled));
+        // Wide but globally entangled: one component spans everything.
+        assert!(!mpo_favored(&qft(8, QftStyle::DecomposedNoSwaps)));
+        // Two half-register components sit exactly on the boundary
+        // (largest component == n/2) and are still accepted.
+        let half = tile(&qft(4, QftStyle::DecomposedNoSwaps), 2);
+        assert!(mpo_favored(&half));
     }
 
     /// Regression: the Algorithm II arm used to validate twice (once in

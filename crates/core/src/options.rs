@@ -6,15 +6,23 @@ use std::time::Instant;
 /// Which checking algorithm to run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum AlgorithmChoice {
-    /// Pick automatically from the number of Kraus terms: few noise sites
-    /// → Algorithm I, many → Algorithm II (the paper's observed
-    /// crossover).
+    /// Portfolio mode: on wide, weakly-coupled workloads run a cheap
+    /// MPO pass first and escalate to an exact backend whenever the
+    /// truncation interval straddles `1 − ε`; everywhere else pick
+    /// between Algorithms I and II from the number of Kraus terms (the
+    /// paper's observed crossover). Fidelity queries and noise sweeps
+    /// always resolve to an exact backend.
     #[default]
     Auto,
     /// Algorithm I: one trace network per Kraus selection.
     AlgorithmI,
     /// Algorithm II: a single doubled network.
     AlgorithmII,
+    /// Algorithm III: approximate MPO contraction with a rigorous
+    /// truncation-error interval (`qaec-mpo`). Never escalates — an
+    /// interval straddling `1 − ε` yields
+    /// [`crate::Verdict::Inconclusive`].
+    Mpo,
 }
 
 /// Global variable orders for the decision diagrams.
@@ -214,6 +222,16 @@ pub struct CheckOptions {
     /// `QAEC_STORE_RECLAIM` environment variable). Bit-transparent:
     /// every result is identical with reclamation on, off or auto.
     pub store_reclaim: StoreReclaimMode,
+    /// Relative singular-value mass one Algorithm III truncation may
+    /// discard (every discarded mass is charged to the reported error
+    /// interval, so loosening this widens intervals rather than
+    /// corrupting answers). Ignored by the exact backends. Default
+    /// `1e-8`.
+    pub svd_threshold: f64,
+    /// Hard cap on Algorithm III bond dimension; overflow past the cap
+    /// is likewise charged to the error interval. Ignored by the exact
+    /// backends. Default `16`.
+    pub max_bond: usize,
 }
 
 /// The default worker-thread count: the `QAEC_THREADS` environment
@@ -309,6 +327,8 @@ impl Default for CheckOptions {
             seed_cont_cache: true,
             sweep_lanes: default_sweep_lanes(),
             store_reclaim: default_store_reclaim(),
+            svd_threshold: 1e-8,
+            max_bond: 16,
         }
     }
 }

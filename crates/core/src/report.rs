@@ -11,6 +11,13 @@ pub enum Verdict {
     Equivalent,
     /// `F_J(E, U) ≤ 1 − ε`.
     NotEquivalent,
+    /// The proven fidelity interval straddles `1 − ε`, so neither side
+    /// is established. Only the approximate Algorithm III backend can
+    /// return this (when forced explicitly and its truncation-error
+    /// interval is too wide at the requested ε); the `Auto` portfolio
+    /// never surfaces it — a straddling interval escalates to an exact
+    /// backend instead.
+    Inconclusive,
 }
 
 impl Verdict {
@@ -66,6 +73,7 @@ impl fmt::Display for Verdict {
         match self {
             Verdict::Equivalent => write!(f, "equivalent"),
             Verdict::NotEquivalent => write!(f, "not equivalent"),
+            Verdict::Inconclusive => write!(f, "inconclusive"),
         }
     }
 }
@@ -77,6 +85,21 @@ pub enum AlgorithmUsed {
     AlgorithmI,
     /// Collective doubled-network calculation (§IV-B).
     AlgorithmII,
+    /// Approximate MPO contraction with a rigorous truncation-error
+    /// interval (the portfolio's Algorithm III, crate `qaec-mpo`).
+    Mpo,
+}
+
+impl AlgorithmUsed {
+    /// The serve-protocol wire name of the algorithm (`method` field of
+    /// v1 responses): `"1"`, `"2"` or `"mpo"`.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            AlgorithmUsed::AlgorithmI => "1",
+            AlgorithmUsed::AlgorithmII => "2",
+            AlgorithmUsed::Mpo => "mpo",
+        }
+    }
 }
 
 impl fmt::Display for AlgorithmUsed {
@@ -84,6 +107,7 @@ impl fmt::Display for AlgorithmUsed {
         match self {
             AlgorithmUsed::AlgorithmI => write!(f, "Algorithm I"),
             AlgorithmUsed::AlgorithmII => write!(f, "Algorithm II"),
+            AlgorithmUsed::Mpo => write!(f, "Algorithm III (MPO)"),
         }
     }
 }
@@ -110,6 +134,17 @@ pub struct EquivalenceReport {
     pub elapsed: Duration,
     /// Decision-diagram statistics, merged across all workers.
     pub stats: TddStats,
+    /// MPO truncation-error bound — half the interval width before
+    /// clamping. `Some` only when Algorithm III ran.
+    pub trunc_error: Option<f64>,
+    /// Largest MPO bond dimension reached. `Some` only when
+    /// Algorithm III ran.
+    pub bond_max: Option<usize>,
+    /// When the `Auto` portfolio ran the MPO pass *and* escalated to an
+    /// exact backend, whether the two agreed — the MPO interval and the
+    /// exact backend's proven bounds intersect, as two sound intervals
+    /// for the same fidelity must. `None` when only one backend ran.
+    pub cross_check: Option<bool>,
 }
 
 impl fmt::Display for EquivalenceReport {
@@ -179,10 +214,22 @@ mod tests {
             max_nodes: 42,
             elapsed: Duration::from_millis(12),
             stats: TddStats::default(),
+            trunc_error: None,
+            bond_max: None,
+            cross_check: None,
         };
         let text = report.to_string();
         assert!(text.contains("equivalent"));
         assert!(text.contains("3/16"));
         assert!(text.contains("42"));
+    }
+
+    #[test]
+    fn inconclusive_and_mpo_display() {
+        assert_eq!(Verdict::Inconclusive.to_string(), "inconclusive");
+        assert_eq!(AlgorithmUsed::Mpo.to_string(), "Algorithm III (MPO)");
+        assert_eq!(AlgorithmUsed::AlgorithmI.wire_name(), "1");
+        assert_eq!(AlgorithmUsed::AlgorithmII.wire_name(), "2");
+        assert_eq!(AlgorithmUsed::Mpo.wire_name(), "mpo");
     }
 }

@@ -55,6 +55,7 @@
 //!     ideal: ideal.clone(),
 //!     noisy: noisy.clone(),
 //!     query: ServiceQuery::Check { epsilon: 0.05 },
+//!     algorithm: None,
 //! };
 //!
 //! // First request compiles; the repeat is served by the cached session.
@@ -77,7 +78,7 @@
 //! ```
 
 use crate::error::QaecError;
-use crate::options::CheckOptions;
+use crate::options::{AlgorithmChoice, CheckOptions};
 use crate::report::EquivalenceReport;
 use crate::session::{CompiledCheck, EpsilonPoint, StoreCell, SweepPoint};
 use crate::validate;
@@ -140,6 +141,28 @@ pub struct ServiceRequest {
     pub noisy: Circuit,
     /// What to compute.
     pub query: ServiceQuery,
+    /// Per-request algorithm override (`None` uses the service's
+    /// configured options unchanged). Sessions compiled under different
+    /// algorithms answer differently, so the override is folded into
+    /// the cache key — a pair checked both ways holds two cache
+    /// entries, and `None` keys exactly as before the field existed.
+    pub algorithm: Option<AlgorithmChoice>,
+}
+
+/// Folds a per-request algorithm override into the pair's cache key.
+/// `None` maps to 0 so requests without an override keep the bare
+/// [`pair_hash`] key.
+fn algorithm_tag(algorithm: Option<AlgorithmChoice>) -> u64 {
+    match algorithm {
+        None => 0,
+        // Arbitrary fixed odd constants, well spread so XORing them
+        // into a 64-bit content hash cannot collide two overrides of
+        // the same pair.
+        Some(AlgorithmChoice::Auto) => 0x9e37_79b9_7f4a_7c15,
+        Some(AlgorithmChoice::AlgorithmI) => 0xc2b2_ae3d_27d4_eb4f,
+        Some(AlgorithmChoice::AlgorithmII) => 0x1656_67b1_9e37_79f9,
+        Some(AlgorithmChoice::Mpo) => 0x27d4_eb2f_1656_67c5,
+    }
 }
 
 /// The successful payload of a [`ServiceResponse`] — one variant per
@@ -180,7 +203,10 @@ impl CacheOutcome {
 /// session was cached, and the query result.
 #[derive(Clone, Debug)]
 pub struct ServiceResponse {
-    /// The pair's content hash ([`qaec_circuit::hash::pair_hash`]).
+    /// The request's cache key: the pair's content hash
+    /// ([`qaec_circuit::hash::pair_hash`]), XORed with a fixed tag when
+    /// the request carried an algorithm override (bare content hash
+    /// otherwise).
     pub key: u64,
     /// Whether the pair's session was already cached.
     pub cache: CacheOutcome,
@@ -317,7 +343,7 @@ impl Service {
     /// pair serialise on that pair's session, distinct pairs proceed in
     /// parallel.
     pub fn handle(&self, request: &ServiceRequest) -> ServiceResponse {
-        let key = pair_hash(&request.ideal, &request.noisy);
+        let key = pair_hash(&request.ideal, &request.noisy) ^ algorithm_tag(request.algorithm);
         if let Err(error) = validate(&request.ideal, &request.noisy, None) {
             return ServiceResponse {
                 key,
@@ -330,11 +356,12 @@ impl Service {
             // ordering: Relaxed — statistics counter; the OnceLock is what
             // synchronises the compiled session itself.
             self.compiles.fetch_add(1, Ordering::Relaxed);
-            let session = CompiledCheck::compile_prevalidated(
-                &request.ideal,
-                &request.noisy,
-                self.config.options.clone(),
-            );
+            let mut options = self.config.options.clone();
+            if let Some(algorithm) = request.algorithm {
+                options.algorithm = algorithm;
+            }
+            let session =
+                CompiledCheck::compile_prevalidated(&request.ideal, &request.noisy, options);
             let store = session.warm_store_cell().cloned();
             SlotCell {
                 session: Mutex::new(session),
@@ -367,7 +394,7 @@ impl Service {
         let mut order: Vec<u64> = Vec::new();
         let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
         for (index, request) in requests.iter().enumerate() {
-            let key = pair_hash(&request.ideal, &request.noisy);
+            let key = pair_hash(&request.ideal, &request.noisy) ^ algorithm_tag(request.algorithm);
             match groups.entry(key) {
                 MapEntry::Vacant(entry) => {
                     order.push(key);

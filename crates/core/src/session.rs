@@ -77,13 +77,15 @@
 
 use crate::alg1::Alg1Artifacts;
 use crate::alg2::Alg2Artifacts;
-use crate::checker::auto_choice;
+use crate::checker::{auto_choice, mpo_favored};
 use crate::error::QaecError;
 use crate::options::{clamp_lane_width, AlgorithmChoice, CheckOptions};
 use crate::report::{AlgorithmUsed, EquivalenceReport, Verdict};
 use crate::{validate, validate_epsilon};
 use qaec_circuit::{Circuit, NoiseChannel};
+use qaec_mpo::{MpoOptions, MpoOutcome, MpoPlan};
 use qaec_tdd::{SharedTddStore, TddStats};
+use std::fmt;
 use std::sync::Arc;
 
 use qaec_tdd::sync::Mutex;
@@ -194,6 +196,61 @@ impl Checker {
 enum Backend {
     Alg1(Alg1Artifacts),
     Alg2(Alg2Artifacts),
+    Mpo(MpoBackend),
+}
+
+/// The Algorithm III artifacts: a compiled MPO program plus, under the
+/// `Auto` portfolio, a lazily-compiled exact session to escalate to
+/// when the MPO interval cannot decide a query.
+#[derive(Clone)]
+struct MpoBackend {
+    plan: Arc<MpoPlan>,
+    /// `Some` when compiled under [`AlgorithmChoice::Auto`]; `None`
+    /// when Algorithm III was forced explicitly (a straddling interval
+    /// then surfaces as [`Verdict::Inconclusive`] instead).
+    escalation: Option<Arc<Mutex<EscalationState>>>,
+}
+
+impl fmt::Debug for MpoBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MpoBackend")
+            .field("n_qubits", &self.plan.n_qubits())
+            .field("channels", &self.plan.channels().len())
+            .field("escalation", &self.escalation.is_some())
+            .finish()
+    }
+}
+
+/// The portfolio's exact fallback, compiled on first use so the cheap
+/// MPO pass pays nothing for it when the interval decides outright.
+enum EscalationState {
+    Pending { ideal: Circuit, noisy: Circuit },
+    Ready(Box<CompiledCheck>),
+}
+
+impl EscalationState {
+    /// The compiled exact fallback session, compiling it on first use
+    /// with the caller's options forced to the algorithm the exact
+    /// [`auto_choice`] picks for the pair — so an escalated `Auto`
+    /// query is bit-identical to what `Auto` computed before the
+    /// portfolio existed.
+    fn ready(&mut self, options: &CheckOptions) -> &mut CompiledCheck {
+        if let EscalationState::Pending { ideal, noisy } = self {
+            let forced = CheckOptions {
+                algorithm: match auto_choice(noisy) {
+                    AlgorithmUsed::AlgorithmI => AlgorithmChoice::AlgorithmI,
+                    AlgorithmUsed::AlgorithmII | AlgorithmUsed::Mpo => AlgorithmChoice::AlgorithmII,
+                },
+                ..options.clone()
+            };
+            let compiled = CompiledCheck::compile_prevalidated(ideal, noisy, forced);
+            *self = EscalationState::Ready(Box::new(compiled));
+        }
+        match self {
+            EscalationState::Ready(check) => check,
+            EscalationState::Pending { .. } => unreachable!("compiled above"),
+        }
+    }
 }
 
 /// The tightest proven fidelity interval so far, with the evidence of
@@ -202,11 +259,21 @@ enum Backend {
 struct Knowledge {
     lower: f64,
     upper: f64,
+    /// The MPO midpoint estimate, when Algorithm III established the
+    /// interval — what [`CompiledCheck::fidelity`] returns for an
+    /// explicitly-forced approximate session.
+    estimate: Option<f64>,
+    /// The algorithm whose run established the interval (under the
+    /// portfolio this can differ from the session's compiled backend).
+    algorithm: AlgorithmUsed,
     terms_computed: usize,
     total_terms: usize,
     max_nodes: usize,
     elapsed: Duration,
     stats: TddStats,
+    trunc_error: Option<f64>,
+    bond_max: Option<usize>,
+    cross_check: Option<bool>,
 }
 
 impl Knowledge {
@@ -217,6 +284,43 @@ impl Knowledge {
 
     fn width(&self) -> f64 {
         (self.upper - self.lower).max(0.0)
+    }
+
+    /// Evidence of an Algorithm III run, interval and estimate alike.
+    fn from_mpo(out: &MpoOutcome) -> Knowledge {
+        Knowledge {
+            lower: out.f_lo,
+            upper: out.f_hi,
+            estimate: Some(out.fidelity),
+            algorithm: AlgorithmUsed::Mpo,
+            terms_computed: 1,
+            total_terms: 1,
+            max_nodes: out.bond_max,
+            elapsed: out.elapsed,
+            stats: TddStats::default(),
+            trunc_error: Some(out.trunc_error),
+            bond_max: Some(out.bond_max),
+            cross_check: None,
+        }
+    }
+
+    /// Evidence of the run behind an [`EquivalenceReport`] (exact
+    /// backends and escalated portfolio queries).
+    fn from_report(report: &EquivalenceReport) -> Knowledge {
+        Knowledge {
+            lower: report.fidelity_bounds.0,
+            upper: report.fidelity_bounds.1,
+            estimate: None,
+            algorithm: report.algorithm,
+            terms_computed: report.terms_computed,
+            total_terms: report.total_terms,
+            max_nodes: report.max_nodes,
+            elapsed: report.elapsed,
+            stats: report.stats,
+            trunc_error: report.trunc_error,
+            bond_max: report.bond_max,
+            cross_check: report.cross_check,
+        }
     }
 }
 
@@ -291,9 +395,15 @@ impl CompiledCheck {
         options: CheckOptions,
     ) -> CompiledCheck {
         let algorithm = match options.algorithm {
+            // The portfolio: try the cheap MPO pass on wide, shallowly
+            // entangled pairs (escalating when its interval cannot
+            // decide); everything else goes straight to an exact
+            // backend, exactly as before.
+            AlgorithmChoice::Auto if mpo_favored(noisy) => AlgorithmUsed::Mpo,
             AlgorithmChoice::Auto => auto_choice(noisy),
             AlgorithmChoice::AlgorithmI => AlgorithmUsed::AlgorithmI,
             AlgorithmChoice::AlgorithmII => AlgorithmUsed::AlgorithmII,
+            AlgorithmChoice::Mpo => AlgorithmUsed::Mpo,
         };
         let (backend, store) = match algorithm {
             AlgorithmUsed::AlgorithmI => {
@@ -310,6 +420,25 @@ impl CompiledCheck {
                 let store = (options.shared_table != crate::SharedTableMode::Off)
                     .then(|| StoreCell::new(SharedTddStore::new()));
                 (Backend::Alg2(artifacts), store)
+            }
+            AlgorithmUsed::Mpo => {
+                // Only the `Auto` portfolio gets an exact fallback; a
+                // forced Algorithm III session reports Inconclusive
+                // when its interval straddles the threshold. The MPO
+                // engine works on dense site tensors, so no
+                // decision-diagram store is allocated — the escalated
+                // session (compiled lazily) brings its own.
+                let escalation = (options.algorithm == AlgorithmChoice::Auto).then(|| {
+                    Arc::new(Mutex::new(EscalationState::Pending {
+                        ideal: ideal.clone(),
+                        noisy: noisy.clone(),
+                    }))
+                });
+                let backend = MpoBackend {
+                    plan: Arc::new(MpoPlan::compile(ideal, noisy)),
+                    escalation,
+                };
+                (Backend::Mpo(backend), None)
             }
         };
         CompiledCheck {
@@ -394,6 +523,16 @@ impl CompiledCheck {
         match &self.backend {
             Backend::Alg1(a) => &a.template.channels,
             Backend::Alg2(a) => &a.template.channels,
+            Backend::Mpo(b) => b.plan.channels(),
+        }
+    }
+
+    /// The MPO tuning knobs of this session's options, in the engine's
+    /// own vocabulary.
+    fn mpo_options(&self) -> MpoOptions {
+        MpoOptions {
+            svd_threshold: self.options.svd_threshold,
+            max_bond: self.options.max_bond,
         }
     }
 
@@ -402,7 +541,12 @@ impl CompiledCheck {
     /// the one-shot path — returns the proven lower bound).
     ///
     /// Bit-identical to [`crate::jamiolkowski_fidelity`] on the same
-    /// pair and options.
+    /// pair and options. An `Auto` session whose portfolio compiled the
+    /// MPO backend keeps that promise by escalating this query to its
+    /// exact fallback; only an explicitly-forced
+    /// [`AlgorithmChoice::Mpo`] session returns the MPO midpoint
+    /// estimate instead, whose distance from the exact value is bounded
+    /// by the reported truncation error.
     ///
     /// # Errors
     ///
@@ -417,32 +561,69 @@ impl CompiledCheck {
             Backend::Alg1(artifacts) => {
                 let report = artifacts.run(None, &self.options, self.warm_store().as_ref())?;
                 let value = report.fidelity_lower;
-                self.remember(
-                    report.fidelity_lower,
-                    report.fidelity_upper,
-                    report.terms_computed,
-                    report.total_terms,
-                    report.max_nodes,
-                    report.elapsed,
-                    report.stats,
-                );
+                self.remember(Knowledge {
+                    lower: report.fidelity_lower,
+                    upper: report.fidelity_upper,
+                    estimate: None,
+                    algorithm: AlgorithmUsed::AlgorithmI,
+                    terms_computed: report.terms_computed,
+                    total_terms: report.total_terms,
+                    max_nodes: report.max_nodes,
+                    elapsed: report.elapsed,
+                    stats: report.stats,
+                    trunc_error: None,
+                    bond_max: None,
+                    cross_check: None,
+                });
                 self.maybe_reclaim_store();
                 Ok(value)
             }
             Backend::Alg2(artifacts) => {
                 let report = artifacts.run(&self.options, self.warm_store().as_ref())?;
                 let value = report.fidelity;
-                self.remember(
-                    value,
-                    value,
-                    1,
-                    1,
-                    report.max_nodes,
-                    report.elapsed,
-                    report.stats,
-                );
+                self.remember(Knowledge {
+                    lower: value,
+                    upper: value,
+                    estimate: None,
+                    algorithm: AlgorithmUsed::AlgorithmII,
+                    terms_computed: 1,
+                    total_terms: 1,
+                    max_nodes: report.max_nodes,
+                    elapsed: report.elapsed,
+                    stats: report.stats,
+                    trunc_error: None,
+                    bond_max: None,
+                    cross_check: None,
+                });
                 self.maybe_reclaim_store();
                 Ok(value)
+            }
+            Backend::Mpo(backend) => {
+                let backend = backend.clone();
+                match &backend.escalation {
+                    // `Auto` promised the exact value: escalate.
+                    Some(cell) => {
+                        let mut state = cell.lock().expect("escalation cell poisoned");
+                        let exact = state.ready(&self.options);
+                        let value = exact.fidelity()?;
+                        let knowledge = exact.knowledge.clone();
+                        drop(state);
+                        if let Some(k) = knowledge {
+                            self.remember(k);
+                        }
+                        Ok(value)
+                    }
+                    None => {
+                        // A forced approximate session serves its
+                        // cached estimate rather than re-contracting.
+                        if let Some(estimate) = self.knowledge.as_ref().and_then(|k| k.estimate) {
+                            return Ok(estimate);
+                        }
+                        let out = backend.plan.run(&self.mpo_options());
+                        self.remember(Knowledge::from_mpo(&out));
+                        Ok(out.fidelity)
+                    }
+                }
             }
         }
     }
@@ -515,16 +696,11 @@ impl CompiledCheck {
                     max_nodes: report.max_nodes,
                     elapsed: report.elapsed,
                     stats: report.stats,
+                    trunc_error: None,
+                    bond_max: None,
+                    cross_check: None,
                 };
-                self.remember(
-                    report.fidelity_lower,
-                    report.fidelity_upper,
-                    report.terms_computed,
-                    report.total_terms,
-                    report.max_nodes,
-                    report.elapsed,
-                    report.stats,
-                );
+                self.remember(Knowledge::from_report(&out));
                 self.maybe_reclaim_store();
                 Ok(out)
             }
@@ -541,18 +717,82 @@ impl CompiledCheck {
                     max_nodes: report.max_nodes,
                     elapsed: report.elapsed,
                     stats: report.stats,
+                    trunc_error: None,
+                    bond_max: None,
+                    cross_check: None,
                 };
-                self.remember(
-                    report.fidelity,
-                    report.fidelity,
-                    1,
-                    1,
-                    report.max_nodes,
-                    report.elapsed,
-                    report.stats,
-                );
+                self.remember(Knowledge::from_report(&out));
                 self.maybe_reclaim_store();
                 Ok(out)
+            }
+            Backend::Mpo(backend) => {
+                let backend = backend.clone();
+                self.check_mpo(&backend, epsilon)
+            }
+        }
+    }
+
+    /// The portfolio's query body: run the compiled MPO program, decide
+    /// from its rigorous interval if possible, otherwise escalate to
+    /// the exact fallback (`Auto`) or report
+    /// [`Verdict::Inconclusive`] (forced Algorithm III).
+    fn check_mpo(
+        &mut self,
+        backend: &MpoBackend,
+        epsilon: f64,
+    ) -> Result<EquivalenceReport, QaecError> {
+        let out = backend.plan.run(&self.mpo_options());
+        let decided = Verdict::decide_bounds(out.f_lo, out.f_hi, epsilon);
+        if let Some(verdict) = decided {
+            let report = EquivalenceReport {
+                verdict,
+                fidelity_bounds: (out.f_lo, out.f_hi),
+                epsilon,
+                algorithm: AlgorithmUsed::Mpo,
+                terms_computed: 1,
+                total_terms: 1,
+                max_nodes: out.bond_max,
+                elapsed: out.elapsed,
+                stats: TddStats::default(),
+                trunc_error: Some(out.trunc_error),
+                bond_max: Some(out.bond_max),
+                cross_check: None,
+            };
+            self.remember(Knowledge::from_mpo(&out));
+            return Ok(report);
+        }
+        // The interval straddles 1 − ε.
+        match &backend.escalation {
+            None => {
+                self.remember(Knowledge::from_mpo(&out));
+                Ok(EquivalenceReport {
+                    verdict: Verdict::Inconclusive,
+                    fidelity_bounds: (out.f_lo, out.f_hi),
+                    epsilon,
+                    algorithm: AlgorithmUsed::Mpo,
+                    terms_computed: 1,
+                    total_terms: 1,
+                    max_nodes: out.bond_max,
+                    elapsed: out.elapsed,
+                    stats: TddStats::default(),
+                    trunc_error: Some(out.trunc_error),
+                    bond_max: Some(out.bond_max),
+                    cross_check: None,
+                })
+            }
+            Some(cell) => {
+                let mut state = cell.lock().expect("escalation cell poisoned");
+                let mut report = state.ready(&self.options).check_prevalidated(epsilon)?;
+                drop(state);
+                // Cross-check: two sound fidelity intervals for the
+                // same pair must intersect (the exact bounds are a
+                // point unless Algorithm I early-stopped).
+                let (lo, hi) = report.fidelity_bounds;
+                report.cross_check = Some(lo <= out.f_hi && out.f_lo <= hi);
+                report.trunc_error = Some(out.trunc_error);
+                report.bond_max = Some(out.bond_max);
+                self.remember(Knowledge::from_report(&report));
+                Ok(report)
             }
         }
     }
@@ -657,7 +897,7 @@ impl CompiledCheck {
                         .unwrap_or_else(|| Verdict::decide(report.fidelity_lower, epsilon)))
                 })
                 .collect(),
-            Backend::Alg2(_) => Ok(self
+            Backend::Alg2(_) | Backend::Mpo(_) => Ok(self
                 .sweep_noise_prevalidated(epsilon, &points)?
                 .into_iter()
                 .map(|point| point.verdict)
@@ -720,6 +960,35 @@ impl CompiledCheck {
                 .map(|channels| self.alg1_point(artifacts, channels, epsilon))
                 .collect(),
             Backend::Alg2(artifacts) => self.alg2_sweep_lanes(artifacts, epsilon, points),
+            Backend::Mpo(backend) => match &backend.escalation {
+                // `Auto` promised exact per-point fidelities: the whole
+                // sweep escalates to the exact fallback (the compiled
+                // channel sites are the same circuit walk, so the
+                // points substitute one-for-one).
+                Some(cell) => cell
+                    .lock()
+                    .expect("escalation cell poisoned")
+                    .ready(&self.options)
+                    .sweep_noise_prevalidated(epsilon, points),
+                // A forced Algorithm III session sweeps on the compiled
+                // MPO program: per-point midpoint estimates, with
+                // verdicts taken on each point's rigorous interval —
+                // straddling points surface as Inconclusive.
+                None => Ok(points
+                    .iter()
+                    .map(|channels| {
+                        let out = backend.plan.run_channels(&self.mpo_options(), channels);
+                        SweepPoint {
+                            fidelity: out.fidelity,
+                            verdict: Verdict::decide_bounds(out.f_lo, out.f_hi, epsilon)
+                                .unwrap_or(Verdict::Inconclusive),
+                            max_nodes: out.bond_max,
+                            elapsed: out.elapsed,
+                            stats: TddStats::default(),
+                        }
+                    })
+                    .collect()),
+            },
         }
     }
 
@@ -875,38 +1144,23 @@ impl CompiledCheck {
             verdict,
             fidelity_bounds: (k.lower, k.upper),
             epsilon,
-            algorithm: self.algorithm,
+            algorithm: k.algorithm,
             terms_computed: k.terms_computed,
             total_terms: k.total_terms,
             max_nodes: k.max_nodes,
             elapsed: k.elapsed,
             stats: k.stats,
+            trunc_error: k.trunc_error,
+            bond_max: k.bond_max,
+            cross_check: k.cross_check,
         }
     }
 
     /// Records a run's proven interval, keeping the tightest evidence
     /// seen so far (an exact evaluation wins over any early-stopped
-    /// bounds and every later query is then cache-served).
-    #[allow(clippy::too_many_arguments)]
-    fn remember(
-        &mut self,
-        lower: f64,
-        upper: f64,
-        terms_computed: usize,
-        total_terms: usize,
-        max_nodes: usize,
-        elapsed: Duration,
-        stats: TddStats,
-    ) {
-        let fresh = Knowledge {
-            lower,
-            upper,
-            terms_computed,
-            total_terms,
-            max_nodes,
-            elapsed,
-            stats,
-        };
+    /// bounds or approximate interval, and every later query is then
+    /// cache-served).
+    fn remember(&mut self, fresh: Knowledge) {
         match &self.knowledge {
             Some(old) if old.width() <= fresh.width() => {}
             _ => self.knowledge = Some(fresh),

@@ -1,0 +1,65 @@
+//! Matrix-product-operator approximate equivalence checking — the
+//! workspace's **Algorithm III**.
+//!
+//! The paper's Algorithms I/II contract the miter (or doubled network)
+//! *exactly*; their cost tracks the decision-diagram structure of the
+//! circuit pair, which blows up on wide workloads long before the
+//! physics does. The approximation-methods follow-up line of work (and
+//! mqt-yaqs' identity-MPO checker) shows the same Jamiolkowski-fidelity
+//! trace can be computed on a **matrix product operator** with SVD bond
+//! truncation: the product `M = S_E · S_U†` of the noisy circuit's
+//! superoperator and the adjoint of the ideal one stays close to the
+//! identity when the circuits are close, so its MPO form has *small
+//! bond dimension* wherever the pair agrees — cost becomes linear in
+//! width instead of exponential.
+//!
+//! The twist that makes the result usable inside an equivalence
+//! *checker* is rigour: every singular value this engine discards is
+//! **accounted for**. Truncations happen only at the MPO's
+//! orthogonality center, where the environment tensors are isometries,
+//! so the discarded Frobenius mass is exactly the global error on `M`;
+//! summing those masses (amplified by the spectral norm of every later
+//! superoperator) bounds the trace error, and the result is a sound
+//! fidelity interval `[F_lo, F_hi]` rather than an unaccountable point
+//! estimate. The core crate feeds that interval to
+//! `Verdict::decide_bounds`, exactly like Algorithm I's early-stop
+//! bounds.
+//!
+//! Entry points:
+//!
+//! * [`MpoPlan::compile`] — turn a circuit pair into an interleaved
+//!   superoperator program (gate superops precomputed, noise channels
+//!   kept as re-instantiable holes for noise sweeps);
+//! * [`MpoPlan::run`] / [`MpoPlan::run_channels`] — execute the program
+//!   on an identity-initialised MPO under [`MpoOptions`] (SVD threshold
+//!   and bond cap), yielding an [`MpoOutcome`];
+//! * [`Mpo`] — the tensor engine itself, for callers that want to drive
+//!   superoperator layers by hand.
+//!
+//! # Example
+//!
+//! ```
+//! use qaec_circuit::{Circuit, NoiseChannel};
+//! use qaec_mpo::{MpoOptions, MpoPlan};
+//!
+//! let mut noisy = Circuit::new(2);
+//! noisy.h(0).cx(0, 1).noise(NoiseChannel::Depolarizing { p: 0.999 }, &[1]);
+//! let plan = MpoPlan::compile(&noisy.ideal(), &noisy);
+//! let out = plan.run(&MpoOptions::default());
+//! // The interval is sound and, at default thresholds on a pair this
+//! // small, essentially a point.
+//! assert!(out.f_lo <= out.fidelity && out.fidelity <= out.f_hi);
+//! assert!((out.fidelity - 0.999).abs() < 1e-6);
+//! ```
+
+mod mpo;
+mod plan;
+mod superop;
+mod svd;
+#[cfg(test)]
+mod testref;
+
+pub use mpo::{Mpo, Side};
+pub use plan::{MpoOptions, MpoOutcome, MpoPlan};
+pub use superop::{channel_superop, gate_superop, superop_norm};
+pub use svd::{svd, Svd};

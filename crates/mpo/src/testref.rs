@@ -1,0 +1,91 @@
+//! Dense superoperator reference for the in-crate tests: builds the
+//! full `4^n × 4^n` superoperators of small circuits in Kronecker
+//! layout and computes the exact Jamiolkowski fidelity, independently
+//! of every MPO code path under test.
+
+use qaec_circuit::{Circuit, Operation};
+use qaec_math::{Matrix, C64};
+
+/// Embeds an `a`-qubit operator acting on `qs` into the full `2^n`
+/// space, big-endian (`q0` is the most significant bit), matching the
+/// gate-matrix convention of `qaec-circuit`.
+pub(crate) fn embed(n: usize, qs: &[usize], m: &Matrix) -> Matrix {
+    let dim = 1usize << n;
+    let mut mask = 0usize;
+    for &q in qs {
+        mask |= 1 << (n - 1 - q);
+    }
+    Matrix::from_fn(dim, dim, |r, c| {
+        if (r & !mask) != (c & !mask) {
+            return C64::ZERO;
+        }
+        let mut ri = 0usize;
+        let mut ci = 0usize;
+        for &q in qs {
+            ri = (ri << 1) | ((r >> (n - 1 - q)) & 1);
+            ci = (ci << 1) | ((c >> (n - 1 - q)) & 1);
+        }
+        m[(ri, ci)]
+    })
+}
+
+/// The full superoperator of a circuit in Kronecker layout
+/// (ket space ⊗ bra space), instructions composed in temporal order.
+pub(crate) fn dense_superop(circuit: &Circuit) -> Matrix {
+    let n = circuit.n_qubits();
+    let dim = 1usize << n;
+    let mut s = Matrix::identity(dim * dim);
+    for inst in circuit.instructions() {
+        let step = match &inst.op {
+            Operation::Gate(g) => {
+                let e = embed(n, &inst.qubits, &g.matrix());
+                e.kron(&e.conj())
+            }
+            Operation::Noise(ch) => {
+                let mut acc = Matrix::zeros(dim * dim, dim * dim);
+                for k in ch.kraus() {
+                    let e = embed(n, &inst.qubits, &k);
+                    acc = acc.add(&e.kron(&e.conj()));
+                }
+                acc
+            }
+        };
+        s = step.mul(&s);
+    }
+    s
+}
+
+/// Exact Jamiolkowski fidelity `Tr(S_E · S_U†) / 4^n` of a pair,
+/// computed densely.
+pub(crate) fn fidelity_ref(ideal: &Circuit, noisy: &Circuit) -> f64 {
+    let n = ideal.n_qubits();
+    let se = dense_superop(noisy);
+    let su = dense_superop(ideal);
+    se.mul_trace(&su.adjoint()).re / 4f64.powi(n as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaec_circuit::{Circuit, NoiseChannel};
+
+    #[test]
+    fn identical_pair_has_unit_fidelity() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        assert!((fidelity_ref(&c, &c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_on_matching_pair_gives_channel_trace() {
+        // For noise after a matching unitary, F = Tr(D)/4 of the
+        // channel alone — an independent analytic anchor.
+        let mut noisy = Circuit::new(1);
+        noisy
+            .h(0)
+            .noise(NoiseChannel::Depolarizing { p: 0.9 }, &[0]);
+        let single = NoiseChannel::Depolarizing { p: 0.9 }.superop_matrix();
+        let expect = single.trace().re / 4.0;
+        assert!((fidelity_ref(&noisy.ideal(), &noisy) - expect).abs() < 1e-12);
+    }
+}

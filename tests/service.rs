@@ -56,6 +56,7 @@ fn check_request(ideal: &Circuit, noisy: &Circuit, epsilon: f64) -> ServiceReque
         ideal: ideal.clone(),
         noisy: noisy.clone(),
         query: ServiceQuery::Check { epsilon },
+        algorithm: None,
     }
 }
 
@@ -121,6 +122,7 @@ fn sweep_queries_match_the_session_api() {
         query: ServiceQuery::SweepEpsilon {
             epsilons: epsilons.to_vec(),
         },
+        algorithm: None,
     });
     let noise_reply = service.handle(&ServiceRequest {
         ideal: ideal.clone(),
@@ -129,6 +131,7 @@ fn sweep_queries_match_the_session_api() {
             epsilon: 1e-2,
             strengths: strengths.to_vec(),
         },
+        algorithm: None,
     });
     assert_eq!(
         noise_reply.cache,

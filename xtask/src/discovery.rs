@@ -1,0 +1,170 @@
+//! Source discovery: which crates and files the lint scans.
+//!
+//! The scan set is *production code only* — every `.rs` file under
+//! `crates/*/src`, skipping per-crate `tests/`, `benches/`, `examples/`
+//! and `target/` directories. Discovery is its own unit (rather than a
+//! walk inlined in `main`) so a regression test can pin the crate set:
+//! a new workspace crate that silently fell out of the scan would
+//! otherwise ship concurrency code the four rules never saw.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Walk up from the current directory to the workspace root (the
+/// directory holding a `crates/` subdirectory), so the lint works from
+/// any cwd.
+pub fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            panic!("workspace root (directory with crates/) not found above cwd");
+        }
+    }
+}
+
+/// Every production `.rs` file under `<root>/crates`, sorted for
+/// deterministic reports.
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    collect_sources(&root.join("crates"), &mut files);
+    files.sort();
+    files
+}
+
+/// The discovered sources grouped by crate: `package.name` from each
+/// `crates/*/Cargo.toml` mapped to the files the lint will scan for it.
+/// Crates whose manifest cannot be parsed fall back to the directory
+/// name, so a malformed manifest cannot hide a crate from the report.
+pub fn crate_sources(root: &Path) -> BTreeMap<String, Vec<PathBuf>> {
+    let mut by_crate: BTreeMap<String, Vec<PathBuf>> = BTreeMap::new();
+    let crates = root.join("crates");
+    for file in workspace_sources(root) {
+        let Ok(rel) = file.strip_prefix(&crates) else {
+            continue;
+        };
+        let Some(dir) = rel.components().next() else {
+            continue;
+        };
+        let dir = dir.as_os_str().to_string_lossy().into_owned();
+        let name = package_name(&crates.join(&dir).join("Cargo.toml")).unwrap_or(dir);
+        by_crate.entry(name).or_default().push(file);
+    }
+    by_crate
+}
+
+/// Minimal manifest read: the first `name = "..."` line after
+/// `[package]`. Enough for this workspace's hand-written manifests; no
+/// toml dependency, in the spirit of the vendored stand-ins.
+fn package_name(manifest: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(manifest).ok()?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start().strip_prefix('=')?.trim();
+                return Some(rest.trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            // Production code only: skip per-crate integration tests,
+            // benches and examples (they have no lock-free protocol code).
+            if matches!(name, "tests" | "benches" | "examples" | "target") {
+                continue;
+            }
+            collect_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workspace_crate_is_discovered() {
+        let root = workspace_root();
+        let by_crate = crate_sources(&root);
+        let found: Vec<&str> = by_crate.keys().map(String::as_str).collect();
+        // The full production crate set. A new `crates/` member must be
+        // added here — this test failing on a fresh crate is the point:
+        // it proves discovery saw it (then extend this list), while a
+        // crate *missing* from `found` means the lint is skipping real
+        // protocol code.
+        let expected = [
+            "qaec",
+            "qaec-bench",
+            "qaec-circuit",
+            "qaec-cli",
+            "qaec-dmsim",
+            "qaec-math",
+            "qaec-mpo",
+            "qaec-tdd",
+            "qaec-tensornet",
+        ];
+        assert_eq!(found, expected, "discovered crate set drifted");
+        for (name, files) in &by_crate {
+            assert!(!files.is_empty(), "{name} discovered with no sources");
+        }
+    }
+
+    #[test]
+    fn mpo_backend_sources_are_in_scope() {
+        let root = workspace_root();
+        let by_crate = crate_sources(&root);
+        let mpo = by_crate.get("qaec-mpo").expect("qaec-mpo discovered");
+        let has = |tail: &str| mpo.iter().any(|p| p.ends_with(tail));
+        assert!(has("src/lib.rs"), "qaec-mpo lib.rs missing: {mpo:?}");
+        assert!(has("src/svd.rs"), "qaec-mpo svd.rs missing: {mpo:?}");
+        assert!(has("src/plan.rs"), "qaec-mpo plan.rs missing: {mpo:?}");
+    }
+
+    #[test]
+    fn out_of_scope_directories_stay_out() {
+        let root = workspace_root();
+        for file in workspace_sources(&root) {
+            let rel = file.strip_prefix(&root).unwrap_or(&file);
+            let s = rel.to_string_lossy();
+            assert!(rel.starts_with("crates"), "outside crates/: {s}");
+            for skipped in ["/tests/", "/benches/", "/examples/", "/target/"] {
+                assert!(!s.contains(skipped), "out-of-scope file scanned: {s}");
+            }
+            assert!(s.ends_with(".rs"), "non-Rust file scanned: {s}");
+        }
+    }
+
+    #[test]
+    fn package_name_reads_the_package_table_only() {
+        let dir = std::env::temp_dir().join("qaec-xtask-discovery-test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let manifest = dir.join("Cargo.toml");
+        std::fs::write(
+            &manifest,
+            "[dependencies]\nname-like = \"1\"\n[package]\nname = \"demo-crate\"\n",
+        )
+        .expect("write manifest");
+        assert_eq!(package_name(&manifest).as_deref(), Some("demo-crate"));
+        std::fs::remove_file(&manifest).ok();
+    }
+}

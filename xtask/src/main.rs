@@ -24,9 +24,10 @@
 //! vendored stand-ins): a line-oriented lexer strips strings and comments so
 //! rules match code text and comment text separately.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+mod discovery;
 mod lexer;
 mod rules;
 
@@ -42,10 +43,10 @@ fn main() -> ExitCode {
 }
 
 fn lint(root: Option<&str>) -> ExitCode {
-    let root = root.map(PathBuf::from).unwrap_or_else(workspace_root);
-    let mut files = Vec::new();
-    collect_sources(&root.join("crates"), &mut files);
-    files.sort();
+    let root = root
+        .map(PathBuf::from)
+        .unwrap_or_else(discovery::workspace_root);
+    let files = discovery::workspace_sources(&root);
     if files.is_empty() {
         eprintln!("qaec-xtask: no sources found under {}", root.display());
         return ExitCode::from(2);
@@ -69,7 +70,11 @@ fn lint(root: Option<&str>) -> ExitCode {
     }
 
     if violations.is_empty() {
-        println!("qaec-xtask lint: {} files clean", files.len());
+        println!(
+            "qaec-xtask lint: {} files across {} crates clean",
+            files.len(),
+            discovery::crate_sources(&root).len()
+        );
         ExitCode::SUCCESS
     } else {
         for v in &violations {
@@ -81,40 +86,5 @@ fn lint(root: Option<&str>) -> ExitCode {
             files.len()
         );
         ExitCode::FAILURE
-    }
-}
-
-/// Walk up from the current directory to the workspace root (the directory
-/// holding a `crates/` subdirectory), so the lint works from any cwd.
-fn workspace_root() -> PathBuf {
-    let mut dir = std::env::current_dir().expect("cwd");
-    loop {
-        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
-            return dir;
-        }
-        if !dir.pop() {
-            panic!("workspace root (directory with crates/) not found above cwd");
-        }
-    }
-}
-
-fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) {
-    let entries = match std::fs::read_dir(dir) {
-        Ok(entries) => entries,
-        Err(_) => return,
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            // Production code only: skip per-crate integration tests, benches
-            // and examples (they have no lock-free protocol code).
-            if matches!(name, "tests" | "benches" | "examples" | "target") {
-                continue;
-            }
-            collect_sources(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
     }
 }
